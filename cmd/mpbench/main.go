@@ -1,0 +1,90 @@
+// Command mpbench regenerates the tables and figures of the PolarDB-MP
+// paper's evaluation (§5) under the scaled-time simulation described in
+// internal/figures.
+//
+// Usage:
+//
+//	mpbench -fig all                 # every figure (long)
+//	mpbench -fig 7 -quick            # one figure, trimmed sweep
+//	mpbench -fig 11 -nodes 1,2,4,8 -dur 3s -threads 4
+//	mpbench -fig ablations           # §4 design-choice ablations
+//	mpbench -fig micro               # TSO / TIT one-sided verb costs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"polardbmp/internal/figures"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to run: 7,8,9,10,11,12,13,15,ablations,micro,all")
+	quick := flag.Bool("quick", false, "trimmed sweep (fewer configs, shorter runs)")
+	dur := flag.Duration("dur", 0, "measured duration per config (default 3s, quick 1.2s)")
+	warmup := flag.Duration("warmup", 0, "warmup per config")
+	threads := flag.Int("threads", 0, "threads per node (default 4)")
+	scale := flag.Int("scale", 0, "latency time-scale factor (default 25)")
+	nodes := flag.String("nodes", "", "comma-separated node counts (default 1,2,4,8)")
+	flag.Parse()
+
+	o := figures.Options{
+		Quick:    *quick,
+		Duration: *dur,
+		Warmup:   *warmup,
+		Threads:  *threads,
+		Scale:    *scale,
+	}
+	if *nodes != "" {
+		for _, part := range strings.Split(*nodes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "bad -nodes value %q\n", part)
+				os.Exit(2)
+			}
+			o.Nodes = append(o.Nodes, n)
+		}
+	}
+
+	run := func(name string) {
+		start := time.Now()
+		switch name {
+		case "7":
+			figures.Fig7(o)
+		case "8":
+			figures.Fig8(o)
+		case "9":
+			figures.Fig9(o)
+		case "10":
+			figures.Fig10(o)
+		case "11":
+			figures.Fig11(o)
+		case "12":
+			figures.Fig12(o)
+		case "13":
+			figures.Fig13(o)
+		case "15":
+			figures.Fig15(o)
+		case "ablations":
+			figures.Ablations(o)
+		case "micro":
+			figures.Micro(o)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown figure %q\n", name)
+			os.Exit(2)
+		}
+		fmt.Printf("[%s done in %v]\n", name, time.Since(start).Round(time.Second))
+	}
+
+	if *fig == "all" {
+		for _, name := range []string{"micro", "7", "8", "9", "10", "11", "12", "13", "15", "ablations"} {
+			run(name)
+		}
+		return
+	}
+	run(*fig)
+}

@@ -1,0 +1,235 @@
+// Command mpshell is a small interactive shell over a PolarDB-MP cluster:
+// open (optionally persistent) storage, run reads and writes against any
+// primary, crash and recover nodes, and inspect engine statistics.
+//
+//	$ go run ./cmd/mpshell -nodes 2 -data /tmp/mpdata
+//	mp> use orders
+//	mp> put k1 hello
+//	mp> on 2 get k1
+//	hello
+//	mp> crash 1
+//	mp> restart 1
+//	mp> stats
+package main
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"polardbmp"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 2, "primary nodes")
+	data := flag.String("data", "", "data directory (empty = in-memory)")
+	flag.Parse()
+
+	db, err := polardbmp.Open(polardbmp.Options{Nodes: *nodes, DataDir: *data})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer db.Close()
+	sh := &shell{db: db, node: 1}
+	fmt.Printf("polardbmp shell — %d primaries", *nodes)
+	if *data != "" {
+		fmt.Printf(", data dir %s", *data)
+	}
+	fmt.Println("\ntype 'help' for commands")
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Printf("mp:%d> ", sh.node)
+		if !sc.Scan() {
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line == "exit" || line == "quit" {
+			return
+		}
+		if err := sh.exec(line); err != nil {
+			fmt.Println("error:", err)
+		}
+	}
+}
+
+type shell struct {
+	db    *polardbmp.Cluster
+	node  int
+	table *polardbmp.Table
+}
+
+func (s *shell) exec(line string) error {
+	fields := strings.Fields(line)
+	cmd, args := fields[0], fields[1:]
+
+	// "on N <cmd...>" runs one command against primary N.
+	if cmd == "on" {
+		if len(args) < 2 {
+			return errors.New("usage: on <node> <command...>")
+		}
+		n, err := strconv.Atoi(args[0])
+		if err != nil {
+			return err
+		}
+		saved := s.node
+		s.node = n
+		defer func() { s.node = saved }()
+		return s.exec(strings.Join(args[1:], " "))
+	}
+
+	switch cmd {
+	case "help":
+		fmt.Print(`commands:
+  use <table>              create/open a table (required before data ops)
+  put <key> <value>        upsert a row
+  get <key>                read a row
+  del <key>                delete a row
+  scan [prefix] [limit]    list rows
+  on <node> <cmd...>       run one command on another primary
+  node <n>                 switch the current primary
+  addnode                  scale out by one primary
+  crash <n> | restart <n>  fail-stop / recover a node
+  checkpoint               flush buffers + truncate logs (quiesced)
+  stats                    engine counters
+  exit
+`)
+		return nil
+	case "use":
+		if len(args) != 1 {
+			return errors.New("usage: use <table>")
+		}
+		t, err := s.db.CreateTable(args[0])
+		if err != nil {
+			return err
+		}
+		s.table = &t
+		fmt.Println("using table", args[0])
+		return nil
+	case "node":
+		if len(args) != 1 {
+			return errors.New("usage: node <n>")
+		}
+		n, err := strconv.Atoi(args[0])
+		if err != nil {
+			return err
+		}
+		s.node = n
+		return nil
+	case "addnode":
+		n, err := s.db.AddNode()
+		if err != nil {
+			return err
+		}
+		fmt.Println("added node", n.ID())
+		return nil
+	case "crash":
+		if len(args) != 1 {
+			return errors.New("usage: crash <n>")
+		}
+		n, err := strconv.Atoi(args[0])
+		if err != nil {
+			return err
+		}
+		s.db.CrashNode(n)
+		fmt.Println("crashed node", n)
+		return nil
+	case "restart":
+		if len(args) != 1 {
+			return errors.New("usage: restart <n>")
+		}
+		n, err := strconv.Atoi(args[0])
+		if err != nil {
+			return err
+		}
+		if _, err := s.db.RestartNode(n); err != nil {
+			return err
+		}
+		fmt.Println("node", n, "recovered")
+		return nil
+	case "checkpoint":
+		if err := s.db.Checkpoint(); err != nil {
+			return err
+		}
+		fmt.Println("checkpointed")
+		return nil
+	case "stats":
+		st := s.db.Stats()
+		fmt.Printf("commits=%d aborts=%d deadlocks=%d\n", st.Commits, st.Aborts, st.Deadlocks)
+		fmt.Printf("fabric: reads=%d writes=%d atomics=%d rpcs=%d\n",
+			st.FabricReads, st.FabricWrites, st.FabricAtomics, st.FabricRPCs)
+		fmt.Printf("storage: page-reads=%d log-syncs=%d | DBP pages=%d\n",
+			st.StoragePageReads, st.StorageLogSyncs, st.DBPResident)
+		fmt.Printf("locks: plock-negotiations=%d rlock-waits=%d rlock-deadlocks=%d\n",
+			st.PLockNegotiate, st.RLockWaits, st.RLockDeadlocks)
+		return nil
+	case "put", "get", "del", "scan":
+		return s.dataOp(cmd, args)
+	default:
+		return fmt.Errorf("unknown command %q (try 'help')", cmd)
+	}
+}
+
+func (s *shell) dataOp(cmd string, args []string) error {
+	if s.table == nil {
+		return errors.New("no table selected: use <table>")
+	}
+	tx, err := s.db.Node(s.node).Begin()
+	if err != nil {
+		return err
+	}
+	fail := func(err error) error { tx.Rollback(); return err }
+	switch cmd {
+	case "put":
+		if len(args) < 2 {
+			return fail(errors.New("usage: put <key> <value>"))
+		}
+		if err := tx.Upsert(*s.table, []byte(args[0]), []byte(strings.Join(args[1:], " "))); err != nil {
+			return fail(err)
+		}
+	case "get":
+		if len(args) != 1 {
+			return fail(errors.New("usage: get <key>"))
+		}
+		v, err := tx.Get(*s.table, []byte(args[0]))
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Println(string(v))
+	case "del":
+		if len(args) != 1 {
+			return fail(errors.New("usage: del <key>"))
+		}
+		if err := tx.Delete(*s.table, []byte(args[0])); err != nil {
+			return fail(err)
+		}
+	case "scan":
+		var from, to []byte
+		limit := 50
+		if len(args) >= 1 {
+			from = []byte(args[0])
+			to = append([]byte(args[0]), 0xFF)
+		}
+		if len(args) >= 2 {
+			if n, err := strconv.Atoi(args[1]); err == nil {
+				limit = n
+			}
+		}
+		kvs, err := tx.Scan(*s.table, from, to, limit)
+		if err != nil {
+			return fail(err)
+		}
+		for _, kv := range kvs {
+			fmt.Printf("%s = %s\n", kv.Key, kv.Value)
+		}
+		fmt.Printf("(%d rows)\n", len(kvs))
+	}
+	return tx.Commit()
+}

@@ -1,0 +1,145 @@
+// Bank: concurrent money transfers from four primaries over shared
+// accounts, exercising cross-node row locking (RLock via Lock Fusion),
+// deadlock detection, and MVCC reads. The invariant — total money is
+// conserved — is checked at the end from a node that made none of the
+// transfers.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"polardbmp"
+)
+
+const (
+	nodes       = 4
+	accounts    = 32
+	initialEach = 1000
+	transfers   = 200 // per node
+)
+
+func acctKey(i int) []byte { return []byte(fmt.Sprintf("acct-%03d", i)) }
+
+func main() {
+	db, err := polardbmp.Open(polardbmp.Options{Nodes: nodes})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	bank, err := db.CreateTable("bank")
+	if err != nil {
+		log.Fatal(err)
+	}
+	seed, err := db.Node(1).Begin()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < accounts; i++ {
+		if err := seed.Insert(bank, acctKey(i), []byte(strconv.Itoa(initialEach))); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := seed.Commit(); err != nil {
+		log.Fatal(err)
+	}
+
+	var committed, deadlocks atomic.Int64
+	var wg sync.WaitGroup
+	for n := 1; n <= nodes; n++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(n)))
+			node := db.Node(n)
+			for i := 0; i < transfers; i++ {
+				from, to := rng.Intn(accounts), rng.Intn(accounts)
+				if from == to {
+					continue
+				}
+				amount := 1 + rng.Intn(20)
+				for {
+					err := transfer(node, bank, from, to, amount)
+					if err == nil {
+						committed.Add(1)
+						break
+					}
+					if polardbmp.IsRetryable(err) {
+						deadlocks.Add(1)
+						continue
+					}
+					log.Fatalf("node %d transfer: %v", n, err)
+				}
+			}
+		}(n)
+	}
+	wg.Wait()
+
+	// Verify conservation from every node's view.
+	for n := 1; n <= nodes; n++ {
+		total, err := sumAll(db.Node(n), bank)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if total != accounts*initialEach {
+			log.Fatalf("node %d sees total %d, want %d — money not conserved!",
+				n, total, accounts*initialEach)
+		}
+	}
+	fmt.Printf("done: %d transfers committed across %d primaries, %d retries (deadlock/conflict), money conserved (%d)\n",
+		committed.Load(), nodes, deadlocks.Load(), accounts*initialEach)
+}
+
+// transfer moves amount between two accounts with locking reads; lock
+// acquisition order is randomized by the caller, so Lock Fusion's wait-for
+// cycle detection gets real work.
+func transfer(node *polardbmp.Node, bank polardbmp.Table, from, to, amount int) error {
+	tx, err := node.Begin()
+	if err != nil {
+		return err
+	}
+	fail := func(err error) error { tx.Rollback(); return err }
+	fromRaw, err := tx.GetForUpdate(bank, acctKey(from))
+	if err != nil {
+		return fail(err)
+	}
+	toRaw, err := tx.GetForUpdate(bank, acctKey(to))
+	if err != nil {
+		return fail(err)
+	}
+	fromBal, _ := strconv.Atoi(string(fromRaw))
+	toBal, _ := strconv.Atoi(string(toRaw))
+	if fromBal < amount {
+		return tx.Rollback() // insufficient funds: no-op
+	}
+	if err := tx.Update(bank, acctKey(from), []byte(strconv.Itoa(fromBal-amount))); err != nil {
+		return fail(err)
+	}
+	if err := tx.Update(bank, acctKey(to), []byte(strconv.Itoa(toBal+amount))); err != nil {
+		return fail(err)
+	}
+	return tx.Commit()
+}
+
+func sumAll(node *polardbmp.Node, bank polardbmp.Table) (int, error) {
+	tx, err := node.BeginSnapshot()
+	if err != nil {
+		return 0, err
+	}
+	defer tx.Commit()
+	rows, err := tx.Scan(bank, nil, nil, 0)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, kv := range rows {
+		v, _ := strconv.Atoi(string(kv.Value))
+		total += v
+	}
+	return total, nil
+}

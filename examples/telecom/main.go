@@ -1,0 +1,110 @@
+// Telecom: a TATP-style partitioned workload (§5.2, Figure 8) on four
+// primaries. Subscribers are range-partitioned so each node works its own
+// key range; because each data page then belongs to one node, PLocks are
+// acquired once and retained (lazy release), and throughput scales with
+// node count. The example prints the measured scaling 1→4 nodes.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"polardbmp"
+)
+
+const (
+	subscribersPerNode = 1000
+	threadsPerNode     = 2
+)
+
+func subKey(id int) []byte { return []byte(fmt.Sprintf("sub-%08d", id)) }
+
+func main() {
+	fmt.Println("raw (unscaled) engine throughput; on a box with few cores the")
+	fmt.Println("larger clusters are CPU-bound — the figure harness (cmd/mpbench)")
+	fmt.Println("uses scaled time to measure protocol scaling instead.")
+	for _, nodes := range []int{1, 2, 4} {
+		tps := run(nodes)
+		fmt.Printf("%d node(s) x %d threads: %8.0f tx/s\n", nodes, threadsPerNode, tps)
+	}
+}
+
+func run(nodes int) float64 {
+	db, err := polardbmp.Open(polardbmp.Options{Nodes: nodes})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	sub, err := db.CreateTable("subscriber")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Load each node's partition through that node.
+	for n := 1; n <= nodes; n++ {
+		lo := (n - 1) * subscribersPerNode
+		for base := lo; base < lo+subscribersPerNode; base += 200 {
+			tx, err := db.Node(n).Begin()
+			if err != nil {
+				log.Fatal(err)
+			}
+			for i := base; i < base+200 && i < lo+subscribersPerNode; i++ {
+				if err := tx.Insert(sub, subKey(i), []byte(fmt.Sprintf(`{"vlr":%d}`, i))); err != nil {
+					log.Fatal(err)
+				}
+			}
+			if err := tx.Commit(); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	// 80% GetSubscriberData / 20% UpdateLocation, each node on its range.
+	var ops atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for n := 1; n <= nodes; n++ {
+		for th := 0; th < threadsPerNode; th++ {
+			wg.Add(1)
+			go func(n, th int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(n*100 + th)))
+				node := db.Node(n)
+				lo := (n - 1) * subscribersPerNode
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					id := lo + rng.Intn(subscribersPerNode)
+					tx, err := node.Begin()
+					if err != nil {
+						continue
+					}
+					if rng.Intn(10) < 8 {
+						_, err = tx.Get(sub, subKey(id))
+					} else {
+						err = tx.Update(sub, subKey(id), []byte(fmt.Sprintf(`{"vlr":%d}`, rng.Intn(1<<16))))
+					}
+					if err != nil {
+						tx.Rollback()
+						continue
+					}
+					if tx.Commit() == nil {
+						ops.Add(1)
+					}
+				}
+			}(n, th)
+		}
+	}
+	const dur = 2 * time.Second
+	time.Sleep(dur)
+	close(stop)
+	wg.Wait()
+	return float64(ops.Load()) / dur.Seconds()
+}

@@ -1,0 +1,3 @@
+module polardbmp
+
+go 1.22

@@ -1,0 +1,94 @@
+// Package adapter bridges engines to the workload driver interface so the
+// same generators run against PolarDB-MP and every baseline.
+package adapter
+
+import (
+	"fmt"
+
+	"polardbmp/internal/common"
+	"polardbmp/internal/core"
+	"polardbmp/internal/workload"
+)
+
+// PolarDB adapts a PolarDB-MP cluster to workload.DB.
+type PolarDB struct {
+	Cluster *core.Cluster
+}
+
+// NewPolarDB builds a cluster with n nodes and wraps it.
+func NewPolarDB(cfg core.Config, n int) (*PolarDB, error) {
+	c := core.NewCluster(cfg)
+	for i := 0; i < n; i++ {
+		if _, err := c.AddNode(); err != nil {
+			return nil, err
+		}
+	}
+	return &PolarDB{Cluster: c}, nil
+}
+
+// NodeCount implements workload.DB.
+func (p *PolarDB) NodeCount() int { return len(p.Cluster.Nodes()) }
+
+// CreateTable implements workload.DB.
+func (p *PolarDB) CreateTable(name string) (workload.Table, error) {
+	sp, err := p.Cluster.CreateSpace(name)
+	if err != nil {
+		return nil, err
+	}
+	return table(sp), nil
+}
+
+// Begin implements workload.DB.
+func (p *PolarDB) Begin(node int) (workload.Tx, error) {
+	n := p.Cluster.Node(node + 1)
+	if n == nil {
+		return nil, fmt.Errorf("polardb adapter: node %d: %w", node+1, common.ErrNodeDown)
+	}
+	tx, err := n.Begin()
+	if err != nil {
+		return nil, err
+	}
+	return polarTx{tx}, nil
+}
+
+type table common.SpaceID
+
+// Space implements workload.Table.
+func (t table) Space() common.SpaceID { return common.SpaceID(t) }
+
+type polarTx struct{ tx *core.Tx }
+
+func (t polarTx) Get(tab workload.Table, key []byte) ([]byte, error) {
+	return t.tx.Get(tab.Space(), key)
+}
+
+func (t polarTx) GetForUpdate(tab workload.Table, key []byte) ([]byte, error) {
+	return t.tx.GetForUpdate(tab.Space(), key)
+}
+
+func (t polarTx) Insert(tab workload.Table, key, value []byte) error {
+	return t.tx.Insert(tab.Space(), key, value)
+}
+
+func (t polarTx) Update(tab workload.Table, key, value []byte) error {
+	return t.tx.Update(tab.Space(), key, value)
+}
+
+func (t polarTx) Delete(tab workload.Table, key []byte) error {
+	return t.tx.Delete(tab.Space(), key)
+}
+
+func (t polarTx) Scan(tab workload.Table, from, to []byte, limit int) ([]workload.KV, error) {
+	kvs, err := t.tx.Scan(tab.Space(), from, to, limit)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]workload.KV, len(kvs))
+	for i, kv := range kvs {
+		out[i] = workload.KV{Key: kv.Key, Value: kv.Value}
+	}
+	return out, nil
+}
+
+func (t polarTx) Commit() error   { return t.tx.Commit() }
+func (t polarTx) Rollback() error { return t.tx.Rollback() }

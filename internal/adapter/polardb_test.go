@@ -1,0 +1,93 @@
+package adapter
+
+import (
+	"errors"
+	"testing"
+
+	"polardbmp/internal/common"
+	"polardbmp/internal/core"
+	"polardbmp/internal/workload"
+)
+
+func newDB(t *testing.T) *PolarDB {
+	t.Helper()
+	db, err := NewPolarDB(core.Config{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(db.Cluster.Close)
+	return db
+}
+
+func TestAdapterRoundTrip(t *testing.T) {
+	db := newDB(t)
+	if db.NodeCount() != 2 {
+		t.Fatalf("nodes = %d", db.NodeCount())
+	}
+	tab, err := db.CreateTable("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := db.Begin(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Insert(tab, []byte("a"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Insert(tab, []byte("b"), []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	tx2, err := db.Begin(1) // other node
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := tx2.Get(tab, []byte("a")); err != nil || string(v) != "1" {
+		t.Fatalf("get = %q, %v", v, err)
+	}
+	if v, err := tx2.GetForUpdate(tab, []byte("b")); err != nil || string(v) != "2" {
+		t.Fatalf("get for update = %q, %v", v, err)
+	}
+	if err := tx2.Update(tab, []byte("b"), []byte("22")); err != nil {
+		t.Fatal(err)
+	}
+	kvs, err := tx2.Scan(tab, nil, nil, 0)
+	if err != nil || len(kvs) != 2 {
+		t.Fatalf("scan = %d rows, %v", len(kvs), err)
+	}
+	if err := tx2.Delete(tab, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	tx3, _ := db.Begin(0)
+	defer tx3.Rollback()
+	if _, err := tx3.Get(tab, []byte("a")); !errors.Is(err, common.ErrNotFound) {
+		t.Fatalf("deleted row get err = %v", err)
+	}
+}
+
+func TestAdapterBeginOnDeadNode(t *testing.T) {
+	db := newDB(t)
+	db.Cluster.CrashNode(1)
+	if _, err := db.Begin(0); !errors.Is(err, common.ErrNodeDown) {
+		t.Fatalf("begin on crashed node err = %v", err)
+	}
+}
+
+func TestAdapterImplementsWorkloadDB(t *testing.T) {
+	var _ workload.DB = (*PolarDB)(nil)
+}
+
+func TestAdapterBeginOutOfRange(t *testing.T) {
+	db := newDB(t)
+	if _, err := db.Begin(7); err == nil {
+		t.Fatal("begin on missing node should fail")
+	}
+}

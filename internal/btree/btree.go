@@ -1,0 +1,489 @@
+// Package btree implements the B-tree index used for every table and
+// secondary index, built directly on PolarDB-MP's shared pages.
+//
+// Physical consistency across nodes follows §4.3.1: every page access holds
+// the page's PLock (S to read, X to write), acquired top-down with latch
+// coupling during descent; structure modifications (splits) run as
+// mini-transactions that X-lock the whole root-to-leaf path, so no
+// transaction — local or remote — can observe an inconsistent tree.
+//
+// The tree's root pointer lives in an "anchor" page whose id never changes;
+// the anchor participates in PLocking, Buffer Fusion and logging like any
+// other page, which is how all nodes agree on root changes.
+package btree
+
+import (
+	"fmt"
+
+	"polardbmp/internal/common"
+	"polardbmp/internal/lockfusion"
+	"polardbmp/internal/page"
+)
+
+// Ref is a pinned, latched, PLocked page handle returned by a Pager.
+type Ref struct {
+	// Page is the latched page; valid until Release.
+	Page *page.Page
+	// Mode is the PLock/latch mode held.
+	Mode lockfusion.Mode
+	// Opaque is for the Pager's bookkeeping (e.g. the LBP frame).
+	Opaque any
+}
+
+// Pager is the engine surface the tree runs on: PLock + buffer + logging.
+type Pager interface {
+	// Acquire PLocks (mode), pins, and latches the page.
+	Acquire(pg common.PageID, mode lockfusion.Mode) (*Ref, error)
+	// Release unlatches, unpins, and releases one PLock reference.
+	Release(ref *Ref)
+	// AllocPage creates a new X-locked, latched, dirty page.
+	AllocPage(space common.SpaceID, t page.Type, level uint8) (*Ref, error)
+	// LogImage redo-logs the full page image (SMO physical logging),
+	// assigning a fresh LLSN and marking the ref dirty. Caller holds X.
+	LogImage(ref *Ref)
+}
+
+// Tree is a B-tree over a space. It is stateless apart from the anchor id,
+// so every node constructs its own Tree for a space and all coordination
+// happens through the pages.
+type Tree struct {
+	pager  Pager
+	space  common.SpaceID
+	anchor common.PageID
+}
+
+// New attaches to an existing tree by its anchor page.
+func New(pager Pager, space common.SpaceID, anchor common.PageID) *Tree {
+	return &Tree{pager: pager, space: space, anchor: anchor}
+}
+
+// Space returns the tree's tablespace id.
+func (t *Tree) Space() common.SpaceID { return t.space }
+
+// Anchor returns the anchor page id.
+func (t *Tree) Anchor() common.PageID { return t.anchor }
+
+// Create builds a fresh tree: an anchor pointing at an empty root leaf.
+// It returns the anchor page id. The pages are logged and left to the
+// pager's buffer management.
+func Create(pager Pager, space common.SpaceID) (common.PageID, error) {
+	root, err := pager.AllocPage(space, page.TypeLeaf, 0)
+	if err != nil {
+		return 0, err
+	}
+	pager.LogImage(root)
+	anchor, err := pager.AllocPage(space, page.TypeInternal, anchorLevel)
+	if err != nil {
+		pager.Release(root)
+		return 0, err
+	}
+	anchor.Page.SetChild(nil, root.Page.ID)
+	setRootLevelHint(anchor.Page, 0)
+	pager.LogImage(anchor)
+	id := anchor.Page.ID
+	pager.Release(anchor)
+	pager.Release(root)
+	return id, nil
+}
+
+// anchorLevel marks the anchor page; it sits "above" any real level.
+const anchorLevel = 0xFF
+
+// Leaf descends to the leaf owning key, holding S PLocks on internal pages
+// with latch coupling, and returns the leaf locked in leafMode. The caller
+// must Release the returned ref.
+func (t *Tree) Leaf(key []byte, leafMode lockfusion.Mode) (*Ref, error) {
+	cur, err := t.pager.Acquire(t.anchor, lockfusion.ModeS)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		child := cur.Page.ChildFor(key)
+		if child == common.InvalidPageID {
+			t.pager.Release(cur)
+			return nil, fmt.Errorf("btree: space %d: no child for key on page %d: %w",
+				t.space, cur.Page.ID, common.ErrCorrupt)
+		}
+		mode := lockfusion.ModeS
+		if cur.Page.Level == 1 || (cur.Page.Level == anchorLevel && childIsLeaf(cur)) {
+			mode = leafMode
+		}
+		next, err := t.pager.Acquire(child, mode)
+		if err != nil {
+			t.pager.Release(cur)
+			return nil, err
+		}
+		t.pager.Release(cur)
+		if next.Page.Type == page.TypeLeaf {
+			return next, nil
+		}
+		cur = next
+	}
+}
+
+// childIsLeaf reports whether the anchor's root child is a leaf (height-1
+// tree), from the level hint stored beside the root pointer. The anchor is
+// read under its PLock and updated (and logged) only by root-split SMOs
+// under X, so the hint is always current.
+func childIsLeaf(anchor *Ref) bool {
+	r := anchor.Page.Rows
+	if len(r) == 0 {
+		return false
+	}
+	v := r[0].Head().Value
+	return len(v) >= 9 && v[8] == 0
+}
+
+// rootValue encodes a root pointer with its level hint for the anchor.
+func rootValue(id common.PageID, level uint8) []byte {
+	v := page.ChildValue(id)
+	return append(v, level)
+}
+
+// LeafSafe is like Leaf but retries if the descent lands on a leaf in a
+// weaker mode than requested (defense in depth against hint corruption).
+func (t *Tree) LeafSafe(key []byte, leafMode lockfusion.Mode) (*Ref, error) {
+	for attempt := 0; attempt < 4; attempt++ {
+		ref, err := t.Leaf(key, leafMode)
+		if err != nil {
+			return nil, err
+		}
+		if ref.Mode.Covers(leafMode) {
+			return ref, nil
+		}
+		// Wrong mode (stale hint): release and retry; the next descent
+		// sees the refreshed level fields.
+		t.pager.Release(ref)
+	}
+	return nil, fmt.Errorf("btree: space %d: could not reach leaf for key in mode %v", t.space, leafMode)
+}
+
+// First returns the leftmost leaf in the given mode (scan start).
+func (t *Tree) First(leafMode lockfusion.Mode) (*Ref, error) {
+	return t.LeafSafe(nil, leafMode)
+}
+
+// Next moves a scan to the right sibling of ref, releasing ref. It returns
+// (nil, nil) at the end of the leaf chain. Coupling left-to-right is safe:
+// all multi-page holds in the system order pages left-to-right or top-down.
+func (t *Tree) Next(ref *Ref, leafMode lockfusion.Mode) (*Ref, error) {
+	nextID := ref.Page.Next
+	t.pager.Release(ref)
+	if nextID == common.InvalidPageID {
+		return nil, nil
+	}
+	return t.pager.Acquire(nextID, leafMode)
+}
+
+// SplitFor runs the structure-modification mini-transaction that makes room
+// for `need` more bytes on the leaf owning key. It is a two-phase SMO: an
+// S-mode descent plans which levels must split, then only the affected
+// subpath — from the deepest ancestor that can absorb a separator without
+// itself splitting, down to the leaf — is X-locked (top-down, revalidating
+// the routing) and split bottom-up. The tree anchor is X-locked only for
+// root splits, so concurrent SMOs under different subtrees proceed in
+// parallel, per §4.3.1's mini-transaction design. All modified pages are
+// image-logged under their X PLocks before the mini-transaction commits.
+func (t *Tree) SplitFor(key []byte, need int) error {
+	for attempt := 0; attempt < 24; attempt++ {
+		done, err := t.trySplit(key, need)
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+	}
+	// Persistent revalidation failure: heavy concurrent restructuring.
+	// Surface it as retryable so the transaction layer backs off.
+	return fmt.Errorf("btree: space %d: SMO did not converge: %w", t.space, common.ErrLockTimeout)
+}
+
+// sepCost over-approximates the parent-entry bytes a split inserts.
+func sepCost(key []byte) int { return len(key) + 96 }
+
+// trySplit is one optimistic SMO attempt; done=false asks for a retry.
+func (t *Tree) trySplit(key []byte, need int) (bool, error) {
+	// Phase 1: plan with a read-only descent (latch-coupled S locks).
+	type level struct {
+		id   common.PageID
+		size int
+	}
+	var plan []level
+	cur, err := t.pager.Acquire(t.anchor, lockfusion.ModeS)
+	if err != nil {
+		return false, err
+	}
+	plan = append(plan, level{t.anchor, cur.Page.SizeEstimate()})
+	for cur.Page.Type != page.TypeLeaf {
+		child := cur.Page.ChildFor(key)
+		if child == common.InvalidPageID {
+			t.pager.Release(cur)
+			return false, fmt.Errorf("btree: space %d: broken routing during SMO: %w", t.space, common.ErrCorrupt)
+		}
+		next, err := t.pager.Acquire(child, lockfusion.ModeS)
+		if err != nil {
+			t.pager.Release(cur)
+			return false, err
+		}
+		t.pager.Release(cur)
+		plan = append(plan, level{child, next.Page.SizeEstimate()})
+		cur = next
+	}
+	leafSize := cur.Page.SizeEstimate()
+	t.pager.Release(cur)
+	if leafSize+need <= page.SplitThreshold {
+		return true, nil // raced: room already
+	}
+	// lockFrom: deepest ancestor that absorbs a separator without
+	// overflowing; everything below it splits. Index 0 is the anchor
+	// (root split).
+	sep := sepCost(key)
+	lockFrom := 0
+	for i := len(plan) - 2; i >= 1; i-- {
+		if plan[i].size+sep <= page.SplitThreshold {
+			lockFrom = i
+			break
+		}
+	}
+
+	// Phase 2: X-lock the subpath top-down, revalidating the routing.
+	var path []*Ref
+	release := func() {
+		for i := len(path) - 1; i >= 0; i-- {
+			t.pager.Release(path[i])
+		}
+	}
+	top, err := t.pager.Acquire(plan[lockFrom].id, lockfusion.ModeX)
+	if err != nil {
+		return false, err
+	}
+	path = append(path, top)
+	for i := lockFrom; i < len(plan)-1; i++ {
+		child := path[len(path)-1].Page.ChildFor(key)
+		if child != plan[i+1].id {
+			release()
+			return false, nil // routing changed: retry
+		}
+		next, err := t.pager.Acquire(child, lockfusion.ModeX)
+		if err != nil {
+			release()
+			return false, err
+		}
+		path = append(path, next)
+	}
+	leaf := path[len(path)-1]
+	if leaf.Page.Type != page.TypeLeaf {
+		release()
+		return false, nil // structure changed: retry
+	}
+	if leaf.Page.SizeEstimate()+need <= page.SplitThreshold {
+		release()
+		return true, nil // another SMO already made room
+	}
+	// The ceiling must still absorb the separators (it may have grown
+	// since the plan); the anchor handles root splits itself.
+	if lockFrom > 0 && path[0].Page.SizeEstimate()+sep > page.SplitThreshold {
+		release()
+		return false, nil // plan stale: retry with a higher ceiling
+	}
+
+	// Phase 3: split bottom-up within the locked subpath. path[0] is the
+	// ceiling (anchor when lockFrom == 0).
+	if err := t.splitLocked(path, need); err != nil {
+		release()
+		return false, err
+	}
+	release()
+	return true, nil
+}
+
+// splitLocked performs the bottom-up splits over an X-locked subpath whose
+// first element is the non-splitting ceiling (or the anchor).
+func (t *Tree) splitLocked(path []*Ref, need int) error {
+	for i := len(path) - 1; i >= 1; i-- {
+		ref := path[i]
+		slack := 0
+		if i == len(path)-1 {
+			slack = need
+		}
+		if ref.Page.SizeEstimate()+slack <= page.SplitThreshold {
+			break
+		}
+		if len(ref.Page.Rows) < 2 {
+			return fmt.Errorf("btree: space %d: page %d oversized with %d rows (value too large)",
+				t.space, ref.Page.ID, len(ref.Page.Rows))
+		}
+		right, err := t.pager.AllocPage(t.space, ref.Page.Type, ref.Page.Level)
+		if err != nil {
+			return err
+		}
+		mid := len(ref.Page.Rows) / 2
+		sep := append([]byte(nil), ref.Page.Rows[mid].Key...)
+		right.Page.Rows = append(right.Page.Rows, ref.Page.Rows[mid:]...)
+		ref.Page.Rows = ref.Page.Rows[:mid:mid]
+		if ref.Page.Type == page.TypeLeaf {
+			right.Page.Next = ref.Page.Next
+			ref.Page.Next = right.Page.ID
+		}
+		parent := path[i-1]
+		if parent.Page.Level == anchorLevel && i == 1 {
+			// Root split: build a new root above ref and right.
+			newRoot, err := t.pager.AllocPage(t.space, page.TypeInternal, ref.Page.Level+1)
+			if err != nil {
+				t.pager.Release(right)
+				return err
+			}
+			newRoot.Page.SetChild(nil, ref.Page.ID)
+			newRoot.Page.SetChild(sep, right.Page.ID)
+			parent.Page.Rows = nil
+			parent.Page.SetChild(nil, newRoot.Page.ID)
+			setRootLevelHint(parent.Page, newRoot.Page.Level)
+			t.pager.LogImage(ref)
+			t.pager.LogImage(right)
+			t.pager.LogImage(newRoot)
+			t.pager.LogImage(parent)
+			t.pager.Release(newRoot)
+			t.pager.Release(right)
+			break
+		}
+		parent.Page.SetChild(sep, right.Page.ID)
+		t.pager.LogImage(ref)
+		t.pager.LogImage(right)
+		t.pager.LogImage(parent)
+		t.pager.Release(right)
+	}
+	return nil
+}
+
+// UnlinkEmptyLeaf is the shrink half of structure modification: if the leaf
+// owning key is empty (all rows purged), it is spliced out of the leaf chain
+// and its routing entry removed from the parent, under a mini-transaction
+// holding X PLocks on parent, left sibling and the leaf. The leftmost leaf
+// under a parent is never unlinked (its routing entry is the subtree's lower
+// bound), and the root leaf never shrinks away. Returns true if a leaf was
+// unlinked. The orphaned page is left to the page allocator (never reused,
+// like a freed extent awaiting truncation).
+func (t *Tree) UnlinkEmptyLeaf(key []byte) (bool, error) {
+	// Descend with S to find the parent of the leaf (level 1 page).
+	cur, err := t.pager.Acquire(t.anchor, lockfusion.ModeS)
+	if err != nil {
+		return false, err
+	}
+	for cur.Page.Type != page.TypeLeaf && cur.Page.Level != 1 {
+		child := cur.Page.ChildFor(key)
+		if child == common.InvalidPageID {
+			t.pager.Release(cur)
+			return false, fmt.Errorf("btree: space %d: broken routing: %w", t.space, common.ErrCorrupt)
+		}
+		next, err := t.pager.Acquire(child, lockfusion.ModeS)
+		if err != nil {
+			t.pager.Release(cur)
+			return false, err
+		}
+		t.pager.Release(cur)
+		cur = next
+	}
+	if cur.Page.Type == page.TypeLeaf {
+		// Height-1 tree: the root leaf is never unlinked.
+		t.pager.Release(cur)
+		return false, nil
+	}
+	parentID := cur.Page.ID
+	t.pager.Release(cur)
+
+	// Re-acquire the parent in X and locate the leaf and its left sibling
+	// under the lock (the structure may have changed since the descent).
+	parent, err := t.pager.Acquire(parentID, lockfusion.ModeX)
+	if err != nil {
+		return false, err
+	}
+	release := func(refs ...*Ref) {
+		for i := len(refs) - 1; i >= 0; i-- {
+			t.pager.Release(refs[i])
+		}
+	}
+	if parent.Page.Type != page.TypeInternal || parent.Page.Level != 1 {
+		release(parent)
+		return false, nil // structure changed: give up quietly
+	}
+	idx := routeIndex(parent.Page, key)
+	if idx <= 0 {
+		// Leftmost child (or no route): never unlinked.
+		release(parent)
+		return false, nil
+	}
+	leafID := page.ChildEntry(parent.Page.Rows[idx].Head())
+	leftID := page.ChildEntry(parent.Page.Rows[idx-1].Head())
+	// Lock order: left sibling before right (scan order), both after the
+	// parent (descent order).
+	left, err := t.pager.Acquire(leftID, lockfusion.ModeX)
+	if err != nil {
+		release(parent)
+		return false, err
+	}
+	leaf, err := t.pager.Acquire(leafID, lockfusion.ModeX)
+	if err != nil {
+		release(parent, left)
+		return false, err
+	}
+	if leaf.Page.Type != page.TypeLeaf || len(leaf.Page.Rows) != 0 ||
+		left.Page.Type != page.TypeLeaf || left.Page.Next != leafID {
+		release(parent, left, leaf)
+		return false, nil // raced with inserts or another SMO
+	}
+	left.Page.Next = leaf.Page.Next
+	parent.Page.Rows = append(parent.Page.Rows[:idx], parent.Page.Rows[idx+1:]...)
+	t.pager.LogImage(left)
+	t.pager.LogImage(parent)
+	t.pager.LogImage(leaf) // final (empty, unlinked) image for replay
+	release(parent, left, leaf)
+	return true, nil
+}
+
+// routeIndex returns the index of the routing entry ChildFor(key) uses.
+func routeIndex(p *page.Page, key []byte) int {
+	i, found := p.Search(key)
+	if found {
+		return i
+	}
+	return i - 1
+}
+
+// setRootLevelHint stores the root's level beside its pointer in the anchor.
+func setRootLevelHint(anchor *page.Page, level uint8) {
+	if len(anchor.Rows) == 0 {
+		return
+	}
+	head := anchor.Rows[0].Head()
+	head.Value = rootValue(page.ChildEntry(head), level)
+}
+
+// Height walks the leftmost spine and returns the tree height (leaf = 1);
+// a diagnostic helper for tests.
+func (t *Tree) Height() (int, error) {
+	cur, err := t.pager.Acquire(t.anchor, lockfusion.ModeS)
+	if err != nil {
+		return 0, err
+	}
+	h := 0
+	for {
+		child := cur.Page.ChildFor(nil)
+		if child == common.InvalidPageID && cur.Page.Type == page.TypeInternal && cur.Page.Level != anchorLevel {
+			t.pager.Release(cur)
+			return 0, fmt.Errorf("btree: empty internal page %d", cur.Page.ID)
+		}
+		if cur.Page.Type == page.TypeLeaf {
+			t.pager.Release(cur)
+			return h, nil
+		}
+		next, err := t.pager.Acquire(child, lockfusion.ModeS)
+		if err != nil {
+			t.pager.Release(cur)
+			return 0, err
+		}
+		t.pager.Release(cur)
+		cur = next
+		h++
+	}
+}

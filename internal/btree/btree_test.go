@@ -1,0 +1,447 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"polardbmp/internal/common"
+	"polardbmp/internal/lockfusion"
+	"polardbmp/internal/page"
+)
+
+// memPager is a minimal single-process Pager: per-page RWMutex standing in
+// for PLock+latch, pages in a map, logging counted but discarded.
+type memPager struct {
+	mu     sync.Mutex
+	pages  map[common.PageID]*page.Page
+	locks  map[common.PageID]*sync.RWMutex
+	nextID common.PageID
+	logged int
+}
+
+func newMemPager() *memPager {
+	return &memPager{
+		pages:  make(map[common.PageID]*page.Page),
+		locks:  make(map[common.PageID]*sync.RWMutex),
+		nextID: 1,
+	}
+}
+
+func (m *memPager) lockOf(id common.PageID) *sync.RWMutex {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l := m.locks[id]
+	if l == nil {
+		l = &sync.RWMutex{}
+		m.locks[id] = l
+	}
+	return l
+}
+
+func (m *memPager) Acquire(pg common.PageID, mode lockfusion.Mode) (*Ref, error) {
+	l := m.lockOf(pg)
+	if mode == lockfusion.ModeX {
+		l.Lock()
+	} else {
+		l.RLock()
+	}
+	m.mu.Lock()
+	p := m.pages[pg]
+	m.mu.Unlock()
+	if p == nil {
+		if mode == lockfusion.ModeX {
+			l.Unlock()
+		} else {
+			l.RUnlock()
+		}
+		return nil, fmt.Errorf("mempager: page %d: %w", pg, common.ErrNotFound)
+	}
+	return &Ref{Page: p, Mode: mode, Opaque: l}, nil
+}
+
+func (m *memPager) Release(ref *Ref) {
+	l := ref.Opaque.(*sync.RWMutex)
+	if ref.Mode == lockfusion.ModeX {
+		l.Unlock()
+	} else {
+		l.RUnlock()
+	}
+}
+
+func (m *memPager) AllocPage(space common.SpaceID, t page.Type, level uint8) (*Ref, error) {
+	m.mu.Lock()
+	id := m.nextID
+	m.nextID++
+	p := page.New(id, space, t)
+	p.Level = level
+	m.pages[id] = p
+	l := m.locks[id]
+	if l == nil {
+		l = &sync.RWMutex{}
+		m.locks[id] = l
+	}
+	m.mu.Unlock()
+	l.Lock()
+	return &Ref{Page: p, Mode: lockfusion.ModeX, Opaque: l}, nil
+}
+
+func (m *memPager) LogImage(ref *Ref) {
+	m.mu.Lock()
+	m.logged++
+	m.mu.Unlock()
+	ref.Page.LLSN++
+}
+
+func key(i int) []byte { return []byte(fmt.Sprintf("key-%08d", i)) }
+
+// insert puts a single-version row through the tree's public surface the
+// way the engine does: X leaf, split when full, insert.
+func insert(t *testing.T, tr *Tree, k, v []byte) {
+	t.Helper()
+	for attempt := 0; ; attempt++ {
+		if attempt > 50 {
+			t.Fatalf("insert %q: too many split retries", k)
+		}
+		ref, err := tr.LeafSafe(k, lockfusion.ModeX)
+		if err != nil {
+			t.Fatal(err)
+		}
+		need := len(k) + len(v) + 64
+		if ref.Page.SizeEstimate()+need > page.SplitThreshold {
+			tr.pager.Release(ref)
+			if err := tr.SplitFor(k, need); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		ref.Page.InsertVersion(k, page.Version{Value: append([]byte(nil), v...)})
+		tr.pager.Release(ref)
+		return
+	}
+}
+
+func newTree(t *testing.T) (*memPager, *Tree) {
+	t.Helper()
+	mp := newMemPager()
+	anchor, err := Create(mp, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mp, New(mp, 1, anchor)
+}
+
+func TestCreateAndEmptyLookup(t *testing.T) {
+	_, tr := newTree(t)
+	ref, err := tr.LeafSafe(key(1), lockfusion.ModeS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Page.Type != page.TypeLeaf || len(ref.Page.Rows) != 0 {
+		t.Fatalf("unexpected leaf: %+v", ref.Page)
+	}
+	tr.pager.Release(ref)
+	h, err := tr.Height()
+	if err != nil || h != 1 {
+		t.Fatalf("height = %d, %v", h, err)
+	}
+}
+
+func TestLeafModes(t *testing.T) {
+	_, tr := newTree(t)
+	for _, mode := range []lockfusion.Mode{lockfusion.ModeS, lockfusion.ModeX} {
+		ref, err := tr.LeafSafe(key(1), mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref.Mode != mode {
+			t.Fatalf("got mode %v want %v", ref.Mode, mode)
+		}
+		tr.pager.Release(ref)
+	}
+}
+
+func TestInsertAndSplitGrowth(t *testing.T) {
+	mp, tr := newTree(t)
+	const n = 3000
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, i := range perm {
+		insert(t, tr, key(i), bytes.Repeat([]byte("v"), 50))
+	}
+	// Every key findable.
+	for i := 0; i < n; i++ {
+		ref, err := tr.LeafSafe(key(i), lockfusion.ModeS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref.Page.Find(key(i)) == nil {
+			t.Fatalf("key %d missing", i)
+		}
+		tr.pager.Release(ref)
+	}
+	h, err := tr.Height()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h < 2 {
+		t.Fatalf("height %d after %d inserts (no internal levels?)", h, n)
+	}
+	if mp.logged == 0 {
+		t.Fatal("SMOs produced no image logs")
+	}
+}
+
+// TestLeafChainComplete walks the leaf chain and checks it covers every key
+// exactly once in order.
+func TestLeafChainComplete(t *testing.T) {
+	_, tr := newTree(t)
+	const n = 1500
+	for i := 0; i < n; i++ {
+		insert(t, tr, key(i), bytes.Repeat([]byte("x"), 40))
+	}
+	ref, err := tr.First(lockfusion.ModeS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last []byte
+	count := 0
+	for ref != nil {
+		for i := range ref.Page.Rows {
+			k := ref.Page.Rows[i].Key
+			if last != nil && bytes.Compare(k, last) <= 0 {
+				t.Fatalf("leaf chain out of order: %q after %q", k, last)
+			}
+			last = append(last[:0], k...)
+			count++
+		}
+		ref, err = tr.Next(ref, lockfusion.ModeS)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if count != n {
+		t.Fatalf("leaf chain has %d rows, want %d", count, n)
+	}
+}
+
+// TestRoutingInvariant checks, for every leaf row, that a fresh descent for
+// its key lands on the same leaf (routing and leaf contents agree).
+func TestRoutingInvariant(t *testing.T) {
+	_, tr := newTree(t)
+	const n = 1200
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < n; i++ {
+		insert(t, tr, key(rng.Intn(5000)), bytes.Repeat([]byte("y"), 60))
+	}
+	ref, err := tr.First(lockfusion.ModeS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type pair struct {
+		key  []byte
+		page common.PageID
+	}
+	var rows []pair
+	for ref != nil {
+		for i := range ref.Page.Rows {
+			rows = append(rows, pair{append([]byte(nil), ref.Page.Rows[i].Key...), ref.Page.ID})
+		}
+		ref, err = tr.Next(ref, lockfusion.ModeS)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		ref, err := tr.LeafSafe(r.key, lockfusion.ModeS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref.Page.ID != r.page {
+			t.Fatalf("descent for %q lands on page %d; leaf chain says %d", r.key, ref.Page.ID, r.page)
+		}
+		tr.pager.Release(ref)
+	}
+}
+
+func TestConcurrentInsertDisjointRanges(t *testing.T) {
+	_, tr := newTree(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				k := []byte(fmt.Sprintf("w%d-%06d", w, i))
+				for attempt := 0; ; attempt++ {
+					ref, err := tr.LeafSafe(k, lockfusion.ModeX)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if ref.Page.SizeEstimate()+100 > page.SplitThreshold {
+						tr.pager.Release(ref)
+						if err := tr.SplitFor(k, 100); err != nil {
+							errs <- err
+							return
+						}
+						continue
+					}
+					ref.Page.InsertVersion(k, page.Version{Value: []byte("v")})
+					tr.pager.Release(ref)
+					break
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// All 1200 rows present via chain walk.
+	ref, err := tr.First(lockfusion.ModeS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for ref != nil {
+		count += len(ref.Page.Rows)
+		ref, err = tr.Next(ref, lockfusion.ModeS)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if count != 1200 {
+		t.Fatalf("rows = %d, want 1200", count)
+	}
+}
+
+func TestSplitForNoopWhenRoomy(t *testing.T) {
+	mp, tr := newTree(t)
+	insert(t, tr, key(1), []byte("v"))
+	before := mp.logged
+	if err := tr.SplitFor(key(1), 100); err != nil {
+		t.Fatal(err)
+	}
+	if mp.logged != before {
+		t.Fatal("SplitFor logged images without splitting")
+	}
+}
+
+func TestOversizedSingleRowError(t *testing.T) {
+	_, tr := newTree(t)
+	// One row too large to ever split: SplitFor must error, not loop.
+	big := bytes.Repeat([]byte("z"), page.SplitThreshold)
+	ref, err := tr.LeafSafe(key(1), lockfusion.ModeX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Page.InsertVersion(key(1), page.Version{Value: big})
+	tr.pager.Release(ref)
+	if err := tr.SplitFor(key(1), 10); err == nil {
+		t.Fatal("SplitFor of an unsplittable page should error")
+	}
+}
+
+func TestUnlinkEmptyLeaf(t *testing.T) {
+	_, tr := newTree(t)
+	// Build a multi-leaf tree, then empty a middle leaf and unlink it.
+	const n = 800
+	for i := 0; i < n; i++ {
+		insert(t, tr, key(i), bytes.Repeat([]byte("v"), 60))
+	}
+	// Walk to a middle leaf and record its key range + neighbours.
+	ref, err := tr.First(lockfusion.ModeS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var leaves []common.PageID
+	var firstKeys [][]byte
+	for ref != nil {
+		leaves = append(leaves, ref.Page.ID)
+		firstKeys = append(firstKeys, append([]byte(nil), ref.Page.Rows[0].Key...))
+		ref, err = tr.Next(ref, lockfusion.ModeS)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(leaves) < 4 {
+		t.Skipf("only %d leaves; need 4+", len(leaves))
+	}
+	victimIdx := 2
+	victimKey := firstKeys[victimIdx]
+	// Empty the victim leaf in place.
+	vref, err := tr.LeafSafe(victimKey, lockfusion.ModeX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vref.Page.ID != leaves[victimIdx] {
+		t.Fatalf("descent found %d, want %d", vref.Page.ID, leaves[victimIdx])
+	}
+	removedRows := len(vref.Page.Rows)
+	vref.Page.Rows = nil
+	tr.pager.Release(vref)
+
+	unlinked, err := tr.UnlinkEmptyLeaf(victimKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !unlinked {
+		t.Fatal("empty leaf not unlinked")
+	}
+	// Chain skips the victim; count matches.
+	ref, err = tr.First(lockfusion.ModeS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for ref != nil {
+		if ref.Page.ID == leaves[victimIdx] {
+			t.Fatal("unlinked leaf still in chain")
+		}
+		count += len(ref.Page.Rows)
+		ref, err = tr.Next(ref, lockfusion.ModeS)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if count != n-removedRows {
+		t.Fatalf("rows after unlink = %d, want %d", count, n-removedRows)
+	}
+	// Keys from the removed range route to the left sibling and can be
+	// re-inserted.
+	insert(t, tr, victimKey, []byte("back"))
+	rref, err := tr.LeafSafe(victimKey, lockfusion.ModeS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rref.Page.Find(victimKey) == nil {
+		t.Fatal("re-inserted key not found")
+	}
+	tr.pager.Release(rref)
+}
+
+func TestUnlinkRefusesNonEmptyAndLeftmost(t *testing.T) {
+	_, tr := newTree(t)
+	for i := 0; i < 800; i++ {
+		insert(t, tr, key(i), bytes.Repeat([]byte("v"), 60))
+	}
+	// Non-empty leaf: refused.
+	if ok, err := tr.UnlinkEmptyLeaf(key(100)); err != nil || ok {
+		t.Fatalf("non-empty unlink = %v, %v", ok, err)
+	}
+	// Leftmost leaf (even when emptied): refused.
+	ref, err := tr.First(lockfusion.ModeX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := append([]byte(nil), ref.Page.Rows[0].Key...)
+	ref.Page.Rows = nil
+	tr.pager.Release(ref)
+	if ok, err := tr.UnlinkEmptyLeaf(first); err != nil || ok {
+		t.Fatalf("leftmost unlink = %v, %v", ok, err)
+	}
+}

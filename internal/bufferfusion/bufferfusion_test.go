@@ -1,0 +1,400 @@
+package bufferfusion
+
+import (
+	"fmt"
+	"testing"
+
+	"polardbmp/internal/common"
+	"polardbmp/internal/page"
+	"polardbmp/internal/rdma"
+	"polardbmp/internal/storage"
+)
+
+type bfCluster struct {
+	fabric *rdma.Fabric
+	store  *storage.Store
+	srv    *Server
+	lbp    []*Client
+}
+
+func newBFCluster(t testing.TB, nodes, dbpFrames, lbpFrames int) *bfCluster {
+	t.Helper()
+	fabric := rdma.NewFabric(rdma.Latency{})
+	store := storage.New(storage.Latency{})
+	srv := NewServer(fabric.Register(common.PMFSNode), fabric, store, dbpFrames)
+	c := &bfCluster{fabric: fabric, store: store, srv: srv}
+	for i := 0; i < nodes; i++ {
+		ep := fabric.Register(common.NodeID(i + 1))
+		c.lbp = append(c.lbp, NewClient(ep, fabric, store, lbpFrames))
+	}
+	return c
+}
+
+func makePage(id common.PageID, val string) *page.Page {
+	p := page.New(id, 1, page.TypeLeaf)
+	p.InsertVersion([]byte("k"), page.Version{Value: []byte(val)})
+	return p
+}
+
+func storePage(t testing.TB, s *storage.Store, p *page.Page) {
+	t.Helper()
+	img, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WritePage(p.ID, img); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGetFromStorageAndDBPRegistration(t *testing.T) {
+	c := newBFCluster(t, 2, 16, 16)
+	storePage(t, c.store, makePage(1, "v0"))
+
+	f, err := c.lbp[0].Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(f.Pg.Find([]byte("k")).Head().Value) != "v0" {
+		t.Fatal("wrong content from storage")
+	}
+	c.lbp[0].Unpin(f)
+	if !c.srv.Contains(1) {
+		t.Fatal("loaded page not registered in DBP")
+	}
+	if c.lbp[0].StorageReads.Load() != 1 {
+		t.Fatalf("storage reads = %d", c.lbp[0].StorageReads.Load())
+	}
+
+	// Node 2 must now get it from the DBP, not storage.
+	before := c.store.Stats().PageReads.Load()
+	f2, err := c.lbp[1].Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.lbp[1].Unpin(f2)
+	if c.store.Stats().PageReads.Load() != before {
+		t.Fatal("second node read from storage instead of DBP")
+	}
+	if c.lbp[1].DBPReads.Load() != 1 {
+		t.Fatalf("DBP reads = %d", c.lbp[1].DBPReads.Load())
+	}
+}
+
+func TestPushInvalidatesPeers(t *testing.T) {
+	c := newBFCluster(t, 2, 16, 16)
+	storePage(t, c.store, makePage(1, "v0"))
+
+	// Both nodes cache the page.
+	f1, _ := c.lbp[0].Get(1)
+	f2, _ := c.lbp[1].Get(1)
+	c.lbp[1].Unpin(f2)
+
+	// Node 1 modifies and pushes (engine would hold the X PLock here).
+	f1.Mu.Lock()
+	f1.Pg.InsertVersion([]byte("k"), page.Version{Value: []byte("v1")})
+	f1.Pg.LLSN = 2
+	f1.Dirty = true
+	if err := c.lbp[0].Push(f1); err != nil {
+		t.Fatal(err)
+	}
+	f1.Mu.Unlock()
+	c.lbp[0].Unpin(f1)
+
+	// Node 2's next Get must observe the invalidation and refresh.
+	f2b, err := c.lbp[1].Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(f2b.Pg.Find([]byte("k")).Head().Value); got != "v1" {
+		t.Fatalf("node 2 sees %q after push, want v1", got)
+	}
+	c.lbp[1].Unpin(f2b)
+	if c.lbp[1].Refreshes.Load() != 1 {
+		t.Fatalf("refreshes = %d", c.lbp[1].Refreshes.Load())
+	}
+	if c.srv.Invalidations.Load() != 1 {
+		t.Fatalf("invalidations = %d", c.srv.Invalidations.Load())
+	}
+	// Storage was never touched by the transfer.
+	if c.store.Stats().PageWrites.Load() != 1 { // only the initial storePage
+		t.Fatalf("page writes = %d", c.store.Stats().PageWrites.Load())
+	}
+}
+
+func TestNewPageAndPush(t *testing.T) {
+	c := newBFCluster(t, 2, 16, 16)
+	p := makePage(7, "fresh")
+	f, err := c.lbp[0].NewPage(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Mu.Lock()
+	if err := c.lbp[0].Push(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Mu.Unlock()
+	c.lbp[0].Unpin(f)
+	// Peer reads it from the DBP even though storage never saw it.
+	f2, err := c.lbp[1].Get(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(f2.Pg.Find([]byte("k")).Head().Value) != "fresh" {
+		t.Fatal("peer got wrong content")
+	}
+	c.lbp[1].Unpin(f2)
+	if c.store.Stats().PageReads.Load() != 0 {
+		t.Fatal("peer read storage for a DBP-resident page")
+	}
+}
+
+func TestDBPEvictionFlushesToStorage(t *testing.T) {
+	c := newBFCluster(t, 1, 4, 64)
+	// Create 8 pages through one node; DBP holds only 4.
+	for i := 1; i <= 8; i++ {
+		p := makePage(common.PageID(i), fmt.Sprintf("v%d", i))
+		f, err := c.lbp[0].NewPage(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Mu.Lock()
+		if err := c.lbp[0].Push(f); err != nil {
+			t.Fatal(err)
+		}
+		f.Mu.Unlock()
+		c.lbp[0].Unpin(f)
+	}
+	if c.srv.Len() > 4 {
+		t.Fatalf("DBP holds %d pages with 4 frames", c.srv.Len())
+	}
+	if c.srv.Evictions.Load() < 4 {
+		t.Fatalf("evictions = %d", c.srv.Evictions.Load())
+	}
+	// Evicted pages must be readable from storage.
+	for i := 1; i <= 4; i++ {
+		if !c.store.HasPage(common.PageID(i)) && !c.srv.Contains(common.PageID(i)) {
+			t.Fatalf("page %d lost", i)
+		}
+	}
+}
+
+func TestDroppedFlagFullRefetch(t *testing.T) {
+	c := newBFCluster(t, 1, 2, 16)
+	// Cache page 1, then flood the DBP so page 1 is evicted (dropped).
+	storePage(t, c.store, makePage(1, "v0"))
+	f, _ := c.lbp[0].Get(1)
+	c.lbp[0].Unpin(f)
+	for i := 2; i <= 5; i++ {
+		p := makePage(common.PageID(i), "x")
+		nf, err := c.lbp[0].NewPage(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nf.Mu.Lock()
+		c.lbp[0].Push(nf)
+		nf.Mu.Unlock()
+		c.lbp[0].Unpin(nf)
+	}
+	if c.srv.Contains(1) {
+		t.Skip("page 1 survived eviction; LRU kept it")
+	}
+	// Access after drop: full re-fetch (from storage) must succeed.
+	f2, err := c.lbp[0].Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(f2.Pg.Find([]byte("k")).Head().Value) != "v0" {
+		t.Fatal("refetched wrong content")
+	}
+	c.lbp[0].Unpin(f2)
+}
+
+func TestLBPEvictionPushesDirty(t *testing.T) {
+	c := newBFCluster(t, 1, 64, 2)
+	var frames []*Frame
+	for i := 1; i <= 2; i++ {
+		p := makePage(common.PageID(i), "d")
+		f, err := c.lbp[0].NewPage(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, f)
+	}
+	for _, f := range frames {
+		c.lbp[0].Unpin(f) // dirty, unpinned
+	}
+	// Installing a third page forces eviction of a dirty one -> DBP push.
+	storePage(t, c.store, makePage(3, "v3"))
+	f3, err := c.lbp[0].Get(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.lbp[0].Unpin(f3)
+	if c.lbp[0].Len() > 2 {
+		t.Fatalf("LBP len = %d", c.lbp[0].Len())
+	}
+	if !c.srv.Contains(1) && !c.srv.Contains(2) {
+		t.Fatal("evicted dirty page not pushed to DBP")
+	}
+}
+
+func TestFlushAllAndServerFlush(t *testing.T) {
+	c := newBFCluster(t, 1, 16, 16)
+	p := makePage(1, "dirty")
+	f, _ := c.lbp[0].NewPage(p)
+	c.lbp[0].Unpin(f)
+	if err := c.lbp[0].FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if !c.srv.Contains(1) {
+		t.Fatal("FlushAll did not push to DBP")
+	}
+	if err := c.srv.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if !c.store.HasPage(1) {
+		t.Fatal("server FlushAll did not reach storage")
+	}
+	img, _ := c.store.ReadPage(1)
+	q, err := page.Unmarshal(img)
+	if err != nil || string(q.Find([]byte("k")).Head().Value) != "dirty" {
+		t.Fatalf("storage content wrong: %v", err)
+	}
+}
+
+func TestServerResetSimulatesDBPLoss(t *testing.T) {
+	c := newBFCluster(t, 1, 16, 16)
+	storePage(t, c.store, makePage(1, "v0"))
+	f, _ := c.lbp[0].Get(1)
+	c.lbp[0].Unpin(f)
+	c.srv.Reset()
+	if c.srv.Contains(1) || c.srv.Len() != 0 {
+		t.Fatal("reset did not clear the DBP")
+	}
+}
+
+func TestConcurrentGetSinglePage(t *testing.T) {
+	c := newBFCluster(t, 1, 16, 16)
+	storePage(t, c.store, makePage(1, "v0"))
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			f, err := c.lbp[0].Get(1)
+			if err == nil {
+				c.lbp[0].Unpin(f)
+			}
+			done <- err
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The stampede must coalesce into one storage read.
+	if got := c.store.Stats().PageReads.Load(); got != 1 {
+		t.Fatalf("storage reads = %d, want 1", got)
+	}
+}
+
+func TestGetMissingPage(t *testing.T) {
+	c := newBFCluster(t, 1, 16, 16)
+	if _, err := c.lbp[0].Get(999); err == nil {
+		t.Fatal("get of missing page should fail")
+	}
+	// A failed load must not leave a poisoned frame behind.
+	if c.lbp[0].Len() != 0 {
+		t.Fatal("failed load left a frame")
+	}
+	storePage(t, c.store, makePage(999, "late"))
+	f, err := c.lbp[0].Get(999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.lbp[0].Unpin(f)
+}
+
+// --- storage-mode (log-ship baseline path) ----------------------------------
+
+func newStorageModeCluster(t testing.TB, nodes int) *bfCluster {
+	t.Helper()
+	fabric := rdma.NewFabric(rdma.Latency{})
+	store := storage.New(storage.Latency{})
+	srv := NewServerMode(fabric.Register(common.PMFSNode), fabric, store, 16, true)
+	c := &bfCluster{fabric: fabric, store: store, srv: srv}
+	for i := 0; i < nodes; i++ {
+		ep := fabric.Register(common.NodeID(i + 1))
+		cl := NewClient(ep, fabric, store, 16)
+		cl.SetStorageMode(true)
+		c.lbp = append(c.lbp, cl)
+	}
+	return c
+}
+
+func TestStorageModePushGoesToStorage(t *testing.T) {
+	c := newStorageModeCluster(t, 2)
+	p := makePage(1, "v1")
+	f, err := c.lbp[0].NewPage(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Mu.Lock()
+	if err := c.lbp[0].Push(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Mu.Unlock()
+	c.lbp[0].Unpin(f)
+	// The page image landed in shared storage, not a DBP frame.
+	if !c.store.HasPage(1) {
+		t.Fatal("push did not reach storage")
+	}
+	// A peer fetch reads storage (and pays the log-replay read).
+	reads := c.store.Stats().PageReads.Load()
+	logReads := c.store.Stats().LogReads.Load()
+	f2, err := c.lbp[1].Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(f2.Pg.Find([]byte("k")).Head().Value) != "v1" {
+		t.Fatal("peer read wrong content")
+	}
+	c.lbp[1].Unpin(f2)
+	if c.store.Stats().PageReads.Load() != reads+1 {
+		t.Fatal("peer fetch did not read storage")
+	}
+	if c.store.Stats().LogReads.Load() != logReads+1 {
+		t.Fatal("peer fetch did not charge the log-replay read")
+	}
+}
+
+func TestStorageModeInvalidationStillWorks(t *testing.T) {
+	c := newStorageModeCluster(t, 2)
+	storePage(t, c.store, makePage(1, "v0"))
+	f1, _ := c.lbp[0].Get(1)
+	c.lbp[0].Unpin(f1)
+	f2, _ := c.lbp[1].Get(1)
+	c.lbp[1].Unpin(f2)
+
+	// Node 1 updates and pushes through storage; node 2's copy must be
+	// invalidated and refreshed on next access.
+	f1b, _ := c.lbp[0].Get(1)
+	f1b.Mu.Lock()
+	f1b.Pg.InsertVersion([]byte("k"), page.Version{Value: []byte("v1")})
+	f1b.Pg.LLSN = 5
+	f1b.Dirty = true
+	if err := c.lbp[0].Push(f1b); err != nil {
+		t.Fatal(err)
+	}
+	f1b.Mu.Unlock()
+	c.lbp[0].Unpin(f1b)
+
+	f2b, err := c.lbp[1].Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(f2b.Pg.Find([]byte("k")).Head().Value); got != "v1" {
+		t.Fatalf("node 2 sees %q after storage-mode push", got)
+	}
+	c.lbp[1].Unpin(f2b)
+}

@@ -1,0 +1,488 @@
+package bufferfusion
+
+import (
+	"container/list"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"polardbmp/internal/common"
+	"polardbmp/internal/metrics"
+	"polardbmp/internal/page"
+	"polardbmp/internal/rdma"
+	"polardbmp/internal/storage"
+)
+
+// ForceLogFunc forces the node's redo log to durable storage at least up to
+// the records covering pg; the engine installs it so a dirty page never
+// reaches the DBP ahead of its log (§4.2: "before flushing a dirty page to
+// the DBP, PolarDB-MP also forces the corresponding logs to storage").
+type ForceLogFunc func(pg *page.Page)
+
+// Frame is one LBP slot: the decoded page, its coherence metadata (the
+// valid flag lives in the node's RegionInval at index idx; r_addr is the
+// page's DBP frame), and the local latch used by the engine.
+type Frame struct {
+	// Mu is the node-local page latch (intra-node concurrency; PLocks
+	// handle inter-node access).
+	Mu sync.RWMutex
+	// Pg is the cached page. Access under Mu.
+	Pg *page.Page
+	// Dirty marks local modifications not yet pushed to the DBP. Access
+	// under Mu.
+	Dirty bool
+
+	id       common.PageID
+	idx      uint32 // invalid-flag index in RegionInval
+	dbpFrame int    // r_addr: the page's DBP frame; -1 if unknown
+	pins     int
+	lruEl    *list.Element
+
+	// loading is closed once the initial fetch completes; loadErr is
+	// valid after that (the channel close is the happens-before edge).
+	loading chan struct{}
+	loadErr error
+}
+
+// ID returns the frame's page id.
+func (f *Frame) ID() common.PageID { return f.id }
+
+// Client is a node's local buffer pool (LBP) with Buffer Fusion coherence.
+type Client struct {
+	node        common.NodeID
+	fabric      *rdma.Fabric
+	inval       *rdma.Region
+	store       *storage.Store
+	capacity    int
+	forceLog    ForceLogFunc
+	storageMode bool
+	closed      atomic.Bool
+
+	mu     sync.Mutex
+	frames map[common.PageID]*Frame
+	lru    *list.List // *Frame, most-recent at back
+
+	// Stats for harnesses.
+	LocalHits    metrics.Counter
+	DBPReads     metrics.Counter
+	StorageReads metrics.Counter
+	PushesOut    metrics.Counter
+	Refreshes    metrics.Counter
+}
+
+// NewClient creates the node's LBP with the given frame capacity and
+// registers its invalid-flag region.
+func NewClient(ep *rdma.Endpoint, fabric *rdma.Fabric, store *storage.Store, capacity int) *Client {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Client{
+		node:     ep.Node(),
+		fabric:   fabric,
+		inval:    ep.RegisterRegion(RegionInval, capacity*8),
+		store:    store,
+		capacity: capacity,
+		frames:   make(map[common.PageID]*Frame),
+		lru:      list.New(),
+	}
+}
+
+// SetForceLog installs the engine's log-force hook (must be set before the
+// node serves traffic).
+func (c *Client) SetForceLog(f ForceLogFunc) { c.forceLog = f }
+
+// SetStorageMode switches the client to the log-ship baseline's page-sync
+// path: pushes write page images to shared storage, fetches read them back
+// (plus a log-read charge standing in for the replay Taurus-MM performs).
+func (c *Client) SetStorageMode(on bool) { c.storageMode = on }
+
+// Get returns the frame for pg, pinned. The caller must Unpin it. The
+// caller must already hold the page's PLock in a covering mode: PLock
+// ordering is what makes the valid-flag check race-free (a writer cannot
+// push a new version while we hold S).
+func (c *Client) Get(pg common.PageID) (*Frame, error) {
+	if c.closed.Load() {
+		return nil, fmt.Errorf("bufferfusion: node %d LBP: %w", c.node, common.ErrClosed)
+	}
+	c.mu.Lock()
+	f := c.frames[pg]
+	if f != nil {
+		f.pins++
+		c.lru.MoveToBack(f.lruEl)
+		c.mu.Unlock()
+		<-f.loading
+		if f.loadErr != nil {
+			c.Unpin(f)
+			return nil, f.loadErr
+		}
+		if err := c.ensureValid(f); err != nil {
+			c.Unpin(f)
+			return nil, err
+		}
+		return f, nil
+	}
+
+	// Install a placeholder so concurrent getters of the same page wait
+	// on one fetch instead of stampeding, and release c.mu across the
+	// fetch I/O.
+	if len(c.frames) >= c.capacity {
+		if err := c.evictOneLocked(); err != nil {
+			c.mu.Unlock()
+			return nil, err
+		}
+	}
+	f = &Frame{id: pg, idx: c.freeIdxLocked(), dbpFrame: -1, pins: 1, loading: make(chan struct{})}
+	f.lruEl = c.lru.PushBack(f)
+	c.frames[pg] = f
+	c.mu.Unlock()
+
+	// Mark valid before registering as a copy holder so no invalidation
+	// window is lost (the PLock held by our caller excludes real writers
+	// anyway; only DBP eviction races this, and the ID check below
+	// handles it).
+	if err := c.inval.LocalWrite64(int(f.idx)*8, flagValid); err != nil {
+		return nil, c.failLoad(f, err)
+	}
+	p, dbpFrame, err := c.fetch(pg, f.idx)
+	if err != nil {
+		return nil, c.failLoad(f, err)
+	}
+	f.Pg = p
+	f.dbpFrame = dbpFrame
+	close(f.loading)
+	return f, nil
+}
+
+// failLoad publishes a failed initial fetch and removes the placeholder.
+func (c *Client) failLoad(f *Frame, err error) error {
+	f.loadErr = err
+	close(f.loading)
+	c.mu.Lock()
+	if c.frames[f.id] == f {
+		delete(c.frames, f.id)
+		c.lru.Remove(f.lruEl)
+	}
+	f.pins--
+	c.mu.Unlock()
+	return err
+}
+
+// ensureValid checks the frame's invalid flag and refreshes the page from
+// the DBP (flag=stale) or re-fetches it entirely (flag=dropped).
+func (c *Client) ensureValid(f *Frame) error {
+	flag, err := c.inval.LocalRead64(int(f.idx) * 8)
+	if err != nil {
+		return err
+	}
+	if flag == flagValid {
+		return nil
+	}
+	f.Mu.Lock()
+	defer f.Mu.Unlock()
+	// Re-check under the latch; a concurrent getter may have refreshed.
+	flag, err = c.inval.LocalRead64(int(f.idx) * 8)
+	if err != nil {
+		return err
+	}
+	if flag == flagValid {
+		return nil
+	}
+	if f.Dirty {
+		panic(fmt.Sprintf("bufferfusion: node %d page %d invalidated while dirty (PLock protocol violation)",
+			c.node, f.id))
+	}
+	c.Refreshes.Inc()
+	if flag == flagStale && f.dbpFrame >= 0 && !c.storageMode {
+		if p, err := c.readDBPFrame(f.dbpFrame); err == nil && p.ID == f.id {
+			f.Pg = p
+			return c.inval.LocalWrite64(int(f.idx)*8, flagValid)
+		}
+		// Frame was recycled under us; fall through to a full fetch.
+	}
+	p, dbpFrame, err := c.fetch(f.id, f.idx)
+	if err != nil {
+		return err
+	}
+	f.Pg = p
+	f.dbpFrame = dbpFrame
+	return c.inval.LocalWrite64(int(f.idx)*8, flagValid)
+}
+
+// freeIdxLocked finds an unused invalid-flag index.
+func (c *Client) freeIdxLocked() uint32 {
+	used := make([]bool, c.capacity)
+	for _, f := range c.frames {
+		if int(f.idx) < len(used) {
+			used[f.idx] = true
+		}
+	}
+	for i, u := range used {
+		if !u {
+			return uint32(i)
+		}
+	}
+	panic("bufferfusion: no free invalid-flag index despite eviction")
+}
+
+// fetch implements the page-access path of §4.2: DBP lookup (registering
+// this node as a copy holder), one-sided read on hit; storage read then
+// register+push on miss.
+func (c *Client) fetch(pg common.PageID, invalIdx uint32) (*page.Page, int, error) {
+	resp, err := c.fabric.Call(common.PMFSNode, ServiceBuf, bufReq(opLookup, c.node, pg, 0, invalIdx))
+	if err != nil {
+		return nil, -1, err
+	}
+	if len(resp) >= 5 && resp[0] == 1 {
+		frame := int(binary.LittleEndian.Uint32(resp[1:]))
+		p, err := c.readDBPFrame(frame)
+		if err == nil && p.ID == pg {
+			c.DBPReads.Inc()
+			return p, frame, nil
+		}
+		// The frame was recycled between lookup and read; retry once
+		// via storage (the eviction wrote the page there).
+	}
+	c.StorageReads.Inc()
+	img, err := c.store.ReadPage(pg)
+	if err != nil {
+		return nil, -1, err
+	}
+	p, err := page.Unmarshal(img)
+	if err != nil {
+		return nil, -1, err
+	}
+	if c.storageMode {
+		// Log-ship model: obtaining the latest page costs the page
+		// read plus fetching and applying the newer log records
+		// (Taurus-MM's page-store + log-replay path, §2.3).
+		var replay [512]byte
+		_, _ = c.store.LogRead(c.node, c.store.LogStartLSN(c.node), replay[:])
+		return p, storagePseudoFrame, nil
+	}
+	// Register the loaded page into the DBP so peers can reach it without
+	// storage I/O.
+	frame, err := c.pushImage(p, invalIdx)
+	if err != nil {
+		return nil, -1, err
+	}
+	return p, frame, nil
+}
+
+func (c *Client) readDBPFrame(frame int) (*page.Page, error) {
+	buf := make([]byte, page.FrameSize)
+	if err := c.fabric.Read(common.PMFSNode, RegionDBP, frame*page.FrameSize, buf); err != nil {
+		return nil, err
+	}
+	n := imageLen(buf)
+	if n == 0 {
+		return nil, fmt.Errorf("bufferfusion: empty DBP frame %d: %w", frame, common.ErrNotFound)
+	}
+	return page.Unmarshal(buf[4:n])
+}
+
+// pushImage writes p into its (pinned) DBP frame and completes the push.
+func (c *Client) pushImage(p *page.Page, invalIdx uint32) (int, error) {
+	if c.closed.Load() {
+		// A zombie goroutine of a crashed node must never publish its
+		// stale pages over the restarted incarnation's recovery.
+		return -1, fmt.Errorf("bufferfusion: node %d LBP: %w", c.node, common.ErrClosed)
+	}
+	img, err := p.Marshal()
+	if err != nil {
+		return -1, err
+	}
+	if c.storageMode {
+		if err := c.store.WritePage(p.ID, img); err != nil {
+			return -1, err
+		}
+		if _, err := c.fabric.Call(common.PMFSNode, ServiceBuf,
+			bufReq(opPreparePush, c.node, p.ID, 0, invalIdx)); err != nil {
+			return -1, err
+		}
+		if _, err := c.fabric.Call(common.PMFSNode, ServiceBuf,
+			bufReq(opPushed, c.node, p.ID, storagePseudoFrame, invalIdx)); err != nil {
+			return -1, err
+		}
+		return storagePseudoFrame, nil
+	}
+	resp, err := c.fabric.Call(common.PMFSNode, ServiceBuf, bufReq(opPreparePush, c.node, p.ID, 0, invalIdx))
+	if err != nil {
+		return -1, err
+	}
+	if len(resp) < 5 || resp[0] != 1 {
+		return -1, fmt.Errorf("bufferfusion: prepare-push of page %d failed", p.ID)
+	}
+	frame := int(binary.LittleEndian.Uint32(resp[1:]))
+	buf := make([]byte, 4+len(img))
+	binary.LittleEndian.PutUint32(buf, uint32(len(img)))
+	copy(buf[4:], img)
+	if err := c.fabric.Write(common.PMFSNode, RegionDBP, frame*page.FrameSize, buf); err != nil {
+		return -1, err
+	}
+	if _, err := c.fabric.Call(common.PMFSNode, ServiceBuf,
+		bufReq(opPushed, c.node, p.ID, uint32(frame), invalIdx)); err != nil {
+		return -1, err
+	}
+	return frame, nil
+}
+
+// NewPage installs a freshly allocated page (engine-created, under X PLock)
+// as a dirty frame, pinned.
+func (c *Client) NewPage(p *page.Page) (*Frame, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.frames[p.ID] != nil {
+		return nil, fmt.Errorf("bufferfusion: page %d already cached", p.ID)
+	}
+	if len(c.frames) >= c.capacity {
+		if err := c.evictOneLocked(); err != nil {
+			return nil, err
+		}
+	}
+	idx := c.freeIdxLocked()
+	if err := c.inval.LocalWrite64(int(idx)*8, flagValid); err != nil {
+		return nil, err
+	}
+	f := &Frame{id: p.ID, idx: idx, dbpFrame: -1, Pg: p, Dirty: true, pins: 1,
+		loading: closedChan}
+	f.lruEl = c.lru.PushBack(f)
+	c.frames[p.ID] = f
+	return f, nil
+}
+
+// closedChan is a pre-closed channel for frames born fully loaded.
+var closedChan = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+// Unpin releases one pin.
+func (c *Client) Unpin(f *Frame) {
+	c.mu.Lock()
+	if f.pins <= 0 {
+		c.mu.Unlock()
+		panic("bufferfusion: unpin of unpinned frame")
+	}
+	f.pins--
+	c.mu.Unlock()
+}
+
+// Push flushes f to the DBP (forcing redo first through the engine hook) and
+// invalidates peer copies. Caller holds f.Mu and the page's X PLock.
+func (c *Client) Push(f *Frame) error {
+	if !f.Dirty {
+		return nil
+	}
+	if c.forceLog != nil {
+		c.forceLog(f.Pg)
+	}
+	frame, err := c.pushImage(f.Pg, f.idx)
+	if err != nil {
+		return err
+	}
+	f.dbpFrame = frame
+	f.Dirty = false
+	c.PushesOut.Inc()
+	return nil
+}
+
+// PushByID flushes the named page if it is cached and dirty (the PLock
+// revoke path: flush before the lock leaves the node).
+func (c *Client) PushByID(pg common.PageID) error {
+	c.mu.Lock()
+	f := c.frames[pg]
+	if f != nil {
+		f.pins++
+	}
+	c.mu.Unlock()
+	if f == nil {
+		return nil
+	}
+	defer c.Unpin(f)
+	f.Mu.Lock()
+	defer f.Mu.Unlock()
+	return c.Push(f)
+}
+
+// evictOneLocked evicts the coldest unpinned frame, pushing it first if
+// dirty (a page may leave the LBP only once it is in the DBP, §4.2).
+// Called with c.mu held; c.mu is held on return but released internally.
+func (c *Client) evictOneLocked() error {
+	for attempt := 0; attempt < 8; attempt++ {
+		// Pick a victim under the lock: coldest unpinned, fully loaded
+		// frame.
+		var victim *Frame
+		for el := c.lru.Front(); el != nil; el = el.Next() {
+			f := el.Value.(*Frame)
+			if f.pins == 0 {
+				victim = f
+				break
+			}
+		}
+		if victim == nil {
+			return fmt.Errorf("bufferfusion: node %d LBP full with all %d frames pinned",
+				c.node, c.capacity)
+		}
+		victim.pins++ // guard against concurrent eviction while we flush
+		c.mu.Unlock()
+		victim.Mu.Lock()
+		err := c.Push(victim)
+		victim.Mu.Unlock()
+		c.mu.Lock()
+		victim.pins--
+		if err != nil {
+			return err
+		}
+		if victim.pins > 0 || c.frames[victim.id] != victim {
+			continue // re-pinned or already gone; pick another victim
+		}
+		delete(c.frames, victim.id)
+		c.lru.Remove(victim.lruEl)
+		pg, idx := victim.id, victim.idx
+		c.mu.Unlock()
+		_, _ = c.fabric.Call(common.PMFSNode, ServiceBuf, bufReq(opUnregister, c.node, pg, 0, idx))
+		c.mu.Lock()
+		return nil
+	}
+	return fmt.Errorf("bufferfusion: node %d eviction livelock", c.node)
+}
+
+// FlushAll pushes every dirty frame (checkpoint / clean shutdown).
+func (c *Client) FlushAll() error {
+	c.mu.Lock()
+	var fs []*Frame
+	for _, f := range c.frames {
+		f.pins++
+		fs = append(fs, f)
+	}
+	c.mu.Unlock()
+	var firstErr error
+	for _, f := range fs {
+		f.Mu.Lock()
+		if err := c.Push(f); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		f.Mu.Unlock()
+		c.Unpin(f)
+	}
+	return firstErr
+}
+
+// Close fences the client after a node crash.
+func (c *Client) Close() { c.closed.Store(true) }
+
+// Len returns the number of cached frames.
+func (c *Client) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.frames)
+}
+
+// Contains reports whether pg is cached (tests).
+func (c *Client) Contains(pg common.PageID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.frames[pg] != nil
+}

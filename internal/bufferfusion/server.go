@@ -1,0 +1,391 @@
+// Package bufferfusion implements Buffer Fusion (§4.2): a distributed
+// buffer pool (DBP) in PMFS disaggregated shared memory plus per-node local
+// buffer pools (LBP) kept coherent through remote invalidation.
+//
+// Data pages move between nodes through the DBP: a node pushes a modified
+// page into a DBP frame with a one-sided RDMA write (after forcing its redo
+// to storage) and Buffer Fusion invalidates every other node's copy by
+// one-sided writes to their invalid flags; a node that later needs the page
+// pulls the frame with a one-sided read. Storage I/O happens only on a DBP
+// miss or background flush, which is the architectural difference from
+// log-replay designs like Taurus-MM (§2.3).
+package bufferfusion
+
+import (
+	"container/list"
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"polardbmp/internal/common"
+	"polardbmp/internal/metrics"
+	"polardbmp/internal/page"
+	"polardbmp/internal/rdma"
+	"polardbmp/internal/storage"
+)
+
+// Fabric names.
+const (
+	RegionDBP   = "pmfs.dbp"     // frame array on PMFS
+	RegionInval = "lbp.inval"    // per-node invalid-flag array
+	ServiceBuf  = "bufferfusion" // PMFS RPC service
+)
+
+// Invalid-flag word values (written remotely by PMFS).
+const (
+	flagValid   = 0 // local copy is current
+	flagStale   = 1 // newer version in the DBP: re-read via r_addr
+	flagDropped = 2 // page left the DBP: full re-fetch via RPC
+)
+
+// storagePseudoFrame marks a push that bypassed the DBP (storage mode).
+const storagePseudoFrame = 0x7FFFFFFF
+
+// RPC ops.
+const (
+	opLookup      = 1 // node, page -> found?, frame
+	opPreparePush = 2 // node, page -> frame (pinned)
+	opPushed      = 3 // node, page, frame -> ok (unpin, invalidate others)
+	opUnregister  = 4 // node, page
+)
+
+// Server is the PMFS side of Buffer Fusion: the DBP frames and the page
+// directory tracking, per page, its frame, the nodes holding copies, and the
+// addresses of their invalid flags (§4.2, Figure 4).
+type Server struct {
+	fabric      *rdma.Fabric
+	dbp         *rdma.Region
+	store       *storage.Store
+	frames      int
+	storageMode bool
+
+	mu   sync.Mutex
+	dir  map[common.PageID]*dirEntry
+	byFr []*dirEntry // frame -> entry (nil = free)
+	free []int
+	lru  *list.List // *dirEntry, most-recent at back
+
+	// Stats for the figure harnesses and ablations.
+	Hits          metrics.Counter
+	Misses        metrics.Counter
+	Pushes        metrics.Counter
+	Invalidations metrics.Counter
+	Evictions     metrics.Counter
+}
+
+type dirEntry struct {
+	page  common.PageID
+	frame int
+	pins  int
+	dirty bool // newer than the storage image
+	// copies: node -> invalid-flag index in that node's RegionInval.
+	copies map[common.NodeID]uint32
+	lruEl  *list.Element
+}
+
+// NewServerMode attaches Buffer Fusion with an explicit page-sync mode.
+// With storageMode=true the DBP is bypassed: pushes write the page image to
+// shared storage and fetches read it back, while the directory still tracks
+// copies for invalidation — the log-ship/page-store synchronization model of
+// Taurus-MM (§2.3), used by the baseline and the DBP ablation.
+func NewServerMode(ep *rdma.Endpoint, fabric *rdma.Fabric, store *storage.Store, frames int, storageMode bool) *Server {
+	s := NewServer(ep, fabric, store, frames)
+	s.storageMode = storageMode
+	return s
+}
+
+// NewServer attaches Buffer Fusion to the PMFS endpoint with the given
+// number of DBP frames.
+func NewServer(ep *rdma.Endpoint, fabric *rdma.Fabric, store *storage.Store, frames int) *Server {
+	if frames <= 0 {
+		frames = 4096
+	}
+	s := &Server{
+		fabric: fabric,
+		dbp:    ep.RegisterRegion(RegionDBP, frames*page.FrameSize),
+		store:  store,
+		frames: frames,
+		dir:    make(map[common.PageID]*dirEntry),
+		byFr:   make([]*dirEntry, frames),
+		lru:    list.New(),
+	}
+	s.free = make([]int, frames)
+	for i := range s.free {
+		s.free[i] = frames - 1 - i
+	}
+	ep.Serve(ServiceBuf, s.handle)
+	return s
+}
+
+func bufReq(op byte, node common.NodeID, pg common.PageID, frame uint32, aux uint32) []byte {
+	b := make([]byte, 19)
+	b[0] = op
+	binary.LittleEndian.PutUint16(b[1:], uint16(node))
+	binary.LittleEndian.PutUint64(b[3:], uint64(pg))
+	binary.LittleEndian.PutUint32(b[11:], frame)
+	binary.LittleEndian.PutUint32(b[15:], aux)
+	return b
+}
+
+func (s *Server) handle(req []byte) ([]byte, error) {
+	if len(req) < 19 {
+		return nil, common.ErrShortBuffer
+	}
+	node := common.NodeID(binary.LittleEndian.Uint16(req[1:]))
+	pg := common.PageID(binary.LittleEndian.Uint64(req[3:]))
+	frame := binary.LittleEndian.Uint32(req[11:])
+	aux := binary.LittleEndian.Uint32(req[15:])
+	switch req[0] {
+	case opLookup:
+		fr, ok := s.lookup(node, pg, aux)
+		resp := make([]byte, 5)
+		if ok {
+			resp[0] = 1
+			binary.LittleEndian.PutUint32(resp[1:], uint32(fr))
+		}
+		return resp, nil
+	case opPreparePush:
+		fr, err := s.preparePush(node, pg, aux)
+		if err != nil {
+			return nil, err
+		}
+		resp := make([]byte, 5)
+		resp[0] = 1
+		binary.LittleEndian.PutUint32(resp[1:], uint32(fr))
+		return resp, nil
+	case opPushed:
+		s.pushed(node, pg, int(frame))
+		return nil, nil
+	case opUnregister:
+		s.unregister(node, pg)
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("bufferfusion: unknown op %d", req[0])
+	}
+}
+
+// lookup registers node (with its invalid-flag index) as a copy holder and
+// returns the page's frame, if present.
+func (s *Server) lookup(node common.NodeID, pg common.PageID, invalIdx uint32) (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.dir[pg]
+	if e == nil {
+		if s.storageMode {
+			// Track the copy for future invalidation even though
+			// the data itself travels through storage.
+			e = &dirEntry{page: pg, frame: -1, copies: make(map[common.NodeID]uint32)}
+			e.lruEl = s.lru.PushBack(e)
+			s.dir[pg] = e
+			e.copies[node] = invalIdx
+		}
+		s.Misses.Inc()
+		return 0, false
+	}
+	e.copies[node] = invalIdx
+	s.lru.MoveToBack(e.lruEl)
+	if s.storageMode {
+		s.Misses.Inc()
+		return 0, false
+	}
+	s.Hits.Inc()
+	return e.frame, true
+}
+
+// preparePush pins (allocating if needed) the page's frame so the caller can
+// one-sided-write the image without racing eviction.
+func (s *Server) preparePush(node common.NodeID, pg common.PageID, invalIdx uint32) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.dir[pg]
+	if s.storageMode {
+		if e == nil {
+			e = &dirEntry{page: pg, frame: -1, copies: make(map[common.NodeID]uint32)}
+			e.lruEl = s.lru.PushBack(e)
+			s.dir[pg] = e
+		}
+		e.pins++
+		e.copies[node] = invalIdx
+		return storagePseudoFrame, nil
+	}
+	if e == nil {
+		fr, err := s.allocFrameLocked()
+		if err != nil {
+			return 0, err
+		}
+		e = &dirEntry{page: pg, frame: fr, copies: make(map[common.NodeID]uint32)}
+		e.lruEl = s.lru.PushBack(e)
+		s.dir[pg] = e
+		s.byFr[fr] = e
+	}
+	e.pins++
+	e.copies[node] = invalIdx
+	s.lru.MoveToBack(e.lruEl)
+	return e.frame, nil
+}
+
+// pushed completes a push: unpin, mark dirty, and remotely invalidate every
+// other node's copy through the stored invalid-flag addresses.
+func (s *Server) pushed(node common.NodeID, pg common.PageID, frame int) {
+	s.mu.Lock()
+	e := s.dir[pg]
+	if e == nil || (!s.storageMode && e.frame != frame) {
+		s.mu.Unlock()
+		return
+	}
+	if e.pins > 0 {
+		e.pins--
+	}
+	e.dirty = !s.storageMode
+	type target struct {
+		node common.NodeID
+		idx  uint32
+	}
+	var targets []target
+	for n, idx := range e.copies {
+		if n != node {
+			targets = append(targets, target{n, idx})
+		}
+	}
+	s.mu.Unlock()
+	s.Pushes.Inc()
+	for _, t := range targets {
+		s.Invalidations.Inc()
+		_ = s.fabric.Write64(t.node, RegionInval, int(t.idx)*8, flagStale)
+	}
+}
+
+func (s *Server) unregister(node common.NodeID, pg common.PageID) {
+	s.mu.Lock()
+	if e := s.dir[pg]; e != nil {
+		delete(e.copies, node)
+	}
+	s.mu.Unlock()
+}
+
+// allocFrameLocked returns a free frame, evicting the coldest unpinned page
+// if necessary (its image goes to storage first; its redo was already forced
+// before the push, per §4.2).
+func (s *Server) allocFrameLocked() (int, error) {
+	if n := len(s.free); n > 0 {
+		fr := s.free[n-1]
+		s.free = s.free[:n-1]
+		return fr, nil
+	}
+	for el := s.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*dirEntry)
+		if e.pins > 0 {
+			continue
+		}
+		s.evictLocked(e)
+		return e.frame, nil
+	}
+	return 0, fmt.Errorf("bufferfusion: all %d DBP frames pinned", s.frames)
+}
+
+// evictLocked removes e from the directory, flushing its image to storage if
+// dirty and notifying copy holders that the page left the DBP.
+func (s *Server) evictLocked(e *dirEntry) {
+	s.Evictions.Inc()
+	if e.dirty {
+		img := make([]byte, page.FrameSize)
+		if err := s.dbp.LocalRead(e.frame*page.FrameSize, img); err == nil {
+			if n := imageLen(img); n > 0 {
+				_ = s.store.WritePage(e.page, img[4:n])
+			}
+		}
+	}
+	for n, idx := range e.copies {
+		_ = s.fabric.Write64(n, RegionInval, int(idx)*8, flagDropped)
+	}
+	delete(s.dir, e.page)
+	s.byFr[e.frame] = nil
+	s.lru.Remove(e.lruEl)
+}
+
+// imageLen returns the end offset (including the 4-byte length prefix) of
+// the page image at the front of a frame, or 0 if the frame doesn't hold a
+// valid image. Frame layout: pages are written with a 4-byte length prefix
+// by the LBP client; the image itself is frame[4:imageLen].
+func imageLen(frame []byte) int {
+	if len(frame) < 4 {
+		return 0
+	}
+	n := int(binary.LittleEndian.Uint32(frame))
+	if n <= 0 || n+4 > len(frame) {
+		return 0
+	}
+	return n + 4
+}
+
+// FlushAll writes every dirty DBP page to storage (checkpoint support).
+func (s *Server) FlushAll() error {
+	s.mu.Lock()
+	var entries []*dirEntry
+	for _, e := range s.dir {
+		if e.dirty {
+			entries = append(entries, e)
+		}
+	}
+	s.mu.Unlock()
+	for _, e := range entries {
+		img := make([]byte, page.FrameSize)
+		s.mu.Lock()
+		cur := s.dir[e.page]
+		if cur != e {
+			s.mu.Unlock()
+			continue
+		}
+		err := s.dbp.LocalRead(e.frame*page.FrameSize, img)
+		e.dirty = false
+		s.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		if n := imageLen(img); n > 0 {
+			if err := s.store.WritePage(e.page, img[4:n]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// DropNode removes node from every page's copy set (crash cleanup). The DBP
+// content itself survives: that is what makes node restarts fast (§5.5).
+func (s *Server) DropNode(node uint16) {
+	n := common.NodeID(node)
+	s.mu.Lock()
+	for _, e := range s.dir {
+		delete(e.copies, n)
+	}
+	s.mu.Unlock()
+}
+
+// Reset discards all DBP state (full-cluster crash simulation: disaggregated
+// memory is volatile; only storage survives).
+func (s *Server) Reset() {
+	s.mu.Lock()
+	s.dir = make(map[common.PageID]*dirEntry)
+	s.byFr = make([]*dirEntry, s.frames)
+	s.free = s.free[:0]
+	for i := s.frames - 1; i >= 0; i-- {
+		s.free = append(s.free, i)
+	}
+	s.lru.Init()
+	s.mu.Unlock()
+}
+
+// Contains reports whether the DBP currently holds pg (tests).
+func (s *Server) Contains(pg common.PageID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dir[pg] != nil
+}
+
+// Len returns the number of pages resident in the DBP.
+func (s *Server) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.dir)
+}

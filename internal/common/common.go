@@ -1,0 +1,128 @@
+// Package common holds identifiers, constants and binary helpers shared by
+// every polardbmp subsystem. It sits at the bottom of the import graph and
+// must not import any other internal package.
+package common
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// NodeID identifies a primary node in the cluster. PMFS itself uses the
+// reserved id PMFSNode.
+type NodeID uint16
+
+// PMFSNode is the fabric address of the Polar Multi-Primary Fusion Server.
+const PMFSNode NodeID = 0xFFFF
+
+// PageID identifies a page in the shared storage / buffer pools. Pages are
+// allocated from a cluster-wide counter kept on shared storage so that ids
+// never collide across nodes.
+type PageID uint64
+
+// InvalidPageID marks "no page" (e.g. an absent child or overflow pointer).
+const InvalidPageID PageID = 0
+
+// SpaceID identifies a tablespace (one B-tree index: a table's primary index
+// or one of its secondary indexes).
+type SpaceID uint32
+
+// TrxID is a node-local transaction id. It is unique and monotonically
+// increasing within one node's lifetime (it restarts from a persisted high
+// watermark after recovery).
+type TrxID uint64
+
+// CSN is a commit sequence number (the paper's CTS — commit timestamp)
+// drawn from the global Timestamp Oracle.
+type CSN uint64
+
+const (
+	// CSNInit is the initial CTS of a transaction / row version: the
+	// transaction has not committed (or the row's CTS was never stamped).
+	CSNInit CSN = 0
+	// CSNMin indicates "visible to every snapshot" (the owning TIT slot
+	// was recycled, which only happens once the transaction's changes are
+	// visible to all active views).
+	CSNMin CSN = 1
+	// CSNMax indicates "visible to no snapshot except the owner" (the
+	// owning transaction is still active).
+	CSNMax CSN = ^CSN(0)
+)
+
+// LLSN is the logical log sequence number of §4.4: a node-local counter that
+// establishes a partial order across nodes such that all redo records for
+// one page are ordered by LLSN in generation order.
+type LLSN uint64
+
+// LSN is a node-local physical log sequence number; it doubles as the byte
+// offset of a record within that node's redo log file.
+type LSN uint64
+
+// GTrxID is the global transaction id of §4.1: {node_id, trx_id, slot_id,
+// version}. With it, any node can locate the owning TIT slot (local or via a
+// one-sided RDMA read) and decide the transaction's state.
+type GTrxID struct {
+	Node    NodeID
+	Trx     TrxID
+	Slot    uint32
+	Version uint32
+}
+
+// GTrxIDSize is the marshaled size of a GTrxID.
+const GTrxIDSize = 2 + 8 + 4 + 4
+
+// Zero reports whether g is the zero id (no transaction).
+func (g GTrxID) Zero() bool { return g == GTrxID{} }
+
+func (g GTrxID) String() string {
+	return fmt.Sprintf("g{n%d t%d s%d v%d}", g.Node, g.Trx, g.Slot, g.Version)
+}
+
+// Marshal appends the binary form of g to b.
+func (g GTrxID) Marshal(b []byte) []byte {
+	b = binary.LittleEndian.AppendUint16(b, uint16(g.Node))
+	b = binary.LittleEndian.AppendUint64(b, uint64(g.Trx))
+	b = binary.LittleEndian.AppendUint32(b, g.Slot)
+	b = binary.LittleEndian.AppendUint32(b, g.Version)
+	return b
+}
+
+// UnmarshalGTrxID decodes a GTrxID from the front of b and returns the rest.
+func UnmarshalGTrxID(b []byte) (GTrxID, []byte, error) {
+	if len(b) < GTrxIDSize {
+		return GTrxID{}, b, ErrShortBuffer
+	}
+	g := GTrxID{
+		Node:    NodeID(binary.LittleEndian.Uint16(b)),
+		Trx:     TrxID(binary.LittleEndian.Uint64(b[2:])),
+		Slot:    binary.LittleEndian.Uint32(b[10:]),
+		Version: binary.LittleEndian.Uint32(b[14:]),
+	}
+	return g, b[GTrxIDSize:], nil
+}
+
+// Shared error values. Subsystems wrap these with context; callers test with
+// errors.Is.
+var (
+	ErrShortBuffer   = errors.New("polardbmp: short buffer")
+	ErrCorrupt       = errors.New("polardbmp: corrupt data")
+	ErrNodeDown      = errors.New("polardbmp: node is down")
+	ErrNotFound      = errors.New("polardbmp: not found")
+	ErrKeyExists     = errors.New("polardbmp: key already exists")
+	ErrDeadlock      = errors.New("polardbmp: deadlock detected")
+	ErrFenced        = errors.New("polardbmp: page fenced by crashed node")
+	ErrLockTimeout   = errors.New("polardbmp: lock wait timeout")
+	ErrWriteConflict = errors.New("polardbmp: write conflict") // OCC baseline abort
+	ErrTxDone        = errors.New("polardbmp: transaction already finished")
+	ErrClosed        = errors.New("polardbmp: closed")
+	ErrReadOnly      = errors.New("polardbmp: read-only transaction")
+)
+
+// IsRetryable reports whether err represents a transient transaction failure
+// the application is expected to retry (deadlock / OCC conflict / lock
+// timeout), matching how Aurora-MM surfaces write conflicts (§2.3).
+func IsRetryable(err error) bool {
+	return errors.Is(err, ErrDeadlock) || errors.Is(err, ErrWriteConflict) ||
+		errors.Is(err, ErrLockTimeout) || errors.Is(err, ErrFenced)
+}

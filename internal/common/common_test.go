@@ -1,0 +1,84 @@
+package common
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestGTrxIDRoundTrip(t *testing.T) {
+	g := GTrxID{Node: 3, Trx: 987654321, Slot: 42, Version: 7}
+	b := g.Marshal(nil)
+	if len(b) != GTrxIDSize {
+		t.Fatalf("marshaled size = %d, want %d", len(b), GTrxIDSize)
+	}
+	got, rest, err := UnmarshalGTrxID(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != g {
+		t.Fatalf("round trip: got %v want %v", got, g)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("rest = %d bytes, want 0", len(rest))
+	}
+}
+
+func TestGTrxIDRoundTripProperty(t *testing.T) {
+	f := func(node uint16, trx uint64, slot, ver uint32) bool {
+		g := GTrxID{Node: NodeID(node), Trx: TrxID(trx), Slot: slot, Version: ver}
+		got, _, err := UnmarshalGTrxID(g.Marshal(nil))
+		return err == nil && got == g
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGTrxIDMarshalAppends(t *testing.T) {
+	prefix := []byte{0xAA, 0xBB}
+	g := GTrxID{Node: 1, Trx: 2, Slot: 3, Version: 4}
+	b := g.Marshal(prefix)
+	if len(b) != 2+GTrxIDSize {
+		t.Fatalf("len = %d", len(b))
+	}
+	got, _, err := UnmarshalGTrxID(b[2:])
+	if err != nil || got != g {
+		t.Fatalf("got %v err %v", got, err)
+	}
+}
+
+func TestUnmarshalGTrxIDShort(t *testing.T) {
+	_, _, err := UnmarshalGTrxID(make([]byte, GTrxIDSize-1))
+	if !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("err = %v, want ErrShortBuffer", err)
+	}
+}
+
+func TestGTrxIDZero(t *testing.T) {
+	if !(GTrxID{}).Zero() {
+		t.Fatal("zero value not Zero()")
+	}
+	if (GTrxID{Node: 1}).Zero() {
+		t.Fatal("non-zero value is Zero()")
+	}
+}
+
+func TestIsRetryable(t *testing.T) {
+	for _, err := range []error{ErrDeadlock, ErrWriteConflict, ErrLockTimeout} {
+		if !IsRetryable(err) {
+			t.Errorf("%v should be retryable", err)
+		}
+	}
+	for _, err := range []error{ErrNotFound, ErrCorrupt, ErrNodeDown, nil} {
+		if IsRetryable(err) {
+			t.Errorf("%v should not be retryable", err)
+		}
+	}
+}
+
+func TestCSNSentinelOrdering(t *testing.T) {
+	if !(CSNInit < CSNMin && CSNMin < CSNMax) {
+		t.Fatal("CSN sentinels must order Init < Min < Max")
+	}
+}

@@ -1,0 +1,437 @@
+// Package core assembles PolarDB-MP: a multi-primary cluster of full
+// database nodes over disaggregated shared memory (PMFS: Transaction Fusion,
+// Buffer Fusion, Lock Fusion) and disaggregated shared storage, exactly as
+// Figure 2 of the paper lays it out.
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"polardbmp/internal/bufferfusion"
+	"polardbmp/internal/common"
+	"polardbmp/internal/lockfusion"
+	"polardbmp/internal/rdma"
+	"polardbmp/internal/storage"
+	"polardbmp/internal/txfusion"
+)
+
+// Config tunes a cluster. The zero value is a sensible test-scale cluster;
+// DefaultConfig returns benchmark-scale defaults with realistic storage
+// latency.
+type Config struct {
+	// LBPFrames is each node's local buffer pool capacity in pages.
+	LBPFrames int
+	// DBPFrames is the distributed buffer pool capacity in pages.
+	DBPFrames int
+	// TITSlots sizes each node's transaction information table.
+	TITSlots int
+	// StorageLatency injects shared-storage I/O delays.
+	StorageLatency storage.Latency
+	// FabricLatency injects RDMA verb delays.
+	FabricLatency rdma.Latency
+	// LockWaitTimeout bounds RLock waits (backstop behind deadlock
+	// detection). Default 2s.
+	LockWaitTimeout time.Duration
+	// RecycleInterval is the background TIT-recycle / min-view report
+	// period. Default 20ms; negative disables the background thread
+	// (tests drive recycling explicitly).
+	RecycleInterval time.Duration
+	// PurgeInterval is the background version-purge period (the MVCC
+	// vacuum). Zero disables it; purge still runs inline when pages fill.
+	PurgeInterval time.Duration
+
+	// Ablation switches (all default off = paper design).
+	DisableLazyPLock bool // §4.3.1 lazy release off
+	DisableLamport   bool // §4.1 Linear Lamport timestamp reuse off
+	DisableCTSStamp  bool // §4.1 commit-time row CTS stamping off
+	// StoragePageSync replaces Buffer Fusion's DBP transfer with the
+	// page-store + log-replay synchronization of Taurus-MM (§2.3): the
+	// log-ship baseline and the DBP ablation.
+	StoragePageSync bool
+}
+
+func (c *Config) fill() {
+	if c.LBPFrames <= 0 {
+		c.LBPFrames = 2048
+	}
+	if c.DBPFrames <= 0 {
+		c.DBPFrames = 8192
+	}
+	if c.TITSlots <= 0 {
+		// Sized for sustained throughput: slots are recycled only as the
+		// global minimum view advances (once per RecycleInterval per
+		// node), so the table must absorb RecycleInterval's worth of
+		// write transactions with margin.
+		c.TITSlots = 32768
+	}
+	if c.LockWaitTimeout <= 0 {
+		c.LockWaitTimeout = 2 * time.Second
+	}
+	if c.RecycleInterval == 0 {
+		c.RecycleInterval = 5 * time.Millisecond
+	}
+}
+
+// DefaultConfig returns benchmark defaults: realistic storage latency and
+// production-shaped pool sizes (scaled to a single machine).
+func DefaultConfig() Config {
+	return Config{
+		LBPFrames:      4096,
+		DBPFrames:      16384,
+		StorageLatency: storage.DefaultLatency(),
+	}
+}
+
+// Cluster is a PolarDB-MP deployment: shared storage, PMFS, and N primary
+// nodes.
+type Cluster struct {
+	cfg    Config
+	fabric *rdma.Fabric
+	store  *storage.Store
+
+	txSrv   *txfusion.Server
+	lockSrv *lockfusion.Server
+	bufSrv  *bufferfusion.Server
+
+	mu       sync.Mutex
+	nodes    map[common.NodeID]*Node
+	nextNode common.NodeID
+	spaceMu  sync.Mutex // serializes space-directory read-modify-write
+}
+
+// NewCluster builds the shared substrate (storage + PMFS) with no nodes.
+func NewCluster(cfg Config) *Cluster {
+	cfg.fill()
+	return NewClusterWithStore(cfg, storage.New(cfg.StorageLatency))
+}
+
+// NewClusterWithStore builds a cluster over an existing shared store — a
+// recovered store, or a promoted standby replica (§3's cross-region HA).
+func NewClusterWithStore(cfg Config, store *storage.Store) *Cluster {
+	cfg.fill()
+	c := &Cluster{
+		cfg:      cfg,
+		fabric:   rdma.NewFabric(cfg.FabricLatency),
+		nodes:    make(map[common.NodeID]*Node),
+		nextNode: 1,
+	}
+	c.store = store
+	c.startPMFS()
+	return c
+}
+
+// startPMFS registers the PMFS endpoint and its three fusion services.
+func (c *Cluster) startPMFS() {
+	ep := c.fabric.Register(common.PMFSNode)
+	c.txSrv = txfusion.NewServer(ep, c.fabric)
+	c.lockSrv = lockfusion.NewServer(ep, c.fabric)
+	c.bufSrv = bufferfusion.NewServerMode(ep, c.fabric, c.store, c.cfg.DBPFrames, c.cfg.StoragePageSync)
+}
+
+// Store exposes the shared storage (harness/inspection).
+func (c *Cluster) Store() *storage.Store { return c.store }
+
+// Fabric exposes the RDMA fabric (harness/inspection).
+func (c *Cluster) Fabric() *rdma.Fabric { return c.fabric }
+
+// BufferServer exposes Buffer Fusion stats (harness/inspection).
+func (c *Cluster) BufferServer() *bufferfusion.Server { return c.bufSrv }
+
+// LockServer exposes Lock Fusion stats (harness/inspection).
+func (c *Cluster) LockServer() *lockfusion.Server { return c.lockSrv }
+
+// AddNode brings up a fresh primary node and returns it.
+func (c *Cluster) AddNode() (*Node, error) {
+	c.mu.Lock()
+	id := c.nextNode
+	c.nextNode++
+	c.mu.Unlock()
+	n, err := c.newNode(id, false)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.nodes[id] = n
+	c.mu.Unlock()
+	return n, nil
+}
+
+// Node returns the i-th (1-based) node, or nil if it is down.
+func (c *Cluster) Node(i int) *Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nodes[common.NodeID(i)]
+}
+
+// Nodes returns the live nodes in id order.
+func (c *Cluster) Nodes() []*Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Node, 0, len(c.nodes))
+	for id := common.NodeID(1); id < c.nextNode; id++ {
+		if n := c.nodes[id]; n != nil {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// CrashNode simulates a fail-stop crash of node id: its volatile state
+// (LBP, TIT, un-synced log tail) is lost; its PLocks remain as a fence until
+// recovery (§4.4). Foreign transactions blocked on its row locks are woken
+// to retry.
+func (c *Cluster) CrashNode(id common.NodeID) {
+	c.mu.Lock()
+	n := c.nodes[id]
+	delete(c.nodes, id)
+	c.mu.Unlock()
+	if n == nil {
+		return
+	}
+	n.crash()
+	c.store.LogCrashVolatile(id)
+	c.lockSrv.PLock.MarkDead(id)
+	c.lockSrv.DropNodeRLock(uint16(id))
+	c.bufSrv.DropNode(uint16(id))
+	c.removeMinView(id)
+}
+
+// removeMinView drops a crashed node from the min-view aggregation.
+func (c *Cluster) removeMinView(id common.NodeID) {
+	req := make([]byte, 3)
+	req[0] = 2 // opRemoveNode
+	binary.LittleEndian.PutUint16(req[1:], uint16(id))
+	_, _ = c.fabric.Call(common.PMFSNode, txfusion.ServiceTxF, req)
+}
+
+// RestartNode brings a crashed node back: it replays its own redo log
+// (mostly against pages still in the DBP, §5.5), rolls back its pre-crash
+// uncommitted transactions, lifts its PLock fence, and rejoins.
+func (c *Cluster) RestartNode(id common.NodeID) (*Node, error) {
+	c.mu.Lock()
+	if c.nodes[id] != nil {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("core: node %d is still live", id)
+	}
+	c.mu.Unlock()
+	n, err := c.newNode(id, true)
+	if err != nil {
+		return nil, err
+	}
+	if err := n.recoverSelf(); err != nil {
+		return nil, fmt.Errorf("core: node %d recovery: %w", id, err)
+	}
+	c.mu.Lock()
+	c.nodes[id] = n
+	if id >= c.nextNode {
+		c.nextNode = id + 1
+	}
+	c.mu.Unlock()
+	return n, nil
+}
+
+// CrashAll simulates a full-cluster failure including PMFS: every node's
+// volatile state and the disaggregated memory (DBP, TSO, lock tables) are
+// lost; only shared storage survives. Use RecoverCluster + AddNode to come
+// back.
+func (c *Cluster) CrashAll() {
+	c.mu.Lock()
+	nodes := make([]*Node, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		nodes = append(nodes, n)
+	}
+	c.nodes = make(map[common.NodeID]*Node)
+	c.nextNode = 1
+	c.mu.Unlock()
+	for _, n := range nodes {
+		n.crash()
+		c.store.LogCrashVolatile(n.id)
+	}
+	// PMFS dies too: rebuild it empty over the same fabric ids.
+	c.bufSrv.Reset()
+	for _, n := range nodes {
+		c.lockSrv.DropNode(uint16(n.id))
+		c.removeMinView(n.id)
+	}
+	c.txSrv.SetTSO(common.CSNMin)
+}
+
+// Stats is a cluster-wide counter snapshot for operators and harnesses.
+type Stats struct {
+	Commits          int64
+	Aborts           int64
+	Deadlocks        int64
+	FabricReads      int64
+	FabricWrites     int64
+	FabricAtomics    int64
+	FabricRPCs       int64
+	StoragePageReads int64
+	StorageLogSyncs  int64
+	DBPResident      int
+	PLockNegotiate   int64
+	RLockWaits       int64
+	RLockDeadlocks   int64
+}
+
+// Stats aggregates engine counters across nodes and PMFS.
+func (c *Cluster) Stats() Stats {
+	var s Stats
+	for _, n := range c.Nodes() {
+		s.Commits += n.Commits.Load()
+		s.Aborts += n.Aborts.Load()
+		s.Deadlocks += n.Deadlocks.Load()
+	}
+	s.FabricReads, s.FabricWrites, s.FabricAtomics, s.FabricRPCs = c.fabric.Stats().Snapshot()
+	s.StoragePageReads = c.store.Stats().PageReads.Load()
+	s.StorageLogSyncs = c.store.Stats().LogSyncs.Load()
+	s.DBPResident = c.bufSrv.Len()
+	s.PLockNegotiate = c.lockSrv.PLock.Negotiations.Load()
+	s.RLockWaits = c.lockSrv.RLock.Waits.Load()
+	s.RLockDeadlocks = c.lockSrv.RLock.Deadlocks.Load()
+	return s
+}
+
+// Checkpoint flushes every LBP and the DBP to shared storage and truncates
+// all redo streams. The cluster must be quiesced (no active transactions):
+// truncation would otherwise discard undo information of in-flight work.
+func (c *Cluster) Checkpoint() error {
+	for _, n := range c.Nodes() {
+		if a := n.activeTx.Load(); a != 0 {
+			return fmt.Errorf("core: checkpoint with %d active transactions on node %d", a, n.id)
+		}
+	}
+	for _, n := range c.Nodes() {
+		if err := n.lbp.FlushAll(); err != nil {
+			return err
+		}
+	}
+	if err := c.bufSrv.FlushAll(); err != nil {
+		return err
+	}
+	for _, n := range c.Nodes() {
+		n.wal.Sync(n.wal.End())
+		c.store.LogTruncate(n.id, n.wal.Durable())
+	}
+	return nil
+}
+
+// Close shuts down all nodes (flushing buffers) without simulating a crash.
+func (c *Cluster) Close() {
+	for _, n := range c.Nodes() {
+		n.stopBackground()
+		_ = n.lbp.FlushAll()
+	}
+	_ = c.bufSrv.FlushAll()
+}
+
+// --- space directory --------------------------------------------------------
+
+const spaceDirKey = "spacedir"
+
+type spaceInfo struct {
+	Name   string
+	Space  common.SpaceID
+	Anchor common.PageID
+}
+
+func decodeSpaceDir(b []byte) []spaceInfo {
+	var out []spaceInfo
+	for len(b) >= 4 {
+		nameLen := int(binary.LittleEndian.Uint32(b))
+		b = b[4:]
+		if len(b) < nameLen+12 {
+			break
+		}
+		si := spaceInfo{
+			Name:   string(b[:nameLen]),
+			Space:  common.SpaceID(binary.LittleEndian.Uint32(b[nameLen:])),
+			Anchor: common.PageID(binary.LittleEndian.Uint64(b[nameLen+4:])),
+		}
+		b = b[nameLen+12:]
+		out = append(out, si)
+	}
+	return out
+}
+
+func encodeSpaceDir(dir []spaceInfo) []byte {
+	var b []byte
+	for _, si := range dir {
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(si.Name)))
+		b = append(b, si.Name...)
+		b = binary.LittleEndian.AppendUint32(b, uint32(si.Space))
+		b = binary.LittleEndian.AppendUint64(b, uint64(si.Anchor))
+	}
+	return b
+}
+
+// lookupSpace returns the directory entry for name, if present.
+func (c *Cluster) lookupSpace(name string) (spaceInfo, bool) {
+	for _, si := range decodeSpaceDir(c.store.GetMeta(spaceDirKey)) {
+		if si.Name == name {
+			return si, true
+		}
+	}
+	return spaceInfo{}, false
+}
+
+// lookupSpaceByID returns the directory entry for a space id.
+func (c *Cluster) lookupSpaceByID(id common.SpaceID) (spaceInfo, bool) {
+	for _, si := range decodeSpaceDir(c.store.GetMeta(spaceDirKey)) {
+		if si.Space == id {
+			return si, true
+		}
+	}
+	return spaceInfo{}, false
+}
+
+// CreateSpace creates a named tablespace (one B-tree) through any live node
+// and returns its id. Creating an existing name returns its id.
+func (c *Cluster) CreateSpace(name string) (common.SpaceID, error) {
+	c.spaceMu.Lock()
+	defer c.spaceMu.Unlock()
+	if si, ok := c.lookupSpace(name); ok {
+		return si.Space, nil
+	}
+	nodes := c.Nodes()
+	if len(nodes) == 0 {
+		return 0, fmt.Errorf("core: create space %q: no live nodes", name)
+	}
+	n := nodes[0]
+	dir := decodeSpaceDir(c.store.GetMeta(spaceDirKey))
+	id := common.SpaceID(len(dir) + 1)
+	anchor, err := n.createTree(id)
+	if err != nil {
+		return 0, err
+	}
+	// The tree pages must be durable before the directory names them.
+	n.wal.Sync(n.wal.End())
+	dir = append(dir, spaceInfo{Name: name, Space: id, Anchor: anchor})
+	c.store.PutMeta(spaceDirKey, encodeSpaceDir(dir))
+	return id, nil
+}
+
+// SpaceID resolves a space name.
+func (c *Cluster) SpaceID(name string) (common.SpaceID, error) {
+	if si, ok := c.lookupSpace(name); ok {
+		return si.Space, nil
+	}
+	return 0, fmt.Errorf("core: space %q: %w", name, common.ErrNotFound)
+}
+
+// storeMetaTrxHW persists a node's transaction-id watermark.
+func (c *Cluster) storeMetaTrxHW(id common.NodeID, hw common.TrxID) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(hw))
+	c.store.PutMeta(fmt.Sprintf("trxhw/%d", id), b[:])
+}
+
+func (c *Cluster) loadMetaTrxHW(id common.NodeID) common.TrxID {
+	b := c.store.GetMeta(fmt.Sprintf("trxhw/%d", id))
+	if len(b) < 8 {
+		return 0
+	}
+	return common.TrxID(binary.LittleEndian.Uint64(b))
+}

@@ -1,0 +1,706 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"polardbmp/internal/common"
+)
+
+// testCluster builds an n-node cluster with a table named "t".
+func testCluster(t testing.TB, n int) (*Cluster, common.SpaceID) {
+	t.Helper()
+	c := NewCluster(Config{
+		LockWaitTimeout: 2 * time.Second,
+		RecycleInterval: 5 * time.Millisecond,
+	})
+	for i := 0; i < n; i++ {
+		if _, err := c.AddNode(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sp, err := c.CreateSpace("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c, sp
+}
+
+func mustCommit(t testing.TB, tx *Tx) {
+	t.Helper()
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func put(t testing.TB, n *Node, sp common.SpaceID, key, val string) {
+	t.Helper()
+	tx, err := n.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Upsert(sp, []byte(key), []byte(val)); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx)
+}
+
+func get(t testing.TB, n *Node, sp common.SpaceID, key string) (string, error) {
+	t.Helper()
+	tx, err := n.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tx.Commit()
+	v, err := tx.Get(sp, []byte(key))
+	return string(v), err
+}
+
+func TestSingleNodeCRUD(t *testing.T) {
+	c, sp := testCluster(t, 1)
+	n := c.Node(1)
+
+	tx, err := n.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Insert(sp, []byte("a"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	// Own write visible before commit.
+	if v, err := tx.Get(sp, []byte("a")); err != nil || string(v) != "1" {
+		t.Fatalf("own read: %q %v", v, err)
+	}
+	mustCommit(t, tx)
+
+	if v, err := get(t, n, sp, "a"); err != nil || v != "1" {
+		t.Fatalf("get a = %q, %v", v, err)
+	}
+
+	// Update.
+	tx, _ = n.Begin()
+	if err := tx.Update(sp, []byte("a"), []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx)
+	if v, _ := get(t, n, sp, "a"); v != "2" {
+		t.Fatalf("after update: %q", v)
+	}
+
+	// Duplicate insert.
+	tx, _ = n.Begin()
+	if err := tx.Insert(sp, []byte("a"), []byte("x")); !errors.Is(err, common.ErrKeyExists) {
+		t.Fatalf("dup insert err = %v", err)
+	}
+	tx.Rollback()
+
+	// Delete.
+	tx, _ = n.Begin()
+	if err := tx.Delete(sp, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx)
+	if _, err := get(t, n, sp, "a"); !errors.Is(err, common.ErrNotFound) {
+		t.Fatalf("after delete err = %v", err)
+	}
+
+	// Update of missing key.
+	tx, _ = n.Begin()
+	if err := tx.Update(sp, []byte("zz"), []byte("x")); !errors.Is(err, common.ErrNotFound) {
+		t.Fatalf("update missing err = %v", err)
+	}
+	tx.Rollback()
+}
+
+func TestRollbackUndoesWrites(t *testing.T) {
+	c, sp := testCluster(t, 1)
+	n := c.Node(1)
+	put(t, n, sp, "k", "v0")
+
+	tx, _ := n.Begin()
+	if err := tx.Update(sp, []byte("k"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Insert(sp, []byte("new"), []byte("n1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := get(t, n, sp, "k"); v != "v0" {
+		t.Fatalf("k after rollback = %q", v)
+	}
+	if _, err := get(t, n, sp, "new"); !errors.Is(err, common.ErrNotFound) {
+		t.Fatalf("new after rollback: %v", err)
+	}
+	// Tx is finished.
+	if err := tx.Commit(); !errors.Is(err, common.ErrTxDone) {
+		t.Fatalf("commit after rollback: %v", err)
+	}
+}
+
+func TestCrossNodeVisibility(t *testing.T) {
+	c, sp := testCluster(t, 2)
+	put(t, c.Node(1), sp, "x", "from-node-1")
+	if v, err := get(t, c.Node(2), sp, "x"); err != nil || v != "from-node-1" {
+		t.Fatalf("node 2 read: %q %v", v, err)
+	}
+	// And back.
+	put(t, c.Node(2), sp, "x", "from-node-2")
+	if v, _ := get(t, c.Node(1), sp, "x"); v != "from-node-2" {
+		t.Fatalf("node 1 read after peer update: %q", v)
+	}
+}
+
+func TestUncommittedInvisibleAcrossNodes(t *testing.T) {
+	c, sp := testCluster(t, 2)
+	put(t, c.Node(1), sp, "k", "committed")
+
+	tx1, _ := c.Node(1).Begin()
+	if err := tx1.Update(sp, []byte("k"), []byte("dirty")); err != nil {
+		t.Fatal(err)
+	}
+	// Node 2 must see the old committed version (snapshot via undo chain).
+	if v, err := get(t, c.Node(2), sp, "k"); err != nil || v != "committed" {
+		t.Fatalf("node 2 sees %q, %v", v, err)
+	}
+	mustCommit(t, tx1)
+	if v, _ := get(t, c.Node(2), sp, "k"); v != "dirty" {
+		t.Fatalf("node 2 after commit sees %q", v)
+	}
+}
+
+func TestSnapshotIsolationFixedView(t *testing.T) {
+	c, sp := testCluster(t, 2)
+	put(t, c.Node(1), sp, "k", "v0")
+
+	si, err := c.Node(2).BeginIso(SnapshotIsolation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := si.Get(sp, []byte("k")); string(v) != "v0" {
+		t.Fatalf("si first read %q", v)
+	}
+	put(t, c.Node(1), sp, "k", "v1")
+	// SI keeps the old view; RC sees the new value.
+	if v, _ := si.Get(sp, []byte("k")); string(v) != "v0" {
+		t.Fatalf("si second read %q, want v0", v)
+	}
+	mustCommit(t, si)
+	if v, _ := get(t, c.Node(2), sp, "k"); v != "v1" {
+		t.Fatalf("rc read %q, want v1", v)
+	}
+}
+
+func TestWriteConflictAcrossNodesWaits(t *testing.T) {
+	c, sp := testCluster(t, 2)
+	put(t, c.Node(1), sp, "k", "v0")
+
+	tx1, _ := c.Node(1).Begin()
+	if err := tx1.Update(sp, []byte("k"), []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		tx2, err := c.Node(2).Begin()
+		if err != nil {
+			done <- err
+			return
+		}
+		if err := tx2.Update(sp, []byte("k"), []byte("b")); err != nil {
+			done <- err
+			return
+		}
+		done <- tx2.Commit()
+	}()
+	// tx2 must block on the row lock.
+	select {
+	case err := <-done:
+		t.Fatalf("tx2 finished while tx1 held the row lock: %v", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	mustCommit(t, tx1)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("tx2 never unblocked")
+	}
+	if v, _ := get(t, c.Node(1), sp, "k"); v != "b" {
+		t.Fatalf("final value %q, want b (tx2 last)", v)
+	}
+}
+
+func TestDeadlockAcrossNodes(t *testing.T) {
+	c, sp := testCluster(t, 2)
+	put(t, c.Node(1), sp, "r1", "v")
+	put(t, c.Node(1), sp, "r2", "v")
+
+	tx1, _ := c.Node(1).Begin()
+	tx2, _ := c.Node(2).Begin()
+	if err := tx1.Update(sp, []byte("r1"), []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Update(sp, []byte("r2"), []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 2)
+	go func() { errs <- tx1.Update(sp, []byte("r2"), []byte("a2")) }()
+	time.Sleep(50 * time.Millisecond)
+	go func() { errs <- tx2.Update(sp, []byte("r1"), []byte("b2")) }()
+
+	// Exactly one must get a deadlock error; resolve by rolling it back.
+	var deadlocked, ok int
+	for i := 0; i < 2; i++ {
+		err := <-errs
+		switch {
+		case errors.Is(err, common.ErrDeadlock):
+			deadlocked++
+			// victim rolls back, releasing its locks
+			if deadlocked == 1 && ok == 0 {
+				// roll back whichever transaction was the victim
+			}
+		case err == nil:
+			ok++
+		default:
+			t.Fatalf("unexpected error: %v", err)
+		}
+		if deadlocked == 1 && i == 0 {
+			// Roll back the victim so the survivor can proceed.
+			// We don't know which tx it was; try both safely below.
+			tx1.Rollback()
+			tx2.Rollback()
+		}
+	}
+	if deadlocked != 1 || ok != 1 {
+		t.Fatalf("deadlocked=%d ok=%d, want exactly one of each", deadlocked, ok)
+	}
+}
+
+func TestScan(t *testing.T) {
+	c, sp := testCluster(t, 2)
+	n := c.Node(1)
+	for i := 0; i < 50; i++ {
+		put(t, n, sp, fmt.Sprintf("k%03d", i), fmt.Sprintf("v%d", i))
+	}
+	tx, _ := c.Node(2).Begin()
+	defer tx.Commit()
+	kvs, err := tx.Scan(sp, []byte("k010"), []byte("k020"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != 10 {
+		t.Fatalf("scan returned %d rows, want 10", len(kvs))
+	}
+	if string(kvs[0].Key) != "k010" || string(kvs[9].Key) != "k019" {
+		t.Fatalf("range wrong: %q..%q", kvs[0].Key, kvs[9].Key)
+	}
+	// Limit.
+	kvs, _ = tx.Scan(sp, nil, nil, 7)
+	if len(kvs) != 7 {
+		t.Fatalf("limited scan = %d rows", len(kvs))
+	}
+}
+
+func TestBTreeSplitsManyKeys(t *testing.T) {
+	c, sp := testCluster(t, 1)
+	n := c.Node(1)
+	const rows = 2000
+	for i := 0; i < rows; i++ {
+		tx, err := n.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		key := fmt.Sprintf("key-%06d", i*7919%rows) // scattered order
+		if err := tx.Upsert(sp, []byte(key), make([]byte, 100)); err != nil {
+			t.Fatalf("row %d: %v", i, err)
+		}
+		mustCommit(t, tx)
+	}
+	tree, err := n.tree(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := tree.Height()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h < 1 {
+		t.Fatalf("tree height %d after %d rows; no splits happened?", h, rows)
+	}
+	// Every key readable.
+	tx, _ := n.Begin()
+	defer tx.Commit()
+	kvs, err := tx.Scan(sp, nil, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != rows {
+		t.Fatalf("scan found %d rows, want %d", len(kvs), rows)
+	}
+}
+
+func TestConcurrentMultiNodeWritesDisjoint(t *testing.T) {
+	c, sp := testCluster(t, 4)
+	var wg sync.WaitGroup
+	errCh := make(chan error, 4)
+	for i, n := range c.Nodes() {
+		wg.Add(1)
+		go func(n *Node, base int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				tx, err := n.Begin()
+				if err != nil {
+					errCh <- err
+					return
+				}
+				key := fmt.Sprintf("n%d-k%04d", base, j)
+				if err := tx.Insert(sp, []byte(key), []byte("v")); err != nil {
+					errCh <- err
+					return
+				}
+				if err := tx.Commit(); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(n, i)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	tx, _ := c.Node(1).Begin()
+	defer tx.Commit()
+	kvs, err := tx.Scan(sp, nil, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != 400 {
+		t.Fatalf("total rows = %d, want 400", len(kvs))
+	}
+}
+
+func TestConcurrentMultiNodeWritesSharedKeys(t *testing.T) {
+	c, sp := testCluster(t, 4)
+	n1 := c.Node(1)
+	const keys = 10
+	for i := 0; i < keys; i++ {
+		put(t, n1, sp, fmt.Sprintf("shared-%d", i), "0")
+	}
+	var wg sync.WaitGroup
+	var commits, retries int64
+	var mu sync.Mutex
+	for _, n := range c.Nodes() {
+		for th := 0; th < 2; th++ {
+			wg.Add(1)
+			go func(n *Node, seed int) {
+				defer wg.Done()
+				for j := 0; j < 50; j++ {
+					key := fmt.Sprintf("shared-%d", (seed+j)%keys)
+					for {
+						tx, err := n.Begin()
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						err = tx.Update(sp, []byte(key), []byte(fmt.Sprintf("%d", j)))
+						if err == nil {
+							err = tx.Commit()
+						} else {
+							tx.Rollback()
+						}
+						if err == nil {
+							mu.Lock()
+							commits++
+							mu.Unlock()
+							break
+						}
+						if common.IsRetryable(err) {
+							mu.Lock()
+							retries++
+							mu.Unlock()
+							continue
+						}
+						t.Errorf("key %s: %v", key, err)
+						return
+					}
+				}
+			}(n, th*31)
+		}
+	}
+	wg.Wait()
+	if commits != 400 {
+		t.Fatalf("commits = %d, want 400 (retries %d)", commits, retries)
+	}
+	// All keys still readable with last-committed values.
+	tx, _ := n1.Begin()
+	defer tx.Commit()
+	for i := 0; i < keys; i++ {
+		if _, err := tx.Get(sp, []byte(fmt.Sprintf("shared-%d", i))); err != nil {
+			t.Fatalf("key %d unreadable: %v", i, err)
+		}
+	}
+}
+
+func TestReadOnlyCommitCheap(t *testing.T) {
+	c, sp := testCluster(t, 1)
+	n := c.Node(1)
+	put(t, n, sp, "k", "v")
+	syncsBefore := c.store.Stats().LogSyncs.Load()
+	for i := 0; i < 10; i++ {
+		tx, _ := n.Begin()
+		if _, err := tx.Get(sp, []byte("k")); err != nil {
+			t.Fatal(err)
+		}
+		mustCommit(t, tx)
+	}
+	if got := c.store.Stats().LogSyncs.Load(); got != syncsBefore {
+		t.Fatalf("read-only commits forced %d log syncs", got-syncsBefore)
+	}
+}
+
+func TestTombstonePurgeAndReinsert(t *testing.T) {
+	c, sp := testCluster(t, 1)
+	n := c.Node(1)
+	put(t, n, sp, "k", "v1")
+	tx, _ := n.Begin()
+	if err := tx.Delete(sp, []byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx)
+	// Re-insert over the tombstone.
+	tx, _ = n.Begin()
+	if err := tx.Insert(sp, []byte("k"), []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx)
+	if v, _ := get(t, n, sp, "k"); v != "v2" {
+		t.Fatalf("after reinsert: %q", v)
+	}
+	// Purge with an up-to-date min view trims the chain.
+	if _, err := n.tf.ReportMinView(); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := n.PurgeSpace(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Fatal("purge removed nothing")
+	}
+	if v, _ := get(t, n, sp, "k"); v != "v2" {
+		t.Fatalf("after purge: %q", v)
+	}
+}
+
+func TestCheckpointAndColdStart(t *testing.T) {
+	c, sp := testCluster(t, 2)
+	for i := 0; i < 100; i++ {
+		put(t, c.Node(1+i%2), sp, fmt.Sprintf("k%03d", i), fmt.Sprintf("v%d", i))
+	}
+	if err := c.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Logs truncated: streams empty.
+	for _, n := range c.Nodes() {
+		if c.store.LogStartLSN(n.id) != c.store.LogDurableLSN(n.id) {
+			t.Fatalf("node %d log not truncated", n.id)
+		}
+	}
+	// All data must be in storage now: verify through tree walk.
+	si, ok := c.lookupSpaceByID(sp)
+	if !ok {
+		t.Fatal("space missing")
+	}
+	rows, err := VerifyTree(c.store, si.Anchor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != 100 {
+		t.Fatalf("storage tree has %d rows, want 100", rows)
+	}
+}
+
+func TestInputValidation(t *testing.T) {
+	c, sp := testCluster(t, 1)
+	tx, _ := c.Node(1).Begin()
+	defer tx.Rollback()
+	if err := tx.Insert(sp, nil, []byte("v")); err == nil {
+		t.Fatal("empty key accepted")
+	}
+	if err := tx.Insert(sp, []byte("k"), make([]byte, MaxRowSize+1)); err == nil {
+		t.Fatal("oversized row accepted")
+	}
+	if _, err := tx.Get(999, []byte("k")); !errors.Is(err, common.ErrNotFound) {
+		t.Fatalf("unknown space err = %v", err)
+	}
+}
+
+func TestUpsertSemantics(t *testing.T) {
+	c, sp := testCluster(t, 1)
+	n := c.Node(1)
+	// Upsert inserts when missing...
+	tx, _ := n.Begin()
+	if err := tx.Upsert(sp, []byte("u"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx)
+	// ...replaces when present...
+	tx, _ = n.Begin()
+	if err := tx.Upsert(sp, []byte("u"), []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx)
+	if v, _ := get(t, n, sp, "u"); v != "2" {
+		t.Fatalf("after upsert: %q", v)
+	}
+	// ...and revives tombstones.
+	tx, _ = n.Begin()
+	if err := tx.Delete(sp, []byte("u")); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx)
+	tx, _ = n.Begin()
+	if err := tx.Upsert(sp, []byte("u"), []byte("3")); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx)
+	if v, _ := get(t, n, sp, "u"); v != "3" {
+		t.Fatalf("after revive: %q", v)
+	}
+}
+
+func TestGetForUpdateSemantics(t *testing.T) {
+	c, sp := testCluster(t, 2)
+	put(t, c.Node(1), sp, "k", "v0")
+	tx, _ := c.Node(1).Begin()
+	v, err := tx.GetForUpdate(sp, []byte("k"))
+	if err != nil || string(v) != "v0" {
+		t.Fatalf("gfu = %q, %v", v, err)
+	}
+	// Re-locking our own row is a no-op.
+	if _, err := tx.GetForUpdate(sp, []byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	// A missing key is an error.
+	if _, err := tx.GetForUpdate(sp, []byte("missing")); !errors.Is(err, common.ErrNotFound) {
+		t.Fatalf("missing gfu err = %v", err)
+	}
+	// The lock blocks a peer writer until we finish.
+	done := make(chan error, 1)
+	go func() {
+		tx2, err := c.Node(2).Begin()
+		if err != nil {
+			done <- err
+			return
+		}
+		if err := tx2.Update(sp, []byte("k"), []byte("steal")); err != nil {
+			tx2.Rollback()
+			done <- err
+			return
+		}
+		done <- tx2.Commit()
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("peer write finished under our lock: %v", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	tx.Rollback() // releases the lock without changing the value
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := get(t, c.Node(1), sp, "k"); v != "steal" {
+		t.Fatalf("final = %q", v)
+	}
+}
+
+func TestScanBoundsAcrossPages(t *testing.T) {
+	c, sp := testCluster(t, 1)
+	n := c.Node(1)
+	payload := make([]byte, 200)
+	for i := 0; i < 600; i++ {
+		tx, _ := n.Begin()
+		if err := tx.Insert(sp, []byte(fmt.Sprintf("k%05d", i)), payload); err != nil {
+			t.Fatal(err)
+		}
+		mustCommit(t, tx)
+	}
+	tx, _ := n.Begin()
+	defer tx.Commit()
+	// A range spanning multiple leaves.
+	kvs, err := tx.Scan(sp, []byte("k00100"), []byte("k00400"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != 300 {
+		t.Fatalf("scan = %d rows, want 300", len(kvs))
+	}
+	if string(kvs[0].Key) != "k00100" || string(kvs[len(kvs)-1].Key) != "k00399" {
+		t.Fatalf("bounds: %q..%q", kvs[0].Key, kvs[len(kvs)-1].Key)
+	}
+	// Empty range.
+	kvs, _ = tx.Scan(sp, []byte("zzz"), nil, 0)
+	if len(kvs) != 0 {
+		t.Fatalf("empty range returned %d rows", len(kvs))
+	}
+}
+
+func TestMultiSpaceTransactionAtomicity(t *testing.T) {
+	c, _ := testCluster(t, 2)
+	spA, err := c.CreateSpace("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spB, err := c.CreateSpace("B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One transaction writes both spaces; rollback undoes both.
+	tx, _ := c.Node(1).Begin()
+	if err := tx.Insert(spA, []byte("a"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Insert(spB, []byte("b"), []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	tx.Rollback()
+	for _, sp := range []common.SpaceID{spA, spB} {
+		tx2, _ := c.Node(2).Begin()
+		if _, err := tx2.Get(sp, []byte("a")); !errors.Is(err, common.ErrNotFound) {
+			if _, err2 := tx2.Get(sp, []byte("b")); !errors.Is(err2, common.ErrNotFound) {
+				t.Fatalf("rolled-back rows visible in space %d", sp)
+			}
+		}
+		tx2.Commit()
+	}
+	// And commit lands in both, visible cross-node, durable across a
+	// full-cluster crash.
+	tx, _ = c.Node(1).Begin()
+	tx.Insert(spA, []byte("a"), []byte("1"))
+	tx.Insert(spB, []byte("b"), []byte("2"))
+	mustCommit(t, tx)
+	c.CrashAll()
+	if err := c.RecoverAll(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddNode(); err != nil {
+		t.Fatal(err)
+	}
+	tx3, _ := c.Node(1).Begin()
+	defer tx3.Commit()
+	if v, err := tx3.Get(spA, []byte("a")); err != nil || string(v) != "1" {
+		t.Fatalf("A after recovery: %q %v", v, err)
+	}
+	if v, err := tx3.Get(spB, []byte("b")); err != nil || string(v) != "2" {
+		t.Fatalf("B after recovery: %q %v", v, err)
+	}
+}

@@ -1,0 +1,300 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"polardbmp/internal/btree"
+	"polardbmp/internal/bufferfusion"
+	"polardbmp/internal/common"
+	"polardbmp/internal/lockfusion"
+	"polardbmp/internal/metrics"
+	"polardbmp/internal/page"
+	"polardbmp/internal/rdma"
+	"polardbmp/internal/txfusion"
+	"polardbmp/internal/wal"
+)
+
+// trxHWInterval/trxHWSlack govern the persisted transaction-id watermark: a
+// restarted node resumes allocation above every id its previous incarnation
+// could have used, so a global transaction id never aliases across a crash.
+const (
+	trxHWInterval = 4096
+	trxHWSlack    = 2 * trxHWInterval
+)
+
+// Node is one primary: a complete database instance (buffer pool,
+// transaction manager, log writer, B-tree access layer) wired to PMFS.
+type Node struct {
+	id common.NodeID
+	c  *Cluster
+	ep *rdma.Endpoint
+
+	tf   *txfusion.Client
+	pl   *lockfusion.PLockClient
+	rl   *lockfusion.RLockClient
+	lbp  *bufferfusion.Client
+	wal  *wal.Writer
+	llsn wal.LLSNCounter
+
+	trxCtr   atomic.Uint64
+	activeTx atomic.Int64
+	live     atomic.Bool
+	// deferredRollbacks is set while post-crash rollbacks wait on another
+	// crashed node's fence; TIT recycling pauses so the fence semantics
+	// stay sound for new transactions.
+	deferredRollbacks atomic.Bool
+
+	treeMu sync.Mutex
+	trees  map[common.SpaceID]*btree.Tree
+
+	stopBG   chan struct{}
+	bgDone   sync.WaitGroup
+	stopOnce sync.Once
+
+	// Stats for the figure harnesses.
+	Commits   metrics.Counter
+	Aborts    metrics.Counter
+	Deadlocks metrics.Counter
+	TxLatency metrics.Histogram
+}
+
+// newNode registers a node on the fabric and wires its PMFS clients. With
+// recovering=true the TIT recovery fence is raised; the caller must run
+// recoverSelf before the node serves transactions.
+func (c *Cluster) newNode(id common.NodeID, recovering bool) (*Node, error) {
+	ep := c.fabric.Register(id)
+	n := &Node{
+		id:     id,
+		c:      c,
+		ep:     ep,
+		trees:  make(map[common.SpaceID]*btree.Tree),
+		stopBG: make(chan struct{}),
+	}
+	n.tf = txfusion.NewClient(ep, c.fabric, txfusion.Config{
+		TITSlots:     c.cfg.TITSlots,
+		LamportReuse: !c.cfg.DisableLamport,
+		CTSCacheSize: 1 << 14,
+	})
+	if recovering {
+		n.tf.SetRecovering(true)
+	}
+	lcfg := lockfusion.Config{
+		WaitTimeout:        c.cfg.LockWaitTimeout,
+		DisableLazyRelease: c.cfg.DisableLazyPLock,
+	}
+	n.pl = lockfusion.NewPLockClient(ep, c.fabric, lcfg)
+	n.rl = lockfusion.NewRLockClient(ep, c.fabric, n.tf, lcfg)
+	n.lbp = bufferfusion.NewClient(ep, c.fabric, c.store, c.cfg.LBPFrames)
+	n.lbp.SetStorageMode(c.cfg.StoragePageSync)
+	n.wal = wal.NewWriter(c.store, id)
+
+	// Wire the cross-layer hooks: force-log-before-push (§4.2) and
+	// flush-dirty-page-before-PLock-release (§4.3.1).
+	n.lbp.SetForceLog(func(*page.Page) { n.wal.Sync(n.wal.End()) })
+	n.pl.SetRevokeHandler(func(pg common.PageID, held lockfusion.Mode) {
+		if held == lockfusion.ModeX {
+			_ = n.lbp.PushByID(pg)
+		}
+	})
+
+	// Resume transaction ids above the persisted watermark.
+	base := c.loadMetaTrxHW(id)
+	n.trxCtr.Store(uint64(base))
+	c.storeMetaTrxHW(id, base+trxHWSlack)
+
+	n.live.Store(true)
+	if !recovering {
+		n.startBackground()
+	}
+	return n, nil
+}
+
+// ID returns the node id.
+func (n *Node) ID() common.NodeID { return n.id }
+
+// Live reports whether the node is serving.
+func (n *Node) Live() bool { return n.live.Load() }
+
+// LBP exposes the node's buffer pool stats (harness/inspection).
+func (n *Node) LBP() *bufferfusion.Client { return n.lbp }
+
+// PLocks exposes the node's PLock client stats (harness/inspection).
+func (n *Node) PLocks() *lockfusion.PLockClient { return n.pl }
+
+// TxFusion exposes the node's Transaction Fusion client (harness).
+func (n *Node) TxFusion() *txfusion.Client { return n.tf }
+
+// ForceLogSync forces the node's redo stream durable to its current end
+// (test/replication hook).
+func (n *Node) ForceLogSync() { n.wal.Sync(n.wal.End()) }
+
+func (n *Node) startBackground() {
+	if n.c.cfg.RecycleInterval > 0 {
+		n.bgDone.Add(1)
+		go func() {
+			defer n.bgDone.Done()
+			tick := time.NewTicker(n.c.cfg.RecycleInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-n.stopBG:
+					return
+				case <-tick.C:
+					if n.live.Load() && !n.deferredRollbacks.Load() {
+						_, _ = n.tf.ReportMinView()
+					}
+				}
+			}
+		}()
+	}
+	if n.c.cfg.PurgeInterval > 0 {
+		n.bgDone.Add(1)
+		go func() {
+			defer n.bgDone.Done()
+			tick := time.NewTicker(n.c.cfg.PurgeInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-n.stopBG:
+					return
+				case <-tick.C:
+					if !n.live.Load() || n.deferredRollbacks.Load() {
+						continue
+					}
+					// Purge the spaces this node has opened trees for.
+					n.treeMu.Lock()
+					spaces := make([]common.SpaceID, 0, len(n.trees))
+					for sp := range n.trees {
+						spaces = append(spaces, sp)
+					}
+					n.treeMu.Unlock()
+					for _, sp := range spaces {
+						if !n.live.Load() {
+							return
+						}
+						_, _ = n.PurgeSpace(sp)
+					}
+				}
+			}
+		}()
+	}
+}
+
+func (n *Node) stopBackground() {
+	n.stopOnce.Do(func() { close(n.stopBG) })
+	n.bgDone.Wait()
+}
+
+// crash kills the node: fences all its clients so zombie goroutines cannot
+// touch shared state, and deregisters it from the fabric.
+func (n *Node) crash() {
+	n.live.Store(false)
+	n.stopBackground()
+	n.tf.Close()
+	n.pl.Close()
+	n.lbp.Close()
+	n.wal.Close()
+	n.ep.Deregister()
+}
+
+// nextTrx allocates a node-local transaction id, persisting the watermark
+// every trxHWInterval allocations.
+func (n *Node) nextTrx() common.TrxID {
+	id := common.TrxID(n.trxCtr.Add(1))
+	if uint64(id)%trxHWInterval == 0 {
+		n.c.storeMetaTrxHW(n.id, id+trxHWSlack)
+	}
+	return id
+}
+
+// tree returns the node's handle on a space's B-tree.
+func (n *Node) tree(space common.SpaceID) (*btree.Tree, error) {
+	n.treeMu.Lock()
+	t := n.trees[space]
+	n.treeMu.Unlock()
+	if t != nil {
+		return t, nil
+	}
+	si, ok := n.c.lookupSpaceByID(space)
+	if !ok {
+		return nil, fmt.Errorf("core: space %d: %w", space, common.ErrNotFound)
+	}
+	t = btree.New((*pager)(n), space, si.Anchor)
+	n.treeMu.Lock()
+	n.trees[space] = t
+	n.treeMu.Unlock()
+	return t, nil
+}
+
+// createTree builds a fresh B-tree for a new space and returns its anchor.
+func (n *Node) createTree(space common.SpaceID) (common.PageID, error) {
+	anchor, err := btree.Create((*pager)(n), space)
+	if err != nil {
+		return 0, err
+	}
+	n.treeMu.Lock()
+	n.trees[space] = btree.New((*pager)(n), space, anchor)
+	n.treeMu.Unlock()
+	return anchor, nil
+}
+
+// resolveCTS implements Algorithm 1's entry point for a row version: the
+// stamped CTS if present, otherwise the TIT lookup. Unreachable owners
+// (crashed, pre-recovery) resolve to CSNMax: treat as still active.
+func (n *Node) resolveCTS(v *page.Version) common.CSN {
+	if v.CTS != common.CSNInit {
+		return v.CTS
+	}
+	if v.Trx.Zero() {
+		return common.CSNMin
+	}
+	cts, err := n.tf.GetTrxCTS(v.Trx)
+	if err != nil {
+		return common.CSNMax
+	}
+	return cts
+}
+
+// PurgeSpace trims version chains across a space using the current global
+// minimum view (the purge/vacuum path). Returns versions removed.
+func (n *Node) PurgeSpace(space common.SpaceID) (int, error) {
+	t, err := n.tree(space)
+	if err != nil {
+		return 0, err
+	}
+	gmv := n.tf.LastGMV()
+	removed := 0
+	var emptied [][]byte // a key routed to each fully-purged leaf
+	ref, err := t.First(lockfusion.ModeX)
+	if err != nil {
+		return 0, err
+	}
+	var lastKey []byte
+	for ref != nil {
+		before := removed
+		if len(ref.Page.Rows) > 0 {
+			lastKey = append(lastKey[:0], ref.Page.Rows[0].Key...)
+		}
+		removed += ref.Page.Purge(gmv, n.resolveCTS)
+		if removed != before {
+			ref.Opaque.(*bufferfusion.Frame).Dirty = true
+		}
+		if len(ref.Page.Rows) == 0 && lastKey != nil {
+			emptied = append(emptied, append([]byte(nil), lastKey...))
+		}
+		ref, err = t.Next(ref, lockfusion.ModeX)
+		if err != nil {
+			return removed, err
+		}
+	}
+	// Shrink pass: unlink the leaves the purge emptied.
+	for _, key := range emptied {
+		if _, err := t.UnlinkEmptyLeaf(key); err != nil {
+			return removed, err
+		}
+	}
+	return removed, nil
+}

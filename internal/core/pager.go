@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+
+	"polardbmp/internal/btree"
+	"polardbmp/internal/bufferfusion"
+	"polardbmp/internal/common"
+	"polardbmp/internal/lockfusion"
+	"polardbmp/internal/page"
+	"polardbmp/internal/wal"
+)
+
+// pager adapts a Node to btree.Pager: every page access stacks the PLock
+// (inter-node), the LBP fetch with coherence (Buffer Fusion), and the frame
+// latch (intra-node), in that order; LLSNs of read pages fold into the
+// node's counter (§4.4).
+type pager Node
+
+func (p *pager) node() *Node { return (*Node)(p) }
+
+// Acquire implements btree.Pager.
+func (p *pager) Acquire(pg common.PageID, mode lockfusion.Mode) (*btree.Ref, error) {
+	n := p.node()
+	if err := n.pl.Acquire(pg, mode); err != nil {
+		return nil, err
+	}
+	f, err := n.lbp.Get(pg)
+	if err != nil {
+		n.pl.Release(pg)
+		return nil, err
+	}
+	if mode == lockfusion.ModeX {
+		f.Mu.Lock()
+	} else {
+		f.Mu.RLock()
+	}
+	// Read f.Pg only under the latch: a concurrent coherence refresh may
+	// have replaced the decoded page.
+	n.llsn.Observe(f.Pg.LLSN)
+	return &btree.Ref{Page: f.Pg, Mode: mode, Opaque: f}, nil
+}
+
+// Release implements btree.Pager.
+func (p *pager) Release(ref *btree.Ref) {
+	n := p.node()
+	f := ref.Opaque.(*bufferfusion.Frame)
+	if ref.Mode == lockfusion.ModeX {
+		f.Mu.Unlock()
+	} else {
+		f.Mu.RUnlock()
+	}
+	id := f.ID()
+	n.lbp.Unpin(f)
+	n.pl.Release(id)
+}
+
+// AllocPage implements btree.Pager: a fresh page, X-locked, latched, dirty.
+func (p *pager) AllocPage(space common.SpaceID, t page.Type, level uint8) (*btree.Ref, error) {
+	n := p.node()
+	id := n.c.store.AllocPage()
+	if err := n.pl.Acquire(id, lockfusion.ModeX); err != nil {
+		return nil, err
+	}
+	pg := page.New(id, space, t)
+	pg.Level = level
+	f, err := n.lbp.NewPage(pg)
+	if err != nil {
+		n.pl.Release(id)
+		return nil, err
+	}
+	f.Mu.Lock()
+	return &btree.Ref{Page: f.Pg, Mode: lockfusion.ModeX, Opaque: f}, nil
+}
+
+// LogImage implements btree.Pager: physical logging for SMOs and page
+// creation. The caller holds the page in X.
+func (p *pager) LogImage(ref *btree.Ref) {
+	n := p.node()
+	llsn := n.llsn.Next()
+	ref.Page.LLSN = llsn
+	img, err := ref.Page.Marshal()
+	if err != nil {
+		// Only a missed split or an over-large row can get here; both
+		// are engine bugs, not runtime conditions.
+		panic(fmt.Sprintf("core: node %d: %v", n.id, err))
+	}
+	n.wal.Append(&wal.Record{
+		Type:  wal.RecPageImage,
+		Node:  n.id,
+		LLSN:  llsn,
+		Page:  ref.Page.ID,
+		Space: ref.Page.Space,
+		Image: img,
+	})
+	ref.Opaque.(*bufferfusion.Frame).Dirty = true
+}

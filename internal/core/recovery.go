@@ -1,0 +1,552 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"time"
+
+	"polardbmp/internal/common"
+	"polardbmp/internal/lockfusion"
+	"polardbmp/internal/page"
+	"polardbmp/internal/storage"
+	"polardbmp/internal/txfusion"
+	"polardbmp/internal/wal"
+)
+
+// recoverSelf is the single-node restart path (§5.5): with the TIT recovery
+// fence up and the node's pre-crash PLocks still fencing its pages, replay
+// the node's own redo stream — most pages are still in the DBP, so this
+// rarely touches storage — roll back its uncommitted transactions, then
+// lift the fences and start serving.
+func (n *Node) recoverSelf() error {
+	type trxState struct {
+		undo     []undoEntry
+		finished bool
+		cts      common.CSN // commit timestamp, if committed
+	}
+	trxs := make(map[common.GTrxID]*trxState)
+	var order []common.GTrxID
+
+	// Pass 1: scan the stream for transaction outcomes, so the replay pass
+	// can resolve this node's own pre-crash versions without the TIT
+	// (whose fence deliberately reports them as active to peers).
+	sr := wal.NewStreamReader(n.c.store, n.id, n.c.store.LogStartLSN(n.id), 0)
+	for {
+		rec, err := sr.Next()
+		if err != nil {
+			return err
+		}
+		if rec == nil {
+			break
+		}
+		n.llsn.Observe(rec.LLSN)
+		if uint64(rec.Trx.Trx) >= n.trxCtr.Load() && rec.Trx.Node == n.id {
+			// Defensive: the persisted watermark must already cover
+			// every logged id.
+			n.trxCtr.Store(uint64(rec.Trx.Trx) + 1)
+		}
+		switch rec.Type {
+		case wal.RecInsert:
+			st := trxs[rec.Trx]
+			if st == nil {
+				st = &trxState{}
+				trxs[rec.Trx] = st
+				order = append(order, rec.Trx)
+			}
+			st.undo = append(st.undo, undoEntry{space: rec.Space, key: rec.Key})
+		case wal.RecCommit, wal.RecAbort:
+			st := trxs[rec.Trx]
+			if st == nil {
+				st = &trxState{}
+				trxs[rec.Trx] = st
+			}
+			st.finished = true
+			if rec.Type == wal.RecCommit {
+				st.cts = rec.CTS
+			}
+		}
+	}
+
+	// resolve is replay's CTS oracle: own pre-crash commits come from the
+	// log; everything else goes through the normal path.
+	resolve := func(v *page.Version) common.CSN {
+		if v.Trx.Node == n.id {
+			if st := trxs[v.Trx]; st != nil {
+				if st.cts != 0 {
+					return st.cts
+				}
+				return common.CSNMax // uncommitted: rolled back below
+			}
+			// Not in the retained log: finished before the last
+			// checkpoint, so visible to all.
+			if v.CTS != common.CSNInit {
+				return v.CTS
+			}
+			return common.CSNMin
+		}
+		return n.resolveCTS(v)
+	}
+
+	// Refresh the global minimum view so replay-time purges have a real
+	// bound (a fresh client still holds the initial sentinel).
+	if _, err := n.tf.ReportMinView(); err != nil {
+		return err
+	}
+
+	// Pass 2: replay page changes in LSN order.
+	sr = wal.NewStreamReader(n.c.store, n.id, n.c.store.LogStartLSN(n.id), 0)
+	for {
+		rec, err := sr.Next()
+		if err != nil {
+			return err
+		}
+		if rec == nil {
+			break
+		}
+		switch rec.Type {
+		case wal.RecInsert, wal.RecRollback, wal.RecPageImage:
+			if err := n.replayPage(rec, resolve); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Publish every recovered page before peers regain access.
+	if err := n.lbp.FlushAll(); err != nil {
+		return err
+	}
+
+	// Roll back uncommitted pre-crash transactions through the normal
+	// engine path (their rows may have migrated to other pages since).
+	// Rows on pages fenced by ANOTHER crashed node cannot be reached yet;
+	// those rollbacks are deferred until that node's recovery lifts its
+	// fence, and our TIT fence stays up so the affected transactions keep
+	// resolving as active in the meantime.
+	type deferred struct {
+		g    common.GTrxID
+		undo []undoEntry
+	}
+	var pending []deferred
+	for _, g := range order {
+		st := trxs[g]
+		if st.finished {
+			continue
+		}
+		rest := n.rollbackEntries(g, st.undo)
+		if len(rest) > 0 {
+			pending = append(pending, deferred{g, rest})
+			continue
+		}
+		n.wal.Append(&wal.Record{Type: wal.RecAbort, Node: n.id, LLSN: n.llsn.Next(), Trx: g})
+	}
+	n.wal.Sync(n.wal.End())
+	if err := n.lbp.FlushAll(); err != nil {
+		return err
+	}
+
+	// Lift the page fences (our pages are consistent and published); the
+	// TIT fence lifts with them unless rollbacks were deferred.
+	n.pl.ReleaseAll()
+	n.c.lockSrv.DropNodePLock(uint16(n.id))
+	n.c.lockSrv.PLock.ClearDead(n.id)
+	if len(pending) == 0 {
+		n.tf.SetRecovering(false)
+	} else {
+		n.deferredRollbacks.Store(true)
+		n.bgDone.Add(1)
+		go func() {
+			defer n.bgDone.Done()
+			for len(pending) > 0 && n.live.Load() {
+				kept := pending[:0]
+				for _, d := range pending {
+					rest := n.rollbackEntries(d.g, d.undo)
+					if len(rest) > 0 {
+						kept = append(kept, deferred{d.g, rest})
+						continue
+					}
+					n.wal.Append(&wal.Record{Type: wal.RecAbort, Node: n.id, LLSN: n.llsn.Next(), Trx: d.g})
+				}
+				pending = kept
+				if len(pending) > 0 {
+					time.Sleep(20 * time.Millisecond)
+				}
+			}
+			if n.live.Load() {
+				n.wal.Sync(n.wal.End())
+				n.tf.SetRecovering(false)
+				n.deferredRollbacks.Store(false)
+			}
+		}()
+	}
+	n.startBackground()
+	return nil
+}
+
+// replayPage applies one redo record to its page if the page's LLSN shows
+// the change is missing. Pages are reached through the normal PLock + LBP
+// path: the crashed incarnation's PLocks are idempotently re-granted to us,
+// preserving the fence against other nodes.
+func (n *Node) replayPage(rec *wal.Record, resolve func(*page.Version) common.CSN) error {
+	// X is required only when the record actually applies, and then the
+	// page is one the crashed incarnation held X on — so the grant is an
+	// instant reclaim. Everywhere else S suffices, which avoids waiting
+	// behind live nodes' S holds during recovery.
+	mode := lockfusion.ModeX
+	if err := n.pl.Acquire(rec.Page, mode); err != nil {
+		if errors.Is(err, common.ErrFenced) {
+			// The page is fenced by ANOTHER crashed node, so our own
+			// incarnation did not hold it at crash time — which means
+			// this record was pushed (flush-before-release) and is
+			// already reflected in the DBP/storage image. Skip.
+			return nil
+		}
+		return err
+	}
+	defer n.pl.Release(rec.Page)
+	f, err := n.lbp.Get(rec.Page)
+	if err != nil {
+		if rec.Type == wal.RecPageImage && errors.Is(err, common.ErrNotFound) {
+			// The page existed only in our lost memory; rebuild it
+			// from the image record.
+			pg, err := page.Unmarshal(rec.Image)
+			if err != nil {
+				return err
+			}
+			f, err := n.lbp.NewPage(pg)
+			if err != nil {
+				return err
+			}
+			n.lbp.Unpin(f)
+			return nil
+		}
+		return err
+	}
+	defer n.lbp.Unpin(f)
+	f.Mu.Lock()
+	defer f.Mu.Unlock()
+	applyRecord(f.Pg, rec, &f.Dirty)
+	// Live purges are not logged, so replay onto an older base image can
+	// rebuild version chains longer than the page ever held; trim them
+	// the same way the live path would, resolving this node's own
+	// pre-crash commits from the log outcomes.
+	if f.Pg.SizeEstimate() > page.SplitThreshold {
+		if f.Pg.Purge(n.tf.LastGMV(), resolve) > 0 {
+			f.Dirty = true
+		}
+	}
+	return nil
+}
+
+// applyRecord applies rec to pg when rec.LLSN > pg.LLSN (replay idempotence
+// rule of §4.4). dirty is set when the page changed.
+func applyRecord(pg *page.Page, rec *wal.Record, dirty *bool) {
+	if rec.LLSN <= pg.LLSN {
+		return
+	}
+	switch rec.Type {
+	case wal.RecInsert:
+		pg.InsertVersion(rec.Key, page.Version{
+			Trx:     rec.Trx,
+			CTS:     common.CSNInit,
+			Deleted: rec.Deleted,
+			Value:   append([]byte(nil), rec.Value...),
+		})
+		pg.LLSN = rec.LLSN
+	case wal.RecRollback:
+		pg.RollbackVersion(rec.Key, rec.Trx)
+		pg.LLSN = rec.LLSN
+	case wal.RecPageImage:
+		img, err := page.Unmarshal(rec.Image)
+		if err == nil {
+			*pg = *img
+		}
+	default:
+		return
+	}
+	*dirty = true
+}
+
+// RecoverCluster rebuilds the database from shared storage alone after a
+// full-cluster crash (CrashAll): every node's redo stream is merged in
+// LLSN_bound order (§4.4), redo is applied to the storage page images,
+// uncommitted transactions are rolled back using the logged versions, the
+// TSO is reseeded above the largest durable CTS, and the logs are
+// truncated. Nodes are then re-added fresh by the caller.
+func RecoverCluster(store *storage.Store, txSrv *txfusion.Server) error {
+	r := &clusterRecovery{
+		store: store,
+		pages: make(map[common.PageID]*page.Page),
+		dirty: make(map[common.PageID]bool),
+	}
+	return r.run(txSrv)
+}
+
+// RecoverAll is the cluster-level convenience wrapper.
+func (c *Cluster) RecoverAll() error {
+	return RecoverCluster(c.store, c.txSrv)
+}
+
+type clusterRecovery struct {
+	store *storage.Store
+	pages map[common.PageID]*page.Page
+	dirty map[common.PageID]bool
+}
+
+func (r *clusterRecovery) page(id common.PageID) (*page.Page, error) {
+	if pg, ok := r.pages[id]; ok {
+		return pg, nil
+	}
+	img, err := r.store.ReadPage(id)
+	if err != nil {
+		return nil, err
+	}
+	pg, err := page.Unmarshal(img)
+	if err != nil {
+		return nil, err
+	}
+	r.pages[id] = pg
+	return pg, nil
+}
+
+func (r *clusterRecovery) run(txSrv *txfusion.Server) error {
+	var readers []*wal.StreamReader
+	for _, node := range r.store.LogNodes() {
+		readers = append(readers, wal.NewStreamReader(r.store, node, r.store.LogStartLSN(node), 0))
+	}
+	merge := wal.NewMergeReader(readers...)
+
+	type trxState struct {
+		inserts  []*wal.Record
+		finished bool
+	}
+	trxs := make(map[common.GTrxID]*trxState)
+	commitCTS := make(map[common.GTrxID]common.CSN)
+	var order []common.GTrxID
+	var maxCTS common.CSN
+
+	for {
+		rec, err := merge.Next()
+		if err != nil {
+			return err
+		}
+		if rec == nil {
+			break
+		}
+		switch rec.Type {
+		case wal.RecInsert, wal.RecRollback:
+			pg, err := r.page(rec.Page)
+			if err != nil {
+				return fmt.Errorf("recovery: page %d for record LLSN %d: %w", rec.Page, rec.LLSN, err)
+			}
+			d := r.dirty[rec.Page]
+			applyRecord(pg, rec, &d)
+			r.dirty[rec.Page] = d
+			if rec.Type == wal.RecInsert {
+				st := trxs[rec.Trx]
+				if st == nil {
+					st = &trxState{}
+					trxs[rec.Trx] = st
+					order = append(order, rec.Trx)
+				}
+				st.inserts = append(st.inserts, rec)
+			}
+		case wal.RecPageImage:
+			pg := r.pages[rec.Page]
+			if pg == nil {
+				// May exist only in storage, or be brand new.
+				img, err := r.store.ReadPage(rec.Page)
+				if err == nil {
+					if pg, err = page.Unmarshal(img); err != nil {
+						return err
+					}
+				} else {
+					pg = page.New(rec.Page, rec.Space, page.TypeLeaf)
+				}
+				r.pages[rec.Page] = pg
+			}
+			d := r.dirty[rec.Page]
+			applyRecord(pg, rec, &d)
+			r.dirty[rec.Page] = d
+		case wal.RecCommit, wal.RecAbort:
+			st := trxs[rec.Trx]
+			if st == nil {
+				st = &trxState{}
+				trxs[rec.Trx] = st
+			}
+			st.finished = true
+			if rec.Type == wal.RecCommit {
+				commitCTS[rec.Trx] = rec.CTS
+			}
+			if rec.CTS > maxCTS {
+				maxCTS = rec.CTS
+			}
+		}
+	}
+
+	// Undo pass: roll back uncommitted transactions. Rows may have moved
+	// across pages via SMOs, so locate each key by descending the
+	// recovered tree.
+	for _, g := range order {
+		st := trxs[g]
+		if st.finished {
+			continue
+		}
+		for i := len(st.inserts) - 1; i >= 0; i-- {
+			rec := st.inserts[i]
+			leaf, err := r.findLeaf(rec.Space, rec.Key)
+			if err != nil {
+				return fmt.Errorf("recovery: rollback %v key %q: %w", g, rec.Key, err)
+			}
+			if leaf != nil && leaf.RollbackVersion(rec.Key, g) {
+				r.dirty[leaf.ID] = true
+			}
+		}
+	}
+
+	// Visibility finalization: every version that survived the undo pass
+	// was written by a committed transaction, but its CTS may be
+	// unstamped and its writer's TIT is gone. Stamp it now — with the
+	// logged commit timestamp, or CSNMin when even the commit record was
+	// checkpointed away — so recovered rows resolve without any TIT.
+	ctsFor := func(g common.GTrxID) common.CSN {
+		if st := trxs[g]; st != nil {
+			// Rolled-back writers left no versions; finished ones
+			// here are committed.
+			if c, ok := commitCTS[g]; ok {
+				return c
+			}
+		}
+		return common.CSNMin
+	}
+	for _, id := range r.store.PageIDs() {
+		if _, loaded := r.pages[id]; !loaded {
+			if _, err := r.page(id); err != nil {
+				return err
+			}
+		}
+	}
+	for id, pg := range r.pages {
+		for ri := range pg.Rows {
+			for vi := range pg.Rows[ri].Versions {
+				v := &pg.Rows[ri].Versions[vi]
+				if v.CTS == common.CSNInit && !v.Trx.Zero() {
+					v.CTS = ctsFor(v.Trx)
+					r.dirty[id] = true
+				}
+			}
+		}
+		// With every version stamped, trim the chains replay may have
+		// over-grown (live purges are unlogged): at this point there
+		// are no active transactions, so only each row's newest
+		// committed version is reachable.
+		if pg.SizeEstimate() > page.SplitThreshold {
+			if pg.Purge(maxCTS, func(v *page.Version) common.CSN { return v.CTS }) > 0 {
+				r.dirty[id] = true
+			}
+		}
+	}
+
+	// Write back every changed page, reseed the TSO, truncate the logs.
+	for id, pg := range r.pages {
+		if !r.dirty[id] {
+			continue
+		}
+		img, err := pg.Marshal()
+		if err != nil {
+			return err
+		}
+		if err := r.store.WritePage(id, img); err != nil {
+			return err
+		}
+	}
+	if txSrv != nil {
+		if maxCTS < common.CSNMin {
+			maxCTS = common.CSNMin
+		}
+		txSrv.SetTSO(maxCTS)
+	}
+	for _, node := range r.store.LogNodes() {
+		r.store.LogTruncate(node, r.store.LogDurableLSN(node))
+	}
+	return nil
+}
+
+// findLeaf descends the recovered tree for space to the leaf owning key,
+// using the anchor from the space directory. Returns nil if the space is
+// unknown (orphaned records from an unfinished CreateSpace).
+func (r *clusterRecovery) findLeaf(space common.SpaceID, key []byte) (*page.Page, error) {
+	dir := decodeSpaceDir(r.store.GetMeta(spaceDirKey))
+	var anchor common.PageID
+	for _, si := range dir {
+		if si.Space == space {
+			anchor = si.Anchor
+			break
+		}
+	}
+	if anchor == common.InvalidPageID {
+		return nil, nil
+	}
+	cur, err := r.page(anchor)
+	if err != nil {
+		return nil, err
+	}
+	for depth := 0; depth < 64; depth++ {
+		if cur.Type == page.TypeLeaf {
+			return cur, nil
+		}
+		child := cur.ChildFor(key)
+		if child == common.InvalidPageID {
+			return nil, fmt.Errorf("recovery: space %d: no route for key: %w", space, common.ErrCorrupt)
+		}
+		if cur, err = r.page(child); err != nil {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("recovery: space %d: descent too deep: %w", space, common.ErrCorrupt)
+}
+
+// VerifyTree walks a space's recovered tree in storage and checks ordering
+// and leaf-chain invariants; a post-recovery diagnostic used by tests.
+func VerifyTree(store *storage.Store, anchor common.PageID) (rows int, err error) {
+	load := func(id common.PageID) (*page.Page, error) {
+		img, err := store.ReadPage(id)
+		if err != nil {
+			return nil, err
+		}
+		return page.Unmarshal(img)
+	}
+	a, err := load(anchor)
+	if err != nil {
+		return 0, err
+	}
+	cur, err := load(a.ChildFor(nil))
+	if err != nil {
+		return 0, err
+	}
+	for cur.Type != page.TypeLeaf {
+		child := cur.ChildFor(nil)
+		if child == common.InvalidPageID {
+			return 0, fmt.Errorf("verify: empty internal page %d", cur.ID)
+		}
+		if cur, err = load(child); err != nil {
+			return 0, err
+		}
+	}
+	var last []byte
+	for {
+		for i := range cur.Rows {
+			if last != nil && bytes.Compare(cur.Rows[i].Key, last) <= 0 {
+				return rows, fmt.Errorf("verify: key order violation on page %d", cur.ID)
+			}
+			last = cur.Rows[i].Key
+			rows++
+		}
+		if cur.Next == common.InvalidPageID {
+			return rows, nil
+		}
+		if cur, err = load(cur.Next); err != nil {
+			return rows, err
+		}
+	}
+}

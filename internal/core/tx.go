@@ -1,0 +1,535 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"time"
+
+	"polardbmp/internal/btree"
+	"polardbmp/internal/bufferfusion"
+	"polardbmp/internal/common"
+	"polardbmp/internal/lockfusion"
+	"polardbmp/internal/page"
+	"polardbmp/internal/wal"
+)
+
+// MaxRowSize bounds key+value so a single row can never overflow a page
+// even with a short version chain.
+const MaxRowSize = 3 * 1024
+
+// Isolation selects the transaction's snapshot behaviour.
+type Isolation uint8
+
+const (
+	// ReadCommitted takes a fresh read view per statement (the paper's
+	// evaluation default, §5.1).
+	ReadCommitted Isolation = iota
+	// SnapshotIsolation fixes the read view at Begin.
+	SnapshotIsolation
+)
+
+// Tx is a transaction bound to one node. A Tx must be used from a single
+// goroutine, like database/sql.Tx.
+type Tx struct {
+	n    *Node
+	g    common.GTrxID
+	iso  Isolation
+	view common.CSN // fixed view under SI (0 until first use)
+
+	undo    []undoEntry
+	touched []common.PageID // pages written, for commit-time CTS stamping
+	writes  bool
+	done    bool
+	started time.Time
+}
+
+type undoEntry struct {
+	space common.SpaceID
+	key   []byte
+}
+
+// Begin starts a read-committed transaction.
+func (n *Node) Begin() (*Tx, error) { return n.BeginIso(ReadCommitted) }
+
+// BeginIso starts a transaction at the given isolation level.
+func (n *Node) BeginIso(iso Isolation) (*Tx, error) {
+	if !n.live.Load() {
+		return nil, fmt.Errorf("core: node %d: %w", n.id, common.ErrNodeDown)
+	}
+	g, err := n.tf.Begin(n.nextTrx())
+	if err != nil {
+		// TIT exhaustion: refresh the global minimum view synchronously
+		// (recycling committed slots) and retry once.
+		if _, rerr := n.tf.ReportMinView(); rerr == nil {
+			g, err = n.tf.Begin(n.nextTrx())
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	tx := &Tx{n: n, g: g, iso: iso, started: time.Now()}
+	if iso == SnapshotIsolation {
+		csn, err := n.tf.CurrentReadCSN()
+		if err != nil {
+			n.tf.Finish(g)
+			return nil, err
+		}
+		tx.view = n.tf.OpenView(csn)
+	}
+	n.activeTx.Add(1)
+	return tx, nil
+}
+
+// GTrxID returns the transaction's global id (diagnostics).
+func (tx *Tx) GTrxID() common.GTrxID { return tx.g }
+
+// statementView returns the read view for one statement and a release func.
+func (tx *Tx) statementView() (common.CSN, func(), error) {
+	if tx.iso == SnapshotIsolation {
+		return tx.view, func() {}, nil
+	}
+	csn, err := tx.n.tf.CurrentReadCSN()
+	if err != nil {
+		return 0, nil, err
+	}
+	v := tx.n.tf.OpenView(csn)
+	return v, func() { tx.n.tf.CloseView(v) }, nil
+}
+
+// visibleValue walks a version chain and returns the value visible to view
+// (own writes always visible). The second result is false when no version
+// is visible or the visible version is a tombstone.
+func (tx *Tx) visibleValue(row *page.Row, view common.CSN) ([]byte, bool) {
+	if row == nil {
+		return nil, false
+	}
+	for i := range row.Versions {
+		v := &row.Versions[i]
+		if v.Trx != tx.g && tx.n.resolveCTS(v) > view {
+			continue
+		}
+		if v.Deleted {
+			return nil, false
+		}
+		return append([]byte(nil), v.Value...), true
+	}
+	return nil, false
+}
+
+// Get returns the value of key under the transaction's isolation level, or
+// ErrNotFound.
+func (tx *Tx) Get(space common.SpaceID, key []byte) ([]byte, error) {
+	if tx.done {
+		return nil, common.ErrTxDone
+	}
+	view, release, err := tx.statementView()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	t, err := tx.n.tree(space)
+	if err != nil {
+		return nil, err
+	}
+	ref, err := t.LeafSafe(key, lockfusion.ModeS)
+	if err != nil {
+		return nil, err
+	}
+	val, ok := tx.visibleValue(ref.Page.Find(key), view)
+	tx.n.releasePager(ref)
+	if !ok {
+		return nil, fmt.Errorf("core: key %q: %w", key, common.ErrNotFound)
+	}
+	return val, nil
+}
+
+// GetForUpdate returns the latest committed value of key and leaves the row
+// X-locked by this transaction (SELECT ... FOR UPDATE): it waits out any
+// active writer, then claims the row lock by prepending a version that
+// carries the same value. Read-modify-write sequences use it to avoid the
+// read-committed lost-update anomaly.
+func (tx *Tx) GetForUpdate(space common.SpaceID, key []byte) ([]byte, error) {
+	if tx.done {
+		return nil, common.ErrTxDone
+	}
+	if err := tx.write(space, key, nil, opLockRow); err != nil {
+		return nil, err
+	}
+	// The row is now locked by us; its pre-lock value was copied into the
+	// version we just wrote.
+	return tx.Get(space, key)
+}
+
+// KV is a key/value pair returned by Scan.
+type KV struct {
+	Key   []byte
+	Value []byte
+}
+
+// Scan returns up to limit visible rows with from <= key < to (to==nil means
+// unbounded), in key order, under one statement view.
+func (tx *Tx) Scan(space common.SpaceID, from, to []byte, limit int) ([]KV, error) {
+	if tx.done {
+		return nil, common.ErrTxDone
+	}
+	view, release, err := tx.statementView()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	t, err := tx.n.tree(space)
+	if err != nil {
+		return nil, err
+	}
+	ref, err := t.LeafSafe(from, lockfusion.ModeS)
+	if err != nil {
+		return nil, err
+	}
+	var out []KV
+	for ref != nil {
+		start, _ := ref.Page.Search(from)
+		for i := start; i < len(ref.Page.Rows); i++ {
+			row := &ref.Page.Rows[i]
+			if to != nil && bytes.Compare(row.Key, to) >= 0 {
+				tx.n.releasePager(ref)
+				return out, nil
+			}
+			if val, ok := tx.visibleValue(row, view); ok {
+				out = append(out, KV{Key: append([]byte(nil), row.Key...), Value: val})
+				if limit > 0 && len(out) >= limit {
+					tx.n.releasePager(ref)
+					return out, nil
+				}
+			}
+		}
+		ref, err = t.Next(ref, lockfusion.ModeS)
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// releasePager releases a btree ref through the node's pager.
+func (n *Node) releasePager(ref *btree.Ref) { (*pager)(n).Release(ref) }
+
+// writeOp discriminates the three mutations.
+type writeOp uint8
+
+const (
+	opInsert writeOp = iota
+	opUpdate
+	opDelete
+)
+
+// Insert adds a row; ErrKeyExists if a visible (committed-latest or own)
+// live row already exists.
+func (tx *Tx) Insert(space common.SpaceID, key, value []byte) error {
+	return tx.write(space, key, value, opInsert)
+}
+
+// Update replaces a row's value; ErrNotFound if no live row exists.
+func (tx *Tx) Update(space common.SpaceID, key, value []byte) error {
+	return tx.write(space, key, value, opUpdate)
+}
+
+// Delete removes a row (tombstone); ErrNotFound if no live row exists.
+func (tx *Tx) Delete(space common.SpaceID, key []byte) error {
+	return tx.write(space, key, nil, opDelete)
+}
+
+// Upsert inserts or replaces unconditionally.
+func (tx *Tx) Upsert(space common.SpaceID, key, value []byte) error {
+	return tx.write(space, key, value, opUpsert)
+}
+
+const (
+	opUpsert  writeOp = 3
+	opLockRow writeOp = 4
+)
+
+// write implements the locking write path of §4.3.2: descend to the leaf
+// under X PLock; if the row's newest version belongs to another active
+// transaction, wait through Lock Fusion and retry; otherwise prepend the
+// new version (writing our g_trx_id claims the row lock).
+func (tx *Tx) write(space common.SpaceID, key, value []byte, op writeOp) error {
+	if tx.done {
+		return common.ErrTxDone
+	}
+	if len(key) == 0 {
+		return fmt.Errorf("core: empty key")
+	}
+	if len(key)+len(value) > MaxRowSize {
+		return fmt.Errorf("core: row of %d bytes exceeds MaxRowSize %d", len(key)+len(value), MaxRowSize)
+	}
+	t, err := tx.n.tree(space)
+	if err != nil {
+		return err
+	}
+	need := len(key) + len(value) + 64
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 && attempt%64 == 0 {
+			// Pathological contention (e.g. a holder mid-recovery):
+			// back off instead of spinning on the fabric.
+			time.Sleep(time.Millisecond)
+		}
+		ref, err := t.LeafSafe(key, lockfusion.ModeX)
+		if err != nil {
+			return err
+		}
+		frame := ref.Opaque.(*bufferfusion.Frame)
+
+		// Make room first: purge dead versions (refreshing the global
+		// minimum view synchronously if the stale one isn't enough),
+		// then split if needed. A single hot row whose version chain
+		// fills the page cannot be split; its old versions become
+		// purgeable as soon as concurrent views advance, so back off
+		// and retry.
+		if ref.Page.SizeEstimate()+need > page.SplitThreshold {
+			if ref.Page.Purge(tx.n.tf.LastGMV(), tx.n.resolveCTS) > 0 {
+				frame.Dirty = true
+			}
+			if ref.Page.SizeEstimate()+need > page.SplitThreshold {
+				if _, err := tx.n.tf.ReportMinView(); err == nil {
+					if ref.Page.Purge(tx.n.tf.LastGMV(), tx.n.resolveCTS) > 0 {
+						frame.Dirty = true
+					}
+				}
+			}
+			if ref.Page.SizeEstimate()+need > page.SplitThreshold {
+				canSplit := len(ref.Page.Rows) >= 2
+				tx.n.releasePager(ref)
+				if !canSplit {
+					time.Sleep(200 * time.Microsecond)
+					continue
+				}
+				if err := t.SplitFor(key, need); err != nil {
+					return err
+				}
+				continue
+			}
+		}
+
+		row := ref.Page.Find(key)
+		var head *page.Version
+		if row != nil {
+			head = row.Head()
+		}
+
+		// Row-lock check: the newest version's writer still active?
+		if head != nil && head.Trx != tx.g && !head.Trx.Zero() && head.CTS == common.CSNInit {
+			if cts := tx.n.resolveCTS(head); cts == common.CSNMax {
+				holder := head.Trx
+				tx.n.releasePager(ref)
+				if err := tx.n.rl.WaitFor(tx.g, holder); err != nil {
+					if errors.Is(err, common.ErrDeadlock) {
+						tx.n.Deadlocks.Inc()
+					}
+					return err
+				}
+				continue // re-examine the row
+			}
+		}
+
+		// Existence semantics against the latest (now unlocked or our
+		// own) version.
+		exists := head != nil && !head.Deleted
+		switch op {
+		case opInsert:
+			if exists {
+				tx.n.releasePager(ref)
+				return fmt.Errorf("core: key %q: %w", key, common.ErrKeyExists)
+			}
+		case opUpdate, opDelete, opLockRow:
+			if !exists {
+				tx.n.releasePager(ref)
+				return fmt.Errorf("core: key %q: %w", key, common.ErrNotFound)
+			}
+		}
+		if op == opLockRow {
+			if head.Trx == tx.g {
+				// Already locked by us; nothing to do.
+				tx.n.releasePager(ref)
+				return nil
+			}
+			value = append([]byte(nil), head.Value...)
+		}
+
+		tx.mutate(ref, frame, space, key, value, op == opDelete)
+		tx.n.releasePager(ref)
+		return nil
+	}
+}
+
+// mutate applies one logged version-prepend under the held X leaf.
+func (tx *Tx) mutate(ref *btree.Ref, frame *bufferfusion.Frame, space common.SpaceID, key, value []byte, deleted bool) {
+	n := tx.n
+	llsn := n.llsn.Next()
+	ref.Page.InsertVersion(key, page.Version{
+		Trx:     tx.g,
+		CTS:     common.CSNInit,
+		Deleted: deleted,
+		Value:   append([]byte(nil), value...),
+	})
+	ref.Page.LLSN = llsn
+	n.wal.Append(&wal.Record{
+		Type:    wal.RecInsert,
+		Node:    n.id,
+		LLSN:    llsn,
+		Trx:     tx.g,
+		Page:    ref.Page.ID,
+		Space:   space,
+		Key:     key,
+		Deleted: deleted,
+		Value:   value,
+	})
+	frame.Dirty = true
+	tx.undo = append(tx.undo, undoEntry{space: space, key: append([]byte(nil), key...)})
+	tx.touched = append(tx.touched, ref.Page.ID)
+	tx.writes = true
+}
+
+// Commit makes the transaction durable and visible: fetch a CTS from the
+// TSO (one-sided fetch-add), force the redo log through the commit record,
+// publish the CTS in the TIT slot, best-effort stamp rows still cached, and
+// notify Lock Fusion if a waiter flagged us (§4.1, §4.3.2).
+func (tx *Tx) Commit() error {
+	if tx.done {
+		return common.ErrTxDone
+	}
+	tx.finish()
+	n := tx.n
+	if !tx.writes {
+		n.tf.Finish(tx.g)
+		n.Commits.Inc()
+		n.TxLatency.Observe(time.Since(tx.started))
+		return nil
+	}
+	cts, err := n.tf.NextCommitCSN()
+	if err != nil {
+		// Cannot reach the TSO (PMFS partition/crash): the transaction
+		// cannot commit; roll it back.
+		tx.rollbackLocked()
+		return err
+	}
+	end := n.wal.Append(&wal.Record{Type: wal.RecCommit, Node: n.id, LLSN: n.llsn.Next(), Trx: tx.g, CTS: cts})
+	n.wal.Sync(end) // durability point (group-committed)
+	waiters, err := n.tf.Commit(tx.g, cts)
+	if err != nil {
+		return err
+	}
+	if !n.c.cfg.DisableCTSStamp {
+		tx.stampCTS(cts)
+	}
+	if waiters {
+		n.rl.NotifyCommitted(tx.g)
+	}
+	n.Commits.Inc()
+	n.TxLatency.Observe(time.Since(tx.started))
+	return nil
+}
+
+// stampCTS fills the CTS of this transaction's versions on pages still
+// cached and locally lockable — the §4.1 fast path sparing readers the TIT
+// lookup. Best-effort: pages gone from the LBP (or whose PLock left the
+// node) are skipped.
+func (tx *Tx) stampCTS(cts common.CSN) {
+	n := tx.n
+	seen := make(map[common.PageID]bool, len(tx.touched))
+	for _, pg := range tx.touched {
+		if seen[pg] {
+			continue
+		}
+		seen[pg] = true
+		// Only stamp where the X PLock is already held by this node
+		// (lazy retention makes this the common case); a remote
+		// acquisition just to stamp would cost more than it saves.
+		if n.pl.HeldMode(pg) != lockfusion.ModeX {
+			continue
+		}
+		if err := n.pl.Acquire(pg, lockfusion.ModeX); err != nil {
+			continue
+		}
+		f, err := n.lbp.Get(pg)
+		if err != nil {
+			n.pl.Release(pg)
+			continue
+		}
+		f.Mu.Lock()
+		if f.Pg.StampCTS(tx.g, cts) > 0 {
+			f.Dirty = true
+		}
+		f.Mu.Unlock()
+		n.lbp.Unpin(f)
+		n.pl.Release(pg)
+	}
+}
+
+// Rollback undoes the transaction: each written version is removed (logged
+// as a compensation record) and the TIT slot is freed.
+func (tx *Tx) Rollback() error {
+	if tx.done {
+		return common.ErrTxDone
+	}
+	tx.finish()
+	tx.rollbackLocked()
+	return nil
+}
+
+func (tx *Tx) finish() {
+	tx.done = true
+	tx.n.activeTx.Add(-1)
+	if tx.iso == SnapshotIsolation {
+		tx.n.tf.CloseView(tx.view)
+	}
+}
+
+func (tx *Tx) rollbackLocked() {
+	n := tx.n
+	n.rollbackEntries(tx.g, tx.undo)
+	n.wal.Append(&wal.Record{Type: wal.RecAbort, Node: n.id, LLSN: n.llsn.Next(), Trx: tx.g})
+	waiters := n.tf.Finish(tx.g)
+	if waiters {
+		n.rl.NotifyCommitted(tx.g)
+	}
+	n.Aborts.Inc()
+}
+
+// rollbackEntries removes g's newest versions for the given undo entries in
+// reverse order, logging compensation records. Shared by live rollback and
+// node-restart recovery. Entries whose pages are currently unreachable
+// (fenced by another crashed node) are returned for deferred retry.
+func (n *Node) rollbackEntries(g common.GTrxID, undo []undoEntry) []undoEntry {
+	var unreachable []undoEntry
+	for i := len(undo) - 1; i >= 0; i-- {
+		e := undo[i]
+		t, err := n.tree(e.space)
+		if err != nil {
+			continue
+		}
+		ref, err := t.LeafSafe(e.key, lockfusion.ModeX)
+		if err != nil {
+			if common.IsRetryable(err) {
+				unreachable = append(unreachable, e)
+			}
+			continue
+		}
+		if ref.Page.RollbackVersion(e.key, g) {
+			llsn := n.llsn.Next()
+			ref.Page.LLSN = llsn
+			n.wal.Append(&wal.Record{
+				Type:  wal.RecRollback,
+				Node:  n.id,
+				LLSN:  llsn,
+				Trx:   g,
+				Page:  ref.Page.ID,
+				Space: e.space,
+				Key:   e.key,
+			})
+			ref.Opaque.(*bufferfusion.Frame).Dirty = true
+		}
+		n.releasePager(ref)
+	}
+	return unreachable
+}

@@ -1,0 +1,107 @@
+package figures
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinyOpts shrinks every knob so each figure runs in a couple of seconds;
+// these tests guard the harness code paths, not the numbers.
+func tinyOpts() Options {
+	return Options{
+		Out:      io.Discard,
+		Quick:    true,
+		Scale:    25,
+		Duration: 250 * time.Millisecond,
+		Warmup:   50 * time.Millisecond,
+		Threads:  1,
+		Nodes:    []int{1, 2},
+	}
+}
+
+func TestFig7Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness smoke test")
+	}
+	points := Fig7(tinyOpts())
+	if len(points) == 0 {
+		t.Fatal("no points")
+	}
+	for _, p := range points {
+		if p.TPS <= 0 {
+			t.Fatalf("zero throughput at %+v", p)
+		}
+	}
+}
+
+func TestFig8And13Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness smoke test")
+	}
+	if pts := Fig8(tinyOpts()); len(pts) != 2 {
+		t.Fatalf("fig8 points = %d", len(pts))
+	}
+	pts := Fig13(tinyOpts())
+	if len(pts) == 0 {
+		t.Fatal("fig13 empty")
+	}
+	seen := map[string]bool{}
+	for _, p := range pts {
+		seen[p.System] = true
+	}
+	if !seen["polardb-mp"] || !seen["shared-nothing"] {
+		t.Fatalf("fig13 systems = %v", seen)
+	}
+}
+
+func TestFig15Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness smoke test")
+	}
+	o := tinyOpts()
+	n1, n2, recovery := Fig15(o)
+	if len(n1) == 0 || len(n2) == 0 {
+		t.Fatal("empty timelines")
+	}
+	if recovery <= 0 || recovery > 30*time.Second {
+		t.Fatalf("recovery = %v", recovery)
+	}
+}
+
+func TestMicroSmoke(t *testing.T) {
+	tso, tit := Micro(tinyOpts())
+	// In-process one-sided verbs must stay well under the several-µs
+	// budget §4.1 cites for real RDMA.
+	if tso <= 0 || tso > 100*time.Microsecond {
+		t.Fatalf("tso fetch = %v", tso)
+	}
+	if tit <= 0 || tit > 100*time.Microsecond {
+		t.Fatalf("tit read = %v", tit)
+	}
+}
+
+func TestHeaderMentionsScale(t *testing.T) {
+	var sb strings.Builder
+	o := tinyOpts()
+	o.Out = &sb
+	o.fill()
+	o.header("x")
+	if !strings.Contains(sb.String(), "scale=25x") {
+		t.Fatalf("header missing scale: %q", sb.String())
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	pts := []SweepPoint{
+		{System: "a", Kind: "k", Nodes: 1, TPS: 100},
+		{System: "a", Kind: "k", Nodes: 4, TPS: 350},
+		{System: "b", Kind: "k", Nodes: 1, TPS: 200},
+		{System: "b", Kind: "k", Nodes: 4, TPS: 300},
+	}
+	normalize(pts)
+	if pts[1].Scaling != 3.5 || pts[3].Scaling != 1.5 {
+		t.Fatalf("scalings = %v %v", pts[1].Scaling, pts[3].Scaling)
+	}
+}

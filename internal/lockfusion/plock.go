@@ -1,0 +1,623 @@
+package lockfusion
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"polardbmp/internal/common"
+	"polardbmp/internal/metrics"
+	"polardbmp/internal/rdma"
+)
+
+// PLock RPC wire ops.
+const (
+	opPLockAcquire = 1 // node, page, mode -> grant (blocks until granted)
+	opPLockRelease = 2 // node, page
+	opRevoke       = 3 // (node service) page, wanted mode
+)
+
+func plockReqBuf(op byte, node common.NodeID, pg common.PageID, mode Mode) []byte {
+	b := make([]byte, 12)
+	b[0] = op
+	binary.LittleEndian.PutUint16(b[1:], uint16(node))
+	binary.LittleEndian.PutUint64(b[3:], uint64(pg))
+	b[11] = byte(mode)
+	return b
+}
+
+// PLockServer is the PMFS-side PLock manager: one entry per page, FIFO
+// waiter queues, negotiation messages to lazy holders.
+type PLockServer struct {
+	fabric *rdma.Fabric
+
+	mu      sync.Mutex
+	entries map[common.PageID]*plockEntry
+	dead    map[common.NodeID]bool
+
+	// Grants counts lock grants; Negotiations counts revoke messages sent
+	// (the message-overhead metric behind lazy release, §4.3.1).
+	Grants       metrics.Counter
+	Negotiations metrics.Counter
+}
+
+type plockEntry struct {
+	holders map[common.NodeID]Mode
+	queue   []*plockWaiter
+	// revoked tracks holders already sent a negotiation message, to
+	// avoid repeats while a release is in flight.
+	revoked map[common.NodeID]bool
+}
+
+type plockWaiter struct {
+	node    common.NodeID
+	mode    Mode
+	granted chan struct{}
+	err     error // set before granted is closed on failure
+}
+
+func newPLockServer(ep *rdma.Endpoint, fabric *rdma.Fabric) *PLockServer {
+	s := &PLockServer{
+		fabric:  fabric,
+		entries: make(map[common.PageID]*plockEntry),
+		dead:    make(map[common.NodeID]bool),
+	}
+	ep.Serve(ServicePLock, s.handle)
+	return s
+}
+
+func (s *PLockServer) handle(req []byte) ([]byte, error) {
+	if len(req) < 12 {
+		return nil, common.ErrShortBuffer
+	}
+	node := common.NodeID(binary.LittleEndian.Uint16(req[1:]))
+	pg := common.PageID(binary.LittleEndian.Uint64(req[3:]))
+	mode := Mode(req[11])
+	switch req[0] {
+	case opPLockAcquire:
+		return nil, s.acquire(node, pg, mode)
+	case opPLockRelease:
+		s.release(node, pg)
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("plock: unknown op %d", req[0])
+	}
+}
+
+func (s *PLockServer) entry(pg common.PageID) *plockEntry {
+	e := s.entries[pg]
+	if e == nil {
+		e = &plockEntry{
+			holders: make(map[common.NodeID]Mode),
+			revoked: make(map[common.NodeID]bool),
+		}
+		s.entries[pg] = e
+	}
+	return e
+}
+
+// acquire blocks until the PLock is granted to node. Grants are FIFO per
+// page so a lazy holder cannot starve remote requesters (§4.3.1). A request
+// conflicting with a crashed node's retained lock fails fast with ErrFenced
+// (retryable): blocking would let live transactions hold-and-wait against a
+// fence only that node's recovery can lift.
+func (s *PLockServer) acquire(node common.NodeID, pg common.PageID, mode Mode) error {
+	s.mu.Lock()
+	e := s.entry(pg)
+	if held, ok := e.holders[node]; ok && held.Covers(mode) {
+		// Idempotent re-grant (e.g. the release raced a new acquire,
+		// or a recovering incarnation reclaiming its fenced lock).
+		s.mu.Unlock()
+		return nil
+	}
+	for holder, held := range e.holders {
+		// A fence only ever blocks OTHER nodes: the crashed holder's own
+		// recovering incarnation reclaims through the idempotent path
+		// above, and two dead nodes must not wait on each other.
+		if holder != node && s.dead[holder] && !compatible(held, mode) {
+			s.mu.Unlock()
+			return fmt.Errorf("plock: page %d held by crashed node %d: %w",
+				pg, holder, common.ErrFenced)
+		}
+	}
+	w := &plockWaiter{node: node, mode: mode, granted: make(chan struct{})}
+	e.queue = append(e.queue, w)
+	revokees := s.tryGrantLocked(pg, e)
+	s.mu.Unlock()
+	s.sendRevokes(pg, revokees)
+
+	select {
+	case <-w.granted:
+		return w.err
+	case <-time.After(plockWaitBackstop):
+		// Remove the waiter if still queued; if the grant raced the
+		// timeout, accept it.
+		s.mu.Lock()
+		for i, q := range e.queue {
+			if q == w {
+				e.queue = append(e.queue[:i], e.queue[i+1:]...)
+				s.mu.Unlock()
+				return fmt.Errorf("plock: page %d mode %v for node %d: %w",
+					pg, mode, node, common.ErrLockTimeout)
+			}
+		}
+		s.mu.Unlock()
+		<-w.granted
+		return w.err
+	}
+}
+
+// MarkDead records that node crashed: its retained PLocks become a fence
+// that fails conflicting requests fast, and waiters already blocked behind
+// it are failed so they release what they hold and retry.
+func (s *PLockServer) MarkDead(node common.NodeID) {
+	n := common.NodeID(node)
+	var pending []pendingRevokes
+	s.mu.Lock()
+	s.dead[n] = true
+	for pg, e := range s.entries {
+		if _, holds := e.holders[n]; !holds {
+			continue
+		}
+		kept := e.queue[:0]
+		for _, w := range e.queue {
+			if w.node != n && !compatible(e.holders[n], w.mode) {
+				w.err = fmt.Errorf("plock: page %d held by crashed node %d: %w",
+					pg, n, common.ErrFenced)
+				close(w.granted)
+				continue
+			}
+			kept = append(kept, w)
+		}
+		e.queue = kept
+		pending = append(pending, pendingRevokes{pg, s.tryGrantLocked(pg, e)})
+	}
+	s.mu.Unlock()
+	for _, p := range pending {
+		s.sendRevokes(p.pg, p.targets)
+	}
+}
+
+// pendingRevokes pairs a page with its queued negotiation messages.
+type pendingRevokes struct {
+	pg      common.PageID
+	targets []revokeTarget
+}
+
+// ClearDead lifts the dead mark after the node's recovery completed.
+func (s *PLockServer) ClearDead(node common.NodeID) {
+	s.mu.Lock()
+	delete(s.dead, common.NodeID(node))
+	s.mu.Unlock()
+}
+
+// plockWaitBackstop bounds server-side waits. It is intentionally generous:
+// engine-level acquisition order makes PLock deadlocks impossible, so this
+// only fires on bugs or crashed holders not yet dropped.
+const plockWaitBackstop = 10 * time.Second
+
+// revokeTarget is one negotiation message to send once the table lock is
+// released.
+type revokeTarget struct {
+	holder   common.NodeID
+	wantNode common.NodeID
+	wantMode Mode
+}
+
+// sendRevokes delivers negotiation messages outside the table lock (the
+// holder's revoke handler may synchronously call back with a release).
+func (s *PLockServer) sendRevokes(pg common.PageID, targets []revokeTarget) {
+	for _, t := range targets {
+		s.Negotiations.Inc()
+		_, _ = s.fabric.Call(t.holder, ServiceRevoke, plockReqBuf(opRevoke, t.wantNode, pg, t.wantMode))
+	}
+}
+
+// collectRevokeesLocked returns the holders that conflict with the queue
+// head and have not yet been sent a negotiation message.
+func (s *PLockServer) collectRevokeesLocked(e *plockEntry, head *plockWaiter) []revokeTarget {
+	var out []revokeTarget
+	for holder, held := range e.holders {
+		if holder == head.node || s.dead[holder] {
+			continue // dead holders cannot respond; the fence handles them
+		}
+		if !compatible(held, head.mode) && !e.revoked[holder] {
+			e.revoked[holder] = true
+			out = append(out, revokeTarget{holder: holder, wantNode: head.node, wantMode: head.mode})
+		}
+	}
+	return out
+}
+
+// tryGrantLocked grants queue-head waiters while they are compatible with
+// the remaining holders (and with each other: a run of S waiters is granted
+// together). When it stops with a blocked head, it returns the negotiation
+// messages the caller must send after unlocking — computed HERE, on every
+// state change, because a waiter that becomes head only after earlier
+// grants would otherwise never trigger negotiation and the queue would
+// wedge behind a lazy holder.
+func (s *PLockServer) tryGrantLocked(pg common.PageID, e *plockEntry) []revokeTarget {
+	for len(e.queue) > 0 {
+		w := e.queue[0]
+		ok := true
+		for holder, held := range e.holders {
+			if holder == w.node {
+				// The node's own (possibly weaker) holdership never
+				// blocks its request: upgrades don't occur in the
+				// live protocol (clients release before acquiring a
+				// stronger mode), so this only fires when a
+				// recovering incarnation reclaims its crashed
+				// predecessor's lock in a stronger mode.
+				continue
+			}
+			if !compatible(held, w.mode) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			return s.collectRevokeesLocked(e, w)
+		}
+		if cur, isHolder := e.holders[w.node]; !isHolder || w.mode > cur {
+			e.holders[w.node] = w.mode
+		}
+		delete(e.revoked, w.node)
+		e.queue = e.queue[1:]
+		s.Grants.Inc()
+		close(w.granted)
+	}
+	return nil
+}
+
+// release removes node's hold on pg and grants any unblocked waiters.
+func (s *PLockServer) release(node common.NodeID, pg common.PageID) {
+	s.mu.Lock()
+	e := s.entries[pg]
+	if e == nil {
+		s.mu.Unlock()
+		return
+	}
+	delete(e.holders, node)
+	delete(e.revoked, node)
+	revokees := s.tryGrantLocked(pg, e)
+	if len(e.holders) == 0 && len(e.queue) == 0 {
+		delete(s.entries, pg)
+	}
+	s.mu.Unlock()
+	s.sendRevokes(pg, revokees)
+}
+
+// dropNode force-releases everything node holds or awaits (crash cleanup).
+func (s *PLockServer) dropNode(node uint16) {
+	n := common.NodeID(node)
+	var pending []pendingRevokes
+	s.mu.Lock()
+	delete(s.dead, n)
+	for pg, e := range s.entries {
+		delete(e.holders, n)
+		delete(e.revoked, n)
+		filtered := e.queue[:0]
+		for _, w := range e.queue {
+			if w.node == n {
+				close(w.granted) // unblock; the caller's fabric call fails anyway
+				continue
+			}
+			filtered = append(filtered, w)
+		}
+		e.queue = filtered
+		pending = append(pending, pendingRevokes{pg, s.tryGrantLocked(pg, e)})
+		if len(e.holders) == 0 && len(e.queue) == 0 {
+			delete(s.entries, pg)
+		}
+	}
+	s.mu.Unlock()
+	for _, p := range pending {
+		s.sendRevokes(p.pg, p.targets)
+	}
+}
+
+// DebugDump renders the lock table state (diagnostics).
+func (s *PLockServer) DebugDump() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := ""
+	for pg, e := range s.entries {
+		out += fmt.Sprintf("page %d: holders=%v revoked=%v queue=[", pg, e.holders, e.revoked)
+		for _, w := range e.queue {
+			out += fmt.Sprintf("{n%d %v} ", w.node, w.mode)
+		}
+		out += "]\n"
+	}
+	return out
+}
+
+// HolderCount returns the number of pages with at least one holder (tests).
+func (s *PLockServer) HolderCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, e := range s.entries {
+		if len(e.holders) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// --- client ----------------------------------------------------------------
+
+// RevokeFunc is called by the PLock client when PMFS asks the node to give a
+// page back. The engine uses it to flush the dirty page to the DBP (forcing
+// logs first) before the lock leaves the node (§4.2/§4.3.1). It runs before
+// the release RPC is sent.
+type RevokeFunc func(pg common.PageID, held Mode)
+
+// PLockClient is a node's PLock manager: it tracks locks the node holds,
+// reference counts from local threads, lazy retention, and pending revokes.
+type PLockClient struct {
+	node   common.NodeID
+	fabric *rdma.Fabric
+	cfg    Config
+
+	onRevoke RevokeFunc
+	closed   atomic.Bool
+
+	mu    sync.Mutex
+	locks map[common.PageID]*localPLock
+	// releasing tracks pages with an in-flight release RPC; a fresh
+	// acquire for such a page must wait or the server could grant
+	// against holdership the release is about to remove.
+	releasing map[common.PageID]bool
+	relCond   *sync.Cond
+
+	// LocalGrants / RemoteAcquires measure the lazy-release fast path.
+	LocalGrants    metrics.Counter
+	RemoteAcquires metrics.Counter
+}
+
+type localPLock struct {
+	mode          Mode
+	refs          int
+	revokePending bool
+	// acquiring serializes remote acquisition for the same page from
+	// multiple local threads.
+	acquiring bool
+	cond      *sync.Cond
+}
+
+// NewPLockClient registers the node's revoke service and returns the client.
+func NewPLockClient(ep *rdma.Endpoint, fabric *rdma.Fabric, cfg Config) *PLockClient {
+	cfg.fill()
+	c := &PLockClient{
+		node:      ep.Node(),
+		fabric:    fabric,
+		cfg:       cfg,
+		locks:     make(map[common.PageID]*localPLock),
+		releasing: make(map[common.PageID]bool),
+	}
+	c.relCond = sync.NewCond(&c.mu)
+	ep.Serve(ServiceRevoke, c.handleRevoke)
+	return c
+}
+
+// SetRevokeHandler installs the engine's flush-before-release hook. Must be
+// called before the node serves traffic.
+func (c *PLockClient) SetRevokeHandler(f RevokeFunc) { c.onRevoke = f }
+
+func (c *PLockClient) handleRevoke(req []byte) ([]byte, error) {
+	if len(req) < 12 {
+		return nil, common.ErrShortBuffer
+	}
+	pg := common.PageID(binary.LittleEndian.Uint64(req[3:]))
+	c.mu.Lock()
+	l := c.locks[pg]
+	if l == nil {
+		// Already released (race with our own release): nothing to do.
+		c.mu.Unlock()
+		return nil, nil
+	}
+	l.revokePending = true
+	if l.refs > 0 || l.acquiring {
+		// Busy, or a local thread is mid-acquisition (the server may
+		// have just granted it): the next unref (or the acquiring
+		// thread's release) performs the handover.
+		c.mu.Unlock()
+		return nil, nil
+	}
+	mode := l.mode
+	delete(c.locks, pg)
+	c.releasing[pg] = true
+	c.mu.Unlock()
+	c.releaseToServer(pg, mode)
+	return nil, nil
+}
+
+// Acquire obtains the PLock for pg in the given mode for one local user.
+// The fast path grants locally when the node already holds a covering mode
+// and no negotiation is pending (§4.3.1); otherwise it RPCs Lock Fusion.
+func (c *PLockClient) Acquire(pg common.PageID, mode Mode) error {
+	if c.closed.Load() {
+		return fmt.Errorf("plock: node %d client: %w", c.node, common.ErrClosed)
+	}
+	c.mu.Lock()
+	for {
+		if c.closed.Load() {
+			c.mu.Unlock()
+			return fmt.Errorf("plock: node %d client: %w", c.node, common.ErrClosed)
+		}
+		if c.releasing[pg] {
+			c.relCond.Wait()
+			continue
+		}
+		l := c.locks[pg]
+		if l == nil {
+			l = &localPLock{}
+			l.cond = sync.NewCond(&c.mu)
+			c.locks[pg] = l
+		}
+		if l.cond == nil {
+			l.cond = sync.NewCond(&c.mu)
+		}
+		// Fast path: covering mode held, no revoke pending, and lazy
+		// retention enabled (a fresh grant always passes through the
+		// server, so refs>0 grants are always legal to share).
+		if l.mode.Covers(mode) && !l.revokePending && (!c.cfg.DisableLazyRelease || l.refs > 0) {
+			l.refs++
+			c.mu.Unlock()
+			c.LocalGrants.Inc()
+			return nil
+		}
+		if l.revokePending || l.acquiring || (l.mode != 0 && !l.mode.Covers(mode)) {
+			// Someone must first finish releasing or acquiring;
+			// wait for the state to settle. (A non-covering held
+			// mode means local S holders must drain before we can
+			// fetch X — the no-upgrade rule.)
+			if l.refs == 0 && l.revokePending && !l.acquiring {
+				// We are the ones who must complete the revoke.
+				mode0 := l.mode
+				delete(c.locks, pg)
+				c.releasing[pg] = true
+				c.mu.Unlock()
+				c.releaseToServer(pg, mode0)
+				c.mu.Lock()
+				continue
+			}
+			if l.refs == 0 && l.mode != 0 && !l.mode.Covers(mode) && !l.acquiring {
+				// Voluntarily give back the weaker lock, then
+				// acquire the stronger one fresh.
+				mode0 := l.mode
+				delete(c.locks, pg)
+				c.releasing[pg] = true
+				c.mu.Unlock()
+				c.releaseToServer(pg, mode0)
+				c.mu.Lock()
+				continue
+			}
+			l.cond.Wait()
+			continue
+		}
+		// Slow path: fetch from the server.
+		l.acquiring = true
+		c.mu.Unlock()
+		c.RemoteAcquires.Inc()
+		_, err := c.fabric.Call(common.PMFSNode, ServicePLock,
+			plockReqBuf(opPLockAcquire, c.node, pg, mode))
+		c.mu.Lock()
+		l.acquiring = false
+		if err != nil {
+			if l.refs == 0 && l.mode == 0 {
+				delete(c.locks, pg)
+			}
+			l.cond.Broadcast()
+			c.mu.Unlock()
+			return err
+		}
+		if mode > l.mode {
+			l.mode = mode
+		}
+		l.refs++
+		l.cond.Broadcast()
+		c.mu.Unlock()
+		return nil
+	}
+}
+
+// Release drops one local reference. With lazy retention the node keeps the
+// PLock; if PMFS asked for it back (or lazy retention is disabled), the last
+// unref flushes via the revoke hook and releases it to the server.
+func (c *PLockClient) Release(pg common.PageID) {
+	c.mu.Lock()
+	l := c.locks[pg]
+	if l == nil || l.refs == 0 {
+		c.mu.Unlock()
+		if c.closed.Load() {
+			// A zombie thread of a crashed node racing teardown; its
+			// holdership is reclaimed by recovery's DropNodePLock.
+			return
+		}
+		panic(fmt.Sprintf("plock: release of un-held page %d on node %d", pg, c.node))
+	}
+	l.refs--
+	if l.refs > 0 {
+		c.mu.Unlock()
+		return
+	}
+	if !l.revokePending && !c.cfg.DisableLazyRelease {
+		l.cond.Broadcast()
+		c.mu.Unlock()
+		return
+	}
+	mode := l.mode
+	delete(c.locks, pg)
+	c.releasing[pg] = true
+	l.cond.Broadcast()
+	c.mu.Unlock()
+	c.releaseToServer(pg, mode)
+}
+
+// releaseToServer runs the engine flush hook and returns the lock to PMFS.
+// Callers must have removed the page's map entry and set releasing[pg]
+// under c.mu before calling, so no fresh acquire can overtake the release.
+func (c *PLockClient) releaseToServer(pg common.PageID, mode Mode) {
+	if c.closed.Load() {
+		// A crashed node's zombie goroutine must not mutate server
+		// state that now belongs to the node's restarted incarnation.
+		c.mu.Lock()
+		delete(c.releasing, pg)
+		c.relCond.Broadcast()
+		c.mu.Unlock()
+		return
+	}
+	if c.onRevoke != nil {
+		c.onRevoke(pg, mode)
+	}
+	_, _ = c.fabric.Call(common.PMFSNode, ServicePLock,
+		plockReqBuf(opPLockRelease, c.node, pg, mode))
+	c.mu.Lock()
+	delete(c.releasing, pg)
+	c.relCond.Broadcast()
+	if l := c.locks[pg]; l != nil && l.cond != nil {
+		l.cond.Broadcast()
+	}
+	c.mu.Unlock()
+}
+
+// ReleaseAll force-releases every retained lock (shutdown / ablation /
+// cache-drop). Locks with live references are skipped.
+func (c *PLockClient) ReleaseAll() {
+	c.mu.Lock()
+	var idle []struct {
+		pg   common.PageID
+		mode Mode
+	}
+	for pg, l := range c.locks {
+		if l.refs == 0 {
+			idle = append(idle, struct {
+				pg   common.PageID
+				mode Mode
+			}{pg, l.mode})
+			delete(c.locks, pg)
+			c.releasing[pg] = true
+		}
+	}
+	c.mu.Unlock()
+	for _, e := range idle {
+		c.releaseToServer(e.pg, e.mode)
+	}
+}
+
+// Close fences the client after a node crash: no further acquisitions or
+// server releases are issued.
+func (c *PLockClient) Close() { c.closed.Store(true) }
+
+// HeldMode returns the mode the node currently holds for pg (0 if none).
+func (c *PLockClient) HeldMode(pg common.PageID) Mode {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if l := c.locks[pg]; l != nil {
+		return l.mode
+	}
+	return 0
+}

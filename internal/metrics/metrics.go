@@ -1,0 +1,227 @@
+// Package metrics provides the low-overhead counters, latency histograms and
+// throughput timelines used by the benchmark harnesses to regenerate the
+// paper's figures.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Reset sets the counter to zero.
+func (c *Counter) Reset() { c.v.Store(0) }
+
+// Histogram is a concurrency-safe latency histogram with logarithmic buckets
+// (~7% relative error), good enough for P50/P95/P99 figure reproduction.
+type Histogram struct {
+	mu      sync.Mutex
+	buckets [nBuckets]int64
+	count   int64
+	sum     int64 // nanoseconds
+	max     int64
+}
+
+const (
+	nBuckets = 256
+	// bucketBase: bucket i covers [base^i, base^(i+1)) ns.
+	bucketBase = 1.1
+)
+
+func bucketFor(ns int64) int {
+	if ns < 1 {
+		ns = 1
+	}
+	i := int(math.Log(float64(ns)) / math.Log(bucketBase))
+	if i >= nBuckets {
+		i = nBuckets - 1
+	}
+	return i
+}
+
+func bucketLow(i int) int64 { return int64(math.Pow(bucketBase, float64(i))) }
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	i := bucketFor(ns)
+	h.mu.Lock()
+	h.buckets[i]++
+	h.count++
+	h.sum += ns
+	if ns > h.max {
+		h.max = ns
+	}
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the mean observed duration.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / h.count)
+}
+
+// Quantile returns the q-quantile (0 < q <= 1) of the observations.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	target := int64(q * float64(h.count))
+	if target >= h.count {
+		return time.Duration(h.max)
+	}
+	var seen int64
+	for i := 0; i < nBuckets; i++ {
+		seen += h.buckets[i]
+		if seen > target {
+			return time.Duration(bucketLow(i))
+		}
+	}
+	return time.Duration(h.max)
+}
+
+// Reset clears the histogram.
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	*h = Histogram{}
+	h.mu.Unlock()
+}
+
+// Merge folds other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	other.mu.Lock()
+	b := other.buckets
+	c, s, m := other.count, other.sum, other.max
+	other.mu.Unlock()
+	h.mu.Lock()
+	for i := range b {
+		h.buckets[i] += b[i]
+	}
+	h.count += c
+	h.sum += s
+	if m > h.max {
+		h.max = m
+	}
+	h.mu.Unlock()
+}
+
+// String summarizes the histogram.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v",
+		h.Count(), h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99))
+}
+
+// Timeline records per-interval event counts so harnesses can plot
+// throughput over time (Figures 10 and 15).
+type Timeline struct {
+	start    time.Time
+	interval time.Duration
+	mu       sync.Mutex
+	buckets  []int64
+}
+
+// NewTimeline starts a timeline with the given bucketing interval.
+func NewTimeline(interval time.Duration) *Timeline {
+	return &Timeline{start: time.Now(), interval: interval}
+}
+
+// Tick records n events at the current time.
+func (t *Timeline) Tick(n int64) {
+	i := int(time.Since(t.start) / t.interval)
+	t.mu.Lock()
+	for len(t.buckets) <= i {
+		t.buckets = append(t.buckets, 0)
+	}
+	t.buckets[i] += n
+	t.mu.Unlock()
+}
+
+// Interval returns the bucketing interval.
+func (t *Timeline) Interval() time.Duration { return t.interval }
+
+// Series returns a copy of the per-interval counts.
+func (t *Timeline) Series() []int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]int64, len(t.buckets))
+	copy(out, t.buckets)
+	return out
+}
+
+// Rates returns per-interval event rates in events/second.
+func (t *Timeline) Rates() []float64 {
+	s := t.Series()
+	out := make([]float64, len(s))
+	for i, v := range s {
+		out[i] = float64(v) / t.interval.Seconds()
+	}
+	return out
+}
+
+// Summary aggregates a harness run: throughput plus latency percentiles.
+type Summary struct {
+	Name       string
+	Ops        int64
+	Errors     int64
+	Aborts     int64
+	Elapsed    time.Duration
+	Latency    *Histogram
+	ExtraNotes string
+}
+
+// TPS returns operations per second.
+func (s Summary) TPS() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Ops) / s.Elapsed.Seconds()
+}
+
+func (s Summary) String() string {
+	lat := ""
+	if s.Latency != nil && s.Latency.Count() > 0 {
+		lat = " " + s.Latency.String()
+	}
+	return fmt.Sprintf("%s: %.0f tps (%d ops, %d aborts, %d errors, %v)%s",
+		s.Name, s.TPS(), s.Ops, s.Aborts, s.Errors, s.Elapsed.Round(time.Millisecond), lat)
+}
+
+// SortedKeys returns the keys of m in sorted order (small harness helper).
+func SortedKeys[K interface {
+	~int | ~int64 | ~uint64 | ~string | ~float64
+}, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}

@@ -1,0 +1,117 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	c.Reset()
+	if c.Load() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 350*time.Microsecond || p50 > 700*time.Microsecond {
+		t.Fatalf("p50 = %v, want ~500µs", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 800*time.Microsecond || p99 > 1200*time.Microsecond {
+		t.Fatalf("p99 = %v, want ~990µs", p99)
+	}
+	if h.Quantile(1.0) < p99 {
+		t.Fatal("max below p99")
+	}
+	mean := h.Mean()
+	if mean < 400*time.Microsecond || mean > 600*time.Microsecond {
+		t.Fatalf("mean = %v, want ~500µs", mean)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.99) != 0 || h.Mean() != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Observe(time.Millisecond)
+	b.Observe(3 * time.Millisecond)
+	a.Merge(&b)
+	if a.Count() != 2 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Quantile(1.0) < 2*time.Millisecond {
+		t.Fatalf("merged max = %v", a.Quantile(1.0))
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	tl := NewTimeline(10 * time.Millisecond)
+	tl.Tick(5)
+	time.Sleep(25 * time.Millisecond)
+	tl.Tick(3)
+	s := tl.Series()
+	if len(s) < 3 {
+		t.Fatalf("series len = %d, want >= 3", len(s))
+	}
+	if s[0] != 5 {
+		t.Fatalf("bucket 0 = %d, want 5", s[0])
+	}
+	var total int64
+	for _, v := range s {
+		total += v
+	}
+	if total != 8 {
+		t.Fatalf("total = %d, want 8", total)
+	}
+	rates := tl.Rates()
+	if rates[0] != 500 {
+		t.Fatalf("rate 0 = %f, want 500/s", rates[0])
+	}
+}
+
+func TestSummaryTPS(t *testing.T) {
+	s := Summary{Name: "x", Ops: 1000, Elapsed: 2 * time.Second}
+	if s.TPS() != 500 {
+		t.Fatalf("tps = %f", s.TPS())
+	}
+	if (Summary{}).TPS() != 0 {
+		t.Fatal("zero-elapsed TPS should be 0")
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[int]string{3: "c", 1: "a", 2: "b"}
+	keys := SortedKeys(m)
+	if len(keys) != 3 || keys[0] != 1 || keys[1] != 2 || keys[2] != 3 {
+		t.Fatalf("keys = %v", keys)
+	}
+}

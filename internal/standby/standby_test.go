@@ -1,0 +1,190 @@
+package standby
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"polardbmp/internal/common"
+	"polardbmp/internal/core"
+)
+
+func primary(t *testing.T, nodes int) (*core.Cluster, common.SpaceID) {
+	t.Helper()
+	c := core.NewCluster(core.Config{RecycleInterval: 5 * time.Millisecond})
+	for i := 0; i < nodes; i++ {
+		if _, err := c.AddNode(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sp, err := c.CreateSpace("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c, sp
+}
+
+func write(t *testing.T, c *core.Cluster, sp common.SpaceID, node int, key, val string) {
+	t.Helper()
+	tx, err := c.Node(node).Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Upsert(sp, []byte(key), []byte(val)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPromoteCarriesCommittedData(t *testing.T) {
+	c, sp := primary(t, 2)
+	for i := 0; i < 100; i++ {
+		write(t, c, sp, 1+i%2, fmt.Sprintf("k%03d", i), fmt.Sprintf("v%d", i))
+	}
+	sb := New(c.Store())
+	if err := sb.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// An uncommitted transaction's log reaches the standby too; promotion
+	// must roll it back.
+	tx, _ := c.Node(1).Begin()
+	if err := tx.Upsert(sp, []byte("k000"), []byte("uncommitted")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Upsert(sp, []byte("ghost"), []byte("boo")); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the log racing ahead of the commit record, then "regional
+	// failure": no commit ever lands.
+	c.Node(1).ForceLogSync()
+	if err := sb.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	promoted, err := sb.Promote(core.Config{RecycleInterval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer promoted.Close()
+	if _, err := promoted.AddNode(); err != nil {
+		t.Fatal(err)
+	}
+	spNew, err := promoted.SpaceID("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ptx, err := promoted.Node(1).Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ptx.Commit()
+	for i := 0; i < 100; i++ {
+		want := fmt.Sprintf("v%d", i)
+		got, err := ptx.Get(spNew, []byte(fmt.Sprintf("k%03d", i)))
+		if err != nil || string(got) != want {
+			t.Fatalf("k%03d = %q, %v (want %q)", i, got, err, want)
+		}
+	}
+	if _, err := ptx.Get(spNew, []byte("ghost")); !errors.Is(err, common.ErrNotFound) {
+		t.Fatalf("uncommitted row survived promotion: %v", err)
+	}
+	// The promoted cluster accepts new writes.
+	wtx, _ := promoted.Node(1).Begin()
+	if err := wtx.Insert(spNew, []byte("post-failover"), []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if err := wtx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIncrementalSyncAndLag(t *testing.T) {
+	c, sp := primary(t, 1)
+	write(t, c, sp, 1, "a", "1")
+	sb := New(c.Store())
+	if err := sb.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if lag := sb.Lag(); lag != 0 {
+		t.Fatalf("lag after sync = %d", lag)
+	}
+	write(t, c, sp, 1, "b", "2")
+	if lag := sb.Lag(); lag == 0 {
+		t.Fatal("no lag after new writes")
+	}
+	if err := sb.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if lag := sb.Lag(); lag != 0 {
+		t.Fatalf("lag after second sync = %d", lag)
+	}
+}
+
+func TestContinuousRun(t *testing.T) {
+	c, sp := primary(t, 2)
+	sb := New(c.Store())
+	sb.Run(5 * time.Millisecond)
+	for i := 0; i < 50; i++ {
+		write(t, c, sp, 1+i%2, fmt.Sprintf("r%03d", i), "v")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for sb.Lag() != 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	sb.Stop()
+	if sb.Lag() != 0 {
+		t.Fatalf("standby never caught up: lag %d", sb.Lag())
+	}
+}
+
+func TestSyncAcrossPrimaryCheckpoint(t *testing.T) {
+	c, sp := primary(t, 1)
+	for i := 0; i < 50; i++ {
+		write(t, c, sp, 1, fmt.Sprintf("k%03d", i), "v")
+	}
+	sb := New(c.Store())
+	// Primary checkpoints (truncating logs) BEFORE the standby's first
+	// sync: the shipped page images must cover the truncated history.
+	if err := c.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 50; i < 80; i++ {
+		write(t, c, sp, 1, fmt.Sprintf("k%03d", i), "v")
+	}
+	if err := sb.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	promoted, err := sb.Promote(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer promoted.Close()
+	if _, err := promoted.AddNode(); err != nil {
+		t.Fatal(err)
+	}
+	spNew, _ := promoted.SpaceID("t")
+	ptx, _ := promoted.Node(1).Begin()
+	defer ptx.Commit()
+	kvs, err := ptx.Scan(spNew, nil, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != 80 {
+		t.Fatalf("promoted rows = %d, want 80", len(kvs))
+	}
+}
+
+func TestSyncAfterPromoteRefused(t *testing.T) {
+	c, _ := primary(t, 1)
+	sb := New(c.Store())
+	if _, err := sb.Promote(core.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sb.Sync(); !errors.Is(err, common.ErrClosed) {
+		t.Fatalf("sync after promote err = %v", err)
+	}
+}

@@ -1,0 +1,150 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"polardbmp/internal/common"
+)
+
+func TestPageReadWrite(t *testing.T) {
+	s := New(Latency{})
+	id := s.AllocPage()
+	if id == common.InvalidPageID {
+		t.Fatal("allocated invalid page id")
+	}
+	img := []byte{1, 2, 3, 4}
+	if err := s.WritePage(id, img); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ReadPage(id)
+	if err != nil || !bytes.Equal(got, img) {
+		t.Fatalf("got %v err %v", got, err)
+	}
+	// Reads return copies.
+	got[0] = 99
+	again, _ := s.ReadPage(id)
+	if again[0] != 1 {
+		t.Fatal("ReadPage aliased internal storage")
+	}
+	if _, err := s.ReadPage(id + 100); !errors.Is(err, common.ErrNotFound) {
+		t.Fatalf("missing page err = %v", err)
+	}
+}
+
+func TestAllocPageUnique(t *testing.T) {
+	s := New(Latency{})
+	seen := map[common.PageID]bool{}
+	for i := 0; i < 1000; i++ {
+		id := s.AllocPage()
+		if seen[id] {
+			t.Fatalf("duplicate page id %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestAllocAfterExplicitWrite(t *testing.T) {
+	s := New(Latency{})
+	if err := s.WritePage(500, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if id := s.AllocPage(); id <= 500 {
+		t.Fatalf("alloc after explicit write returned %d, must exceed 500", id)
+	}
+}
+
+func TestLogAppendSyncRead(t *testing.T) {
+	s := New(Latency{})
+	lsn := s.LogAppend(1, []byte("abc"))
+	if lsn != 0 {
+		t.Fatalf("first lsn = %d", lsn)
+	}
+	lsn = s.LogAppend(1, []byte("defg"))
+	if lsn != 3 {
+		t.Fatalf("second lsn = %d", lsn)
+	}
+	// Nothing durable yet.
+	buf := make([]byte, 16)
+	n, err := s.LogRead(1, 0, buf)
+	if err != nil || n != 0 {
+		t.Fatalf("read before sync: n=%d err=%v", n, err)
+	}
+	if d := s.LogSync(1); d != 7 {
+		t.Fatalf("durable = %d", d)
+	}
+	n, err = s.LogRead(1, 0, buf)
+	if err != nil || n != 7 || string(buf[:n]) != "abcdefg" {
+		t.Fatalf("n=%d data=%q err=%v", n, buf[:n], err)
+	}
+	// Partial read from an offset.
+	n, _ = s.LogRead(1, 3, buf)
+	if string(buf[:n]) != "defg" {
+		t.Fatalf("offset read = %q", buf[:n])
+	}
+}
+
+func TestLogCrashVolatile(t *testing.T) {
+	s := New(Latency{})
+	s.LogAppend(1, []byte("durable"))
+	s.LogSync(1)
+	s.LogAppend(1, []byte("volatile"))
+	s.LogCrashVolatile(1)
+	if got := s.LogDurableLSN(1); got != 7 {
+		t.Fatalf("durable after crash = %d", got)
+	}
+	// New appends land after the durable prefix.
+	lsn := s.LogAppend(1, []byte("x"))
+	if lsn != 7 {
+		t.Fatalf("append after crash at lsn %d, want 7", lsn)
+	}
+}
+
+func TestLogTruncate(t *testing.T) {
+	s := New(Latency{})
+	s.LogAppend(1, []byte("0123456789"))
+	s.LogSync(1)
+	s.LogTruncate(1, 4)
+	if base := s.LogStartLSN(1); base != 4 {
+		t.Fatalf("base = %d", base)
+	}
+	buf := make([]byte, 16)
+	n, err := s.LogRead(1, 4, buf)
+	if err != nil || string(buf[:n]) != "456789" {
+		t.Fatalf("post-truncate read %q err %v", buf[:n], err)
+	}
+	if _, err := s.LogRead(1, 2, buf); !errors.Is(err, common.ErrCorrupt) {
+		t.Fatalf("read below base err = %v", err)
+	}
+	// LSNs keep counting across truncation.
+	if lsn := s.LogAppend(1, []byte("ab")); lsn != 10 {
+		t.Fatalf("append lsn = %d", lsn)
+	}
+}
+
+func TestLogNodes(t *testing.T) {
+	s := New(Latency{})
+	s.LogAppend(1, []byte("a"))
+	s.LogAppend(5, []byte("b"))
+	nodes := s.LogNodes()
+	if len(nodes) != 2 {
+		t.Fatalf("nodes = %v", nodes)
+	}
+}
+
+func TestMeta(t *testing.T) {
+	s := New(Latency{})
+	if s.GetMeta("nope") != nil {
+		t.Fatal("missing meta should be nil")
+	}
+	s.PutMeta("k", []byte("v1"))
+	if got := s.GetMeta("k"); string(got) != "v1" {
+		t.Fatalf("meta = %q", got)
+	}
+	got := s.GetMeta("k")
+	got[0] = 'X'
+	if string(s.GetMeta("k")) != "v1" {
+		t.Fatal("GetMeta aliased internal storage")
+	}
+}

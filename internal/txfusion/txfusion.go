@@ -1,0 +1,637 @@
+// Package txfusion implements Transaction Fusion (§4.1): the global
+// Timestamp Oracle (TSO) hosted in PMFS shared memory, the per-node
+// Transaction Information Table (TIT) exposed as an RDMA region, global
+// transaction ids, Algorithm 1 (GetCTSForRow), TIT recycling via a global
+// minimum view, and the Linear Lamport timestamp reuse from PolarDB-SCC.
+//
+// Transaction metadata is fully decentralized: each node stores only its own
+// transactions' state in its TIT; any other node resolves a transaction's
+// commit timestamp with a single one-sided read of the owning slot.
+package txfusion
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"polardbmp/internal/common"
+	"polardbmp/internal/rdma"
+)
+
+// Region and service names on the fabric.
+const (
+	RegionTSO  = "pmfs.tso" // 8-byte global timestamp counter (on PMFS)
+	RegionGMV  = "pmfs.gmv" // 8-byte global minimum view (on PMFS)
+	RegionTIT  = "tit"      // per-node TIT slot array
+	ServiceTxF = "txfusion" // PMFS RPC service (min-view reports)
+)
+
+// TIT region layout: a 16-byte header followed by the slot array. Each
+// field is an 8-byte word so one-sided CAS works on any of them.
+//
+// The header's fence word supports the tailored recovery policy (§4.4): a
+// restarting node raises the fence so that its pre-crash transactions —
+// whose slots were lost with its memory — resolve as "still active" until
+// their uncommitted changes are rolled back; with the fence down, a slot
+// mismatch safely means "finished and recycled ⇒ visible to all".
+const (
+	hdrFence   = 0 // 1 while the node is recovering pre-crash transactions
+	headerSize = 16
+
+	slotTrx     = 0  // local transaction id ("pointer"; 0 = free slot)
+	slotCTS     = 8  // commit timestamp (CSNInit while active)
+	slotVersion = 16 // reuse generation
+	slotRef     = 24 // waiter flag (§4.3.2): set by blocked remote trxs
+	slotActive  = 32 // 1 while the slot is allocated
+	SlotSize    = 40
+)
+
+// Server is the Transaction Fusion side of PMFS: it owns the TSO and the
+// global-minimum-view word, and aggregates per-node minimum views.
+type Server struct {
+	fabric *rdma.Fabric
+	tso    *rdma.Region
+	gmv    *rdma.Region
+
+	mu       sync.Mutex
+	minViews map[common.NodeID]common.CSN
+}
+
+// NewServer attaches Transaction Fusion to the PMFS endpoint.
+func NewServer(ep *rdma.Endpoint, fabric *rdma.Fabric) *Server {
+	s := &Server{
+		fabric:   fabric,
+		tso:      ep.RegisterRegion(RegionTSO, 8),
+		gmv:      ep.RegisterRegion(RegionGMV, 8),
+		minViews: make(map[common.NodeID]common.CSN),
+	}
+	// The TSO starts above CSNMin so no real commit shares the sentinel.
+	if err := s.tso.LocalWrite64(0, uint64(common.CSNMin)); err != nil {
+		panic(err)
+	}
+	if err := s.gmv.LocalWrite64(0, uint64(common.CSNMin)); err != nil {
+		panic(err)
+	}
+	ep.Serve(ServiceTxF, s.handle)
+	return s
+}
+
+// RPC wire ops.
+const (
+	opReportMinView = 1
+	opRemoveNode    = 2
+)
+
+func (s *Server) handle(req []byte) ([]byte, error) {
+	if len(req) < 1 {
+		return nil, common.ErrShortBuffer
+	}
+	switch req[0] {
+	case opReportMinView:
+		if len(req) < 11 {
+			return nil, common.ErrShortBuffer
+		}
+		node := common.NodeID(binary.LittleEndian.Uint16(req[1:]))
+		csn := common.CSN(binary.LittleEndian.Uint64(req[3:]))
+		gmv := s.report(node, csn)
+		return binary.LittleEndian.AppendUint64(nil, uint64(gmv)), nil
+	case opRemoveNode:
+		if len(req) < 3 {
+			return nil, common.ErrShortBuffer
+		}
+		node := common.NodeID(binary.LittleEndian.Uint16(req[1:]))
+		s.mu.Lock()
+		delete(s.minViews, node)
+		s.mu.Unlock()
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("txfusion: unknown op %d", req[0])
+	}
+}
+
+// report folds one node's minimum view in and publishes the new global
+// minimum to the GMV region, which nodes read with one-sided verbs.
+func (s *Server) report(node common.NodeID, csn common.CSN) common.CSN {
+	s.mu.Lock()
+	s.minViews[node] = csn
+	gmv := csn
+	for _, v := range s.minViews {
+		if v < gmv {
+			gmv = v
+		}
+	}
+	s.mu.Unlock()
+	if err := s.gmv.LocalWrite64(0, uint64(gmv)); err != nil {
+		panic(err)
+	}
+	return gmv
+}
+
+// SetTSO force-sets the oracle (full-cluster recovery: the new oracle must
+// exceed every CTS found in the durable commit records).
+func (s *Server) SetTSO(v common.CSN) {
+	if err := s.tso.LocalWrite64(0, uint64(v)); err != nil {
+		panic(err)
+	}
+}
+
+// CurrentTSO returns the oracle's current value (test/inspection hook).
+func (s *Server) CurrentTSO() common.CSN {
+	v, err := s.tso.LocalRead64(0)
+	if err != nil {
+		panic(err)
+	}
+	return common.CSN(v)
+}
+
+// Config tunes a node's Transaction Fusion client.
+type Config struct {
+	// TITSlots is the slot-array size (default 4096).
+	TITSlots int
+	// LamportReuse enables the Linear Lamport timestamp optimization for
+	// read-snapshot fetches (§4.1, PolarDB-SCC). Default on; the ablation
+	// bench turns it off.
+	LamportReuse bool
+	// CTSCacheSize bounds the committed-CTS lookaside cache (0 disables).
+	CTSCacheSize int
+}
+
+func (c *Config) fill() {
+	if c.TITSlots <= 0 {
+		c.TITSlots = 4096
+	}
+	if c.CTSCacheSize < 0 {
+		c.CTSCacheSize = 0
+	}
+}
+
+// DefaultConfig returns the production defaults.
+func DefaultConfig() Config {
+	return Config{TITSlots: 4096, LamportReuse: true, CTSCacheSize: 1 << 14}
+}
+
+// Client is one node's Transaction Fusion: its local TIT plus access paths
+// to the TSO and every peer TIT.
+type Client struct {
+	node   common.NodeID
+	fabric *rdma.Fabric
+	tit    *rdma.Region
+	cfg    Config
+
+	mu      sync.Mutex
+	free    []uint32 // free slot ids
+	inUse   map[uint32]common.TrxID
+	views   map[common.CSN]int // active read-view multiset (for min view)
+	lastGMV common.CSN
+
+	// Linear Lamport timestamp state.
+	tsMu      sync.Mutex
+	cachedTS  common.CSN
+	fetchedAt time.Time
+
+	cacheMu  sync.Mutex
+	ctsCache map[common.GTrxID]common.CSN
+
+	closed atomicBool
+}
+
+// atomicBool avoids importing sync/atomic twice under different names.
+type atomicBool struct {
+	mu sync.Mutex
+	v  bool
+}
+
+func (b *atomicBool) Load() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.v
+}
+
+func (b *atomicBool) Store(v bool) {
+	b.mu.Lock()
+	b.v = v
+	b.mu.Unlock()
+}
+
+// NewClient registers the node's TIT region and returns its client.
+func NewClient(ep *rdma.Endpoint, fabric *rdma.Fabric, cfg Config) *Client {
+	cfg.fill()
+	c := &Client{
+		node:     ep.Node(),
+		fabric:   fabric,
+		tit:      ep.RegisterRegion(RegionTIT, headerSize+cfg.TITSlots*SlotSize),
+		cfg:      cfg,
+		inUse:    make(map[uint32]common.TrxID),
+		views:    make(map[common.CSN]int),
+		lastGMV:  common.CSNMin,
+		ctsCache: make(map[common.GTrxID]common.CSN),
+	}
+	c.free = make([]uint32, cfg.TITSlots)
+	for i := range c.free {
+		c.free[i] = uint32(cfg.TITSlots - 1 - i)
+	}
+	return c
+}
+
+// Node returns the owning node id.
+func (c *Client) Node() common.NodeID { return c.node }
+
+func slotOff(slot uint32) int { return headerSize + int(slot)*SlotSize }
+
+// SetRecovering raises or lowers the recovery fence. A restarting node must
+// raise it before re-registering its TIT region and lower it only after its
+// pre-crash uncommitted transactions are rolled back.
+func (c *Client) SetRecovering(on bool) {
+	v := uint64(0)
+	if on {
+		v = 1
+	}
+	must(c.tit.LocalWrite64(hdrFence, v))
+}
+
+// Begin allocates a TIT slot for a new local transaction and returns its
+// global id. It fails with ErrTITFull when every slot is pinned by an
+// unrecycled transaction.
+func (c *Client) Begin(trx common.TrxID) (common.GTrxID, error) {
+	if c.closed.Load() {
+		return common.GTrxID{}, fmt.Errorf("txfusion: node %d: %w", c.node, common.ErrClosed)
+	}
+	c.mu.Lock()
+	if len(c.free) == 0 {
+		c.mu.Unlock()
+		// Opportunistic recycle against the last seen global min view,
+		// then retry once.
+		c.Recycle(c.LastGMV())
+		c.mu.Lock()
+		if len(c.free) == 0 {
+			c.mu.Unlock()
+			return common.GTrxID{}, ErrTITFull
+		}
+	}
+	slot := c.free[len(c.free)-1]
+	c.free = c.free[:len(c.free)-1]
+	c.inUse[slot] = trx
+	c.mu.Unlock()
+
+	off := slotOff(slot)
+	// Bump the reuse generation first so a racing remote reader of the
+	// old generation sees a version mismatch, never a half-written slot.
+	ver, err := c.tit.LocalRead64(off + slotVersion)
+	if err != nil {
+		return common.GTrxID{}, err
+	}
+	ver++
+	must(c.tit.LocalWrite64(off+slotVersion, ver))
+	must(c.tit.LocalWrite64(off+slotCTS, uint64(common.CSNInit)))
+	must(c.tit.LocalWrite64(off+slotRef, 0))
+	must(c.tit.LocalWrite64(off+slotTrx, uint64(trx)))
+	must(c.tit.LocalWrite64(off+slotActive, 1))
+	return common.GTrxID{Node: c.node, Trx: trx, Slot: slot, Version: uint32(ver)}, nil
+}
+
+// ErrTITFull reports TIT slot exhaustion; the caller should back off and let
+// recycling catch up.
+var ErrTITFull = fmt.Errorf("txfusion: transaction information table full")
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+// Commit publishes the transaction's CTS in its TIT slot, making it globally
+// committed/inactive. It returns true if a waiter flagged the slot (§4.3.2);
+// the caller must then notify Lock Fusion.
+func (c *Client) Commit(g common.GTrxID, cts common.CSN) (waiters bool, err error) {
+	if g.Node != c.node {
+		return false, fmt.Errorf("txfusion: commit of foreign transaction %v", g)
+	}
+	if c.closed.Load() {
+		return false, fmt.Errorf("txfusion: node %d: %w", c.node, common.ErrClosed)
+	}
+	off := slotOff(g.Slot)
+	must(c.tit.LocalWrite64(off+slotCTS, uint64(cts)))
+	ref, err := c.tit.LocalRead64(off + slotRef)
+	if err != nil {
+		return false, err
+	}
+	return ref != 0, nil
+}
+
+// Finish releases the slot of an aborted transaction (its page versions have
+// already been rolled back, so nothing can reference the slot). It returns
+// true if a waiter flagged the slot.
+func (c *Client) Finish(g common.GTrxID) (waiters bool) {
+	off := slotOff(g.Slot)
+	ref, err := c.tit.LocalRead64(off + slotRef)
+	if err != nil {
+		panic(err)
+	}
+	c.freeSlot(g.Slot)
+	return ref != 0
+}
+
+func (c *Client) freeSlot(slot uint32) {
+	off := slotOff(slot)
+	must(c.tit.LocalWrite64(off+slotActive, 0))
+	must(c.tit.LocalWrite64(off+slotTrx, 0))
+	c.mu.Lock()
+	if _, ok := c.inUse[slot]; ok {
+		delete(c.inUse, slot)
+		c.free = append(c.free, slot)
+	}
+	c.mu.Unlock()
+}
+
+// slotState is one decoded TIT slot.
+type slotState struct {
+	trx     common.TrxID
+	cts     common.CSN
+	version uint64
+	active  bool
+}
+
+func decodeSlot(b []byte) slotState {
+	return slotState{
+		trx:     common.TrxID(binary.LittleEndian.Uint64(b[slotTrx:])),
+		cts:     common.CSN(binary.LittleEndian.Uint64(b[slotCTS:])),
+		version: binary.LittleEndian.Uint64(b[slotVersion:]),
+		active:  binary.LittleEndian.Uint64(b[slotActive:]) == 1,
+	}
+}
+
+// GetTrxCTS implements the TIT half of Algorithm 1: resolve the effective
+// CTS of transaction g. CSNMin means "slot reused ⇒ committed and visible to
+// all"; CSNMax means "still active ⇒ visible to nobody else". A committed
+// CTS is cached (it is immutable).
+func (c *Client) GetTrxCTS(g common.GTrxID) (common.CSN, error) {
+	if c.cfg.CTSCacheSize > 0 {
+		c.cacheMu.Lock()
+		cts, ok := c.ctsCache[g]
+		c.cacheMu.Unlock()
+		if ok {
+			return cts, nil
+		}
+	}
+	var buf [SlotSize]byte
+	if g.Node == c.node {
+		if err := c.tit.LocalRead(slotOff(g.Slot), buf[:]); err != nil {
+			return 0, err
+		}
+	} else {
+		// One-sided RDMA read of the remote slot (Algorithm 1 line 11).
+		if err := c.fabric.Read(g.Node, RegionTIT, slotOff(g.Slot), buf[:]); err != nil {
+			return 0, err
+		}
+	}
+	s := decodeSlot(buf[:])
+	if s.version != uint64(g.Version) || s.trx != g.Trx || !s.active {
+		// Slot reused or freed. With the owner's recovery fence down,
+		// the transaction finished and its slot was recycled, which
+		// only happens once its changes are visible to every view
+		// (lines 13-15) — or it aborted, leaving no surviving row
+		// version. With the fence up, the owning node crashed and the
+		// transaction's fate is unknown until its recovery completes:
+		// treat it as active.
+		fenced, err := c.readFence(g.Node)
+		if err != nil || fenced {
+			return common.CSNMax, nil
+		}
+		c.cacheCTS(g, common.CSNMin)
+		return common.CSNMin, nil
+	}
+	if s.cts == common.CSNInit {
+		return common.CSNMax, nil // still active (lines 17-19)
+	}
+	c.cacheCTS(g, s.cts)
+	return s.cts, nil
+}
+
+// readFence reads the recovery fence of node's TIT region.
+func (c *Client) readFence(node common.NodeID) (bool, error) {
+	if node == c.node {
+		v, err := c.tit.LocalRead64(hdrFence)
+		return v == 1, err
+	}
+	v, err := c.fabric.Read64(node, RegionTIT, hdrFence)
+	return v == 1, err
+}
+
+func (c *Client) cacheCTS(g common.GTrxID, cts common.CSN) {
+	if c.cfg.CTSCacheSize == 0 {
+		return
+	}
+	c.cacheMu.Lock()
+	if len(c.ctsCache) >= c.cfg.CTSCacheSize {
+		// Cheap wholesale reset; entries repopulate on demand.
+		c.ctsCache = make(map[common.GTrxID]common.CSN)
+	}
+	c.ctsCache[g] = cts
+	c.cacheMu.Unlock()
+}
+
+// IsActive reports whether transaction g is still running (used by the
+// RLock protocol to test the row lock field, §4.3.2).
+func (c *Client) IsActive(g common.GTrxID) (bool, error) {
+	cts, err := c.GetTrxCTS(g)
+	if err != nil {
+		return false, err
+	}
+	return cts == common.CSNMax, nil
+}
+
+// SetRefFlag marks transaction g's TIT slot as awaited, with a one-sided
+// CAS on the slot's ref word (§4.3.2). It returns false if the slot no
+// longer holds the same generation (the holder already finished).
+func (c *Client) SetRefFlag(g common.GTrxID) (bool, error) {
+	off := slotOff(g.Slot)
+	if g.Node == c.node {
+		// Local waiter (same node, different transaction).
+		var buf [SlotSize]byte
+		if err := c.tit.LocalRead(off, buf[:]); err != nil {
+			return false, err
+		}
+		s := decodeSlot(buf[:])
+		if s.version != uint64(g.Version) || s.trx != g.Trx || !s.active || s.cts != common.CSNInit {
+			return false, nil
+		}
+		must(c.tit.LocalWrite64(off+slotRef, 1))
+		return true, nil
+	}
+	var buf [SlotSize]byte
+	if err := c.fabric.Read(g.Node, RegionTIT, off, buf[:]); err != nil {
+		return false, err
+	}
+	s := decodeSlot(buf[:])
+	if s.version != uint64(g.Version) || s.trx != g.Trx || !s.active || s.cts != common.CSNInit {
+		return false, nil
+	}
+	if _, err := c.fabric.CAS64(g.Node, RegionTIT, off+slotRef, 0, 1); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// --- timestamps ---------------------------------------------------------
+
+// NextCommitCSN draws a fresh commit timestamp from the TSO with a single
+// one-sided fetch-add (§4.1: "usually fetched using a one-sided RDMA
+// operation ... completed within several microseconds").
+func (c *Client) NextCommitCSN() (common.CSN, error) {
+	prev, err := c.fabric.FetchAdd64(common.PMFSNode, RegionTSO, 0, 1)
+	if err != nil {
+		return 0, err
+	}
+	cts := common.CSN(prev + 1)
+	c.noteTS(cts)
+	return cts, nil
+}
+
+// CurrentReadCSN returns a snapshot timestamp for a new read view. Under the
+// Linear Lamport optimization a request reuses the last fetched timestamp if
+// that fetch completed after the request arrived; otherwise it performs a
+// one-sided TSO read.
+func (c *Client) CurrentReadCSN() (common.CSN, error) {
+	if c.cfg.LamportReuse {
+		arrived := time.Now()
+		c.tsMu.Lock()
+		if c.cachedTS != 0 && c.fetchedAt.After(arrived) {
+			ts := c.cachedTS
+			c.tsMu.Unlock()
+			return ts, nil
+		}
+		c.tsMu.Unlock()
+	}
+	v, err := c.fabric.Read64(common.PMFSNode, RegionTSO, 0)
+	if err != nil {
+		return 0, err
+	}
+	ts := common.CSN(v)
+	c.noteTS(ts)
+	return ts, nil
+}
+
+func (c *Client) noteTS(ts common.CSN) {
+	now := time.Now()
+	c.tsMu.Lock()
+	if ts > c.cachedTS {
+		c.cachedTS = ts
+		c.fetchedAt = now
+	}
+	c.tsMu.Unlock()
+}
+
+// --- read views & recycling ----------------------------------------------
+
+// OpenView registers an active read view at snapshot csn (for min-view
+// accounting) and returns it.
+func (c *Client) OpenView(csn common.CSN) common.CSN {
+	c.mu.Lock()
+	c.views[csn]++
+	c.mu.Unlock()
+	return csn
+}
+
+// CloseView unregisters a read view.
+func (c *Client) CloseView(csn common.CSN) {
+	c.mu.Lock()
+	if n := c.views[csn]; n <= 1 {
+		delete(c.views, csn)
+	} else {
+		c.views[csn] = n - 1
+	}
+	c.mu.Unlock()
+}
+
+// MinLocalView returns the smallest snapshot any local view holds, or the
+// current TSO value when the node is idle.
+func (c *Client) MinLocalView() (common.CSN, error) {
+	c.mu.Lock()
+	min := common.CSNMax
+	for v := range c.views {
+		if v < min {
+			min = v
+		}
+	}
+	c.mu.Unlock()
+	if min != common.CSNMax {
+		return min, nil
+	}
+	v, err := c.fabric.Read64(common.PMFSNode, RegionTSO, 0)
+	if err != nil {
+		return 0, err
+	}
+	return common.CSN(v), nil
+}
+
+// ReportMinView sends the node's minimum view to Transaction Fusion,
+// receives the global minimum, recycles eligible TIT slots, and returns the
+// global minimum (the background thread of §4.1 "TIT recycle").
+func (c *Client) ReportMinView() (common.CSN, error) {
+	min, err := c.MinLocalView()
+	if err != nil {
+		return 0, err
+	}
+	req := make([]byte, 11)
+	req[0] = opReportMinView
+	binary.LittleEndian.PutUint16(req[1:], uint16(c.node))
+	binary.LittleEndian.PutUint64(req[3:], uint64(min))
+	resp, err := c.fabric.Call(common.PMFSNode, ServiceTxF, req)
+	if err != nil {
+		return 0, err
+	}
+	if len(resp) < 8 {
+		return 0, common.ErrShortBuffer
+	}
+	gmv := common.CSN(binary.LittleEndian.Uint64(resp))
+	c.mu.Lock()
+	if gmv > c.lastGMV {
+		c.lastGMV = gmv
+	}
+	c.mu.Unlock()
+	c.Recycle(gmv)
+	return gmv, nil
+}
+
+// LastGMV returns the most recently learned global minimum view.
+func (c *Client) LastGMV() common.CSN {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastGMV
+}
+
+// Recycle frees every committed slot whose CTS is at or below gmv: under
+// the visibility rule "cts <= view ⇒ visible", such changes are visible to
+// every present and future view (all views are >= gmv), so a reuse-version
+// mismatch can safely be interpreted as CSNMin.
+func (c *Client) Recycle(gmv common.CSN) int {
+	c.mu.Lock()
+	slots := make([]uint32, 0, len(c.inUse))
+	for s := range c.inUse {
+		slots = append(slots, s)
+	}
+	c.mu.Unlock()
+	n := 0
+	for _, s := range slots {
+		cts, err := c.tit.LocalRead64(slotOff(s) + slotCTS)
+		if err != nil {
+			continue
+		}
+		if common.CSN(cts) != common.CSNInit && common.CSN(cts) <= gmv {
+			c.freeSlot(s)
+			n++
+		}
+	}
+	return n
+}
+
+// Close fences the client after a node crash.
+func (c *Client) Close() { c.closed.Store(true) }
+
+// ActiveSlots returns the number of allocated TIT slots (tests/inspection).
+func (c *Client) ActiveSlots() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.inUse)
+}

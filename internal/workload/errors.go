@@ -1,0 +1,15 @@
+package workload
+
+import (
+	"errors"
+
+	"polardbmp/internal/common"
+)
+
+// isNotFound reports a benign missing-row outcome (a concurrently deleted
+// sysbench row, etc.).
+func isNotFound(err error) bool { return errors.Is(err, common.ErrNotFound) }
+
+// isKeyExists reports a benign duplicate-insert outcome (a concurrent
+// delete/insert pair on the same sysbench row).
+func isKeyExists(err error) bool { return errors.Is(err, common.ErrKeyExists) }

@@ -1,0 +1,182 @@
+// Package workload provides the benchmark workloads of §5.1 — SysBench
+// (with the Taurus-MM shared-tables scheme), TPC-C, TATP and the Alibaba
+// production mix — over an engine-neutral driver interface so the same
+// generators run against PolarDB-MP and every baseline.
+package workload
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"polardbmp/internal/common"
+	"polardbmp/internal/metrics"
+)
+
+// DB is the engine-neutral surface a workload drives. PolarDB-MP and each
+// baseline provide an adapter.
+type DB interface {
+	// NodeCount returns the number of live primaries.
+	NodeCount() int
+	// Begin starts a transaction on the i-th (0-based) primary.
+	Begin(node int) (Tx, error)
+	// CreateTable creates (or opens) a named table and returns its handle.
+	CreateTable(name string) (Table, error)
+}
+
+// Table identifies a table to the engine.
+type Table interface {
+	Space() common.SpaceID
+}
+
+// Tx is an engine-neutral transaction.
+type Tx interface {
+	Get(t Table, key []byte) ([]byte, error)
+	// GetForUpdate is a locking read (SELECT ... FOR UPDATE).
+	GetForUpdate(t Table, key []byte) ([]byte, error)
+	Insert(t Table, key, value []byte) error
+	Update(t Table, key, value []byte) error
+	Delete(t Table, key []byte) error
+	Scan(t Table, from, to []byte, limit int) ([]KV, error)
+	Commit() error
+	Rollback() error
+}
+
+// KV mirrors core.KV without importing it.
+type KV struct {
+	Key   []byte
+	Value []byte
+}
+
+// Runner executes a workload's transaction mix against a DB.
+type Runner struct {
+	// Threads per node.
+	Threads int
+	// Duration of the measured run.
+	Duration time.Duration
+	// Warmup run before measuring (optional).
+	Warmup time.Duration
+	// MaxRetries bounds per-transaction retries on retryable errors.
+	MaxRetries int
+	// Timeline, when non-nil, receives per-interval commit counts.
+	Timeline *metrics.Timeline
+	// OnError receives non-retryable errors (optional).
+	OnError func(error)
+}
+
+// TxFunc runs one transaction attempt on the given node using rng-free
+// thread-local state owned by the generator.
+type TxFunc func(db DB, node int) error
+
+// Pacer injects a per-statement service-time pause (scaled-time simulation
+// support; see the figure harness). The zero value is free.
+type Pacer struct {
+	// StatementDelay is slept after each logical statement.
+	StatementDelay time.Duration
+}
+
+func (p Pacer) pace() {
+	if p.StatementDelay > 0 {
+		time.Sleep(p.StatementDelay)
+	}
+}
+
+// Result is a workload run's outcome. Aborts counts every aborted attempt
+// (deadlocks, OCC conflicts, lock timeouts), including ones later retried
+// successfully.
+type Result struct {
+	Commits int64
+	Aborts  int64
+	Errors  int64
+	Elapsed time.Duration
+	Latency *metrics.Histogram
+}
+
+// TPS returns committed transactions per second.
+func (r Result) TPS() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Commits) / r.Elapsed.Seconds()
+}
+
+// Run drives nextTx (per-thread transaction factory) across all nodes and
+// threads for the configured duration.
+func (r Runner) Run(db DB, nextTx func(node, thread int) TxFunc) Result {
+	if r.Threads <= 0 {
+		r.Threads = 1
+	}
+	if r.MaxRetries <= 0 {
+		r.MaxRetries = 64
+	}
+	nodes := db.NodeCount()
+
+	run := func(d time.Duration, measured bool) Result {
+		ctx, cancel := context.WithTimeout(context.Background(), d)
+		defer cancel()
+		var commits, aborts, errs atomic.Int64
+		lat := &metrics.Histogram{}
+		var wg sync.WaitGroup
+		for node := 0; node < nodes; node++ {
+			for th := 0; th < r.Threads; th++ {
+				wg.Add(1)
+				go func(node, th int) {
+					defer wg.Done()
+					txf := nextTx(node, th)
+					for ctx.Err() == nil {
+						start := time.Now()
+						err, retries := r.runOne(db, node, txf)
+						aborts.Add(retries)
+						switch {
+						case err == nil:
+							commits.Add(1)
+							if measured {
+								lat.Observe(time.Since(start))
+								if r.Timeline != nil {
+									r.Timeline.Tick(1)
+								}
+							}
+						case common.IsRetryable(err):
+							aborts.Add(1)
+						default:
+							errs.Add(1)
+							if r.OnError != nil {
+								r.OnError(err)
+							}
+						}
+					}
+				}(node, th)
+			}
+		}
+		start := time.Now()
+		wg.Wait()
+		return Result{
+			Commits: commits.Load(),
+			Aborts:  aborts.Load(),
+			Errors:  errs.Load(),
+			Elapsed: time.Since(start),
+			Latency: lat,
+		}
+	}
+
+	if r.Warmup > 0 {
+		run(r.Warmup, false)
+	}
+	return run(r.Duration, true)
+}
+
+// runOne executes one logical transaction with bounded retries on
+// retryable failures (deadlock / OCC conflict / lock timeout), the way the
+// paper describes applications handling Aurora-MM-style conflict errors.
+// It returns the final error and the number of aborted attempts.
+func (r Runner) runOne(db DB, node int, txf TxFunc) (error, int64) {
+	var err error
+	for attempt := 0; attempt <= r.MaxRetries; attempt++ {
+		err = txf(db, node)
+		if err == nil || !common.IsRetryable(err) {
+			return err, int64(attempt)
+		}
+	}
+	return err, int64(r.MaxRetries)
+}

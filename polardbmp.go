@@ -1,0 +1,316 @@
+// Package polardbmp is a from-scratch Go implementation of PolarDB-MP
+// (SIGMOD 2024): a multi-primary cloud-native database built on
+// disaggregated shared memory (PMFS — Transaction Fusion, Buffer Fusion,
+// Lock Fusion) over disaggregated shared storage.
+//
+// Every node in a Cluster is a full primary: it executes complete
+// transactions locally — no distributed transactions — while PMFS
+// coordinates global transaction visibility (TSO + per-node transaction
+// information tables read over one-sided RDMA), cache coherence (a
+// distributed buffer pool with remote invalidation), and cross-node locking
+// (page locks with lazy release, row locks embedded in the rows).
+//
+// Quick start:
+//
+//	db, _ := polardbmp.Open(polardbmp.Options{Nodes: 2})
+//	defer db.Close()
+//	accounts, _ := db.CreateTable("accounts")
+//	tx, _ := db.Node(1).Begin()
+//	tx.Insert(accounts, []byte("alice"), []byte("100"))
+//	tx.Commit()
+//	tx2, _ := db.Node(2).Begin() // a different primary
+//	val, _ := tx2.Get(accounts, []byte("alice"))
+//	tx2.Commit()
+package polardbmp
+
+import (
+	"fmt"
+	"time"
+
+	"polardbmp/internal/common"
+	"polardbmp/internal/core"
+	"polardbmp/internal/standby"
+	"polardbmp/internal/storage"
+)
+
+// Re-exported error values; test with errors.Is.
+var (
+	ErrNotFound    = common.ErrNotFound
+	ErrKeyExists   = common.ErrKeyExists
+	ErrDeadlock    = common.ErrDeadlock
+	ErrLockTimeout = common.ErrLockTimeout
+	ErrTxDone      = common.ErrTxDone
+	ErrNodeDown    = common.ErrNodeDown
+)
+
+// IsRetryable reports whether err is a transient transaction failure
+// (deadlock, lock timeout, fenced page during recovery) that the
+// application should retry.
+func IsRetryable(err error) bool { return common.IsRetryable(err) }
+
+// Options configures a cluster.
+type Options struct {
+	// Nodes is the initial number of primary nodes (default 1).
+	Nodes int
+	// LocalBufferPages is each node's local buffer pool size in pages
+	// (default 2048).
+	LocalBufferPages int
+	// SharedBufferPages is the distributed buffer pool size in pages
+	// (default 8192).
+	SharedBufferPages int
+	// LockWaitTimeout bounds row-lock waits (default 2s).
+	LockWaitTimeout time.Duration
+	// RealisticStorageLatency injects cloud-storage I/O delays (~100µs),
+	// as the benchmark harnesses do. Off by default for tests.
+	RealisticStorageLatency bool
+	// DataDir, when set, backs the shared store with a directory so the
+	// database survives process restarts. Opening a non-empty directory
+	// runs full-cluster recovery over its logs before serving.
+	DataDir string
+}
+
+// Cluster is a PolarDB-MP deployment: N primary nodes over shared memory
+// and shared storage.
+type Cluster struct {
+	c *core.Cluster
+}
+
+// Open builds a cluster with opts.Nodes primaries.
+func Open(opts Options) (*Cluster, error) {
+	if opts.Nodes <= 0 {
+		opts.Nodes = 1
+	}
+	cfg := core.Config{
+		LBPFrames:       opts.LocalBufferPages,
+		DBPFrames:       opts.SharedBufferPages,
+		LockWaitTimeout: opts.LockWaitTimeout,
+	}
+	if opts.RealisticStorageLatency {
+		cfg.StorageLatency = core.DefaultConfig().StorageLatency
+	}
+	var c *core.Cluster
+	if opts.DataDir != "" {
+		store, err := storage.OpenDir(opts.DataDir, cfg.StorageLatency)
+		if err != nil {
+			return nil, err
+		}
+		existing := store.PageCount() > 0
+		c = core.NewClusterWithStore(cfg, store)
+		if existing {
+			if err := c.RecoverAll(); err != nil {
+				return nil, fmt.Errorf("polardbmp: recovering %s: %w", opts.DataDir, err)
+			}
+		}
+	} else {
+		c = core.NewCluster(cfg)
+	}
+	for i := 0; i < opts.Nodes; i++ {
+		if _, err := c.AddNode(); err != nil {
+			return nil, err
+		}
+	}
+	return &Cluster{c: c}, nil
+}
+
+// Close flushes buffers and shuts the cluster down.
+func (c *Cluster) Close() { c.c.Close() }
+
+// Table names a tablespace (one B-tree index).
+type Table struct {
+	space common.SpaceID
+	name  string
+}
+
+// Name returns the table's name.
+func (t Table) Name() string { return t.name }
+
+// CreateTable creates (or opens) a named table.
+func (c *Cluster) CreateTable(name string) (Table, error) {
+	sp, err := c.c.CreateSpace(name)
+	if err != nil {
+		return Table{}, err
+	}
+	return Table{space: sp, name: name}, nil
+}
+
+// NodeCount returns the number of live primaries.
+func (c *Cluster) NodeCount() int { return len(c.c.Nodes()) }
+
+// Node returns a handle on the i-th (1-based) primary.
+func (c *Cluster) Node(i int) *Node {
+	return &Node{c: c.c, id: common.NodeID(i)}
+}
+
+// AddNode scales the cluster out by one primary and returns its handle.
+func (c *Cluster) AddNode() (*Node, error) {
+	n, err := c.c.AddNode()
+	if err != nil {
+		return nil, err
+	}
+	return &Node{c: c.c, id: n.ID()}, nil
+}
+
+// CrashNode fail-stops a node: volatile state is lost; its uncommitted
+// transactions are rolled back when it restarts; other nodes keep serving.
+func (c *Cluster) CrashNode(i int) { c.c.CrashNode(common.NodeID(i)) }
+
+// RestartNode recovers a crashed node (replaying its redo log, largely from
+// the shared memory pool) and rejoins it.
+func (c *Cluster) RestartNode(i int) (*Node, error) {
+	n, err := c.c.RestartNode(common.NodeID(i))
+	if err != nil {
+		return nil, err
+	}
+	return &Node{c: c.c, id: n.ID()}, nil
+}
+
+// Checkpoint flushes all buffers to storage and truncates the redo logs.
+// The cluster must be quiesced.
+func (c *Cluster) Checkpoint() error { return c.c.Checkpoint() }
+
+// Internal exposes the underlying engine cluster for the benchmark
+// harnesses; applications should not need it.
+func (c *Cluster) Internal() *core.Cluster { return c.c }
+
+// Stats is a cluster-wide counter snapshot.
+type Stats = core.Stats
+
+// Stats aggregates engine counters across nodes and PMFS.
+func (c *Cluster) Stats() Stats { return c.c.Stats() }
+
+// Standby is a cross-region replica of the cluster, kept warm by shipping
+// the write-ahead logs (§3). Promote turns it into a fresh primary cluster
+// after a regional failure.
+type Standby struct {
+	sb *standby.Standby
+}
+
+// NewStandby attaches a standby region to the cluster's shared storage.
+// Call Sync (or Run for continuous shipping) to replicate.
+func (c *Cluster) NewStandby() *Standby {
+	return &Standby{sb: standby.New(c.c.Store())}
+}
+
+// Sync ships everything durable since the last call.
+func (s *Standby) Sync() error { return s.sb.Sync() }
+
+// Run ships continuously at the given interval until Stop or Promote.
+func (s *Standby) Run(interval time.Duration) { s.sb.Run(interval) }
+
+// Stop halts continuous shipping.
+func (s *Standby) Stop() { s.sb.Stop() }
+
+// Lag returns the shipped-log deficit in bytes.
+func (s *Standby) Lag() int64 { return s.sb.Lag() }
+
+// Promote recovers the shipped state into a brand-new cluster (committed
+// transactions durable, uncommitted rolled back). Add nodes to serve.
+func (s *Standby) Promote() (*Cluster, error) {
+	c, err := s.sb.Promote(core.Config{})
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{c: c}, nil
+}
+
+// Node is a handle on one primary. All handles to the same id observe the
+// node's current incarnation, so a handle survives Crash/Restart cycles.
+type Node struct {
+	c  *core.Cluster
+	id common.NodeID
+}
+
+// ID returns the node's 1-based id.
+func (n *Node) ID() int { return int(n.id) }
+
+// Live reports whether the node is currently serving.
+func (n *Node) Live() bool {
+	nd := n.c.Node(int(n.id))
+	return nd != nil && nd.Live()
+}
+
+func (n *Node) engine() (*core.Node, error) {
+	nd := n.c.Node(int(n.id))
+	if nd == nil {
+		return nil, fmt.Errorf("polardbmp: node %d: %w", n.id, common.ErrNodeDown)
+	}
+	return nd, nil
+}
+
+// Begin starts a read-committed transaction on this primary.
+func (n *Node) Begin() (*Tx, error) {
+	nd, err := n.engine()
+	if err != nil {
+		return nil, err
+	}
+	tx, err := nd.Begin()
+	if err != nil {
+		return nil, err
+	}
+	return &Tx{tx: tx}, nil
+}
+
+// BeginSnapshot starts a snapshot-isolation transaction (read view fixed at
+// begin).
+func (n *Node) BeginSnapshot() (*Tx, error) {
+	nd, err := n.engine()
+	if err != nil {
+		return nil, err
+	}
+	tx, err := nd.BeginIso(core.SnapshotIsolation)
+	if err != nil {
+		return nil, err
+	}
+	return &Tx{tx: tx}, nil
+}
+
+// Tx is a transaction bound to one primary. Use from a single goroutine.
+type Tx struct {
+	tx *core.Tx
+}
+
+// Get returns key's value under the transaction's isolation level.
+func (t *Tx) Get(tab Table, key []byte) ([]byte, error) {
+	return t.tx.Get(tab.space, key)
+}
+
+// GetForUpdate is a locking read (SELECT ... FOR UPDATE): it returns the
+// latest committed value and leaves the row locked by this transaction.
+func (t *Tx) GetForUpdate(tab Table, key []byte) ([]byte, error) {
+	return t.tx.GetForUpdate(tab.space, key)
+}
+
+// Insert adds a row; ErrKeyExists if a live row exists.
+func (t *Tx) Insert(tab Table, key, value []byte) error {
+	return t.tx.Insert(tab.space, key, value)
+}
+
+// Update replaces a row; ErrNotFound if no live row exists.
+func (t *Tx) Update(tab Table, key, value []byte) error {
+	return t.tx.Update(tab.space, key, value)
+}
+
+// Upsert inserts or replaces unconditionally.
+func (t *Tx) Upsert(tab Table, key, value []byte) error {
+	return t.tx.Upsert(tab.space, key, value)
+}
+
+// Delete removes a row; ErrNotFound if no live row exists.
+func (t *Tx) Delete(tab Table, key []byte) error {
+	return t.tx.Delete(tab.space, key)
+}
+
+// KV is a scan result row.
+type KV = core.KV
+
+// Scan returns up to limit visible rows with from <= key < to (nil bounds
+// are open).
+func (t *Tx) Scan(tab Table, from, to []byte, limit int) ([]KV, error) {
+	return t.tx.Scan(tab.space, from, to, limit)
+}
+
+// Commit makes the transaction durable and globally visible.
+func (t *Tx) Commit() error { return t.tx.Commit() }
+
+// Rollback undoes the transaction.
+func (t *Tx) Rollback() error { return t.tx.Rollback() }
