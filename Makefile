@@ -1,0 +1,33 @@
+GO ?= go
+
+RACE_PKGS = ./internal/core ./internal/lockfusion ./internal/bufferfusion \
+            ./internal/txfusion ./internal/chaos ./internal/rdma
+
+.PHONY: all build test test-full race vet smoke check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+# Fast suite (<2 min): heavy recovery fuzz / crash-storm / figure tests are
+# testing.Short()-guarded or scaled down.
+test:
+	$(GO) test -short ./...
+
+# Full suite including the figure-harness tests (~1-2 min extra).
+test-full:
+	$(GO) test -count=1 ./...
+
+race:
+	$(GO) test -race -short -count=1 $(RACE_PKGS)
+
+vet:
+	$(GO) vet ./...
+
+# End-to-end chaos smoke: workload under the smoke fault plan must PASS its
+# durability/rollback/convergence invariants (non-zero exit on violation).
+smoke:
+	$(GO) run ./cmd/mpchaos -plan smoke -seed 7 -ops 60
+
+check: build vet test race smoke

@@ -1,0 +1,305 @@
+// Command mpchaos runs a multi-node read-write workload under a seeded
+// fault-injection plan and verifies the cluster's crash-consistency
+// invariants: committed data stays durable and visible from every node,
+// rolled-back data disappears, and the cluster converges once faults stop
+// (including after a network partition heals). Fault decisions are
+// deterministic in the seed: for a given -plan and -seed, the i-th
+// occurrence of each operation stream always draws the same verdict, so a
+// failure found under one seed can be replayed by rerunning with it (the
+// exact timeline varies only as far as goroutine scheduling reorders the
+// workload's own operations).
+//
+// With -retries=false the hardened transport retry layer is disabled; fault
+// plans that drop ops then leak transient errors to the application (or,
+// for write-dropping plans, break the flush-before-release protocol
+// outright), demonstrating why the retry layer exists. The verdict is
+// printed and the exit code is non-zero on any invariant violation.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"polardbmp/internal/chaos"
+	"polardbmp/internal/common"
+	"polardbmp/internal/core"
+)
+
+func main() {
+	planName := flag.String("plan", "smoke", "fault plan: smoke, drop, lossy, slownode, stalledstorage, partition, none")
+	seed := flag.Int64("seed", 1, "chaos seed (same seed + plan => same fault timeline)")
+	nodes := flag.Int("nodes", 3, "primary nodes")
+	ops := flag.Int("ops", 150, "transactions per node")
+	retries := flag.Bool("retries", true, "transient-fault retries in the fusion client paths")
+	verbose := flag.Bool("v", false, "print the full fault timeline")
+	timeout := flag.Duration("timeout", 60*time.Second, "workload watchdog (a wedged run is an invariant violation)")
+	flag.Parse()
+
+	plan, err := resolvePlan(*planName, *nodes, *ops)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	eng, err := chaos.New(*seed, plan)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	cfg := core.Config{
+		LockWaitTimeout: 5 * time.Second,
+		DisableRetry:    !*retries,
+	}
+	if *planName == "partition" {
+		// The simulated topology is a star through PMFS; the only direct
+		// node↔node traffic is one-sided TIT reads resolving another
+		// node's commit timestamp. CTS stamping short-circuits most of
+		// those, so turn it off to give the partition something to cut.
+		cfg.DisableCTSStamp = true
+	}
+	c := core.NewCluster(cfg)
+	defer c.Close()
+	for i := 0; i < *nodes; i++ {
+		if _, err := c.AddNode(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	sp, err := c.CreateSpace("t")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("mpchaos: plan=%s seed=%d nodes=%d ops=%d retries=%v\n",
+		plan.Name, *seed, *nodes, *ops, *retries)
+	eng.Install(c.Fabric(), c.Store())
+	start := time.Now()
+	// Watchdog: without retries, a single lost lock-service message can
+	// strand every waiter behind the server's wait backstop — a wedged
+	// workload IS an invariant violation, so report it instead of hanging.
+	resCh := make(chan *result, 1)
+	go func() { resCh <- runWorkload(c, sp, *nodes, *ops) }()
+	var res *result
+	select {
+	case res = <-resCh:
+	case <-time.After(*timeout):
+		printFaultSummary(eng, *verbose)
+		fmt.Printf("  INVARIANT VIOLATED: workload wedged (no progress within %v)\n", *timeout)
+		fmt.Println("verdict: FAIL")
+		os.Exit(1)
+	}
+	elapsed := time.Since(start)
+	// Faults off for verification: the invariants are about what the run
+	// left behind once the network behaves again (e.g. after a partition
+	// heals).
+	chaos.Uninstall(c.Fabric(), c.Store())
+
+	printFaultSummary(eng, *verbose)
+	fmt.Printf("workload: %v, %d committed, %d rolled back, %d aborted-retryable\n",
+		elapsed.Round(time.Millisecond), len(res.committed), len(res.rolledBack), res.retryable)
+
+	ok := verify(c, sp, *nodes, res, plan)
+	if !ok {
+		fmt.Println("verdict: FAIL")
+		os.Exit(1)
+	}
+	fmt.Println("verdict: PASS")
+}
+
+// resolvePlan maps -plan to a chaos.Plan. "partition" is built here (it
+// needs the node set): nodes {1} vs {2..n} are cut for a mid-run op window
+// and must re-converge after the heal.
+func resolvePlan(name string, nodes, ops int) (chaos.Plan, error) {
+	if name != "partition" {
+		return chaos.PresetPlan(name)
+	}
+	var a, b []common.NodeID
+	a = append(a, 1)
+	for i := 2; i <= nodes; i++ {
+		b = append(b, common.NodeID(i))
+	}
+	// Rough scale: each transaction costs 10-20 fabric ops; cut the
+	// middle third of the run.
+	window := uint64(nodes * ops * 12)
+	return chaos.PartitionPlan(a, b, window/3, 2*window/3), nil
+}
+
+type result struct {
+	mu         sync.Mutex
+	committed  map[string]string
+	rolledBack []string
+	leaked     []error
+	retryable  int
+}
+
+// runWorkload drives ops transactions per node concurrently: 2/3 committed
+// upserts (each read back from a peer node), 1/3 rolled-back inserts. Keys
+// are disjoint per node; shared B-tree pages still exercise Lock Fusion and
+// Buffer Fusion across nodes.
+func runWorkload(c *core.Cluster, sp common.SpaceID, nodes, ops int) *result {
+	res := &result{committed: make(map[string]string)}
+	classify := func(err error) {
+		res.mu.Lock()
+		defer res.mu.Unlock()
+		if common.IsRetryable(err) {
+			res.retryable++
+		} else {
+			res.leaked = append(res.leaked, err)
+		}
+	}
+	var wg sync.WaitGroup
+	for ni := 1; ni <= nodes; ni++ {
+		ni := ni
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n := c.Node(ni)
+			for i := 0; i < ops; i++ {
+				key := fmt.Sprintf("n%d-k%05d", ni, i)
+				tx, err := n.Begin()
+				if err != nil {
+					classify(err)
+					continue
+				}
+				if i%3 == 2 {
+					rbKey := "rb-" + key
+					if err := tx.Insert(sp, []byte(rbKey), []byte("junk")); err != nil {
+						classify(err)
+						_ = tx.Rollback()
+						continue
+					}
+					if err := tx.Rollback(); err != nil {
+						classify(err)
+						continue
+					}
+					res.mu.Lock()
+					res.rolledBack = append(res.rolledBack, rbKey)
+					res.mu.Unlock()
+					continue
+				}
+				val := fmt.Sprintf("v%d-%d", ni, i)
+				if err := tx.Upsert(sp, []byte(key), []byte(val)); err != nil {
+					classify(err)
+					_ = tx.Rollback()
+					continue
+				}
+				if err := tx.Commit(); err != nil {
+					classify(err)
+					continue
+				}
+				res.mu.Lock()
+				res.committed[key] = val
+				res.mu.Unlock()
+
+				peer := c.Node(ni%nodes + 1)
+				rtx, err := peer.Begin()
+				if err != nil {
+					classify(err)
+					continue
+				}
+				if _, err := rtx.Get(sp, []byte(key)); err != nil && !errors.Is(err, common.ErrNotFound) {
+					classify(err)
+				}
+				_ = rtx.Commit()
+			}
+		}()
+	}
+	wg.Wait()
+	return res
+}
+
+func printFaultSummary(eng *chaos.Engine, verbose bool) {
+	events := eng.Events()
+	byRule := map[string]int{}
+	for _, ev := range events {
+		byRule[ev.Rule+"/"+ev.Action]++
+	}
+	keys := make([]string, 0, len(byRule))
+	for k := range byRule {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Printf("faults: %d injected over %d fabric/storage ops (log fingerprint %016x)\n",
+		len(events), eng.OpCount(), eng.Fingerprint())
+	for _, k := range keys {
+		fmt.Printf("  %-32s %d\n", k, byRule[k])
+	}
+	if verbose {
+		fmt.Print(eng.Timeline())
+	}
+}
+
+// verify checks the three invariants from every node, on a quiet fabric.
+func verify(c *core.Cluster, sp common.SpaceID, nodes int, res *result, plan chaos.Plan) bool {
+	ok := true
+	fail := func(format string, args ...any) {
+		ok = false
+		fmt.Printf("  INVARIANT VIOLATED: "+format+"\n", args...)
+	}
+
+	// Invariant 0: faults never leak past the retry layer as non-retryable
+	// application errors. Under a partition plan, unreachable windows are
+	// expected to surface (retries cannot outwait a partition); everything
+	// else must be absorbed.
+	partitioned := len(plan.Partitions) > 0
+	var unexpected []error
+	for _, err := range res.leaked {
+		if partitioned && errors.Is(err, common.ErrUnreachable) {
+			continue
+		}
+		unexpected = append(unexpected, err)
+	}
+	if n := len(res.leaked) - len(unexpected); n > 0 {
+		fmt.Printf("  tolerated %d unreachable errors during the partition window\n", n)
+	}
+	if len(unexpected) > 0 {
+		fail("%d faults leaked to the application; first: %v", len(unexpected), unexpected[0])
+	}
+
+	// Invariants 1-3: committed rows durable and identical from every node
+	// (convergence after faults stop / partition heals); rolled-back rows
+	// gone.
+	for ni := 1; ni <= nodes; ni++ {
+		tx, err := c.Node(ni).Begin()
+		if err != nil {
+			fail("node %d cannot open verify transaction: %v", ni, err)
+			continue
+		}
+		lost, wrong, resurfaced := 0, 0, 0
+		for key, want := range res.committed {
+			got, err := tx.Get(sp, []byte(key))
+			switch {
+			case err != nil:
+				lost++
+			case string(got) != want:
+				wrong++
+			}
+		}
+		for _, key := range res.rolledBack {
+			if _, err := tx.Get(sp, []byte(key)); !errors.Is(err, common.ErrNotFound) {
+				resurfaced++
+			}
+		}
+		_ = tx.Commit()
+		if lost > 0 {
+			fail("node %d: %d committed rows lost", ni, lost)
+		}
+		if wrong > 0 {
+			fail("node %d: %d committed rows with wrong values", ni, wrong)
+		}
+		if resurfaced > 0 {
+			fail("node %d: %d rolled-back rows resurfaced", ni, resurfaced)
+		}
+	}
+	if ok {
+		fmt.Printf("invariants: durable=%d rows visible from all %d nodes, rollback=%d rows absent, converged\n",
+			len(res.committed), nodes, len(res.rolledBack))
+	}
+	return ok
+}

@@ -51,7 +51,8 @@ func (f *Frame) ID() common.PageID { return f.id }
 // Client is a node's local buffer pool (LBP) with Buffer Fusion coherence.
 type Client struct {
 	node        common.NodeID
-	fabric      *rdma.Fabric
+	fabric      rdma.Conn
+	retry       common.RetryPolicy
 	inval       *rdma.Region
 	store       *storage.Store
 	capacity    int
@@ -79,7 +80,8 @@ func NewClient(ep *rdma.Endpoint, fabric *rdma.Fabric, store *storage.Store, cap
 	}
 	return &Client{
 		node:     ep.Node(),
-		fabric:   fabric,
+		fabric:   fabric.From(ep.Node()),
+		retry:    common.DefaultRetryPolicy(),
 		inval:    ep.RegisterRegion(RegionInval, capacity*8),
 		store:    store,
 		capacity: capacity,
@@ -91,6 +93,10 @@ func NewClient(ep *rdma.Endpoint, fabric *rdma.Fabric, store *storage.Store, cap
 // SetForceLog installs the engine's log-force hook (must be set before the
 // node serves traffic).
 func (c *Client) SetForceLog(f ForceLogFunc) { c.forceLog = f }
+
+// SetRetryPolicy overrides the transient-fault retry policy (chaos
+// ablations disable it).
+func (c *Client) SetRetryPolicy(p common.RetryPolicy) { c.retry = p }
 
 // SetStorageMode switches the client to the log-ship baseline's page-sync
 // path: pushes write page images to shared storage, fetches read them back
@@ -229,7 +235,13 @@ func (c *Client) freeIdxLocked() uint32 {
 // this node as a copy holder), one-sided read on hit; storage read then
 // register+push on miss.
 func (c *Client) fetch(pg common.PageID, invalIdx uint32) (*page.Page, int, error) {
-	resp, err := c.fabric.Call(common.PMFSNode, ServiceBuf, bufReq(opLookup, c.node, pg, 0, invalIdx))
+	// Lookup is idempotent (re-registering the same copy holder is a
+	// no-op), so transient faults retry safely.
+	var resp []byte
+	err := common.Retry(c.retry, func() (e error) {
+		resp, e = c.fabric.Call(common.PMFSNode, ServiceBuf, bufReq(opLookup, c.node, pg, 0, invalIdx))
+		return e
+	})
 	if err != nil {
 		return nil, -1, err
 	}
@@ -244,7 +256,11 @@ func (c *Client) fetch(pg common.PageID, invalIdx uint32) (*page.Page, int, erro
 		// via storage (the eviction wrote the page there).
 	}
 	c.StorageReads.Inc()
-	img, err := c.store.ReadPage(pg)
+	var img []byte
+	err = common.Retry(c.retry, func() (e error) {
+		img, e = c.store.ReadPage(pg)
+		return e
+	})
 	if err != nil {
 		return nil, -1, err
 	}
@@ -271,7 +287,9 @@ func (c *Client) fetch(pg common.PageID, invalIdx uint32) (*page.Page, int, erro
 
 func (c *Client) readDBPFrame(frame int) (*page.Page, error) {
 	buf := make([]byte, page.FrameSize)
-	if err := c.fabric.Read(common.PMFSNode, RegionDBP, frame*page.FrameSize, buf); err != nil {
+	if err := common.Retry(c.retry, func() error {
+		return c.fabric.Read(common.PMFSNode, RegionDBP, frame*page.FrameSize, buf)
+	}); err != nil {
 		return nil, err
 	}
 	n := imageLen(buf)
@@ -293,20 +311,27 @@ func (c *Client) pushImage(p *page.Page, invalIdx uint32) (int, error) {
 		return -1, err
 	}
 	if c.storageMode {
-		if err := c.store.WritePage(p.ID, img); err != nil {
+		if err := common.Retry(c.retry, func() error {
+			return c.store.WritePage(p.ID, img)
+		}); err != nil {
 			return -1, err
 		}
-		if _, err := c.fabric.Call(common.PMFSNode, ServiceBuf,
-			bufReq(opPreparePush, c.node, p.ID, 0, invalIdx)); err != nil {
+		if err := c.callBuf(bufReq(opPreparePush, c.node, p.ID, 0, invalIdx)); err != nil {
 			return -1, err
 		}
-		if _, err := c.fabric.Call(common.PMFSNode, ServiceBuf,
-			bufReq(opPushed, c.node, p.ID, storagePseudoFrame, invalIdx)); err != nil {
+		if err := c.callBuf(bufReq(opPushed, c.node, p.ID, storagePseudoFrame, invalIdx)); err != nil {
 			return -1, err
 		}
 		return storagePseudoFrame, nil
 	}
-	resp, err := c.fabric.Call(common.PMFSNode, ServiceBuf, bufReq(opPreparePush, c.node, p.ID, 0, invalIdx))
+	// A dropped prepare-push never reached the server; the server treats a
+	// repeated prepare for the same (node, page) as a fresh pin of the same
+	// push, so the retry converges instead of leaking frames.
+	var resp []byte
+	err = common.Retry(c.retry, func() (e error) {
+		resp, e = c.fabric.Call(common.PMFSNode, ServiceBuf, bufReq(opPreparePush, c.node, p.ID, 0, invalIdx))
+		return e
+	})
 	if err != nil {
 		return -1, err
 	}
@@ -317,14 +342,24 @@ func (c *Client) pushImage(p *page.Page, invalIdx uint32) (int, error) {
 	buf := make([]byte, 4+len(img))
 	binary.LittleEndian.PutUint32(buf, uint32(len(img)))
 	copy(buf[4:], img)
-	if err := c.fabric.Write(common.PMFSNode, RegionDBP, frame*page.FrameSize, buf); err != nil {
+	if err := common.Retry(c.retry, func() error {
+		return c.fabric.Write(common.PMFSNode, RegionDBP, frame*page.FrameSize, buf)
+	}); err != nil {
 		return -1, err
 	}
-	if _, err := c.fabric.Call(common.PMFSNode, ServiceBuf,
-		bufReq(opPushed, c.node, p.ID, uint32(frame), invalIdx)); err != nil {
+	if err := c.callBuf(bufReq(opPushed, c.node, p.ID, uint32(frame), invalIdx)); err != nil {
 		return -1, err
 	}
 	return frame, nil
+}
+
+// callBuf sends one Buffer Fusion RPC with transient-fault retries,
+// discarding the response.
+func (c *Client) callBuf(req []byte) error {
+	return common.Retry(c.retry, func() error {
+		_, err := c.fabric.Call(common.PMFSNode, ServiceBuf, req)
+		return err
+	})
 }
 
 // NewPage installs a freshly allocated page (engine-created, under X PLock)
@@ -442,7 +477,9 @@ func (c *Client) evictOneLocked() error {
 		c.lru.Remove(victim.lruEl)
 		pg, idx := victim.id, victim.idx
 		c.mu.Unlock()
-		_, _ = c.fabric.Call(common.PMFSNode, ServiceBuf, bufReq(opUnregister, c.node, pg, 0, idx))
+		// A lost unregister would leave PMFS invalidating a recycled flag
+		// slot forever; retried, and idempotent on re-delivery.
+		_ = c.callBuf(bufReq(opUnregister, c.node, pg, 0, idx))
 		c.mu.Lock()
 		return nil
 	}

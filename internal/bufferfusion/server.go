@@ -53,7 +53,8 @@ const (
 // directory tracking, per page, its frame, the nodes holding copies, and the
 // addresses of their invalid flags (§4.2, Figure 4).
 type Server struct {
-	fabric      *rdma.Fabric
+	fabric      rdma.Conn
+	retry       common.RetryPolicy
 	dbp         *rdma.Region
 	store       *storage.Store
 	frames      int
@@ -101,7 +102,8 @@ func NewServer(ep *rdma.Endpoint, fabric *rdma.Fabric, store *storage.Store, fra
 		frames = 4096
 	}
 	s := &Server{
-		fabric: fabric,
+		fabric: fabric.From(ep.Node()),
+		retry:  common.DefaultRetryPolicy(),
 		dbp:    ep.RegisterRegion(RegionDBP, frames*page.FrameSize),
 		store:  store,
 		frames: frames,
@@ -116,6 +118,10 @@ func NewServer(ep *rdma.Endpoint, fabric *rdma.Fabric, store *storage.Store, fra
 	ep.Serve(ServiceBuf, s.handle)
 	return s
 }
+
+// SetRetryPolicy overrides the transient-fault retry policy for the
+// server's invalidation writes (chaos ablations disable it).
+func (s *Server) SetRetryPolicy(p common.RetryPolicy) { s.retry = p }
 
 func bufReq(op byte, node common.NodeID, pg common.PageID, frame uint32, aux uint32) []byte {
 	b := make([]byte, 19)
@@ -249,10 +255,21 @@ func (s *Server) pushed(node common.NodeID, pg common.PageID, frame int) {
 	}
 	s.mu.Unlock()
 	s.Pushes.Inc()
+	// The invalidation write is the coherence-critical op of §4.2: a copy
+	// holder that misses it would keep serving the stale image. Retried
+	// until delivered (the write is idempotent) — only a crashed holder,
+	// whose cache dies with it, is allowed to miss one.
 	for _, t := range targets {
 		s.Invalidations.Inc()
-		_ = s.fabric.Write64(t.node, RegionInval, int(t.idx)*8, flagStale)
+		s.writeInval(t.node, t.idx, flagStale)
 	}
+}
+
+// writeInval sets a copy holder's invalid flag, retrying transient faults.
+func (s *Server) writeInval(node common.NodeID, idx uint32, flag uint64) {
+	_ = common.Retry(s.retry, func() error {
+		return s.fabric.Write64(node, RegionInval, int(idx)*8, flag)
+	})
 }
 
 func (s *Server) unregister(node common.NodeID, pg common.PageID) {
@@ -296,7 +313,7 @@ func (s *Server) evictLocked(e *dirEntry) {
 		}
 	}
 	for n, idx := range e.copies {
-		_ = s.fabric.Write64(n, RegionInval, int(idx)*8, flagDropped)
+		s.writeInval(n, idx, flagDropped)
 	}
 	delete(s.dir, e.page)
 	s.byFr[e.frame] = nil

@@ -1,0 +1,272 @@
+// Package chaos is a seeded, deterministic fault-injection subsystem for
+// the simulated RDMA fabric (internal/rdma) and disaggregated shared store
+// (internal/storage). A chaos.Plan names fault rules — drop, delay,
+// duplicate delivery, lost responses — with probability, op-window and
+// node selectors, plus node↔node partition schedules; an Engine compiled
+// from a plan and a single int64 seed makes every per-op decision by
+// hashing (seed, rule, op descriptor, occurrence index), so a run is
+// replayable: the same seed and plan over the same op sequence produce the
+// same injected faults and an identical structured event log.
+//
+// DESIGN.md §6 promised "failure injection at random points under load";
+// this package is that substrate, and the hardened retry paths in
+// lockfusion/bufferfusion/txfusion/core are its consumers.
+package chaos
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"polardbmp/internal/common"
+	"polardbmp/internal/rdma"
+	"polardbmp/internal/storage"
+)
+
+// Event is one injected fault, recorded in the engine's structured log.
+type Event struct {
+	// OpIndex is the global 1-based index of the faulted operation.
+	OpIndex uint64
+	// Rule names the firing rule, or "partition" for reachability cuts.
+	Rule string
+	// Action is the injected fault kind ("drop", "delay", ...,
+	// "unreachable").
+	Action string
+	// Occ is the occurrence index of this op descriptor under this rule
+	// (the deterministic replay coordinate).
+	Occ uint64
+	// Op is the faulted operation.
+	Op common.FaultOp
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("#%-6d %-12s %-10s %s/%s %v->%v %q",
+		e.OpIndex, e.Rule, e.Action, e.Op.Layer, e.Op.Class, e.Op.Src, e.Op.Dst, e.Op.Name)
+}
+
+// Engine makes fault decisions for one run. Install it on a fabric and/or
+// store, run the workload, then read Events for the fault timeline.
+type Engine struct {
+	seed  int64
+	plan  Plan
+	salts []uint64 // per-rule hash salt, derived from rule name
+
+	ops atomic.Uint64 // global op counter (1-based indices)
+
+	mu     sync.Mutex
+	occ    map[occKey]uint64 // per-(rule, descriptor) occurrence counts
+	fired  []uint64          // per-rule injection counts (Max enforcement)
+	events []Event
+}
+
+type occKey struct {
+	rule int
+	desc uint64
+}
+
+// New compiles a plan into an engine. The plan must Validate.
+func New(seed int64, plan Plan) (*Engine, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		seed:  seed,
+		plan:  plan,
+		salts: make([]uint64, len(plan.Rules)),
+		occ:   make(map[occKey]uint64),
+		fired: make([]uint64, len(plan.Rules)),
+	}
+	for i, r := range plan.Rules {
+		e.salts[i] = fnvHash(r.Name)
+	}
+	return e, nil
+}
+
+// MustNew is New for static plans (presets); it panics on invalid plans.
+func MustNew(seed int64, plan Plan) *Engine {
+	e, err := New(seed, plan)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Injector returns the decision function to install via SetInjector.
+func (e *Engine) Injector() common.FaultInjector { return e.decide }
+
+// Install attaches the engine to a fabric and/or store (either may be nil).
+func (e *Engine) Install(f *rdma.Fabric, s *storage.Store) {
+	if f != nil {
+		f.SetInjector(e.decide)
+	}
+	if s != nil {
+		s.SetInjector(e.decide)
+	}
+}
+
+// Uninstall detaches injection so the run can be verified fault-free.
+func Uninstall(f *rdma.Fabric, s *storage.Store) {
+	if f != nil {
+		f.SetInjector(nil)
+	}
+	if s != nil {
+		s.SetInjector(nil)
+	}
+}
+
+// decide is the common.FaultInjector: one deterministic verdict per op.
+func (e *Engine) decide(op common.FaultOp) common.FaultDecision {
+	idx := e.ops.Add(1)
+
+	// Partitions first: an unreachable destination beats every rule.
+	for _, p := range e.plan.Partitions {
+		if p.blocks(op.Src, op.Dst, idx) {
+			e.record(Event{OpIndex: idx, Rule: "partition", Action: "unreachable", Op: op})
+			return common.FaultDecision{Err: common.ErrUnreachable}
+		}
+	}
+
+	desc := descriptorHash(op)
+	for ri := range e.plan.Rules {
+		r := &e.plan.Rules[ri]
+		if !r.matches(op, idx) {
+			continue
+		}
+		// Occurrence index: how many times this rule has seen this op
+		// descriptor. Decisions hash (seed, rule, descriptor, occurrence),
+		// so they do not depend on the interleaving of unrelated ops.
+		e.mu.Lock()
+		k := occKey{ri, desc}
+		occ := e.occ[k]
+		e.occ[k] = occ + 1
+		maxedOut := r.Max > 0 && e.fired[ri] >= r.Max
+		e.mu.Unlock()
+		if maxedOut || !fires(e.seed, e.salts[ri], desc, occ, r.Prob) {
+			continue
+		}
+		e.mu.Lock()
+		e.fired[ri]++
+		e.mu.Unlock()
+		e.record(Event{OpIndex: idx, Rule: r.Name, Action: r.Action.Kind.String(), Occ: occ, Op: op})
+		d := common.FaultDecision{Delay: r.Action.Delay}
+		switch r.Action.Kind {
+		case ActDrop:
+			d.Err = common.ErrInjected
+		case ActDuplicate:
+			d.Duplicate = true
+		case ActDropReply:
+			d.DropReply = true
+		}
+		// First matching-and-firing rule wins: stacking several faults on
+		// one op would make the event log ambiguous to replay.
+		return d
+	}
+	return common.FaultDecision{}
+}
+
+func (e *Engine) record(ev Event) {
+	e.mu.Lock()
+	e.events = append(e.events, ev)
+	e.mu.Unlock()
+}
+
+// OpCount returns the number of operations inspected so far.
+func (e *Engine) OpCount() uint64 { return e.ops.Load() }
+
+// Events returns a copy of the fault log in injection order.
+func (e *Engine) Events() []Event {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Event, len(e.events))
+	copy(out, e.events)
+	return out
+}
+
+// CanonicalEvents returns the fault log sorted by (rule, descriptor,
+// occurrence): a concurrency-stable ordering. Two runs of the same seed,
+// plan and workload op multiset produce identical canonical logs even when
+// goroutine interleaving reorders the raw log.
+func (e *Engine) CanonicalEvents() []Event {
+	evs := e.Events()
+	sort.Slice(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		if da, db := descriptorHash(a.Op), descriptorHash(b.Op); da != db {
+			return da < db
+		}
+		return a.Occ < b.Occ
+	})
+	return evs
+}
+
+// Fingerprint folds the canonical event log into one comparable value.
+func (e *Engine) Fingerprint() uint64 {
+	var fp uint64
+	for _, ev := range e.Events() {
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%s|%s|%d|%s|%s|%d|%d|%s",
+			ev.Rule, ev.Action, ev.Occ, ev.Op.Layer, ev.Op.Class,
+			ev.Op.Src, ev.Op.Dst, ev.Op.Name)
+		fp += h.Sum64() // order-insensitive fold
+	}
+	return fp
+}
+
+// Timeline renders the raw fault log, one event per line.
+func (e *Engine) Timeline() string {
+	evs := e.Events()
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos plan %q seed %d: %d faults over %d ops\n",
+		e.plan.Name, e.seed, len(evs), e.OpCount())
+	for _, ev := range evs {
+		b.WriteString("  ")
+		b.WriteString(ev.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// --- deterministic decision hashing ----------------------------------------
+
+func fnvHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// descriptorHash identifies an op stream: everything about the op except
+// its position in time. Occurrence counters are kept per descriptor so the
+// i-th identical op always gets the same verdict regardless of what other
+// streams do around it.
+func descriptorHash(op common.FaultOp) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%d|%d|%s", op.Layer, op.Class, op.Src, op.Dst, op.Name)
+	return h.Sum64()
+}
+
+// splitmix64 is the finalizer used to turn (seed, rule, descriptor,
+// occurrence) into a uniform 64-bit value.
+func splitmix64(z uint64) uint64 {
+	z += 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// fires decides rule activation: a pure function of the replay coordinate.
+func fires(seed int64, ruleSalt, desc, occ uint64, prob float64) bool {
+	if prob <= 0 {
+		return false
+	}
+	if prob >= 1 {
+		return true
+	}
+	v := splitmix64(uint64(seed) ^ splitmix64(ruleSalt^splitmix64(desc^occ)))
+	u := float64(v>>11) / float64(1<<53)
+	return u < prob
+}

@@ -117,6 +117,18 @@ var (
 	ErrTxDone        = errors.New("polardbmp: transaction already finished")
 	ErrClosed        = errors.New("polardbmp: closed")
 	ErrReadOnly      = errors.New("polardbmp: read-only transaction")
+
+	// Fabric/storage addressing errors (typed so retry logic can classify
+	// them with errors.Is instead of string matching).
+	ErrNoRegion    = errors.New("polardbmp: no such memory region")
+	ErrNoService   = errors.New("polardbmp: no such rpc service")
+	ErrOutOfBounds = errors.New("polardbmp: region access out of bounds")
+
+	// Transient communication faults (chaos-injected). These are the only
+	// errors IsTransient accepts: the communication layer retries them with
+	// backoff, unlike crash fences and deadlocks which must fail fast.
+	ErrInjected    = errors.New("polardbmp: injected transient fault")
+	ErrUnreachable = errors.New("polardbmp: destination unreachable")
 )
 
 // IsRetryable reports whether err represents a transient transaction failure

@@ -1,0 +1,110 @@
+package common
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// RetryPolicy bounds the transient-fault retry loop used by the RPC and
+// one-sided client paths. The zero value retries with the defaults; use
+// NoRetryPolicy to disable retrying entirely.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts (first try included).
+	// 0 means DefaultRetryAttempts; 1 disables retrying.
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt; it doubles per
+	// attempt (with jitter) up to MaxDelay. 0 means the default.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. 0 means the default.
+	MaxDelay time.Duration
+}
+
+// Retry defaults: sized for a µs-scale fabric, so even eight attempts cost
+// well under a storage I/O.
+const (
+	DefaultRetryAttempts = 8
+	defaultRetryBase     = 20 * time.Microsecond
+	defaultRetryMax      = 2 * time.Millisecond
+)
+
+// DefaultRetryPolicy returns the production retry policy.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: DefaultRetryAttempts,
+		BaseDelay:   defaultRetryBase,
+		MaxDelay:    defaultRetryMax,
+	}
+}
+
+// NoRetryPolicy disables retrying: every transient fault surfaces to the
+// caller on the first attempt (chaos ablations, fail-fast deployments).
+func NoRetryPolicy() RetryPolicy { return RetryPolicy{MaxAttempts: 1} }
+
+func (p RetryPolicy) fill() RetryPolicy {
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = DefaultRetryAttempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = defaultRetryBase
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = defaultRetryMax
+	}
+	return p
+}
+
+// IsTransient reports whether err is a transient fabric/storage fault that
+// the communication layer itself should retry: an injected fault or a
+// partition. Crash fences (ErrNodeDown, ErrFenced), deadlocks, and protocol
+// errors are deliberately excluded — those must fail fast so the engine's
+// crash-recovery and abort paths keep their semantics.
+func IsTransient(err error) bool {
+	return errors.Is(err, ErrInjected) || errors.Is(err, ErrUnreachable)
+}
+
+// jitterState drives the backoff jitter without math/rand's global lock.
+// A fixed seed keeps runs reproducible when ops are issued serially.
+var jitterState atomic.Uint64
+
+func init() { jitterState.Store(0x9E3779B97F4A7C15) }
+
+func jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	// splitmix64 step.
+	z := jitterState.Add(0x9E3779B97F4A7C15)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return time.Duration(z % uint64(d))
+}
+
+// Retry runs op, retrying transient failures (per IsTransient) with
+// exponential backoff plus equal jitter, up to p.MaxAttempts attempts.
+// Non-transient errors — crash fences, deadlocks, not-found — return
+// immediately. The final transient error is wrapped (errors.Is still
+// matches ErrInjected/ErrUnreachable) with the attempt count.
+func Retry(p RetryPolicy, op func() error) error {
+	err := op()
+	if err == nil || !IsTransient(err) {
+		return err
+	}
+	p = p.fill()
+	if p.MaxAttempts <= 1 {
+		return err
+	}
+	delay := p.BaseDelay
+	for attempt := 2; attempt <= p.MaxAttempts; attempt++ {
+		time.Sleep(delay/2 + jitter(delay/2))
+		if err = op(); err == nil || !IsTransient(err) {
+			return err
+		}
+		if delay *= 2; delay > p.MaxDelay {
+			delay = p.MaxDelay
+		}
+	}
+	return fmt.Errorf("retries exhausted after %d attempts: %w", p.MaxAttempts, err)
+}

@@ -1,0 +1,99 @@
+package common
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestIsTransient(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{ErrInjected, true},
+		{ErrUnreachable, true},
+		{fmt.Errorf("wrapped: %w", ErrInjected), true},
+		{fmt.Errorf("deep: %w", fmt.Errorf("wrap: %w", ErrUnreachable)), true},
+		{ErrNodeDown, false},
+		{ErrFenced, false},
+		{ErrDeadlock, false},
+		{ErrLockTimeout, false},
+		{ErrNoRegion, false},
+		{ErrNoService, false},
+		{ErrOutOfBounds, false},
+		{nil, false},
+		{errors.New("arbitrary"), false},
+	}
+	for _, c := range cases {
+		if got := IsTransient(c.err); got != c.want {
+			t.Errorf("IsTransient(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestRetrySucceedsAfterTransients(t *testing.T) {
+	attempts := 0
+	err := Retry(RetryPolicy{MaxAttempts: 5, BaseDelay: 1, MaxDelay: 2}, func() error {
+		attempts++
+		if attempts < 3 {
+			return fmt.Errorf("flaky: %w", ErrInjected)
+		}
+		return nil
+	})
+	if err != nil || attempts != 3 {
+		t.Fatalf("err=%v attempts=%d", err, attempts)
+	}
+}
+
+func TestRetryExhaustionPreservesSentinel(t *testing.T) {
+	attempts := 0
+	err := Retry(RetryPolicy{MaxAttempts: 4, BaseDelay: 1, MaxDelay: 2}, func() error {
+		attempts++
+		return fmt.Errorf("always: %w", ErrUnreachable)
+	})
+	if attempts != 4 {
+		t.Fatalf("attempts = %d, want 4", attempts)
+	}
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("exhausted error lost its sentinel: %v", err)
+	}
+}
+
+func TestRetryFailsFastOnPermanentErrors(t *testing.T) {
+	for _, perm := range []error{ErrNodeDown, ErrFenced, ErrDeadlock, ErrNotFound} {
+		attempts := 0
+		err := Retry(DefaultRetryPolicy(), func() error {
+			attempts++
+			return perm
+		})
+		if attempts != 1 {
+			t.Fatalf("%v retried %d times", perm, attempts)
+		}
+		if !errors.Is(err, perm) {
+			t.Fatalf("permanent error rewritten: %v", err)
+		}
+	}
+}
+
+func TestNoRetryPolicySingleAttempt(t *testing.T) {
+	attempts := 0
+	err := Retry(NoRetryPolicy(), func() error {
+		attempts++
+		return ErrInjected
+	})
+	if attempts != 1 {
+		t.Fatalf("NoRetryPolicy ran %d attempts", attempts)
+	}
+	// The error passes through unwrapped: no misleading "exhausted" text.
+	if !errors.Is(err, ErrInjected) || err.Error() != ErrInjected.Error() {
+		t.Fatalf("NoRetryPolicy error = %v", err)
+	}
+}
+
+func TestRetryNilOnFirstTry(t *testing.T) {
+	attempts := 0
+	if err := Retry(DefaultRetryPolicy(), func() error { attempts++; return nil }); err != nil || attempts != 1 {
+		t.Fatalf("err=%v attempts=%d", err, attempts)
+	}
+}

@@ -51,6 +51,19 @@ type Config struct {
 	// page-store + log-replay synchronization of Taurus-MM (§2.3): the
 	// log-ship baseline and the DBP ablation.
 	StoragePageSync bool
+
+	// DisableRetry turns off transient-fault retries in the PMFS client
+	// paths (the chaos ablation that demonstrates why the retries exist).
+	// Crash fences, deadlocks and timeouts always fail fast either way.
+	DisableRetry bool
+}
+
+// retryPolicy resolves the transient-fault retry policy for this config.
+func (c *Config) retryPolicy() common.RetryPolicy {
+	if c.DisableRetry {
+		return common.NoRetryPolicy()
+	}
+	return common.DefaultRetryPolicy()
 }
 
 func (c *Config) fill() {
@@ -129,6 +142,9 @@ func (c *Cluster) startPMFS() {
 	c.txSrv = txfusion.NewServer(ep, c.fabric)
 	c.lockSrv = lockfusion.NewServer(ep, c.fabric)
 	c.bufSrv = bufferfusion.NewServerMode(ep, c.fabric, c.store, c.cfg.DBPFrames, c.cfg.StoragePageSync)
+	rp := c.cfg.retryPolicy()
+	c.lockSrv.SetRetryPolicy(rp)
+	c.bufSrv.SetRetryPolicy(rp)
 }
 
 // Store exposes the shared storage (harness/inspection).
@@ -199,12 +215,17 @@ func (c *Cluster) CrashNode(id common.NodeID) {
 	c.removeMinView(id)
 }
 
-// removeMinView drops a crashed node from the min-view aggregation.
+// removeMinView drops a crashed node from the min-view aggregation. The
+// removal must land even on a faulty fabric or the global min view stalls
+// forever, so it retries transient faults (removal is idempotent).
 func (c *Cluster) removeMinView(id common.NodeID) {
 	req := make([]byte, 3)
 	req[0] = 2 // opRemoveNode
 	binary.LittleEndian.PutUint16(req[1:], uint16(id))
-	_, _ = c.fabric.Call(common.PMFSNode, txfusion.ServiceTxF, req)
+	_ = common.Retry(c.cfg.retryPolicy(), func() error {
+		_, err := c.fabric.Call(common.PMFSNode, txfusion.ServiceTxF, req)
+		return err
+	})
 }
 
 // RestartNode brings a crashed node back: it replays its own redo log

@@ -89,6 +89,11 @@ func (c *Cluster) newNode(id common.NodeID, recovering bool) (*Node, error) {
 	n.rl = lockfusion.NewRLockClient(ep, c.fabric, n.tf, lcfg)
 	n.lbp = bufferfusion.NewClient(ep, c.fabric, c.store, c.cfg.LBPFrames)
 	n.lbp.SetStorageMode(c.cfg.StoragePageSync)
+	rp := c.cfg.retryPolicy()
+	n.tf.SetRetryPolicy(rp)
+	n.pl.SetRetryPolicy(rp)
+	n.rl.SetRetryPolicy(rp)
+	n.lbp.SetRetryPolicy(rp)
 	n.wal = wal.NewWriter(c.store, id)
 
 	// Wire the cross-layer hooks: force-log-before-push (§4.2) and

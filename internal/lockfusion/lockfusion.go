@@ -18,6 +18,8 @@ package lockfusion
 import (
 	"time"
 
+	"polardbmp/internal/common"
+
 	"polardbmp/internal/rdma"
 )
 
@@ -87,6 +89,13 @@ func NewServer(ep *rdma.Endpoint, fabric *rdma.Fabric) *Server {
 		PLock: newPLockServer(ep, fabric),
 		RLock: newRLockServer(ep, fabric),
 	}
+}
+
+// SetRetryPolicy overrides the transient-fault retry policy for both
+// server-initiated message paths (revokes and wakeups).
+func (s *Server) SetRetryPolicy(p common.RetryPolicy) {
+	s.PLock.SetRetryPolicy(p)
+	s.RLock.SetRetryPolicy(p)
 }
 
 // DropNode releases every PLock held or awaited by node and clears its

@@ -31,7 +31,8 @@ func plockReqBuf(op byte, node common.NodeID, pg common.PageID, mode Mode) []byt
 // PLockServer is the PMFS-side PLock manager: one entry per page, FIFO
 // waiter queues, negotiation messages to lazy holders.
 type PLockServer struct {
-	fabric *rdma.Fabric
+	fabric rdma.Conn
+	retry  common.RetryPolicy
 
 	mu      sync.Mutex
 	entries map[common.PageID]*plockEntry
@@ -60,13 +61,18 @@ type plockWaiter struct {
 
 func newPLockServer(ep *rdma.Endpoint, fabric *rdma.Fabric) *PLockServer {
 	s := &PLockServer{
-		fabric:  fabric,
+		fabric:  fabric.From(ep.Node()),
+		retry:   common.DefaultRetryPolicy(),
 		entries: make(map[common.PageID]*plockEntry),
 		dead:    make(map[common.NodeID]bool),
 	}
 	ep.Serve(ServicePLock, s.handle)
 	return s
 }
+
+// SetRetryPolicy overrides the transient-fault retry policy for revoke
+// delivery (chaos ablations disable it).
+func (s *PLockServer) SetRetryPolicy(p common.RetryPolicy) { s.retry = p }
 
 func (s *PLockServer) handle(req []byte) ([]byte, error) {
 	if len(req) < 12 {
@@ -208,10 +214,17 @@ type revokeTarget struct {
 
 // sendRevokes delivers negotiation messages outside the table lock (the
 // holder's revoke handler may synchronously call back with a release).
+// Revoke delivery is retried on transient fabric faults: a lost revoke
+// would strand the waiter until the lazy holder releases on its own, and
+// re-delivery is idempotent (it only sets the holder's revokePending flag).
 func (s *PLockServer) sendRevokes(pg common.PageID, targets []revokeTarget) {
 	for _, t := range targets {
 		s.Negotiations.Inc()
-		_, _ = s.fabric.Call(t.holder, ServiceRevoke, plockReqBuf(opRevoke, t.wantNode, pg, t.wantMode))
+		req := plockReqBuf(opRevoke, t.wantNode, pg, t.wantMode)
+		_ = common.Retry(s.retry, func() error {
+			_, err := s.fabric.Call(t.holder, ServiceRevoke, req)
+			return err
+		})
 	}
 }
 
@@ -358,8 +371,9 @@ type RevokeFunc func(pg common.PageID, held Mode)
 // reference counts from local threads, lazy retention, and pending revokes.
 type PLockClient struct {
 	node   common.NodeID
-	fabric *rdma.Fabric
+	fabric rdma.Conn
 	cfg    Config
+	retry  common.RetryPolicy
 
 	onRevoke RevokeFunc
 	closed   atomic.Bool
@@ -392,7 +406,8 @@ func NewPLockClient(ep *rdma.Endpoint, fabric *rdma.Fabric, cfg Config) *PLockCl
 	cfg.fill()
 	c := &PLockClient{
 		node:      ep.Node(),
-		fabric:    fabric,
+		fabric:    fabric.From(ep.Node()),
+		retry:     common.DefaultRetryPolicy(),
 		cfg:       cfg,
 		locks:     make(map[common.PageID]*localPLock),
 		releasing: make(map[common.PageID]bool),
@@ -405,6 +420,10 @@ func NewPLockClient(ep *rdma.Endpoint, fabric *rdma.Fabric, cfg Config) *PLockCl
 // SetRevokeHandler installs the engine's flush-before-release hook. Must be
 // called before the node serves traffic.
 func (c *PLockClient) SetRevokeHandler(f RevokeFunc) { c.onRevoke = f }
+
+// SetRetryPolicy overrides the transient-fault retry policy (chaos
+// ablations disable it).
+func (c *PLockClient) SetRetryPolicy(p common.RetryPolicy) { c.retry = p }
 
 func (c *PLockClient) handleRevoke(req []byte) ([]byte, error) {
 	if len(req) < 12 {
@@ -502,8 +521,13 @@ func (c *PLockClient) Acquire(pg common.PageID, mode Mode) error {
 		l.acquiring = true
 		c.mu.Unlock()
 		c.RemoteAcquires.Inc()
-		_, err := c.fabric.Call(common.PMFSNode, ServicePLock,
-			plockReqBuf(opPLockAcquire, c.node, pg, mode))
+		// The server's acquire path is idempotent (a holder re-acquiring is
+		// re-granted), so lost requests and lost responses both retry safely.
+		err := common.Retry(c.retry, func() error {
+			_, e := c.fabric.Call(common.PMFSNode, ServicePLock,
+				plockReqBuf(opPLockAcquire, c.node, pg, mode))
+			return e
+		})
 		c.mu.Lock()
 		l.acquiring = false
 		if err != nil {
@@ -573,8 +597,13 @@ func (c *PLockClient) releaseToServer(pg common.PageID, mode Mode) {
 	if c.onRevoke != nil {
 		c.onRevoke(pg, mode)
 	}
-	_, _ = c.fabric.Call(common.PMFSNode, ServicePLock,
-		plockReqBuf(opPLockRelease, c.node, pg, mode))
+	// A dropped release would leave PMFS believing we still hold the lock,
+	// stalling every waiter until the backstop: retry until delivered.
+	_ = common.Retry(c.retry, func() error {
+		_, err := c.fabric.Call(common.PMFSNode, ServicePLock,
+			plockReqBuf(opPLockRelease, c.node, pg, mode))
+		return err
+	})
 	c.mu.Lock()
 	delete(c.releasing, pg)
 	c.relCond.Broadcast()

@@ -23,7 +23,8 @@ const (
 // waits for which, plus where to send the wakeup. Lock state itself lives in
 // the rows.
 type RLockServer struct {
-	fabric *rdma.Fabric
+	fabric rdma.Conn
+	retry  common.RetryPolicy
 
 	mu sync.Mutex
 	// edges maps waiter -> holder (a transaction waits for at most one
@@ -40,13 +41,18 @@ type RLockServer struct {
 
 func newRLockServer(ep *rdma.Endpoint, fabric *rdma.Fabric) *RLockServer {
 	s := &RLockServer{
-		fabric:  fabric,
+		fabric:  fabric.From(ep.Node()),
+		retry:   common.DefaultRetryPolicy(),
 		edges:   make(map[common.GTrxID]common.GTrxID),
 		waiters: make(map[common.GTrxID][]common.GTrxID),
 	}
 	ep.Serve(ServiceRLock, s.handle)
 	return s
 }
+
+// SetRetryPolicy overrides the transient-fault retry policy for wakeup
+// delivery (chaos ablations disable it).
+func (s *RLockServer) SetRetryPolicy(p common.RetryPolicy) { s.retry = p }
 
 func marshalTwoG(op byte, a, b common.GTrxID) []byte {
 	buf := make([]byte, 0, 1+2*common.GTrxIDSize)
@@ -140,8 +146,15 @@ func (s *RLockServer) committed(holder common.GTrxID) {
 		delete(s.edges, w)
 	}
 	s.mu.Unlock()
+	// Wakeups must survive transient faults: a lost wake parks the waiter
+	// until its timeout. Re-delivery is idempotent (waking an absent waiter
+	// is a no-op).
 	for _, w := range list {
-		_, _ = s.fabric.Call(w.Node, ServiceWake, marshalTwoG(opWake, w, holder))
+		req := marshalTwoG(opWake, w, holder)
+		_ = common.Retry(s.retry, func() error {
+			_, err := s.fabric.Call(w.Node, ServiceWake, req)
+			return err
+		})
 	}
 }
 
@@ -175,7 +188,11 @@ func (s *RLockServer) dropNode(node uint16) {
 	}
 	s.mu.Unlock()
 	for _, w := range wake {
-		_, _ = s.fabric.Call(w.Node, ServiceWake, marshalTwoG(opWake, w, common.GTrxID{}))
+		req := marshalTwoG(opWake, w, common.GTrxID{})
+		_ = common.Retry(s.retry, func() error {
+			_, err := s.fabric.Call(w.Node, ServiceWake, req)
+			return err
+		})
 	}
 }
 
@@ -192,9 +209,10 @@ func (s *RLockServer) WaitEdges() int {
 // transactions and wakes them on ServiceWake notifications.
 type RLockClient struct {
 	node   common.NodeID
-	fabric *rdma.Fabric
+	fabric rdma.Conn
 	tf     *txfusion.Client
 	cfg    Config
+	retry  common.RetryPolicy
 
 	mu     sync.Mutex
 	parked map[common.GTrxID]chan struct{}
@@ -209,7 +227,8 @@ func NewRLockClient(ep *rdma.Endpoint, fabric *rdma.Fabric, tf *txfusion.Client,
 	cfg.fill()
 	c := &RLockClient{
 		node:   ep.Node(),
-		fabric: fabric,
+		fabric: fabric.From(ep.Node()),
+		retry:  common.DefaultRetryPolicy(),
 		tf:     tf,
 		cfg:    cfg,
 		parked: make(map[common.GTrxID]chan struct{}),
@@ -217,6 +236,10 @@ func NewRLockClient(ep *rdma.Endpoint, fabric *rdma.Fabric, tf *txfusion.Client,
 	ep.Serve(ServiceWake, c.handleWake)
 	return c
 }
+
+// SetRetryPolicy overrides the transient-fault retry policy (chaos
+// ablations disable it).
+func (c *RLockClient) SetRetryPolicy(p common.RetryPolicy) { c.retry = p }
 
 func (c *RLockClient) handleWake(req []byte) ([]byte, error) {
 	if len(req) < 1+common.GTrxIDSize {
@@ -265,8 +288,13 @@ func (c *RLockClient) WaitFor(waiter, holder common.GTrxID) error {
 		c.mu.Unlock()
 	}
 
-	// Step 2: register the wait-for edge.
-	resp, err := c.fabric.Call(common.PMFSNode, ServiceRLock, marshalTwoG(opWaitFor, waiter, holder))
+	// Step 2: register the wait-for edge. Dropped requests never reached
+	// the server, so retrying cannot double-register.
+	var resp []byte
+	err = common.Retry(c.retry, func() (e error) {
+		resp, e = c.fabric.Call(common.PMFSNode, ServiceRLock, marshalTwoG(opWaitFor, waiter, holder))
+		return e
+	})
 	if err != nil {
 		cleanup()
 		return err
@@ -280,7 +308,7 @@ func (c *RLockClient) WaitFor(waiter, holder common.GTrxID) error {
 	// registration; its notification would have found no edge. Re-check.
 	active, err := c.tf.IsActive(holder)
 	if err == nil && !active {
-		_, _ = c.fabric.Call(common.PMFSNode, ServiceRLock, marshalTwoG(opCancelWait, waiter, holder))
+		c.cancelWait(waiter, holder)
 		cleanup()
 		return nil
 	}
@@ -291,14 +319,27 @@ func (c *RLockClient) WaitFor(waiter, holder common.GTrxID) error {
 		return nil
 	case <-time.After(c.cfg.WaitTimeout):
 		c.Timeouts.Inc()
-		_, _ = c.fabric.Call(common.PMFSNode, ServiceRLock, marshalTwoG(opCancelWait, waiter, holder))
+		c.cancelWait(waiter, holder)
 		cleanup()
 		return fmt.Errorf("rlock: %v waiting for %v: %w", waiter, holder, common.ErrLockTimeout)
 	}
 }
 
+// cancelWait retracts a wait edge; losing it would leak the edge until the
+// holder commits, so transient faults are retried (cancel is idempotent).
+func (c *RLockClient) cancelWait(waiter, holder common.GTrxID) {
+	_ = common.Retry(c.retry, func() error {
+		_, err := c.fabric.Call(common.PMFSNode, ServiceRLock, marshalTwoG(opCancelWait, waiter, holder))
+		return err
+	})
+}
+
 // NotifyCommitted tells Lock Fusion that holder finished; called by the
-// engine when commit/abort observes the TIT ref flag set.
+// engine when commit/abort observes the TIT ref flag set. A lost
+// notification parks every waiter until timeout, so it is retried.
 func (c *RLockClient) NotifyCommitted(holder common.GTrxID) {
-	_, _ = c.fabric.Call(common.PMFSNode, ServiceRLock, marshalTwoG(opCommitted, holder, common.GTrxID{}))
+	_ = common.Retry(c.retry, func() error {
+		_, err := c.fabric.Call(common.PMFSNode, ServiceRLock, marshalTwoG(opCommitted, holder, common.GTrxID{}))
+		return err
+	})
 }

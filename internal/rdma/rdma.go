@@ -15,6 +15,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"polardbmp/internal/common"
@@ -67,6 +68,9 @@ func (s *Stats) Reset() {
 type Fabric struct {
 	latency Latency
 	stats   Stats
+	// inj holds a common.FaultInjector consulted before every verb
+	// (nil function value when injection is off).
+	inj atomic.Value
 
 	mu        sync.RWMutex
 	endpoints map[common.NodeID]*Endpoint
@@ -82,6 +86,91 @@ func NewFabric(latency Latency) *Fabric {
 
 // Stats exposes the fabric's operation counters.
 func (f *Fabric) Stats() *Stats { return &f.stats }
+
+// SetInjector installs (or, with nil, removes) a fault injector consulted
+// before every fabric verb. Safe to call while ops are in flight.
+func (f *Fabric) SetInjector(inj common.FaultInjector) { f.inj.Store(inj) }
+
+// inject consults the installed injector for one op. It sleeps injected
+// delays, returns a non-nil error for dropped/unreachable ops, and reports
+// the duplicate/drop-reply directives for the caller to apply.
+func (f *Fabric) inject(class string, src, dst common.NodeID, name string, n int) (dup, dropReply bool, err error) {
+	v := f.inj.Load()
+	if v == nil {
+		return false, false, nil
+	}
+	inj, _ := v.(common.FaultInjector)
+	if inj == nil {
+		return false, false, nil
+	}
+	d := inj(common.FaultOp{
+		Layer: common.FaultLayerRDMA, Class: class,
+		Src: src, Dst: dst, Name: name, Len: n,
+	})
+	if d.Delay > 0 {
+		time.Sleep(d.Delay)
+	}
+	if d.Err != nil {
+		return false, false, fmt.Errorf("rdma: %s %q @ node %d: %w", class, name, dst, d.Err)
+	}
+	return d.Duplicate, d.DropReply, nil
+}
+
+// Conn is a source-bound view of the fabric: the same verbs, but every op
+// carries the issuing node's identity so fault injection can model node↔node
+// partitions and slow links. Consumers that know their node should prefer a
+// Conn; the raw Fabric methods issue ops with an unbound (AnyNode) source.
+type Conn struct {
+	f   *Fabric
+	src common.NodeID
+}
+
+// From returns a Conn issuing ops as src.
+func (f *Fabric) From(src common.NodeID) Conn { return Conn{f: f, src: src} }
+
+// Fabric returns the underlying fabric.
+func (c Conn) Fabric() *Fabric { return c.f }
+
+// Read performs a one-sided read of len(dst) bytes from (node, region, off).
+func (c Conn) Read(node common.NodeID, region string, off int, dst []byte) error {
+	return c.f.read(c.src, node, region, off, dst)
+}
+
+// Write performs a one-sided write of src to (node, region, off).
+func (c Conn) Write(node common.NodeID, region string, off int, src []byte) error {
+	return c.f.write(c.src, node, region, off, src)
+}
+
+// Read64 reads an 8-byte little-endian word.
+func (c Conn) Read64(node common.NodeID, region string, off int) (uint64, error) {
+	var b [8]byte
+	if err := c.Read(node, region, off, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+// Write64 writes an 8-byte little-endian word.
+func (c Conn) Write64(node common.NodeID, region string, off int, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return c.Write(node, region, off, b[:])
+}
+
+// CAS64 atomically compares-and-swaps the word at (node, region, off).
+func (c Conn) CAS64(node common.NodeID, region string, off int, old, new uint64) (uint64, error) {
+	return c.f.cas64(c.src, node, region, off, old, new)
+}
+
+// FetchAdd64 atomically adds delta to the word at (node, region, off).
+func (c Conn) FetchAdd64(node common.NodeID, region string, off int, delta uint64) (uint64, error) {
+	return c.f.fetchAdd64(c.src, node, region, off, delta)
+}
+
+// Call invokes an RPC service method on node.
+func (c Conn) Call(node common.NodeID, service string, req []byte) ([]byte, error) {
+	return c.f.call(c.src, node, service, req)
+}
 
 // Register creates (or revives) the endpoint for node. Registering an id
 // that already has a live endpoint panics: that is a wiring bug.
@@ -114,6 +203,14 @@ func (f *Fabric) lookup(node common.NodeID) (*Endpoint, error) {
 
 // Read performs a one-sided read of len(dst) bytes from (node, region, off).
 func (f *Fabric) Read(node common.NodeID, region string, off int, dst []byte) error {
+	return f.read(common.AnyNode, node, region, off, dst)
+}
+
+func (f *Fabric) read(src, node common.NodeID, region string, off int, dst []byte) error {
+	dup, _, err := f.inject(common.FaultRead, src, node, region, len(dst))
+	if err != nil {
+		return err
+	}
 	ep, err := f.lookup(node)
 	if err != nil {
 		return err
@@ -125,11 +222,24 @@ func (f *Fabric) Read(node common.NodeID, region string, off int, dst []byte) er
 	f.latency.sleep(f.latency.OneSided)
 	f.stats.Reads.Inc()
 	f.stats.BytesRead.Add(int64(len(dst)))
+	if dup {
+		// Duplicate delivery: the NIC re-executes the idempotent read.
+		f.stats.Reads.Inc()
+		_ = r.read(off, dst)
+	}
 	return r.read(off, dst)
 }
 
 // Write performs a one-sided write of src to (node, region, off).
 func (f *Fabric) Write(node common.NodeID, region string, off int, src []byte) error {
+	return f.write(common.AnyNode, node, region, off, src)
+}
+
+func (f *Fabric) write(src, node common.NodeID, region string, off int, data []byte) error {
+	dup, _, err := f.inject(common.FaultWrite, src, node, region, len(data))
+	if err != nil {
+		return err
+	}
 	ep, err := f.lookup(node)
 	if err != nil {
 		return err
@@ -140,8 +250,13 @@ func (f *Fabric) Write(node common.NodeID, region string, off int, src []byte) e
 	}
 	f.latency.sleep(f.latency.OneSided)
 	f.stats.Writes.Inc()
-	f.stats.BytesWrite.Add(int64(len(src)))
-	return r.write(off, src)
+	f.stats.BytesWrite.Add(int64(len(data)))
+	if dup {
+		// Duplicate delivery: writing the same bytes twice is idempotent.
+		f.stats.Writes.Inc()
+		_ = r.write(off, data)
+	}
+	return r.write(off, data)
 }
 
 // Read64 reads an 8-byte little-endian word.
@@ -164,6 +279,14 @@ func (f *Fabric) Write64(node common.NodeID, region string, off int, v uint64) e
 // It returns the value observed before the operation; the swap happened iff
 // that equals old.
 func (f *Fabric) CAS64(node common.NodeID, region string, off int, old, new uint64) (uint64, error) {
+	return f.cas64(common.AnyNode, node, region, off, old, new)
+}
+
+func (f *Fabric) cas64(src, node common.NodeID, region string, off int, old, new uint64) (uint64, error) {
+	// Atomics are never duplicated: they are not idempotent.
+	if _, _, err := f.inject(common.FaultAtomic, src, node, region, 8); err != nil {
+		return 0, err
+	}
 	ep, err := f.lookup(node)
 	if err != nil {
 		return 0, err
@@ -180,6 +303,13 @@ func (f *Fabric) CAS64(node common.NodeID, region string, off int, old, new uint
 // FetchAdd64 atomically adds delta to the word at (node, region, off) and
 // returns the previous value.
 func (f *Fabric) FetchAdd64(node common.NodeID, region string, off int, delta uint64) (uint64, error) {
+	return f.fetchAdd64(common.AnyNode, node, region, off, delta)
+}
+
+func (f *Fabric) fetchAdd64(src, node common.NodeID, region string, off int, delta uint64) (uint64, error) {
+	if _, _, err := f.inject(common.FaultAtomic, src, node, region, 8); err != nil {
+		return 0, err
+	}
 	ep, err := f.lookup(node)
 	if err != nil {
 		return 0, err
@@ -196,6 +326,14 @@ func (f *Fabric) FetchAdd64(node common.NodeID, region string, off int, delta ui
 // Call invokes an RPC service method on node. The response buffer is owned
 // by the caller.
 func (f *Fabric) Call(node common.NodeID, service string, req []byte) ([]byte, error) {
+	return f.call(common.AnyNode, node, service, req)
+}
+
+func (f *Fabric) call(src, node common.NodeID, service string, req []byte) ([]byte, error) {
+	_, dropReply, err := f.inject(common.FaultRPC, src, node, service, len(req))
+	if err != nil {
+		return nil, err
+	}
 	ep, err := f.lookup(node)
 	if err != nil {
 		return nil, err
@@ -204,7 +342,7 @@ func (f *Fabric) Call(node common.NodeID, service string, req []byte) ([]byte, e
 	h := ep.services[service]
 	ep.mu.RUnlock()
 	if h == nil {
-		return nil, fmt.Errorf("rdma: node %d has no service %q", node, service)
+		return nil, fmt.Errorf("rdma: node %d service %q: %w", node, service, common.ErrNoService)
 	}
 	f.latency.sleep(f.latency.RPC)
 	f.stats.RPCs.Inc()
@@ -216,6 +354,12 @@ func (f *Fabric) Call(node common.NodeID, service string, req []byte) ([]byte, e
 	// mid-call is reported as a network failure, like a torn QP.
 	if ep.isDown() {
 		return nil, fmt.Errorf("rdma: node %d died during call: %w", node, common.ErrNodeDown)
+	}
+	if dropReply {
+		// The handler ran but the response was lost; the caller sees a
+		// transient failure and must retry idempotently.
+		return nil, fmt.Errorf("rdma: rpc %q @ node %d: response lost: %w",
+			service, node, common.ErrInjected)
 	}
 	return resp, nil
 }
@@ -273,7 +417,7 @@ func (ep *Endpoint) region(name string) (*Region, error) {
 	r := ep.regions[name]
 	ep.mu.RUnlock()
 	if r == nil {
-		return nil, fmt.Errorf("rdma: node %d has no region %q", ep.node, name)
+		return nil, fmt.Errorf("rdma: node %d region %q: %w", ep.node, name, common.ErrNoRegion)
 	}
 	return r, nil
 }
@@ -295,7 +439,7 @@ func (r *Region) Size() int {
 func (r *Region) check(off, n int) error {
 	if off < 0 || n < 0 || off+n > len(r.buf) {
 		return fmt.Errorf("rdma: access [%d,%d) outside region of %d bytes: %w",
-			off, off+n, len(r.buf), common.ErrShortBuffer)
+			off, off+n, len(r.buf), common.ErrOutOfBounds)
 	}
 	return nil
 }

@@ -48,10 +48,10 @@ func TestBoundsChecking(t *testing.T) {
 	f := NewFabric(Latency{})
 	ep := f.Register(1)
 	ep.RegisterRegion("mem", 16)
-	if err := f.Write(1, "mem", 10, make([]byte, 8)); !errors.Is(err, common.ErrShortBuffer) {
+	if err := f.Write(1, "mem", 10, make([]byte, 8)); !errors.Is(err, common.ErrOutOfBounds) {
 		t.Fatalf("out-of-bounds write err = %v", err)
 	}
-	if err := f.Read(1, "mem", -1, make([]byte, 4)); !errors.Is(err, common.ErrShortBuffer) {
+	if err := f.Read(1, "mem", -1, make([]byte, 4)); !errors.Is(err, common.ErrOutOfBounds) {
 		t.Fatalf("negative offset err = %v", err)
 	}
 }

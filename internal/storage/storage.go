@@ -12,6 +12,7 @@ package storage
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"polardbmp/internal/common"
@@ -60,6 +61,9 @@ type Stats struct {
 type Store struct {
 	latency Latency
 	stats   Stats
+	// inj holds a common.FaultInjector consulted before I/O entry points
+	// (nil function value when injection is off).
+	inj atomic.Value
 	// persist, when set, mirrors durable state into a directory.
 	persist *persister
 
@@ -84,6 +88,37 @@ func New(latency Latency) *Store {
 // Stats exposes the store's operation counters.
 func (s *Store) Stats() *Stats { return &s.stats }
 
+// SetInjector installs (or, with nil, removes) a fault injector consulted
+// before page and log I/O. Log appends and syncs honor only injected delays
+// (a stalled-storage mode): PolarFS's replicated append does not fail, it
+// stalls, and LogAppend/LogSync have no error path by design.
+func (s *Store) SetInjector(inj common.FaultInjector) { s.inj.Store(inj) }
+
+// inject consults the installed injector. src names the stream owner for
+// log ops and AnyNode for page ops; failable reports whether the entry
+// point has an error path (otherwise Err directives are ignored).
+func (s *Store) inject(class string, src common.NodeID, name string, n int, failable bool) error {
+	v := s.inj.Load()
+	if v == nil {
+		return nil
+	}
+	inj, _ := v.(common.FaultInjector)
+	if inj == nil {
+		return nil
+	}
+	d := inj(common.FaultOp{
+		Layer: common.FaultLayerStorage, Class: class,
+		Src: src, Dst: common.StorageNode, Name: name, Len: n,
+	})
+	if d.Delay > 0 {
+		time.Sleep(d.Delay)
+	}
+	if d.Err != nil && failable {
+		return fmt.Errorf("storage: %s %q: %w", class, name, d.Err)
+	}
+	return nil
+}
+
 // AllocPage allocates a fresh cluster-unique page id.
 func (s *Store) AllocPage() common.PageID {
 	s.mu.Lock()
@@ -99,6 +134,9 @@ func (s *Store) AllocPage() common.PageID {
 
 // ReadPage returns a copy of the page image, or ErrNotFound.
 func (s *Store) ReadPage(id common.PageID) ([]byte, error) {
+	if err := s.inject(common.FaultPageRead, common.AnyNode, "page", 0, true); err != nil {
+		return nil, err
+	}
 	s.latency.sleep(s.latency.PageRead)
 	s.stats.PageReads.Inc()
 	s.mu.RLock()
@@ -115,6 +153,9 @@ func (s *Store) ReadPage(id common.PageID) ([]byte, error) {
 // WritePage durably stores a copy of the page image. Page writes are atomic
 // (PolarFS guarantees this for aligned page I/O).
 func (s *Store) WritePage(id common.PageID, img []byte) error {
+	if err := s.inject(common.FaultPageWrite, common.AnyNode, "page", len(img), true); err != nil {
+		return err
+	}
 	s.latency.sleep(s.latency.PageWrite)
 	s.stats.PageWrites.Inc()
 	cp := make([]byte, len(img))
@@ -218,6 +259,7 @@ func (s *Store) LogAppend(node common.NodeID, data []byte) common.LSN {
 // LogSync makes all appended data durable and returns the durable LSN (the
 // offset just past the last durable byte).
 func (s *Store) LogSync(node common.NodeID) common.LSN {
+	_ = s.inject(common.FaultLogSync, node, "log", 0, false)
 	s.latency.sleep(s.latency.LogAppend)
 	s.stats.LogSyncs.Inc()
 	ls := s.stream(node)
@@ -252,6 +294,9 @@ func (s *Store) LogStartLSN(node common.NodeID) common.LSN {
 // number of bytes read; n == 0 means lsn is at (or past) the durable
 // frontier. Reading truncated history is a bug and returns ErrCorrupt.
 func (s *Store) LogRead(node common.NodeID, lsn common.LSN, buf []byte) (int, error) {
+	if err := s.inject(common.FaultLogRead, node, "log", len(buf), true); err != nil {
+		return 0, err
+	}
 	s.latency.sleep(s.latency.LogRead)
 	s.stats.LogReads.Inc()
 	ls := s.stream(node)

@@ -175,9 +175,10 @@ func DefaultConfig() Config {
 // to the TSO and every peer TIT.
 type Client struct {
 	node   common.NodeID
-	fabric *rdma.Fabric
+	fabric rdma.Conn
 	tit    *rdma.Region
 	cfg    Config
+	retry  common.RetryPolicy
 
 	mu      sync.Mutex
 	free    []uint32 // free slot ids
@@ -219,9 +220,10 @@ func NewClient(ep *rdma.Endpoint, fabric *rdma.Fabric, cfg Config) *Client {
 	cfg.fill()
 	c := &Client{
 		node:     ep.Node(),
-		fabric:   fabric,
+		fabric:   fabric.From(ep.Node()),
 		tit:      ep.RegisterRegion(RegionTIT, headerSize+cfg.TITSlots*SlotSize),
 		cfg:      cfg,
+		retry:    common.DefaultRetryPolicy(),
 		inUse:    make(map[uint32]common.TrxID),
 		views:    make(map[common.CSN]int),
 		lastGMV:  common.CSNMin,
@@ -236,6 +238,10 @@ func NewClient(ep *rdma.Endpoint, fabric *rdma.Fabric, cfg Config) *Client {
 
 // Node returns the owning node id.
 func (c *Client) Node() common.NodeID { return c.node }
+
+// SetRetryPolicy overrides the transient-fault retry policy for the
+// client's one-sided and RPC paths (chaos ablations disable it).
+func (c *Client) SetRetryPolicy(p common.RetryPolicy) { c.retry = p }
 
 func slotOff(slot uint32) int { return headerSize + int(slot)*SlotSize }
 
@@ -381,7 +387,10 @@ func (c *Client) GetTrxCTS(g common.GTrxID) (common.CSN, error) {
 		}
 	} else {
 		// One-sided RDMA read of the remote slot (Algorithm 1 line 11).
-		if err := c.fabric.Read(g.Node, RegionTIT, slotOff(g.Slot), buf[:]); err != nil {
+		// Transient fabric faults are retried: the read is idempotent.
+		if err := common.Retry(c.retry, func() error {
+			return c.fabric.Read(g.Node, RegionTIT, slotOff(g.Slot), buf[:])
+		}); err != nil {
 			return 0, err
 		}
 	}
@@ -414,7 +423,11 @@ func (c *Client) readFence(node common.NodeID) (bool, error) {
 		v, err := c.tit.LocalRead64(hdrFence)
 		return v == 1, err
 	}
-	v, err := c.fabric.Read64(node, RegionTIT, hdrFence)
+	var v uint64
+	err := common.Retry(c.retry, func() (e error) {
+		v, e = c.fabric.Read64(node, RegionTIT, hdrFence)
+		return e
+	})
 	return v == 1, err
 }
 
@@ -460,14 +473,21 @@ func (c *Client) SetRefFlag(g common.GTrxID) (bool, error) {
 		return true, nil
 	}
 	var buf [SlotSize]byte
-	if err := c.fabric.Read(g.Node, RegionTIT, off, buf[:]); err != nil {
+	if err := common.Retry(c.retry, func() error {
+		return c.fabric.Read(g.Node, RegionTIT, off, buf[:])
+	}); err != nil {
 		return false, err
 	}
 	s := decodeSlot(buf[:])
 	if s.version != uint64(g.Version) || s.trx != g.Trx || !s.active || s.cts != common.CSNInit {
 		return false, nil
 	}
-	if _, err := c.fabric.CAS64(g.Node, RegionTIT, off+slotRef, 0, 1); err != nil {
+	// The 0->1 CAS is idempotent, so a retried attempt that already landed
+	// just observes ref=1 and reports success.
+	if err := common.Retry(c.retry, func() error {
+		_, e := c.fabric.CAS64(g.Node, RegionTIT, off+slotRef, 0, 1)
+		return e
+	}); err != nil {
 		return false, err
 	}
 	return true, nil
@@ -479,7 +499,14 @@ func (c *Client) SetRefFlag(g common.GTrxID) (bool, error) {
 // one-sided fetch-add (§4.1: "usually fetched using a one-sided RDMA
 // operation ... completed within several microseconds").
 func (c *Client) NextCommitCSN() (common.CSN, error) {
-	prev, err := c.fabric.FetchAdd64(common.PMFSNode, RegionTSO, 0, 1)
+	// A dropped fetch-add never executed (injection fails ops before they
+	// run), so retrying cannot double-advance the oracle; and even if it
+	// did, timestamps only need to be unique and monotonic, not dense.
+	var prev uint64
+	err := common.Retry(c.retry, func() (e error) {
+		prev, e = c.fabric.FetchAdd64(common.PMFSNode, RegionTSO, 0, 1)
+		return e
+	})
 	if err != nil {
 		return 0, err
 	}
@@ -503,7 +530,11 @@ func (c *Client) CurrentReadCSN() (common.CSN, error) {
 		}
 		c.tsMu.Unlock()
 	}
-	v, err := c.fabric.Read64(common.PMFSNode, RegionTSO, 0)
+	var v uint64
+	err := common.Retry(c.retry, func() (e error) {
+		v, e = c.fabric.Read64(common.PMFSNode, RegionTSO, 0)
+		return e
+	})
 	if err != nil {
 		return 0, err
 	}
@@ -558,7 +589,11 @@ func (c *Client) MinLocalView() (common.CSN, error) {
 	if min != common.CSNMax {
 		return min, nil
 	}
-	v, err := c.fabric.Read64(common.PMFSNode, RegionTSO, 0)
+	var v uint64
+	err := common.Retry(c.retry, func() (e error) {
+		v, e = c.fabric.Read64(common.PMFSNode, RegionTSO, 0)
+		return e
+	})
 	if err != nil {
 		return 0, err
 	}
@@ -577,7 +612,13 @@ func (c *Client) ReportMinView() (common.CSN, error) {
 	req[0] = opReportMinView
 	binary.LittleEndian.PutUint16(req[1:], uint16(c.node))
 	binary.LittleEndian.PutUint64(req[3:], uint64(min))
-	resp, err := c.fabric.Call(common.PMFSNode, ServiceTxF, req)
+	// Min-view reports are idempotent (the server folds an absolute value),
+	// so lost responses are safely retried.
+	var resp []byte
+	err = common.Retry(c.retry, func() (e error) {
+		resp, e = c.fabric.Call(common.PMFSNode, ServiceTxF, req)
+		return e
+	})
 	if err != nil {
 		return 0, err
 	}
