@@ -1,7 +1,8 @@
 GO ?= go
 
 RACE_PKGS = ./internal/core ./internal/lockfusion ./internal/bufferfusion \
-            ./internal/txfusion ./internal/chaos ./internal/rdma
+            ./internal/txfusion ./internal/chaos ./internal/rdma \
+            ./internal/membership
 
 .PHONY: all build test test-full race vet smoke check
 
@@ -26,8 +27,11 @@ vet:
 	$(GO) vet ./...
 
 # End-to-end chaos smoke: workload under the smoke fault plan must PASS its
-# durability/rollback/convergence invariants (non-zero exit on violation).
+# durability/rollback/convergence invariants, and an undeclared mid-workload
+# node kill must self-heal through lease detection + survivor takeover
+# (non-zero exit on violation).
 smoke:
 	$(GO) run ./cmd/mpchaos -plan smoke -seed 7 -ops 60
+	$(GO) run ./cmd/mpchaos -plan crashnode -seed 7 -ops 2000
 
 check: build vet test race smoke

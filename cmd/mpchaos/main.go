@@ -31,7 +31,7 @@ import (
 )
 
 func main() {
-	planName := flag.String("plan", "smoke", "fault plan: smoke, drop, lossy, slownode, stalledstorage, partition, none")
+	planName := flag.String("plan", "smoke", "fault plan: smoke, drop, lossy, slownode, stalledstorage, partition, crashnode, none")
 	seed := flag.Int64("seed", 1, "chaos seed (same seed + plan => same fault timeline)")
 	nodes := flag.Int("nodes", 3, "primary nodes")
 	ops := flag.Int("ops", 150, "transactions per node")
@@ -62,6 +62,12 @@ func main() {
 		// those, so turn it off to give the partition something to cut.
 		cfg.DisableCTSStamp = true
 	}
+	if *planName == "crashnode" {
+		// The crash is undeclared: the harness never calls CrashNode. The
+		// cluster's own lease-based detection must notice the silence,
+		// fence the victim under a new epoch, and take over.
+		cfg.SelfHeal = true
+	}
 	c := core.NewCluster(cfg)
 	defer c.Close()
 	for i := 0; i < *nodes; i++ {
@@ -78,6 +84,10 @@ func main() {
 
 	fmt.Printf("mpchaos: plan=%s seed=%d nodes=%d ops=%d retries=%v\n",
 		plan.Name, *seed, *nodes, *ops, *retries)
+	// ActCrashNode rules fail-stop their victim via KillNode — a silent
+	// kill, with none of CrashNode's declared-failure cleanup.
+	eng.SetCrashHandler(func(id common.NodeID) { _ = c.KillNode(id) })
+	epoch0 := c.Stats().Epoch
 	eng.Install(c.Fabric(), c.Store())
 	start := time.Now()
 	// Watchdog: without retries, a single lost lock-service message can
@@ -100,11 +110,21 @@ func main() {
 	// heals).
 	chaos.Uninstall(c.Fabric(), c.Store())
 
-	printFaultSummary(eng, *verbose)
-	fmt.Printf("workload: %v, %d committed, %d rolled back, %d aborted-retryable\n",
-		elapsed.Round(time.Millisecond), len(res.committed), len(res.rolledBack), res.retryable)
+	// Crash plans: give the survivors' failure detector time to finish the
+	// takeover it started (or to start it, if the kill landed late in the
+	// run). The harness only waits — it never intervenes.
+	if crashVictims(plan) != nil {
+		deadline := time.Now().Add(15 * time.Second)
+		for c.Stats().Takeovers == 0 && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
 
-	ok := verify(c, sp, *nodes, res, plan)
+	printFaultSummary(eng, *verbose)
+	fmt.Printf("workload: %v, %d committed, %d rolled back, %d aborted-retryable, %d severed\n",
+		elapsed.Round(time.Millisecond), len(res.committed), len(res.rolledBack), res.retryable, res.severed)
+
+	ok := verify(c, sp, *nodes, res, plan, epoch0)
 	if !ok {
 		fmt.Println("verdict: FAIL")
 		os.Exit(1)
@@ -112,22 +132,43 @@ func main() {
 	fmt.Println("verdict: PASS")
 }
 
-// resolvePlan maps -plan to a chaos.Plan. "partition" is built here (it
-// needs the node set): nodes {1} vs {2..n} are cut for a mid-run op window
-// and must re-converge after the heal.
+// resolvePlan maps -plan to a chaos.Plan. "partition" and "crashnode" are
+// built here (they need the node set): partition cuts node 1 off from the
+// rest for a mid-run op window; crashnode fail-stops the last node a third
+// of the way through the workload.
 func resolvePlan(name string, nodes, ops int) (chaos.Plan, error) {
-	if name != "partition" {
-		return chaos.PresetPlan(name)
-	}
-	var a, b []common.NodeID
-	a = append(a, 1)
-	for i := 2; i <= nodes; i++ {
-		b = append(b, common.NodeID(i))
-	}
-	// Rough scale: each transaction costs 10-20 fabric ops; cut the
-	// middle third of the run.
+	// Rough scale: each transaction costs 10-20 fabric ops; the estimated
+	// run length positions mid-run fault windows.
 	window := uint64(nodes * ops * 12)
-	return chaos.PartitionPlan(a, b, window/3, 2*window/3), nil
+	switch name {
+	case "partition":
+		var a, b []common.NodeID
+		a = append(a, 1)
+		for i := 2; i <= nodes; i++ {
+			b = append(b, common.NodeID(i))
+		}
+		return chaos.PartitionPlan(a, b, window/3, 2*window/3), nil
+	case "crashnode":
+		if nodes < 2 {
+			return chaos.Plan{}, fmt.Errorf("mpchaos: crashnode needs at least 2 nodes (use -nodes)")
+		}
+		return chaos.CrashNodePlan(common.NodeID(nodes), window/3), nil
+	}
+	return chaos.PresetPlan(name)
+}
+
+// crashVictims lists the nodes a plan fail-stops (nil for fault-only plans).
+func crashVictims(plan chaos.Plan) map[common.NodeID]bool {
+	var victims map[common.NodeID]bool
+	for _, r := range plan.Rules {
+		if r.Action.Kind == chaos.ActCrashNode {
+			if victims == nil {
+				victims = make(map[common.NodeID]bool)
+			}
+			victims[r.Action.Node] = true
+		}
+	}
+	return victims
 }
 
 type result struct {
@@ -136,6 +177,15 @@ type result struct {
 	rolledBack []string
 	leaked     []error
 	retryable  int
+	severed    int // errors from talking to a fail-stopped node
+}
+
+// severedErr reports an error a client sees when its node (or its peer) has
+// been fail-stopped or fenced: expected under crash plans, a leak otherwise.
+func severedErr(err error) bool {
+	return errors.Is(err, common.ErrNodeDown) ||
+		errors.Is(err, common.ErrClosed) ||
+		errors.Is(err, common.ErrStaleEpoch)
 }
 
 // runWorkload drives ops transactions per node concurrently: 2/3 committed
@@ -147,9 +197,12 @@ func runWorkload(c *core.Cluster, sp common.SpaceID, nodes, ops int) *result {
 	classify := func(err error) {
 		res.mu.Lock()
 		defer res.mu.Unlock()
-		if common.IsRetryable(err) {
+		switch {
+		case common.IsRetryable(err):
 			res.retryable++
-		} else {
+		case severedErr(err):
+			res.severed++
+		default:
 			res.leaked = append(res.leaked, err)
 		}
 	}
@@ -159,8 +212,16 @@ func runWorkload(c *core.Cluster, sp common.SpaceID, nodes, ops int) *result {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			n := c.Node(ni)
 			for i := 0; i < ops; i++ {
+				// Re-resolve the handle each round: a crash plan may
+				// fail-stop this node mid-run.
+				n := c.Node(ni)
+				if n == nil {
+					res.mu.Lock()
+					res.severed++
+					res.mu.Unlock()
+					continue
+				}
 				key := fmt.Sprintf("n%d-k%05d", ni, i)
 				tx, err := n.Begin()
 				if err != nil {
@@ -198,6 +259,12 @@ func runWorkload(c *core.Cluster, sp common.SpaceID, nodes, ops int) *result {
 				res.mu.Unlock()
 
 				peer := c.Node(ni%nodes + 1)
+				if peer == nil {
+					res.mu.Lock()
+					res.severed++
+					res.mu.Unlock()
+					continue
+				}
 				rtx, err := peer.Begin()
 				if err != nil {
 					classify(err)
@@ -235,8 +302,9 @@ func printFaultSummary(eng *chaos.Engine, verbose bool) {
 	}
 }
 
-// verify checks the three invariants from every node, on a quiet fabric.
-func verify(c *core.Cluster, sp common.SpaceID, nodes int, res *result, plan chaos.Plan) bool {
+// verify checks the crash-consistency invariants from every surviving node,
+// on a quiet fabric.
+func verify(c *core.Cluster, sp common.SpaceID, nodes int, res *result, plan chaos.Plan, epoch0 uint64) bool {
 	ok := true
 	fail := func(format string, args ...any) {
 		ok = false
@@ -245,9 +313,11 @@ func verify(c *core.Cluster, sp common.SpaceID, nodes int, res *result, plan cha
 
 	// Invariant 0: faults never leak past the retry layer as non-retryable
 	// application errors. Under a partition plan, unreachable windows are
-	// expected to surface (retries cannot outwait a partition); everything
-	// else must be absorbed.
+	// expected to surface (retries cannot outwait a partition); under a
+	// crash plan, severed-connection errors from the dead node are the
+	// point. Everything else must be absorbed.
 	partitioned := len(plan.Partitions) > 0
+	victims := crashVictims(plan)
 	var unexpected []error
 	for _, err := range res.leaked {
 		if partitioned && errors.Is(err, common.ErrUnreachable) {
@@ -261,12 +331,42 @@ func verify(c *core.Cluster, sp common.SpaceID, nodes int, res *result, plan cha
 	if len(unexpected) > 0 {
 		fail("%d faults leaked to the application; first: %v", len(unexpected), unexpected[0])
 	}
+	if res.severed > 0 && victims == nil {
+		fail("%d severed-node errors surfaced but the plan crashes nobody", res.severed)
+	}
 
-	// Invariants 1-3: committed rows durable and identical from every node
-	// (convergence after faults stop / partition heals); rolled-back rows
-	// gone.
+	// Invariant 4 (crash plans): the harness made zero CrashNode calls, so
+	// any recovery happened through the cluster's own failure detection —
+	// the lease table must show a fenced epoch bump and a finished takeover.
+	if victims != nil {
+		st := c.Stats()
+		if st.Takeovers < int64(len(victims)) {
+			fail("survivors finished %d takeovers, want %d (failure detection never completed)",
+				st.Takeovers, len(victims))
+		}
+		if st.Epoch <= epoch0 {
+			fail("cluster epoch %d never advanced past pre-crash epoch %d", st.Epoch, epoch0)
+		}
+		fmt.Printf("self-healing: %d takeover(s) at epoch %d (mean %v), %d lease renewals, 0 harness CrashNode calls\n",
+			st.Takeovers, st.Epoch, st.TakeoverMean.Round(time.Microsecond), st.LeaseRenewals)
+	}
+
+	// Invariants 1-3: committed rows durable and identical from every
+	// surviving node (convergence after faults stop / partition heals);
+	// rolled-back rows gone. Crashed nodes are skipped — their committed
+	// rows must still be visible from everyone else.
+	verified := 0
 	for ni := 1; ni <= nodes; ni++ {
-		tx, err := c.Node(ni).Begin()
+		nd := c.Node(ni)
+		if nd == nil || !nd.Live() {
+			if victims[common.NodeID(ni)] {
+				continue
+			}
+			fail("node %d is down but the plan never crashed it", ni)
+			continue
+		}
+		verified++
+		tx, err := nd.Begin()
 		if err != nil {
 			fail("node %d cannot open verify transaction: %v", ni, err)
 			continue
@@ -298,8 +398,8 @@ func verify(c *core.Cluster, sp common.SpaceID, nodes int, res *result, plan cha
 		}
 	}
 	if ok {
-		fmt.Printf("invariants: durable=%d rows visible from all %d nodes, rollback=%d rows absent, converged\n",
-			len(res.committed), nodes, len(res.rolledBack))
+		fmt.Printf("invariants: durable=%d rows visible from all %d surviving nodes, rollback=%d rows absent, converged\n",
+			len(res.committed), verified, len(res.rolledBack))
 	}
 	return ok
 }

@@ -53,6 +53,7 @@ type Client struct {
 	node        common.NodeID
 	fabric      rdma.Conn
 	retry       common.RetryPolicy
+	stamp       *common.EpochStamp
 	inval       *rdma.Region
 	store       *storage.Store
 	capacity    int
@@ -97,6 +98,10 @@ func (c *Client) SetForceLog(f ForceLogFunc) { c.forceLog = f }
 // SetRetryPolicy overrides the transient-fault retry policy (chaos
 // ablations disable it).
 func (c *Client) SetRetryPolicy(p common.RetryPolicy) { c.retry = p }
+
+// SetEpochStamp makes the client stamp requests with the node's incarnation
+// epoch so PMFS can fence evicted incarnations.
+func (c *Client) SetEpochStamp(s *common.EpochStamp) { c.stamp = s }
 
 // SetStorageMode switches the client to the log-ship baseline's page-sync
 // path: pushes write page images to shared storage, fetches read them back
@@ -239,7 +244,7 @@ func (c *Client) fetch(pg common.PageID, invalIdx uint32) (*page.Page, int, erro
 	// no-op), so transient faults retry safely.
 	var resp []byte
 	err := common.Retry(c.retry, func() (e error) {
-		resp, e = c.fabric.Call(common.PMFSNode, ServiceBuf, bufReq(opLookup, c.node, pg, 0, invalIdx))
+		resp, e = c.fabric.Call(common.PMFSNode, ServiceBuf, c.stamp.Stamp(bufReq(opLookup, c.node, pg, 0, invalIdx)))
 		return e
 	})
 	if err != nil {
@@ -329,7 +334,7 @@ func (c *Client) pushImage(p *page.Page, invalIdx uint32) (int, error) {
 	// push, so the retry converges instead of leaking frames.
 	var resp []byte
 	err = common.Retry(c.retry, func() (e error) {
-		resp, e = c.fabric.Call(common.PMFSNode, ServiceBuf, bufReq(opPreparePush, c.node, p.ID, 0, invalIdx))
+		resp, e = c.fabric.Call(common.PMFSNode, ServiceBuf, c.stamp.Stamp(bufReq(opPreparePush, c.node, p.ID, 0, invalIdx)))
 		return e
 	})
 	if err != nil {
@@ -354,8 +359,9 @@ func (c *Client) pushImage(p *page.Page, invalIdx uint32) (int, error) {
 }
 
 // callBuf sends one Buffer Fusion RPC with transient-fault retries,
-// discarding the response.
+// discarding the response. The request is epoch-stamped here.
 func (c *Client) callBuf(req []byte) error {
+	req = c.stamp.Stamp(req)
 	return common.Retry(c.retry, func() error {
 		_, err := c.fabric.Call(common.PMFSNode, ServiceBuf, req)
 		return err

@@ -55,6 +55,7 @@ const (
 type Server struct {
 	fabric      rdma.Conn
 	retry       common.RetryPolicy
+	gate        common.EpochGate
 	dbp         *rdma.Region
 	store       *storage.Store
 	frames      int
@@ -123,6 +124,11 @@ func NewServer(ep *rdma.Endpoint, fabric *rdma.Fabric, store *storage.Store, fra
 // server's invalidation writes (chaos ablations disable it).
 func (s *Server) SetRetryPolicy(p common.RetryPolicy) { s.retry = p }
 
+// SetEpochGate installs the membership epoch gate: stamped requests from
+// evicted incarnations are rejected with ErrStaleEpoch before they can
+// push, pin, or unregister pages.
+func (s *Server) SetEpochGate(g common.EpochGate) { s.gate = g }
+
 func bufReq(op byte, node common.NodeID, pg common.PageID, frame uint32, aux uint32) []byte {
 	b := make([]byte, 19)
 	b[0] = op
@@ -141,6 +147,11 @@ func (s *Server) handle(req []byte) ([]byte, error) {
 	pg := common.PageID(binary.LittleEndian.Uint64(req[3:]))
 	frame := binary.LittleEndian.Uint32(req[11:])
 	aux := binary.LittleEndian.Uint32(req[15:])
+	if s.gate != nil {
+		if err := s.gate(node, common.TrailingEpoch(req, 19)); err != nil {
+			return nil, err
+		}
+	}
 	switch req[0] {
 	case opLookup:
 		fr, ok := s.lookup(node, pg, aux)
@@ -377,6 +388,36 @@ func (s *Server) DropNode(node uint16) {
 		delete(e.copies, n)
 	}
 	s.mu.Unlock()
+}
+
+// Reclaim force-evicts the given pages from the DBP during takeover: dirty
+// images are flushed to storage, every cached copy is invalidated with
+// flagDropped, pins are cleared (only the crashed node could have held
+// them — callers pass pages the dead node held exclusively), and the frames
+// return to the free list. Survivors re-fetch from storage after the
+// takeover replay rebuilds the images there.
+func (s *Server) Reclaim(pages []common.PageID) {
+	for _, pg := range pages {
+		s.mu.Lock()
+		e := s.dir[pg]
+		if e == nil {
+			s.mu.Unlock()
+			continue
+		}
+		e.pins = 0
+		if s.storageMode {
+			for n, idx := range e.copies {
+				s.writeInval(n, idx, flagDropped)
+			}
+			delete(s.dir, pg)
+			s.lru.Remove(e.lruEl)
+			s.mu.Unlock()
+			continue
+		}
+		s.evictLocked(e)
+		s.free = append(s.free, e.frame)
+		s.mu.Unlock()
+	}
 }
 
 // Reset discards all DBP state (full-cluster crash simulation: disaggregated

@@ -60,6 +60,11 @@ type Engine struct {
 	occ    map[occKey]uint64 // per-(rule, descriptor) occurrence counts
 	fired  []uint64          // per-rule injection counts (Max enforcement)
 	events []Event
+
+	// crashFn executes ActCrashNode decisions; crashed dedupes per node so
+	// a node is killed at most once however many rules name it.
+	crashFn func(common.NodeID)
+	crashed map[common.NodeID]bool
 }
 
 type occKey struct {
@@ -92,6 +97,20 @@ func MustNew(seed int64, plan Plan) *Engine {
 		panic(err)
 	}
 	return e
+}
+
+// SetCrashHandler installs the function ActCrashNode decisions call (e.g.
+// core.Cluster.KillNode). Without a handler, crashnode rules are recorded in
+// the event log but have no effect. The handler runs on its own goroutine:
+// killing a node from inside a fabric-op callback would deadlock on the very
+// endpoint executing the op.
+func (e *Engine) SetCrashHandler(fn func(common.NodeID)) {
+	e.mu.Lock()
+	e.crashFn = fn
+	if e.crashed == nil {
+		e.crashed = make(map[common.NodeID]bool)
+	}
+	e.mu.Unlock()
 }
 
 // Injector returns the decision function to install via SetInjector.
@@ -159,6 +178,11 @@ func (e *Engine) decide(op common.FaultOp) common.FaultDecision {
 			d.Duplicate = true
 		case ActDropReply:
 			d.DropReply = true
+		case ActCrashNode:
+			e.crashNode(r.Action.Node)
+			// The matched op itself proceeds untouched: the crash is a
+			// side effect, not a verdict on this op.
+			return common.FaultDecision{}
 		}
 		// First matching-and-firing rule wins: stacking several faults on
 		// one op would make the event log ambiguous to replay.
@@ -171,6 +195,19 @@ func (e *Engine) record(ev Event) {
 	e.mu.Lock()
 	e.events = append(e.events, ev)
 	e.mu.Unlock()
+}
+
+// crashNode runs the crash handler for node exactly once, asynchronously.
+func (e *Engine) crashNode(node common.NodeID) {
+	e.mu.Lock()
+	fn := e.crashFn
+	if fn == nil || e.crashed[node] {
+		e.mu.Unlock()
+		return
+	}
+	e.crashed[node] = true
+	e.mu.Unlock()
+	go fn(node)
 }
 
 // OpCount returns the number of operations inspected so far.

@@ -20,6 +20,10 @@ const (
 	// ActDropReply (RPC only) executes the handler but loses the response,
 	// exercising retry idempotency on two-sided paths.
 	ActDropReply
+	// ActCrashNode fail-stops Action.Node (undeclared, via the engine's
+	// crash handler) and lets the matched op proceed untouched. Fires at
+	// most once regardless of Rule.Max.
+	ActCrashNode
 )
 
 func (k ActionKind) String() string {
@@ -32,6 +36,8 @@ func (k ActionKind) String() string {
 		return "duplicate"
 	case ActDropReply:
 		return "drop-reply"
+	case ActCrashNode:
+		return "crashnode"
 	}
 	return fmt.Sprintf("action(%d)", k)
 }
@@ -42,6 +48,8 @@ type Action struct {
 	// Delay is the injected latency for ActDelay (and an optional extra
 	// delay preceding any other kind).
 	Delay time.Duration
+	// Node is the victim of ActCrashNode.
+	Node common.NodeID
 }
 
 // Rule is one named fault source: a selector over operations plus a
@@ -158,11 +166,14 @@ func (p *Plan) Validate() error {
 			return fmt.Errorf("chaos: plan %q rule %q probability %g outside [0,1]",
 				p.Name, r.Name, r.Prob)
 		}
-		if r.Action.Kind < ActDrop || r.Action.Kind > ActDropReply {
+		if r.Action.Kind < ActDrop || r.Action.Kind > ActCrashNode {
 			return fmt.Errorf("chaos: plan %q rule %q has invalid action", p.Name, r.Name)
 		}
 		if r.Action.Kind == ActDelay && r.Action.Delay <= 0 {
 			return fmt.Errorf("chaos: plan %q rule %q delay action without delay", p.Name, r.Name)
+		}
+		if r.Action.Kind == ActCrashNode && r.Action.Node == 0 {
+			return fmt.Errorf("chaos: plan %q rule %q crashnode action without a node", p.Name, r.Name)
 		}
 	}
 	for i, part := range p.Partitions {
@@ -255,6 +266,20 @@ func StalledStoragePlan(stall time.Duration, dropProb float64) Plan {
 			{Name: "fail-pageread", Layer: common.FaultLayerStorage,
 				Classes: []string{common.FaultPageRead}, Prob: dropProb,
 				Action: Action{Kind: ActDrop}},
+		},
+	}
+}
+
+// CrashNodePlan fail-stops node once the global op index reaches atOp — an
+// undeclared mid-workload crash. The harness must install a crash handler
+// (Engine.SetCrashHandler) and is expected to let the cluster's lease-based
+// failure detection notice and recover, not to intervene itself.
+func CrashNodePlan(node common.NodeID, atOp uint64) Plan {
+	return Plan{
+		Name: "crashnode",
+		Rules: []Rule{
+			{Name: "crash-node", FromOp: atOp, Prob: 1, Max: 1,
+				Action: Action{Kind: ActCrashNode, Node: node}},
 		},
 	}
 }

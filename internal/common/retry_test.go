@@ -97,3 +97,27 @@ func TestRetryNilOnFirstTry(t *testing.T) {
 		t.Fatalf("err=%v attempts=%d", err, attempts)
 	}
 }
+
+// A stale-epoch rejection means this node incarnation has been fenced out:
+// retrying can never succeed (the epoch only moves further away), so the
+// fusion clients' retry loops must surface it on the first attempt, and the
+// application must not treat it as a retry-the-transaction error either.
+func TestRetryFailsFastOnStaleEpoch(t *testing.T) {
+	attempts := 0
+	err := Retry(DefaultRetryPolicy(), func() error {
+		attempts++
+		return fmt.Errorf("lockfusion: plock: %w", ErrStaleEpoch)
+	})
+	if attempts != 1 {
+		t.Fatalf("stale epoch retried %d times, want fail-fast", attempts)
+	}
+	if !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("stale epoch sentinel lost: %v", err)
+	}
+	if IsTransient(ErrStaleEpoch) {
+		t.Fatal("IsTransient(ErrStaleEpoch) = true")
+	}
+	if IsRetryable(ErrStaleEpoch) {
+		t.Fatal("IsRetryable(ErrStaleEpoch) = true")
+	}
+}

@@ -6,6 +6,7 @@ package core
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -13,6 +14,8 @@ import (
 	"polardbmp/internal/bufferfusion"
 	"polardbmp/internal/common"
 	"polardbmp/internal/lockfusion"
+	"polardbmp/internal/membership"
+	"polardbmp/internal/metrics"
 	"polardbmp/internal/rdma"
 	"polardbmp/internal/storage"
 	"polardbmp/internal/txfusion"
@@ -56,6 +59,20 @@ type Config struct {
 	// paths (the chaos ablation that demonstrates why the retries exist).
 	// Crash fences, deadlocks and timeouts always fail fast either way.
 	DisableRetry bool
+
+	// SelfHeal enables online crash recovery: every node heartbeats a
+	// lease into the PMFS membership table and watches its peers; when a
+	// lease expires a survivor fences the dead node under a new cluster
+	// epoch and runs the takeover pipeline (lock drop, in-doubt
+	// resolution, redo replay, frame reclamation) without operator
+	// involvement. Off by default: harnesses then declare crashes
+	// explicitly via CrashNode/RestartNode.
+	SelfHeal bool
+	// LeaseRenewInterval is the heartbeat/detection period. Default 15ms.
+	LeaseRenewInterval time.Duration
+	// LeaseTimeout is how long a heartbeat may stand still before peers
+	// suspect the node. Default 90ms (six renew intervals).
+	LeaseTimeout time.Duration
 }
 
 // retryPolicy resolves the transient-fault retry policy for this config.
@@ -86,6 +103,12 @@ func (c *Config) fill() {
 	if c.RecycleInterval == 0 {
 		c.RecycleInterval = 5 * time.Millisecond
 	}
+	if c.LeaseRenewInterval <= 0 {
+		c.LeaseRenewInterval = 15 * time.Millisecond
+	}
+	if c.LeaseTimeout <= 0 {
+		c.LeaseTimeout = 90 * time.Millisecond
+	}
 }
 
 // DefaultConfig returns benchmark defaults: realistic storage latency and
@@ -108,11 +131,18 @@ type Cluster struct {
 	txSrv   *txfusion.Server
 	lockSrv *lockfusion.Server
 	bufSrv  *bufferfusion.Server
+	members *membership.Table
 
 	mu       sync.Mutex
 	nodes    map[common.NodeID]*Node
 	nextNode common.NodeID
 	spaceMu  sync.Mutex // serializes space-directory read-modify-write
+
+	// takeoverMu serializes surviving-node takeovers (one dead peer is
+	// recovered at a time; concurrent failures queue).
+	takeoverMu  sync.Mutex
+	takeovers   metrics.Counter
+	takeoverDur metrics.Histogram
 }
 
 // NewCluster builds the shared substrate (storage + PMFS) with no nodes.
@@ -142,6 +172,11 @@ func (c *Cluster) startPMFS() {
 	c.txSrv = txfusion.NewServer(ep, c.fabric)
 	c.lockSrv = lockfusion.NewServer(ep, c.fabric)
 	c.bufSrv = bufferfusion.NewServerMode(ep, c.fabric, c.store, c.cfg.DBPFrames, c.cfg.StoragePageSync)
+	c.members = membership.NewTable(ep)
+	gate := c.members.Gate()
+	c.txSrv.SetEpochGate(gate)
+	c.lockSrv.SetEpochGate(gate)
+	c.bufSrv.SetEpochGate(gate)
 	rp := c.cfg.retryPolicy()
 	c.lockSrv.SetRetryPolicy(rp)
 	c.bufSrv.SetRetryPolicy(rp)
@@ -158,6 +193,9 @@ func (c *Cluster) BufferServer() *bufferfusion.Server { return c.bufSrv }
 
 // LockServer exposes Lock Fusion stats (harness/inspection).
 func (c *Cluster) LockServer() *lockfusion.Server { return c.lockSrv }
+
+// Members exposes the membership table (harness/inspection).
+func (c *Cluster) Members() *membership.Table { return c.members }
 
 // AddNode brings up a fresh primary node and returns it.
 func (c *Cluster) AddNode() (*Node, error) {
@@ -195,17 +233,34 @@ func (c *Cluster) Nodes() []*Node {
 	return out
 }
 
-// CrashNode simulates a fail-stop crash of node id: its volatile state
-// (LBP, TIT, un-synced log tail) is lost; its PLocks remain as a fence until
-// recovery (§4.4). Foreign transactions blocked on its row locks are woken
-// to retry.
-func (c *Cluster) CrashNode(id common.NodeID) {
+// ErrUnknownNode reports a node id that was never added to the cluster.
+var ErrUnknownNode = errors.New("core: unknown node id")
+
+// takeNode validates id and removes its live node from the map, returning
+// the node (nil with a nil error means "known but already down").
+func (c *Cluster) takeNode(id common.NodeID) (*Node, error) {
 	c.mu.Lock()
+	defer c.mu.Unlock()
+	if id < 1 || id >= c.nextNode {
+		return nil, fmt.Errorf("core: node %d: %w", id, ErrUnknownNode)
+	}
 	n := c.nodes[id]
 	delete(c.nodes, id)
-	c.mu.Unlock()
+	return n, nil
+}
+
+// CrashNode simulates a declared fail-stop crash of node id: its volatile
+// state (LBP, TIT, un-synced log tail) is lost; its PLocks remain as a fence
+// until recovery (§4.4). Foreign transactions blocked on its row locks are
+// woken to retry. Crashing an unknown id returns ErrUnknownNode; crashing an
+// already-down node returns ErrNodeDown without side effects (idempotent).
+func (c *Cluster) CrashNode(id common.NodeID) error {
+	n, err := c.takeNode(id)
+	if err != nil {
+		return err
+	}
 	if n == nil {
-		return
+		return fmt.Errorf("core: crash node %d: %w", id, common.ErrNodeDown)
 	}
 	n.crash()
 	c.store.LogCrashVolatile(id)
@@ -213,6 +268,25 @@ func (c *Cluster) CrashNode(id common.NodeID) {
 	c.lockSrv.DropNodeRLock(uint16(id))
 	c.bufSrv.DropNode(uint16(id))
 	c.removeMinView(id)
+	return nil
+}
+
+// KillNode is an undeclared fail-stop: the node's volatile state is lost and
+// nothing else is told — no lock cleanup, no min-view removal, no fencing.
+// With SelfHeal enabled the survivors must notice the silence through the
+// lease table, fence the node under a new epoch, and run takeover recovery
+// themselves; this is the failure the membership layer exists for.
+func (c *Cluster) KillNode(id common.NodeID) error {
+	n, err := c.takeNode(id)
+	if err != nil {
+		return err
+	}
+	if n == nil {
+		return fmt.Errorf("core: kill node %d: %w", id, common.ErrNodeDown)
+	}
+	n.crash()
+	c.store.LogCrashVolatile(id)
+	return nil
 }
 
 // removeMinView drops a crashed node from the min-view aggregation. The
@@ -230,9 +304,17 @@ func (c *Cluster) removeMinView(id common.NodeID) {
 
 // RestartNode brings a crashed node back: it replays its own redo log
 // (mostly against pages still in the DBP, §5.5), rolls back its pre-crash
-// uncommitted transactions, lifts its PLock fence, and rejoins.
+// uncommitted transactions, lifts its PLock fence, and rejoins under a fresh
+// incarnation epoch. Restarting an id that was never added returns
+// ErrUnknownNode; restarting a live node returns an error without side
+// effects. If a survivor is mid-takeover of this node's previous
+// incarnation, the membership join waits for the takeover to finish.
 func (c *Cluster) RestartNode(id common.NodeID) (*Node, error) {
 	c.mu.Lock()
+	if id < 1 || id >= c.nextNode {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("core: restart node %d: %w", id, ErrUnknownNode)
+	}
 	if c.nodes[id] != nil {
 		c.mu.Unlock()
 		return nil, fmt.Errorf("core: node %d is still live", id)
@@ -247,9 +329,6 @@ func (c *Cluster) RestartNode(id common.NodeID) (*Node, error) {
 	}
 	c.mu.Lock()
 	c.nodes[id] = n
-	if id >= c.nextNode {
-		c.nextNode = id + 1
-	}
 	c.mu.Unlock()
 	return n, nil
 }
@@ -273,6 +352,7 @@ func (c *Cluster) CrashAll() {
 	}
 	// PMFS dies too: rebuild it empty over the same fabric ids.
 	c.bufSrv.Reset()
+	c.members.Reset()
 	for _, n := range nodes {
 		c.lockSrv.DropNode(uint16(n.id))
 		c.removeMinView(n.id)
@@ -295,6 +375,14 @@ type Stats struct {
 	PLockNegotiate   int64
 	RLockWaits       int64
 	RLockDeadlocks   int64
+
+	// Membership / online-recovery counters.
+	Epoch           uint64        // current cluster epoch
+	EpochBumps      int64         // evictions won (each bumps the epoch)
+	FalseSuspicions int64         // evictions refused by a racing renewal
+	LeaseRenewals   int64         // heartbeat writes by live nodes
+	Takeovers       int64         // completed surviving-node takeovers
+	TakeoverMean    time.Duration // mean takeover duration
 }
 
 // Stats aggregates engine counters across nodes and PMFS.
@@ -304,6 +392,7 @@ func (c *Cluster) Stats() Stats {
 		s.Commits += n.Commits.Load()
 		s.Aborts += n.Aborts.Load()
 		s.Deadlocks += n.Deadlocks.Load()
+		s.LeaseRenewals += n.agent.Renewals.Load()
 	}
 	s.FabricReads, s.FabricWrites, s.FabricAtomics, s.FabricRPCs = c.fabric.Stats().Snapshot()
 	s.StoragePageReads = c.store.Stats().PageReads.Load()
@@ -312,6 +401,11 @@ func (c *Cluster) Stats() Stats {
 	s.PLockNegotiate = c.lockSrv.PLock.Negotiations.Load()
 	s.RLockWaits = c.lockSrv.RLock.Waits.Load()
 	s.RLockDeadlocks = c.lockSrv.RLock.Deadlocks.Load()
+	s.Epoch = uint64(c.members.CurrentEpoch())
+	s.EpochBumps = c.members.EpochBumps.Load()
+	s.FalseSuspicions = c.members.FalseSuspicions.Load()
+	s.Takeovers = c.takeovers.Load()
+	s.TakeoverMean = c.takeoverDur.Mean()
 	return s
 }
 
@@ -342,6 +436,7 @@ func (c *Cluster) Checkpoint() error {
 // Close shuts down all nodes (flushing buffers) without simulating a crash.
 func (c *Cluster) Close() {
 	for _, n := range c.Nodes() {
+		n.agent.Stop()
 		n.stopBackground()
 		_ = n.lbp.FlushAll()
 	}

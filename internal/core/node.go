@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -10,6 +11,7 @@ import (
 	"polardbmp/internal/bufferfusion"
 	"polardbmp/internal/common"
 	"polardbmp/internal/lockfusion"
+	"polardbmp/internal/membership"
 	"polardbmp/internal/metrics"
 	"polardbmp/internal/page"
 	"polardbmp/internal/rdma"
@@ -38,6 +40,11 @@ type Node struct {
 	lbp  *bufferfusion.Client
 	wal  *wal.Writer
 	llsn wal.LLSNCounter
+
+	// stamp carries the node's incarnation epoch onto every fusion-service
+	// request; agent is the node's lease/failure-detection worker.
+	stamp *common.EpochStamp
+	agent *membership.Agent
 
 	trxCtr   atomic.Uint64
 	activeTx atomic.Int64
@@ -96,6 +103,31 @@ func (c *Cluster) newNode(id common.NodeID, recovering bool) (*Node, error) {
 	n.lbp.SetRetryPolicy(rp)
 	n.wal = wal.NewWriter(c.store, id)
 
+	// Membership: stamp every fusion request with the incarnation epoch and
+	// join the lease table. The agent's renew/detect loops run only under
+	// SelfHeal; joining and stamping are unconditional so the epoch gate
+	// always sees current incarnations.
+	n.stamp = &common.EpochStamp{}
+	n.tf.SetEpochStamp(n.stamp)
+	n.pl.SetEpochStamp(n.stamp)
+	n.rl.SetEpochStamp(n.stamp)
+	n.lbp.SetEpochStamp(n.stamp)
+	n.agent = membership.NewAgent(id, common.PMFSNode, c.fabric, n.stamp, membership.Config{
+		RenewInterval: c.cfg.LeaseRenewInterval,
+		LeaseTimeout:  c.cfg.LeaseTimeout,
+	})
+	n.agent.SetRetryPolicy(rp)
+	n.agent.SetOnTakeover(func(dead common.NodeID, epoch common.Epoch) {
+		c.takeover(dead, epoch, n)
+	})
+	if err := n.joinCluster(); err != nil {
+		ep.Deregister()
+		return nil, err
+	}
+	if c.cfg.SelfHeal {
+		n.agent.Start()
+	}
+
 	// Wire the cross-layer hooks: force-log-before-push (§4.2) and
 	// flush-dirty-page-before-PLock-release (§4.3.1).
 	n.lbp.SetForceLog(func(*page.Page) { n.wal.Sync(n.wal.End()) })
@@ -115,6 +147,36 @@ func (c *Cluster) newNode(id common.NodeID, recovering bool) (*Node, error) {
 		n.startBackground()
 	}
 	return n, nil
+}
+
+// joinCluster registers the node with the membership table, waiting out a
+// takeover of this id's previous incarnation (Join is refused while the slot
+// is fenced, so a restart cannot overlap the survivor replaying its log).
+func (n *Node) joinCluster() error {
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		err := n.agent.Join()
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, common.ErrFenced) || time.Now().After(deadline) {
+			return fmt.Errorf("core: node %d join: %w", n.id, err)
+		}
+		time.Sleep(n.c.cfg.LeaseRenewInterval)
+	}
+}
+
+// leaseCheck fail-fasts a commit when this incarnation lost its lease: an
+// evicted node must observe its own eviction and abort rather than publish.
+// No-op unless SelfHeal is on (without the detector nobody evicts anyone).
+func (n *Node) leaseCheck() error {
+	if !n.c.cfg.SelfHeal {
+		return nil
+	}
+	if err := n.agent.CheckValid(); err != nil {
+		return fmt.Errorf("core: node %d: %w", n.id, err)
+	}
+	return nil
 }
 
 // ID returns the node id.
@@ -197,6 +259,7 @@ func (n *Node) stopBackground() {
 // touch shared state, and deregisters it from the fabric.
 func (n *Node) crash() {
 	n.live.Store(false)
+	n.agent.Stop()
 	n.stopBackground()
 	n.tf.Close()
 	n.pl.Close()
@@ -248,7 +311,12 @@ func (n *Node) createTree(space common.SpaceID) (common.PageID, error) {
 
 // resolveCTS implements Algorithm 1's entry point for a row version: the
 // stamped CTS if present, otherwise the TIT lookup. Unreachable owners
-// (crashed, pre-recovery) resolve to CSNMax: treat as still active.
+// resolve by fate: while the owner is crashed and unrecovered its versions
+// count as still active (CSNMax, the §4.4 fence semantic); once a survivor's
+// takeover finished, every in-doubt version was removed and every
+// in-recovery commit stamped, so a version still unstamped can only belong
+// to a transaction that finished before the last checkpoint — visible to
+// all (CSNMin).
 func (n *Node) resolveCTS(v *page.Version) common.CSN {
 	if v.CTS != common.CSNInit {
 		return v.CTS
@@ -258,6 +326,9 @@ func (n *Node) resolveCTS(v *page.Version) common.CSN {
 	}
 	cts, err := n.tf.GetTrxCTS(v.Trx)
 	if err != nil {
+		if n.c.members.Recovered(v.Trx.Node) {
+			return common.CSNMin
+		}
 		return common.CSNMax
 	}
 	return cts

@@ -57,6 +57,9 @@ func (n *Node) BeginIso(iso Isolation) (*Tx, error) {
 	if !n.live.Load() {
 		return nil, fmt.Errorf("core: node %d: %w", n.id, common.ErrNodeDown)
 	}
+	if n.agent.Evicted() {
+		return nil, fmt.Errorf("core: node %d: %w", n.id, common.ErrStaleEpoch)
+	}
 	g, err := n.tf.Begin(n.nextTrx())
 	if err != nil {
 		// TIT exhaustion: refresh the global minimum view synchronously
@@ -406,6 +409,13 @@ func (tx *Tx) Commit() error {
 		n.TxLatency.Observe(time.Since(tx.started))
 		return nil
 	}
+	// Lease self-check: a slow-but-alive node that lost its lease has been
+	// taken over — its in-flight writes are already resolved by a survivor,
+	// so publishing this commit would fork history. Abort instead.
+	if err := n.leaseCheck(); err != nil {
+		tx.rollbackLocked()
+		return err
+	}
 	cts, err := n.tf.NextCommitCSN()
 	if err != nil {
 		// Cannot reach the TSO (PMFS partition/crash): the transaction
@@ -415,6 +425,16 @@ func (tx *Tx) Commit() error {
 	}
 	end := n.wal.Append(&wal.Record{Type: wal.RecCommit, Node: n.id, LLSN: n.llsn.Next(), Trx: tx.g, CTS: cts})
 	n.wal.Sync(end) // durability point (group-committed)
+	if n.wal.Durable() < end {
+		// The stream was fenced or closed under us (a survivor began
+		// takeover between the lease check and the sync): the commit
+		// record is not durable and must not be published.
+		tx.rollbackLocked()
+		if n.agent.Evicted() {
+			return fmt.Errorf("core: node %d commit: %w", n.id, common.ErrStaleEpoch)
+		}
+		return fmt.Errorf("core: node %d commit: %w", n.id, common.ErrNodeDown)
+	}
 	waiters, err := n.tf.Commit(tx.g, cts)
 	if err != nil {
 		return err

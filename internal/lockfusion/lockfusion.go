@@ -98,6 +98,12 @@ func (s *Server) SetRetryPolicy(p common.RetryPolicy) {
 	s.RLock.SetRetryPolicy(p)
 }
 
+// SetEpochGate installs the membership epoch gate on both lock services.
+func (s *Server) SetEpochGate(g common.EpochGate) {
+	s.PLock.SetEpochGate(g)
+	s.RLock.SetEpochGate(g)
+}
+
 // DropNode releases every PLock held or awaited by node and clears its
 // RLock wait edges, waking foreign waiters blocked on its transactions.
 func (s *Server) DropNode(node uint16) {

@@ -33,6 +33,7 @@ func plockReqBuf(op byte, node common.NodeID, pg common.PageID, mode Mode) []byt
 type PLockServer struct {
 	fabric rdma.Conn
 	retry  common.RetryPolicy
+	gate   common.EpochGate
 
 	mu      sync.Mutex
 	entries map[common.PageID]*plockEntry
@@ -74,6 +75,11 @@ func newPLockServer(ep *rdma.Endpoint, fabric *rdma.Fabric) *PLockServer {
 // delivery (chaos ablations disable it).
 func (s *PLockServer) SetRetryPolicy(p common.RetryPolicy) { s.retry = p }
 
+// SetEpochGate installs the membership epoch gate: stamped requests from
+// evicted incarnations are rejected with ErrStaleEpoch before they can
+// mutate the lock table.
+func (s *PLockServer) SetEpochGate(g common.EpochGate) { s.gate = g }
+
 func (s *PLockServer) handle(req []byte) ([]byte, error) {
 	if len(req) < 12 {
 		return nil, common.ErrShortBuffer
@@ -81,6 +87,11 @@ func (s *PLockServer) handle(req []byte) ([]byte, error) {
 	node := common.NodeID(binary.LittleEndian.Uint16(req[1:]))
 	pg := common.PageID(binary.LittleEndian.Uint64(req[3:]))
 	mode := Mode(req[11])
+	if s.gate != nil {
+		if err := s.gate(node, common.TrailingEpoch(req, 12)); err != nil {
+			return nil, err
+		}
+	}
 	switch req[0] {
 	case opPLockAcquire:
 		return nil, s.acquire(node, pg, mode)
@@ -346,6 +357,22 @@ func (s *PLockServer) DebugDump() string {
 	return out
 }
 
+// HeldBy returns every page node currently holds and in which mode. During
+// takeover this is the fence set: the only pages whose latest contents may
+// exist solely in the dead node's log (flush-before-release guarantees
+// everything else was pushed before its lock left the node).
+func (s *PLockServer) HeldBy(node common.NodeID) map[common.PageID]Mode {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[common.PageID]Mode)
+	for pg, e := range s.entries {
+		if m, ok := e.holders[node]; ok {
+			out[pg] = m
+		}
+	}
+	return out
+}
+
 // HolderCount returns the number of pages with at least one holder (tests).
 func (s *PLockServer) HolderCount() int {
 	s.mu.Lock()
@@ -374,6 +401,7 @@ type PLockClient struct {
 	fabric rdma.Conn
 	cfg    Config
 	retry  common.RetryPolicy
+	stamp  *common.EpochStamp
 
 	onRevoke RevokeFunc
 	closed   atomic.Bool
@@ -424,6 +452,10 @@ func (c *PLockClient) SetRevokeHandler(f RevokeFunc) { c.onRevoke = f }
 // SetRetryPolicy overrides the transient-fault retry policy (chaos
 // ablations disable it).
 func (c *PLockClient) SetRetryPolicy(p common.RetryPolicy) { c.retry = p }
+
+// SetEpochStamp makes the client stamp requests with the node's incarnation
+// epoch so PMFS can fence evicted incarnations.
+func (c *PLockClient) SetEpochStamp(s *common.EpochStamp) { c.stamp = s }
 
 func (c *PLockClient) handleRevoke(req []byte) ([]byte, error) {
 	if len(req) < 12 {
@@ -525,7 +557,7 @@ func (c *PLockClient) Acquire(pg common.PageID, mode Mode) error {
 		// re-granted), so lost requests and lost responses both retry safely.
 		err := common.Retry(c.retry, func() error {
 			_, e := c.fabric.Call(common.PMFSNode, ServicePLock,
-				plockReqBuf(opPLockAcquire, c.node, pg, mode))
+				c.stamp.Stamp(plockReqBuf(opPLockAcquire, c.node, pg, mode)))
 			return e
 		})
 		c.mu.Lock()
@@ -601,7 +633,7 @@ func (c *PLockClient) releaseToServer(pg common.PageID, mode Mode) {
 	// stalling every waiter until the backstop: retry until delivered.
 	_ = common.Retry(c.retry, func() error {
 		_, err := c.fabric.Call(common.PMFSNode, ServicePLock,
-			plockReqBuf(opPLockRelease, c.node, pg, mode))
+			c.stamp.Stamp(plockReqBuf(opPLockRelease, c.node, pg, mode)))
 		return err
 	})
 	c.mu.Lock()

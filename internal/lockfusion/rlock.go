@@ -25,6 +25,7 @@ const (
 type RLockServer struct {
 	fabric rdma.Conn
 	retry  common.RetryPolicy
+	gate   common.EpochGate
 
 	mu sync.Mutex
 	// edges maps waiter -> holder (a transaction waits for at most one
@@ -54,6 +55,10 @@ func newRLockServer(ep *rdma.Endpoint, fabric *rdma.Fabric) *RLockServer {
 // delivery (chaos ablations disable it).
 func (s *RLockServer) SetRetryPolicy(p common.RetryPolicy) { s.retry = p }
 
+// SetEpochGate installs the membership epoch gate; stamped requests from
+// evicted incarnations are rejected with ErrStaleEpoch.
+func (s *RLockServer) SetEpochGate(g common.EpochGate) { s.gate = g }
+
 func marshalTwoG(op byte, a, b common.GTrxID) []byte {
 	buf := make([]byte, 0, 1+2*common.GTrxIDSize)
 	buf = append(buf, op)
@@ -69,6 +74,13 @@ func (s *RLockServer) handle(req []byte) ([]byte, error) {
 	a, rest, err := common.UnmarshalGTrxID(req[1:])
 	if err != nil {
 		return nil, err
+	}
+	// The first gtrx always belongs to the calling node (the waiter for
+	// waitFor/cancelWait, the holder for committed).
+	if s.gate != nil {
+		if err := s.gate(a.Node, common.TrailingEpoch(req, 1+2*common.GTrxIDSize)); err != nil {
+			return nil, err
+		}
 	}
 	switch req[0] {
 	case opWaitFor:
@@ -213,6 +225,7 @@ type RLockClient struct {
 	tf     *txfusion.Client
 	cfg    Config
 	retry  common.RetryPolicy
+	stamp  *common.EpochStamp
 
 	mu     sync.Mutex
 	parked map[common.GTrxID]chan struct{}
@@ -240,6 +253,10 @@ func NewRLockClient(ep *rdma.Endpoint, fabric *rdma.Fabric, tf *txfusion.Client,
 // SetRetryPolicy overrides the transient-fault retry policy (chaos
 // ablations disable it).
 func (c *RLockClient) SetRetryPolicy(p common.RetryPolicy) { c.retry = p }
+
+// SetEpochStamp makes the client stamp requests with the node's incarnation
+// epoch so PMFS can fence evicted incarnations.
+func (c *RLockClient) SetEpochStamp(s *common.EpochStamp) { c.stamp = s }
 
 func (c *RLockClient) handleWake(req []byte) ([]byte, error) {
 	if len(req) < 1+common.GTrxIDSize {
@@ -292,7 +309,7 @@ func (c *RLockClient) WaitFor(waiter, holder common.GTrxID) error {
 	// the server, so retrying cannot double-register.
 	var resp []byte
 	err = common.Retry(c.retry, func() (e error) {
-		resp, e = c.fabric.Call(common.PMFSNode, ServiceRLock, marshalTwoG(opWaitFor, waiter, holder))
+		resp, e = c.fabric.Call(common.PMFSNode, ServiceRLock, c.stamp.Stamp(marshalTwoG(opWaitFor, waiter, holder)))
 		return e
 	})
 	if err != nil {
@@ -329,7 +346,7 @@ func (c *RLockClient) WaitFor(waiter, holder common.GTrxID) error {
 // holder commits, so transient faults are retried (cancel is idempotent).
 func (c *RLockClient) cancelWait(waiter, holder common.GTrxID) {
 	_ = common.Retry(c.retry, func() error {
-		_, err := c.fabric.Call(common.PMFSNode, ServiceRLock, marshalTwoG(opCancelWait, waiter, holder))
+		_, err := c.fabric.Call(common.PMFSNode, ServiceRLock, c.stamp.Stamp(marshalTwoG(opCancelWait, waiter, holder)))
 		return err
 	})
 }
@@ -339,7 +356,7 @@ func (c *RLockClient) cancelWait(waiter, holder common.GTrxID) {
 // notification parks every waiter until timeout, so it is retried.
 func (c *RLockClient) NotifyCommitted(holder common.GTrxID) {
 	_ = common.Retry(c.retry, func() error {
-		_, err := c.fabric.Call(common.PMFSNode, ServiceRLock, marshalTwoG(opCommitted, holder, common.GTrxID{}))
+		_, err := c.fabric.Call(common.PMFSNode, ServiceRLock, c.stamp.Stamp(marshalTwoG(opCommitted, holder, common.GTrxID{})))
 		return err
 	})
 }

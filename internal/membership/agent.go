@@ -1,0 +1,288 @@
+package membership
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"polardbmp/internal/common"
+	"polardbmp/internal/metrics"
+	"polardbmp/internal/rdma"
+)
+
+// Config tunes an Agent's lease cadence.
+type Config struct {
+	// RenewInterval is the heartbeat period. Default 15ms.
+	RenewInterval time.Duration
+	// LeaseTimeout is how long a peer's heartbeat may stand still before
+	// the peer becomes a suspect. Must comfortably exceed RenewInterval
+	// plus fabric jitter. Default 90ms.
+	LeaseTimeout time.Duration
+}
+
+func (c *Config) fill() {
+	if c.RenewInterval <= 0 {
+		c.RenewInterval = 15 * time.Millisecond
+	}
+	if c.LeaseTimeout <= 0 {
+		c.LeaseTimeout = 90 * time.Millisecond
+	}
+}
+
+// Agent is a node's membership actor: it joins the cluster, renews the
+// node's lease, watches peers, and (when it wins an eviction) drives the
+// takeover callback. Renewals and detection run on separate goroutines so
+// a long takeover cannot starve the survivor's own lease.
+type Agent struct {
+	node  common.NodeID
+	pmfs  common.NodeID
+	conn  rdma.Conn
+	cfg   Config
+	stamp *common.EpochStamp
+	retry common.RetryPolicy
+
+	// Renewals counts successful lease renewals.
+	Renewals metrics.Counter
+	// Suspicions counts eviction attempts this agent made.
+	Suspicions metrics.Counter
+
+	epoch   atomic.Uint64
+	hb      atomic.Uint64
+	evicted atomic.Bool
+	lastOK  atomic.Int64 // wall nanos of the last confirmed-valid lease
+
+	onTakeover func(dead common.NodeID, epoch common.Epoch)
+
+	mu      sync.Mutex
+	started bool
+	stop    chan struct{}
+	wg      sync.WaitGroup
+}
+
+// NewAgent creates the agent for node, heartbeating against the membership
+// table on pmfs. stamp (may be nil) receives the incarnation epoch on Join
+// so the node's fusion clients stamp their requests with it.
+func NewAgent(node, pmfs common.NodeID, fabric *rdma.Fabric, stamp *common.EpochStamp, cfg Config) *Agent {
+	cfg.fill()
+	return &Agent{
+		node:  node,
+		pmfs:  pmfs,
+		conn:  fabric.From(node),
+		cfg:   cfg,
+		stamp: stamp,
+		retry: common.DefaultRetryPolicy(),
+	}
+}
+
+// SetRetryPolicy overrides the transient-fault retry policy for the join
+// and eviction RPCs.
+func (a *Agent) SetRetryPolicy(p common.RetryPolicy) { a.retry = p }
+
+// SetOnTakeover installs the callback run (on the detector goroutine) when
+// this agent wins a peer's eviction.
+func (a *Agent) SetOnTakeover(fn func(dead common.NodeID, epoch common.Epoch)) { a.onTakeover = fn }
+
+// Join admits the node under a fresh incarnation epoch. It retries
+// transient faults but surfaces ErrFenced (takeover of the previous
+// incarnation still running) to the caller, who should back off and retry.
+func (a *Agent) Join() error {
+	req := make([]byte, 3)
+	req[0] = opJoin
+	binary.LittleEndian.PutUint16(req[1:3], uint16(a.node))
+	var resp []byte
+	err := common.Retry(a.retry, func() error {
+		var err error
+		resp, err = a.conn.Call(a.pmfs, Service, req)
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("membership: node %d join: %w", a.node, err)
+	}
+	if len(resp) < 16 {
+		return fmt.Errorf("membership: node %d join: %w", a.node, common.ErrShortBuffer)
+	}
+	epoch := binary.LittleEndian.Uint64(resp[0:8])
+	a.epoch.Store(epoch)
+	a.hb.Store(binary.LittleEndian.Uint64(resp[8:16]))
+	a.evicted.Store(false)
+	a.lastOK.Store(time.Now().UnixNano())
+	if a.stamp != nil {
+		a.stamp.Store(common.Epoch(epoch))
+	}
+	return nil
+}
+
+// Epoch returns the incarnation epoch learned at Join.
+func (a *Agent) Epoch() common.Epoch { return common.Epoch(a.epoch.Load()) }
+
+// Evicted reports whether this agent has observed its own eviction.
+func (a *Agent) Evicted() bool { return a.evicted.Load() }
+
+// Start launches the renewal and detection loops. Idempotent.
+func (a *Agent) Start() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.started {
+		return
+	}
+	a.started = true
+	a.stop = make(chan struct{})
+	a.wg.Add(2)
+	go a.renewLoop()
+	go a.detectLoop()
+}
+
+// Stop halts both loops and waits for them. Idempotent; safe if Start was
+// never called.
+func (a *Agent) Stop() {
+	a.mu.Lock()
+	if !a.started {
+		a.mu.Unlock()
+		return
+	}
+	a.started = false
+	close(a.stop)
+	a.mu.Unlock()
+	a.wg.Wait()
+}
+
+// CheckValid is the lease self-check a node runs before publishing a
+// commit: it returns ErrStaleEpoch once the node has been evicted, so a
+// slow-but-alive zombie aborts instead of publishing under a lease it no
+// longer holds. A recently confirmed lease passes without fabric traffic;
+// otherwise the agent verifies its slot synchronously.
+func (a *Agent) CheckValid() error {
+	if a.evicted.Load() {
+		return fmt.Errorf("membership: node %d evicted: %w", a.node, common.ErrStaleEpoch)
+	}
+	if time.Since(time.Unix(0, a.lastOK.Load())) < a.cfg.LeaseTimeout/2 {
+		return nil
+	}
+	ok, err := a.verifySlot()
+	if err != nil {
+		return fmt.Errorf("membership: node %d lease check: %w", a.node, err)
+	}
+	if !ok {
+		return fmt.Errorf("membership: node %d evicted: %w", a.node, common.ErrStaleEpoch)
+	}
+	return nil
+}
+
+// verifySlot reads the node's own slot and reports whether it still names
+// this incarnation as live. A mismatch latches the evicted flag.
+func (a *Agent) verifySlot() (bool, error) {
+	var slot [slotSize]byte
+	if err := a.conn.Read(a.pmfs, Region, SlotOff(a.node), slot[:]); err != nil {
+		return false, err
+	}
+	inc := binary.LittleEndian.Uint64(slot[offEpoch:])
+	state := binary.LittleEndian.Uint64(slot[offState:])
+	if state != StateLive || inc != a.epoch.Load() {
+		a.evicted.Store(true)
+		return false, nil
+	}
+	a.lastOK.Store(time.Now().UnixNano())
+	return true, nil
+}
+
+// renewLoop keeps the lease alive: verify the slot still names this
+// incarnation, then bump the heartbeat word with a one-sided write. The
+// loop exits once the agent observes its own eviction.
+func (a *Agent) renewLoop() {
+	defer a.wg.Done()
+	t := time.NewTicker(a.cfg.RenewInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-a.stop:
+			return
+		case <-t.C:
+		}
+		ok, err := a.verifySlot()
+		if err != nil {
+			continue // transient fabric trouble; the next tick retries
+		}
+		if !ok {
+			return // fenced out; stop renewing, CheckValid now fails fast
+		}
+		hb := a.hb.Add(1)
+		if err := a.conn.Write64(a.pmfs, Region, HBOff(a.node), hb); err != nil {
+			a.hb.Add(^uint64(0)) // undo; re-derive from the slot next tick
+			continue
+		}
+		a.Renewals.Inc()
+		a.lastOK.Store(time.Now().UnixNano())
+	}
+}
+
+// detectLoop watches every peer's heartbeat. A heartbeat that stands still
+// past the lease timeout triggers an eviction attempt; winning it runs the
+// takeover callback inline (renewals continue on their own goroutine).
+func (a *Agent) detectLoop() {
+	defer a.wg.Done()
+	type track struct {
+		hb   uint64
+		seen time.Time
+	}
+	peers := make(map[common.NodeID]track)
+	t := time.NewTicker(a.cfg.RenewInterval)
+	defer t.Stop()
+	buf := make([]byte, RegionSize)
+	for {
+		select {
+		case <-a.stop:
+			return
+		case <-t.C:
+		}
+		if err := a.conn.Read(a.pmfs, Region, 0, buf); err != nil {
+			continue
+		}
+		epoch := common.Epoch(binary.LittleEndian.Uint64(buf[0:8]))
+		now := time.Now()
+		for n := common.NodeID(1); n <= MaxNodes; n++ {
+			off := SlotOff(n)
+			state := binary.LittleEndian.Uint64(buf[off+offState:])
+			if n == a.node || state != StateLive {
+				delete(peers, n)
+				continue
+			}
+			hb := binary.LittleEndian.Uint64(buf[off+offHB:])
+			tr, known := peers[n]
+			if !known || hb != tr.hb {
+				peers[n] = track{hb: hb, seen: now}
+				continue
+			}
+			if now.Sub(tr.seen) <= a.cfg.LeaseTimeout {
+				continue
+			}
+			a.Suspicions.Inc()
+			won, newEpoch := a.evict(n, hb, epoch)
+			peers[n] = track{hb: hb, seen: now} // either way, re-arm
+			if won && a.onTakeover != nil {
+				a.onTakeover(n, newEpoch)
+			}
+		}
+	}
+}
+
+// evict asks the table to fence suspect; returns whether this agent won.
+func (a *Agent) evict(suspect common.NodeID, observedHB uint64, from common.Epoch) (bool, common.Epoch) {
+	req := make([]byte, 21)
+	req[0] = opEvict
+	binary.LittleEndian.PutUint16(req[1:3], uint16(a.node))
+	binary.LittleEndian.PutUint16(req[3:5], uint16(suspect))
+	binary.LittleEndian.PutUint64(req[5:13], observedHB)
+	binary.LittleEndian.PutUint64(req[13:21], uint64(from))
+	var resp []byte
+	err := common.Retry(a.retry, func() error {
+		var err error
+		resp, err = a.conn.Call(a.pmfs, Service, req)
+		return err
+	})
+	if err != nil || len(resp) < 9 {
+		return false, 0
+	}
+	return resp[0] == 1, common.Epoch(binary.LittleEndian.Uint64(resp[1:9]))
+}

@@ -1,0 +1,291 @@
+// Package membership implements lease-based failure detection with
+// monotonically increasing cluster epochs (the self-healing layer the
+// paper's recovery story assumes but leaves to the surrounding system).
+//
+// PMFS hosts a membership table in a fabric-registered memory region: a
+// cluster epoch word plus one slot per node {incarnation epoch, heartbeat
+// sequence, state}. Every node runs an Agent that
+//
+//   - renews its lease by bumping its heartbeat word with a one-sided RDMA
+//     write (cheap, no server CPU), and
+//   - watches every peer's heartbeat with one-sided reads; a heartbeat that
+//     stands still longer than the lease timeout makes the peer a suspect.
+//
+// A survivor evicts a suspect through the membership service: the table
+// re-checks the heartbeat (a renewal that raced the suspicion refuses the
+// eviction — a false suspicion, counted), bumps the cluster epoch, and
+// fences the suspect. Exactly one reporter wins; the winner drives takeover.
+// A fenced node's slot refuses Join until takeover completes, after which
+// the node may rejoin with a fresh incarnation epoch.
+//
+// The incarnation epoch is the fencing token: nodes stamp it on every
+// fusion-service request, and the Gate rejects stamps that no longer name a
+// live incarnation with common.ErrStaleEpoch, so an evicted-but-still-
+// running zombie cannot mutate shared state after the survivors moved on.
+package membership
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"polardbmp/internal/common"
+	"polardbmp/internal/metrics"
+	"polardbmp/internal/rdma"
+)
+
+const (
+	// Region is the PMFS memory region holding the membership table.
+	Region = "pmfs.members"
+	// Service is the PMFS RPC service for join/evict (the two transitions
+	// that must serialize against each other; renewals stay one-sided).
+	Service = "membership"
+
+	// MaxNodes bounds the table (node IDs 1..MaxNodes).
+	MaxNodes = 256
+
+	hdrSize  = 8 // cluster epoch
+	slotSize = 24
+	offEpoch = 0 // slot-relative: incarnation epoch
+	offHB    = 8 // slot-relative: heartbeat sequence
+	offState = 16
+)
+
+// RegionSize is the byte size of the membership region.
+const RegionSize = hdrSize + MaxNodes*slotSize
+
+// SlotOff returns the region offset of node's slot.
+func SlotOff(node common.NodeID) int { return hdrSize + (int(node)-1)*slotSize }
+
+// HBOff returns the region offset of node's heartbeat word (the word an
+// Agent renews with one-sided writes).
+func HBOff(node common.NodeID) int { return SlotOff(node) + offHB }
+
+// Node lifecycle states stored in a slot's state word.
+const (
+	StateFree   uint64 = iota // slot never used (or cluster reset)
+	StateLive                 // holding a lease
+	StateFenced               // evicted; takeover in progress
+	StateDown                 // takeover complete; may rejoin
+)
+
+// StateName returns a state word's human-readable name.
+func StateName(s uint64) string {
+	switch s {
+	case StateFree:
+		return "free"
+	case StateLive:
+		return "live"
+	case StateFenced:
+		return "fenced"
+	case StateDown:
+		return "down"
+	}
+	return "?"
+}
+
+// Membership service ops.
+const (
+	opJoin  = 1 // [op u8][node u16] -> [epoch u64][hb u64]
+	opEvict = 2 // [op u8][reporter u16][suspect u16][observedHB u64][fromEpoch u64] -> [won u8][epoch u64]
+)
+
+// Table is the PMFS-side membership state. The fabric region is the
+// observable truth for heartbeats (agents write them directly); the Table
+// serializes state and epoch transitions and mirrors them into the region
+// so detectors can watch everything with a single one-sided read.
+type Table struct {
+	reg *rdma.Region
+
+	mu    sync.Mutex
+	epoch common.Epoch
+	state [MaxNodes + 1]uint64
+	inc   [MaxNodes + 1]common.Epoch
+
+	// EpochBumps counts evictions won (each bumps the cluster epoch).
+	EpochBumps metrics.Counter
+	// FalseSuspicions counts evictions refused because the suspect's
+	// heartbeat advanced past the reporter's observation.
+	FalseSuspicions metrics.Counter
+}
+
+// NewTable registers the membership region and service on the PMFS endpoint.
+func NewTable(ep *rdma.Endpoint) *Table {
+	t := &Table{reg: ep.RegisterRegion(Region, RegionSize)}
+	ep.Serve(Service, t.handle)
+	return t
+}
+
+func (t *Table) handle(req []byte) ([]byte, error) {
+	if len(req) < 1 {
+		return nil, common.ErrShortBuffer
+	}
+	switch req[0] {
+	case opJoin:
+		if len(req) < 3 {
+			return nil, common.ErrShortBuffer
+		}
+		node := common.NodeID(binary.LittleEndian.Uint16(req[1:3]))
+		epoch, hb, err := t.Join(node)
+		if err != nil {
+			return nil, err
+		}
+		resp := make([]byte, 16)
+		binary.LittleEndian.PutUint64(resp[0:8], uint64(epoch))
+		binary.LittleEndian.PutUint64(resp[8:16], hb)
+		return resp, nil
+	case opEvict:
+		if len(req) < 21 {
+			return nil, common.ErrShortBuffer
+		}
+		reporter := common.NodeID(binary.LittleEndian.Uint16(req[1:3]))
+		suspect := common.NodeID(binary.LittleEndian.Uint16(req[3:5]))
+		hb := binary.LittleEndian.Uint64(req[5:13])
+		from := common.Epoch(binary.LittleEndian.Uint64(req[13:21]))
+		won, epoch := t.Evict(reporter, suspect, hb, from)
+		resp := make([]byte, 9)
+		if won {
+			resp[0] = 1
+		}
+		binary.LittleEndian.PutUint64(resp[1:9], uint64(epoch))
+		return resp, nil
+	}
+	return nil, fmt.Errorf("membership: op %d: %w", req[0], common.ErrNoService)
+}
+
+// Join admits node (fresh or restarting) under a new incarnation epoch and
+// returns the epoch plus the node's current heartbeat sequence. Joining is
+// refused while the slot is fenced: a survivor is still replaying the
+// previous incarnation's state, and two incarnations must never overlap.
+func (t *Table) Join(node common.NodeID) (common.Epoch, uint64, error) {
+	if node < 1 || node > MaxNodes {
+		return 0, 0, fmt.Errorf("membership: join node %d: out of range", node)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state[node] == StateFenced {
+		return 0, 0, fmt.Errorf("membership: node %d: takeover in progress: %w", node, common.ErrFenced)
+	}
+	t.epoch++
+	hb, _ := t.reg.LocalRead64(HBOff(node))
+	hb++ // a join is itself proof of life; stale evictions must lose
+	t.state[node] = StateLive
+	t.inc[node] = t.epoch
+	t.writeLocked(node, hb)
+	return t.epoch, hb, nil
+}
+
+// Evict fences suspect on reporter's behalf. It wins only if the cluster
+// epoch still matches the reporter's view and the suspect's heartbeat has
+// not advanced past the reporter's observation; exactly one concurrent
+// reporter can win. The winner receives the new cluster epoch and owns the
+// takeover.
+func (t *Table) Evict(reporter, suspect common.NodeID, observedHB uint64, from common.Epoch) (bool, common.Epoch) {
+	if suspect < 1 || suspect > MaxNodes || reporter == suspect {
+		return false, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state[suspect] != StateLive || t.epoch != from {
+		// Already fenced/down (someone else won) or the membership moved
+		// under the reporter; not a false suspicion, just a lost race.
+		return false, t.epoch
+	}
+	hb, _ := t.reg.LocalRead64(HBOff(suspect))
+	if hb != observedHB {
+		t.FalseSuspicions.Inc()
+		return false, t.epoch
+	}
+	t.epoch++
+	t.state[suspect] = StateFenced
+	t.EpochBumps.Inc()
+	t.writeLocked(suspect, hb)
+	return true, t.epoch
+}
+
+// MarkRecovered moves a fenced node to Down: takeover finished, the node's
+// durable effects are resolved, and a restart may rejoin.
+func (t *Table) MarkRecovered(node common.NodeID) {
+	if node < 1 || node > MaxNodes {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state[node] != StateFenced {
+		return
+	}
+	t.state[node] = StateDown
+	hb, _ := t.reg.LocalRead64(HBOff(node))
+	t.writeLocked(node, hb)
+}
+
+// Recovered reports whether node crashed and its takeover completed — the
+// signal that lets readers resolve the node's unstamped-but-committed
+// versions as visible (CSNMin) instead of treating them as active.
+func (t *Table) Recovered(node common.NodeID) bool {
+	if node < 1 || node > MaxNodes {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.state[node] == StateDown
+}
+
+// State returns node's current lifecycle state word.
+func (t *Table) State(node common.NodeID) uint64 {
+	if node < 1 || node > MaxNodes {
+		return StateFree
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.state[node]
+}
+
+// CurrentEpoch returns the cluster epoch.
+func (t *Table) CurrentEpoch() common.Epoch {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.epoch
+}
+
+// Reset clears every slot (full-cluster crash). The cluster epoch is
+// retained so it stays monotonic across the restart.
+func (t *Table) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for n := common.NodeID(1); n <= MaxNodes; n++ {
+		if t.state[n] == StateFree {
+			continue
+		}
+		t.state[n] = StateFree
+		t.inc[n] = 0
+		t.writeLocked(n, 0)
+	}
+}
+
+// Gate returns the epoch gate fusion servers consult: a stamped request is
+// admitted only while its (node, incarnation epoch) names the live
+// incarnation. Epoch 0 marks system-internal or pre-membership requests
+// and always passes.
+func (t *Table) Gate() common.EpochGate {
+	return func(node common.NodeID, e common.Epoch) error {
+		if e == 0 {
+			return nil
+		}
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		if node >= 1 && node <= MaxNodes && t.state[node] == StateLive && t.inc[node] == e {
+			return nil
+		}
+		return fmt.Errorf("membership: node %d epoch %d fenced: %w", node, e, common.ErrStaleEpoch)
+	}
+}
+
+// writeLocked mirrors node's slot (and the cluster epoch) into the region.
+func (t *Table) writeLocked(node common.NodeID, hb uint64) {
+	_ = t.reg.LocalWrite64(0, uint64(t.epoch))
+	off := SlotOff(node)
+	_ = t.reg.LocalWrite64(off+offEpoch, uint64(t.inc[node]))
+	_ = t.reg.LocalWrite64(off+offHB, hb)
+	_ = t.reg.LocalWrite64(off+offState, t.state[node])
+}

@@ -232,6 +232,10 @@ type logStream struct {
 	buf     []byte
 	durable int
 	base    common.LSN // offset of buf[0] in the logical stream (after truncation)
+	// fenced marks the stream read-only: a survivor has begun taking over
+	// this node, so nothing the (possibly still running) owner appends may
+	// become durable. Appends and syncs become no-ops until UnfenceLog.
+	fenced bool
 }
 
 func (s *Store) stream(node common.NodeID) *logStream {
@@ -251,7 +255,9 @@ func (s *Store) LogAppend(node common.NodeID, data []byte) common.LSN {
 	ls := s.stream(node)
 	ls.mu.Lock()
 	lsn := ls.base + common.LSN(len(ls.buf))
-	ls.buf = append(ls.buf, data...)
+	if !ls.fenced {
+		ls.buf = append(ls.buf, data...)
+	}
 	ls.mu.Unlock()
 	return lsn
 }
@@ -264,7 +270,9 @@ func (s *Store) LogSync(node common.NodeID) common.LSN {
 	s.stats.LogSyncs.Inc()
 	ls := s.stream(node)
 	ls.mu.Lock()
-	ls.durable = len(ls.buf)
+	if !ls.fenced {
+		ls.durable = len(ls.buf)
+	}
 	lsn := ls.base + common.LSN(ls.durable)
 	ls.mu.Unlock()
 	if s.persist != nil {
@@ -321,6 +329,34 @@ func (s *Store) LogCrashVolatile(node common.NodeID) {
 	ls.mu.Lock()
 	ls.buf = ls.buf[:ls.durable]
 	ls.mu.Unlock()
+}
+
+// FenceLog makes node's stream reject further appends and syncs. A survivor
+// fences a dead node's stream before replaying it, so that even a zombie
+// owner that is merely slow (not dead) cannot extend the log under the
+// survivor's feet. Readers are unaffected.
+func (s *Store) FenceLog(node common.NodeID) {
+	ls := s.stream(node)
+	ls.mu.Lock()
+	ls.fenced = true
+	ls.mu.Unlock()
+}
+
+// UnfenceLog re-opens node's stream for appends; called once takeover has
+// replayed and truncated it, so a restarting incarnation writes cleanly.
+func (s *Store) UnfenceLog(node common.NodeID) {
+	ls := s.stream(node)
+	ls.mu.Lock()
+	ls.fenced = false
+	ls.mu.Unlock()
+}
+
+// LogFenced reports whether node's stream is fenced.
+func (s *Store) LogFenced(node common.NodeID) bool {
+	ls := s.stream(node)
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	return ls.fenced
 }
 
 // LogTruncate discards the stream prefix below lsn (checkpointing). It is a

@@ -53,6 +53,7 @@ type Server struct {
 	fabric *rdma.Fabric
 	tso    *rdma.Region
 	gmv    *rdma.Region
+	gate   common.EpochGate
 
 	mu       sync.Mutex
 	minViews map[common.NodeID]common.CSN
@@ -94,6 +95,13 @@ func (s *Server) handle(req []byte) ([]byte, error) {
 		}
 		node := common.NodeID(binary.LittleEndian.Uint16(req[1:]))
 		csn := common.CSN(binary.LittleEndian.Uint64(req[3:]))
+		// Gated: an evicted zombie's stale min-view report would hold the
+		// global min view back (blocking TIT recycling and purge) forever.
+		if s.gate != nil {
+			if err := s.gate(node, common.TrailingEpoch(req, 11)); err != nil {
+				return nil, err
+			}
+		}
 		gmv := s.report(node, csn)
 		return binary.LittleEndian.AppendUint64(nil, uint64(gmv)), nil
 	case opRemoveNode:
@@ -127,6 +135,10 @@ func (s *Server) report(node common.NodeID, csn common.CSN) common.CSN {
 	}
 	return gmv
 }
+
+// SetEpochGate installs the membership epoch gate on the min-view report
+// path; stamped reports from evicted incarnations are rejected.
+func (s *Server) SetEpochGate(g common.EpochGate) { s.gate = g }
 
 // SetTSO force-sets the oracle (full-cluster recovery: the new oracle must
 // exceed every CTS found in the durable commit records).
@@ -179,6 +191,7 @@ type Client struct {
 	tit    *rdma.Region
 	cfg    Config
 	retry  common.RetryPolicy
+	stamp  *common.EpochStamp
 
 	mu      sync.Mutex
 	free    []uint32 // free slot ids
@@ -242,6 +255,10 @@ func (c *Client) Node() common.NodeID { return c.node }
 // SetRetryPolicy overrides the transient-fault retry policy for the
 // client's one-sided and RPC paths (chaos ablations disable it).
 func (c *Client) SetRetryPolicy(p common.RetryPolicy) { c.retry = p }
+
+// SetEpochStamp makes the client stamp its min-view reports with the node's
+// incarnation epoch so PMFS can fence evicted incarnations.
+func (c *Client) SetEpochStamp(s *common.EpochStamp) { c.stamp = s }
 
 func slotOff(slot uint32) int { return headerSize + int(slot)*SlotSize }
 
@@ -612,6 +629,7 @@ func (c *Client) ReportMinView() (common.CSN, error) {
 	req[0] = opReportMinView
 	binary.LittleEndian.PutUint16(req[1:], uint16(c.node))
 	binary.LittleEndian.PutUint64(req[3:], uint64(min))
+	req = c.stamp.Stamp(req)
 	// Min-view reports are idempotent (the server folds an absolute value),
 	// so lost responses are safely retried.
 	var resp []byte

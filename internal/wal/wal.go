@@ -278,7 +278,16 @@ func (w *Writer) Append(rec *Record) common.LSN {
 	}
 	rec.LSN = w.nextLSN
 	lsn := w.store.LogAppend(w.node, buf)
-	if lsn != w.nextLSN {
+	if lsn != w.nextLSN || w.store.LogFenced(w.node) {
+		if w.store.LogFenced(w.node) {
+			// A survivor fenced the stream for takeover: the append was
+			// dropped at the storage layer (or raced LogCrashVolatile).
+			// This writer belongs to an evicted incarnation — close it.
+			w.closed = true
+			end := w.nextLSN
+			w.mu.Unlock()
+			return end
+		}
 		w.mu.Unlock()
 		panic(fmt.Sprintf("wal: writer lost track of stream offset: have %d want %d", lsn, w.nextLSN))
 	}
@@ -305,7 +314,7 @@ func (w *Writer) isClosed() bool {
 // Sync makes the stream durable at least up to lsn. Concurrent callers are
 // coalesced into one storage sync (group commit).
 func (w *Writer) Sync(lsn common.LSN) {
-	if w.isClosed() {
+	if w.isClosed() || w.store.LogFenced(w.node) {
 		return
 	}
 	w.syncMu.Lock()
@@ -317,12 +326,19 @@ func (w *Writer) Sync(lsn common.LSN) {
 		w.syncing = true
 		w.syncMu.Unlock()
 		durable := w.store.LogSync(w.node)
+		fenced := w.store.LogFenced(w.node)
 		w.syncMu.Lock()
 		w.syncing = false
 		if durable > w.synced {
 			w.synced = durable
 		}
 		w.syncCond.Broadcast()
+		if fenced {
+			// The stream was fenced for takeover mid-sync: the durable
+			// frontier will never advance again; don't spin. Callers must
+			// re-check Durable() before treating the commit as durable.
+			break
+		}
 	}
 	w.syncMu.Unlock()
 }

@@ -41,6 +41,11 @@ var (
 	ErrLockTimeout = common.ErrLockTimeout
 	ErrTxDone      = common.ErrTxDone
 	ErrNodeDown    = common.ErrNodeDown
+	// ErrStaleEpoch rejects work from a node incarnation the cluster has
+	// fenced (lease lost, survivors took over). The node must restart.
+	ErrStaleEpoch = common.ErrStaleEpoch
+	// ErrUnknownNode reports a node id never added to the cluster.
+	ErrUnknownNode = core.ErrUnknownNode
 )
 
 // IsRetryable reports whether err is a transient transaction failure
@@ -67,6 +72,12 @@ type Options struct {
 	// database survives process restarts. Opening a non-empty directory
 	// runs full-cluster recovery over its logs before serving.
 	DataDir string
+	// SelfHealing enables lease-based failure detection: every primary
+	// heartbeats into shared memory and watches its peers, and when one
+	// falls silent a survivor fences it under a new cluster epoch and
+	// recovers its locks, transactions and redo automatically — no
+	// CrashNode/RestartNode calls needed.
+	SelfHealing bool
 }
 
 // Cluster is a PolarDB-MP deployment: N primary nodes over shared memory
@@ -84,6 +95,7 @@ func Open(opts Options) (*Cluster, error) {
 		LBPFrames:       opts.LocalBufferPages,
 		DBPFrames:       opts.SharedBufferPages,
 		LockWaitTimeout: opts.LockWaitTimeout,
+		SelfHeal:        opts.SelfHealing,
 	}
 	if opts.RealisticStorageLatency {
 		cfg.StorageLatency = core.DefaultConfig().StorageLatency
@@ -152,7 +164,14 @@ func (c *Cluster) AddNode() (*Node, error) {
 
 // CrashNode fail-stops a node: volatile state is lost; its uncommitted
 // transactions are rolled back when it restarts; other nodes keep serving.
-func (c *Cluster) CrashNode(i int) { c.c.CrashNode(common.NodeID(i)) }
+// Returns ErrUnknownNode for an id that was never added, ErrNodeDown when
+// the node is already down (no side effects either way).
+func (c *Cluster) CrashNode(i int) error { return c.c.CrashNode(common.NodeID(i)) }
+
+// KillNode fail-stops a node without telling the cluster anything — the
+// undeclared failure SelfHealing exists for. Survivors detect the silence
+// through the lease table and take over. Same error contract as CrashNode.
+func (c *Cluster) KillNode(i int) error { return c.c.KillNode(common.NodeID(i)) }
 
 // RestartNode recovers a crashed node (replaying its redo log, largely from
 // the shared memory pool) and rejoins it.
