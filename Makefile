@@ -4,7 +4,7 @@ RACE_PKGS = ./internal/core ./internal/lockfusion ./internal/bufferfusion \
             ./internal/txfusion ./internal/chaos ./internal/rdma \
             ./internal/membership
 
-.PHONY: all build test test-full race vet smoke check
+.PHONY: all build test test-full race vet smoke check bench-snapshot
 
 all: check
 
@@ -35,3 +35,9 @@ smoke:
 	$(GO) run ./cmd/mpchaos -plan crashnode -seed 7 -ops 2000
 
 check: build vet test race smoke
+
+# Perf snapshot: the Figure-7 read-write sweep + verb micro benches at the
+# canonical settings (scale=25, 2s/config, 3 threads/node), written as JSON
+# with per-commit fabric op counts and the pre-batching baseline numbers.
+bench-snapshot:
+	$(GO) run ./cmd/mpbench -snapshot BENCH_pr3.json -dur 2s -threads 3

@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -30,7 +32,36 @@ func main() {
 	threads := flag.Int("threads", 0, "threads per node (default 4)")
 	scale := flag.Int("scale", 0, "latency time-scale factor (default 25)")
 	nodes := flag.String("nodes", "", "comma-separated node counts (default 1,2,4,8)")
+	snapshot := flag.String("snapshot", "", "run the Fig7 read-write sweep + micro benches and write a JSON snapshot (with per-commit fabric op counts and the pre-batching baseline) to this path")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this path")
+	memprofile := flag.String("memprofile", "", "write an allocation profile of the run to this path")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memprofile != "" {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			_ = pprof.Lookup("allocs").WriteTo(f, 0)
+		}
+	}()
 
 	o := figures.Options{
 		Quick:    *quick,
@@ -48,6 +79,16 @@ func main() {
 			}
 			o.Nodes = append(o.Nodes, n)
 		}
+	}
+
+	if *snapshot != "" {
+		start := time.Now()
+		if _, err := figures.Snapshot(o, *snapshot); err != nil {
+			fmt.Fprintf(os.Stderr, "snapshot: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("[snapshot done in %v]\n", time.Since(start).Round(time.Second))
+		return
 	}
 
 	run := func(name string) {

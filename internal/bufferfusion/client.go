@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"encoding/binary"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -15,10 +16,13 @@ import (
 )
 
 // ForceLogFunc forces the node's redo log to durable storage at least up to
-// the records covering pg; the engine installs it so a dirty page never
-// reaches the DBP ahead of its log (§4.2: "before flushing a dirty page to
-// the DBP, PolarDB-MP also forces the corresponding logs to storage").
-type ForceLogFunc func(pg *page.Page)
+// upTo, the highest LSN covering the page being pushed; the engine installs
+// it so a dirty page never reaches the DBP ahead of its log (§4.2: "before
+// flushing a dirty page to the DBP, PolarDB-MP also forces the corresponding
+// logs to storage"). upTo == 0 means the page carries unlogged-only changes
+// (purges, CTS stamps) or predates FlushLSN tracking; implementations must
+// then fall back to a conservative full-log force.
+type ForceLogFunc func(upTo common.LSN)
 
 // Frame is one LBP slot: the decoded page, its coherence metadata (the
 // valid flag lives in the node's RegionInval at index idx; r_addr is the
@@ -32,6 +36,12 @@ type Frame struct {
 	// Dirty marks local modifications not yet pushed to the DBP. Access
 	// under Mu.
 	Dirty bool
+	// FlushLSN is the end LSN of the newest log record reflected in Pg (0
+	// if every unflushed change is unlogged, e.g. purges and CTS stamps).
+	// Forcing the log to FlushLSN — rather than to the whole log's end —
+	// is what makes a revoke-time flush of an already-durable page free.
+	// Access under Mu.
+	FlushLSN common.LSN
 
 	id       common.PageID
 	idx      uint32 // invalid-flag index in RegionInval
@@ -290,8 +300,18 @@ func (c *Client) fetch(pg common.PageID, invalIdx uint32) (*page.Page, int, erro
 	return p, frame, nil
 }
 
+// frameBufPool recycles frame-sized scratch buffers for DBP reads and
+// pushes. The fabric copies synchronously and page.Unmarshal copies out, so
+// a buffer is reusable the moment the verb returns — on the single-box
+// simulator these per-transfer allocations were a measurable GC tax.
+var frameBufPool = sync.Pool{
+	New: func() any { b := make([]byte, page.FrameSize+4); return &b }, // +4: image length prefix
+}
+
 func (c *Client) readDBPFrame(frame int) (*page.Page, error) {
-	buf := make([]byte, page.FrameSize)
+	bp := frameBufPool.Get().(*[]byte)
+	defer frameBufPool.Put(bp)
+	buf := (*bp)[:page.FrameSize]
 	if err := common.Retry(c.retry, func() error {
 		return c.fabric.Read(common.PMFSNode, RegionDBP, frame*page.FrameSize, buf)
 	}); err != nil {
@@ -311,10 +331,16 @@ func (c *Client) pushImage(p *page.Page, invalIdx uint32) (int, error) {
 		// stale pages over the restarted incarnation's recovery.
 		return -1, fmt.Errorf("bufferfusion: node %d LBP: %w", c.node, common.ErrClosed)
 	}
-	img, err := p.Marshal()
+	// Build [imageLen u32][image] in one pooled buffer: the frame layout
+	// the DBP expects, with no intermediate copy.
+	bp := frameBufPool.Get().(*[]byte)
+	defer frameBufPool.Put(bp)
+	buf, err := p.AppendTo(append((*bp)[:0], 0, 0, 0, 0))
 	if err != nil {
 		return -1, err
 	}
+	binary.LittleEndian.PutUint32(buf, uint32(len(buf)-4))
+	img := buf[4:]
 	if c.storageMode {
 		if err := common.Retry(c.retry, func() error {
 			return c.store.WritePage(p.ID, img)
@@ -344,9 +370,6 @@ func (c *Client) pushImage(p *page.Page, invalIdx uint32) (int, error) {
 		return -1, fmt.Errorf("bufferfusion: prepare-push of page %d failed", p.ID)
 	}
 	frame := int(binary.LittleEndian.Uint32(resp[1:]))
-	buf := make([]byte, 4+len(img))
-	binary.LittleEndian.PutUint32(buf, uint32(len(img)))
-	copy(buf[4:], img)
 	if err := common.Retry(c.retry, func() error {
 		return c.fabric.Write(common.PMFSNode, RegionDBP, frame*page.FrameSize, buf)
 	}); err != nil {
@@ -417,7 +440,7 @@ func (c *Client) Push(f *Frame) error {
 		return nil
 	}
 	if c.forceLog != nil {
-		c.forceLog(f.Pg)
+		c.forceLog(f.FlushLSN)
 	}
 	frame, err := c.pushImage(f.Pg, f.idx)
 	if err != nil {
@@ -445,6 +468,156 @@ func (c *Client) PushByID(pg common.PageID) error {
 	f.Mu.Lock()
 	defer f.Mu.Unlock()
 	return c.Push(f)
+}
+
+// PushMany flushes every named page that is cached and dirty through ONE
+// doorbell-batched fabric exchange: a single log force covering the newest
+// record on any of the pages, one CallBatch of prepare-push RPCs, one
+// vectored write carrying every image, and one CallBatch of push
+// completions — 2 RPCs + 1 one-sided write for the whole set instead of
+// 2 RPCs + 1 write per page. Callers must hold a covering X PLock on every
+// page (the commit-time stamp path does). Frames are latched in sorted page
+// order for the whole exchange; that cannot deadlock engine paths because
+// leaf-to-leaf btree transitions release before re-acquiring and
+// latch-coupled descents only ever pair an internal page with one child.
+func (c *Client) PushMany(ids []common.PageID) error {
+	if c.storageMode {
+		// The log-ship baseline has no DBP frames to batch into.
+		var firstErr error
+		for _, pg := range ids {
+			if err := c.PushByID(pg); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+	c.mu.Lock()
+	fs := make([]*Frame, 0, len(ids))
+	seen := make(map[common.PageID]bool, len(ids))
+	for _, pg := range ids {
+		if seen[pg] {
+			continue
+		}
+		seen[pg] = true
+		if f := c.frames[pg]; f != nil {
+			f.pins++
+			fs = append(fs, f)
+		}
+	}
+	c.mu.Unlock()
+	sort.Slice(fs, func(i, j int) bool { return fs[i].id < fs[j].id })
+	for _, f := range fs {
+		f.Mu.Lock()
+	}
+	done := func() {
+		for _, f := range fs {
+			f.Mu.Unlock()
+		}
+		for _, f := range fs {
+			c.Unpin(f)
+		}
+	}
+	var dirty []*Frame
+	var upTo common.LSN
+	for _, f := range fs {
+		if f.Dirty {
+			dirty = append(dirty, f)
+			if f.FlushLSN > upTo {
+				upTo = f.FlushLSN
+			}
+		}
+	}
+	if len(dirty) == 0 {
+		done()
+		return nil
+	}
+	if c.closed.Load() {
+		done()
+		return fmt.Errorf("bufferfusion: node %d LBP: %w", c.node, common.ErrClosed)
+	}
+	if c.forceLog != nil {
+		c.forceLog(upTo)
+	}
+	// Phase 1: one batched prepare-push pins every target frame.
+	reqs := make([][]byte, len(dirty))
+	for i, f := range dirty {
+		reqs[i] = c.stamp.Stamp(bufReq(opPreparePush, c.node, f.id, 0, f.idx))
+	}
+	var resps [][]byte
+	err := common.Retry(c.retry, func() (e error) {
+		resps, e = c.fabric.CallBatch(common.PMFSNode, ServiceBuf, reqs)
+		return e
+	})
+	if err != nil {
+		// One page's failure (e.g. all frames pinned) fails a whole batch;
+		// give each page an independent chance on the per-page path.
+		var firstErr error
+		for _, f := range dirty {
+			if e := c.Push(f); e != nil && firstErr == nil {
+				firstErr = e
+			}
+		}
+		done()
+		return firstErr
+	}
+	frameNos := make([]int, len(dirty))
+	for i, f := range dirty {
+		if len(resps[i]) < 5 || resps[i][0] != 1 {
+			done()
+			return fmt.Errorf("bufferfusion: prepare-push of page %d failed", f.id)
+		}
+		frameNos[i] = int(binary.LittleEndian.Uint32(resps[i][1:]))
+	}
+	// Phase 2: one vectored write lands every image in its pinned frame.
+	// Images are built in pooled buffers; the doorbell copies synchronously,
+	// so they all return to the pool right after the verb.
+	segs := make([]rdma.Seg, len(dirty))
+	bufs := make([]*[]byte, 0, len(dirty))
+	werr := error(nil)
+	for i, f := range dirty {
+		bp := frameBufPool.Get().(*[]byte)
+		bufs = append(bufs, bp)
+		buf, merr := f.Pg.AppendTo(append((*bp)[:0], 0, 0, 0, 0))
+		if merr != nil {
+			werr = merr
+			break
+		}
+		binary.LittleEndian.PutUint32(buf, uint32(len(buf)-4))
+		segs[i] = rdma.Seg{Off: frameNos[i] * page.FrameSize, Buf: buf}
+	}
+	if werr == nil {
+		werr = common.Retry(c.retry, func() error {
+			return c.fabric.WriteV(common.PMFSNode, RegionDBP, segs)
+		})
+	}
+	for _, bp := range bufs {
+		frameBufPool.Put(bp)
+	}
+	// Phase 3: one batched completion — sent even after a failed write so
+	// the server-side pins taken in phase 1 never leak. A failed write
+	// leaves Dirty set; the revoke-time flush redoes the page later (the
+	// stale frame content is unreachable: we still hold the X PLock, and
+	// imageLen guards eviction against a never-written frame).
+	preqs := make([][]byte, len(dirty))
+	for i, f := range dirty {
+		preqs[i] = c.stamp.Stamp(bufReq(opPushed, c.node, f.id, uint32(frameNos[i]), f.idx))
+	}
+	perr := common.Retry(c.retry, func() error {
+		_, e := c.fabric.CallBatch(common.PMFSNode, ServiceBuf, preqs)
+		return e
+	})
+	if werr == nil && perr == nil {
+		for i, f := range dirty {
+			f.dbpFrame = frameNos[i]
+			f.Dirty = false
+			c.PushesOut.Inc()
+		}
+	}
+	done()
+	if werr != nil {
+		return werr
+	}
+	return perr
 }
 
 // evictOneLocked evicts the coldest unpinned frame, pushing it first if

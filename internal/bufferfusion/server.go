@@ -51,7 +51,10 @@ const (
 
 // Server is the PMFS side of Buffer Fusion: the DBP frames and the page
 // directory tracking, per page, its frame, the nodes holding copies, and the
-// addresses of their invalid flags (§4.2, Figure 4).
+// addresses of their invalid flags (§4.2, Figure 4). The directory is
+// striped by page id, each stripe owning a disjoint share of the DBP frames
+// (its own free list and LRU), so concurrent pushes and lookups from
+// different nodes only contend when they touch the same stripe.
 type Server struct {
 	fabric      rdma.Conn
 	retry       common.RetryPolicy
@@ -61,11 +64,7 @@ type Server struct {
 	frames      int
 	storageMode bool
 
-	mu   sync.Mutex
-	dir  map[common.PageID]*dirEntry
-	byFr []*dirEntry // frame -> entry (nil = free)
-	free []int
-	lru  *list.List // *dirEntry, most-recent at back
+	stripes []*bufStripe
 
 	// Stats for the figure harnesses and ablations.
 	Hits          metrics.Counter
@@ -73,6 +72,32 @@ type Server struct {
 	Pushes        metrics.Counter
 	Invalidations metrics.Counter
 	Evictions     metrics.Counter
+}
+
+// bufStripe is one directory shard. Frames in [base, base+count) belong to
+// this stripe exclusively; free holds global frame numbers.
+type bufStripe struct {
+	mu    sync.Mutex
+	base  int
+	count int
+	dir   map[common.PageID]*dirEntry
+	byFr  []*dirEntry // frame-base -> entry (nil = free)
+	free  []int
+	lru   *list.List // *dirEntry, most-recent at back
+}
+
+// bufStripeCount picks the shard count: tiny pools (unit tests sized to
+// force eviction) keep a single stripe so global LRU order is preserved;
+// bench-sized pools shard 8 ways.
+func bufStripeCount(frames int) int {
+	if frames < 256 {
+		return 1
+	}
+	return 8
+}
+
+func (s *Server) stripeFor(pg common.PageID) *bufStripe {
+	return s.stripes[uint64(pg)%uint64(len(s.stripes))]
 }
 
 type dirEntry struct {
@@ -108,16 +133,35 @@ func NewServer(ep *rdma.Endpoint, fabric *rdma.Fabric, store *storage.Store, fra
 		dbp:    ep.RegisterRegion(RegionDBP, frames*page.FrameSize),
 		store:  store,
 		frames: frames,
-		dir:    make(map[common.PageID]*dirEntry),
-		byFr:   make([]*dirEntry, frames),
-		lru:    list.New(),
 	}
-	s.free = make([]int, frames)
-	for i := range s.free {
-		s.free[i] = frames - 1 - i
-	}
+	s.initStripes()
 	ep.Serve(ServiceBuf, s.handle)
 	return s
+}
+
+func (s *Server) initStripes() {
+	n := bufStripeCount(s.frames)
+	s.stripes = make([]*bufStripe, n)
+	base := 0
+	for i := 0; i < n; i++ {
+		count := s.frames / n
+		if i < s.frames%n {
+			count++
+		}
+		st := &bufStripe{
+			base:  base,
+			count: count,
+			dir:   make(map[common.PageID]*dirEntry),
+			byFr:  make([]*dirEntry, count),
+			lru:   list.New(),
+		}
+		st.free = make([]int, count)
+		for j := range st.free {
+			st.free[j] = base + count - 1 - j
+		}
+		s.stripes[i] = st
+		base += count
+	}
 }
 
 // SetRetryPolicy overrides the transient-fault retry policy for the
@@ -184,23 +228,24 @@ func (s *Server) handle(req []byte) ([]byte, error) {
 // lookup registers node (with its invalid-flag index) as a copy holder and
 // returns the page's frame, if present.
 func (s *Server) lookup(node common.NodeID, pg common.PageID, invalIdx uint32) (int, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	e := s.dir[pg]
+	st := s.stripeFor(pg)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e := st.dir[pg]
 	if e == nil {
 		if s.storageMode {
 			// Track the copy for future invalidation even though
 			// the data itself travels through storage.
 			e = &dirEntry{page: pg, frame: -1, copies: make(map[common.NodeID]uint32)}
-			e.lruEl = s.lru.PushBack(e)
-			s.dir[pg] = e
+			e.lruEl = st.lru.PushBack(e)
+			st.dir[pg] = e
 			e.copies[node] = invalIdx
 		}
 		s.Misses.Inc()
 		return 0, false
 	}
 	e.copies[node] = invalIdx
-	s.lru.MoveToBack(e.lruEl)
+	st.lru.MoveToBack(e.lruEl)
 	if s.storageMode {
 		s.Misses.Inc()
 		return 0, false
@@ -212,42 +257,44 @@ func (s *Server) lookup(node common.NodeID, pg common.PageID, invalIdx uint32) (
 // preparePush pins (allocating if needed) the page's frame so the caller can
 // one-sided-write the image without racing eviction.
 func (s *Server) preparePush(node common.NodeID, pg common.PageID, invalIdx uint32) (int, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	e := s.dir[pg]
+	st := s.stripeFor(pg)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e := st.dir[pg]
 	if s.storageMode {
 		if e == nil {
 			e = &dirEntry{page: pg, frame: -1, copies: make(map[common.NodeID]uint32)}
-			e.lruEl = s.lru.PushBack(e)
-			s.dir[pg] = e
+			e.lruEl = st.lru.PushBack(e)
+			st.dir[pg] = e
 		}
 		e.pins++
 		e.copies[node] = invalIdx
 		return storagePseudoFrame, nil
 	}
 	if e == nil {
-		fr, err := s.allocFrameLocked()
+		fr, err := s.allocFrameLocked(st)
 		if err != nil {
 			return 0, err
 		}
 		e = &dirEntry{page: pg, frame: fr, copies: make(map[common.NodeID]uint32)}
-		e.lruEl = s.lru.PushBack(e)
-		s.dir[pg] = e
-		s.byFr[fr] = e
+		e.lruEl = st.lru.PushBack(e)
+		st.dir[pg] = e
+		st.byFr[fr-st.base] = e
 	}
 	e.pins++
 	e.copies[node] = invalIdx
-	s.lru.MoveToBack(e.lruEl)
+	st.lru.MoveToBack(e.lruEl)
 	return e.frame, nil
 }
 
 // pushed completes a push: unpin, mark dirty, and remotely invalidate every
 // other node's copy through the stored invalid-flag addresses.
 func (s *Server) pushed(node common.NodeID, pg common.PageID, frame int) {
-	s.mu.Lock()
-	e := s.dir[pg]
+	st := s.stripeFor(pg)
+	st.mu.Lock()
+	e := st.dir[pg]
 	if e == nil || (!s.storageMode && e.frame != frame) {
-		s.mu.Unlock()
+		st.mu.Unlock()
 		return
 	}
 	if e.pins > 0 {
@@ -264,7 +311,7 @@ func (s *Server) pushed(node common.NodeID, pg common.PageID, frame int) {
 			targets = append(targets, target{n, idx})
 		}
 	}
-	s.mu.Unlock()
+	st.mu.Unlock()
 	s.Pushes.Inc()
 	// The invalidation write is the coherence-critical op of §4.2: a copy
 	// holder that misses it would keep serving the stale image. Retried
@@ -284,36 +331,37 @@ func (s *Server) writeInval(node common.NodeID, idx uint32, flag uint64) {
 }
 
 func (s *Server) unregister(node common.NodeID, pg common.PageID) {
-	s.mu.Lock()
-	if e := s.dir[pg]; e != nil {
+	st := s.stripeFor(pg)
+	st.mu.Lock()
+	if e := st.dir[pg]; e != nil {
 		delete(e.copies, node)
 	}
-	s.mu.Unlock()
+	st.mu.Unlock()
 }
 
-// allocFrameLocked returns a free frame, evicting the coldest unpinned page
-// if necessary (its image goes to storage first; its redo was already forced
-// before the push, per §4.2).
-func (s *Server) allocFrameLocked() (int, error) {
-	if n := len(s.free); n > 0 {
-		fr := s.free[n-1]
-		s.free = s.free[:n-1]
+// allocFrameLocked returns a free frame from st, evicting the stripe's
+// coldest unpinned page if necessary (its image goes to storage first; its
+// redo was already forced before the push, per §4.2).
+func (s *Server) allocFrameLocked(st *bufStripe) (int, error) {
+	if n := len(st.free); n > 0 {
+		fr := st.free[n-1]
+		st.free = st.free[:n-1]
 		return fr, nil
 	}
-	for el := s.lru.Front(); el != nil; el = el.Next() {
+	for el := st.lru.Front(); el != nil; el = el.Next() {
 		e := el.Value.(*dirEntry)
 		if e.pins > 0 {
 			continue
 		}
-		s.evictLocked(e)
+		s.evictLocked(st, e)
 		return e.frame, nil
 	}
-	return 0, fmt.Errorf("bufferfusion: all %d DBP frames pinned", s.frames)
+	return 0, fmt.Errorf("bufferfusion: all %d DBP frames of stripe pinned", st.count)
 }
 
 // evictLocked removes e from the directory, flushing its image to storage if
 // dirty and notifying copy holders that the page left the DBP.
-func (s *Server) evictLocked(e *dirEntry) {
+func (s *Server) evictLocked(st *bufStripe, e *dirEntry) {
 	s.Evictions.Inc()
 	if e.dirty {
 		img := make([]byte, page.FrameSize)
@@ -326,9 +374,9 @@ func (s *Server) evictLocked(e *dirEntry) {
 	for n, idx := range e.copies {
 		s.writeInval(n, idx, flagDropped)
 	}
-	delete(s.dir, e.page)
-	s.byFr[e.frame] = nil
-	s.lru.Remove(e.lruEl)
+	delete(st.dir, e.page)
+	st.byFr[e.frame-st.base] = nil
+	st.lru.Remove(e.lruEl)
 }
 
 // imageLen returns the end offset (including the 4-byte length prefix) of
@@ -348,31 +396,33 @@ func imageLen(frame []byte) int {
 
 // FlushAll writes every dirty DBP page to storage (checkpoint support).
 func (s *Server) FlushAll() error {
-	s.mu.Lock()
-	var entries []*dirEntry
-	for _, e := range s.dir {
-		if e.dirty {
-			entries = append(entries, e)
+	for _, st := range s.stripes {
+		st.mu.Lock()
+		var entries []*dirEntry
+		for _, e := range st.dir {
+			if e.dirty {
+				entries = append(entries, e)
+			}
 		}
-	}
-	s.mu.Unlock()
-	for _, e := range entries {
-		img := make([]byte, page.FrameSize)
-		s.mu.Lock()
-		cur := s.dir[e.page]
-		if cur != e {
-			s.mu.Unlock()
-			continue
-		}
-		err := s.dbp.LocalRead(e.frame*page.FrameSize, img)
-		e.dirty = false
-		s.mu.Unlock()
-		if err != nil {
-			return err
-		}
-		if n := imageLen(img); n > 0 {
-			if err := s.store.WritePage(e.page, img[4:n]); err != nil {
+		st.mu.Unlock()
+		for _, e := range entries {
+			img := make([]byte, page.FrameSize)
+			st.mu.Lock()
+			cur := st.dir[e.page]
+			if cur != e {
+				st.mu.Unlock()
+				continue
+			}
+			err := s.dbp.LocalRead(e.frame*page.FrameSize, img)
+			e.dirty = false
+			st.mu.Unlock()
+			if err != nil {
 				return err
+			}
+			if n := imageLen(img); n > 0 {
+				if err := s.store.WritePage(e.page, img[4:n]); err != nil {
+					return err
+				}
 			}
 		}
 	}
@@ -383,11 +433,13 @@ func (s *Server) FlushAll() error {
 // content itself survives: that is what makes node restarts fast (§5.5).
 func (s *Server) DropNode(node uint16) {
 	n := common.NodeID(node)
-	s.mu.Lock()
-	for _, e := range s.dir {
-		delete(e.copies, n)
+	for _, st := range s.stripes {
+		st.mu.Lock()
+		for _, e := range st.dir {
+			delete(e.copies, n)
+		}
+		st.mu.Unlock()
 	}
-	s.mu.Unlock()
 }
 
 // Reclaim force-evicts the given pages from the DBP during takeover: dirty
@@ -398,10 +450,11 @@ func (s *Server) DropNode(node uint16) {
 // takeover replay rebuilds the images there.
 func (s *Server) Reclaim(pages []common.PageID) {
 	for _, pg := range pages {
-		s.mu.Lock()
-		e := s.dir[pg]
+		st := s.stripeFor(pg)
+		st.mu.Lock()
+		e := st.dir[pg]
 		if e == nil {
-			s.mu.Unlock()
+			st.mu.Unlock()
 			continue
 		}
 		e.pins = 0
@@ -409,41 +462,48 @@ func (s *Server) Reclaim(pages []common.PageID) {
 			for n, idx := range e.copies {
 				s.writeInval(n, idx, flagDropped)
 			}
-			delete(s.dir, pg)
-			s.lru.Remove(e.lruEl)
-			s.mu.Unlock()
+			delete(st.dir, pg)
+			st.lru.Remove(e.lruEl)
+			st.mu.Unlock()
 			continue
 		}
-		s.evictLocked(e)
-		s.free = append(s.free, e.frame)
-		s.mu.Unlock()
+		s.evictLocked(st, e)
+		st.free = append(st.free, e.frame)
+		st.mu.Unlock()
 	}
 }
 
 // Reset discards all DBP state (full-cluster crash simulation: disaggregated
 // memory is volatile; only storage survives).
 func (s *Server) Reset() {
-	s.mu.Lock()
-	s.dir = make(map[common.PageID]*dirEntry)
-	s.byFr = make([]*dirEntry, s.frames)
-	s.free = s.free[:0]
-	for i := s.frames - 1; i >= 0; i-- {
-		s.free = append(s.free, i)
+	for _, st := range s.stripes {
+		st.mu.Lock()
+		st.dir = make(map[common.PageID]*dirEntry)
+		st.byFr = make([]*dirEntry, st.count)
+		st.free = st.free[:0]
+		for i := st.base + st.count - 1; i >= st.base; i-- {
+			st.free = append(st.free, i)
+		}
+		st.lru.Init()
+		st.mu.Unlock()
 	}
-	s.lru.Init()
-	s.mu.Unlock()
 }
 
 // Contains reports whether the DBP currently holds pg (tests).
 func (s *Server) Contains(pg common.PageID) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.dir[pg] != nil
+	st := s.stripeFor(pg)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.dir[pg] != nil
 }
 
 // Len returns the number of pages resident in the DBP.
 func (s *Server) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.dir)
+	n := 0
+	for _, st := range s.stripes {
+		st.mu.Lock()
+		n += len(st.dir)
+		st.mu.Unlock()
+	}
+	return n
 }

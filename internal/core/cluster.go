@@ -369,6 +369,8 @@ type Stats struct {
 	FabricWrites     int64
 	FabricAtomics    int64
 	FabricRPCs       int64
+	FabricBytesRead  int64
+	FabricBytesWrite int64
 	StoragePageReads int64
 	StorageLogSyncs  int64
 	DBPResident      int
@@ -394,7 +396,8 @@ func (c *Cluster) Stats() Stats {
 		s.Deadlocks += n.Deadlocks.Load()
 		s.LeaseRenewals += n.agent.Renewals.Load()
 	}
-	s.FabricReads, s.FabricWrites, s.FabricAtomics, s.FabricRPCs = c.fabric.Stats().Snapshot()
+	s.FabricReads, s.FabricWrites, s.FabricAtomics, s.FabricRPCs,
+		s.FabricBytesRead, s.FabricBytesWrite = c.fabric.Stats().Snapshot()
 	s.StoragePageReads = c.store.Stats().PageReads.Load()
 	s.StorageLogSyncs = c.store.Stats().LogSyncs.Load()
 	s.DBPResident = c.bufSrv.Len()

@@ -130,11 +130,23 @@ func (c *Cluster) newNode(id common.NodeID, recovering bool) (*Node, error) {
 
 	// Wire the cross-layer hooks: force-log-before-push (§4.2) and
 	// flush-dirty-page-before-PLock-release (§4.3.1).
-	n.lbp.SetForceLog(func(*page.Page) { n.wal.Sync(n.wal.End()) })
-	n.pl.SetRevokeHandler(func(pg common.PageID, held lockfusion.Mode) {
-		if held == lockfusion.ModeX {
-			_ = n.lbp.PushByID(pg)
+	// Forcing only to the page's covering LSN (not the whole log end) makes
+	// the post-commit and revoke-time flushes of already-durable pages free:
+	// they no longer wait on other threads' in-flight appends.
+	n.lbp.SetForceLog(func(upTo common.LSN) {
+		if upTo == 0 {
+			upTo = n.wal.End()
 		}
+		n.wal.Sync(upTo)
+	})
+	n.pl.SetRevokeHandler(func(pg common.PageID, held lockfusion.Mode) error {
+		if held == lockfusion.ModeX {
+			// A failed push vetoes the release (see RevokeFunc): a peer
+			// must never be granted a page whose latest image is still
+			// only in this node's LBP.
+			return n.lbp.PushByID(pg)
+		}
+		return nil
 	})
 
 	// Resume transaction ids above the persisted watermark.
@@ -334,6 +346,47 @@ func (n *Node) resolveCTS(v *page.Version) common.CSN {
 	return cts
 }
 
+// batchResolver returns a version-resolution function equivalent to
+// resolveCTS but scoped to one page: every unstamped foreign version on the
+// page is pre-resolved through one vectored TIT read per owning node
+// (GetTrxCTSBatch), so the per-version calls that follow are pure map
+// lookups. Transactions the batch could not reach resolve by the same fate
+// rule as resolveCTS. Pages with nothing to look up fall back to resolveCTS
+// untouched — the common case once commit-time stamping has run.
+func (n *Node) batchResolver(pg *page.Page) func(*page.Version) common.CSN {
+	var gs []common.GTrxID
+	for ri := range pg.Rows {
+		row := &pg.Rows[ri]
+		for vi := range row.Versions {
+			v := &row.Versions[vi]
+			if v.CTS == common.CSNInit && !v.Trx.Zero() {
+				gs = append(gs, v.Trx)
+			}
+		}
+	}
+	if len(gs) == 0 {
+		return n.resolveCTS
+	}
+	m := n.tf.GetTrxCTSBatch(gs)
+	return func(v *page.Version) common.CSN {
+		if v.CTS != common.CSNInit {
+			return v.CTS
+		}
+		if v.Trx.Zero() {
+			return common.CSNMin
+		}
+		if cts, ok := m[v.Trx]; ok {
+			return cts
+		}
+		// The owner was unreachable during the batch: resolve by fate,
+		// exactly like resolveCTS's error path.
+		if n.c.members.Recovered(v.Trx.Node) {
+			return common.CSNMin
+		}
+		return common.CSNMax
+	}
+}
+
 // PurgeSpace trims version chains across a space using the current global
 // minimum view (the purge/vacuum path). Returns versions removed.
 func (n *Node) PurgeSpace(space common.SpaceID) (int, error) {
@@ -354,7 +407,7 @@ func (n *Node) PurgeSpace(space common.SpaceID) (int, error) {
 		if len(ref.Page.Rows) > 0 {
 			lastKey = append(lastKey[:0], ref.Page.Rows[0].Key...)
 		}
-		removed += ref.Page.Purge(gmv, n.resolveCTS)
+		removed += ref.Page.Purge(gmv, n.batchResolver(ref.Page))
 		if removed != before {
 			ref.Opaque.(*bufferfusion.Frame).Dirty = true
 		}

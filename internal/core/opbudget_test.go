@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestCommitFabricOpBudget locks down the per-commit fabric cost of the hot
+// path: a warmed single-row read-committed update commit on a quiet 2-node
+// cluster. The batching work (doorbell verbs, TSO group allocation, vectored
+// CTS stamping/push) exists to keep these numbers small; a regression that
+// splits a batch back into per-item verbs trips this test.
+//
+// The documented budget per commit (see DESIGN.md §9); the warm
+// uncontended path measures reads=0, writes=0, atomics=1, rpcs=0 — the
+// whole commit is one TSO fetch-add, because the commit-time page push is
+// reserved for pages a peer is waiting on:
+//
+//   - atomics ≤ 1: one TSO fetch-add (zero when the commit-time combiner
+//     folds it into a neighbour's block);
+//   - reads ≤ 1: commit-path TIT/GMV lookups; warm caches need none;
+//   - writes ≤ 2: one vectored doorbell push of every contended touched
+//     page image, plus headroom for a TIT write when the slot is remote;
+//   - RPCs ≤ 3: the two Buffer Fusion control batches (prepare-push,
+//     pushed) that bracket the vectored image write, plus headroom for one
+//     lock RPC when lazy retention misses.
+//
+// Background TIT recycling is disabled so the deltas below belong to the
+// measured commit alone.
+func TestCommitFabricOpBudget(t *testing.T) {
+	c := NewCluster(Config{
+		LockWaitTimeout: 2 * time.Second,
+		RecycleInterval: -1, // no background min-view / recycle traffic
+	})
+	for i := 0; i < 2; i++ {
+		if _, err := c.AddNode(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sp, err := c.CreateSpace("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	n := c.Node(1)
+
+	put(t, n, sp, "k", "v0")
+	// Warm the path: lazy PLocks held, LBP frames resident, Lamport
+	// timestamp cache and Buffer Fusion directory populated.
+	for i := 0; i < 4; i++ {
+		put(t, n, sp, "k", fmt.Sprintf("warm%d", i))
+	}
+
+	const commits = 8
+	before := c.Stats()
+	for i := 0; i < commits; i++ {
+		tx, err := n.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Update(sp, []byte("k"), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		mustCommit(t, tx)
+	}
+	after := c.Stats()
+
+	per := func(a, b int64) float64 { return float64(a-b) / commits }
+	reads := per(after.FabricReads, before.FabricReads)
+	writes := per(after.FabricWrites, before.FabricWrites)
+	atomics := per(after.FabricAtomics, before.FabricAtomics)
+	rpcs := per(after.FabricRPCs, before.FabricRPCs)
+	t.Logf("per-commit fabric ops: reads=%.2f writes=%.2f atomics=%.2f rpcs=%.2f",
+		reads, writes, atomics, rpcs)
+
+	if atomics > 1 {
+		t.Errorf("atomics/commit = %.2f, budget 1 (TSO fetch-add)", atomics)
+	}
+	if reads > 1 {
+		t.Errorf("reads/commit = %.2f, budget 1", reads)
+	}
+	if writes > 2 {
+		t.Errorf("writes/commit = %.2f, budget 2 (vectored push + TIT headroom)", writes)
+	}
+	if rpcs > 3 {
+		t.Errorf("rpcs/commit = %.2f, budget 3 (prepare-push/pushed batches + lock headroom)", rpcs)
+	}
+}

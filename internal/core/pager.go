@@ -85,7 +85,7 @@ func (p *pager) LogImage(ref *btree.Ref) {
 		// are engine bugs, not runtime conditions.
 		panic(fmt.Sprintf("core: node %d: %v", n.id, err))
 	}
-	n.wal.Append(&wal.Record{
+	end := n.wal.Append(&wal.Record{
 		Type:  wal.RecPageImage,
 		Node:  n.id,
 		LLSN:  llsn,
@@ -93,5 +93,9 @@ func (p *pager) LogImage(ref *btree.Ref) {
 		Space: ref.Page.Space,
 		Image: img,
 	})
-	ref.Opaque.(*bufferfusion.Frame).Dirty = true
+	f := ref.Opaque.(*bufferfusion.Frame)
+	f.Dirty = true
+	if end > f.FlushLSN {
+		f.FlushLSN = end
+	}
 }

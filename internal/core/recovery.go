@@ -231,7 +231,16 @@ func (n *Node) replayPage(rec *wal.Record, resolve func(*page.Version) common.CS
 	// the same way the live path would, resolving this node's own
 	// pre-crash commits from the log outcomes.
 	if f.Pg.SizeEstimate() > page.SplitThreshold {
-		if f.Pg.Purge(n.tf.LastGMV(), resolve) > 0 {
+		// Foreign versions go through the page-scoped vectored resolver;
+		// our own pre-crash commits still resolve from the log outcomes.
+		batch := n.batchResolver(f.Pg)
+		res := func(v *page.Version) common.CSN {
+			if v.Trx.Node == n.id {
+				return resolve(v)
+			}
+			return batch(v)
+		}
+		if f.Pg.Purge(n.tf.LastGMV(), res) > 0 {
 			f.Dirty = true
 		}
 	}

@@ -102,14 +102,16 @@ func (tx *Tx) statementView() (common.CSN, func(), error) {
 
 // visibleValue walks a version chain and returns the value visible to view
 // (own writes always visible). The second result is false when no version
-// is visible or the visible version is a tombstone.
-func (tx *Tx) visibleValue(row *page.Row, view common.CSN) ([]byte, bool) {
+// is visible or the visible version is a tombstone. resolve maps a version
+// to its effective CTS — n.resolveCTS for point lookups, a page-scoped
+// batch resolver for scans.
+func (tx *Tx) visibleValue(row *page.Row, view common.CSN, resolve func(*page.Version) common.CSN) ([]byte, bool) {
 	if row == nil {
 		return nil, false
 	}
 	for i := range row.Versions {
 		v := &row.Versions[i]
-		if v.Trx != tx.g && tx.n.resolveCTS(v) > view {
+		if v.Trx != tx.g && resolve(v) > view {
 			continue
 		}
 		if v.Deleted {
@@ -139,7 +141,7 @@ func (tx *Tx) Get(space common.SpaceID, key []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	val, ok := tx.visibleValue(ref.Page.Find(key), view)
+	val, ok := tx.visibleValue(ref.Page.Find(key), view, tx.n.resolveCTS)
 	tx.n.releasePager(ref)
 	if !ok {
 		return nil, fmt.Errorf("core: key %q: %w", key, common.ErrNotFound)
@@ -192,13 +194,16 @@ func (tx *Tx) Scan(space common.SpaceID, from, to []byte, limit int) ([]KV, erro
 	var out []KV
 	for ref != nil {
 		start, _ := ref.Page.Search(from)
+		// One vectored TIT exchange resolves every unstamped version on
+		// the leaf before the row loop starts.
+		resolve := tx.n.batchResolver(ref.Page)
 		for i := start; i < len(ref.Page.Rows); i++ {
 			row := &ref.Page.Rows[i]
 			if to != nil && bytes.Compare(row.Key, to) >= 0 {
 				tx.n.releasePager(ref)
 				return out, nil
 			}
-			if val, ok := tx.visibleValue(row, view); ok {
+			if val, ok := tx.visibleValue(row, view, resolve); ok {
 				out = append(out, KV{Key: append([]byte(nil), row.Key...), Value: val})
 				if limit > 0 && len(out) >= limit {
 					tx.n.releasePager(ref)
@@ -290,12 +295,12 @@ func (tx *Tx) write(space common.SpaceID, key, value []byte, op writeOp) error {
 		// purgeable as soon as concurrent views advance, so back off
 		// and retry.
 		if ref.Page.SizeEstimate()+need > page.SplitThreshold {
-			if ref.Page.Purge(tx.n.tf.LastGMV(), tx.n.resolveCTS) > 0 {
+			if ref.Page.Purge(tx.n.tf.LastGMV(), tx.n.batchResolver(ref.Page)) > 0 {
 				frame.Dirty = true
 			}
 			if ref.Page.SizeEstimate()+need > page.SplitThreshold {
 				if _, err := tx.n.tf.ReportMinView(); err == nil {
-					if ref.Page.Purge(tx.n.tf.LastGMV(), tx.n.resolveCTS) > 0 {
+					if ref.Page.Purge(tx.n.tf.LastGMV(), tx.n.batchResolver(ref.Page)) > 0 {
 						frame.Dirty = true
 					}
 				}
@@ -376,7 +381,7 @@ func (tx *Tx) mutate(ref *btree.Ref, frame *bufferfusion.Frame, space common.Spa
 		Value:   append([]byte(nil), value...),
 	})
 	ref.Page.LLSN = llsn
-	n.wal.Append(&wal.Record{
+	end := n.wal.Append(&wal.Record{
 		Type:    wal.RecInsert,
 		Node:    n.id,
 		LLSN:    llsn,
@@ -388,6 +393,9 @@ func (tx *Tx) mutate(ref *btree.Ref, frame *bufferfusion.Frame, space common.Spa
 		Value:   value,
 	})
 	frame.Dirty = true
+	if end > frame.FlushLSN {
+		frame.FlushLSN = end
+	}
 	tx.undo = append(tx.undo, undoEntry{space: space, key: append([]byte(nil), key...)})
 	tx.touched = append(tx.touched, ref.Page.ID)
 	tx.writes = true
@@ -453,10 +461,15 @@ func (tx *Tx) Commit() error {
 // stampCTS fills the CTS of this transaction's versions on pages still
 // cached and locally lockable — the §4.1 fast path sparing readers the TIT
 // lookup. Best-effort: pages gone from the LBP (or whose PLock left the
-// node) are skipped.
+// node) are skipped. All stamped (and still-dirty) pages are then pushed to
+// the DBP through ONE vectored write: the commit record is already durable,
+// so the covering log force is free, and a later revoke finds the pages
+// clean — the transfer flush moves off the waiter's critical path onto the
+// committer's already-paid one.
 func (tx *Tx) stampCTS(cts common.CSN) {
 	n := tx.n
 	seen := make(map[common.PageID]bool, len(tx.touched))
+	var push []common.PageID
 	for _, pg := range tx.touched {
 		if seen[pg] {
 			continue
@@ -480,9 +493,26 @@ func (tx *Tx) stampCTS(cts common.CSN) {
 		if f.Pg.StampCTS(tx.g, cts) > 0 {
 			f.Dirty = true
 		}
+		dirty := f.Dirty
 		f.Mu.Unlock()
 		n.lbp.Unpin(f)
-		n.pl.Release(pg)
+		if dirty && n.pl.RevokePending(pg) {
+			// A peer is waiting on this page: push it now, off the
+			// waiter's critical path. Keep the PLock reference until
+			// the batched push below — peers must not read these
+			// frames mid-batch. Uncontended dirty pages stay in the
+			// LBP (pushing them would tax every commit for a transfer
+			// nobody asked for).
+			push = append(push, pg)
+		} else {
+			n.pl.Release(pg)
+		}
+	}
+	if len(push) > 0 {
+		_ = n.lbp.PushMany(push) // best-effort; failures stay dirty for revoke flush
+		for _, pg := range push {
+			n.pl.Release(pg)
+		}
 	}
 }
 
@@ -538,7 +568,7 @@ func (n *Node) rollbackEntries(g common.GTrxID, undo []undoEntry) []undoEntry {
 		if ref.Page.RollbackVersion(e.key, g) {
 			llsn := n.llsn.Next()
 			ref.Page.LLSN = llsn
-			n.wal.Append(&wal.Record{
+			end := n.wal.Append(&wal.Record{
 				Type:  wal.RecRollback,
 				Node:  n.id,
 				LLSN:  llsn,
@@ -547,7 +577,11 @@ func (n *Node) rollbackEntries(g common.GTrxID, undo []undoEntry) []undoEntry {
 				Space: e.space,
 				Key:   e.key,
 			})
-			ref.Opaque.(*bufferfusion.Frame).Dirty = true
+			f := ref.Opaque.(*bufferfusion.Frame)
+			f.Dirty = true
+			if end > f.FlushLSN {
+				f.FlushLSN = end
+			}
 		}
 		n.releasePager(ref)
 	}

@@ -170,7 +170,12 @@ func Micro(o Options) (tsoFetch, titRead time.Duration) {
 	titRead = time.Since(start) / iters
 	tx.Rollback()
 
+	st := db.Cluster.Stats()
+	microLastBytes.read, microLastBytes.written = st.FabricBytesRead, st.FabricBytesWrite
 	o.printf("TSO fetch (one-sided fetch-add): %v/op\n", tsoFetch)
 	o.printf("remote TIT read (one-sided read): %v/op\n", titRead)
+	o.printf("fabric bytes moved: read %d, written %d (%d reads, %d writes, %d atomics, %d rpcs)\n",
+		st.FabricBytesRead, st.FabricBytesWrite,
+		st.FabricReads, st.FabricWrites, st.FabricAtomics, st.FabricRPCs)
 	return tsoFetch, titRead
 }

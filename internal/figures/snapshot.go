@@ -1,0 +1,149 @@
+package figures
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"polardbmp/internal/workload"
+)
+
+// fig7RWBaseline records the pre-batching Figure-7 read-write sweep at the
+// snapshot settings (scale=25, 2s/config, 3 threads/node), measured from
+// the commit immediately before the doorbell-verb / batching work on the
+// same single-core box and same day as this PR's numbers (the original
+// mpbench_output.txt recording — e.g. 29007 at rw/50/8 — came from a
+// faster box; same-day re-measurement keeps the before/after honest).
+// `make bench-snapshot` writes these next to the fresh numbers so the JSON
+// is a self-contained before/after.
+var fig7RWBaseline = map[string]float64{
+	"rw/0/1": 4587, "rw/0/2": 9056, "rw/0/4": 17711, "rw/0/8": 33596,
+	"rw/10/1": 4639, "rw/10/2": 9010, "rw/10/4": 17294, "rw/10/8": 30677,
+	"rw/50/1": 4620, "rw/50/2": 8714, "rw/50/4": 15491, "rw/50/8": 25576,
+	"rw/100/1": 4588, "rw/100/2": 8076, "rw/100/4": 14457, "rw/100/8": 21732,
+}
+
+// SnapshotCell is one measured Figure-7 read-write configuration with its
+// per-commit fabric op profile and the pre-batching baseline.
+type SnapshotCell struct {
+	Cell        string  `json:"cell"` // "rw/<shared%>/<nodes>"
+	Shared      int     `json:"shared_pct"`
+	Nodes       int     `json:"nodes"`
+	TPS         float64 `json:"tps_sim"`
+	BaselineTPS float64 `json:"baseline_tps_sim,omitempty"`
+	Gain        float64 `json:"gain,omitempty"` // TPS / BaselineTPS
+	Aborts      int64   `json:"aborts"`
+
+	// Per-commit fabric op counts over the whole run (warmup-corrected).
+	ReadsPerCommit   float64 `json:"fabric_reads_per_commit"`
+	WritesPerCommit  float64 `json:"fabric_writes_per_commit"`
+	AtomicsPerCommit float64 `json:"fabric_atomics_per_commit"`
+	RPCsPerCommit    float64 `json:"fabric_rpcs_per_commit"`
+}
+
+// BenchSnapshot is the document `make bench-snapshot` writes to
+// BENCH_pr3.json.
+type BenchSnapshot struct {
+	Config struct {
+		Scale    int    `json:"scale"`
+		Duration string `json:"duration_per_config"`
+		Warmup   string `json:"warmup_per_config"`
+		Threads  int    `json:"threads_per_node"`
+		Nodes    []int  `json:"nodes"`
+	} `json:"config"`
+	Fig7RW []SnapshotCell `json:"fig7_read_write"`
+	Micro  struct {
+		TSOFetchNS       int64 `json:"tso_fetch_ns_per_op"`
+		TITReadNS        int64 `json:"tit_read_ns_per_op"`
+		FabricBytesRead  int64 `json:"fabric_bytes_read"`
+		FabricBytesWrite int64 `json:"fabric_bytes_written"`
+	} `json:"micro"`
+}
+
+// Snapshot runs the Figure-7 read-write sweep plus the verb micro benches
+// and writes the results (with per-commit fabric op counts and the
+// pre-batching baseline) as JSON to path.
+func Snapshot(o Options, path string) (*BenchSnapshot, error) {
+	o.fill()
+	o.header("Bench snapshot: Fig7 read-write sweep + micro, with per-commit fabric ops")
+
+	snap := &BenchSnapshot{}
+	snap.Config.Scale = o.Scale
+	snap.Config.Duration = o.Duration.String()
+	snap.Config.Warmup = o.Warmup.String()
+	snap.Config.Threads = o.Threads
+	snap.Config.Nodes = o.Nodes
+
+	for _, shared := range []int{0, 10, 50, 100} {
+		for _, n := range o.Nodes {
+			cell, err := o.runSnapshotCell(shared, n)
+			if err != nil {
+				return nil, err
+			}
+			snap.Fig7RW = append(snap.Fig7RW, cell)
+			o.printf("%-10s %12.0f tps  (baseline %6.0f, %5.2fx)  ops/commit: r=%.2f w=%.2f a=%.2f rpc=%.2f\n",
+				cell.Cell, cell.TPS, cell.BaselineTPS, cell.Gain,
+				cell.ReadsPerCommit, cell.WritesPerCommit, cell.AtomicsPerCommit, cell.RPCsPerCommit)
+		}
+	}
+
+	tso, tit := Micro(o)
+	snap.Micro.TSOFetchNS = tso.Nanoseconds()
+	snap.Micro.TITReadNS = tit.Nanoseconds()
+	snap.Micro.FabricBytesRead = microLastBytes.read
+	snap.Micro.FabricBytesWrite = microLastBytes.written
+
+	buf, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return nil, err
+	}
+	o.printf("wrote %s\n", path)
+	return snap, nil
+}
+
+// runSnapshotCell measures one read-write cell and its fabric op profile.
+func (o Options) runSnapshotCell(shared, n int) (SnapshotCell, error) {
+	db, err := o.newMP(n)
+	if err != nil {
+		return SnapshotCell{}, err
+	}
+	defer db.Cluster.Close()
+	sb := workload.DefaultSysbench(workload.SysbenchReadWrite, n, shared)
+	sb.TablesPerGroup = 2
+	sb.RowsPerTable = 800
+	sb.StatementDelay = o.stmtDelay()
+	if err := sb.Load(db); err != nil {
+		return SnapshotCell{}, fmt.Errorf("snapshot: sysbench load (%d nodes): %w", n, err)
+	}
+	before := db.Cluster.Stats()
+	res := o.runner().Run(db, sb.TxFunc)
+	after := db.Cluster.Stats()
+
+	cell := SnapshotCell{
+		Cell:   fmt.Sprintf("rw/%d/%d", shared, n),
+		Shared: shared, Nodes: n,
+		TPS:    o.simTPS(res),
+		Aborts: res.Aborts,
+	}
+	if base, ok := fig7RWBaseline[cell.Cell]; ok {
+		cell.BaselineTPS = base
+		cell.Gain = cell.TPS / base
+	}
+	// The stats delta spans warmup + measurement but res.Commits only the
+	// measured window; scale commits by the steady-state ratio.
+	commits := float64(res.Commits) * float64(o.Warmup+o.Duration) / float64(o.Duration)
+	if commits > 0 {
+		cell.ReadsPerCommit = float64(after.FabricReads-before.FabricReads) / commits
+		cell.WritesPerCommit = float64(after.FabricWrites-before.FabricWrites) / commits
+		cell.AtomicsPerCommit = float64(after.FabricAtomics-before.FabricAtomics) / commits
+		cell.RPCsPerCommit = float64(after.FabricRPCs-before.FabricRPCs) / commits
+	}
+	return cell, nil
+}
+
+// microLastBytes captures the byte counters of the most recent Micro run so
+// Snapshot can embed them without re-deriving cluster internals.
+var microLastBytes struct{ read, written int64 }

@@ -86,8 +86,9 @@ func TestPLockSharedAcrossNodes(t *testing.T) {
 func TestPLockConflictAndNegotiation(t *testing.T) {
 	tc := newTestCluster(t, 2, Config{})
 	var revoked atomic.Int32
-	tc.pl[0].SetRevokeHandler(func(pg common.PageID, held Mode) {
+	tc.pl[0].SetRevokeHandler(func(pg common.PageID, held Mode) error {
 		revoked.Add(1)
+		return nil
 	})
 	if err := tc.pl[0].Acquire(9, ModeX); err != nil {
 		t.Fatal(err)

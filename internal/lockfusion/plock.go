@@ -14,9 +14,11 @@ import (
 
 // PLock RPC wire ops.
 const (
-	opPLockAcquire = 1 // node, page, mode -> grant (blocks until granted)
-	opPLockRelease = 2 // node, page
-	opRevoke       = 3 // (node service) page, wanted mode
+	opPLockAcquire  = 1 // node, page, mode -> grant (blocks until granted)
+	opPLockRelease  = 2 // node, page
+	opRevoke        = 3 // (node service) page, wanted mode
+	opPLockReleaseN = 4 // node, count, count × (page, mode): batched release
+	opRevokeN       = 5 // (node service) count, count × (page, wantNode, wantMode)
 )
 
 func plockReqBuf(op byte, node common.NodeID, pg common.PageID, mode Mode) []byte {
@@ -28,21 +30,77 @@ func plockReqBuf(op byte, node common.NodeID, pg common.PageID, mode Mode) []byt
 	return b
 }
 
+// relPage is one (page, held mode) element of a batched release.
+type relPage struct {
+	pg   common.PageID
+	mode Mode
+}
+
+// plockReleaseNBuf encodes a batched release: header (op, node, count)
+// followed by count fixed-size elements, with room left for the epoch stamp.
+func plockReleaseNBuf(node common.NodeID, pages []relPage) []byte {
+	b := make([]byte, 5, 5+9*len(pages)+8)
+	b[0] = opPLockReleaseN
+	binary.LittleEndian.PutUint16(b[1:], uint16(node))
+	binary.LittleEndian.PutUint16(b[3:], uint16(len(pages)))
+	for _, p := range pages {
+		b = binary.LittleEndian.AppendUint64(b, uint64(p.pg))
+		b = append(b, byte(p.mode))
+	}
+	return b
+}
+
+// revokeItem is one page's negotiation element inside a batched revoke.
+type revokeItem struct {
+	pg       common.PageID
+	wantNode common.NodeID
+	wantMode Mode
+}
+
+func revokeNBuf(items []revokeItem) []byte {
+	b := make([]byte, 3, 3+11*len(items))
+	b[0] = opRevokeN
+	binary.LittleEndian.PutUint16(b[1:], uint16(len(items)))
+	for _, it := range items {
+		b = binary.LittleEndian.AppendUint64(b, uint64(it.pg))
+		b = binary.LittleEndian.AppendUint16(b, uint16(it.wantNode))
+		b = append(b, byte(it.wantMode))
+	}
+	return b
+}
+
+// plockStripes shards the server lock table. 16 stripes keeps the per-stripe
+// collision probability negligible at the bench's 8 nodes × 3 threads (≤24
+// concurrent requesters) while staying small enough that whole-table walks
+// (MarkDead, HeldBy) stay cheap.
+const plockStripes = 16
+
 // PLockServer is the PMFS-side PLock manager: one entry per page, FIFO
-// waiter queues, negotiation messages to lazy holders.
+// waiter queues, negotiation messages to lazy holders. The page table is
+// striped so unrelated pages never contend on one mutex.
 type PLockServer struct {
 	fabric rdma.Conn
 	retry  common.RetryPolicy
 	gate   common.EpochGate
 
-	mu      sync.Mutex
-	entries map[common.PageID]*plockEntry
-	dead    map[common.NodeID]bool
+	stripes [plockStripes]plockStripe
 
-	// Grants counts lock grants; Negotiations counts revoke messages sent
-	// (the message-overhead metric behind lazy release, §4.3.1).
+	// dead is read under every stripe's grant path, so it lives behind its
+	// own RWMutex. Lock order: stripe.mu, then deadMu (read side only);
+	// writers (MarkDead/ClearDead/dropNode) take deadMu alone.
+	deadMu sync.RWMutex
+	dead   map[common.NodeID]bool
+
+	// Grants counts lock grants; Negotiations counts revoke RPCs sent (a
+	// coalesced multi-page revoke counts once — it IS one message; the
+	// message-overhead metric behind lazy release, §4.3.1).
 	Grants       metrics.Counter
 	Negotiations metrics.Counter
+}
+
+type plockStripe struct {
+	mu      sync.Mutex
+	entries map[common.PageID]*plockEntry
 }
 
 type plockEntry struct {
@@ -62,13 +120,26 @@ type plockWaiter struct {
 
 func newPLockServer(ep *rdma.Endpoint, fabric *rdma.Fabric) *PLockServer {
 	s := &PLockServer{
-		fabric:  fabric.From(ep.Node()),
-		retry:   common.DefaultRetryPolicy(),
-		entries: make(map[common.PageID]*plockEntry),
-		dead:    make(map[common.NodeID]bool),
+		fabric: fabric.From(ep.Node()),
+		retry:  common.DefaultRetryPolicy(),
+		dead:   make(map[common.NodeID]bool),
+	}
+	for i := range s.stripes {
+		s.stripes[i].entries = make(map[common.PageID]*plockEntry)
 	}
 	ep.Serve(ServicePLock, s.handle)
 	return s
+}
+
+func (s *PLockServer) stripeOf(pg common.PageID) *plockStripe {
+	return &s.stripes[uint64(pg)%plockStripes]
+}
+
+func (s *PLockServer) isDead(node common.NodeID) bool {
+	s.deadMu.RLock()
+	d := s.dead[node]
+	s.deadMu.RUnlock()
+	return d
 }
 
 // SetRetryPolicy overrides the transient-fault retry policy for revoke
@@ -81,36 +152,61 @@ func (s *PLockServer) SetRetryPolicy(p common.RetryPolicy) { s.retry = p }
 func (s *PLockServer) SetEpochGate(g common.EpochGate) { s.gate = g }
 
 func (s *PLockServer) handle(req []byte) ([]byte, error) {
-	if len(req) < 12 {
+	if len(req) < 1 {
 		return nil, common.ErrShortBuffer
 	}
-	node := common.NodeID(binary.LittleEndian.Uint16(req[1:]))
-	pg := common.PageID(binary.LittleEndian.Uint64(req[3:]))
-	mode := Mode(req[11])
-	if s.gate != nil {
-		if err := s.gate(node, common.TrailingEpoch(req, 12)); err != nil {
-			return nil, err
-		}
-	}
 	switch req[0] {
-	case opPLockAcquire:
-		return nil, s.acquire(node, pg, mode)
-	case opPLockRelease:
+	case opPLockAcquire, opPLockRelease:
+		if len(req) < 12 {
+			return nil, common.ErrShortBuffer
+		}
+		node := common.NodeID(binary.LittleEndian.Uint16(req[1:]))
+		pg := common.PageID(binary.LittleEndian.Uint64(req[3:]))
+		mode := Mode(req[11])
+		if s.gate != nil {
+			if err := s.gate(node, common.TrailingEpoch(req, 12)); err != nil {
+				return nil, err
+			}
+		}
+		if req[0] == opPLockAcquire {
+			return nil, s.acquire(node, pg, mode)
+		}
 		s.release(node, pg)
+		return nil, nil
+	case opPLockReleaseN:
+		if len(req) < 5 {
+			return nil, common.ErrShortBuffer
+		}
+		node := common.NodeID(binary.LittleEndian.Uint16(req[1:]))
+		count := int(binary.LittleEndian.Uint16(req[3:]))
+		base := 5 + 9*count
+		if len(req) < base {
+			return nil, common.ErrShortBuffer
+		}
+		if s.gate != nil {
+			if err := s.gate(node, common.TrailingEpoch(req, base)); err != nil {
+				return nil, err
+			}
+		}
+		pages := make([]common.PageID, count)
+		for i := 0; i < count; i++ {
+			pages[i] = common.PageID(binary.LittleEndian.Uint64(req[5+9*i:]))
+		}
+		s.releaseN(node, pages)
 		return nil, nil
 	default:
 		return nil, fmt.Errorf("plock: unknown op %d", req[0])
 	}
 }
 
-func (s *PLockServer) entry(pg common.PageID) *plockEntry {
-	e := s.entries[pg]
+func (st *plockStripe) entry(pg common.PageID) *plockEntry {
+	e := st.entries[pg]
 	if e == nil {
 		e = &plockEntry{
 			holders: make(map[common.NodeID]Mode),
 			revoked: make(map[common.NodeID]bool),
 		}
-		s.entries[pg] = e
+		st.entries[pg] = e
 	}
 	return e
 }
@@ -121,29 +217,30 @@ func (s *PLockServer) entry(pg common.PageID) *plockEntry {
 // (retryable): blocking would let live transactions hold-and-wait against a
 // fence only that node's recovery can lift.
 func (s *PLockServer) acquire(node common.NodeID, pg common.PageID, mode Mode) error {
-	s.mu.Lock()
-	e := s.entry(pg)
+	st := s.stripeOf(pg)
+	st.mu.Lock()
+	e := st.entry(pg)
 	if held, ok := e.holders[node]; ok && held.Covers(mode) {
 		// Idempotent re-grant (e.g. the release raced a new acquire,
 		// or a recovering incarnation reclaiming its fenced lock).
-		s.mu.Unlock()
+		st.mu.Unlock()
 		return nil
 	}
 	for holder, held := range e.holders {
 		// A fence only ever blocks OTHER nodes: the crashed holder's own
 		// recovering incarnation reclaims through the idempotent path
 		// above, and two dead nodes must not wait on each other.
-		if holder != node && s.dead[holder] && !compatible(held, mode) {
-			s.mu.Unlock()
+		if holder != node && s.isDead(holder) && !compatible(held, mode) {
+			st.mu.Unlock()
 			return fmt.Errorf("plock: page %d held by crashed node %d: %w",
 				pg, holder, common.ErrFenced)
 		}
 	}
 	w := &plockWaiter{node: node, mode: mode, granted: make(chan struct{})}
 	e.queue = append(e.queue, w)
-	revokees := s.tryGrantLocked(pg, e)
-	s.mu.Unlock()
-	s.sendRevokes(pg, revokees)
+	revokees := s.tryGrantLocked(e)
+	st.mu.Unlock()
+	s.sendRevokes([]pendingRevokes{{pg, revokees}})
 
 	select {
 	case <-w.granted:
@@ -151,16 +248,16 @@ func (s *PLockServer) acquire(node common.NodeID, pg common.PageID, mode Mode) e
 	case <-time.After(plockWaitBackstop):
 		// Remove the waiter if still queued; if the grant raced the
 		// timeout, accept it.
-		s.mu.Lock()
+		st.mu.Lock()
 		for i, q := range e.queue {
 			if q == w {
 				e.queue = append(e.queue[:i], e.queue[i+1:]...)
-				s.mu.Unlock()
+				st.mu.Unlock()
 				return fmt.Errorf("plock: page %d mode %v for node %d: %w",
 					pg, mode, node, common.ErrLockTimeout)
 			}
 		}
-		s.mu.Unlock()
+		st.mu.Unlock()
 		<-w.granted
 		return w.err
 	}
@@ -171,30 +268,33 @@ func (s *PLockServer) acquire(node common.NodeID, pg common.PageID, mode Mode) e
 // it are failed so they release what they hold and retry.
 func (s *PLockServer) MarkDead(node common.NodeID) {
 	n := common.NodeID(node)
-	var pending []pendingRevokes
-	s.mu.Lock()
+	s.deadMu.Lock()
 	s.dead[n] = true
-	for pg, e := range s.entries {
-		if _, holds := e.holders[n]; !holds {
-			continue
-		}
-		kept := e.queue[:0]
-		for _, w := range e.queue {
-			if w.node != n && !compatible(e.holders[n], w.mode) {
-				w.err = fmt.Errorf("plock: page %d held by crashed node %d: %w",
-					pg, n, common.ErrFenced)
-				close(w.granted)
+	s.deadMu.Unlock()
+	var pending []pendingRevokes
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		for pg, e := range st.entries {
+			if _, holds := e.holders[n]; !holds {
 				continue
 			}
-			kept = append(kept, w)
+			kept := e.queue[:0]
+			for _, w := range e.queue {
+				if w.node != n && !compatible(e.holders[n], w.mode) {
+					w.err = fmt.Errorf("plock: page %d held by crashed node %d: %w",
+						pg, n, common.ErrFenced)
+					close(w.granted)
+					continue
+				}
+				kept = append(kept, w)
+			}
+			e.queue = kept
+			pending = append(pending, pendingRevokes{pg, s.tryGrantLocked(e)})
 		}
-		e.queue = kept
-		pending = append(pending, pendingRevokes{pg, s.tryGrantLocked(pg, e)})
+		st.mu.Unlock()
 	}
-	s.mu.Unlock()
-	for _, p := range pending {
-		s.sendRevokes(p.pg, p.targets)
-	}
+	s.sendRevokes(pending)
 }
 
 // pendingRevokes pairs a page with its queued negotiation messages.
@@ -205,9 +305,9 @@ type pendingRevokes struct {
 
 // ClearDead lifts the dead mark after the node's recovery completed.
 func (s *PLockServer) ClearDead(node common.NodeID) {
-	s.mu.Lock()
+	s.deadMu.Lock()
 	delete(s.dead, common.NodeID(node))
-	s.mu.Unlock()
+	s.deadMu.Unlock()
 }
 
 // plockWaitBackstop bounds server-side waits. It is intentionally generous:
@@ -223,17 +323,36 @@ type revokeTarget struct {
 	wantMode Mode
 }
 
-// sendRevokes delivers negotiation messages outside the table lock (the
-// holder's revoke handler may synchronously call back with a release).
+// sendRevokes delivers negotiation messages outside the table locks (the
+// holder's revoke handler may synchronously call back with a release). All
+// pages bound for the same holder coalesce into ONE opRevokeN RPC — the
+// doorbell-batching analogue for negotiation traffic, which matters when a
+// release or crash cleanup unblocks waiters on many pages at once.
 // Revoke delivery is retried on transient fabric faults: a lost revoke
 // would strand the waiter until the lazy holder releases on its own, and
 // re-delivery is idempotent (it only sets the holder's revokePending flag).
-func (s *PLockServer) sendRevokes(pg common.PageID, targets []revokeTarget) {
-	for _, t := range targets {
+func (s *PLockServer) sendRevokes(pending []pendingRevokes) {
+	var byHolder map[common.NodeID][]revokeItem
+	for _, p := range pending {
+		for _, t := range p.targets {
+			if byHolder == nil {
+				byHolder = make(map[common.NodeID][]revokeItem)
+			}
+			byHolder[t.holder] = append(byHolder[t.holder],
+				revokeItem{pg: p.pg, wantNode: t.wantNode, wantMode: t.wantMode})
+		}
+	}
+	for holder, items := range byHolder {
 		s.Negotiations.Inc()
-		req := plockReqBuf(opRevoke, t.wantNode, pg, t.wantMode)
+		var req []byte
+		if len(items) == 1 {
+			req = plockReqBuf(opRevoke, items[0].wantNode, items[0].pg, items[0].wantMode)
+		} else {
+			req = revokeNBuf(items)
+		}
+		holder := holder
 		_ = common.Retry(s.retry, func() error {
-			_, err := s.fabric.Call(t.holder, ServiceRevoke, req)
+			_, err := s.fabric.Call(holder, ServiceRevoke, req)
 			return err
 		})
 	}
@@ -244,7 +363,7 @@ func (s *PLockServer) sendRevokes(pg common.PageID, targets []revokeTarget) {
 func (s *PLockServer) collectRevokeesLocked(e *plockEntry, head *plockWaiter) []revokeTarget {
 	var out []revokeTarget
 	for holder, held := range e.holders {
-		if holder == head.node || s.dead[holder] {
+		if holder == head.node || s.isDead(holder) {
 			continue // dead holders cannot respond; the fence handles them
 		}
 		if !compatible(held, head.mode) && !e.revoked[holder] {
@@ -261,8 +380,8 @@ func (s *PLockServer) collectRevokeesLocked(e *plockEntry, head *plockWaiter) []
 // messages the caller must send after unlocking — computed HERE, on every
 // state change, because a waiter that becomes head only after earlier
 // grants would otherwise never trigger negotiation and the queue would
-// wedge behind a lazy holder.
-func (s *PLockServer) tryGrantLocked(pg common.PageID, e *plockEntry) []revokeTarget {
+// wedge behind a lazy holder. Callers hold the entry's stripe mutex.
+func (s *PLockServer) tryGrantLocked(e *plockEntry) []revokeTarget {
 	for len(e.queue) > 0 {
 		w := e.queue[0]
 		ok := true
@@ -297,62 +416,94 @@ func (s *PLockServer) tryGrantLocked(pg common.PageID, e *plockEntry) []revokeTa
 
 // release removes node's hold on pg and grants any unblocked waiters.
 func (s *PLockServer) release(node common.NodeID, pg common.PageID) {
-	s.mu.Lock()
-	e := s.entries[pg]
+	st := s.stripeOf(pg)
+	st.mu.Lock()
+	revokees := s.releaseOneLocked(st, node, pg)
+	st.mu.Unlock()
+	s.sendRevokes([]pendingRevokes{{pg, revokees}})
+}
+
+// releaseOneLocked is the stripe-locked body of release.
+func (s *PLockServer) releaseOneLocked(st *plockStripe, node common.NodeID, pg common.PageID) []revokeTarget {
+	e := st.entries[pg]
 	if e == nil {
-		s.mu.Unlock()
-		return
+		return nil
 	}
 	delete(e.holders, node)
 	delete(e.revoked, node)
-	revokees := s.tryGrantLocked(pg, e)
+	revokees := s.tryGrantLocked(e)
 	if len(e.holders) == 0 && len(e.queue) == 0 {
-		delete(s.entries, pg)
+		delete(st.entries, pg)
 	}
-	s.mu.Unlock()
-	s.sendRevokes(pg, revokees)
+	return revokees
+}
+
+// releaseN removes node's hold on every page in one table pass, grouping
+// pages by stripe so each stripe mutex is taken once, then sends all
+// resulting negotiation messages coalesced per holder.
+func (s *PLockServer) releaseN(node common.NodeID, pages []common.PageID) {
+	byStripe := make(map[*plockStripe][]common.PageID)
+	for _, pg := range pages {
+		st := s.stripeOf(pg)
+		byStripe[st] = append(byStripe[st], pg)
+	}
+	var pending []pendingRevokes
+	for st, pgs := range byStripe {
+		st.mu.Lock()
+		for _, pg := range pgs {
+			pending = append(pending, pendingRevokes{pg, s.releaseOneLocked(st, node, pg)})
+		}
+		st.mu.Unlock()
+	}
+	s.sendRevokes(pending)
 }
 
 // dropNode force-releases everything node holds or awaits (crash cleanup).
 func (s *PLockServer) dropNode(node uint16) {
 	n := common.NodeID(node)
-	var pending []pendingRevokes
-	s.mu.Lock()
+	s.deadMu.Lock()
 	delete(s.dead, n)
-	for pg, e := range s.entries {
-		delete(e.holders, n)
-		delete(e.revoked, n)
-		filtered := e.queue[:0]
-		for _, w := range e.queue {
-			if w.node == n {
-				close(w.granted) // unblock; the caller's fabric call fails anyway
-				continue
+	s.deadMu.Unlock()
+	var pending []pendingRevokes
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		for pg, e := range st.entries {
+			delete(e.holders, n)
+			delete(e.revoked, n)
+			filtered := e.queue[:0]
+			for _, w := range e.queue {
+				if w.node == n {
+					close(w.granted) // unblock; the caller's fabric call fails anyway
+					continue
+				}
+				filtered = append(filtered, w)
 			}
-			filtered = append(filtered, w)
+			e.queue = filtered
+			pending = append(pending, pendingRevokes{pg, s.tryGrantLocked(e)})
+			if len(e.holders) == 0 && len(e.queue) == 0 {
+				delete(st.entries, pg)
+			}
 		}
-		e.queue = filtered
-		pending = append(pending, pendingRevokes{pg, s.tryGrantLocked(pg, e)})
-		if len(e.holders) == 0 && len(e.queue) == 0 {
-			delete(s.entries, pg)
-		}
+		st.mu.Unlock()
 	}
-	s.mu.Unlock()
-	for _, p := range pending {
-		s.sendRevokes(p.pg, p.targets)
-	}
+	s.sendRevokes(pending)
 }
 
 // DebugDump renders the lock table state (diagnostics).
 func (s *PLockServer) DebugDump() string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	out := ""
-	for pg, e := range s.entries {
-		out += fmt.Sprintf("page %d: holders=%v revoked=%v queue=[", pg, e.holders, e.revoked)
-		for _, w := range e.queue {
-			out += fmt.Sprintf("{n%d %v} ", w.node, w.mode)
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		for pg, e := range st.entries {
+			out += fmt.Sprintf("page %d: holders=%v revoked=%v queue=[", pg, e.holders, e.revoked)
+			for _, w := range e.queue {
+				out += fmt.Sprintf("{n%d %v} ", w.node, w.mode)
+			}
+			out += "]\n"
 		}
-		out += "]\n"
+		st.mu.Unlock()
 	}
 	return out
 }
@@ -362,26 +513,32 @@ func (s *PLockServer) DebugDump() string {
 // exist solely in the dead node's log (flush-before-release guarantees
 // everything else was pushed before its lock left the node).
 func (s *PLockServer) HeldBy(node common.NodeID) map[common.PageID]Mode {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	out := make(map[common.PageID]Mode)
-	for pg, e := range s.entries {
-		if m, ok := e.holders[node]; ok {
-			out[pg] = m
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		for pg, e := range st.entries {
+			if m, ok := e.holders[node]; ok {
+				out[pg] = m
+			}
 		}
+		st.mu.Unlock()
 	}
 	return out
 }
 
 // HolderCount returns the number of pages with at least one holder (tests).
 func (s *PLockServer) HolderCount() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	n := 0
-	for _, e := range s.entries {
-		if len(e.holders) > 0 {
-			n++
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		for _, e := range st.entries {
+			if len(e.holders) > 0 {
+				n++
+			}
 		}
+		st.mu.Unlock()
 	}
 	return n
 }
@@ -391,8 +548,13 @@ func (s *PLockServer) HolderCount() int {
 // RevokeFunc is called by the PLock client when PMFS asks the node to give a
 // page back. The engine uses it to flush the dirty page to the DBP (forcing
 // logs first) before the lock leaves the node (§4.2/§4.3.1). It runs before
-// the release RPC is sent.
-type RevokeFunc func(pg common.PageID, held Mode)
+// the release RPC is sent. A non-nil error vetoes the release of that page:
+// the hold is retained server-side, because handing the lock to a peer whose
+// DBP image is missing the flush would fork the page's lineage. The one
+// non-transient source of flush failure is this node crashing mid-revoke —
+// retaining the hold is then exactly what keeps the page fenced until the
+// restarted incarnation replays it.
+type RevokeFunc func(pg common.PageID, held Mode) error
 
 // PLockClient is a node's PLock manager: it tracks locks the node holds,
 // reference counts from local threads, lazy retention, and pending revokes.
@@ -458,30 +620,52 @@ func (c *PLockClient) SetRetryPolicy(p common.RetryPolicy) { c.retry = p }
 func (c *PLockClient) SetEpochStamp(s *common.EpochStamp) { c.stamp = s }
 
 func (c *PLockClient) handleRevoke(req []byte) ([]byte, error) {
-	if len(req) < 12 {
+	if len(req) < 1 {
 		return nil, common.ErrShortBuffer
 	}
-	pg := common.PageID(binary.LittleEndian.Uint64(req[3:]))
+	var pages []common.PageID
+	switch req[0] {
+	case opRevoke:
+		if len(req) < 12 {
+			return nil, common.ErrShortBuffer
+		}
+		pages = []common.PageID{common.PageID(binary.LittleEndian.Uint64(req[3:]))}
+	case opRevokeN:
+		if len(req) < 3 {
+			return nil, common.ErrShortBuffer
+		}
+		count := int(binary.LittleEndian.Uint16(req[1:]))
+		if len(req) < 3+11*count {
+			return nil, common.ErrShortBuffer
+		}
+		pages = make([]common.PageID, count)
+		for i := 0; i < count; i++ {
+			pages[i] = common.PageID(binary.LittleEndian.Uint64(req[3+11*i:]))
+		}
+	default:
+		return nil, fmt.Errorf("plock: unknown revoke op %d", req[0])
+	}
+	// Mark every page's revoke pending under ONE mutex hold, collecting the
+	// idle ones we must hand back ourselves; busy pages (refs>0 or a local
+	// thread mid-acquisition) hand over at their next unref.
 	c.mu.Lock()
-	l := c.locks[pg]
-	if l == nil {
-		// Already released (race with our own release): nothing to do.
-		c.mu.Unlock()
-		return nil, nil
+	var idle []relPage
+	for _, pg := range pages {
+		l := c.locks[pg]
+		if l == nil {
+			// Already released (race with our own release): nothing to do.
+			continue
+		}
+		l.revokePending = true
+		if l.refs > 0 || l.acquiring {
+			continue
+		}
+		idle = append(idle, relPage{pg, l.mode})
+		delete(c.locks, pg)
+		c.releasing[pg] = true
 	}
-	l.revokePending = true
-	if l.refs > 0 || l.acquiring {
-		// Busy, or a local thread is mid-acquisition (the server may
-		// have just granted it): the next unref (or the acquiring
-		// thread's release) performs the handover.
-		c.mu.Unlock()
-		return nil, nil
-	}
-	mode := l.mode
-	delete(c.locks, pg)
-	c.releasing[pg] = true
 	c.mu.Unlock()
-	c.releaseToServer(pg, mode)
+	c.releaseToServerN(idle)
 	return nil, nil
 }
 
@@ -613,60 +797,101 @@ func (c *PLockClient) Release(pg common.PageID) {
 	c.releaseToServer(pg, mode)
 }
 
-// releaseToServer runs the engine flush hook and returns the lock to PMFS.
-// Callers must have removed the page's map entry and set releasing[pg]
-// under c.mu before calling, so no fresh acquire can overtake the release.
+// releaseToServer runs the engine flush hook and returns one lock to PMFS.
 func (c *PLockClient) releaseToServer(pg common.PageID, mode Mode) {
+	c.releaseToServerN([]relPage{{pg, mode}})
+}
+
+// releaseToServerN runs the engine flush hook for every page, then returns
+// the whole set to PMFS in ONE release RPC. Callers must have removed each
+// page's map entry and set releasing[pg] under c.mu before calling, so no
+// fresh acquire can overtake the release. The flush hooks all complete
+// BEFORE the RPC is sent: the server never learns of a release whose page
+// image is still mid-flush, which is what makes batching safe against a
+// concurrent re-grant to another node.
+func (c *PLockClient) releaseToServerN(pages []relPage) {
+	if len(pages) == 0 {
+		return
+	}
 	if c.closed.Load() {
 		// A crashed node's zombie goroutine must not mutate server
 		// state that now belongs to the node's restarted incarnation.
 		c.mu.Lock()
-		delete(c.releasing, pg)
+		for _, p := range pages {
+			delete(c.releasing, p.pg)
+		}
 		c.relCond.Broadcast()
 		c.mu.Unlock()
 		return
 	}
 	if c.onRevoke != nil {
-		c.onRevoke(pg, mode)
+		kept := pages[:0]
+		var vetoed []relPage
+		for _, p := range pages {
+			if err := c.onRevoke(p.pg, p.mode); err != nil {
+				// Flush failed: the page image never reached the DBP,
+				// so the lock must NOT leave this node. Dropping the
+				// page from the release batch retains the server-side
+				// hold; if the failure is a crash of this node, the
+				// retained hold is what MarkDead fences until the
+				// restarted incarnation replays the page.
+				vetoed = append(vetoed, p)
+				continue
+			}
+			kept = append(kept, p)
+		}
+		pages = kept
+		if len(vetoed) > 0 {
+			c.mu.Lock()
+			for _, p := range vetoed {
+				delete(c.releasing, p.pg)
+			}
+			c.relCond.Broadcast()
+			c.mu.Unlock()
+		}
+		if len(pages) == 0 {
+			return
+		}
 	}
-	// A dropped release would leave PMFS believing we still hold the lock,
-	// stalling every waiter until the backstop: retry until delivered.
+	// A dropped release would leave PMFS believing we still hold the locks,
+	// stalling every waiter until the backstop: retry until delivered. The
+	// batch is idempotent (releasing an un-held page is a no-op), so a
+	// duplicate delivery after a lost response is harmless.
+	var req []byte
+	if len(pages) == 1 {
+		req = plockReqBuf(opPLockRelease, c.node, pages[0].pg, pages[0].mode)
+	} else {
+		req = plockReleaseNBuf(c.node, pages)
+	}
 	_ = common.Retry(c.retry, func() error {
-		_, err := c.fabric.Call(common.PMFSNode, ServicePLock,
-			c.stamp.Stamp(plockReqBuf(opPLockRelease, c.node, pg, mode)))
+		_, err := c.fabric.Call(common.PMFSNode, ServicePLock, c.stamp.Stamp(req))
 		return err
 	})
 	c.mu.Lock()
-	delete(c.releasing, pg)
-	c.relCond.Broadcast()
-	if l := c.locks[pg]; l != nil && l.cond != nil {
-		l.cond.Broadcast()
+	for _, p := range pages {
+		delete(c.releasing, p.pg)
+		if l := c.locks[p.pg]; l != nil && l.cond != nil {
+			l.cond.Broadcast()
+		}
 	}
+	c.relCond.Broadcast()
 	c.mu.Unlock()
 }
 
 // ReleaseAll force-releases every retained lock (shutdown / ablation /
-// cache-drop). Locks with live references are skipped.
+// cache-drop) in one batched RPC. Locks with live references are skipped.
 func (c *PLockClient) ReleaseAll() {
 	c.mu.Lock()
-	var idle []struct {
-		pg   common.PageID
-		mode Mode
-	}
+	var idle []relPage
 	for pg, l := range c.locks {
 		if l.refs == 0 {
-			idle = append(idle, struct {
-				pg   common.PageID
-				mode Mode
-			}{pg, l.mode})
+			idle = append(idle, relPage{pg, l.mode})
 			delete(c.locks, pg)
 			c.releasing[pg] = true
 		}
 	}
 	c.mu.Unlock()
-	for _, e := range idle {
-		c.releaseToServer(e.pg, e.mode)
-	}
+	c.releaseToServerN(idle)
 }
 
 // Close fences the client after a node crash: no further acquisitions or
@@ -681,4 +906,14 @@ func (c *PLockClient) HeldMode(pg common.PageID) Mode {
 		return l.mode
 	}
 	return 0
+}
+
+// RevokePending reports whether PMFS has asked for pg back (a peer is
+// waiting on it). The engine uses it to decide which committed pages are
+// worth pushing to the DBP eagerly.
+func (c *PLockClient) RevokePending(pg common.PageID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	l := c.locks[pg]
+	return l != nil && l.revokePending
 }

@@ -273,7 +273,15 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 // page exceeds FrameSize, which indicates a missed split or runaway version
 // chain — a bug in the layers above.
 func (p *Page) Marshal() ([]byte, error) {
-	b := make([]byte, 4, p.SizeEstimate()) // leading 4 bytes reserved for crc
+	return p.AppendTo(make([]byte, 0, 4+p.SizeEstimate()))
+}
+
+// AppendTo serializes the page (checksummed) onto b and returns the
+// extended slice; the image occupies b[len(b):] of the input. Callers with
+// a reusable buffer avoid Marshal's per-call allocation.
+func (p *Page) AppendTo(b []byte) ([]byte, error) {
+	start := len(b)
+	b = append(b, 0, 0, 0, 0) // reserved for crc
 	b = binary.LittleEndian.AppendUint64(b, uint64(p.ID))
 	b = binary.LittleEndian.AppendUint32(b, uint32(p.Space))
 	b = append(b, byte(p.Type))
@@ -299,11 +307,11 @@ func (p *Page) Marshal() ([]byte, error) {
 			b = append(b, v.Value...)
 		}
 	}
-	if len(b) > FrameSize {
+	if len(b)-start > FrameSize {
 		return nil, fmt.Errorf("page %d: marshaled size %d exceeds frame size %d",
-			p.ID, len(b), FrameSize)
+			p.ID, len(b)-start, FrameSize)
 	}
-	binary.LittleEndian.PutUint32(b, crc32.Checksum(b[4:], crcTable))
+	binary.LittleEndian.PutUint32(b[start:], crc32.Checksum(b[start+4:], crcTable))
 	return b, nil
 }
 

@@ -49,9 +49,13 @@ type Stats struct {
 	BytesWrite metrics.Counter
 }
 
-// Snapshot returns the current counter values.
-func (s *Stats) Snapshot() (reads, writes, atomics, rpcs int64) {
-	return s.Reads.Load(), s.Writes.Load(), s.Atomics.Load(), s.RPCs.Load()
+// Snapshot returns the current counter values. Vectored verbs (ReadV /
+// WriteV / CallBatch) count as ONE op in reads/writes/rpcs — the doorbell is
+// the unit the op-budget arguments are made in — while the byte counters
+// accumulate every segment.
+func (s *Stats) Snapshot() (reads, writes, atomics, rpcs, bytesRead, bytesWrite int64) {
+	return s.Reads.Load(), s.Writes.Load(), s.Atomics.Load(), s.RPCs.Load(),
+		s.BytesRead.Load(), s.BytesWrite.Load()
 }
 
 // Reset zeroes all counters.

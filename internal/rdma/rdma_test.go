@@ -25,7 +25,7 @@ func TestOneSidedReadWrite(t *testing.T) {
 	if string(dst) != string(src) {
 		t.Fatalf("read back %q", dst)
 	}
-	r, w, _, _ := f.Stats().Snapshot()
+	r, w, _, _, _, _ := f.Stats().Snapshot()
 	if r != 1 || w != 1 {
 		t.Fatalf("stats reads=%d writes=%d", r, w)
 	}
@@ -162,7 +162,7 @@ func TestLocalAccess(t *testing.T) {
 		t.Fatalf("cas prev=%d err=%v", prev, err)
 	}
 	// Local access must not count as fabric traffic.
-	reads, writes, atomics, _ := f.Stats().Snapshot()
+	reads, writes, atomics, _, _, _ := f.Stats().Snapshot()
 	if reads+writes+atomics != 0 {
 		t.Fatalf("local ops counted as fabric traffic: %d/%d/%d", reads, writes, atomics)
 	}

@@ -1,0 +1,195 @@
+package rdma
+
+import (
+	"fmt"
+
+	"polardbmp/internal/common"
+)
+
+// Vectored ("doorbell-batched") verbs: one work-request list rung with a
+// single doorbell. A real RNIC charges one MMIO + one completion for the
+// whole chain, which is why coalescing one-sided ops is the standard lever
+// for RDMA-resident data structures; the simulation mirrors that by charging
+// ONE injected latency and consulting the fault injector ONCE per batch.
+//
+// Fault semantics: the injection decision is taken before any segment
+// executes, so a dropped/errored batch fails atomically — no segment lands,
+// exactly like a chain whose doorbell write never reached the NIC. Segment
+// bounds are also validated up front so a malformed element cannot leave a
+// partially-applied batch behind. Stats count one op per batch (the doorbell
+// is the op-budget unit) while byte counters accumulate every segment.
+
+// Seg is one scatter/gather element of a vectored one-sided verb: Buf is
+// read into (ReadV) or written from (WriteV) at Off within the region.
+type Seg struct {
+	Off int
+	Buf []byte
+}
+
+func segTotal(segs []Seg) int {
+	n := 0
+	for _, s := range segs {
+		n += len(s.Buf)
+	}
+	return n
+}
+
+// ReadV performs a doorbell-batched one-sided read of every segment from
+// (node, region). Empty batches are no-ops; a single-segment batch is
+// equivalent to Read.
+func (c Conn) ReadV(node common.NodeID, region string, segs []Seg) error {
+	return c.f.readV(c.src, node, region, segs)
+}
+
+// WriteV performs a doorbell-batched one-sided write of every segment to
+// (node, region).
+func (c Conn) WriteV(node common.NodeID, region string, segs []Seg) error {
+	return c.f.writeV(c.src, node, region, segs)
+}
+
+// CallBatch invokes service once per request in a single fabric round trip
+// (the RPC analogue of a doorbell chain). On success resp[i] answers
+// reqs[i]. A mid-batch handler error fails the whole call; callers must
+// treat the batch as one idempotent unit and retry it whole.
+func (c Conn) CallBatch(node common.NodeID, service string, reqs [][]byte) ([][]byte, error) {
+	return c.f.callBatch(c.src, node, service, reqs)
+}
+
+// ReadV is the unbound-source form of Conn.ReadV.
+func (f *Fabric) ReadV(node common.NodeID, region string, segs []Seg) error {
+	return f.readV(common.AnyNode, node, region, segs)
+}
+
+// WriteV is the unbound-source form of Conn.WriteV.
+func (f *Fabric) WriteV(node common.NodeID, region string, segs []Seg) error {
+	return f.writeV(common.AnyNode, node, region, segs)
+}
+
+// CallBatch is the unbound-source form of Conn.CallBatch.
+func (f *Fabric) CallBatch(node common.NodeID, service string, reqs [][]byte) ([][]byte, error) {
+	return f.callBatch(common.AnyNode, node, service, reqs)
+}
+
+func (f *Fabric) readV(src, node common.NodeID, region string, segs []Seg) error {
+	if len(segs) == 0 {
+		return nil
+	}
+	dup, _, err := f.inject(common.FaultRead, src, node, region, segTotal(segs))
+	if err != nil {
+		return err
+	}
+	ep, err := f.lookup(node)
+	if err != nil {
+		return err
+	}
+	r, err := ep.region(region)
+	if err != nil {
+		return err
+	}
+	// Validate the whole chain before executing any element: a bad segment
+	// fails the batch atomically.
+	for _, s := range segs {
+		if err := r.check(s.Off, len(s.Buf)); err != nil {
+			return err
+		}
+	}
+	f.latency.sleep(f.latency.OneSided)
+	f.stats.Reads.Inc()
+	f.stats.BytesRead.Add(int64(segTotal(segs)))
+	for pass := 0; pass < 2; pass++ {
+		for _, s := range segs {
+			if err := r.read(s.Off, s.Buf); err != nil {
+				return err
+			}
+		}
+		if !dup {
+			break
+		}
+		// Duplicate delivery: the NIC re-executes the idempotent chain.
+		f.stats.Reads.Inc()
+		dup = false
+	}
+	return nil
+}
+
+func (f *Fabric) writeV(src, node common.NodeID, region string, segs []Seg) error {
+	if len(segs) == 0 {
+		return nil
+	}
+	dup, _, err := f.inject(common.FaultWrite, src, node, region, segTotal(segs))
+	if err != nil {
+		return err
+	}
+	ep, err := f.lookup(node)
+	if err != nil {
+		return err
+	}
+	r, err := ep.region(region)
+	if err != nil {
+		return err
+	}
+	for _, s := range segs {
+		if err := r.check(s.Off, len(s.Buf)); err != nil {
+			return err
+		}
+	}
+	f.latency.sleep(f.latency.OneSided)
+	f.stats.Writes.Inc()
+	f.stats.BytesWrite.Add(int64(segTotal(segs)))
+	for pass := 0; pass < 2; pass++ {
+		for _, s := range segs {
+			if err := r.write(s.Off, s.Buf); err != nil {
+				return err
+			}
+		}
+		if !dup {
+			break
+		}
+		// Duplicate delivery: writing the same bytes twice is idempotent.
+		f.stats.Writes.Inc()
+		dup = false
+	}
+	return nil
+}
+
+func (f *Fabric) callBatch(src, node common.NodeID, service string, reqs [][]byte) ([][]byte, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	total := 0
+	for _, req := range reqs {
+		total += len(req)
+	}
+	_, dropReply, err := f.inject(common.FaultRPC, src, node, service, total)
+	if err != nil {
+		return nil, err
+	}
+	ep, err := f.lookup(node)
+	if err != nil {
+		return nil, err
+	}
+	ep.mu.RLock()
+	h := ep.services[service]
+	ep.mu.RUnlock()
+	if h == nil {
+		return nil, fmt.Errorf("rdma: node %d service %q: %w", node, service, common.ErrNoService)
+	}
+	f.latency.sleep(f.latency.RPC)
+	f.stats.RPCs.Inc()
+	resps := make([][]byte, len(reqs))
+	for i, req := range reqs {
+		resp, err := h(req)
+		if err != nil {
+			return nil, err
+		}
+		resps[i] = resp
+	}
+	if ep.isDown() {
+		return nil, fmt.Errorf("rdma: node %d died during call: %w", node, common.ErrNodeDown)
+	}
+	if dropReply {
+		return nil, fmt.Errorf("rdma: rpc batch %q @ node %d: response lost: %w",
+			service, node, common.ErrInjected)
+	}
+	return resps, nil
+}

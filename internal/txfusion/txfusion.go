@@ -13,6 +13,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"polardbmp/internal/common"
@@ -55,17 +56,34 @@ type Server struct {
 	gmv    *rdma.Region
 	gate   common.EpochGate
 
-	mu       sync.Mutex
-	minViews map[common.NodeID]common.CSN
+	// Min-view reports are striped by reporting node so that the 5ms
+	// report ticks of N nodes do not serialize on one mutex. The GMV fold
+	// walks every stripe; a fold racing a concurrent report may publish a
+	// momentarily lower minimum, which is conservative (recycle and purge
+	// treat the GMV as a lower bound).
+	stripes [minViewStripes]minViewStripe
+}
+
+type minViewStripe struct {
+	mu    sync.Mutex
+	views map[common.NodeID]common.CSN
+}
+
+const minViewStripes = 8
+
+func (s *Server) stripe(node common.NodeID) *minViewStripe {
+	return &s.stripes[int(node)%minViewStripes]
 }
 
 // NewServer attaches Transaction Fusion to the PMFS endpoint.
 func NewServer(ep *rdma.Endpoint, fabric *rdma.Fabric) *Server {
 	s := &Server{
-		fabric:   fabric,
-		tso:      ep.RegisterRegion(RegionTSO, 8),
-		gmv:      ep.RegisterRegion(RegionGMV, 8),
-		minViews: make(map[common.NodeID]common.CSN),
+		fabric: fabric,
+		tso:    ep.RegisterRegion(RegionTSO, 8),
+		gmv:    ep.RegisterRegion(RegionGMV, 8),
+	}
+	for i := range s.stripes {
+		s.stripes[i].views = make(map[common.NodeID]common.CSN)
 	}
 	// The TSO starts above CSNMin so no real commit shares the sentinel.
 	if err := s.tso.LocalWrite64(0, uint64(common.CSNMin)); err != nil {
@@ -109,9 +127,10 @@ func (s *Server) handle(req []byte) ([]byte, error) {
 			return nil, common.ErrShortBuffer
 		}
 		node := common.NodeID(binary.LittleEndian.Uint16(req[1:]))
-		s.mu.Lock()
-		delete(s.minViews, node)
-		s.mu.Unlock()
+		st := s.stripe(node)
+		st.mu.Lock()
+		delete(st.views, node)
+		st.mu.Unlock()
 		return nil, nil
 	default:
 		return nil, fmt.Errorf("txfusion: unknown op %d", req[0])
@@ -121,15 +140,20 @@ func (s *Server) handle(req []byte) ([]byte, error) {
 // report folds one node's minimum view in and publishes the new global
 // minimum to the GMV region, which nodes read with one-sided verbs.
 func (s *Server) report(node common.NodeID, csn common.CSN) common.CSN {
-	s.mu.Lock()
-	s.minViews[node] = csn
+	st := s.stripe(node)
+	st.mu.Lock()
+	st.views[node] = csn
+	st.mu.Unlock()
 	gmv := csn
-	for _, v := range s.minViews {
-		if v < gmv {
-			gmv = v
+	for i := range s.stripes {
+		s.stripes[i].mu.Lock()
+		for _, v := range s.stripes[i].views {
+			if v < gmv {
+				gmv = v
+			}
 		}
+		s.stripes[i].mu.Unlock()
 	}
-	s.mu.Unlock()
 	if err := s.gmv.LocalWrite64(0, uint64(gmv)); err != nil {
 		panic(err)
 	}
@@ -207,25 +231,18 @@ type Client struct {
 	cacheMu  sync.Mutex
 	ctsCache map[common.GTrxID]common.CSN
 
-	closed atomicBool
+	// TSO group-allocation combiner state (see NextCommitCSN).
+	tsoMu      sync.Mutex
+	tsoWaiters []chan tsoGrant
+	tsoLeader  bool
+
+	closed atomic.Bool
 }
 
-// atomicBool avoids importing sync/atomic twice under different names.
-type atomicBool struct {
-	mu sync.Mutex
-	v  bool
-}
-
-func (b *atomicBool) Load() bool {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.v
-}
-
-func (b *atomicBool) Store(v bool) {
-	b.mu.Lock()
-	b.v = v
-	b.mu.Unlock()
+// tsoGrant is one CSN handed out of a group fetch-add.
+type tsoGrant struct {
+	cts common.CSN
+	err error
 }
 
 // NewClient registers the node's TIT region and returns its client.
@@ -434,6 +451,92 @@ func (c *Client) GetTrxCTS(g common.GTrxID) (common.CSN, error) {
 	return s.cts, nil
 }
 
+// GetTrxCTSBatch resolves the effective CTS of many transactions at once:
+// cached entries are served locally, the rest are grouped by owning node and
+// fetched with ONE doorbell-batched ReadV per node — the node's recovery
+// fence word rides in the same batch as the slots, so the mismatch rule
+// needs no second fabric op. Transactions whose owner is unreachable are
+// omitted from the result; the caller applies its membership fate rule.
+//
+// Committed CTSes and slot-recycled (CSNMin) outcomes are cached exactly as
+// in GetTrxCTS. The CSNMin negative cache is sound because TIT recycling is
+// GMV-gated: a slot is reused only once its transaction's changes are
+// visible to every present and future view, so "recycled" can never later
+// resolve to anything a reader would treat differently.
+func (c *Client) GetTrxCTSBatch(gs []common.GTrxID) map[common.GTrxID]common.CSN {
+	out := make(map[common.GTrxID]common.CSN, len(gs))
+	var remote map[common.NodeID][]common.GTrxID
+	for _, g := range gs {
+		if _, done := out[g]; done {
+			continue
+		}
+		if c.cfg.CTSCacheSize > 0 {
+			c.cacheMu.Lock()
+			cts, ok := c.ctsCache[g]
+			c.cacheMu.Unlock()
+			if ok {
+				out[g] = cts
+				continue
+			}
+		}
+		if g.Node == c.node {
+			if cts, err := c.GetTrxCTS(g); err == nil {
+				out[g] = cts
+			}
+			continue
+		}
+		if remote == nil {
+			remote = make(map[common.NodeID][]common.GTrxID)
+		}
+		if !containsG(remote[g.Node], g) {
+			remote[g.Node] = append(remote[g.Node], g)
+		}
+	}
+	for node, ids := range remote {
+		var fence [8]byte
+		bufs := make([]byte, len(ids)*SlotSize)
+		segs := make([]rdma.Seg, 0, len(ids)+1)
+		segs = append(segs, rdma.Seg{Off: hdrFence, Buf: fence[:]})
+		for i, g := range ids {
+			segs = append(segs, rdma.Seg{Off: slotOff(g.Slot), Buf: bufs[i*SlotSize : (i+1)*SlotSize]})
+		}
+		// Idempotent one-sided read chain: retried whole on transient faults.
+		if err := common.Retry(c.retry, func() error {
+			return c.fabric.ReadV(node, RegionTIT, segs)
+		}); err != nil {
+			continue
+		}
+		fenced := binary.LittleEndian.Uint64(fence[:]) == 1
+		for i, g := range ids {
+			s := decodeSlot(bufs[i*SlotSize:])
+			switch {
+			case s.version != uint64(g.Version) || s.trx != g.Trx || !s.active:
+				if fenced {
+					out[g] = common.CSNMax
+				} else {
+					out[g] = common.CSNMin
+					c.cacheCTS(g, common.CSNMin)
+				}
+			case s.cts == common.CSNInit:
+				out[g] = common.CSNMax
+			default:
+				out[g] = s.cts
+				c.cacheCTS(g, s.cts)
+			}
+		}
+	}
+	return out
+}
+
+func containsG(gs []common.GTrxID, g common.GTrxID) bool {
+	for _, x := range gs {
+		if x == g {
+			return true
+		}
+	}
+	return false
+}
+
 // readFence reads the recovery fence of node's TIT region.
 func (c *Client) readFence(node common.NodeID) (bool, error) {
 	if node == c.node {
@@ -512,24 +615,64 @@ func (c *Client) SetRefFlag(g common.GTrxID) (bool, error) {
 
 // --- timestamps ---------------------------------------------------------
 
-// NextCommitCSN draws a fresh commit timestamp from the TSO with a single
-// one-sided fetch-add (§4.1: "usually fetched using a one-sided RDMA
-// operation ... completed within several microseconds").
+// NextCommitCSN draws a fresh commit timestamp from the TSO (§4.1: "usually
+// fetched using a one-sided RDMA operation ... completed within several
+// microseconds"), group-allocating under concurrency: committers on one node
+// that arrive while a fetch is in flight are combined into a single
+// fetch-add of k, and each takes a distinct CSN from the returned block.
+//
+// CSN-ordering argument: a block CSN is handed only to committers that
+// registered BEFORE the group's fetch-add executed, so for any snapshot read
+// that observed TSO=V before that fetch-add, every CSN in the block is > V —
+// the same anomaly window as k individual fetch-adds. (Pre-fetching blocks
+// for FUTURE committers would break this: a commit could then receive a CSN
+// at or below an already-open read view.)
 func (c *Client) NextCommitCSN() (common.CSN, error) {
-	// A dropped fetch-add never executed (injection fails ops before they
-	// run), so retrying cannot double-advance the oracle; and even if it
-	// did, timestamps only need to be unique and monotonic, not dense.
-	var prev uint64
-	err := common.Retry(c.retry, func() (e error) {
-		prev, e = c.fabric.FetchAdd64(common.PMFSNode, RegionTSO, 0, 1)
-		return e
-	})
-	if err != nil {
-		return 0, err
+	ch := make(chan tsoGrant, 1)
+	c.tsoMu.Lock()
+	c.tsoWaiters = append(c.tsoWaiters, ch)
+	if c.tsoLeader {
+		c.tsoMu.Unlock()
+		g := <-ch
+		return g.cts, g.err
 	}
-	cts := common.CSN(prev + 1)
-	c.noteTS(cts)
-	return cts, nil
+	c.tsoLeader = true
+	c.tsoMu.Unlock()
+
+	// Combiner leader: drain registration rounds until no committer is
+	// waiting. Each round issues ONE fetch-add of the round's group size.
+	for {
+		c.tsoMu.Lock()
+		batch := c.tsoWaiters
+		c.tsoWaiters = nil
+		if len(batch) == 0 {
+			c.tsoLeader = false
+			c.tsoMu.Unlock()
+			break
+		}
+		c.tsoMu.Unlock()
+		// A dropped fetch-add never executed (injection fails ops before
+		// they run), so retrying cannot double-advance the oracle; and even
+		// if it did, timestamps only need to be unique and monotonic, not
+		// dense.
+		var prev uint64
+		err := common.Retry(c.retry, func() (e error) {
+			prev, e = c.fabric.FetchAdd64(common.PMFSNode, RegionTSO, 0, uint64(len(batch)))
+			return e
+		})
+		if err == nil {
+			c.noteTS(common.CSN(prev + uint64(len(batch))))
+		}
+		for i, w := range batch {
+			if err != nil {
+				w <- tsoGrant{err: err}
+			} else {
+				w <- tsoGrant{cts: common.CSN(prev + 1 + uint64(i))}
+			}
+		}
+	}
+	g := <-ch
+	return g.cts, g.err
 }
 
 // CurrentReadCSN returns a snapshot timestamp for a new read view. Under the

@@ -324,14 +324,14 @@ func TestGetTrxCTSCache(t *testing.T) {
 	if _, err := c2.GetTrxCTS(g); err != nil {
 		t.Fatal(err)
 	}
-	before, _, _, _ := fabric.Stats().Snapshot()
+	before, _, _, _, _, _ := fabric.Stats().Snapshot()
 	for i := 0; i < 10; i++ {
 		cts, err := c2.GetTrxCTS(g)
 		if err != nil || cts != 33 {
 			t.Fatalf("cts=%d err=%v", cts, err)
 		}
 	}
-	after, _, _, _ := fabric.Stats().Snapshot()
+	after, _, _, _, _, _ := fabric.Stats().Snapshot()
 	if after != before {
 		t.Fatalf("cached lookups still issued %d fabric reads", after-before)
 	}
