@@ -2,9 +2,10 @@ GO ?= go
 
 RACE_PKGS = ./internal/core ./internal/lockfusion ./internal/bufferfusion \
             ./internal/txfusion ./internal/chaos ./internal/rdma \
-            ./internal/membership
+            ./internal/membership ./internal/trace
 
-.PHONY: all build test test-full race vet smoke check bench-snapshot
+.PHONY: all build test test-full race vet smoke check bench-snapshot \
+        alloc-budget trace-smoke
 
 all: check
 
@@ -35,6 +36,20 @@ smoke:
 	$(GO) run ./cmd/mpchaos -plan crashnode -seed 7 -ops 2000
 
 check: build vet test race smoke
+
+# Disabled-tracer alloc budget: the commit hot path's tracer hooks must stay
+# at 0 allocs/op when tracing is off (asserted by TestNilTracerZeroAllocs;
+# the bench run proves the harness still compiles and runs).
+alloc-budget:
+	$(GO) test ./internal/trace -run TestNilTracerZeroAllocs -count=1 -v
+	$(GO) test ./internal/trace -run '^$$' -bench BenchmarkTracerDisabledCommitHooks -benchtime=1x
+
+# Trace smoke: run one traced rw/50 cell through mpbench and validate the
+# emitted per-stage JSON against the schema (TraceRun self-validates and
+# exits non-zero on a malformed document).
+trace-smoke:
+	$(GO) run ./cmd/mpbench -trace trace_smoke.json -nodes 2 -quick
+	rm -f trace_smoke.json
 
 # Perf snapshot: the Figure-7 read-write sweep + verb micro benches at the
 # canonical settings (scale=25, 2s/config, 3 threads/node), written as JSON

@@ -9,6 +9,7 @@
 //	mpbench -fig 11 -nodes 1,2,4,8 -dur 3s -threads 4
 //	mpbench -fig ablations           # §4 design-choice ablations
 //	mpbench -fig micro               # TSO / TIT one-sided verb costs
+//	mpbench -trace trace.json        # rw/50 per-stage commit-path decomposition
 package main
 
 import (
@@ -33,6 +34,8 @@ func main() {
 	scale := flag.Int("scale", 0, "latency time-scale factor (default 25)")
 	nodes := flag.String("nodes", "", "comma-separated node counts (default 1,2,4,8)")
 	snapshot := flag.String("snapshot", "", "run the Fig7 read-write sweep + micro benches and write a JSON snapshot (with per-commit fabric op counts and the pre-batching baseline) to this path")
+	tracePath := flag.String("trace", "", "run the rw/50 cell with the commit-path tracer on and write the per-stage latency/fabric-op decomposition as JSON to this path (honors -nodes; default 8)")
+	slowTx := flag.Duration("slowtx", 0, "with -trace: also log transactions slower than this into the snapshot")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this path")
 	memprofile := flag.String("memprofile", "", "write an allocation profile of the run to this path")
 	flag.Parse()
@@ -79,6 +82,17 @@ func main() {
 			}
 			o.Nodes = append(o.Nodes, n)
 		}
+	}
+
+	if *tracePath != "" {
+		start := time.Now()
+		o.SlowTx = *slowTx
+		if _, err := figures.TraceRun(o, *tracePath); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("[trace done in %v]\n", time.Since(start).Round(time.Second))
+		return
 	}
 
 	if *snapshot != "" {

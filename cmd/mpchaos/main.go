@@ -87,7 +87,7 @@ func main() {
 	// ActCrashNode rules fail-stop their victim via KillNode — a silent
 	// kill, with none of CrashNode's declared-failure cleanup.
 	eng.SetCrashHandler(func(id common.NodeID) { _ = c.KillNode(id) })
-	epoch0 := c.Stats().Epoch
+	epoch0 := c.Stats().Membership.Epoch
 	eng.Install(c.Fabric(), c.Store())
 	start := time.Now()
 	// Watchdog: without retries, a single lost lock-service message can
@@ -115,7 +115,7 @@ func main() {
 	// run). The harness only waits — it never intervenes.
 	if crashVictims(plan) != nil {
 		deadline := time.Now().Add(15 * time.Second)
-		for c.Stats().Takeovers == 0 && time.Now().Before(deadline) {
+		for c.Stats().Membership.Takeovers == 0 && time.Now().Before(deadline) {
 			time.Sleep(10 * time.Millisecond)
 		}
 	}
@@ -340,15 +340,15 @@ func verify(c *core.Cluster, sp common.SpaceID, nodes int, res *result, plan cha
 	// the lease table must show a fenced epoch bump and a finished takeover.
 	if victims != nil {
 		st := c.Stats()
-		if st.Takeovers < int64(len(victims)) {
+		if st.Membership.Takeovers < int64(len(victims)) {
 			fail("survivors finished %d takeovers, want %d (failure detection never completed)",
-				st.Takeovers, len(victims))
+				st.Membership.Takeovers, len(victims))
 		}
-		if st.Epoch <= epoch0 {
-			fail("cluster epoch %d never advanced past pre-crash epoch %d", st.Epoch, epoch0)
+		if st.Membership.Epoch <= epoch0 {
+			fail("cluster epoch %d never advanced past pre-crash epoch %d", st.Membership.Epoch, epoch0)
 		}
 		fmt.Printf("self-healing: %d takeover(s) at epoch %d (mean %v), %d lease renewals, 0 harness CrashNode calls\n",
-			st.Takeovers, st.Epoch, st.TakeoverMean.Round(time.Microsecond), st.LeaseRenewals)
+			st.Membership.Takeovers, st.Membership.Epoch, st.Membership.TakeoverMean.Round(time.Microsecond), st.Membership.LeaseRenewals)
 	}
 
 	// Invariants 1-3: committed rows durable and identical from every

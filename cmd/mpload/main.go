@@ -83,6 +83,6 @@ func main() {
 
 	s := db.Stats()
 	fmt.Printf("stats: commits=%d aborts=%d | fabric reads=%d writes=%d atomics=%d rpcs=%d | storage page-reads=%d log-syncs=%d | DBP pages=%d | plock negotiations=%d rlock waits=%d\n",
-		s.Commits, s.Aborts, s.FabricReads, s.FabricWrites, s.FabricAtomics, s.FabricRPCs,
-		s.StoragePageReads, s.StorageLogSyncs, s.DBPResident, s.PLockNegotiate, s.RLockWaits)
+		s.Commits, s.Aborts, s.Fabric.Reads, s.Fabric.Writes, s.Fabric.Atomics, s.Fabric.RPCs,
+		s.Storage.PageReads, s.Storage.LogSyncs, s.DBPResident, s.Locks.PLockNegotiations, s.Locks.RLockWaits)
 }

@@ -14,12 +14,14 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"polardbmp"
 )
@@ -27,9 +29,18 @@ import (
 func main() {
 	nodes := flag.Int("nodes", 2, "primary nodes")
 	data := flag.String("data", "", "data directory (empty = in-memory)")
+	traced := flag.Bool("trace", false, "enable the commit-path span tracer")
+	slowTx := flag.Duration("slowtx", 0, "log transactions slower than this (implies -trace)")
 	flag.Parse()
 
-	db, err := polardbmp.Open(polardbmp.Options{Nodes: *nodes, DataDir: *data})
+	var extra []polardbmp.Option
+	if *traced {
+		extra = append(extra, polardbmp.WithTracer())
+	}
+	if *slowTx > 0 {
+		extra = append(extra, polardbmp.WithSlowTxThreshold(*slowTx))
+	}
+	db, err := polardbmp.Open(polardbmp.Options{Nodes: *nodes, DataDir: *data}, extra...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -98,7 +109,8 @@ func (s *shell) exec(line string) error {
   addnode                  scale out by one primary
   crash <n> | restart <n>  fail-stop / recover a node
   checkpoint               flush buffers + truncate logs (quiesced)
-  stats                    engine counters
+  stats                    engine counters (+ per-stage trace breakdown with -trace)
+  stats json               full ClusterStats snapshot as JSON
   exit
 `)
 		return nil
@@ -162,13 +174,40 @@ func (s *shell) exec(line string) error {
 		return nil
 	case "stats":
 		st := s.db.Stats()
+		if len(args) == 1 && args[0] == "json" {
+			out, err := json.MarshalIndent(st, "", "  ")
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(out))
+			return nil
+		}
 		fmt.Printf("commits=%d aborts=%d deadlocks=%d\n", st.Commits, st.Aborts, st.Deadlocks)
 		fmt.Printf("fabric: reads=%d writes=%d atomics=%d rpcs=%d\n",
-			st.FabricReads, st.FabricWrites, st.FabricAtomics, st.FabricRPCs)
+			st.Fabric.Reads, st.Fabric.Writes, st.Fabric.Atomics, st.Fabric.RPCs)
 		fmt.Printf("storage: page-reads=%d log-syncs=%d | DBP pages=%d\n",
-			st.StoragePageReads, st.StorageLogSyncs, st.DBPResident)
+			st.Storage.PageReads, st.Storage.LogSyncs, st.DBPResident)
 		fmt.Printf("locks: plock-negotiations=%d rlock-waits=%d rlock-deadlocks=%d\n",
-			st.PLockNegotiate, st.RLockWaits, st.RLockDeadlocks)
+			st.Locks.PLockNegotiations, st.Locks.RLockWaits, st.Locks.RLockDeadlocks)
+		if len(st.Stages) > 0 {
+			fmt.Printf("%-14s %10s %12s %12s %12s %8s\n",
+				"stage", "count", "mean", "p95", "p99", "rpcs")
+			for _, sg := range st.Stages {
+				fmt.Printf("%-14s %10d %12v %12v %12v %8d\n",
+					sg.Stage, sg.Count,
+					time.Duration(sg.Mean).Round(time.Nanosecond),
+					sg.P95.Round(time.Nanosecond),
+					sg.P99.Round(time.Nanosecond),
+					sg.Ops.RPCs)
+			}
+		}
+		if len(st.SlowTxs) > 0 {
+			fmt.Printf("slow txs (%d):\n", len(st.SlowTxs))
+			for _, tx := range st.SlowTxs {
+				fmt.Printf("  %s node=%d total=%v spans=%d\n",
+					tx.GTrx, tx.Node, time.Duration(tx.TotalNS), len(tx.Spans))
+			}
+		}
 		return nil
 	case "put", "get", "del", "scan":
 		return s.dataOp(cmd, args)

@@ -13,6 +13,7 @@ import (
 	"polardbmp/internal/page"
 	"polardbmp/internal/rdma"
 	"polardbmp/internal/storage"
+	"polardbmp/internal/trace"
 )
 
 // ForceLogFunc forces the node's redo log to durable storage at least up to
@@ -70,6 +71,7 @@ type Client struct {
 	forceLog    ForceLogFunc
 	storageMode bool
 	closed      atomic.Bool
+	tr          *trace.Tracer
 
 	mu     sync.Mutex
 	frames map[common.PageID]*Frame
@@ -113,6 +115,25 @@ func (c *Client) SetRetryPolicy(p common.RetryPolicy) { c.retry = p }
 // epoch so PMFS can fence evicted incarnations.
 func (c *Client) SetEpochStamp(s *common.EpochStamp) { c.stamp = s }
 
+// SetTracer attaches the node's commit-path tracer (nil disables). Page
+// fills are observed as StageFrameDBP (one-sided read from the distributed
+// buffer pool) or StageFrameStorage; LBP hits as StageFrameLocal.
+func (c *Client) SetTracer(t *trace.Tracer) { c.tr = t }
+
+// FetchKind classifies where GetEx found the page.
+type FetchKind uint8
+
+const (
+	// FetchHit: the page was cached and valid in the LBP (a stale frame
+	// refreshed in place also reports FetchHit; the refresh itself is
+	// observed in the stage aggregates).
+	FetchHit FetchKind = iota
+	// FetchDBP: filled from the distributed buffer pool.
+	FetchDBP
+	// FetchStorage: filled from shared storage.
+	FetchStorage
+)
+
 // SetStorageMode switches the client to the log-ship baseline's page-sync
 // path: pushes write page images to shared storage, fetches read them back
 // (plus a log-read charge standing in for the replay Taurus-MM performs).
@@ -123,9 +144,16 @@ func (c *Client) SetStorageMode(on bool) { c.storageMode = on }
 // ordering is what makes the valid-flag check race-free (a writer cannot
 // push a new version while we hold S).
 func (c *Client) Get(pg common.PageID) (*Frame, error) {
+	f, _, err := c.GetEx(pg)
+	return f, err
+}
+
+// GetEx is Get plus classification of where the page came from.
+func (c *Client) GetEx(pg common.PageID) (*Frame, FetchKind, error) {
 	if c.closed.Load() {
-		return nil, fmt.Errorf("bufferfusion: node %d LBP: %w", c.node, common.ErrClosed)
+		return nil, FetchHit, fmt.Errorf("bufferfusion: node %d LBP: %w", c.node, common.ErrClosed)
 	}
+	tok := c.tr.Start()
 	c.mu.Lock()
 	f := c.frames[pg]
 	if f != nil {
@@ -135,13 +163,15 @@ func (c *Client) Get(pg common.PageID) (*Frame, error) {
 		<-f.loading
 		if f.loadErr != nil {
 			c.Unpin(f)
-			return nil, f.loadErr
+			return nil, FetchHit, f.loadErr
 		}
 		if err := c.ensureValid(f); err != nil {
 			c.Unpin(f)
-			return nil, err
+			return nil, FetchHit, err
 		}
-		return f, nil
+		c.LocalHits.Inc()
+		c.tr.Observe(trace.StageFrameLocal, tok)
+		return f, FetchHit, nil
 	}
 
 	// Install a placeholder so concurrent getters of the same page wait
@@ -150,7 +180,7 @@ func (c *Client) Get(pg common.PageID) (*Frame, error) {
 	if len(c.frames) >= c.capacity {
 		if err := c.evictOneLocked(); err != nil {
 			c.mu.Unlock()
-			return nil, err
+			return nil, FetchHit, err
 		}
 	}
 	f = &Frame{id: pg, idx: c.freeIdxLocked(), dbpFrame: -1, pins: 1, loading: make(chan struct{})}
@@ -163,16 +193,16 @@ func (c *Client) Get(pg common.PageID) (*Frame, error) {
 	// anyway; only DBP eviction races this, and the ID check below
 	// handles it).
 	if err := c.inval.LocalWrite64(int(f.idx)*8, flagValid); err != nil {
-		return nil, c.failLoad(f, err)
+		return nil, FetchHit, c.failLoad(f, err)
 	}
-	p, dbpFrame, err := c.fetch(pg, f.idx)
+	p, dbpFrame, kind, err := c.fetch(pg, f.idx)
 	if err != nil {
-		return nil, c.failLoad(f, err)
+		return nil, kind, c.failLoad(f, err)
 	}
 	f.Pg = p
 	f.dbpFrame = dbpFrame
 	close(f.loading)
-	return f, nil
+	return f, kind, nil
 }
 
 // failLoad publishes a failed initial fetch and removes the placeholder.
@@ -215,13 +245,15 @@ func (c *Client) ensureValid(f *Frame) error {
 	}
 	c.Refreshes.Inc()
 	if flag == flagStale && f.dbpFrame >= 0 && !c.storageMode {
+		tok := c.tr.Start()
 		if p, err := c.readDBPFrame(f.dbpFrame); err == nil && p.ID == f.id {
 			f.Pg = p
+			c.tr.Observe(trace.StageFrameDBP, tok)
 			return c.inval.LocalWrite64(int(f.idx)*8, flagValid)
 		}
 		// Frame was recycled under us; fall through to a full fetch.
 	}
-	p, dbpFrame, err := c.fetch(f.id, f.idx)
+	p, dbpFrame, _, err := c.fetch(f.id, f.idx)
 	if err != nil {
 		return err
 	}
@@ -249,7 +281,8 @@ func (c *Client) freeIdxLocked() uint32 {
 // fetch implements the page-access path of §4.2: DBP lookup (registering
 // this node as a copy holder), one-sided read on hit; storage read then
 // register+push on miss.
-func (c *Client) fetch(pg common.PageID, invalIdx uint32) (*page.Page, int, error) {
+func (c *Client) fetch(pg common.PageID, invalIdx uint32) (*page.Page, int, FetchKind, error) {
+	tok := c.tr.Start()
 	// Lookup is idempotent (re-registering the same copy holder is a
 	// no-op), so transient faults retry safely.
 	var resp []byte
@@ -258,14 +291,15 @@ func (c *Client) fetch(pg common.PageID, invalIdx uint32) (*page.Page, int, erro
 		return e
 	})
 	if err != nil {
-		return nil, -1, err
+		return nil, -1, FetchDBP, err
 	}
 	if len(resp) >= 5 && resp[0] == 1 {
 		frame := int(binary.LittleEndian.Uint32(resp[1:]))
 		p, err := c.readDBPFrame(frame)
 		if err == nil && p.ID == pg {
 			c.DBPReads.Inc()
-			return p, frame, nil
+			c.tr.Observe(trace.StageFrameDBP, tok)
+			return p, frame, FetchDBP, nil
 		}
 		// The frame was recycled between lookup and read; retry once
 		// via storage (the eviction wrote the page there).
@@ -277,11 +311,11 @@ func (c *Client) fetch(pg common.PageID, invalIdx uint32) (*page.Page, int, erro
 		return e
 	})
 	if err != nil {
-		return nil, -1, err
+		return nil, -1, FetchStorage, err
 	}
 	p, err := page.Unmarshal(img)
 	if err != nil {
-		return nil, -1, err
+		return nil, -1, FetchStorage, err
 	}
 	if c.storageMode {
 		// Log-ship model: obtaining the latest page costs the page
@@ -289,15 +323,17 @@ func (c *Client) fetch(pg common.PageID, invalIdx uint32) (*page.Page, int, erro
 		// (Taurus-MM's page-store + log-replay path, §2.3).
 		var replay [512]byte
 		_, _ = c.store.LogRead(c.node, c.store.LogStartLSN(c.node), replay[:])
-		return p, storagePseudoFrame, nil
+		c.tr.Observe(trace.StageFrameStorage, tok)
+		return p, storagePseudoFrame, FetchStorage, nil
 	}
 	// Register the loaded page into the DBP so peers can reach it without
 	// storage I/O.
 	frame, err := c.pushImage(p, invalIdx)
 	if err != nil {
-		return nil, -1, err
+		return nil, -1, FetchStorage, err
 	}
-	return p, frame, nil
+	c.tr.Observe(trace.StageFrameStorage, tok)
+	return p, frame, FetchStorage, nil
 }
 
 // frameBufPool recycles frame-sized scratch buffers for DBP reads and

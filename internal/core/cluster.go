@@ -18,6 +18,7 @@ import (
 	"polardbmp/internal/metrics"
 	"polardbmp/internal/rdma"
 	"polardbmp/internal/storage"
+	"polardbmp/internal/trace"
 	"polardbmp/internal/txfusion"
 )
 
@@ -73,6 +74,10 @@ type Config struct {
 	// LeaseTimeout is how long a heartbeat may stand still before peers
 	// suspect the node. Default 90ms (six renew intervals).
 	LeaseTimeout time.Duration
+
+	// Trace enables the commit-path span tracer on every node (nil = off;
+	// the disabled hooks cost one pointer check and zero allocations).
+	Trace *trace.Config
 }
 
 // retryPolicy resolves the transient-fault retry policy for this config.
@@ -360,55 +365,130 @@ func (c *Cluster) CrashAll() {
 	c.txSrv.SetTSO(common.CSNMin)
 }
 
-// Stats is a cluster-wide counter snapshot for operators and harnesses.
-type Stats struct {
-	Commits          int64
-	Aborts           int64
-	Deadlocks        int64
-	FabricReads      int64
-	FabricWrites     int64
-	FabricAtomics    int64
-	FabricRPCs       int64
-	FabricBytesRead  int64
-	FabricBytesWrite int64
-	StoragePageReads int64
-	StorageLogSyncs  int64
-	DBPResident      int
-	PLockNegotiate   int64
-	RLockWaits       int64
-	RLockDeadlocks   int64
+// FabricStats is a snapshot of RDMA fabric verb and byte counters.
+// Vectored (doorbell-batched) verbs count as one op; bytes accumulate every
+// segment.
+type FabricStats struct {
+	Reads      int64 `json:"reads"`
+	Writes     int64 `json:"writes"`
+	Atomics    int64 `json:"atomics"`
+	RPCs       int64 `json:"rpcs"`
+	BytesRead  int64 `json:"bytes_read"`
+	BytesWrite int64 `json:"bytes_write"`
+}
 
-	// Membership / online-recovery counters.
-	Epoch           uint64        // current cluster epoch
-	EpochBumps      int64         // evictions won (each bumps the epoch)
-	FalseSuspicions int64         // evictions refused by a racing renewal
-	LeaseRenewals   int64         // heartbeat writes by live nodes
-	Takeovers       int64         // completed surviving-node takeovers
-	TakeoverMean    time.Duration // mean takeover duration
+func fabricStats(s *rdma.Stats) FabricStats {
+	var f FabricStats
+	f.Reads, f.Writes, f.Atomics, f.RPCs, f.BytesRead, f.BytesWrite = s.Snapshot()
+	return f
+}
+
+// StorageStats is a snapshot of shared-storage I/O counters.
+type StorageStats struct {
+	PageReads int64 `json:"page_reads"`
+	LogSyncs  int64 `json:"log_syncs"`
+}
+
+// LockStats is a snapshot of Lock Fusion server counters.
+type LockStats struct {
+	PLockNegotiations int64 `json:"plock_negotiations"`
+	RLockWaits        int64 `json:"rlock_waits"`
+	RLockDeadlocks    int64 `json:"rlock_deadlocks"`
+}
+
+// MembershipStats is a snapshot of the lease/online-recovery counters.
+type MembershipStats struct {
+	Epoch           uint64        `json:"epoch"`            // current cluster epoch
+	EpochBumps      int64         `json:"epoch_bumps"`      // evictions won (each bumps the epoch)
+	FalseSuspicions int64         `json:"false_suspicions"` // evictions refused by a racing renewal
+	LeaseRenewals   int64         `json:"lease_renewals"`   // heartbeat writes by live nodes
+	Takeovers       int64         `json:"takeovers"`        // completed surviving-node takeovers
+	TakeoverMean    time.Duration `json:"takeover_mean_ns"` // mean takeover duration
+}
+
+// NodeStats is one node's slice of the cluster snapshot: engine counters,
+// transaction latency quantiles, the fabric ops this node issued, and (with
+// tracing on) its per-stage breakdown.
+type NodeStats struct {
+	Node      int           `json:"node"`
+	Commits   int64         `json:"commits"`
+	Aborts    int64         `json:"aborts"`
+	Deadlocks int64         `json:"deadlocks"`
+	TxP50     time.Duration `json:"tx_p50_ns"`
+	TxP99     time.Duration `json:"tx_p99_ns"`
+	// Fabric counts ops issued BY this node (per-source attribution).
+	Fabric FabricStats           `json:"fabric"`
+	Stages []trace.StageSnapshot `json:"stages,omitempty"`
+}
+
+// ClusterStats is the unified observability surface: cluster totals, the
+// per-node decomposition, and — when tracing is enabled — merged
+// cluster-wide per-stage histograms and the slow-transaction log.
+type ClusterStats struct {
+	Commits   int64 `json:"commits"`
+	Aborts    int64 `json:"aborts"`
+	Deadlocks int64 `json:"deadlocks"`
+
+	Fabric      FabricStats     `json:"fabric"`
+	Storage     StorageStats    `json:"storage"`
+	DBPResident int             `json:"dbp_resident_pages"`
+	Locks       LockStats       `json:"locks"`
+	Membership  MembershipStats `json:"membership"`
+
+	Nodes []NodeStats `json:"nodes,omitempty"`
+
+	// Stages merges every node's per-stage aggregates (histogram merge is
+	// associative, so the fold order does not matter). Empty when tracing
+	// is off.
+	Stages []trace.StageSnapshot `json:"stages,omitempty"`
+	// SlowTxs collects every node's slow-transaction log, newest first per
+	// node. Empty unless a slow-transaction threshold is configured.
+	SlowTxs []trace.TxSummary `json:"slow_txs,omitempty"`
 }
 
 // Stats aggregates engine counters across nodes and PMFS.
-func (c *Cluster) Stats() Stats {
-	var s Stats
+func (c *Cluster) Stats() ClusterStats {
+	var s ClusterStats
+	var merged trace.StagesDump
+	traced := false
 	for _, n := range c.Nodes() {
-		s.Commits += n.Commits.Load()
-		s.Aborts += n.Aborts.Load()
-		s.Deadlocks += n.Deadlocks.Load()
-		s.LeaseRenewals += n.agent.Renewals.Load()
+		ns := NodeStats{
+			Node:      int(n.id),
+			Commits:   n.Commits.Load(),
+			Aborts:    n.Aborts.Load(),
+			Deadlocks: n.Deadlocks.Load(),
+			TxP50:     n.TxLatency.Quantile(0.50),
+			TxP99:     n.TxLatency.Quantile(0.99),
+			Fabric:    fabricStats(c.fabric.SrcStats(n.id)),
+		}
+		if n.tracer != nil {
+			traced = true
+			d := n.tracer.Dump()
+			ns.Stages = d.Snapshots()
+			merged.Merge(d)
+			s.SlowTxs = append(s.SlowTxs, n.tracer.Slow()...)
+		}
+		s.Commits += ns.Commits
+		s.Aborts += ns.Aborts
+		s.Deadlocks += ns.Deadlocks
+		s.Membership.LeaseRenewals += n.agent.Renewals.Load()
+		s.Nodes = append(s.Nodes, ns)
 	}
-	s.FabricReads, s.FabricWrites, s.FabricAtomics, s.FabricRPCs,
-		s.FabricBytesRead, s.FabricBytesWrite = c.fabric.Stats().Snapshot()
-	s.StoragePageReads = c.store.Stats().PageReads.Load()
-	s.StorageLogSyncs = c.store.Stats().LogSyncs.Load()
+	if traced {
+		s.Stages = merged.Snapshots()
+	}
+	s.Fabric = fabricStats(c.fabric.Stats())
+	s.Storage.PageReads = c.store.Stats().PageReads.Load()
+	s.Storage.LogSyncs = c.store.Stats().LogSyncs.Load()
 	s.DBPResident = c.bufSrv.Len()
-	s.PLockNegotiate = c.lockSrv.PLock.Negotiations.Load()
-	s.RLockWaits = c.lockSrv.RLock.Waits.Load()
-	s.RLockDeadlocks = c.lockSrv.RLock.Deadlocks.Load()
-	s.Epoch = uint64(c.members.CurrentEpoch())
-	s.EpochBumps = c.members.EpochBumps.Load()
-	s.FalseSuspicions = c.members.FalseSuspicions.Load()
-	s.Takeovers = c.takeovers.Load()
-	s.TakeoverMean = c.takeoverDur.Mean()
+	s.Locks.PLockNegotiations = c.lockSrv.PLock.Negotiations.Load()
+	s.Locks.RLockWaits = c.lockSrv.RLock.Waits.Load()
+	s.Locks.RLockDeadlocks = c.lockSrv.RLock.Deadlocks.Load()
+	s.Membership.Epoch = uint64(c.members.CurrentEpoch())
+	s.Membership.EpochBumps = c.members.EpochBumps.Load()
+	s.Membership.FalseSuspicions = c.members.FalseSuspicions.Load()
+	s.Membership.Takeovers = c.takeovers.Load()
+	s.Membership.TakeoverMean = c.takeoverDur.Mean()
 	return s
 }
 

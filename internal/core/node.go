@@ -15,6 +15,7 @@ import (
 	"polardbmp/internal/metrics"
 	"polardbmp/internal/page"
 	"polardbmp/internal/rdma"
+	"polardbmp/internal/trace"
 	"polardbmp/internal/txfusion"
 	"polardbmp/internal/wal"
 )
@@ -45,6 +46,10 @@ type Node struct {
 	// request; agent is the node's lease/failure-detection worker.
 	stamp *common.EpochStamp
 	agent *membership.Agent
+
+	// tracer is the node's commit-path span tracer; nil (the default)
+	// disables tracing at a one-pointer-check cost per hook.
+	tracer *trace.Tracer
 
 	trxCtr   atomic.Uint64
 	activeTx atomic.Int64
@@ -102,6 +107,17 @@ func (c *Cluster) newNode(id common.NodeID, recovering bool) (*Node, error) {
 	n.rl.SetRetryPolicy(rp)
 	n.lbp.SetRetryPolicy(rp)
 	n.wal = wal.NewWriter(c.store, id)
+
+	// Tracing: one tracer per node, attached to every subsystem that
+	// classifies its own stages. The per-source fabric counters give span
+	// op/byte attribution.
+	if c.cfg.Trace != nil {
+		n.tracer = trace.New(id, *c.cfg.Trace, c.fabric.SrcStats(id))
+		n.tf.SetTracer(n.tracer)
+		n.pl.SetTracer(n.tracer)
+		n.lbp.SetTracer(n.tracer)
+		n.wal.SetTracer(n.tracer)
+	}
 
 	// Membership: stamp every fusion request with the incarnation epoch and
 	// join the lease table. The agent's renew/detect loops run only under
@@ -205,6 +221,9 @@ func (n *Node) PLocks() *lockfusion.PLockClient { return n.pl }
 
 // TxFusion exposes the node's Transaction Fusion client (harness).
 func (n *Node) TxFusion() *txfusion.Client { return n.tf }
+
+// Tracer returns the node's commit-path tracer (nil when tracing is off).
+func (n *Node) Tracer() *trace.Tracer { return n.tracer }
 
 // ForceLogSync forces the node's redo stream durable to its current end
 // (test/replication hook).

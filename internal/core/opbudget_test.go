@@ -67,10 +67,10 @@ func TestCommitFabricOpBudget(t *testing.T) {
 	after := c.Stats()
 
 	per := func(a, b int64) float64 { return float64(a-b) / commits }
-	reads := per(after.FabricReads, before.FabricReads)
-	writes := per(after.FabricWrites, before.FabricWrites)
-	atomics := per(after.FabricAtomics, before.FabricAtomics)
-	rpcs := per(after.FabricRPCs, before.FabricRPCs)
+	reads := per(after.Fabric.Reads, before.Fabric.Reads)
+	writes := per(after.Fabric.Writes, before.Fabric.Writes)
+	atomics := per(after.Fabric.Atomics, before.Fabric.Atomics)
+	rpcs := per(after.Fabric.RPCs, before.Fabric.RPCs)
 	t.Logf("per-commit fabric ops: reads=%.2f writes=%.2f atomics=%.2f rpcs=%.2f",
 		reads, writes, atomics, rpcs)
 

@@ -523,7 +523,7 @@ func TestClusterStats(t *testing.T) {
 	if s.Commits < 2 {
 		t.Fatalf("commits = %d", s.Commits)
 	}
-	if s.FabricRPCs == 0 || s.FabricAtomics == 0 {
+	if s.Fabric.RPCs == 0 || s.Fabric.Atomics == 0 {
 		t.Fatalf("fabric counters empty: %+v", s)
 	}
 	if s.DBPResident == 0 {

@@ -42,11 +42,11 @@ func selfHealCluster(t testing.TB, n int) (*Cluster, common.SpaceID) {
 func waitTakeovers(t testing.TB, c *Cluster, want int64) {
 	t.Helper()
 	deadline := time.Now().Add(10 * time.Second)
-	for c.Stats().Takeovers < want {
+	for c.Stats().Membership.Takeovers < want {
 		if time.Now().After(deadline) {
 			st := c.Stats()
 			t.Fatalf("takeovers = %d after 10s, want >= %d (epoch=%d bumps=%d renewals=%d)",
-				st.Takeovers, want, st.Epoch, st.EpochBumps, st.LeaseRenewals)
+				st.Membership.Takeovers, want, st.Membership.Epoch, st.Membership.EpochBumps, st.Membership.LeaseRenewals)
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
@@ -75,21 +75,21 @@ func TestSelfHealTakeover(t *testing.T) {
 	}
 	n3.wal.Sync(n3.wal.End())
 
-	epoch0 := c.Stats().Epoch
+	epoch0 := c.Stats().Membership.Epoch
 	if err := c.KillNode(3); err != nil {
 		t.Fatal(err)
 	}
 	waitTakeovers(t, c, 1)
 
 	st := c.Stats()
-	if st.Epoch <= epoch0 {
-		t.Fatalf("epoch %d did not advance past %d", st.Epoch, epoch0)
+	if st.Membership.Epoch <= epoch0 {
+		t.Fatalf("epoch %d did not advance past %d", st.Membership.Epoch, epoch0)
 	}
-	if st.EpochBumps < 1 {
-		t.Fatalf("EpochBumps = %d, want >= 1", st.EpochBumps)
+	if st.Membership.EpochBumps < 1 {
+		t.Fatalf("EpochBumps = %d, want >= 1", st.Membership.EpochBumps)
 	}
-	if st.TakeoverMean <= 0 {
-		t.Fatalf("TakeoverMean = %v, want > 0", st.TakeoverMean)
+	if st.Membership.TakeoverMean <= 0 {
+		t.Fatalf("TakeoverMean = %v, want > 0", st.Membership.TakeoverMean)
 	}
 
 	// Survivors serve everything the dead node committed; its in-doubt
@@ -285,7 +285,7 @@ func TestSlowNodeLosesLeaseAndAborts(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	epoch0 := c.Stats().Epoch
+	epoch0 := c.Stats().Membership.Epoch
 	// The injected delay must exceed the lease timeout by a wide margin or
 	// the crawling heartbeats still arrive in time.
 	eng := chaos.MustNew(1, chaos.SlowNodePlan(3, time.Second))
@@ -302,8 +302,8 @@ func TestSlowNodeLosesLeaseAndAborts(t *testing.T) {
 		t.Fatalf("evicted commit = %v, want a fencing/shutdown error", err)
 	}
 	st := c.Stats()
-	if st.Epoch <= epoch0 {
-		t.Fatalf("epoch %d did not advance past %d", st.Epoch, epoch0)
+	if st.Membership.Epoch <= epoch0 {
+		t.Fatalf("epoch %d did not advance past %d", st.Membership.Epoch, epoch0)
 	}
 	for ni := 1; ni <= 2; ni++ {
 		if _, err := get(t, c.Node(ni), sp, "slow-zombie"); !errors.Is(err, common.ErrNotFound) {

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+
+	"polardbmp/internal/common"
+	"polardbmp/internal/trace"
+)
+
+// tracedCluster builds an n-node cluster with the commit-path tracer on.
+func tracedCluster(t testing.TB, n int, cfg trace.Config) (*Cluster, common.SpaceID) {
+	t.Helper()
+	c := NewCluster(Config{
+		LockWaitTimeout: 2 * time.Second,
+		RecycleInterval: 5 * time.Millisecond,
+		Trace:           &cfg,
+	})
+	for i := 0; i < n; i++ {
+		if _, err := c.AddNode(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sp, err := c.CreateSpace("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c, sp
+}
+
+// TestTraceCommitPipeline drives cross-node traffic on a traced cluster and
+// checks the whole observability surface: merged stage aggregates in
+// ClusterStats, per-node stage snapshots, Tx.Info span timelines with
+// commit-path stages, and the recent-trace ring.
+func TestTraceCommitPipeline(t *testing.T) {
+	c, sp := tracedCluster(t, 2, trace.Config{})
+
+	for i := 0; i < 20; i++ {
+		n := c.Node(1 + i%2)
+		put(t, n, sp, fmt.Sprintf("k%d", i), "v")
+	}
+	// Cross-node read forces remote PLock negotiation and DBP transfers.
+	if v, err := get(t, c.Node(2), sp, "k0"); err != nil || v != "v" {
+		t.Fatalf("cross-node read: %q %v", v, err)
+	}
+
+	st := c.Stats()
+	if len(st.Stages) == 0 {
+		t.Fatal("ClusterStats.Stages empty on a traced cluster")
+	}
+	byName := map[string]trace.StageSnapshot{}
+	for _, s := range st.Stages {
+		byName[s.Stage] = s
+	}
+	for _, want := range []string{"begin", "plock_local", "log_append", "log_sync", "cts_stamp", "commit"} {
+		if byName[want].Count == 0 {
+			t.Errorf("stage %s never observed: %+v", want, st.Stages)
+		}
+	}
+	if byName["tso_solo"].Count+byName["tso_group"].Count == 0 {
+		t.Error("no TSO allocations observed")
+	}
+	if byName["commit"].Count < 20 {
+		t.Errorf("commit stage count = %d, want >= 20", byName["commit"].Count)
+	}
+	// The cluster merge must cover both nodes' aggregates.
+	var perNode int64
+	for _, ns := range st.Nodes {
+		if len(ns.Stages) == 0 {
+			t.Errorf("node %d has no stage snapshot", ns.Node)
+		}
+		for _, s := range ns.Stages {
+			if s.Stage == "commit" {
+				perNode += s.Count
+			}
+		}
+	}
+	if perNode != byName["commit"].Count {
+		t.Errorf("merged commit count %d != sum of per-node %d", byName["commit"].Count, perNode)
+	}
+
+	// The snapshot must be JSON-marshalable (the mpshell/mpbench wire form).
+	if _, err := json.Marshal(st); err != nil {
+		t.Fatalf("ClusterStats not marshalable: %v", err)
+	}
+
+	// A traced transaction exposes its span timeline through Info.
+	tx, err := c.Node(1).Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Upsert(sp, []byte("traced"), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx)
+	info := tx.Info()
+	if !info.Done || info.CTS == 0 || info.Trace == nil {
+		t.Fatalf("Info = %+v, want done with CTS and trace", info)
+	}
+	stages := map[string]bool{}
+	for _, sp := range info.Trace.Spans {
+		stages[sp.Stage] = true
+	}
+	for _, want := range []string{"begin", "log_append", "cts_stamp"} {
+		if !stages[want] {
+			t.Errorf("span %s missing from Info timeline: %+v", want, info.Trace.Spans)
+		}
+	}
+	if !info.Trace.Committed || info.Trace.CTS != info.CTS {
+		t.Errorf("trace summary disagrees with tx: %+v", info.Trace)
+	}
+
+	if c.Node(1).Tracer().RecentCount() == 0 {
+		t.Error("recent-trace ring empty after commits")
+	}
+}
+
+// TestTraceSlowTxLog checks that a sub-threshold transaction stays out of
+// the slow log and that ClusterStats surfaces entries once the (tiny)
+// threshold trips.
+func TestTraceSlowTxLog(t *testing.T) {
+	c, sp := tracedCluster(t, 1, trace.Config{SlowTxThreshold: time.Nanosecond})
+	put(t, c.Node(1), sp, "k", "v")
+	st := c.Stats()
+	if len(st.SlowTxs) == 0 {
+		t.Fatal("no slow transactions logged under a 1ns threshold")
+	}
+	if st.SlowTxs[0].TotalNS <= 0 {
+		t.Fatalf("slow tx has no duration: %+v", st.SlowTxs[0])
+	}
+}
+
+// TestTraceDisabled checks the default path: no tracer, no stage data, and
+// Tx.Info still works (without a span timeline).
+func TestTraceDisabled(t *testing.T) {
+	c, sp := testCluster(t, 1)
+	tx, err := c.Node(1).Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Upsert(sp, []byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx)
+	info := tx.Info()
+	if info.Trace != nil {
+		t.Fatalf("untraced tx has a trace: %+v", info.Trace)
+	}
+	if !info.Done || info.CTS == 0 {
+		t.Fatalf("Info = %+v", info)
+	}
+	st := c.Stats()
+	if len(st.Stages) != 0 || len(st.SlowTxs) != 0 {
+		t.Fatalf("untraced cluster reports stages/slow txs: %+v", st)
+	}
+	if c.Node(1).Tracer() != nil {
+		t.Fatal("tracer non-nil on untraced cluster")
+	}
+}

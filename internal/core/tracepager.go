@@ -1,0 +1,67 @@
+package core
+
+import (
+	"polardbmp/internal/btree"
+	"polardbmp/internal/bufferfusion"
+	"polardbmp/internal/common"
+	"polardbmp/internal/lockfusion"
+	"polardbmp/internal/page"
+	"polardbmp/internal/trace"
+)
+
+// tracePager is the pager a traced transaction walks B-trees through: the
+// same stack as pager (PLock → LBP fetch → latch → LLSN fold) but with the
+// expensive events — remote PLock fetches, DBP page transfers, storage
+// fills — recorded as spans on the transaction's timeline. Fast local
+// grants and LBP hits are deliberately NOT recorded as spans (they would
+// flood the bounded span list during scans); they still land in the node's
+// stage aggregates via the subsystem hooks. btree.Tree is stateless, so a
+// traced transaction builds private trees over this pager without touching
+// the node's shared ones.
+type tracePager struct {
+	n  *Node
+	tt *trace.TxTrace
+}
+
+// Acquire implements btree.Pager.
+func (p *tracePager) Acquire(pg common.PageID, mode lockfusion.Mode) (*btree.Ref, error) {
+	n := p.n
+	tok := p.tt.Start()
+	remote, err := n.pl.AcquireEx(pg, mode)
+	if err != nil {
+		return nil, err
+	}
+	if remote {
+		p.tt.Mark(trace.StagePLockRemote, tok)
+	}
+	tok = p.tt.Start()
+	f, kind, err := n.lbp.GetEx(pg)
+	if err != nil {
+		n.pl.Release(pg)
+		return nil, err
+	}
+	switch kind {
+	case bufferfusion.FetchDBP:
+		p.tt.Mark(trace.StageFrameDBP, tok)
+	case bufferfusion.FetchStorage:
+		p.tt.Mark(trace.StageFrameStorage, tok)
+	}
+	if mode == lockfusion.ModeX {
+		f.Mu.Lock()
+	} else {
+		f.Mu.RLock()
+	}
+	n.llsn.Observe(f.Pg.LLSN)
+	return &btree.Ref{Page: f.Pg, Mode: mode, Opaque: f}, nil
+}
+
+// Release implements btree.Pager.
+func (p *tracePager) Release(ref *btree.Ref) { (*pager)(p.n).Release(ref) }
+
+// AllocPage implements btree.Pager.
+func (p *tracePager) AllocPage(space common.SpaceID, t page.Type, level uint8) (*btree.Ref, error) {
+	return (*pager)(p.n).AllocPage(space, t, level)
+}
+
+// LogImage implements btree.Pager.
+func (p *tracePager) LogImage(ref *btree.Ref) { (*pager)(p.n).LogImage(ref) }

@@ -11,6 +11,7 @@ import (
 	"polardbmp/internal/common"
 	"polardbmp/internal/lockfusion"
 	"polardbmp/internal/page"
+	"polardbmp/internal/trace"
 	"polardbmp/internal/wal"
 )
 
@@ -42,6 +43,14 @@ type Tx struct {
 	writes  bool
 	done    bool
 	started time.Time
+
+	cts common.CSN // set on a successful writing commit
+
+	// tr is the transaction's span trace (nil when tracing is off); trees
+	// holds the private traced B-tree handles a traced transaction walks
+	// instead of the node's shared ones.
+	tr    *trace.TxTrace
+	trees map[common.SpaceID]*btree.Tree
 }
 
 type undoEntry struct {
@@ -54,6 +63,8 @@ func (n *Node) Begin() (*Tx, error) { return n.BeginIso(ReadCommitted) }
 
 // BeginIso starts a transaction at the given isolation level.
 func (n *Node) BeginIso(iso Isolation) (*Tx, error) {
+	start := time.Now()
+	btok := n.tracer.Start()
 	if !n.live.Load() {
 		return nil, fmt.Errorf("core: node %d: %w", n.id, common.ErrNodeDown)
 	}
@@ -71,7 +82,7 @@ func (n *Node) BeginIso(iso Isolation) (*Tx, error) {
 			return nil, err
 		}
 	}
-	tx := &Tx{n: n, g: g, iso: iso, started: time.Now()}
+	tx := &Tx{n: n, g: g, iso: iso, started: start}
 	if iso == SnapshotIsolation {
 		csn, err := n.tf.CurrentReadCSN()
 		if err != nil {
@@ -80,12 +91,66 @@ func (n *Node) BeginIso(iso Isolation) (*Tx, error) {
 		}
 		tx.view = n.tf.OpenView(csn)
 	}
+	tx.tr = n.tracer.StartTx(g, start)
+	tx.tr.Observe(trace.StageBegin, btok)
 	n.activeTx.Add(1)
 	return tx, nil
 }
 
 // GTrxID returns the transaction's global id (diagnostics).
 func (tx *Tx) GTrxID() common.GTrxID { return tx.g }
+
+// TxInfo is a transaction's introspection surface: identity, state, and —
+// when tracing is on — its span timeline.
+type TxInfo struct {
+	GTrx    string    `json:"gtrx"`
+	Node    uint16    `json:"node"`
+	Started time.Time `json:"started"`
+	Done    bool      `json:"done"`
+	Writes  bool      `json:"writes"`
+	// CTS is the commit timestamp (non-zero only after a successful
+	// writing commit).
+	CTS uint64 `json:"cts,omitempty"`
+	// Trace is the span summary; nil when tracing is off.
+	Trace *trace.TxSummary `json:"trace,omitempty"`
+}
+
+// Info returns the transaction's introspection snapshot. Valid before or
+// after Commit/Rollback, from the transaction's own goroutine.
+func (tx *Tx) Info() TxInfo {
+	info := TxInfo{
+		GTrx:    tx.g.String(),
+		Node:    uint16(tx.g.Node),
+		Started: tx.started,
+		Done:    tx.done,
+		Writes:  tx.writes,
+		CTS:     uint64(tx.cts),
+	}
+	if tx.tr != nil {
+		sum := tx.tr.Summary()
+		info.Trace = &sum
+	}
+	return info
+}
+
+// tree returns the B-tree handle this transaction walks space through: the
+// node's shared tree normally, a private tree over the traced pager (same
+// anchor, span recording on page access) when the transaction is traced.
+func (tx *Tx) tree(space common.SpaceID) (*btree.Tree, error) {
+	t, err := tx.n.tree(space)
+	if err != nil || tx.tr == nil {
+		return t, err
+	}
+	if pt := tx.trees[space]; pt != nil {
+		return pt, nil
+	}
+	pt := btree.New(&tracePager{n: tx.n, tt: tx.tr}, space, t.Anchor())
+	if tx.trees == nil {
+		tx.trees = make(map[common.SpaceID]*btree.Tree)
+	}
+	tx.trees[space] = pt
+	return pt, nil
+}
 
 // statementView returns the read view for one statement and a release func.
 func (tx *Tx) statementView() (common.CSN, func(), error) {
@@ -133,7 +198,7 @@ func (tx *Tx) Get(space common.SpaceID, key []byte) ([]byte, error) {
 		return nil, err
 	}
 	defer release()
-	t, err := tx.n.tree(space)
+	t, err := tx.tree(space)
 	if err != nil {
 		return nil, err
 	}
@@ -183,7 +248,7 @@ func (tx *Tx) Scan(space common.SpaceID, from, to []byte, limit int) ([]KV, erro
 		return nil, err
 	}
 	defer release()
-	t, err := tx.n.tree(space)
+	t, err := tx.tree(space)
 	if err != nil {
 		return nil, err
 	}
@@ -271,7 +336,7 @@ func (tx *Tx) write(space common.SpaceID, key, value []byte, op writeOp) error {
 	if len(key)+len(value) > MaxRowSize {
 		return fmt.Errorf("core: row of %d bytes exceeds MaxRowSize %d", len(key)+len(value), MaxRowSize)
 	}
-	t, err := tx.n.tree(space)
+	t, err := tx.tree(space)
 	if err != nil {
 		return err
 	}
@@ -330,7 +395,10 @@ func (tx *Tx) write(space common.SpaceID, key, value []byte, op writeOp) error {
 			if cts := tx.n.resolveCTS(head); cts == common.CSNMax {
 				holder := head.Trx
 				tx.n.releasePager(ref)
-				if err := tx.n.rl.WaitFor(tx.g, holder); err != nil {
+				wtok := tx.tr.Start()
+				err := tx.n.rl.WaitFor(tx.g, holder)
+				tx.tr.Observe(trace.StageRowLockWait, wtok)
+				if err != nil {
 					if errors.Is(err, common.ErrDeadlock) {
 						tx.n.Deadlocks.Inc()
 					}
@@ -415,6 +483,7 @@ func (tx *Tx) Commit() error {
 		n.tf.Finish(tx.g)
 		n.Commits.Inc()
 		n.TxLatency.Observe(time.Since(tx.started))
+		n.tracer.FinishTx(tx.tr, 0, true)
 		return nil
 	}
 	// Lease self-check: a slow-but-alive node that lost its lease has been
@@ -424,15 +493,25 @@ func (tx *Tx) Commit() error {
 		tx.rollbackLocked()
 		return err
 	}
-	cts, err := n.tf.NextCommitCSN()
+	ttok := tx.tr.Start()
+	cts, grouped, err := n.tf.NextCommitCSNEx()
 	if err != nil {
 		// Cannot reach the TSO (PMFS partition/crash): the transaction
 		// cannot commit; roll it back.
 		tx.rollbackLocked()
 		return err
 	}
+	if grouped {
+		tx.tr.Mark(trace.StageTSOGroup, ttok)
+	} else {
+		tx.tr.Mark(trace.StageTSOSolo, ttok)
+	}
+	atok := tx.tr.Start()
 	end := n.wal.Append(&wal.Record{Type: wal.RecCommit, Node: n.id, LLSN: n.llsn.Next(), Trx: tx.g, CTS: cts})
+	tx.tr.Mark(trace.StageLogAppend, atok)
+	stok := tx.tr.Start()
 	n.wal.Sync(end) // durability point (group-committed)
+	tx.tr.Mark(trace.StageLogSync, stok)
 	if n.wal.Durable() < end {
 		// The stream was fenced or closed under us (a survivor began
 		// takeover between the lease check and the sync): the commit
@@ -445,16 +524,21 @@ func (tx *Tx) Commit() error {
 	}
 	waiters, err := n.tf.Commit(tx.g, cts)
 	if err != nil {
+		n.tracer.FinishTx(tx.tr, 0, false)
 		return err
 	}
 	if !n.c.cfg.DisableCTSStamp {
+		ctok := tx.tr.Start()
 		tx.stampCTS(cts)
+		tx.tr.Observe(trace.StageCTSStamp, ctok)
 	}
 	if waiters {
 		n.rl.NotifyCommitted(tx.g)
 	}
+	tx.cts = cts
 	n.Commits.Inc()
 	n.TxLatency.Observe(time.Since(tx.started))
+	n.tracer.FinishTx(tx.tr, cts, true)
 	return nil
 }
 
@@ -544,6 +628,7 @@ func (tx *Tx) rollbackLocked() {
 		n.rl.NotifyCommitted(tx.g)
 	}
 	n.Aborts.Inc()
+	n.tracer.FinishTx(tx.tr, 0, false)
 }
 
 // rollbackEntries removes g's newest versions for the given undo entries in

@@ -33,6 +33,7 @@ import (
 	"polardbmp/internal/adapter"
 	"polardbmp/internal/core"
 	"polardbmp/internal/storage"
+	"polardbmp/internal/trace"
 	"polardbmp/internal/workload"
 )
 
@@ -53,6 +54,12 @@ type Options struct {
 	Nodes []int
 	// Quick trims the sweep for CI/bench use.
 	Quick bool
+	// Trace enables the commit-path span tracer on every node of every
+	// cluster the run builds (TraceRun sets it implicitly).
+	Trace bool
+	// SlowTx, when > 0, logs transactions slower than this into the
+	// per-node slow-transaction log (implies Trace).
+	SlowTx time.Duration
 }
 
 func (o *Options) fill() {
@@ -113,6 +120,9 @@ func (o Options) clusterConfig() core.Config {
 		DBPFrames:       32768,
 		StorageLatency:  o.storageLatency(),
 		LockWaitTimeout: 10 * time.Second, // scaled time dilates waits too
+	}
+	if o.Trace || o.SlowTx > 0 {
+		cfg.Trace = &trace.Config{SlowTxThreshold: o.SlowTx}
 	}
 	return cfg
 }

@@ -136,10 +136,10 @@ func (o Options) runSnapshotCell(shared, n int) (SnapshotCell, error) {
 	// measured window; scale commits by the steady-state ratio.
 	commits := float64(res.Commits) * float64(o.Warmup+o.Duration) / float64(o.Duration)
 	if commits > 0 {
-		cell.ReadsPerCommit = float64(after.FabricReads-before.FabricReads) / commits
-		cell.WritesPerCommit = float64(after.FabricWrites-before.FabricWrites) / commits
-		cell.AtomicsPerCommit = float64(after.FabricAtomics-before.FabricAtomics) / commits
-		cell.RPCsPerCommit = float64(after.FabricRPCs-before.FabricRPCs) / commits
+		cell.ReadsPerCommit = float64(after.Fabric.Reads-before.Fabric.Reads) / commits
+		cell.WritesPerCommit = float64(after.Fabric.Writes-before.Fabric.Writes) / commits
+		cell.AtomicsPerCommit = float64(after.Fabric.Atomics-before.Fabric.Atomics) / commits
+		cell.RPCsPerCommit = float64(after.Fabric.RPCs-before.Fabric.RPCs) / commits
 	}
 	return cell, nil
 }

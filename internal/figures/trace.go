@@ -1,0 +1,161 @@
+package figures
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"polardbmp/internal/trace"
+	"polardbmp/internal/workload"
+)
+
+// TraceCell is one traced Figure-7 read-write cell: throughput plus the
+// cluster-wide per-stage latency / fabric-op decomposition and (when a slow
+// threshold is set) the slow-transaction log.
+type TraceCell struct {
+	Cell    string                `json:"cell"` // "rw/<shared%>/<nodes>"
+	Shared  int                   `json:"shared_pct"`
+	Nodes   int                   `json:"nodes"`
+	TPS     float64               `json:"tps_sim"`
+	Aborts  int64                 `json:"aborts"`
+	Stages  []trace.StageSnapshot `json:"stages"`
+	SlowTxs []trace.TxSummary     `json:"slow_txs,omitempty"`
+}
+
+// TraceSnapshot is the document `mpbench -trace <path>` writes: the same
+// config block as BENCH_*.json snapshots plus per-stage decompositions.
+type TraceSnapshot struct {
+	Config struct {
+		Scale    int    `json:"scale"`
+		Duration string `json:"duration_per_config"`
+		Warmup   string `json:"warmup_per_config"`
+		Threads  int    `json:"threads_per_node"`
+		Nodes    []int  `json:"nodes"`
+	} `json:"config"`
+	SlowTxThreshold string      `json:"slow_tx_threshold,omitempty"`
+	Cells           []TraceCell `json:"trace_cells"`
+}
+
+// TraceRun measures the rw/50 cell with tracing enabled for each node count
+// (default just 8, the headline cell), writes the per-stage decomposition as
+// JSON to path, and validates the written document round-trips against the
+// schema before returning it.
+func TraceRun(o Options, path string) (*TraceSnapshot, error) {
+	if len(o.Nodes) == 0 {
+		o.Nodes = []int{8}
+	}
+	o.Trace = true
+	o.fill()
+	o.header("Commit-path trace: rw/50 per-stage decomposition")
+
+	snap := &TraceSnapshot{}
+	snap.Config.Scale = o.Scale
+	snap.Config.Duration = o.Duration.String()
+	snap.Config.Warmup = o.Warmup.String()
+	snap.Config.Threads = o.Threads
+	snap.Config.Nodes = o.Nodes
+	if o.SlowTx > 0 {
+		snap.SlowTxThreshold = o.SlowTx.String()
+	}
+
+	for _, n := range o.Nodes {
+		cell, err := o.runTraceCell(50, n)
+		if err != nil {
+			return nil, err
+		}
+		snap.Cells = append(snap.Cells, cell)
+		o.printf("%-10s %12.0f tps  %d stages traced\n", cell.Cell, cell.TPS, len(cell.Stages))
+		for _, sg := range cell.Stages {
+			o.printf("  %-14s count=%-9d mean=%-12v p99=%-12v rpcs=%d reads=%d writes=%d\n",
+				sg.Stage, sg.Count, sg.Mean.Round(time.Nanosecond),
+				sg.P99.Round(time.Nanosecond), sg.Ops.RPCs, sg.Ops.Reads, sg.Ops.Writes)
+		}
+	}
+
+	buf, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := validateTraceJSON(buf); err != nil {
+		return nil, fmt.Errorf("trace snapshot failed validation: %w", err)
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return nil, err
+	}
+	o.printf("wrote %s\n", path)
+	return snap, nil
+}
+
+// runTraceCell measures one read-write cell on a traced cluster.
+func (o Options) runTraceCell(shared, n int) (TraceCell, error) {
+	db, err := o.newMP(n)
+	if err != nil {
+		return TraceCell{}, err
+	}
+	defer db.Cluster.Close()
+	sb := workload.DefaultSysbench(workload.SysbenchReadWrite, n, shared)
+	sb.TablesPerGroup = 2
+	sb.RowsPerTable = 800
+	sb.StatementDelay = o.stmtDelay()
+	if err := sb.Load(db); err != nil {
+		return TraceCell{}, fmt.Errorf("trace: sysbench load (%d nodes): %w", n, err)
+	}
+	res := o.runner().Run(db, sb.TxFunc)
+	st := db.Cluster.Stats()
+
+	return TraceCell{
+		Cell:   fmt.Sprintf("rw/%d/%d", shared, n),
+		Shared: shared, Nodes: n,
+		TPS:     o.simTPS(res),
+		Aborts:  res.Aborts,
+		Stages:  st.Stages,
+		SlowTxs: st.SlowTxs,
+	}, nil
+}
+
+// validateTraceJSON checks a marshalled TraceSnapshot against the schema:
+// it must round-trip, every cell must carry a non-empty stage decomposition,
+// every stage name must be in the tracer's taxonomy, and each stage's
+// quantiles must be ordered (p50 ≤ p95 ≤ p99 ≤ max, all ≥ 0).
+func validateTraceJSON(buf []byte) error {
+	var snap TraceSnapshot
+	if err := json.Unmarshal(buf, &snap); err != nil {
+		return fmt.Errorf("round-trip: %w", err)
+	}
+	known := map[string]bool{}
+	for _, name := range trace.StageNames() {
+		known[name] = true
+	}
+	if len(snap.Cells) == 0 {
+		return fmt.Errorf("no trace cells")
+	}
+	for _, cell := range snap.Cells {
+		if cell.Cell == "" || cell.Nodes <= 0 {
+			return fmt.Errorf("malformed cell %+v", cell)
+		}
+		if len(cell.Stages) == 0 {
+			return fmt.Errorf("cell %s has no stage decomposition", cell.Cell)
+		}
+		var commits int64
+		for _, sg := range cell.Stages {
+			if !known[sg.Stage] {
+				return fmt.Errorf("cell %s: unknown stage %q", cell.Cell, sg.Stage)
+			}
+			if sg.Count <= 0 {
+				return fmt.Errorf("cell %s: stage %s has count %d", cell.Cell, sg.Stage, sg.Count)
+			}
+			if sg.P50 < 0 || sg.P50 > sg.P95 || sg.P95 > sg.P99 || sg.P99 > sg.Max {
+				return fmt.Errorf("cell %s: stage %s quantiles out of order: p50=%v p95=%v p99=%v max=%v",
+					cell.Cell, sg.Stage, sg.P50, sg.P95, sg.P99, sg.Max)
+			}
+			if sg.Stage == "commit" {
+				commits = sg.Count
+			}
+		}
+		if commits == 0 {
+			return fmt.Errorf("cell %s: no commit stage observed", cell.Cell)
+		}
+	}
+	return nil
+}

@@ -10,6 +10,7 @@ import (
 	"polardbmp/internal/common"
 	"polardbmp/internal/metrics"
 	"polardbmp/internal/rdma"
+	"polardbmp/internal/trace"
 )
 
 // PLock RPC wire ops.
@@ -567,6 +568,7 @@ type PLockClient struct {
 
 	onRevoke RevokeFunc
 	closed   atomic.Bool
+	tr       *trace.Tracer
 
 	mu    sync.Mutex
 	locks map[common.PageID]*localPLock
@@ -618,6 +620,11 @@ func (c *PLockClient) SetRetryPolicy(p common.RetryPolicy) { c.retry = p }
 // SetEpochStamp makes the client stamp requests with the node's incarnation
 // epoch so PMFS can fence evicted incarnations.
 func (c *PLockClient) SetEpochStamp(s *common.EpochStamp) { c.stamp = s }
+
+// SetTracer attaches the node's commit-path tracer (nil disables). Every
+// successful acquire is observed as StagePLockLocal (lazy-retention grant)
+// or StagePLockRemote (Lock Fusion RPC, revoke waits included).
+func (c *PLockClient) SetTracer(t *trace.Tracer) { c.tr = t }
 
 func (c *PLockClient) handleRevoke(req []byte) ([]byte, error) {
 	if len(req) < 1 {
@@ -673,14 +680,22 @@ func (c *PLockClient) handleRevoke(req []byte) ([]byte, error) {
 // The fast path grants locally when the node already holds a covering mode
 // and no negotiation is pending (§4.3.1); otherwise it RPCs Lock Fusion.
 func (c *PLockClient) Acquire(pg common.PageID, mode Mode) error {
+	_, err := c.AcquireEx(pg, mode)
+	return err
+}
+
+// AcquireEx is Acquire plus classification: remote reports whether the
+// grant needed a Lock Fusion RPC (slow path) rather than lazy retention.
+func (c *PLockClient) AcquireEx(pg common.PageID, mode Mode) (remote bool, err error) {
 	if c.closed.Load() {
-		return fmt.Errorf("plock: node %d client: %w", c.node, common.ErrClosed)
+		return false, fmt.Errorf("plock: node %d client: %w", c.node, common.ErrClosed)
 	}
+	tok := c.tr.Start()
 	c.mu.Lock()
 	for {
 		if c.closed.Load() {
 			c.mu.Unlock()
-			return fmt.Errorf("plock: node %d client: %w", c.node, common.ErrClosed)
+			return false, fmt.Errorf("plock: node %d client: %w", c.node, common.ErrClosed)
 		}
 		if c.releasing[pg] {
 			c.relCond.Wait()
@@ -702,7 +717,8 @@ func (c *PLockClient) Acquire(pg common.PageID, mode Mode) error {
 			l.refs++
 			c.mu.Unlock()
 			c.LocalGrants.Inc()
-			return nil
+			c.tr.Observe(trace.StagePLockLocal, tok)
+			return false, nil
 		}
 		if l.revokePending || l.acquiring || (l.mode != 0 && !l.mode.Covers(mode)) {
 			// Someone must first finish releasing or acquiring;
@@ -752,7 +768,7 @@ func (c *PLockClient) Acquire(pg common.PageID, mode Mode) error {
 			}
 			l.cond.Broadcast()
 			c.mu.Unlock()
-			return err
+			return true, err
 		}
 		if mode > l.mode {
 			l.mode = mode
@@ -760,7 +776,8 @@ func (c *PLockClient) Acquire(pg common.PageID, mode Mode) error {
 		l.refs++
 		l.cond.Broadcast()
 		c.mu.Unlock()
-		return nil
+		c.tr.Observe(trace.StagePLockRemote, tok)
+		return true, nil
 	}
 }
 

@@ -78,6 +78,11 @@ type Fabric struct {
 
 	mu        sync.RWMutex
 	endpoints map[common.NodeID]*Endpoint
+
+	// srcStats mirrors the fabric-wide counters per issuing node, so the
+	// tracer can attribute ops and bytes to the node that spent them.
+	srcMu    sync.Mutex
+	srcStats map[common.NodeID]*Stats
 }
 
 // NewFabric creates an empty fabric with the given latency model.
@@ -90,6 +95,24 @@ func NewFabric(latency Latency) *Fabric {
 
 // Stats exposes the fabric's operation counters.
 func (f *Fabric) Stats() *Stats { return &f.stats }
+
+// SrcStats returns the per-source counters for ops issued as node. The
+// counters survive node crash/restart (they are cumulative per identity)
+// and are shared by every Conn bound to that source. Ops issued through the
+// raw Fabric methods (unbound source) are not attributed.
+func (f *Fabric) SrcStats(node common.NodeID) *Stats {
+	f.srcMu.Lock()
+	defer f.srcMu.Unlock()
+	if f.srcStats == nil {
+		f.srcStats = make(map[common.NodeID]*Stats)
+	}
+	s := f.srcStats[node]
+	if s == nil {
+		s = &Stats{}
+		f.srcStats[node] = s
+	}
+	return s
+}
 
 // SetInjector installs (or, with nil, removes) a fault injector consulted
 // before every fabric verb. Safe to call while ops are in flight.
@@ -127,22 +150,25 @@ func (f *Fabric) inject(class string, src, dst common.NodeID, name string, n int
 type Conn struct {
 	f   *Fabric
 	src common.NodeID
+	ss  *Stats // per-source mirror of the fabric counters
 }
 
 // From returns a Conn issuing ops as src.
-func (f *Fabric) From(src common.NodeID) Conn { return Conn{f: f, src: src} }
+func (f *Fabric) From(src common.NodeID) Conn {
+	return Conn{f: f, src: src, ss: f.SrcStats(src)}
+}
 
 // Fabric returns the underlying fabric.
 func (c Conn) Fabric() *Fabric { return c.f }
 
 // Read performs a one-sided read of len(dst) bytes from (node, region, off).
 func (c Conn) Read(node common.NodeID, region string, off int, dst []byte) error {
-	return c.f.read(c.src, node, region, off, dst)
+	return c.f.read(c.src, node, region, off, dst, c.ss)
 }
 
 // Write performs a one-sided write of src to (node, region, off).
 func (c Conn) Write(node common.NodeID, region string, off int, src []byte) error {
-	return c.f.write(c.src, node, region, off, src)
+	return c.f.write(c.src, node, region, off, src, c.ss)
 }
 
 // Read64 reads an 8-byte little-endian word.
@@ -163,17 +189,17 @@ func (c Conn) Write64(node common.NodeID, region string, off int, v uint64) erro
 
 // CAS64 atomically compares-and-swaps the word at (node, region, off).
 func (c Conn) CAS64(node common.NodeID, region string, off int, old, new uint64) (uint64, error) {
-	return c.f.cas64(c.src, node, region, off, old, new)
+	return c.f.cas64(c.src, node, region, off, old, new, c.ss)
 }
 
 // FetchAdd64 atomically adds delta to the word at (node, region, off).
 func (c Conn) FetchAdd64(node common.NodeID, region string, off int, delta uint64) (uint64, error) {
-	return c.f.fetchAdd64(c.src, node, region, off, delta)
+	return c.f.fetchAdd64(c.src, node, region, off, delta, c.ss)
 }
 
 // Call invokes an RPC service method on node.
 func (c Conn) Call(node common.NodeID, service string, req []byte) ([]byte, error) {
-	return c.f.call(c.src, node, service, req)
+	return c.f.call(c.src, node, service, req, c.ss)
 }
 
 // Register creates (or revives) the endpoint for node. Registering an id
@@ -207,10 +233,10 @@ func (f *Fabric) lookup(node common.NodeID) (*Endpoint, error) {
 
 // Read performs a one-sided read of len(dst) bytes from (node, region, off).
 func (f *Fabric) Read(node common.NodeID, region string, off int, dst []byte) error {
-	return f.read(common.AnyNode, node, region, off, dst)
+	return f.read(common.AnyNode, node, region, off, dst, nil)
 }
 
-func (f *Fabric) read(src, node common.NodeID, region string, off int, dst []byte) error {
+func (f *Fabric) read(src, node common.NodeID, region string, off int, dst []byte, ss *Stats) error {
 	dup, _, err := f.inject(common.FaultRead, src, node, region, len(dst))
 	if err != nil {
 		return err
@@ -226,9 +252,16 @@ func (f *Fabric) read(src, node common.NodeID, region string, off int, dst []byt
 	f.latency.sleep(f.latency.OneSided)
 	f.stats.Reads.Inc()
 	f.stats.BytesRead.Add(int64(len(dst)))
+	if ss != nil {
+		ss.Reads.Inc()
+		ss.BytesRead.Add(int64(len(dst)))
+	}
 	if dup {
 		// Duplicate delivery: the NIC re-executes the idempotent read.
 		f.stats.Reads.Inc()
+		if ss != nil {
+			ss.Reads.Inc()
+		}
 		_ = r.read(off, dst)
 	}
 	return r.read(off, dst)
@@ -236,10 +269,10 @@ func (f *Fabric) read(src, node common.NodeID, region string, off int, dst []byt
 
 // Write performs a one-sided write of src to (node, region, off).
 func (f *Fabric) Write(node common.NodeID, region string, off int, src []byte) error {
-	return f.write(common.AnyNode, node, region, off, src)
+	return f.write(common.AnyNode, node, region, off, src, nil)
 }
 
-func (f *Fabric) write(src, node common.NodeID, region string, off int, data []byte) error {
+func (f *Fabric) write(src, node common.NodeID, region string, off int, data []byte, ss *Stats) error {
 	dup, _, err := f.inject(common.FaultWrite, src, node, region, len(data))
 	if err != nil {
 		return err
@@ -255,9 +288,16 @@ func (f *Fabric) write(src, node common.NodeID, region string, off int, data []b
 	f.latency.sleep(f.latency.OneSided)
 	f.stats.Writes.Inc()
 	f.stats.BytesWrite.Add(int64(len(data)))
+	if ss != nil {
+		ss.Writes.Inc()
+		ss.BytesWrite.Add(int64(len(data)))
+	}
 	if dup {
 		// Duplicate delivery: writing the same bytes twice is idempotent.
 		f.stats.Writes.Inc()
+		if ss != nil {
+			ss.Writes.Inc()
+		}
 		_ = r.write(off, data)
 	}
 	return r.write(off, data)
@@ -283,10 +323,10 @@ func (f *Fabric) Write64(node common.NodeID, region string, off int, v uint64) e
 // It returns the value observed before the operation; the swap happened iff
 // that equals old.
 func (f *Fabric) CAS64(node common.NodeID, region string, off int, old, new uint64) (uint64, error) {
-	return f.cas64(common.AnyNode, node, region, off, old, new)
+	return f.cas64(common.AnyNode, node, region, off, old, new, nil)
 }
 
-func (f *Fabric) cas64(src, node common.NodeID, region string, off int, old, new uint64) (uint64, error) {
+func (f *Fabric) cas64(src, node common.NodeID, region string, off int, old, new uint64, ss *Stats) (uint64, error) {
 	// Atomics are never duplicated: they are not idempotent.
 	if _, _, err := f.inject(common.FaultAtomic, src, node, region, 8); err != nil {
 		return 0, err
@@ -301,16 +341,19 @@ func (f *Fabric) cas64(src, node common.NodeID, region string, off int, old, new
 	}
 	f.latency.sleep(f.latency.OneSided)
 	f.stats.Atomics.Inc()
+	if ss != nil {
+		ss.Atomics.Inc()
+	}
 	return r.cas64(off, old, new)
 }
 
 // FetchAdd64 atomically adds delta to the word at (node, region, off) and
 // returns the previous value.
 func (f *Fabric) FetchAdd64(node common.NodeID, region string, off int, delta uint64) (uint64, error) {
-	return f.fetchAdd64(common.AnyNode, node, region, off, delta)
+	return f.fetchAdd64(common.AnyNode, node, region, off, delta, nil)
 }
 
-func (f *Fabric) fetchAdd64(src, node common.NodeID, region string, off int, delta uint64) (uint64, error) {
+func (f *Fabric) fetchAdd64(src, node common.NodeID, region string, off int, delta uint64, ss *Stats) (uint64, error) {
 	if _, _, err := f.inject(common.FaultAtomic, src, node, region, 8); err != nil {
 		return 0, err
 	}
@@ -324,16 +367,19 @@ func (f *Fabric) fetchAdd64(src, node common.NodeID, region string, off int, del
 	}
 	f.latency.sleep(f.latency.OneSided)
 	f.stats.Atomics.Inc()
+	if ss != nil {
+		ss.Atomics.Inc()
+	}
 	return r.fetchAdd64(off, delta)
 }
 
 // Call invokes an RPC service method on node. The response buffer is owned
 // by the caller.
 func (f *Fabric) Call(node common.NodeID, service string, req []byte) ([]byte, error) {
-	return f.call(common.AnyNode, node, service, req)
+	return f.call(common.AnyNode, node, service, req, nil)
 }
 
-func (f *Fabric) call(src, node common.NodeID, service string, req []byte) ([]byte, error) {
+func (f *Fabric) call(src, node common.NodeID, service string, req []byte, ss *Stats) ([]byte, error) {
 	_, dropReply, err := f.inject(common.FaultRPC, src, node, service, len(req))
 	if err != nil {
 		return nil, err
@@ -350,6 +396,9 @@ func (f *Fabric) call(src, node common.NodeID, service string, req []byte) ([]by
 	}
 	f.latency.sleep(f.latency.RPC)
 	f.stats.RPCs.Inc()
+	if ss != nil {
+		ss.RPCs.Inc()
+	}
 	resp, err := h(req)
 	if err != nil {
 		return nil, err

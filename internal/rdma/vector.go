@@ -38,13 +38,13 @@ func segTotal(segs []Seg) int {
 // (node, region). Empty batches are no-ops; a single-segment batch is
 // equivalent to Read.
 func (c Conn) ReadV(node common.NodeID, region string, segs []Seg) error {
-	return c.f.readV(c.src, node, region, segs)
+	return c.f.readV(c.src, node, region, segs, c.ss)
 }
 
 // WriteV performs a doorbell-batched one-sided write of every segment to
 // (node, region).
 func (c Conn) WriteV(node common.NodeID, region string, segs []Seg) error {
-	return c.f.writeV(c.src, node, region, segs)
+	return c.f.writeV(c.src, node, region, segs, c.ss)
 }
 
 // CallBatch invokes service once per request in a single fabric round trip
@@ -52,25 +52,25 @@ func (c Conn) WriteV(node common.NodeID, region string, segs []Seg) error {
 // reqs[i]. A mid-batch handler error fails the whole call; callers must
 // treat the batch as one idempotent unit and retry it whole.
 func (c Conn) CallBatch(node common.NodeID, service string, reqs [][]byte) ([][]byte, error) {
-	return c.f.callBatch(c.src, node, service, reqs)
+	return c.f.callBatch(c.src, node, service, reqs, c.ss)
 }
 
 // ReadV is the unbound-source form of Conn.ReadV.
 func (f *Fabric) ReadV(node common.NodeID, region string, segs []Seg) error {
-	return f.readV(common.AnyNode, node, region, segs)
+	return f.readV(common.AnyNode, node, region, segs, nil)
 }
 
 // WriteV is the unbound-source form of Conn.WriteV.
 func (f *Fabric) WriteV(node common.NodeID, region string, segs []Seg) error {
-	return f.writeV(common.AnyNode, node, region, segs)
+	return f.writeV(common.AnyNode, node, region, segs, nil)
 }
 
 // CallBatch is the unbound-source form of Conn.CallBatch.
 func (f *Fabric) CallBatch(node common.NodeID, service string, reqs [][]byte) ([][]byte, error) {
-	return f.callBatch(common.AnyNode, node, service, reqs)
+	return f.callBatch(common.AnyNode, node, service, reqs, nil)
 }
 
-func (f *Fabric) readV(src, node common.NodeID, region string, segs []Seg) error {
+func (f *Fabric) readV(src, node common.NodeID, region string, segs []Seg, ss *Stats) error {
 	if len(segs) == 0 {
 		return nil
 	}
@@ -96,6 +96,10 @@ func (f *Fabric) readV(src, node common.NodeID, region string, segs []Seg) error
 	f.latency.sleep(f.latency.OneSided)
 	f.stats.Reads.Inc()
 	f.stats.BytesRead.Add(int64(segTotal(segs)))
+	if ss != nil {
+		ss.Reads.Inc()
+		ss.BytesRead.Add(int64(segTotal(segs)))
+	}
 	for pass := 0; pass < 2; pass++ {
 		for _, s := range segs {
 			if err := r.read(s.Off, s.Buf); err != nil {
@@ -107,12 +111,15 @@ func (f *Fabric) readV(src, node common.NodeID, region string, segs []Seg) error
 		}
 		// Duplicate delivery: the NIC re-executes the idempotent chain.
 		f.stats.Reads.Inc()
+		if ss != nil {
+			ss.Reads.Inc()
+		}
 		dup = false
 	}
 	return nil
 }
 
-func (f *Fabric) writeV(src, node common.NodeID, region string, segs []Seg) error {
+func (f *Fabric) writeV(src, node common.NodeID, region string, segs []Seg, ss *Stats) error {
 	if len(segs) == 0 {
 		return nil
 	}
@@ -136,6 +143,10 @@ func (f *Fabric) writeV(src, node common.NodeID, region string, segs []Seg) erro
 	f.latency.sleep(f.latency.OneSided)
 	f.stats.Writes.Inc()
 	f.stats.BytesWrite.Add(int64(segTotal(segs)))
+	if ss != nil {
+		ss.Writes.Inc()
+		ss.BytesWrite.Add(int64(segTotal(segs)))
+	}
 	for pass := 0; pass < 2; pass++ {
 		for _, s := range segs {
 			if err := r.write(s.Off, s.Buf); err != nil {
@@ -147,12 +158,15 @@ func (f *Fabric) writeV(src, node common.NodeID, region string, segs []Seg) erro
 		}
 		// Duplicate delivery: writing the same bytes twice is idempotent.
 		f.stats.Writes.Inc()
+		if ss != nil {
+			ss.Writes.Inc()
+		}
 		dup = false
 	}
 	return nil
 }
 
-func (f *Fabric) callBatch(src, node common.NodeID, service string, reqs [][]byte) ([][]byte, error) {
+func (f *Fabric) callBatch(src, node common.NodeID, service string, reqs [][]byte, ss *Stats) ([][]byte, error) {
 	if len(reqs) == 0 {
 		return nil, nil
 	}
@@ -176,6 +190,9 @@ func (f *Fabric) callBatch(src, node common.NodeID, service string, reqs [][]byt
 	}
 	f.latency.sleep(f.latency.RPC)
 	f.stats.RPCs.Inc()
+	if ss != nil {
+		ss.RPCs.Inc()
+	}
 	resps := make([][]byte, len(reqs))
 	for i, req := range reqs {
 		resp, err := h(req)

@@ -18,6 +18,7 @@ import (
 
 	"polardbmp/internal/common"
 	"polardbmp/internal/rdma"
+	"polardbmp/internal/trace"
 )
 
 // Region and service names on the fabric.
@@ -236,13 +237,17 @@ type Client struct {
 	tsoWaiters []chan tsoGrant
 	tsoLeader  bool
 
+	tr *trace.Tracer
+
 	closed atomic.Bool
 }
 
-// tsoGrant is one CSN handed out of a group fetch-add.
+// tsoGrant is one CSN handed out of a group fetch-add. grouped reports
+// whether the round's single fetch-add covered more than one committer.
 type tsoGrant struct {
-	cts common.CSN
-	err error
+	cts     common.CSN
+	grouped bool
+	err     error
 }
 
 // NewClient registers the node's TIT region and returns its client.
@@ -276,6 +281,11 @@ func (c *Client) SetRetryPolicy(p common.RetryPolicy) { c.retry = p }
 // SetEpochStamp makes the client stamp its min-view reports with the node's
 // incarnation epoch so PMFS can fence evicted incarnations.
 func (c *Client) SetEpochStamp(s *common.EpochStamp) { c.stamp = s }
+
+// SetTracer attaches the node's commit-path tracer (nil disables). TSO
+// allocations are observed as StageTSOSolo or StageTSOGroup by whether the
+// grant came out of a flat-combined round.
+func (c *Client) SetTracer(t *trace.Tracer) { c.tr = t }
 
 func slotOff(slot uint32) int { return headerSize + int(slot)*SlotSize }
 
@@ -628,13 +638,21 @@ func (c *Client) SetRefFlag(g common.GTrxID) (bool, error) {
 // for FUTURE committers would break this: a commit could then receive a CSN
 // at or below an already-open read view.)
 func (c *Client) NextCommitCSN() (common.CSN, error) {
+	cts, _, err := c.NextCommitCSNEx()
+	return cts, err
+}
+
+// NextCommitCSNEx is NextCommitCSN plus classification: grouped reports
+// whether the CSN came out of a flat-combined round (one fetch-add shared by
+// k committers) rather than a solo allocation.
+func (c *Client) NextCommitCSNEx() (common.CSN, bool, error) {
+	tok := c.tr.Start()
 	ch := make(chan tsoGrant, 1)
 	c.tsoMu.Lock()
 	c.tsoWaiters = append(c.tsoWaiters, ch)
 	if c.tsoLeader {
 		c.tsoMu.Unlock()
-		g := <-ch
-		return g.cts, g.err
+		return c.tsoWait(ch, tok)
 	}
 	c.tsoLeader = true
 	c.tsoMu.Unlock()
@@ -663,16 +681,30 @@ func (c *Client) NextCommitCSN() (common.CSN, error) {
 		if err == nil {
 			c.noteTS(common.CSN(prev + uint64(len(batch))))
 		}
+		grouped := len(batch) > 1
 		for i, w := range batch {
 			if err != nil {
 				w <- tsoGrant{err: err}
 			} else {
-				w <- tsoGrant{cts: common.CSN(prev + 1 + uint64(i))}
+				w <- tsoGrant{cts: common.CSN(prev + 1 + uint64(i)), grouped: grouped}
 			}
 		}
 	}
+	return c.tsoWait(ch, tok)
+}
+
+// tsoWait collects this committer's grant and observes the allocation into
+// the tracer aggregate, classified solo vs group.
+func (c *Client) tsoWait(ch chan tsoGrant, tok trace.Token) (common.CSN, bool, error) {
 	g := <-ch
-	return g.cts, g.err
+	if g.err == nil {
+		st := trace.StageTSOSolo
+		if g.grouped {
+			st = trace.StageTSOGroup
+		}
+		c.tr.Observe(st, tok)
+	}
+	return g.cts, g.grouped, g.err
 }
 
 // CurrentReadCSN returns a snapshot timestamp for a new read view. Under the

@@ -27,6 +27,7 @@ import (
 
 	"polardbmp/internal/common"
 	"polardbmp/internal/storage"
+	"polardbmp/internal/trace"
 )
 
 // RecordType discriminates redo record kinds.
@@ -252,6 +253,8 @@ type Writer struct {
 	synced   common.LSN
 	syncCond *sync.Cond
 	syncing  bool
+
+	tr *trace.Tracer
 }
 
 // NewWriter creates a writer resuming at the stream's current durable end.
@@ -263,9 +266,15 @@ func NewWriter(store *storage.Store, node common.NodeID) *Writer {
 	return w
 }
 
+// SetTracer attaches the node's commit-path tracer (nil disables). Appends
+// are observed as StageLogAppend; syncs that had to wait for durability as
+// StageLogSync.
+func (w *Writer) SetTracer(t *trace.Tracer) { w.tr = t }
+
 // Append encodes and appends rec (setting rec.LSN), returning the LSN just
 // past the record; the record is durable only after Sync reaches it.
 func (w *Writer) Append(rec *Record) common.LSN {
+	tok := w.tr.Start()
 	buf := rec.Marshal(nil)
 	w.mu.Lock()
 	if w.closed {
@@ -294,6 +303,7 @@ func (w *Writer) Append(rec *Record) common.LSN {
 	w.nextLSN += common.LSN(len(buf))
 	end := w.nextLSN
 	w.mu.Unlock()
+	w.tr.Observe(trace.StageLogAppend, tok)
 	return end
 }
 
@@ -317,7 +327,9 @@ func (w *Writer) Sync(lsn common.LSN) {
 	if w.isClosed() || w.store.LogFenced(w.node) {
 		return
 	}
+	tok := w.tr.Start()
 	w.syncMu.Lock()
+	waited := w.synced < lsn
 	for w.synced < lsn {
 		if w.syncing {
 			w.syncCond.Wait()
@@ -341,6 +353,11 @@ func (w *Writer) Sync(lsn common.LSN) {
 		}
 	}
 	w.syncMu.Unlock()
+	if waited {
+		// Only syncs that found the durable frontier behind them are a
+		// group-commit stage; no-op syncs behind an earlier force are free.
+		w.tr.Observe(trace.StageLogSync, tok)
+	}
 }
 
 // End returns the LSN just past the last appended record.

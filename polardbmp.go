@@ -31,6 +31,7 @@ import (
 	"polardbmp/internal/core"
 	"polardbmp/internal/standby"
 	"polardbmp/internal/storage"
+	"polardbmp/internal/trace"
 )
 
 // Re-exported error values; test with errors.Is.
@@ -80,6 +81,36 @@ type Options struct {
 	SelfHealing bool
 }
 
+// Option tunes knobs beyond the basic Options struct. Options carries the
+// deployment shape; functional options carry observability and other
+// additive features, so new knobs never break Open call sites.
+type Option func(*openConfig)
+
+type openConfig struct {
+	trace *trace.Config
+}
+
+func (o *openConfig) tracing() *trace.Config {
+	if o.trace == nil {
+		o.trace = &trace.Config{}
+	}
+	return o.trace
+}
+
+// WithTracer enables the always-on commit-path span tracer on every node:
+// per-stage latency/fabric-op histograms, a ring of recent transaction
+// traces, and Tx.Info span timelines. Disabled tracing costs one pointer
+// check per hook and zero allocations.
+func WithTracer() Option {
+	return func(o *openConfig) { o.tracing() }
+}
+
+// WithSlowTxThreshold enables tracing and logs every transaction slower
+// than d into the per-node slow-transaction log (see ClusterStats.SlowTxs).
+func WithSlowTxThreshold(d time.Duration) Option {
+	return func(o *openConfig) { o.tracing().SlowTxThreshold = d }
+}
+
 // Cluster is a PolarDB-MP deployment: N primary nodes over shared memory
 // and shared storage.
 type Cluster struct {
@@ -87,15 +118,20 @@ type Cluster struct {
 }
 
 // Open builds a cluster with opts.Nodes primaries.
-func Open(opts Options) (*Cluster, error) {
+func Open(opts Options, extra ...Option) (*Cluster, error) {
 	if opts.Nodes <= 0 {
 		opts.Nodes = 1
+	}
+	var oc openConfig
+	for _, fn := range extra {
+		fn(&oc)
 	}
 	cfg := core.Config{
 		LBPFrames:       opts.LocalBufferPages,
 		DBPFrames:       opts.SharedBufferPages,
 		LockWaitTimeout: opts.LockWaitTimeout,
 		SelfHeal:        opts.SelfHealing,
+		Trace:           oc.trace,
 	}
 	if opts.RealisticStorageLatency {
 		cfg.StorageLatency = core.DefaultConfig().StorageLatency
@@ -191,11 +227,32 @@ func (c *Cluster) Checkpoint() error { return c.c.Checkpoint() }
 // harnesses; applications should not need it.
 func (c *Cluster) Internal() *core.Cluster { return c.c }
 
-// Stats is a cluster-wide counter snapshot.
-type Stats = core.Stats
+// ClusterStats is the cluster-wide observability snapshot: engine totals,
+// fabric/storage/lock/membership counters, the per-node decomposition, and
+// — when tracing is on — merged per-stage histograms and the slow-
+// transaction log. All fields are JSON-tagged; json.Marshal of a snapshot
+// is the wire format mpbench and mpshell emit.
+type ClusterStats = core.ClusterStats
+
+// FabricStats counts RDMA fabric verbs and bytes (one op per doorbell for
+// vectored verbs).
+type FabricStats = core.FabricStats
+
+// NodeStats is one node's slice of a ClusterStats snapshot.
+type NodeStats = core.NodeStats
+
+// StageSnapshot summarizes one commit-pipeline stage: count, latency
+// quantiles, and attributed fabric ops.
+type StageSnapshot = trace.StageSnapshot
+
+// TxSummary is a finished transaction's span timeline.
+type TxSummary = trace.TxSummary
+
+// TxInfo is a transaction's introspection snapshot (see Tx.Info).
+type TxInfo = core.TxInfo
 
 // Stats aggregates engine counters across nodes and PMFS.
-func (c *Cluster) Stats() Stats { return c.c.Stats() }
+func (c *Cluster) Stats() ClusterStats { return c.c.Stats() }
 
 // Standby is a cross-region replica of the cluster, kept warm by shipping
 // the write-ahead logs (§3). Promote turns it into a fresh primary cluster
@@ -327,6 +384,11 @@ type KV = core.KV
 func (t *Tx) Scan(tab Table, from, to []byte, limit int) ([]KV, error) {
 	return t.tx.Scan(tab.space, from, to, limit)
 }
+
+// Info returns the transaction's introspection snapshot: global id, state,
+// commit timestamp, and — when the cluster was opened WithTracer — the
+// span timeline. Call from the transaction's own goroutine.
+func (t *Tx) Info() TxInfo { return t.tx.Info() }
 
 // Commit makes the transaction durable and globally visible.
 func (t *Tx) Commit() error { return t.tx.Commit() }
