@@ -4,8 +4,8 @@ RACE_PKGS = ./internal/core ./internal/lockfusion ./internal/bufferfusion \
             ./internal/txfusion ./internal/chaos ./internal/rdma \
             ./internal/membership ./internal/trace
 
-.PHONY: all build test test-full race vet smoke check bench-snapshot \
-        alloc-budget trace-smoke
+.PHONY: all build test test-full race vet smoke brownout-smoke check \
+        bench-snapshot alloc-budget trace-smoke
 
 all: check
 
@@ -35,7 +35,15 @@ smoke:
 	$(GO) run ./cmd/mpchaos -plan smoke -seed 7 -ops 60
 	$(GO) run ./cmd/mpchaos -plan crashnode -seed 7 -ops 2000
 
-check: build vet test race smoke
+# Graceful-degradation smoke: a deadline-bounded workload under simultaneous
+# storage stalls, a crawling node, and a stalled-DBP-read tail must keep
+# goodput above the floor, p99 bounded, zero transactions past budget+grace,
+# and zero transactions permanently shed with ErrOverloaded (see DESIGN.md
+# §11; non-zero exit on violation).
+brownout-smoke:
+	$(GO) run ./cmd/mpchaos -plan brownout -seed 7 -ops 60
+
+check: build vet test race smoke brownout-smoke
 
 # Disabled-tracer alloc budget: the commit hot path's tracer hooks must stay
 # at 0 allocs/op when tracing is off (asserted by TestNilTracerZeroAllocs;
@@ -55,4 +63,4 @@ trace-smoke:
 # canonical settings (scale=25, 2s/config, 3 threads/node), written as JSON
 # with per-commit fabric op counts and the pre-batching baseline numbers.
 bench-snapshot:
-	$(GO) run ./cmd/mpbench -snapshot BENCH_pr3.json -dur 2s -threads 3
+	$(GO) run ./cmd/mpbench -snapshot BENCH_pr5.json -dur 2s -threads 3

@@ -31,7 +31,7 @@ import (
 )
 
 func main() {
-	planName := flag.String("plan", "smoke", "fault plan: smoke, drop, lossy, slownode, stalledstorage, partition, crashnode, none")
+	planName := flag.String("plan", "smoke", "fault plan: smoke, drop, lossy, slownode, stalledstorage, partition, crashnode, brownout, none")
 	seed := flag.Int64("seed", 1, "chaos seed (same seed + plan => same fault timeline)")
 	nodes := flag.Int("nodes", 3, "primary nodes")
 	ops := flag.Int("ops", 150, "transactions per node")
@@ -68,6 +68,16 @@ func main() {
 		// fence the victim under a new epoch, and take over.
 		cfg.SelfHeal = true
 	}
+	if *planName == "brownout" {
+		// Graceful-degradation scenario: everything slows, nothing dies.
+		// SelfHeal arms the lease detector so fail-slow suspicion runs; the
+		// tight renew cadence lets the slow node's stretched heartbeat gap
+		// (~3x the cadence under the 10ms link delay) trip the EWMA while
+		// staying far under the lease timeout — suspected, never evicted.
+		cfg.SelfHeal = true
+		cfg.LeaseRenewInterval = 10 * time.Millisecond
+		cfg.LeaseTimeout = 200 * time.Millisecond
+	}
 	c := core.NewCluster(cfg)
 	defer c.Close()
 	for i := 0; i < *nodes; i++ {
@@ -94,7 +104,16 @@ func main() {
 	// strand every waiter behind the server's wait backstop — a wedged
 	// workload IS an invariant violation, so report it instead of hanging.
 	resCh := make(chan *result, 1)
-	go func() { resCh <- runWorkload(c, sp, *nodes, *ops) }()
+	var bres *brownoutMetrics
+	go func() {
+		if *planName == "brownout" {
+			r, b := runBrownout(c, sp, *nodes, *ops)
+			bres = b // written before the send, read after the receive
+			resCh <- r
+		} else {
+			resCh <- runWorkload(c, sp, *nodes, *ops)
+		}
+	}()
 	var res *result
 	select {
 	case res = <-resCh:
@@ -125,6 +144,9 @@ func main() {
 		elapsed.Round(time.Millisecond), len(res.committed), len(res.rolledBack), res.retryable, res.severed)
 
 	ok := verify(c, sp, *nodes, res, plan, epoch0)
+	if bres != nil && !verifyBrownout(c, bres) {
+		ok = false
+	}
 	if !ok {
 		fmt.Println("verdict: FAIL")
 		os.Exit(1)
@@ -153,6 +175,14 @@ func resolvePlan(name string, nodes, ops int) (chaos.Plan, error) {
 			return chaos.Plan{}, fmt.Errorf("mpchaos: crashnode needs at least 2 nodes (use -nodes)")
 		}
 		return chaos.CrashNodePlan(common.NodeID(nodes), window/3), nil
+	case "brownout":
+		if nodes < 2 {
+			return chaos.Plan{}, fmt.Errorf("mpchaos: brownout needs at least 2 nodes (use -nodes)")
+		}
+		// Last node gets the degraded link; 20% of storage I/O stalls 2ms;
+		// 5% of one-sided DBP frame reads stall 10ms (the hedgeable tail).
+		return chaos.BrownoutPlan(common.NodeID(nodes),
+			10*time.Millisecond, 2*time.Millisecond, 10*time.Millisecond), nil
 	}
 	return chaos.PresetPlan(name)
 }
@@ -400,6 +430,194 @@ func verify(c *core.Cluster, sp common.SpaceID, nodes int, res *result, plan cha
 	if ok {
 		fmt.Printf("invariants: durable=%d rows visible from all %d surviving nodes, rollback=%d rows absent, converged\n",
 			len(res.committed), verified, len(res.rolledBack))
+	}
+	return ok
+}
+
+// --- brownout: graceful degradation under gray failure ----------------------
+
+// Brownout workload tuning. Every transaction carries a fresh deadline
+// budget; grace is the slack allowed past the budget for work a transaction
+// finishes after its last checkpoint (commit publication, rollback). The
+// invariants assert graceful degradation, not full speed: a goodput floor,
+// a bounded tail, zero transactions outliving budget+grace, and zero
+// transactions permanently rejected with ErrOverloaded after backoff.
+const (
+	brownoutBudget     = 400 * time.Millisecond
+	brownoutGrace      = 600 * time.Millisecond
+	brownoutMaxRetries = 8
+	brownoutGoodputPct = 40
+	brownoutP99Bound   = 2 * time.Second
+)
+
+type brownoutMetrics struct {
+	mu             sync.Mutex
+	attempts       int             // logical write transactions attempted
+	deadlineAborts int             // ended with ErrDeadlineExceeded
+	overloadFinal  int             // still ErrOverloaded after all backoff rounds
+	overruns       int             // single attempts that ran past budget+grace
+	worstOverrun   time.Duration   // max(elapsed - budget) across attempts
+	lats           []time.Duration // wall time per logical op (incl. retries)
+}
+
+// runBrownout drives the same disjoint-key upsert/rollback mix as
+// runWorkload, but every transaction carries a deadline budget and retryable
+// failures (ErrOverloaded shed, lock timeouts, conflicts) are retried with
+// exponential backoff — the contract the admission controller's "retryable"
+// promise makes to well-behaved clients.
+func runBrownout(c *core.Cluster, sp common.SpaceID, nodes, ops int) (*result, *brownoutMetrics) {
+	res := &result{committed: make(map[string]string)}
+	bm := &brownoutMetrics{}
+
+	// attempt runs body in one bounded transaction and reports the outcome
+	// plus the attempt's wall time (its budget is fresh, so elapsed compares
+	// directly against brownoutBudget).
+	attempt := func(n *core.Node, body func(tx *core.Tx) error) (time.Duration, error) {
+		start := time.Now()
+		tx, err := n.BeginDeadline(core.ReadCommitted, common.DeadlineAfter(brownoutBudget))
+		if err != nil {
+			return time.Since(start), err
+		}
+		if err := body(tx); err != nil {
+			_ = tx.Rollback()
+			return time.Since(start), err
+		}
+		return time.Since(start), nil
+	}
+
+	var wg sync.WaitGroup
+	for ni := 1; ni <= nodes; ni++ {
+		ni := ni
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n := c.Node(ni)
+			for i := 0; i < ops; i++ {
+				key := fmt.Sprintf("n%d-k%05d", ni, i)
+				rollback := i%3 == 2
+				opStart := time.Now()
+				bm.mu.Lock()
+				bm.attempts++
+				bm.mu.Unlock()
+
+				var lastErr error
+				for try := 0; try <= brownoutMaxRetries; try++ {
+					if try > 0 {
+						// Jittered exponential backoff; the jitter source is
+						// the (node, op, try) triple so runs stay seeded.
+						backoff := time.Millisecond << uint(min(try-1, 4))
+						backoff += time.Duration((ni*7919+i*104729+try*1299721)%1000) * time.Microsecond
+						time.Sleep(backoff)
+					}
+					var elapsed time.Duration
+					elapsed, lastErr = attempt(n, func(tx *core.Tx) error {
+						if rollback {
+							if err := tx.Insert(sp, []byte("rb-"+key), []byte("junk")); err != nil {
+								return err
+							}
+							return tx.Rollback()
+						}
+						if err := tx.Upsert(sp, []byte(key), []byte(fmt.Sprintf("v%d-%d", ni, i))); err != nil {
+							return err
+						}
+						return tx.Commit()
+					})
+					if over := elapsed - brownoutBudget; over > brownoutGrace {
+						bm.mu.Lock()
+						bm.overruns++
+						if over > bm.worstOverrun {
+							bm.worstOverrun = over
+						}
+						bm.mu.Unlock()
+					} else if over > 0 {
+						bm.mu.Lock()
+						if over > bm.worstOverrun {
+							bm.worstOverrun = over
+						}
+						bm.mu.Unlock()
+					}
+					if lastErr == nil || !common.IsRetryable(lastErr) {
+						break
+					}
+				}
+
+				bm.mu.Lock()
+				bm.lats = append(bm.lats, time.Since(opStart))
+				bm.mu.Unlock()
+				res.mu.Lock()
+				switch {
+				case lastErr == nil && rollback:
+					res.rolledBack = append(res.rolledBack, "rb-"+key)
+				case lastErr == nil:
+					res.committed[key] = fmt.Sprintf("v%d-%d", ni, i)
+				case errors.Is(lastErr, common.ErrDeadlineExceeded):
+					bm.mu.Lock()
+					bm.deadlineAborts++
+					bm.mu.Unlock()
+				case errors.Is(lastErr, common.ErrOverloaded):
+					bm.mu.Lock()
+					bm.overloadFinal++
+					bm.mu.Unlock()
+				case common.IsRetryable(lastErr):
+					res.retryable++
+				case severedErr(lastErr):
+					res.severed++
+				default:
+					res.leaked = append(res.leaked, lastErr)
+				}
+				res.mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return res, bm
+}
+
+// verifyBrownout checks the graceful-degradation invariants and prints the
+// overload/hedge/fail-slow observability the run produced.
+func verifyBrownout(c *core.Cluster, bm *brownoutMetrics) bool {
+	ok := true
+	fail := func(format string, args ...any) {
+		ok = false
+		fmt.Printf("  INVARIANT VIOLATED: "+format+"\n", args...)
+	}
+
+	sort.Slice(bm.lats, func(i, j int) bool { return bm.lats[i] < bm.lats[j] })
+	q := func(p float64) time.Duration {
+		if len(bm.lats) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(bm.lats)-1))
+		return bm.lats[i]
+	}
+	st := c.Stats()
+	goodput := 0.0
+	done := bm.attempts - bm.deadlineAborts - bm.overloadFinal
+	if bm.attempts > 0 {
+		goodput = 100 * float64(done) / float64(bm.attempts)
+	}
+	fmt.Printf("brownout: goodput %.1f%% (%d/%d), p50 %v, p99 %v, %d deadline aborts (worst overrun %v)\n",
+		goodput, done, bm.attempts, q(0.50).Round(time.Millisecond), q(0.99).Round(time.Millisecond),
+		bm.deadlineAborts, bm.worstOverrun.Round(time.Millisecond))
+	fmt.Printf("overload: plock sheds=%d buf sheds=%d hedges fired=%d won=%d deadline aborts=%d\n",
+		st.Overload.PLockSheds, st.Overload.BufSheds,
+		st.Overload.HedgesFired, st.Overload.HedgeWins, st.Overload.DeadlineAborts)
+	fmt.Printf("fail-slow: %d suspicions, slow peers %v\n",
+		st.Membership.FailSlowSuspicions, st.Membership.SlowPeers)
+
+	if goodput < brownoutGoodputPct {
+		fail("goodput %.1f%% under the %d%% floor — degradation is not graceful", goodput, brownoutGoodputPct)
+	}
+	if p99 := q(0.99); p99 > brownoutP99Bound {
+		fail("p99 %v exceeds the %v bound", p99.Round(time.Millisecond), brownoutP99Bound)
+	}
+	if bm.overruns > 0 {
+		fail("%d transactions outlived budget+grace (worst overrun %v) — deadlines did not bound the work",
+			bm.overruns, bm.worstOverrun.Round(time.Millisecond))
+	}
+	if bm.overloadFinal > 0 {
+		fail("%d transactions still ErrOverloaded after %d backoff rounds — shedding must be transient",
+			bm.overloadFinal, brownoutMaxRetries)
 	}
 	return ok
 }

@@ -3,10 +3,12 @@ package bufferfusion
 import (
 	"container/list"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"polardbmp/internal/common"
 	"polardbmp/internal/metrics"
@@ -73,6 +75,12 @@ type Client struct {
 	closed      atomic.Bool
 	tr          *trace.Tracer
 
+	// dbpReadEWMA tracks typical one-sided DBP read latency (ns) so the
+	// hedge delay derives from the node's observed latency profile.
+	dbpReadEWMA atomic.Int64
+	// hedgeFloor is the minimum hedge delay in ns (-1 disables hedging).
+	hedgeFloor atomic.Int64
+
 	mu     sync.Mutex
 	frames map[common.PageID]*Frame
 	lru    *list.List // *Frame, most-recent at back
@@ -83,6 +91,10 @@ type Client struct {
 	StorageReads metrics.Counter
 	PushesOut    metrics.Counter
 	Refreshes    metrics.Counter
+	// HedgesFired counts fetches whose primary DBP read outlived the hedge
+	// delay; HedgeWins counts those where the hedge responded first.
+	HedgesFired metrics.Counter
+	HedgeWins   metrics.Counter
 }
 
 // NewClient creates the node's LBP with the given frame capacity and
@@ -91,7 +103,7 @@ func NewClient(ep *rdma.Endpoint, fabric *rdma.Fabric, store *storage.Store, cap
 	if capacity <= 0 {
 		capacity = 1024
 	}
-	return &Client{
+	c := &Client{
 		node:     ep.Node(),
 		fabric:   fabric.From(ep.Node()),
 		retry:    common.DefaultRetryPolicy(),
@@ -101,6 +113,54 @@ func NewClient(ep *rdma.Endpoint, fabric *rdma.Fabric, store *storage.Store, cap
 		frames:   make(map[common.PageID]*Frame),
 		lru:      list.New(),
 	}
+	c.hedgeFloor.Store(int64(hedgeFloorDefault))
+	return c
+}
+
+// hedgeFloorDefault is the minimum hedge delay: far above a healthy
+// simulated-fabric read (sub-microsecond) so hedges only fire on genuine
+// fail-slow stalls, yet far below a storage round trip's worth of stall.
+const hedgeFloorDefault = time.Millisecond
+
+// SetHedgeDelayFloor overrides the minimum hedge delay for fail-slow DBP
+// reads. The effective delay is max(floor, 8x the node's DBP-read latency
+// EWMA). d <= 0 disables hedging entirely.
+func (c *Client) SetHedgeDelayFloor(d time.Duration) {
+	if d <= 0 {
+		c.hedgeFloor.Store(-1)
+		return
+	}
+	c.hedgeFloor.Store(int64(d))
+}
+
+// hedgeDelay returns the current hedge delay, or ok=false when hedging is
+// disabled.
+func (c *Client) hedgeDelay() (time.Duration, bool) {
+	floor := c.hedgeFloor.Load()
+	if floor < 0 {
+		return 0, false
+	}
+	d := 8 * c.dbpReadEWMA.Load()
+	if d < floor {
+		d = floor
+	}
+	return time.Duration(d), true
+}
+
+// noteDBPRead folds one successful DBP read latency into the EWMA
+// (weight 1/8). Races between concurrent readers lose samples, never
+// corrupt: the value is always some recent sample mix.
+func (c *Client) noteDBPRead(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns <= 0 {
+		ns = 1
+	}
+	old := c.dbpReadEWMA.Load()
+	if old == 0 {
+		c.dbpReadEWMA.Store(ns)
+		return
+	}
+	c.dbpReadEWMA.Store(old + (ns-old)/8)
 }
 
 // SetForceLog installs the engine's log-force hook (must be set before the
@@ -150,6 +210,28 @@ func (c *Client) Get(pg common.PageID) (*Frame, error) {
 
 // GetEx is Get plus classification of where the page came from.
 func (c *Client) GetEx(pg common.PageID) (*Frame, FetchKind, error) {
+	return c.getEx(pg, common.Deadline{})
+}
+
+// GetDeadline is Get bounded by the caller's transaction budget: the fetch
+// refuses to start once dl has expired and its fabric verbs, retry backoff,
+// and storage reads all stop at the budget with ErrDeadlineExceeded. A
+// concurrent fetch of the same page by another caller is awaited without a
+// bound — it runs under that caller's own budget.
+func (c *Client) GetDeadline(pg common.PageID, dl common.Deadline) (*Frame, error) {
+	f, _, err := c.getEx(pg, dl)
+	return f, err
+}
+
+// GetDeadlineEx is GetDeadline plus fetch classification.
+func (c *Client) GetDeadlineEx(pg common.PageID, dl common.Deadline) (*Frame, FetchKind, error) {
+	return c.getEx(pg, dl)
+}
+
+func (c *Client) getEx(pg common.PageID, dl common.Deadline) (*Frame, FetchKind, error) {
+	if err := dl.Err(); err != nil {
+		return nil, FetchHit, err
+	}
 	if c.closed.Load() {
 		return nil, FetchHit, fmt.Errorf("bufferfusion: node %d LBP: %w", c.node, common.ErrClosed)
 	}
@@ -195,7 +277,7 @@ func (c *Client) GetEx(pg common.PageID) (*Frame, FetchKind, error) {
 	if err := c.inval.LocalWrite64(int(f.idx)*8, flagValid); err != nil {
 		return nil, FetchHit, c.failLoad(f, err)
 	}
-	p, dbpFrame, kind, err := c.fetch(pg, f.idx)
+	p, dbpFrame, kind, err := c.fetch(pg, f.idx, dl)
 	if err != nil {
 		return nil, kind, c.failLoad(f, err)
 	}
@@ -246,14 +328,14 @@ func (c *Client) ensureValid(f *Frame) error {
 	c.Refreshes.Inc()
 	if flag == flagStale && f.dbpFrame >= 0 && !c.storageMode {
 		tok := c.tr.Start()
-		if p, err := c.readDBPFrame(f.dbpFrame); err == nil && p.ID == f.id {
+		if p, err := c.readDBPFrame(f.dbpFrame, common.Deadline{}); err == nil && p.ID == f.id {
 			f.Pg = p
 			c.tr.Observe(trace.StageFrameDBP, tok)
 			return c.inval.LocalWrite64(int(f.idx)*8, flagValid)
 		}
 		// Frame was recycled under us; fall through to a full fetch.
 	}
-	p, dbpFrame, _, err := c.fetch(f.id, f.idx)
+	p, dbpFrame, _, err := c.fetch(f.id, f.idx, common.Deadline{})
 	if err != nil {
 		return err
 	}
@@ -279,15 +361,19 @@ func (c *Client) freeIdxLocked() uint32 {
 }
 
 // fetch implements the page-access path of §4.2: DBP lookup (registering
-// this node as a copy holder), one-sided read on hit; storage read then
-// register+push on miss.
-func (c *Client) fetch(pg common.PageID, invalIdx uint32) (*page.Page, int, FetchKind, error) {
+// this node as a copy holder), one-sided read on hit (hedged against
+// fail-slow stalls); storage read then register+push on miss. A non-zero
+// dl bounds every verb, retry backoff, and storage read.
+func (c *Client) fetch(pg common.PageID, invalIdx uint32, dl common.Deadline) (*page.Page, int, FetchKind, error) {
 	tok := c.tr.Start()
+	fab := c.fabric.WithDeadline(dl)
 	// Lookup is idempotent (re-registering the same copy holder is a
-	// no-op), so transient faults retry safely.
+	// no-op), so transient faults retry safely. A shed lookup
+	// (ErrOverloaded) is also transient: the retry backoff is the client's
+	// contribution to draining the overload.
 	var resp []byte
-	err := common.Retry(c.retry, func() (e error) {
-		resp, e = c.fabric.Call(common.PMFSNode, ServiceBuf, c.stamp.Stamp(bufReq(opLookup, c.node, pg, 0, invalIdx)))
+	err := common.RetryDeadline(c.retry, dl, func() (e error) {
+		resp, e = fab.Call(common.PMFSNode, ServiceBuf, c.stamp.Stamp(bufReq(opLookup, c.node, pg, 0, invalIdx)))
 		return e
 	})
 	if err != nil {
@@ -295,25 +381,24 @@ func (c *Client) fetch(pg common.PageID, invalIdx uint32) (*page.Page, int, Fetc
 	}
 	if len(resp) >= 5 && resp[0] == 1 {
 		frame := int(binary.LittleEndian.Uint32(resp[1:]))
-		p, err := c.readDBPFrame(frame)
+		clean := len(resp) >= 6 && resp[5] == 1
+		p, hedged, err := c.readDBPFrameHedged(pg, frame, clean, dl)
+		if hedged {
+			c.tr.Observe(trace.StageHedgeFired, tok)
+		}
 		if err == nil && p.ID == pg {
 			c.DBPReads.Inc()
 			c.tr.Observe(trace.StageFrameDBP, tok)
 			return p, frame, FetchDBP, nil
 		}
+		if errors.Is(err, common.ErrDeadlineExceeded) {
+			return nil, -1, FetchDBP, err
+		}
 		// The frame was recycled between lookup and read; retry once
 		// via storage (the eviction wrote the page there).
 	}
 	c.StorageReads.Inc()
-	var img []byte
-	err = common.Retry(c.retry, func() (e error) {
-		img, e = c.store.ReadPage(pg)
-		return e
-	})
-	if err != nil {
-		return nil, -1, FetchStorage, err
-	}
-	p, err := page.Unmarshal(img)
+	p, err := c.readPageFromStorage(pg, dl)
 	if err != nil {
 		return nil, -1, FetchStorage, err
 	}
@@ -327,8 +412,9 @@ func (c *Client) fetch(pg common.PageID, invalIdx uint32) (*page.Page, int, Fetc
 		return p, storagePseudoFrame, FetchStorage, nil
 	}
 	// Register the loaded page into the DBP so peers can reach it without
-	// storage I/O.
-	frame, err := c.pushImage(p, invalIdx)
+	// storage I/O. The push is clean: the image came from storage, so the
+	// directory entry stays hedgeable.
+	frame, err := c.pushImage(p, invalIdx, true)
 	if err != nil {
 		return nil, -1, FetchStorage, err
 	}
@@ -344,15 +430,18 @@ var frameBufPool = sync.Pool{
 	New: func() any { b := make([]byte, page.FrameSize+4); return &b }, // +4: image length prefix
 }
 
-func (c *Client) readDBPFrame(frame int) (*page.Page, error) {
+func (c *Client) readDBPFrame(frame int, dl common.Deadline) (*page.Page, error) {
 	bp := frameBufPool.Get().(*[]byte)
 	defer frameBufPool.Put(bp)
 	buf := (*bp)[:page.FrameSize]
-	if err := common.Retry(c.retry, func() error {
-		return c.fabric.Read(common.PMFSNode, RegionDBP, frame*page.FrameSize, buf)
+	fab := c.fabric.WithDeadline(dl)
+	start := time.Now()
+	if err := common.RetryDeadline(c.retry, dl, func() error {
+		return fab.Read(common.PMFSNode, RegionDBP, frame*page.FrameSize, buf)
 	}); err != nil {
 		return nil, err
 	}
+	c.noteDBPRead(time.Since(start))
 	n := imageLen(buf)
 	if n == 0 {
 		return nil, fmt.Errorf("bufferfusion: empty DBP frame %d: %w", frame, common.ErrNotFound)
@@ -360,8 +449,88 @@ func (c *Client) readDBPFrame(frame int) (*page.Page, error) {
 	return page.Unmarshal(buf[4:n])
 }
 
+// readPageFromStorage reads and decodes pg's image from shared storage,
+// bounded by dl.
+func (c *Client) readPageFromStorage(pg common.PageID, dl common.Deadline) (*page.Page, error) {
+	var img []byte
+	if err := common.RetryDeadline(c.retry, dl, func() (e error) {
+		img, e = c.store.ReadPage(pg)
+		return e
+	}); err != nil {
+		return nil, err
+	}
+	return page.Unmarshal(img)
+}
+
+// readDBPFrameHedged is the fail-slow-mitigated DBP read of the fetch path:
+// if the primary one-sided read outlives the hedge delay (derived from the
+// node's latency EWMA), a fallback is issued and the first usable response
+// wins. The fallback reads shared storage when the server reported the
+// frame clean (storage image provably as new as the frame), else it re-reads
+// the DBP frame — a stale storage image must never be served. The loser
+// cannot be cancelled on the simulated fabric; it drains into the buffered
+// channel and is dropped, its cost visible through HedgesFired/HedgeWins.
+func (c *Client) readDBPFrameHedged(pg common.PageID, frame int, clean bool, dl common.Deadline) (p *page.Page, hedged bool, err error) {
+	delay, ok := c.hedgeDelay()
+	if !ok {
+		p, err = c.readDBPFrame(frame, dl)
+		return p, false, err
+	}
+	type res struct {
+		p        *page.Page
+		err      error
+		fallback bool
+	}
+	ch := make(chan res, 2)
+	go func() {
+		p, err := c.readDBPFrame(frame, dl)
+		ch <- res{p: p, err: err}
+	}()
+	timer := time.NewTimer(delay)
+	select {
+	case r := <-ch:
+		timer.Stop()
+		return r.p, false, r.err
+	case <-timer.C:
+	}
+	c.HedgesFired.Inc()
+	go func() {
+		r := res{fallback: true}
+		if clean && !c.storageMode {
+			r.p, r.err = c.readPageFromStorage(pg, dl)
+		} else {
+			r.p, r.err = c.readDBPFrame(frame, dl)
+		}
+		ch <- r
+	}()
+	first := <-ch
+	if first.err == nil && first.p != nil && first.p.ID == pg {
+		if first.fallback {
+			c.HedgeWins.Inc()
+		}
+		return first.p, true, nil
+	}
+	// The first response was unusable (error, or a recycled frame holding
+	// another page); give the straggler its chance before reporting.
+	second := <-ch
+	if second.err == nil && second.p != nil && second.p.ID == pg {
+		if second.fallback {
+			c.HedgeWins.Inc()
+		}
+		return second.p, true, nil
+	}
+	return first.p, true, first.err
+}
+
 // pushImage writes p into its (pinned) DBP frame and completes the push.
-func (c *Client) pushImage(p *page.Page, invalIdx uint32) (int, error) {
+// clean marks a push whose image was just read from storage (fetch
+// registration); dirty pushes (modified frames) pass false so the server
+// marks the entry newer than its storage image.
+func (c *Client) pushImage(p *page.Page, invalIdx uint32, clean bool) (int, error) {
+	cleanAux := uint32(0)
+	if clean {
+		cleanAux = 1
+	}
 	if c.closed.Load() {
 		// A zombie goroutine of a crashed node must never publish its
 		// stale pages over the restarted incarnation's recovery.
@@ -386,7 +555,7 @@ func (c *Client) pushImage(p *page.Page, invalIdx uint32) (int, error) {
 		if err := c.callBuf(bufReq(opPreparePush, c.node, p.ID, 0, invalIdx)); err != nil {
 			return -1, err
 		}
-		if err := c.callBuf(bufReq(opPushed, c.node, p.ID, storagePseudoFrame, invalIdx)); err != nil {
+		if err := c.callBuf(bufReq(opPushed, c.node, p.ID, storagePseudoFrame, cleanAux)); err != nil {
 			return -1, err
 		}
 		return storagePseudoFrame, nil
@@ -411,7 +580,7 @@ func (c *Client) pushImage(p *page.Page, invalIdx uint32) (int, error) {
 	}); err != nil {
 		return -1, err
 	}
-	if err := c.callBuf(bufReq(opPushed, c.node, p.ID, uint32(frame), invalIdx)); err != nil {
+	if err := c.callBuf(bufReq(opPushed, c.node, p.ID, uint32(frame), cleanAux)); err != nil {
 		return -1, err
 	}
 	return frame, nil
@@ -478,7 +647,7 @@ func (c *Client) Push(f *Frame) error {
 	if c.forceLog != nil {
 		c.forceLog(f.FlushLSN)
 	}
-	frame, err := c.pushImage(f.Pg, f.idx)
+	frame, err := c.pushImage(f.Pg, f.idx, false)
 	if err != nil {
 		return err
 	}
@@ -636,7 +805,8 @@ func (c *Client) PushMany(ids []common.PageID) error {
 	// imageLen guards eviction against a never-written frame).
 	preqs := make([][]byte, len(dirty))
 	for i, f := range dirty {
-		preqs[i] = c.stamp.Stamp(bufReq(opPushed, c.node, f.id, uint32(frameNos[i]), f.idx))
+		// aux=0: batched pushes carry modified images, never clean ones.
+		preqs[i] = c.stamp.Stamp(bufReq(opPushed, c.node, f.id, uint32(frameNos[i]), 0))
 	}
 	perr := common.Retry(c.retry, func() error {
 		_, e := c.fabric.CallBatch(common.PMFSNode, ServiceBuf, preqs)

@@ -16,6 +16,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"polardbmp/internal/common"
 	"polardbmp/internal/metrics"
@@ -66,12 +67,19 @@ type Server struct {
 
 	stripes []*bufStripe
 
+	// admit bounds concurrently admitted lookups per stripe (<=0 disables
+	// shedding). Only lookups shed: push completions and unregisters are
+	// cleanup whose rejection would leak pins or flag slots.
+	admit atomic.Int64
+
 	// Stats for the figure harnesses and ablations.
 	Hits          metrics.Counter
 	Misses        metrics.Counter
 	Pushes        metrics.Counter
 	Invalidations metrics.Counter
 	Evictions     metrics.Counter
+	// Sheds counts lookups rejected by admission control.
+	Sheds metrics.Counter
 }
 
 // bufStripe is one directory shard. Frames in [base, base+count) belong to
@@ -84,7 +92,14 @@ type bufStripe struct {
 	byFr  []*dirEntry // frame-base -> entry (nil = free)
 	free  []int
 	lru   *list.List // *dirEntry, most-recent at back
+
+	// inflight counts lookups currently admitted to this stripe (queued on
+	// mu or executing) for load shedding.
+	inflight atomic.Int64
 }
+
+// bufAdmitDefault bounds concurrently admitted lookups per stripe.
+const bufAdmitDefault = 64
 
 // bufStripeCount picks the shard count: tiny pools (unit tests sized to
 // force eviction) keep a single stripe so global LRU order is preserved;
@@ -134,6 +149,7 @@ func NewServer(ep *rdma.Endpoint, fabric *rdma.Fabric, store *storage.Store, fra
 		store:  store,
 		frames: frames,
 	}
+	s.admit.Store(bufAdmitDefault)
 	s.initStripes()
 	ep.Serve(ServiceBuf, s.handle)
 	return s
@@ -173,6 +189,11 @@ func (s *Server) SetRetryPolicy(p common.RetryPolicy) { s.retry = p }
 // push, pin, or unregister pages.
 func (s *Server) SetEpochGate(g common.EpochGate) { s.gate = g }
 
+// SetAdmissionLimit bounds concurrently admitted lookups per directory
+// stripe; over-limit lookups are shed with ErrOverloaded instead of queuing
+// on the stripe mutex. n <= 0 disables shedding.
+func (s *Server) SetAdmissionLimit(n int) { s.admit.Store(int64(n)) }
+
 func bufReq(op byte, node common.NodeID, pg common.PageID, frame uint32, aux uint32) []byte {
 	b := make([]byte, 19)
 	b[0] = op
@@ -198,11 +219,28 @@ func (s *Server) handle(req []byte) ([]byte, error) {
 	}
 	switch req[0] {
 	case opLookup:
-		fr, ok := s.lookup(node, pg, aux)
-		resp := make([]byte, 5)
+		// Admission control: only lookups are shed. Push completions and
+		// unregisters are cleanup whose rejection would leak pins or copy
+		// registrations, and preparePush is coherence-critical (a node must
+		// be able to flush a dirty frame before releasing its PLock).
+		if lim := s.admit.Load(); lim > 0 {
+			st := s.stripeFor(pg)
+			if st.inflight.Add(1) > lim {
+				st.inflight.Add(-1)
+				s.Sheds.Inc()
+				return nil, fmt.Errorf("bufferfusion: lookup stripe of page %d over admission bound %d: %w",
+					pg, lim, common.ErrOverloaded)
+			}
+			defer st.inflight.Add(-1)
+		}
+		fr, ok, clean := s.lookup(node, pg, aux)
+		resp := make([]byte, 6)
 		if ok {
 			resp[0] = 1
 			binary.LittleEndian.PutUint32(resp[1:], uint32(fr))
+			if clean {
+				resp[5] = 1
+			}
 		}
 		return resp, nil
 	case opPreparePush:
@@ -215,7 +253,7 @@ func (s *Server) handle(req []byte) ([]byte, error) {
 		binary.LittleEndian.PutUint32(resp[1:], uint32(fr))
 		return resp, nil
 	case opPushed:
-		s.pushed(node, pg, int(frame))
+		s.pushed(node, pg, int(frame), aux == 1)
 		return nil, nil
 	case opUnregister:
 		s.unregister(node, pg)
@@ -226,8 +264,13 @@ func (s *Server) handle(req []byte) ([]byte, error) {
 }
 
 // lookup registers node (with its invalid-flag index) as a copy holder and
-// returns the page's frame, if present.
-func (s *Server) lookup(node common.NodeID, pg common.PageID, invalIdx uint32) (int, bool) {
+// returns the page's frame, if present. clean reports that the storage
+// image is as new as the DBP frame (the frame was pushed from a storage
+// read, or has been flushed since its last dirty push), which lets the
+// client hedge a slow DBP read with a storage read without risking a stale
+// image. The bit is stable for the caller: it holds a covering PLock, so no
+// other node can push a newer image while the fetch is in flight.
+func (s *Server) lookup(node common.NodeID, pg common.PageID, invalIdx uint32) (int, bool, bool) {
 	st := s.stripeFor(pg)
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -242,16 +285,16 @@ func (s *Server) lookup(node common.NodeID, pg common.PageID, invalIdx uint32) (
 			e.copies[node] = invalIdx
 		}
 		s.Misses.Inc()
-		return 0, false
+		return 0, false, false
 	}
 	e.copies[node] = invalIdx
 	st.lru.MoveToBack(e.lruEl)
 	if s.storageMode {
 		s.Misses.Inc()
-		return 0, false
+		return 0, false, false
 	}
 	s.Hits.Inc()
-	return e.frame, true
+	return e.frame, true, !e.dirty
 }
 
 // preparePush pins (allocating if needed) the page's frame so the caller can
@@ -288,8 +331,11 @@ func (s *Server) preparePush(node common.NodeID, pg common.PageID, invalIdx uint
 }
 
 // pushed completes a push: unpin, mark dirty, and remotely invalidate every
-// other node's copy through the stored invalid-flag addresses.
-func (s *Server) pushed(node common.NodeID, pg common.PageID, frame int) {
+// other node's copy through the stored invalid-flag addresses. clean marks
+// a push whose image was just read from storage (a fetch registering the
+// page in the DBP): it never downgrades an already-dirty entry — it only
+// refrains from dirtying one, keeping the storage-hedge bit conservative.
+func (s *Server) pushed(node common.NodeID, pg common.PageID, frame int, clean bool) {
 	st := s.stripeFor(pg)
 	st.mu.Lock()
 	e := st.dir[pg]
@@ -300,7 +346,9 @@ func (s *Server) pushed(node common.NodeID, pg common.PageID, frame int) {
 	if e.pins > 0 {
 		e.pins--
 	}
-	e.dirty = !s.storageMode
+	if !s.storageMode && !clean {
+		e.dirty = true
+	}
 	type target struct {
 		node common.NodeID
 		idx  uint32

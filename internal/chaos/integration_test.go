@@ -3,6 +3,7 @@ package chaos_test
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -254,4 +255,66 @@ func TestWorkloadUnderLossyPlan(t *testing.T) {
 		t.Fatalf("%d faults leaked; first: %v", len(res.leaked), res.leaked[0])
 	}
 	checkInvariants(t, c, sp, nodes, res)
+}
+
+// TestWorkloadUnderFailSlowPlans exercises the two fail-slow presets end to
+// end (previously only reachable through cmd/mpchaos): a crawling node and a
+// browning-out store. Nothing crashes, so nothing may leak to the app; the
+// cluster must converge once the faults stop; and closing the cluster must
+// release every goroutine the degraded run parked (hedge losers, retry
+// sleepers, lease loops) — a fail-slow window must not strand workers.
+func TestWorkloadUnderFailSlowPlans(t *testing.T) {
+	const nodes = 3
+	txPerNode := 60
+	if testing.Short() {
+		txPerNode = 25
+	}
+	cases := []struct {
+		name  string
+		plan  chaos.Plan
+		store bool // install on the storage layer too
+	}{
+		{"slownode", chaos.SlowNodePlan(1, 300*time.Microsecond), false},
+		{"stalledstorage", chaos.StalledStoragePlan(200*time.Microsecond, 0.02), true},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			base := runtime.NumGoroutine()
+			c, sp := chaosCluster(t, nodes, core.Config{})
+			eng := chaos.MustNew(42, tc.plan)
+			if tc.store {
+				eng.Install(c.Fabric(), c.Store())
+			} else {
+				eng.Install(c.Fabric(), nil)
+			}
+
+			res := runWorkload(t, c, sp, nodes, txPerNode)
+
+			chaos.Uninstall(c.Fabric(), c.Store())
+			if len(res.leaked) > 0 {
+				t.Fatalf("%d faults leaked; first: %v", len(res.leaked), res.leaked[0])
+			}
+			if len(res.committed) == 0 || len(res.rolledBack) == 0 {
+				t.Fatalf("degenerate workload: %d committed, %d rolled back",
+					len(res.committed), len(res.rolledBack))
+			}
+			if eng.OpCount() == 0 || len(eng.Events()) == 0 {
+				t.Fatalf("plan not exercised (%d ops, %d events)", eng.OpCount(), len(eng.Events()))
+			}
+			checkInvariants(t, c, sp, nodes, res)
+
+			// Close is idempotent, so the chaosCluster cleanup stays a no-op.
+			c.Close()
+			deadline := time.Now().Add(5 * time.Second)
+			for runtime.NumGoroutine() > base && time.Now().Before(deadline) {
+				time.Sleep(5 * time.Millisecond)
+			}
+			if g := runtime.NumGoroutine(); g > base {
+				buf := make([]byte, 1<<20)
+				n := runtime.Stack(buf, true)
+				t.Fatalf("goroutine leak after Close: %d live, %d at start\n%s", g, base, buf[:n])
+			}
+		})
+	}
 }

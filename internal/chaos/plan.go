@@ -270,6 +270,34 @@ func StalledStoragePlan(stall time.Duration, dropProb float64) Plan {
 	}
 }
 
+// BrownoutPlan models a gray-failure brownout: nothing crashes and nothing
+// partitions — everything just gets slow. A fraction of storage I/O stalls,
+// every fabric op touching one node crawls (a degraded NIC; heartbeats keep
+// flowing, so the node is fail-slow, never fail-stopped), and a small
+// fraction of one-sided DBP frame reads stall hard (the bimodal tail that
+// makes hedged reads pay off — a uniform slowdown would just raise the
+// latency EWMA and with it the hedge delay). The graceful-degradation
+// machinery (deadline budgets, admission control, hedging, fail-slow
+// suspicion) must keep goodput up and tail latency bounded under this plan.
+func BrownoutPlan(slow common.NodeID, linkDelay, storageStall, dbpStall time.Duration) Plan {
+	return Plan{
+		Name: "brownout",
+		Rules: []Rule{
+			{Name: "stall-storage", Layer: common.FaultLayerStorage, Prob: 0.2,
+				Action: Action{Kind: ActDelay, Delay: storageStall}},
+			{Name: "slow-link-to", Layer: common.FaultLayerRDMA,
+				Dst: []common.NodeID{slow}, Prob: 1,
+				Action: Action{Kind: ActDelay, Delay: linkDelay}},
+			{Name: "slow-link-from", Layer: common.FaultLayerRDMA,
+				Src: []common.NodeID{slow}, Prob: 1,
+				Action: Action{Kind: ActDelay, Delay: linkDelay}},
+			{Name: "stall-dbp-read", Layer: common.FaultLayerRDMA,
+				Classes: []string{common.FaultRead}, Target: "pmfs.dbp", Prob: 0.05,
+				Action: Action{Kind: ActDelay, Delay: dbpStall}},
+		},
+	}
+}
+
 // CrashNodePlan fail-stops node once the global op index reaches atOp — an
 // undeclared mid-workload crash. The harness must install a crash handler
 // (Engine.SetCrashHandler) and is expected to let the cluster's lease-based
@@ -308,6 +336,8 @@ func PresetPlan(name string) (Plan, error) {
 		return SlowNodePlan(1, 500*time.Microsecond), nil
 	case "stalledstorage":
 		return StalledStoragePlan(300*time.Microsecond, 0.02), nil
+	case "brownout":
+		return BrownoutPlan(1, 10*time.Millisecond, 2*time.Millisecond, 10*time.Millisecond), nil
 	case "none":
 		return Plan{Name: "none"}, nil
 	default:

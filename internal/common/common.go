@@ -118,6 +118,20 @@ var (
 	ErrClosed        = errors.New("polardbmp: closed")
 	ErrReadOnly      = errors.New("polardbmp: read-only transaction")
 
+	// ErrDeadlineExceeded means a transaction exhausted its Deadline budget.
+	// It is deliberately NOT retryable and NOT transient: the budget is
+	// end-to-end, so once it is spent, neither the communication layer nor
+	// the application should try again — the transaction aborts, releases
+	// its locks, and the caller decides with a fresh budget.
+	ErrDeadlineExceeded = errors.New("polardbmp: transaction deadline exceeded")
+
+	// ErrOverloaded means a fusion server shed the request at admission
+	// because the target stripe's queue was full. It is transient (the
+	// communication layer retries it with jittered backoff, by which time
+	// the queue has usually drained) and retryable (a transaction that
+	// still fails after backoff may be retried whole by the application).
+	ErrOverloaded = errors.New("polardbmp: fusion server overloaded")
+
 	// Fabric/storage addressing errors (typed so retry logic can classify
 	// them with errors.Is instead of string matching).
 	ErrNoRegion    = errors.New("polardbmp: no such memory region")
@@ -133,8 +147,11 @@ var (
 
 // IsRetryable reports whether err represents a transient transaction failure
 // the application is expected to retry (deadlock / OCC conflict / lock
-// timeout), matching how Aurora-MM surfaces write conflicts (§2.3).
+// timeout / admission-control shed), matching how Aurora-MM surfaces write
+// conflicts (§2.3). ErrDeadlineExceeded is deliberately absent: the budget
+// was the application's own bound, so retrying inside it is meaningless.
 func IsRetryable(err error) bool {
 	return errors.Is(err, ErrDeadlock) || errors.Is(err, ErrWriteConflict) ||
-		errors.Is(err, ErrLockTimeout) || errors.Is(err, ErrFenced)
+		errors.Is(err, ErrLockTimeout) || errors.Is(err, ErrFenced) ||
+		errors.Is(err, ErrOverloaded)
 }

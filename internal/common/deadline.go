@@ -1,0 +1,57 @@
+package common
+
+import "time"
+
+// Deadline is a per-transaction time budget. The zero value means
+// "unbounded": every check on it is a single struct-field test with no
+// clock read and no allocation, which is what keeps the no-deadline commit
+// hot path free (the alloc guard in deadline_test.go pins this).
+//
+// A non-zero Deadline carries the monotonic reading time.Now embeds, so
+// expiry checks are wall-clock-adjustment safe. Deadlines propagate by
+// value: every layer from the engine down to the fabric verbs receives the
+// same point in time, so the budget is end-to-end rather than per-hop.
+type Deadline struct {
+	t time.Time
+}
+
+// DeadlineAfter returns a deadline d from now. Non-positive budgets return
+// the zero (unbounded) Deadline.
+func DeadlineAfter(d time.Duration) Deadline {
+	if d <= 0 {
+		return Deadline{}
+	}
+	return Deadline{t: time.Now().Add(d)}
+}
+
+// DeadlineAt returns a deadline at the given instant.
+func DeadlineAt(t time.Time) Deadline { return Deadline{t: t} }
+
+// IsZero reports whether the deadline is unbounded.
+func (d Deadline) IsZero() bool { return d.t.IsZero() }
+
+// Expired reports whether the deadline has passed. The zero Deadline never
+// expires and is checked without reading the clock.
+func (d Deadline) Expired() bool {
+	return !d.t.IsZero() && !time.Now().Before(d.t)
+}
+
+// Remaining returns the time left and whether the deadline is bounded at
+// all. A bounded, already-expired deadline returns a non-positive duration.
+func (d Deadline) Remaining() (time.Duration, bool) {
+	if d.t.IsZero() {
+		return 0, false
+	}
+	return time.Until(d.t), true
+}
+
+// Err returns ErrDeadlineExceeded if the deadline has passed, nil
+// otherwise. It is the standard guard at blocking-operation entry points:
+//
+//	if err := dl.Err(); err != nil { return err }
+func (d Deadline) Err() error {
+	if d.Expired() {
+		return ErrDeadlineExceeded
+	}
+	return nil
+}

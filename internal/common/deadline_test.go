@@ -1,0 +1,145 @@
+package common
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestDeadlineZeroValue(t *testing.T) {
+	var dl Deadline
+	if !dl.IsZero() {
+		t.Fatal("zero Deadline must report IsZero")
+	}
+	if dl.Expired() {
+		t.Fatal("zero Deadline must never expire")
+	}
+	if err := dl.Err(); err != nil {
+		t.Fatalf("zero Deadline Err = %v", err)
+	}
+	if _, bounded := dl.Remaining(); bounded {
+		t.Fatal("zero Deadline must be unbounded")
+	}
+	if !DeadlineAfter(0).IsZero() || !DeadlineAfter(-time.Second).IsZero() {
+		t.Fatal("non-positive budgets must produce the unbounded Deadline")
+	}
+}
+
+func TestDeadlineExpiry(t *testing.T) {
+	dl := DeadlineAfter(time.Hour)
+	if dl.IsZero() || dl.Expired() {
+		t.Fatal("fresh one-hour deadline must be bounded and unexpired")
+	}
+	if rem, bounded := dl.Remaining(); !bounded || rem <= 0 || rem > time.Hour {
+		t.Fatalf("Remaining = %v bounded=%v", rem, bounded)
+	}
+	past := DeadlineAt(time.Now().Add(-time.Millisecond))
+	if !past.Expired() {
+		t.Fatal("past deadline must be expired")
+	}
+	if !errors.Is(past.Err(), ErrDeadlineExceeded) {
+		t.Fatalf("past deadline Err = %v", past.Err())
+	}
+	if rem, bounded := past.Remaining(); !bounded || rem > 0 {
+		t.Fatalf("expired Remaining = %v bounded=%v", rem, bounded)
+	}
+}
+
+// TestDeadlineZeroAllocs pins the cost of the no-deadline hot path: the
+// checks the commit path performs on an unset Deadline must not allocate
+// (and, structurally, never read the clock). This is the deadline analogue
+// of trace's TestNilTracerZeroAllocs.
+func TestDeadlineZeroAllocs(t *testing.T) {
+	var dl Deadline
+	allocs := testing.AllocsPerRun(1000, func() {
+		if dl.Expired() {
+			t.Fatal("unreachable")
+		}
+		if err := dl.Err(); err != nil {
+			t.Fatal("unreachable")
+		}
+		if !dl.IsZero() {
+			t.Fatal("unreachable")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("unset Deadline checks allocate %.1f/op, want 0", allocs)
+	}
+	// A set deadline is the slow path but must still be allocation-free.
+	set := DeadlineAfter(time.Hour)
+	allocs = testing.AllocsPerRun(1000, func() {
+		if set.Expired() {
+			t.Fatal("unreachable")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("set Deadline check allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestErrorClassification(t *testing.T) {
+	if !IsTransient(ErrOverloaded) {
+		t.Fatal("ErrOverloaded must be transient (Retry absorbs it with backoff)")
+	}
+	if !IsRetryable(ErrOverloaded) {
+		t.Fatal("ErrOverloaded must be application-retryable")
+	}
+	if IsTransient(ErrDeadlineExceeded) || IsRetryable(ErrDeadlineExceeded) {
+		t.Fatal("ErrDeadlineExceeded must be neither transient nor retryable")
+	}
+	wrapped := fmt.Errorf("ctx: %w", ErrOverloaded)
+	if !IsTransient(wrapped) || !IsRetryable(wrapped) {
+		t.Fatal("classification must survive wrapping")
+	}
+}
+
+func TestRetryDeadlineStopsAtBudget(t *testing.T) {
+	calls := 0
+	start := time.Now()
+	dl := DeadlineAfter(200 * time.Microsecond)
+	err := RetryDeadline(RetryPolicy{MaxAttempts: 50, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond}, dl,
+		func() error { calls++; return fmt.Errorf("flaky: %w", ErrInjected) })
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrDeadlineExceeded", err)
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, must still wrap the last transient error", err)
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("RetryDeadline slept %v past a 200µs budget", elapsed)
+	}
+	if calls == 0 || calls >= 50 {
+		t.Fatalf("calls = %d, want a handful bounded by the budget", calls)
+	}
+}
+
+func TestRetryDeadlineZeroIsPlainRetry(t *testing.T) {
+	calls := 0
+	err := RetryDeadline(RetryPolicy{MaxAttempts: 3, BaseDelay: time.Microsecond, MaxDelay: time.Microsecond},
+		Deadline{}, func() error {
+			calls++
+			if calls < 3 {
+				return ErrInjected
+			}
+			return nil
+		})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d, want success on attempt 3", err, calls)
+	}
+}
+
+func TestRetryAbsorbsOverloadedShed(t *testing.T) {
+	calls := 0
+	err := Retry(RetryPolicy{MaxAttempts: 4, BaseDelay: time.Microsecond, MaxDelay: time.Microsecond},
+		func() error {
+			calls++
+			if calls < 3 {
+				return fmt.Errorf("shed: %w", ErrOverloaded)
+			}
+			return nil
+		})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d, want the shed absorbed by backoff", err, calls)
+	}
+}

@@ -56,12 +56,15 @@ func (p RetryPolicy) fill() RetryPolicy {
 }
 
 // IsTransient reports whether err is a transient fabric/storage fault that
-// the communication layer itself should retry: an injected fault or a
-// partition. Crash fences (ErrNodeDown, ErrFenced), deadlocks, and protocol
-// errors are deliberately excluded — those must fail fast so the engine's
+// the communication layer itself should retry: an injected fault, a
+// partition, or an admission-control shed (the jittered backoff below IS
+// the overload back-pressure mechanism). Crash fences (ErrNodeDown,
+// ErrFenced), deadlocks, deadline expiry, and protocol errors are
+// deliberately excluded — those must fail fast so the engine's
 // crash-recovery and abort paths keep their semantics.
 func IsTransient(err error) bool {
-	return errors.Is(err, ErrInjected) || errors.Is(err, ErrUnreachable)
+	return errors.Is(err, ErrInjected) || errors.Is(err, ErrUnreachable) ||
+		errors.Is(err, ErrOverloaded)
 }
 
 // jitterState drives the backoff jitter without math/rand's global lock.
@@ -88,6 +91,17 @@ func jitter(d time.Duration) time.Duration {
 // immediately. The final transient error is wrapped (errors.Is still
 // matches ErrInjected/ErrUnreachable) with the attempt count.
 func Retry(p RetryPolicy, op func() error) error {
+	return RetryDeadline(p, Deadline{}, op)
+}
+
+// RetryDeadline is Retry bounded by a caller deadline: the loop never
+// sleeps into an exhausted budget. When the next backoff would meet or
+// cross the deadline, it returns immediately with the last transient error
+// wrapped in ErrDeadlineExceeded (errors.Is matches both), because a
+// deadline-bounded caller is better served by a prompt typed failure than
+// by one more attempt it can no longer use. A zero Deadline makes this
+// identical to Retry.
+func RetryDeadline(p RetryPolicy, dl Deadline, op func() error) error {
 	err := op()
 	if err == nil || !IsTransient(err) {
 		return err
@@ -98,7 +112,12 @@ func Retry(p RetryPolicy, op func() error) error {
 	}
 	delay := p.BaseDelay
 	for attempt := 2; attempt <= p.MaxAttempts; attempt++ {
-		time.Sleep(delay/2 + jitter(delay/2))
+		sleep := delay/2 + jitter(delay/2)
+		if rem, bounded := dl.Remaining(); bounded && sleep >= rem {
+			return fmt.Errorf("retry budget exhausted after %d attempts: %w (last: %w)",
+				attempt-1, ErrDeadlineExceeded, err)
+		}
+		time.Sleep(sleep)
 		if err = op(); err == nil || !IsTransient(err) {
 			return err
 		}

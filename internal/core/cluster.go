@@ -8,6 +8,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"slices"
 	"sync"
 	"time"
 
@@ -60,6 +61,17 @@ type Config struct {
 	// paths (the chaos ablation that demonstrates why the retries exist).
 	// Crash fences, deadlocks and timeouts always fail fast either way.
 	DisableRetry bool
+
+	// AdmitPerStripe overrides the fusion servers' admission bound: the
+	// number of concurrently admitted requests per PLock/Buffer directory
+	// stripe before new work is shed with the retryable ErrOverloaded.
+	// Zero keeps the server defaults; negative disables shedding.
+	AdmitPerStripe int
+	// HedgeDelayFloor overrides the minimum delay before a slow DBP frame
+	// read is hedged with a fallback read (see bufferfusion; the effective
+	// delay is max(floor, 8x the node's read-latency EWMA)). Zero keeps
+	// the default (1ms); negative disables hedging.
+	HedgeDelayFloor time.Duration
 
 	// SelfHeal enables online crash recovery: every node heartbeats a
 	// lease into the PMFS membership table and watches its peers; when a
@@ -185,6 +197,10 @@ func (c *Cluster) startPMFS() {
 	rp := c.cfg.retryPolicy()
 	c.lockSrv.SetRetryPolicy(rp)
 	c.bufSrv.SetRetryPolicy(rp)
+	if c.cfg.AdmitPerStripe != 0 {
+		c.lockSrv.PLock.SetAdmissionLimit(c.cfg.AdmitPerStripe)
+		c.bufSrv.SetAdmissionLimit(c.cfg.AdmitPerStripe)
+	}
 }
 
 // Store exposes the shared storage (harness/inspection).
@@ -396,6 +412,22 @@ type LockStats struct {
 	RLockDeadlocks    int64 `json:"rlock_deadlocks"`
 }
 
+// OverloadStats is a snapshot of the graceful-degradation counters:
+// admission-control sheds on the fusion servers, fail-slow read hedges, and
+// transaction latency-budget aborts.
+type OverloadStats struct {
+	// PLockSheds / BufSheds count requests the fusion servers rejected with
+	// the retryable ErrOverloaded (per-stripe admission control).
+	PLockSheds int64 `json:"plock_sheds"`
+	BufSheds   int64 `json:"buf_sheds"`
+	// HedgesFired counts DBP frame reads that outlived the hedge delay;
+	// HedgeWins counts those where the fallback answered first.
+	HedgesFired int64 `json:"hedges_fired"`
+	HedgeWins   int64 `json:"hedge_wins"`
+	// DeadlineAborts counts transactions aborted on a spent latency budget.
+	DeadlineAborts int64 `json:"deadline_aborts"`
+}
+
 // MembershipStats is a snapshot of the lease/online-recovery counters.
 type MembershipStats struct {
 	Epoch           uint64        `json:"epoch"`            // current cluster epoch
@@ -404,18 +436,29 @@ type MembershipStats struct {
 	LeaseRenewals   int64         `json:"lease_renewals"`   // heartbeat writes by live nodes
 	Takeovers       int64         `json:"takeovers"`        // completed surviving-node takeovers
 	TakeoverMean    time.Duration `json:"takeover_mean_ns"` // mean takeover duration
+	// FailSlowSuspicions counts fail-slow marks raised across all agents: a
+	// peer whose heartbeat-gap EWMA grew well past the renewal cadence while
+	// its lease stayed valid (gray failure — too slow to trust, too alive to
+	// evict). SlowPeers is the union of peers currently under suspicion.
+	FailSlowSuspicions int64 `json:"fail_slow_suspicions"`
+	SlowPeers          []int `json:"slow_peers,omitempty"`
 }
 
 // NodeStats is one node's slice of the cluster snapshot: engine counters,
 // transaction latency quantiles, the fabric ops this node issued, and (with
 // tracing on) its per-stage breakdown.
 type NodeStats struct {
-	Node      int           `json:"node"`
-	Commits   int64         `json:"commits"`
-	Aborts    int64         `json:"aborts"`
-	Deadlocks int64         `json:"deadlocks"`
-	TxP50     time.Duration `json:"tx_p50_ns"`
-	TxP99     time.Duration `json:"tx_p99_ns"`
+	Node      int   `json:"node"`
+	Commits   int64 `json:"commits"`
+	Aborts    int64 `json:"aborts"`
+	Deadlocks int64 `json:"deadlocks"`
+	// DeadlineAborts counts this node's latency-budget aborts; HedgesFired/
+	// HedgeWins its fail-slow DBP read hedges.
+	DeadlineAborts int64         `json:"deadline_aborts"`
+	HedgesFired    int64         `json:"hedges_fired"`
+	HedgeWins      int64         `json:"hedge_wins"`
+	TxP50          time.Duration `json:"tx_p50_ns"`
+	TxP99          time.Duration `json:"tx_p99_ns"`
 	// Fabric counts ops issued BY this node (per-source attribution).
 	Fabric FabricStats           `json:"fabric"`
 	Stages []trace.StageSnapshot `json:"stages,omitempty"`
@@ -434,6 +477,7 @@ type ClusterStats struct {
 	DBPResident int             `json:"dbp_resident_pages"`
 	Locks       LockStats       `json:"locks"`
 	Membership  MembershipStats `json:"membership"`
+	Overload    OverloadStats   `json:"overload"`
 
 	Nodes []NodeStats `json:"nodes,omitempty"`
 
@@ -453,13 +497,16 @@ func (c *Cluster) Stats() ClusterStats {
 	traced := false
 	for _, n := range c.Nodes() {
 		ns := NodeStats{
-			Node:      int(n.id),
-			Commits:   n.Commits.Load(),
-			Aborts:    n.Aborts.Load(),
-			Deadlocks: n.Deadlocks.Load(),
-			TxP50:     n.TxLatency.Quantile(0.50),
-			TxP99:     n.TxLatency.Quantile(0.99),
-			Fabric:    fabricStats(c.fabric.SrcStats(n.id)),
+			Node:           int(n.id),
+			Commits:        n.Commits.Load(),
+			Aborts:         n.Aborts.Load(),
+			Deadlocks:      n.Deadlocks.Load(),
+			DeadlineAborts: n.DeadlineAborts.Load(),
+			HedgesFired:    n.lbp.HedgesFired.Load(),
+			HedgeWins:      n.lbp.HedgeWins.Load(),
+			TxP50:          n.TxLatency.Quantile(0.50),
+			TxP99:          n.TxLatency.Quantile(0.99),
+			Fabric:         fabricStats(c.fabric.SrcStats(n.id)),
 		}
 		if n.tracer != nil {
 			traced = true
@@ -471,9 +518,19 @@ func (c *Cluster) Stats() ClusterStats {
 		s.Commits += ns.Commits
 		s.Aborts += ns.Aborts
 		s.Deadlocks += ns.Deadlocks
+		s.Overload.DeadlineAborts += ns.DeadlineAborts
+		s.Overload.HedgesFired += ns.HedgesFired
+		s.Overload.HedgeWins += ns.HedgeWins
 		s.Membership.LeaseRenewals += n.agent.Renewals.Load()
+		s.Membership.FailSlowSuspicions += n.agent.FailSlowSuspicions.Load()
+		for _, p := range n.agent.SlowPeers() {
+			if !slices.Contains(s.Membership.SlowPeers, int(p)) {
+				s.Membership.SlowPeers = append(s.Membership.SlowPeers, int(p))
+			}
+		}
 		s.Nodes = append(s.Nodes, ns)
 	}
+	slices.Sort(s.Membership.SlowPeers)
 	if traced {
 		s.Stages = merged.Snapshots()
 	}
@@ -484,6 +541,8 @@ func (c *Cluster) Stats() ClusterStats {
 	s.Locks.PLockNegotiations = c.lockSrv.PLock.Negotiations.Load()
 	s.Locks.RLockWaits = c.lockSrv.RLock.Waits.Load()
 	s.Locks.RLockDeadlocks = c.lockSrv.RLock.Deadlocks.Load()
+	s.Overload.PLockSheds = c.lockSrv.PLock.Sheds.Load()
+	s.Overload.BufSheds = c.bufSrv.Sheds.Load()
 	s.Membership.Epoch = uint64(c.members.CurrentEpoch())
 	s.Membership.EpochBumps = c.members.EpochBumps.Load()
 	s.Membership.FalseSuspicions = c.members.FalseSuspicions.Load()

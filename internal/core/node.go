@@ -70,7 +70,10 @@ type Node struct {
 	Commits   metrics.Counter
 	Aborts    metrics.Counter
 	Deadlocks metrics.Counter
-	TxLatency metrics.Histogram
+	// DeadlineAborts counts transactions that failed because their latency
+	// budget expired (ErrDeadlineExceeded — never retried).
+	DeadlineAborts metrics.Counter
+	TxLatency      metrics.Histogram
 }
 
 // newNode registers a node on the fabric and wires its PMFS clients. With
@@ -101,6 +104,9 @@ func (c *Cluster) newNode(id common.NodeID, recovering bool) (*Node, error) {
 	n.rl = lockfusion.NewRLockClient(ep, c.fabric, n.tf, lcfg)
 	n.lbp = bufferfusion.NewClient(ep, c.fabric, c.store, c.cfg.LBPFrames)
 	n.lbp.SetStorageMode(c.cfg.StoragePageSync)
+	if c.cfg.HedgeDelayFloor != 0 {
+		n.lbp.SetHedgeDelayFloor(c.cfg.HedgeDelayFloor)
+	}
 	rp := c.cfg.retryPolicy()
 	n.tf.SetRetryPolicy(rp)
 	n.pl.SetRetryPolicy(rp)

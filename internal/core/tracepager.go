@@ -17,17 +17,21 @@ import (
 // flood the bounded span list during scans); they still land in the node's
 // stage aggregates via the subsystem hooks. btree.Tree is stateless, so a
 // traced transaction builds private trees over this pager without touching
-// the node's shared ones.
+// the node's shared ones. Deadline-bounded transactions also walk through
+// it (tt may then be nil — every TxTrace method is nil-receiver safe): the
+// budget rides into the PLock acquire (bounding the server-side queue wait)
+// and the page fetch (bounding verbs, retries, and storage reads).
 type tracePager struct {
 	n  *Node
 	tt *trace.TxTrace
+	dl common.Deadline
 }
 
 // Acquire implements btree.Pager.
 func (p *tracePager) Acquire(pg common.PageID, mode lockfusion.Mode) (*btree.Ref, error) {
 	n := p.n
 	tok := p.tt.Start()
-	remote, err := n.pl.AcquireEx(pg, mode)
+	remote, err := n.pl.AcquireDeadlineEx(pg, mode, p.dl)
 	if err != nil {
 		return nil, err
 	}
@@ -35,7 +39,7 @@ func (p *tracePager) Acquire(pg common.PageID, mode lockfusion.Mode) (*btree.Ref
 		p.tt.Mark(trace.StagePLockRemote, tok)
 	}
 	tok = p.tt.Start()
-	f, kind, err := n.lbp.GetEx(pg)
+	f, kind, err := n.lbp.GetDeadlineEx(pg, p.dl)
 	if err != nil {
 		n.pl.Release(pg)
 		return nil, err

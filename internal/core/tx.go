@@ -44,6 +44,12 @@ type Tx struct {
 	done    bool
 	started time.Time
 
+	// deadline is the transaction's total latency budget (zero = unbounded).
+	// It bounds every blocking step — PLock queue waits, row-lock parks, DBP
+	// fetches, retry backoff — and is checkpointed at statement entry and
+	// around the commit pipeline.
+	deadline common.Deadline
+
 	cts common.CSN // set on a successful writing commit
 
 	// tr is the transaction's span trace (nil when tracing is off); trees
@@ -63,7 +69,20 @@ func (n *Node) Begin() (*Tx, error) { return n.BeginIso(ReadCommitted) }
 
 // BeginIso starts a transaction at the given isolation level.
 func (n *Node) BeginIso(iso Isolation) (*Tx, error) {
+	return n.BeginDeadline(iso, common.Deadline{})
+}
+
+// BeginDeadline starts a transaction with a total latency budget. Every
+// blocking step charges against dl: PLock queue waits (the budget rides the
+// acquire request so the SERVER bounds the wait), row-lock parks, DBP/storage
+// fetches, retry backoff. Once the budget is spent the transaction fails
+// with the non-retryable ErrDeadlineExceeded and must be rolled back. A zero
+// dl is unbounded and stays on the allocation-free fast path.
+func (n *Node) BeginDeadline(iso Isolation, dl common.Deadline) (*Tx, error) {
 	start := time.Now()
+	if err := dl.Err(); err != nil {
+		return nil, fmt.Errorf("core: node %d begin: %w", n.id, err)
+	}
 	btok := n.tracer.Start()
 	if !n.live.Load() {
 		return nil, fmt.Errorf("core: node %d: %w", n.id, common.ErrNodeDown)
@@ -82,7 +101,7 @@ func (n *Node) BeginIso(iso Isolation) (*Tx, error) {
 			return nil, err
 		}
 	}
-	tx := &Tx{n: n, g: g, iso: iso, started: start}
+	tx := &Tx{n: n, g: g, iso: iso, started: start, deadline: dl}
 	if iso == SnapshotIsolation {
 		csn, err := n.tf.CurrentReadCSN()
 		if err != nil {
@@ -135,21 +154,37 @@ func (tx *Tx) Info() TxInfo {
 
 // tree returns the B-tree handle this transaction walks space through: the
 // node's shared tree normally, a private tree over the traced pager (same
-// anchor, span recording on page access) when the transaction is traced.
+// anchor, span recording on page access) when the transaction is traced or
+// carries a deadline (the private pager threads the budget into PLock
+// acquires and page fetches). Unbounded untraced transactions — the hot
+// path — never leave the shared tree.
 func (tx *Tx) tree(space common.SpaceID) (*btree.Tree, error) {
 	t, err := tx.n.tree(space)
-	if err != nil || tx.tr == nil {
+	if err != nil || (tx.tr == nil && tx.deadline.IsZero()) {
 		return t, err
 	}
 	if pt := tx.trees[space]; pt != nil {
 		return pt, nil
 	}
-	pt := btree.New(&tracePager{n: tx.n, tt: tx.tr}, space, t.Anchor())
+	pt := btree.New(&tracePager{n: tx.n, tt: tx.tr, dl: tx.deadline}, space, t.Anchor())
 	if tx.trees == nil {
 		tx.trees = make(map[common.SpaceID]*btree.Tree)
 	}
 	tx.trees[space] = pt
 	return pt, nil
+}
+
+// checkDeadline is the statement/commit checkpoint: once the budget is
+// spent it counts the abort, marks the span timeline, and returns the
+// non-retryable ErrDeadlineExceeded.
+func (tx *Tx) checkDeadline() error {
+	if !tx.deadline.Expired() {
+		return nil
+	}
+	tx.n.DeadlineAborts.Inc()
+	tok := tx.tr.Start()
+	tx.tr.Mark(trace.StageDeadlineAbort, tok)
+	return fmt.Errorf("core: tx %v: budget spent: %w", tx.g, common.ErrDeadlineExceeded)
 }
 
 // statementView returns the read view for one statement and a release func.
@@ -192,6 +227,9 @@ func (tx *Tx) visibleValue(row *page.Row, view common.CSN, resolve func(*page.Ve
 func (tx *Tx) Get(space common.SpaceID, key []byte) ([]byte, error) {
 	if tx.done {
 		return nil, common.ErrTxDone
+	}
+	if err := tx.checkDeadline(); err != nil {
+		return nil, err
 	}
 	view, release, err := tx.statementView()
 	if err != nil {
@@ -242,6 +280,9 @@ type KV struct {
 func (tx *Tx) Scan(space common.SpaceID, from, to []byte, limit int) ([]KV, error) {
 	if tx.done {
 		return nil, common.ErrTxDone
+	}
+	if err := tx.checkDeadline(); err != nil {
+		return nil, err
 	}
 	view, release, err := tx.statementView()
 	if err != nil {
@@ -336,6 +377,9 @@ func (tx *Tx) write(space common.SpaceID, key, value []byte, op writeOp) error {
 	if len(key)+len(value) > MaxRowSize {
 		return fmt.Errorf("core: row of %d bytes exceeds MaxRowSize %d", len(key)+len(value), MaxRowSize)
 	}
+	if err := tx.checkDeadline(); err != nil {
+		return err
+	}
 	t, err := tx.tree(space)
 	if err != nil {
 		return err
@@ -396,11 +440,14 @@ func (tx *Tx) write(space common.SpaceID, key, value []byte, op writeOp) error {
 				holder := head.Trx
 				tx.n.releasePager(ref)
 				wtok := tx.tr.Start()
-				err := tx.n.rl.WaitFor(tx.g, holder)
+				err := tx.n.rl.WaitForDeadline(tx.g, holder, tx.deadline)
 				tx.tr.Observe(trace.StageRowLockWait, wtok)
 				if err != nil {
 					if errors.Is(err, common.ErrDeadlock) {
 						tx.n.Deadlocks.Inc()
+					} else if errors.Is(err, common.ErrDeadlineExceeded) {
+						tx.n.DeadlineAborts.Inc()
+						tx.tr.Mark(trace.StageDeadlineAbort, wtok)
 					}
 					return err
 				}
@@ -486,6 +533,12 @@ func (tx *Tx) Commit() error {
 		n.tracer.FinishTx(tx.tr, 0, true)
 		return nil
 	}
+	// Deadline checkpoint: a transaction whose budget is already spent must
+	// not start the commit pipeline (TSO grant, log force) it cannot afford.
+	if err := tx.checkDeadline(); err != nil {
+		tx.rollbackLocked()
+		return err
+	}
 	// Lease self-check: a slow-but-alive node that lost its lease has been
 	// taken over — its in-flight writes are already resolved by a survivor,
 	// so publishing this commit would fork history. Abort instead.
@@ -498,6 +551,14 @@ func (tx *Tx) Commit() error {
 	if err != nil {
 		// Cannot reach the TSO (PMFS partition/crash): the transaction
 		// cannot commit; roll it back.
+		tx.rollbackLocked()
+		return err
+	}
+	// Post-grant checkpoint: the flat-combined TSO round may have stalled
+	// past the budget (the leader retries on behalf of the whole group).
+	// Aborting here wastes one CSN — timestamps need only be monotonic, not
+	// dense — and keeps the overrun bounded before the log force.
+	if err := tx.checkDeadline(); err != nil {
 		tx.rollbackLocked()
 		return err
 	}

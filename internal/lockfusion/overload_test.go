@@ -1,0 +1,109 @@
+package lockfusion
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"polardbmp/internal/common"
+)
+
+// TestPLockAdmissionShedsOverLimit drives one stripe past its admission
+// bound and verifies the overflow request is rejected with ErrOverloaded
+// (after the client's transient-retry backoff) while the admitted waiter is
+// unaffected, and that the shed is counted.
+func TestPLockAdmissionShedsOverLimit(t *testing.T) {
+	tc := newTestCluster(t, 2, Config{})
+	tc.srv.PLock.SetAdmissionLimit(1)
+
+	// Node 1 holds X on two pages of the SAME stripe (stripeOf = pg % 16)
+	// with live references, so remote requests queue behind revokes that
+	// cannot complete until the references drop.
+	if err := tc.pl[0].Acquire(1, ModeX); err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.pl[0].Acquire(17, ModeX); err != nil {
+		t.Fatal(err)
+	}
+
+	// First remote acquire fills the stripe's single admission slot.
+	first := make(chan error, 1)
+	go func() { first <- tc.pl[1].Acquire(1, ModeX) }()
+	deadlineWait := time.Now().Add(2 * time.Second)
+	for tc.srv.PLock.QueuedWaiters() == 0 && time.Now().Before(deadlineWait) {
+		time.Sleep(time.Millisecond)
+	}
+
+	// Second acquire on the same stripe must be shed, not queued.
+	err := tc.pl[1].Acquire(17, ModeX)
+	if !errors.Is(err, common.ErrOverloaded) {
+		t.Fatalf("over-limit acquire err = %v, want ErrOverloaded", err)
+	}
+	if tc.srv.PLock.Sheds.Load() == 0 {
+		t.Fatal("shed not counted")
+	}
+
+	// Draining the stripe lets both pages through again.
+	tc.pl[0].Release(1)
+	tc.pl[0].Release(17)
+	select {
+	case err := <-first:
+		if err != nil {
+			t.Fatalf("admitted waiter failed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("admitted waiter never granted after release")
+	}
+	if err := tc.pl[1].Acquire(17, ModeX); err != nil {
+		t.Fatalf("acquire after drain: %v", err)
+	}
+}
+
+// TestPLockAcquireDeadlineExpiresInQueue parks a deadline-bounded acquire
+// behind a busy holder and verifies the SERVER bounds the queue wait: the
+// waiter comes back with ErrDeadlineExceeded well before the 10s backstop,
+// and its queue slot is reclaimed.
+func TestPLockAcquireDeadlineExpiresInQueue(t *testing.T) {
+	tc := newTestCluster(t, 2, Config{})
+	if err := tc.pl[0].Acquire(2, ModeX); err != nil {
+		t.Fatal(err) // refs=1: the revoke cannot complete
+	}
+	start := time.Now()
+	_, err := tc.pl[1].AcquireDeadlineEx(2, ModeX, common.DeadlineAfter(50*time.Millisecond))
+	if !errors.Is(err, common.ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrDeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("deadline-bounded acquire took %v (backstop fired instead of budget)", elapsed)
+	}
+	// The dead waiter must not hold its FIFO slot: after the holder drains,
+	// a fresh acquire succeeds.
+	tc.pl[0].Release(2)
+	if err := tc.pl[1].Acquire(2, ModeX); err != nil {
+		t.Fatalf("acquire after expiry: %v", err)
+	}
+}
+
+// TestRLockWaitForDeadline verifies the park timer is capped by the
+// caller's budget (returning the non-retryable ErrDeadlineExceeded) while
+// an unbounded wait still uses cfg.WaitTimeout -> ErrLockTimeout.
+func TestRLockWaitForDeadline(t *testing.T) {
+	tc := newTestCluster(t, 2, Config{WaitTimeout: 5 * time.Second})
+	holder, _ := tc.tf[0].Begin(1)
+	waiter, _ := tc.tf[1].Begin(2)
+
+	start := time.Now()
+	err := tc.rl[1].WaitForDeadline(waiter, holder, common.DeadlineAfter(50*time.Millisecond))
+	if !errors.Is(err, common.ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrDeadlineExceeded", err)
+	}
+	if errors.Is(err, common.ErrLockTimeout) {
+		t.Fatal("budget-capped expiry must not be classified as a lock timeout")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("budget-capped wait took %v, want ~50ms", elapsed)
+	}
+	if tc.srv.RLock.WaitEdges() != 0 {
+		t.Fatal("expired wait edge leaked")
+	}
+}

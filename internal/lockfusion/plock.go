@@ -31,6 +31,42 @@ func plockReqBuf(op byte, node common.NodeID, pg common.PageID, mode Mode) []byt
 	return b
 }
 
+// plockAcquireReqLen is the acquire request size: the 12-byte common header
+// plus a uint32 wait budget in microseconds (0 = unbounded). The budget
+// rides the wire so the SERVER can bound the waiter's queue time: a
+// client-side timer alone would leave the abandoned waiter queued, holding
+// its FIFO slot against peers, until the backstop fired.
+const plockAcquireReqLen = 16
+
+func plockAcquireReqBuf(node common.NodeID, pg common.PageID, mode Mode, budgetMicros uint32) []byte {
+	b := make([]byte, plockAcquireReqLen)
+	b[0] = opPLockAcquire
+	binary.LittleEndian.PutUint16(b[1:], uint16(node))
+	binary.LittleEndian.PutUint64(b[3:], uint64(pg))
+	b[11] = byte(mode)
+	binary.LittleEndian.PutUint32(b[12:], budgetMicros)
+	return b
+}
+
+// deadlineBudgetMicros converts a deadline's remaining time to the uint32
+// microsecond wire form: 0 for unbounded, clamped to [1, MaxUint32] when
+// bounded (an already-expired budget still sends 1µs so the server answers
+// promptly rather than treating it as unbounded).
+func deadlineBudgetMicros(dl common.Deadline) uint32 {
+	rem, bounded := dl.Remaining()
+	if !bounded {
+		return 0
+	}
+	us := rem.Microseconds()
+	if us < 1 {
+		return 1
+	}
+	if us > int64(^uint32(0)) {
+		return ^uint32(0)
+	}
+	return uint32(us)
+}
+
 // relPage is one (page, held mode) element of a batched release.
 type relPage struct {
 	pg   common.PageID
@@ -92,16 +128,27 @@ type PLockServer struct {
 	deadMu sync.RWMutex
 	dead   map[common.NodeID]bool
 
+	// admit bounds concurrently admitted acquire requests per stripe
+	// (<=0 disables shedding). Requests over the bound are rejected with
+	// ErrOverloaded instead of queueing, so a hot stripe's queue — and the
+	// latency of everything behind it — stays bounded under overload.
+	admit atomic.Int64
+
 	// Grants counts lock grants; Negotiations counts revoke RPCs sent (a
 	// coalesced multi-page revoke counts once — it IS one message; the
 	// message-overhead metric behind lazy release, §4.3.1).
 	Grants       metrics.Counter
 	Negotiations metrics.Counter
+	// Sheds counts acquires rejected by admission control.
+	Sheds metrics.Counter
 }
 
 type plockStripe struct {
 	mu      sync.Mutex
 	entries map[common.PageID]*plockEntry
+	// inflight counts admitted acquire requests currently inside the
+	// stripe (queued or granting); the admission bound compares against it.
+	inflight atomic.Int64
 }
 
 type plockEntry struct {
@@ -119,18 +166,28 @@ type plockWaiter struct {
 	err     error // set before granted is closed on failure
 }
 
+// plockAdmitDefault is the per-stripe admission bound: far above the bench
+// peak (8 nodes × 3 threads across 16 stripes), so shedding only engages
+// under genuine overload.
+const plockAdmitDefault = 64
+
 func newPLockServer(ep *rdma.Endpoint, fabric *rdma.Fabric) *PLockServer {
 	s := &PLockServer{
 		fabric: fabric.From(ep.Node()),
 		retry:  common.DefaultRetryPolicy(),
 		dead:   make(map[common.NodeID]bool),
 	}
+	s.admit.Store(plockAdmitDefault)
 	for i := range s.stripes {
 		s.stripes[i].entries = make(map[common.PageID]*plockEntry)
 	}
 	ep.Serve(ServicePLock, s.handle)
 	return s
 }
+
+// SetAdmissionLimit bounds concurrently admitted acquires per stripe;
+// n <= 0 disables load shedding.
+func (s *PLockServer) SetAdmissionLimit(n int) { s.admit.Store(int64(n)) }
 
 func (s *PLockServer) stripeOf(pg common.PageID) *plockStripe {
 	return &s.stripes[uint64(pg)%plockStripes]
@@ -157,20 +214,30 @@ func (s *PLockServer) handle(req []byte) ([]byte, error) {
 		return nil, common.ErrShortBuffer
 	}
 	switch req[0] {
-	case opPLockAcquire, opPLockRelease:
-		if len(req) < 12 {
+	case opPLockAcquire:
+		if len(req) < plockAcquireReqLen {
 			return nil, common.ErrShortBuffer
 		}
 		node := common.NodeID(binary.LittleEndian.Uint16(req[1:]))
 		pg := common.PageID(binary.LittleEndian.Uint64(req[3:]))
 		mode := Mode(req[11])
+		budget := binary.LittleEndian.Uint32(req[12:])
+		if s.gate != nil {
+			if err := s.gate(node, common.TrailingEpoch(req, plockAcquireReqLen)); err != nil {
+				return nil, err
+			}
+		}
+		return nil, s.acquire(node, pg, mode, budget)
+	case opPLockRelease:
+		if len(req) < 12 {
+			return nil, common.ErrShortBuffer
+		}
+		node := common.NodeID(binary.LittleEndian.Uint16(req[1:]))
+		pg := common.PageID(binary.LittleEndian.Uint64(req[3:]))
 		if s.gate != nil {
 			if err := s.gate(node, common.TrailingEpoch(req, 12)); err != nil {
 				return nil, err
 			}
-		}
-		if req[0] == opPLockAcquire {
-			return nil, s.acquire(node, pg, mode)
 		}
 		s.release(node, pg)
 		return nil, nil
@@ -217,8 +284,23 @@ func (st *plockStripe) entry(pg common.PageID) *plockEntry {
 // conflicting with a crashed node's retained lock fails fast with ErrFenced
 // (retryable): blocking would let live transactions hold-and-wait against a
 // fence only that node's recovery can lift.
-func (s *PLockServer) acquire(node common.NodeID, pg common.PageID, mode Mode) error {
+//
+// budgetMicros is the requester's remaining deadline budget (0 = none): the
+// wait is capped at min(budget, backstop), and a budget-capped expiry
+// returns ErrDeadlineExceeded — non-retryable, unlike the backstop's
+// ErrLockTimeout — so the transaction's end-to-end bound holds even while
+// it is queued here.
+func (s *PLockServer) acquire(node common.NodeID, pg common.PageID, mode Mode, budgetMicros uint32) error {
 	st := s.stripeOf(pg)
+	if lim := s.admit.Load(); lim > 0 {
+		if st.inflight.Add(1) > lim {
+			st.inflight.Add(-1)
+			s.Sheds.Inc()
+			return fmt.Errorf("plock: stripe of page %d over admission bound %d: %w",
+				pg, lim, common.ErrOverloaded)
+		}
+		defer st.inflight.Add(-1)
+	}
 	st.mu.Lock()
 	e := st.entry(pg)
 	if held, ok := e.holders[node]; ok && held.Covers(mode) {
@@ -243,10 +325,18 @@ func (s *PLockServer) acquire(node common.NodeID, pg common.PageID, mode Mode) e
 	st.mu.Unlock()
 	s.sendRevokes([]pendingRevokes{{pg, revokees}})
 
+	wait := plockWaitBackstop
+	deadlineBound := false
+	if budgetMicros > 0 {
+		if b := time.Duration(budgetMicros) * time.Microsecond; b < wait {
+			wait = b
+			deadlineBound = true
+		}
+	}
 	select {
 	case <-w.granted:
 		return w.err
-	case <-time.After(plockWaitBackstop):
+	case <-time.After(wait):
 		// Remove the waiter if still queued; if the grant raced the
 		// timeout, accept it.
 		st.mu.Lock()
@@ -254,6 +344,10 @@ func (s *PLockServer) acquire(node common.NodeID, pg common.PageID, mode Mode) e
 			if q == w {
 				e.queue = append(e.queue[:i], e.queue[i+1:]...)
 				st.mu.Unlock()
+				if deadlineBound {
+					return fmt.Errorf("plock: page %d mode %v for node %d: wait budget spent: %w",
+						pg, mode, node, common.ErrDeadlineExceeded)
+				}
 				return fmt.Errorf("plock: page %d mode %v for node %d: %w",
 					pg, mode, node, common.ErrLockTimeout)
 			}
@@ -528,6 +622,21 @@ func (s *PLockServer) HeldBy(node common.NodeID) map[common.PageID]Mode {
 	return out
 }
 
+// QueuedWaiters returns the number of blocked acquire waiters across all
+// stripes (tests and overload diagnostics).
+func (s *PLockServer) QueuedWaiters() int {
+	n := 0
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		for _, e := range st.entries {
+			n += len(e.queue)
+		}
+		st.mu.Unlock()
+	}
+	return n
+}
+
 // HolderCount returns the number of pages with at least one holder (tests).
 func (s *PLockServer) HolderCount() int {
 	n := 0
@@ -687,6 +796,15 @@ func (c *PLockClient) Acquire(pg common.PageID, mode Mode) error {
 // AcquireEx is Acquire plus classification: remote reports whether the
 // grant needed a Lock Fusion RPC (slow path) rather than lazy retention.
 func (c *PLockClient) AcquireEx(pg common.PageID, mode Mode) (remote bool, err error) {
+	return c.AcquireDeadlineEx(pg, mode, common.Deadline{})
+}
+
+// AcquireDeadlineEx is AcquireEx bounded by the caller's deadline: the
+// remaining budget rides the acquire RPC so the SERVER caps the queue wait
+// (returning ErrDeadlineExceeded on expiry), and the retry loop around the
+// RPC stops at the budget too. The local fast path is unaffected — a lock
+// the node already holds costs no wait. A zero deadline is unbounded.
+func (c *PLockClient) AcquireDeadlineEx(pg common.PageID, mode Mode, dl common.Deadline) (remote bool, err error) {
 	if c.closed.Load() {
 		return false, fmt.Errorf("plock: node %d client: %w", c.node, common.ErrClosed)
 	}
@@ -755,9 +873,12 @@ func (c *PLockClient) AcquireEx(pg common.PageID, mode Mode) (remote bool, err e
 		c.RemoteAcquires.Inc()
 		// The server's acquire path is idempotent (a holder re-acquiring is
 		// re-granted), so lost requests and lost responses both retry safely.
-		err := common.Retry(c.retry, func() error {
-			_, e := c.fabric.Call(common.PMFSNode, ServicePLock,
-				c.stamp.Stamp(plockReqBuf(opPLockAcquire, c.node, pg, mode)))
+		// The wait budget is re-derived per attempt: a retry after backoff
+		// must tell the server how much budget is actually left.
+		fab := c.fabric.WithDeadline(dl)
+		err := common.RetryDeadline(c.retry, dl, func() error {
+			_, e := fab.Call(common.PMFSNode, ServicePLock,
+				c.stamp.Stamp(plockAcquireReqBuf(c.node, pg, mode, deadlineBudgetMicros(dl))))
 			return e
 		})
 		c.mu.Lock()

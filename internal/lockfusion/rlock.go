@@ -282,6 +282,17 @@ func (c *RLockClient) handleWake(req []byte) ([]byte, error) {
 // flag-vs-commit race), then parks. It returns nil when the caller should
 // re-check the row, ErrDeadlock when the waiter was chosen as victim.
 func (c *RLockClient) WaitFor(waiter, holder common.GTrxID) error {
+	return c.WaitForDeadline(waiter, holder, common.Deadline{})
+}
+
+// WaitForDeadline is WaitFor with the park bounded by the caller's
+// deadline: the timer is min(cfg.WaitTimeout, remaining budget), and a
+// budget-capped expiry returns ErrDeadlineExceeded (non-retryable) rather
+// than ErrLockTimeout, after retracting the wait edge. Deadlock detection
+// is unaffected — the cycle check runs at registration, before any wait,
+// so a short budget never masks a deadlock verdict (the victim is chosen
+// eagerly, not by timeout). A zero deadline is plain WaitFor.
+func (c *RLockClient) WaitForDeadline(waiter, holder common.GTrxID, dl common.Deadline) error {
 	// Step 1 (Figure 6): flag the holder's transaction metadata so its
 	// commit path knows someone is waiting.
 	flagged, err := c.tf.SetRefFlag(holder)
@@ -308,7 +319,7 @@ func (c *RLockClient) WaitFor(waiter, holder common.GTrxID) error {
 	// Step 2: register the wait-for edge. Dropped requests never reached
 	// the server, so retrying cannot double-register.
 	var resp []byte
-	err = common.Retry(c.retry, func() (e error) {
+	err = common.RetryDeadline(c.retry, dl, func() (e error) {
 		resp, e = c.fabric.Call(common.PMFSNode, ServiceRLock, c.stamp.Stamp(marshalTwoG(opWaitFor, waiter, holder)))
 		return e
 	})
@@ -331,13 +342,26 @@ func (c *RLockClient) WaitFor(waiter, holder common.GTrxID) error {
 	}
 
 	c.WaitRounds.Inc()
+	wait := c.cfg.WaitTimeout
+	deadlineBound := false
+	if rem, bounded := dl.Remaining(); bounded && rem < wait {
+		if rem < 0 {
+			rem = 0
+		}
+		wait = rem
+		deadlineBound = true
+	}
 	select {
 	case <-ch:
 		return nil
-	case <-time.After(c.cfg.WaitTimeout):
+	case <-time.After(wait):
 		c.Timeouts.Inc()
 		c.cancelWait(waiter, holder)
 		cleanup()
+		if deadlineBound {
+			return fmt.Errorf("rlock: %v waiting for %v: wait budget spent: %w",
+				waiter, holder, common.ErrDeadlineExceeded)
+		}
 		return fmt.Errorf("rlock: %v waiting for %v: %w", waiter, holder, common.ErrLockTimeout)
 	}
 }

@@ -151,6 +151,7 @@ type Conn struct {
 	f   *Fabric
 	src common.NodeID
 	ss  *Stats // per-source mirror of the fabric counters
+	dl  common.Deadline
 }
 
 // From returns a Conn issuing ops as src.
@@ -161,13 +162,30 @@ func (f *Fabric) From(src common.NodeID) Conn {
 // Fabric returns the underlying fabric.
 func (c Conn) Fabric() *Fabric { return c.f }
 
+// WithDeadline returns a copy of the connection that refuses to issue NEW
+// verbs once dl expires, failing them with ErrDeadlineExceeded before they
+// reach the wire. Verbs already in flight are not interrupted (one-sided
+// RDMA has no cancel); the point is that a deadline-bounded caller stops
+// consuming fabric budget the moment its own budget is gone. Conn is a
+// value, so this is allocation-free and the base connection is unchanged.
+func (c Conn) WithDeadline(dl common.Deadline) Conn {
+	c.dl = dl
+	return c
+}
+
 // Read performs a one-sided read of len(dst) bytes from (node, region, off).
 func (c Conn) Read(node common.NodeID, region string, off int, dst []byte) error {
+	if err := c.dl.Err(); err != nil {
+		return err
+	}
 	return c.f.read(c.src, node, region, off, dst, c.ss)
 }
 
 // Write performs a one-sided write of src to (node, region, off).
 func (c Conn) Write(node common.NodeID, region string, off int, src []byte) error {
+	if err := c.dl.Err(); err != nil {
+		return err
+	}
 	return c.f.write(c.src, node, region, off, src, c.ss)
 }
 
@@ -189,16 +207,25 @@ func (c Conn) Write64(node common.NodeID, region string, off int, v uint64) erro
 
 // CAS64 atomically compares-and-swaps the word at (node, region, off).
 func (c Conn) CAS64(node common.NodeID, region string, off int, old, new uint64) (uint64, error) {
+	if err := c.dl.Err(); err != nil {
+		return 0, err
+	}
 	return c.f.cas64(c.src, node, region, off, old, new, c.ss)
 }
 
 // FetchAdd64 atomically adds delta to the word at (node, region, off).
 func (c Conn) FetchAdd64(node common.NodeID, region string, off int, delta uint64) (uint64, error) {
+	if err := c.dl.Err(); err != nil {
+		return 0, err
+	}
 	return c.f.fetchAdd64(c.src, node, region, off, delta, c.ss)
 }
 
 // Call invokes an RPC service method on node.
 func (c Conn) Call(node common.NodeID, service string, req []byte) ([]byte, error) {
+	if err := c.dl.Err(); err != nil {
+		return nil, err
+	}
 	return c.f.call(c.src, node, service, req, c.ss)
 }
 

@@ -38,12 +38,18 @@ func segTotal(segs []Seg) int {
 // (node, region). Empty batches are no-ops; a single-segment batch is
 // equivalent to Read.
 func (c Conn) ReadV(node common.NodeID, region string, segs []Seg) error {
+	if err := c.dl.Err(); err != nil {
+		return err
+	}
 	return c.f.readV(c.src, node, region, segs, c.ss)
 }
 
 // WriteV performs a doorbell-batched one-sided write of every segment to
 // (node, region).
 func (c Conn) WriteV(node common.NodeID, region string, segs []Seg) error {
+	if err := c.dl.Err(); err != nil {
+		return err
+	}
 	return c.f.writeV(c.src, node, region, segs, c.ss)
 }
 
@@ -52,6 +58,9 @@ func (c Conn) WriteV(node common.NodeID, region string, segs []Seg) error {
 // reqs[i]. A mid-batch handler error fails the whole call; callers must
 // treat the batch as one idempotent unit and retry it whole.
 func (c Conn) CallBatch(node common.NodeID, service string, reqs [][]byte) ([][]byte, error) {
+	if err := c.dl.Err(); err != nil {
+		return nil, err
+	}
 	return c.f.callBatch(c.src, node, service, reqs, c.ss)
 }
 

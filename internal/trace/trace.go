@@ -74,6 +74,19 @@ const (
 	StageCTSStamp
 	// StageCommit is the whole transaction, begin to finish.
 	StageCommit
+	// StageShed is an admission-control rejection observed by a client: a
+	// fusion-server stripe was over its queue bound and returned
+	// ErrOverloaded (the duration is the time spent reaching the verdict,
+	// backoff included).
+	StageShed
+	// StageHedgeFired counts DBP frame reads whose primary one-sided read
+	// outlived the hedge delay, triggering a fallback read (§ fail-slow
+	// mitigation). The duration is the whole hedged fetch.
+	StageHedgeFired
+	// StageDeadlineAbort is a transaction aborted because its Deadline
+	// budget expired; the duration is begin-to-abort, i.e. how much budget
+	// the transaction burned before the abort checkpoint caught it.
+	StageDeadlineAbort
 
 	numStages
 )
@@ -86,6 +99,7 @@ var stageNames = [numStages]string{
 	"frame_local", "frame_dbp", "frame_storage",
 	"log_append", "log_sync", "tso_solo", "tso_group",
 	"cts_stamp", "commit",
+	"shed", "hedge_fired", "deadline_abort",
 }
 
 // String returns the stage's snake_case name (the JSON identity).

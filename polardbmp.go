@@ -47,11 +47,22 @@ var (
 	ErrStaleEpoch = common.ErrStaleEpoch
 	// ErrUnknownNode reports a node id never added to the cluster.
 	ErrUnknownNode = core.ErrUnknownNode
+	// ErrDeadlineExceeded fails a transaction whose latency budget (see
+	// Node.BeginWithDeadline) is spent. NOT retryable: the budget models an
+	// end-to-end SLO, so retrying inside it makes no sense — the caller
+	// must roll back and decide at its own layer.
+	ErrDeadlineExceeded = common.ErrDeadlineExceeded
+	// ErrOverloaded rejects a request a fusion server shed under admission
+	// control. Retryable: backing off and retrying is the intended
+	// response, and the built-in retry policies already absorb brief
+	// overloads transparently.
+	ErrOverloaded = common.ErrOverloaded
 )
 
 // IsRetryable reports whether err is a transient transaction failure
-// (deadlock, lock timeout, fenced page during recovery) that the
-// application should retry.
+// (deadlock, lock timeout, fenced page during recovery, server overload)
+// that the application should retry. ErrDeadlineExceeded is deliberately
+// not retryable.
 func IsRetryable(err error) bool { return common.IsRetryable(err) }
 
 // Options configures a cluster.
@@ -87,7 +98,10 @@ type Options struct {
 type Option func(*openConfig)
 
 type openConfig struct {
-	trace *trace.Config
+	trace           *trace.Config
+	lockWaitTimeout time.Duration
+	admitPerStripe  int
+	hedgeFloor      time.Duration
 }
 
 func (o *openConfig) tracing() *trace.Config {
@@ -111,6 +125,36 @@ func WithSlowTxThreshold(d time.Duration) Option {
 	return func(o *openConfig) { o.tracing().SlowTxThreshold = d }
 }
 
+// WithLockWaitTimeout bounds how long a transaction parks waiting for
+// another transaction's row lock (default 2s). This is a backstop, not the
+// primary contention control: deadlocks are caught by cycle detection at
+// wait registration, before any timer runs, so a WaitTimeout expiry
+// (ErrLockTimeout, retryable) only fires on genuinely slow holders. A
+// transaction begun with BeginWithDeadline waits at most
+// min(LockWaitTimeout, its remaining budget) — the budget expiry surfaces
+// as the non-retryable ErrDeadlineExceeded instead.
+func WithLockWaitTimeout(d time.Duration) Option {
+	return func(o *openConfig) { o.lockWaitTimeout = d }
+}
+
+// WithAdmissionLimit bounds concurrently admitted requests per fusion-server
+// stripe (Lock Fusion page-lock stripes and Buffer Fusion directory
+// stripes). Over-limit requests are shed with the retryable ErrOverloaded
+// instead of queuing without bound, keeping server queue time — and thus
+// every caller's latency — bounded under overload. n < 0 disables shedding;
+// 0 (or omitting the option) keeps the server defaults.
+func WithAdmissionLimit(n int) Option {
+	return func(o *openConfig) { o.admitPerStripe = n }
+}
+
+// WithHedgeDelayFloor sets the minimum delay before a slow shared-memory
+// page read is hedged with a fallback read (fail-slow mitigation; the
+// effective delay is max(floor, 8x the node's observed read latency)).
+// d < 0 disables hedging; 0 keeps the default (1ms).
+func WithHedgeDelayFloor(d time.Duration) Option {
+	return func(o *openConfig) { o.hedgeFloor = d }
+}
+
 // Cluster is a PolarDB-MP deployment: N primary nodes over shared memory
 // and shared storage.
 type Cluster struct {
@@ -132,6 +176,11 @@ func Open(opts Options, extra ...Option) (*Cluster, error) {
 		LockWaitTimeout: opts.LockWaitTimeout,
 		SelfHeal:        opts.SelfHealing,
 		Trace:           oc.trace,
+		AdmitPerStripe:  oc.admitPerStripe,
+		HedgeDelayFloor: oc.hedgeFloor,
+	}
+	if oc.lockWaitTimeout != 0 {
+		cfg.LockWaitTimeout = oc.lockWaitTimeout
 	}
 	if opts.RealisticStorageLatency {
 		cfg.StorageLatency = core.DefaultConfig().StorageLatency
@@ -334,6 +383,25 @@ func (n *Node) BeginSnapshot() (*Tx, error) {
 		return nil, err
 	}
 	tx, err := nd.BeginIso(core.SnapshotIsolation)
+	if err != nil {
+		return nil, err
+	}
+	return &Tx{tx: tx}, nil
+}
+
+// BeginWithDeadline starts a read-committed transaction with a total
+// latency budget of d. Every blocking step of the transaction — remote
+// page-lock waits (bounded server-side, so an abandoned waiter never holds
+// its queue slot), row-lock parks, shared-memory page fetches and their
+// retry backoff — charges against the budget; once it is spent the
+// transaction fails with the non-retryable ErrDeadlineExceeded and must be
+// rolled back. d <= 0 is unbounded (identical to Begin).
+func (n *Node) BeginWithDeadline(d time.Duration) (*Tx, error) {
+	nd, err := n.engine()
+	if err != nil {
+		return nil, err
+	}
+	tx, err := nd.BeginDeadline(core.ReadCommitted, common.DeadlineAfter(d))
 	if err != nil {
 		return nil, err
 	}
