@@ -2,10 +2,11 @@ GO ?= go
 
 RACE_PKGS = ./internal/core ./internal/lockfusion ./internal/bufferfusion \
             ./internal/txfusion ./internal/chaos ./internal/rdma \
-            ./internal/membership ./internal/trace
+            ./internal/membership ./internal/trace ./internal/wire \
+            ./internal/netsrv ./internal/storage
 
-.PHONY: all build test test-full race vet smoke brownout-smoke check \
-        bench-snapshot alloc-budget trace-smoke
+.PHONY: all build test test-full race vet smoke brownout-smoke proto-smoke \
+        wire-fuzz check bench-snapshot alloc-budget trace-smoke
 
 all: check
 
@@ -43,7 +44,18 @@ smoke:
 brownout-smoke:
 	$(GO) run ./cmd/mpchaos -plan brownout -seed 7 -ops 60
 
-check: build vet test race smoke brownout-smoke
+# Multi-process smoke: a seed mpserver + a satellite mpserver joined over the
+# socket fabric + an mpgateway balancing across both; a bank workload through
+# the gateway must hold its money-conservation invariant and both daemons'
+# /stats endpoints must answer (non-zero exit on violation).
+proto-smoke:
+	./scripts/proto_smoke.sh
+
+# Fuzz the wire frame codec (round-trip + truncated/oversized rejection).
+wire-fuzz:
+	$(GO) test ./internal/wire -run '^$$' -fuzz FuzzFrameDecode -fuzztime 10s
+
+check: build vet test race smoke brownout-smoke proto-smoke
 
 # Disabled-tracer alloc budget: the commit hot path's tracer hooks must stay
 # at 0 allocs/op when tracing is off (asserted by TestNilTracerZeroAllocs;

@@ -10,6 +10,8 @@
 //	mpbench -fig ablations           # §4 design-choice ablations
 //	mpbench -fig micro               # TSO / TIT one-sided verb costs
 //	mpbench -trace trace.json        # rw/50 per-stage commit-path decomposition
+//	mpbench -connect host:7090 -dur 5s -threads 8
+//	                                 # bank workload against a live mpserver/mpgateway
 package main
 
 import (
@@ -38,7 +40,12 @@ func main() {
 	slowTx := flag.Duration("slowtx", 0, "with -trace: also log transactions slower than this into the snapshot")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this path")
 	memprofile := flag.String("memprofile", "", "write an allocation profile of the run to this path")
+	connect := flag.String("connect", "", "run the bank invariant workload against a live mpserver/mpgateway session address instead of the in-process figures")
 	flag.Parse()
+
+	if *connect != "" {
+		os.Exit(runConnect(*connect, *dur, *threads))
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)

@@ -1,0 +1,311 @@
+// Command mpgateway load-balances wire session-protocol clients across the
+// primaries of a multi-process PolarDB-MP cluster. Each accepted session is
+// pinned to one backend mpserver — transactions live on a single connection,
+// so the gateway needs no transaction state — picked by health and load:
+// backends that fail their ping probe are skipped, backends whose own
+// membership stats report fail-slow suspicions are deprioritized, and ties
+// break to the fewest live sessions.
+//
+//	$ mpgateway -listen :7090 -backends host1:7070,host2:7080 -http :7091
+//
+// Frames are relayed (and validated) individually in both directions, so the
+// gateway's /stats endpoint reports real frame/byte/pipeline counters.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"polardbmp"
+	"polardbmp/internal/core"
+	"polardbmp/internal/netsrv"
+	"polardbmp/internal/wire"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7090", "session-protocol listener for clients")
+	backends := flag.String("backends", "", "comma-separated mpserver session addresses (required)")
+	httpAddr := flag.String("http", "", "HTTP listener serving GET /stats (gateway + backend health JSON)")
+	probe := flag.Duration("probe", time.Second, "backend health-probe interval")
+	version := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+
+	if *version {
+		fmt.Printf("mpgateway %s\n", polardbmp.Version)
+		return
+	}
+	var addrs []string
+	for _, a := range strings.Split(*backends, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		fmt.Fprintln(os.Stderr, "mpgateway: -backends is required")
+		os.Exit(2)
+	}
+	if err := run(*listen, addrs, *httpAddr, *probe); err != nil {
+		fmt.Fprintln(os.Stderr, "mpgateway:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen string, addrs []string, httpAddr string, probe time.Duration) error {
+	gw := &gateway{nc: &wire.NetCounters{}, stop: make(chan struct{})}
+	for _, a := range addrs {
+		gw.backends = append(gw.backends, &backend{addr: a})
+	}
+	for _, b := range gw.backends {
+		gw.wg.Add(1)
+		go gw.probeLoop(b, probe)
+	}
+
+	lis, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	go gw.acceptLoop(lis)
+	fmt.Printf("mpgateway %s: %d backends, serving sessions on %s\n",
+		polardbmp.Version, len(gw.backends), lis.Addr())
+
+	if httpAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(gw.stats())
+		})
+		mux.HandleFunc("/version", func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprintf(w, "mpgateway %s\n", polardbmp.Version)
+		})
+		hlis, err := net.Listen("tcp", httpAddr)
+		if err != nil {
+			return err
+		}
+		hs := &http.Server{Handler: mux}
+		go func() { _ = hs.Serve(hlis) }()
+		defer hs.Close()
+		fmt.Printf("mpgateway %s: stats endpoint on http://%s/stats\n", polardbmp.Version, hlis.Addr())
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	fmt.Printf("mpgateway: %v, shutting down\n", s)
+	close(gw.stop)
+	_ = lis.Close()
+	gw.wg.Wait()
+	return nil
+}
+
+// backend is one mpserver the gateway can route sessions to.
+type backend struct {
+	addr string
+
+	mu       sync.Mutex
+	healthy  bool
+	slow     bool // its own membership stats suspect a fail-slow peer
+	active   int  // live proxied sessions
+	sessions uint64
+	lastErr  string
+}
+
+type gateway struct {
+	backends []*backend
+	nc       *wire.NetCounters
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// probeLoop keeps one backend's health fresh: a ping each tick, and every
+// few ticks its stats document, whose membership section carries the
+// fail-slow suspicions used to deprioritize it.
+func (gw *gateway) probeLoop(b *backend, interval time.Duration) {
+	defer gw.wg.Done()
+	var cl *wire.Client
+	defer func() {
+		if cl != nil {
+			cl.Close()
+		}
+	}()
+	tick := 0
+	for {
+		var err error
+		if cl == nil {
+			cl, err = wire.DialSession(b.addr, wire.SessionConfig{Name: "mpgateway-probe", DialTimeout: interval})
+		}
+		if err == nil {
+			err = cl.Ping()
+		}
+		slow := false
+		if err == nil && tick%5 == 0 {
+			if raw, serr := cl.StatsJSON(); serr == nil {
+				var doc struct {
+					Membership struct {
+						SlowPeers []int `json:"slow_peers"`
+					} `json:"membership"`
+				}
+				if json.Unmarshal(raw, &doc) == nil {
+					slow = len(doc.Membership.SlowPeers) > 0
+				}
+			}
+		}
+		b.mu.Lock()
+		b.healthy = err == nil
+		if err != nil {
+			b.lastErr = err.Error()
+		} else {
+			b.lastErr = ""
+			if tick%5 == 0 {
+				b.slow = slow
+			}
+		}
+		b.mu.Unlock()
+		if err != nil && cl != nil {
+			cl.Close()
+			cl = nil
+		}
+		tick++
+		select {
+		case <-gw.stop:
+			return
+		case <-time.After(interval):
+		}
+	}
+}
+
+// pick returns the best backend: healthy and unsuspected first, healthy
+// second, fewest live sessions within a tier.
+func (gw *gateway) pick() *backend {
+	var best *backend
+	bestScore := 1 << 30
+	for _, b := range gw.backends {
+		b.mu.Lock()
+		score := b.active
+		if !b.healthy {
+			score += 1 << 20
+		} else if b.slow {
+			score += 1 << 10
+		}
+		b.mu.Unlock()
+		if score < bestScore {
+			best, bestScore = b, score
+		}
+	}
+	return best
+}
+
+func (gw *gateway) acceptLoop(lis net.Listener) {
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		gw.wg.Add(1)
+		go gw.serve(conn)
+	}
+}
+
+// serve pins one client session to one backend and relays frames both ways
+// until either side hangs up. The handshake passes through, so the client
+// sees the backend's name and version checks stay end to end.
+func (gw *gateway) serve(client net.Conn) {
+	defer gw.wg.Done()
+	defer client.Close()
+	b := gw.pick()
+	if b == nil {
+		return
+	}
+	upstream, err := net.DialTimeout("tcp", b.addr, 3*time.Second)
+	if err != nil {
+		b.mu.Lock()
+		b.healthy, b.lastErr = false, err.Error()
+		b.mu.Unlock()
+		return
+	}
+	defer upstream.Close()
+	gw.nc.ConnOpened(true)
+	defer gw.nc.ConnClosed()
+	b.mu.Lock()
+	b.active++
+	b.sessions++
+	b.mu.Unlock()
+	defer func() {
+		b.mu.Lock()
+		b.active--
+		b.mu.Unlock()
+	}()
+
+	done := make(chan struct{}, 2)
+	go func() { gw.relay(upstream, client, true); done <- struct{}{} }()
+	go func() { gw.relay(client, upstream, false); done <- struct{}{} }()
+	<-done
+	// Unblock the other direction, then wait it out.
+	_ = client.Close()
+	_ = upstream.Close()
+	<-done
+}
+
+// relay copies frames from src to dst, validating each and keeping the
+// gateway's frame/byte counters honest. in marks the client->backend
+// direction (requests enter, responses leave).
+func (gw *gateway) relay(dst io.Writer, src io.Reader, in bool) {
+	var rbuf, wbuf []byte
+	for {
+		f, buf, err := wire.ReadFrame(src, rbuf)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				gw.nc.CodecError()
+			}
+			return
+		}
+		rbuf = buf
+		if in {
+			gw.nc.FrameIn(f.WireSize())
+		}
+		wbuf, err = wire.WriteFrame(dst, wbuf, f)
+		if err != nil {
+			return
+		}
+		if !in {
+			gw.nc.FrameOut(f.WireSize())
+		}
+	}
+}
+
+// stats is the /stats document: the gateway's own net counters plus each
+// backend's health as the prober sees it.
+func (gw *gateway) stats() any {
+	type backendStats struct {
+		Addr     string `json:"addr"`
+		Healthy  bool   `json:"healthy"`
+		Slow     bool   `json:"slow,omitempty"`
+		Active   int    `json:"active_sessions"`
+		Sessions uint64 `json:"total_sessions"`
+		LastErr  string `json:"last_err,omitempty"`
+	}
+	doc := struct {
+		Version  string         `json:"version"`
+		Backends []backendStats `json:"backends"`
+		Net      core.NetStats  `json:"net"`
+	}{Version: polardbmp.Version, Net: netsrv.NetStats(gw.nc)}
+	for _, b := range gw.backends {
+		b.mu.Lock()
+		doc.Backends = append(doc.Backends, backendStats{
+			Addr: b.addr, Healthy: b.healthy, Slow: b.slow,
+			Active: b.active, Sessions: b.sessions, LastErr: b.lastErr,
+		})
+		b.mu.Unlock()
+	}
+	return doc
+}

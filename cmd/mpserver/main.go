@@ -1,0 +1,143 @@
+// Command mpserver hosts one PolarDB-MP primary as an OS process behind the
+// wire session protocol. A seed process owns the shared substrate (PMFS +
+// store) and optionally serves the fabric so satellite mpservers — full
+// primaries in their own processes — can join the same cluster.
+//
+//	# seed: sessions on :7070, fabric for satellites on :7071, stats on :7072
+//	$ mpserver -listen :7070 -fabric :7071 -http :7072 -data /var/lib/mp
+//
+//	# satellite: a second primary process joining the seed's fabric
+//	$ mpserver -listen :7080 -join seedhost:7071
+//
+// Clients (mpshell -connect, mpbench -connect, mpgateway) speak the session
+// protocol to -listen; GET /stats on -http returns the ClusterStats JSON.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"polardbmp"
+	"polardbmp/internal/core"
+	"polardbmp/internal/netsrv"
+	"polardbmp/internal/rdma"
+	"polardbmp/internal/storage"
+	"polardbmp/internal/wire"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7070", "session-protocol listener for clients and gateways")
+	fabricAddr := flag.String("fabric", "", "fabric listener for satellite mpservers (seed mode)")
+	join := flag.String("join", "", "a seed's -fabric address: run as a satellite primary of that cluster")
+	data := flag.String("data", "", "data directory (seed mode; empty = in-memory)")
+	httpAddr := flag.String("http", "", "HTTP listener serving GET /stats (ClusterStats JSON)")
+	name := flag.String("name", "", "server name echoed in handshakes (default mpserver-<pid>)")
+	version := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+
+	if *version {
+		fmt.Printf("mpserver %s\n", polardbmp.Version)
+		return
+	}
+	if *name == "" {
+		*name = fmt.Sprintf("mpserver-%d", os.Getpid())
+	}
+	if err := run(*listen, *fabricAddr, *join, *data, *httpAddr, *name); err != nil {
+		fmt.Fprintln(os.Stderr, "mpserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen, fabricAddr, join, data, httpAddr, name string) error {
+	nc := &wire.NetCounters{}
+	var (
+		c   *core.Cluster
+		n   *core.Node
+		err error
+	)
+	switch {
+	case join != "":
+		// Satellite: every cross-node interaction rides the fabric to the seed.
+		if fabricAddr != "" || data != "" {
+			return fmt.Errorf("-fabric and -data are seed-mode flags, incompatible with -join")
+		}
+		c, n, err = core.JoinRemote(core.Config{}, join, nc)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("mpserver %s: joined %s as node %d\n", polardbmp.Version, join, n.ID())
+	case data != "":
+		// Seed over a persistent store; a non-empty directory is recovered
+		// before serving.
+		store, err := storage.OpenDir(data, storage.Latency{})
+		if err != nil {
+			return err
+		}
+		existing := store.PageCount() > 0
+		c = core.NewClusterWithStore(core.Config{}, store)
+		if existing {
+			if err := c.RecoverAll(); err != nil {
+				return fmt.Errorf("recovering %s: %w", data, err)
+			}
+		}
+		if n, err = c.AddNode(); err != nil {
+			return err
+		}
+	default:
+		c = core.NewCluster(core.Config{})
+		if n, err = c.AddNode(); err != nil {
+			return err
+		}
+	}
+	defer c.Close()
+	c.SetNetStats(func() core.NetStats { return netsrv.NetStats(nc) })
+
+	if fabricAddr != "" {
+		flis, err := net.Listen("tcp", fabricAddr)
+		if err != nil {
+			return err
+		}
+		fsrv := rdma.ServeFabric(c.Fabric(), flis, name, nc)
+		defer fsrv.Close()
+		fmt.Printf("mpserver %s: fabric for satellites on %s\n", polardbmp.Version, fsrv.Addr())
+	}
+
+	lis, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	srv := wire.ServeSessions(lis, name, netsrv.New(c, n), nc)
+	defer srv.Close()
+	fmt.Printf("mpserver %s: node %d serving sessions on %s\n", polardbmp.Version, n.ID(), srv.Addr())
+
+	if httpAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(c.Stats())
+		})
+		mux.HandleFunc("/version", func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprintf(w, "mpserver %s\n", polardbmp.Version)
+		})
+		hlis, err := net.Listen("tcp", httpAddr)
+		if err != nil {
+			return err
+		}
+		hs := &http.Server{Handler: mux}
+		go func() { _ = hs.Serve(hlis) }()
+		defer hs.Close()
+		fmt.Printf("mpserver %s: stats endpoint on http://%s/stats\n", polardbmp.Version, hlis.Addr())
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	fmt.Printf("mpserver: %v, shutting down\n", s)
+	return nil
+}

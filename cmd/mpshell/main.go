@@ -3,6 +3,7 @@
 // primary, crash and recover nodes, and inspect engine statistics.
 //
 //	$ go run ./cmd/mpshell -nodes 2 -data /tmp/mpdata
+//	$ go run ./cmd/mpshell -connect host:7090   # against a live mpserver/mpgateway
 //	mp> use orders
 //	mp> put k1 hello
 //	mp> on 2 get k1
@@ -31,7 +32,12 @@ func main() {
 	data := flag.String("data", "", "data directory (empty = in-memory)")
 	traced := flag.Bool("trace", false, "enable the commit-path span tracer")
 	slowTx := flag.Duration("slowtx", 0, "log transactions slower than this (implies -trace)")
+	connect := flag.String("connect", "", "session address of a live mpserver/mpgateway; run as a network client instead of opening an in-process cluster")
 	flag.Parse()
+
+	if *connect != "" {
+		os.Exit(runRemote(*connect))
+	}
 
 	var extra []polardbmp.Option
 	if *traced {

@@ -68,7 +68,7 @@ type Client struct {
 	retry       common.RetryPolicy
 	stamp       *common.EpochStamp
 	inval       *rdma.Region
-	store       *storage.Store
+	store       storage.API
 	capacity    int
 	forceLog    ForceLogFunc
 	storageMode bool
@@ -99,7 +99,7 @@ type Client struct {
 
 // NewClient creates the node's LBP with the given frame capacity and
 // registers its invalid-flag region.
-func NewClient(ep *rdma.Endpoint, fabric *rdma.Fabric, store *storage.Store, capacity int) *Client {
+func NewClient(ep *rdma.Endpoint, fabric *rdma.Fabric, store storage.API, capacity int) *Client {
 	if capacity <= 0 {
 		capacity = 1024
 	}

@@ -61,7 +61,7 @@ type Server struct {
 	retry       common.RetryPolicy
 	gate        common.EpochGate
 	dbp         *rdma.Region
-	store       *storage.Store
+	store       storage.API
 	frames      int
 	storageMode bool
 
@@ -130,7 +130,7 @@ type dirEntry struct {
 // shared storage and fetches read it back, while the directory still tracks
 // copies for invalidation — the log-ship/page-store synchronization model of
 // Taurus-MM (§2.3), used by the baseline and the DBP ablation.
-func NewServerMode(ep *rdma.Endpoint, fabric *rdma.Fabric, store *storage.Store, frames int, storageMode bool) *Server {
+func NewServerMode(ep *rdma.Endpoint, fabric *rdma.Fabric, store storage.API, frames int, storageMode bool) *Server {
 	s := NewServer(ep, fabric, store, frames)
 	s.storageMode = storageMode
 	return s
@@ -138,7 +138,7 @@ func NewServerMode(ep *rdma.Endpoint, fabric *rdma.Fabric, store *storage.Store,
 
 // NewServer attaches Buffer Fusion to the PMFS endpoint with the given
 // number of DBP frames.
-func NewServer(ep *rdma.Endpoint, fabric *rdma.Fabric, store *storage.Store, frames int) *Server {
+func NewServer(ep *rdma.Endpoint, fabric *rdma.Fabric, store storage.API, frames int) *Server {
 	if frames <= 0 {
 		frames = 4096
 	}

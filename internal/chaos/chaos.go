@@ -117,7 +117,7 @@ func (e *Engine) SetCrashHandler(fn func(common.NodeID)) {
 func (e *Engine) Injector() common.FaultInjector { return e.decide }
 
 // Install attaches the engine to a fabric and/or store (either may be nil).
-func (e *Engine) Install(f *rdma.Fabric, s *storage.Store) {
+func (e *Engine) Install(f *rdma.Fabric, s storage.API) {
 	if f != nil {
 		f.SetInjector(e.decide)
 	}
@@ -127,7 +127,7 @@ func (e *Engine) Install(f *rdma.Fabric, s *storage.Store) {
 }
 
 // Uninstall detaches injection so the run can be verified fault-free.
-func Uninstall(f *rdma.Fabric, s *storage.Store) {
+func Uninstall(f *rdma.Fabric, s storage.API) {
 	if f != nil {
 		f.SetInjector(nil)
 	}

@@ -143,12 +143,23 @@ func DefaultConfig() Config {
 type Cluster struct {
 	cfg    Config
 	fabric *rdma.Fabric
-	store  *storage.Store
+	store  storage.API
 
 	txSrv   *txfusion.Server
 	lockSrv *lockfusion.Server
 	bufSrv  *bufferfusion.Server
 	members *membership.Table
+
+	// Satellite mode (JoinRemote): this process hosts no PMFS and no store;
+	// txSrv/lockSrv/bufSrv/members are nil, verbs route over peer to the
+	// seed, and view answers the recovery-fate question members would.
+	remote bool
+	peer   *rdma.Peer
+	view   *membership.RemoteView
+
+	// netStats, when set, contributes the process's network-layer counters
+	// to ClusterStats (wired by the daemons; core stays wire-agnostic).
+	netStats func() NetStats
 
 	mu       sync.Mutex
 	nodes    map[common.NodeID]*Node
@@ -170,7 +181,7 @@ func NewCluster(cfg Config) *Cluster {
 
 // NewClusterWithStore builds a cluster over an existing shared store — a
 // recovered store, or a promoted standby replica (§3's cross-region HA).
-func NewClusterWithStore(cfg Config, store *storage.Store) *Cluster {
+func NewClusterWithStore(cfg Config, store storage.API) *Cluster {
 	cfg.fill()
 	c := &Cluster{
 		cfg:      cfg,
@@ -201,10 +212,14 @@ func (c *Cluster) startPMFS() {
 		c.lockSrv.PLock.SetAdmissionLimit(c.cfg.AdmitPerStripe)
 		c.bufSrv.SetAdmissionLimit(c.cfg.AdmitPerStripe)
 	}
+	// Remote-process services: satellite nodes reach the shared store and
+	// cluster administration through these endpoints.
+	storage.Serve(ep, c.store)
+	ep.Serve(ServiceCluster, c.handleAdmin)
 }
 
 // Store exposes the shared storage (harness/inspection).
-func (c *Cluster) Store() *storage.Store { return c.store }
+func (c *Cluster) Store() storage.API { return c.store }
 
 // Fabric exposes the RDMA fabric (harness/inspection).
 func (c *Cluster) Fabric() *rdma.Fabric { return c.fabric }
@@ -257,6 +272,20 @@ func (c *Cluster) Nodes() []*Node {
 // ErrUnknownNode reports a node id that was never added to the cluster.
 var ErrUnknownNode = errors.New("core: unknown node id")
 
+// ErrNotHosted reports an operation that needs the hosting (seed) process —
+// crash orchestration, checkpointing, recovery — attempted from a satellite.
+var ErrNotHosted = errors.New("core: operation requires the hosting process")
+
+// recoveredPeer answers the recovery-fate question (did node's takeover
+// complete?) from the local membership table, or in a satellite through a
+// one-sided read of the seed's mirrored table.
+func (c *Cluster) recoveredPeer(node common.NodeID) bool {
+	if c.members != nil {
+		return c.members.Recovered(node)
+	}
+	return c.view.Recovered(node)
+}
+
 // takeNode validates id and removes its live node from the map, returning
 // the node (nil with a nil error means "known but already down").
 func (c *Cluster) takeNode(id common.NodeID) (*Node, error) {
@@ -276,6 +305,9 @@ func (c *Cluster) takeNode(id common.NodeID) (*Node, error) {
 // woken to retry. Crashing an unknown id returns ErrUnknownNode; crashing an
 // already-down node returns ErrNodeDown without side effects (idempotent).
 func (c *Cluster) CrashNode(id common.NodeID) error {
+	if c.remote {
+		return ErrNotHosted
+	}
 	n, err := c.takeNode(id)
 	if err != nil {
 		return err
@@ -331,6 +363,9 @@ func (c *Cluster) removeMinView(id common.NodeID) {
 // effects. If a survivor is mid-takeover of this node's previous
 // incarnation, the membership join waits for the takeover to finish.
 func (c *Cluster) RestartNode(id common.NodeID) (*Node, error) {
+	if c.remote {
+		return nil, ErrNotHosted
+	}
 	c.mu.Lock()
 	if id < 1 || id >= c.nextNode {
 		c.mu.Unlock()
@@ -359,6 +394,9 @@ func (c *Cluster) RestartNode(id common.NodeID) (*Node, error) {
 // lost; only shared storage survives. Use RecoverCluster + AddNode to come
 // back.
 func (c *Cluster) CrashAll() {
+	if c.remote {
+		return
+	}
 	c.mu.Lock()
 	nodes := make([]*Node, 0, len(c.nodes))
 	for _, n := range c.nodes {
@@ -464,6 +502,28 @@ type NodeStats struct {
 	Stages []trace.StageSnapshot `json:"stages,omitempty"`
 }
 
+// NetStats is the network-layer section of the stats JSON: frame and
+// connection counters for every socket this process speaks the wire
+// protocol on (fabric peer links and client sessions combined).
+type NetStats struct {
+	ConnsOpen     int64 `json:"conns_open"`
+	ConnsAccepted int64 `json:"conns_accepted"`
+	ConnsDialed   int64 `json:"conns_dialed"`
+	FramesIn      int64 `json:"frames_in"`
+	FramesOut     int64 `json:"frames_out"`
+	BytesIn       int64 `json:"bytes_in"`
+	BytesOut      int64 `json:"bytes_out"`
+	CodecErrors   int64 `json:"codec_errors"`
+	// PipelineDepth is the high watermark of concurrently in-flight
+	// requests — the observable showing pipelining actually happens.
+	PipelineDepth int64 `json:"pipeline_depth"`
+}
+
+// SetNetStats installs the provider of the NetStats stats section (nil
+// removes it). The daemons wire this to their wire.NetCounters; in-process
+// clusters have no network layer and leave it unset.
+func (c *Cluster) SetNetStats(fn func() NetStats) { c.netStats = fn }
+
 // ClusterStats is the unified observability surface: cluster totals, the
 // per-node decomposition, and — when tracing is enabled — merged
 // cluster-wide per-stage histograms and the slow-transaction log.
@@ -478,6 +538,9 @@ type ClusterStats struct {
 	Locks       LockStats       `json:"locks"`
 	Membership  MembershipStats `json:"membership"`
 	Overload    OverloadStats   `json:"overload"`
+	// Net is present only in processes that speak the socket transport or
+	// serve client sessions (mpserver, mpgateway).
+	Net *NetStats `json:"net,omitempty"`
 
 	Nodes []NodeStats `json:"nodes,omitempty"`
 
@@ -537,17 +600,29 @@ func (c *Cluster) Stats() ClusterStats {
 	s.Fabric = fabricStats(c.fabric.Stats())
 	s.Storage.PageReads = c.store.Stats().PageReads.Load()
 	s.Storage.LogSyncs = c.store.Stats().LogSyncs.Load()
-	s.DBPResident = c.bufSrv.Len()
-	s.Locks.PLockNegotiations = c.lockSrv.PLock.Negotiations.Load()
-	s.Locks.RLockWaits = c.lockSrv.RLock.Waits.Load()
-	s.Locks.RLockDeadlocks = c.lockSrv.RLock.Deadlocks.Load()
-	s.Overload.PLockSheds = c.lockSrv.PLock.Sheds.Load()
-	s.Overload.BufSheds = c.bufSrv.Sheds.Load()
-	s.Membership.Epoch = uint64(c.members.CurrentEpoch())
-	s.Membership.EpochBumps = c.members.EpochBumps.Load()
-	s.Membership.FalseSuspicions = c.members.FalseSuspicions.Load()
+	// A satellite hosts no PMFS: the fusion-server and membership-table
+	// sections belong to the seed process's snapshot.
+	if c.bufSrv != nil {
+		s.DBPResident = c.bufSrv.Len()
+		s.Overload.BufSheds = c.bufSrv.Sheds.Load()
+	}
+	if c.lockSrv != nil {
+		s.Locks.PLockNegotiations = c.lockSrv.PLock.Negotiations.Load()
+		s.Locks.RLockWaits = c.lockSrv.RLock.Waits.Load()
+		s.Locks.RLockDeadlocks = c.lockSrv.RLock.Deadlocks.Load()
+		s.Overload.PLockSheds = c.lockSrv.PLock.Sheds.Load()
+	}
+	if c.members != nil {
+		s.Membership.Epoch = uint64(c.members.CurrentEpoch())
+		s.Membership.EpochBumps = c.members.EpochBumps.Load()
+		s.Membership.FalseSuspicions = c.members.FalseSuspicions.Load()
+	}
 	s.Membership.Takeovers = c.takeovers.Load()
 	s.Membership.TakeoverMean = c.takeoverDur.Mean()
+	if c.netStats != nil {
+		ns := c.netStats()
+		s.Net = &ns
+	}
 	return s
 }
 
@@ -555,6 +630,9 @@ func (c *Cluster) Stats() ClusterStats {
 // all redo streams. The cluster must be quiesced (no active transactions):
 // truncation would otherwise discard undo information of in-flight work.
 func (c *Cluster) Checkpoint() error {
+	if c.remote {
+		return fmt.Errorf("core: checkpoint: %w", ErrNotHosted)
+	}
 	for _, n := range c.Nodes() {
 		if a := n.activeTx.Load(); a != 0 {
 			return fmt.Errorf("core: checkpoint with %d active transactions on node %d", a, n.id)
@@ -576,13 +654,20 @@ func (c *Cluster) Checkpoint() error {
 }
 
 // Close shuts down all nodes (flushing buffers) without simulating a crash.
+// A satellite flushes its LBPs through the uplink, then drops the peer
+// connections.
 func (c *Cluster) Close() {
 	for _, n := range c.Nodes() {
 		n.agent.Stop()
 		n.stopBackground()
 		_ = n.lbp.FlushAll()
 	}
-	_ = c.bufSrv.FlushAll()
+	if c.bufSrv != nil {
+		_ = c.bufSrv.FlushAll()
+	}
+	if c.peer != nil {
+		_ = c.peer.Close()
+	}
 }
 
 // --- space directory --------------------------------------------------------
@@ -648,6 +733,11 @@ func (c *Cluster) lookupSpaceByID(id common.SpaceID) (spaceInfo, bool) {
 // CreateSpace creates a named tablespace (one B-tree) through any live node
 // and returns its id. Creating an existing name returns its id.
 func (c *Cluster) CreateSpace(name string) (common.SpaceID, error) {
+	if c.remote {
+		// The seed serializes directory read-modify-write under ITS spaceMu;
+		// a satellite mutating the directory locally would race it.
+		return c.createSpaceRemote(name)
+	}
 	c.spaceMu.Lock()
 	defer c.spaceMu.Unlock()
 	if si, ok := c.lookupSpace(name); ok {

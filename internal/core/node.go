@@ -139,9 +139,14 @@ func (c *Cluster) newNode(id common.NodeID, recovering bool) (*Node, error) {
 		LeaseTimeout:  c.cfg.LeaseTimeout,
 	})
 	n.agent.SetRetryPolicy(rp)
-	n.agent.SetOnTakeover(func(dead common.NodeID, epoch common.Epoch) {
-		c.takeover(dead, epoch, n)
-	})
+	if !c.remote {
+		// The takeover pipeline drives the fusion servers directly; a
+		// satellite can detect and evict a dead peer but a seed-side
+		// survivor must run the recovery.
+		n.agent.SetOnTakeover(func(dead common.NodeID, epoch common.Epoch) {
+			c.takeover(dead, epoch, n)
+		})
+	}
 	if err := n.joinCluster(); err != nil {
 		ep.Deregister()
 		return nil, err
@@ -363,7 +368,7 @@ func (n *Node) resolveCTS(v *page.Version) common.CSN {
 	}
 	cts, err := n.tf.GetTrxCTS(v.Trx)
 	if err != nil {
-		if n.c.members.Recovered(v.Trx.Node) {
+		if n.c.recoveredPeer(v.Trx.Node) {
 			return common.CSNMin
 		}
 		return common.CSNMax
@@ -405,7 +410,7 @@ func (n *Node) batchResolver(pg *page.Page) func(*page.Version) common.CSN {
 		}
 		// The owner was unreachable during the batch: resolve by fate,
 		// exactly like resolveCTS's error path.
-		if n.c.members.Recovered(v.Trx.Node) {
+		if n.c.recoveredPeer(v.Trx.Node) {
 			return common.CSNMin
 		}
 		return common.CSNMax

@@ -282,7 +282,7 @@ func applyRecord(pg *page.Page, rec *wal.Record, dirty *bool) {
 // uncommitted transactions are rolled back using the logged versions, the
 // TSO is reseeded above the largest durable CTS, and the logs are
 // truncated. Nodes are then re-added fresh by the caller.
-func RecoverCluster(store *storage.Store, txSrv *txfusion.Server) error {
+func RecoverCluster(store storage.API, txSrv *txfusion.Server) error {
 	r := &clusterRecovery{
 		store: store,
 		pages: make(map[common.PageID]*page.Page),
@@ -297,7 +297,7 @@ func (c *Cluster) RecoverAll() error {
 }
 
 type clusterRecovery struct {
-	store *storage.Store
+	store storage.API
 	pages map[common.PageID]*page.Page
 	dirty map[common.PageID]bool
 }
@@ -517,7 +517,7 @@ func (r *clusterRecovery) findLeaf(space common.SpaceID, key []byte) (*page.Page
 
 // VerifyTree walks a space's recovered tree in storage and checks ordering
 // and leaf-chain invariants; a post-recovery diagnostic used by tests.
-func VerifyTree(store *storage.Store, anchor common.PageID) (rows int, err error) {
+func VerifyTree(store storage.API, anchor common.PageID) (rows int, err error) {
 	load := func(id common.PageID) (*page.Page, error) {
 		img, err := store.ReadPage(id)
 		if err != nil {

@@ -1,0 +1,147 @@
+// Multi-process clusters: a seed process hosts the shared substrate (PMFS +
+// store) and any number of satellite processes join over the socket fabric,
+// each running a full primary node whose every cross-node interaction —
+// fusion RPCs, one-sided region reads, membership leases, storage I/O —
+// rides the wire to the seed. This is the paper's deployment shape: compute
+// nodes are processes, PolarFusion and PolarStore are elsewhere.
+package core
+
+import (
+	"fmt"
+
+	"polardbmp/internal/common"
+	"polardbmp/internal/membership"
+	"polardbmp/internal/rdma"
+	"polardbmp/internal/storage"
+	"polardbmp/internal/wire"
+)
+
+// ServiceCluster is the cluster-administration RPC service the seed serves
+// on the PMFS endpoint. It covers the two operations a satellite cannot do
+// locally: allocating a cluster-unique node id and serializing tablespace
+// creation against the seed's space directory lock.
+const ServiceCluster = "pmfs.cluster"
+
+// Cluster admin opcodes (first payload byte).
+const (
+	aopAllocNode   uint8 = 1 // [] -> [id u16]
+	aopCreateSpace uint8 = 2 // [name str] -> [space u32]
+)
+
+// handleAdmin serves ServiceCluster on the seed. Responses are
+// [status][result] in the wire status encoding.
+func (c *Cluster) handleAdmin(req []byte) ([]byte, error) {
+	result, err := c.adminOp(req)
+	return append(wire.AppendStatus(nil, err), result...), nil
+}
+
+func (c *Cluster) adminOp(req []byte) ([]byte, error) {
+	rd := wire.NewReader(req)
+	switch op := rd.U8(); op {
+	case aopAllocNode:
+		c.mu.Lock()
+		id := c.nextNode
+		c.nextNode++
+		c.mu.Unlock()
+		return wire.AppendU16(nil, uint16(id)), nil
+	case aopCreateSpace:
+		name := rd.Str()
+		if err := rd.Err(); err != nil {
+			return nil, err
+		}
+		space, err := c.CreateSpace(name)
+		if err != nil {
+			return nil, err
+		}
+		return wire.AppendU32(nil, uint32(space)), nil
+	default:
+		return nil, fmt.Errorf("core: admin op %d: %w", op, common.ErrNoService)
+	}
+}
+
+// adminCall performs one admin RPC from a satellite, retrying transient
+// fabric faults and decoding the status header.
+func (c *Cluster) adminCall(req []byte) ([]byte, error) {
+	var result []byte
+	err := common.Retry(c.cfg.retryPolicy(), func() error {
+		resp, err := c.fabric.Call(common.PMFSNode, ServiceCluster, req)
+		if err != nil {
+			return err
+		}
+		rd := wire.NewReader(resp)
+		if err := wire.DecodeStatus(rd); err != nil {
+			return err
+		}
+		result = append([]byte(nil), rd.Rest()...)
+		return nil
+	})
+	return result, err
+}
+
+// createSpaceRemote forwards CreateSpace to the seed, which runs it under
+// its space directory lock through one of its own nodes.
+func (c *Cluster) createSpaceRemote(name string) (common.SpaceID, error) {
+	out, err := c.adminCall(wire.AppendString([]byte{aopCreateSpace}, name))
+	if err != nil {
+		return 0, fmt.Errorf("core: create space %q at seed: %w", name, err)
+	}
+	return common.SpaceID(wire.NewReader(out).U32()), nil
+}
+
+// JoinRemote joins an existing cluster's fabric at addr (a seed process's
+// mpserver -fabric listener) and brings up one primary node in this process.
+// The returned Cluster is the satellite's handle: it hosts no PMFS and no
+// store, and seed-only operations (crash orchestration, checkpoint,
+// recovery) return ErrNotHosted. nc, when non-nil, receives the peer links'
+// frame counters.
+//
+// The satellite's node id is allocated by the seed, so every JoinRemote —
+// including a restarted satellite process — comes up as a fresh node; the
+// old incarnation's streams and locks are recovered by the seed's takeover
+// machinery, not by the new process.
+func JoinRemote(cfg Config, addr string, nc *wire.NetCounters) (*Cluster, *Node, error) {
+	cfg.fill()
+	c := &Cluster{
+		cfg:    cfg,
+		fabric: rdma.NewFabric(cfg.FabricLatency),
+		nodes:  make(map[common.NodeID]*Node),
+		remote: true,
+	}
+	peer, err := rdma.DialPeer(c.fabric, addr, rdma.PeerConfig{Name: "satellite", Counters: nc})
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: join %s: %w", addr, err)
+	}
+	c.fabric.AttachDefault(peer)
+	c.peer = peer
+
+	fail := func(err error) (*Cluster, *Node, error) {
+		_ = peer.Close()
+		return nil, nil, err
+	}
+	out, err := c.adminCall([]byte{aopAllocNode})
+	if err != nil {
+		return fail(fmt.Errorf("core: join %s: alloc node: %w", addr, err))
+	}
+	id := common.NodeID(wire.NewReader(out).U16())
+	if id == 0 {
+		return fail(fmt.Errorf("core: join %s: seed allocated node 0", addr))
+	}
+	c.nextNode = id + 1
+	c.store = storage.NewRemote(c.fabric.From(id))
+	c.view = membership.NewRemoteView(c.fabric.From(id))
+
+	// Announce before the node serves transactions: once it can hold locks
+	// and DBP frames, the seed must be able to call back into this process
+	// (PLock revocation, frame transfer) over the accepted links.
+	if err := peer.Announce(id); err != nil {
+		return fail(fmt.Errorf("core: join %s: announce node %d: %w", addr, id, err))
+	}
+	n, err := c.newNode(id, false)
+	if err != nil {
+		return fail(fmt.Errorf("core: join %s: %w", addr, err))
+	}
+	c.mu.Lock()
+	c.nodes[id] = n
+	c.mu.Unlock()
+	return c, n, nil
+}

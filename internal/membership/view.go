@@ -1,0 +1,35 @@
+package membership
+
+import (
+	"polardbmp/internal/common"
+	"polardbmp/internal/rdma"
+)
+
+// StateOff returns the region offset of node's state word (the word the
+// Table mirrors into the region on every lifecycle transition).
+func StateOff(node common.NodeID) int { return SlotOff(node) + offState }
+
+// RemoteView is a satellite process's read-only window onto the seed's
+// membership table: lifecycle states are observed with one-sided fabric
+// reads of the mirrored region, so no membership RPC and no local Table are
+// needed to answer the recovery-fate question readers ask.
+type RemoteView struct {
+	conn rdma.Conn
+}
+
+// NewRemoteView returns a view reading the membership region on the PMFS
+// endpoint reachable through conn.
+func NewRemoteView(conn rdma.Conn) *RemoteView {
+	return &RemoteView{conn: conn}
+}
+
+// Recovered mirrors Table.Recovered across the fabric: true once node's
+// takeover completed (state Down). Unreachable tables read as not recovered,
+// which resolves in-doubt versions conservatively (still active).
+func (v *RemoteView) Recovered(node common.NodeID) bool {
+	if node < 1 || node > MaxNodes {
+		return false
+	}
+	s, err := v.conn.Read64(common.PMFSNode, Region, StateOff(node))
+	return err == nil && s == StateDown
+}

@@ -1,0 +1,118 @@
+// Package netsrv adapts a core node to the wire session protocol: it is the
+// thin layer between mpserver's network front door and the engine. The
+// adapter is deliberately stateless — session and transaction bookkeeping
+// live in wire.Server, engine semantics in core — so it is also where the
+// cluster's stats JSON (including the NetStats section) is assembled for
+// both the session protocol's OpStats and the daemons' /stats endpoint.
+package netsrv
+
+import (
+	"encoding/json"
+	"time"
+
+	"polardbmp/internal/common"
+	"polardbmp/internal/core"
+	"polardbmp/internal/wire"
+)
+
+// NetStats converts a process's wire counters into the NetStats section of
+// the stats JSON; daemons install it with cluster.SetNetStats(func()
+// core.NetStats { return netsrv.NetStats(nc) }).
+func NetStats(nc *wire.NetCounters) core.NetStats {
+	s := nc.Snapshot()
+	return core.NetStats{
+		ConnsOpen:     s.ConnsOpen,
+		ConnsAccepted: s.ConnsAccepted,
+		ConnsDialed:   s.ConnsDialed,
+		FramesIn:      s.FramesIn,
+		FramesOut:     s.FramesOut,
+		BytesIn:       s.BytesIn,
+		BytesOut:      s.BytesOut,
+		CodecErrors:   s.CodecErrors,
+		PipelineDepth: s.PipelineDepth,
+	}
+}
+
+// Backend serves one node of a cluster (in-process or satellite) over the
+// session protocol.
+type Backend struct {
+	c *core.Cluster
+	n *core.Node
+}
+
+// New returns the wire backend for node n of cluster c.
+func New(c *core.Cluster, n *core.Node) *Backend { return &Backend{c: c, n: n} }
+
+var _ wire.Backend = (*Backend)(nil)
+
+// Begin opens an engine transaction; budget > 0 becomes the transaction's
+// end-to-end deadline, which the engine propagates down to fabric verbs.
+func (b *Backend) Begin(iso uint8, budget time.Duration) (wire.Tx, error) {
+	tx, err := b.n.BeginDeadline(core.Isolation(iso), common.DeadlineAfter(budget))
+	if err != nil {
+		return nil, err
+	}
+	return (*netTx)(tx), nil
+}
+
+// CreateSpace creates (or finds) a named tablespace.
+func (b *Backend) CreateSpace(name string) (uint32, error) {
+	sp, err := b.c.CreateSpace(name)
+	return uint32(sp), err
+}
+
+// SpaceID resolves a tablespace name.
+func (b *Backend) SpaceID(name string) (uint32, error) {
+	sp, err := b.c.SpaceID(name)
+	return uint32(sp), err
+}
+
+// StatsJSON marshals the cluster snapshot (the same document the daemons'
+// /stats endpoint serves).
+func (b *Backend) StatsJSON() ([]byte, error) {
+	return json.Marshal(b.c.Stats())
+}
+
+// netTx adapts *core.Tx to wire.Tx.
+type netTx core.Tx
+
+func (t *netTx) tx() *core.Tx { return (*core.Tx)(t) }
+
+func (t *netTx) Get(space uint32, key []byte) ([]byte, error) {
+	return t.tx().Get(common.SpaceID(space), key)
+}
+
+func (t *netTx) GetForUpdate(space uint32, key []byte) ([]byte, error) {
+	return t.tx().GetForUpdate(common.SpaceID(space), key)
+}
+
+func (t *netTx) Insert(space uint32, key, value []byte) error {
+	return t.tx().Insert(common.SpaceID(space), key, value)
+}
+
+func (t *netTx) Update(space uint32, key, value []byte) error {
+	return t.tx().Update(common.SpaceID(space), key, value)
+}
+
+func (t *netTx) Upsert(space uint32, key, value []byte) error {
+	return t.tx().Upsert(common.SpaceID(space), key, value)
+}
+
+func (t *netTx) Delete(space uint32, key []byte) error {
+	return t.tx().Delete(common.SpaceID(space), key)
+}
+
+func (t *netTx) Scan(space uint32, from, to []byte, limit int) ([]wire.KV, error) {
+	kvs, err := t.tx().Scan(common.SpaceID(space), from, to, limit)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]wire.KV, len(kvs))
+	for i, kv := range kvs {
+		out[i] = wire.KV{Key: kv.Key, Value: kv.Value}
+	}
+	return out, nil
+}
+
+func (t *netTx) Commit() error   { return t.tx().Commit() }
+func (t *netTx) Rollback() error { return t.tx().Rollback() }

@@ -83,14 +83,23 @@ type Fabric struct {
 	// tracer can attribute ops and bytes to the node that spent them.
 	srcMu    sync.Mutex
 	srcStats map[common.NodeID]*Stats
+
+	// local is the in-process transport (boxed once so the hot path never
+	// allocates); routes holds the optional remote routing table, nil in
+	// single-process deployments so transportFor is one atomic load.
+	local    Transport
+	routes   routesPtr
+	routesMu sync.Mutex
 }
 
 // NewFabric creates an empty fabric with the given latency model.
 func NewFabric(latency Latency) *Fabric {
-	return &Fabric{
+	f := &Fabric{
 		latency:   latency,
 		endpoints: make(map[common.NodeID]*Endpoint),
 	}
+	f.local = &procTransport{f: f}
+	return f
 }
 
 // Stats exposes the fabric's operation counters.
@@ -268,30 +277,7 @@ func (f *Fabric) read(src, node common.NodeID, region string, off int, dst []byt
 	if err != nil {
 		return err
 	}
-	ep, err := f.lookup(node)
-	if err != nil {
-		return err
-	}
-	r, err := ep.region(region)
-	if err != nil {
-		return err
-	}
-	f.latency.sleep(f.latency.OneSided)
-	f.stats.Reads.Inc()
-	f.stats.BytesRead.Add(int64(len(dst)))
-	if ss != nil {
-		ss.Reads.Inc()
-		ss.BytesRead.Add(int64(len(dst)))
-	}
-	if dup {
-		// Duplicate delivery: the NIC re-executes the idempotent read.
-		f.stats.Reads.Inc()
-		if ss != nil {
-			ss.Reads.Inc()
-		}
-		_ = r.read(off, dst)
-	}
-	return r.read(off, dst)
+	return f.transportFor(node).Read(src, node, region, off, dst, dup, ss)
 }
 
 // Write performs a one-sided write of src to (node, region, off).
@@ -304,30 +290,7 @@ func (f *Fabric) write(src, node common.NodeID, region string, off int, data []b
 	if err != nil {
 		return err
 	}
-	ep, err := f.lookup(node)
-	if err != nil {
-		return err
-	}
-	r, err := ep.region(region)
-	if err != nil {
-		return err
-	}
-	f.latency.sleep(f.latency.OneSided)
-	f.stats.Writes.Inc()
-	f.stats.BytesWrite.Add(int64(len(data)))
-	if ss != nil {
-		ss.Writes.Inc()
-		ss.BytesWrite.Add(int64(len(data)))
-	}
-	if dup {
-		// Duplicate delivery: writing the same bytes twice is idempotent.
-		f.stats.Writes.Inc()
-		if ss != nil {
-			ss.Writes.Inc()
-		}
-		_ = r.write(off, data)
-	}
-	return r.write(off, data)
+	return f.transportFor(node).Write(src, node, region, off, data, dup, ss)
 }
 
 // Read64 reads an 8-byte little-endian word.
@@ -358,20 +321,7 @@ func (f *Fabric) cas64(src, node common.NodeID, region string, off int, old, new
 	if _, _, err := f.inject(common.FaultAtomic, src, node, region, 8); err != nil {
 		return 0, err
 	}
-	ep, err := f.lookup(node)
-	if err != nil {
-		return 0, err
-	}
-	r, err := ep.region(region)
-	if err != nil {
-		return 0, err
-	}
-	f.latency.sleep(f.latency.OneSided)
-	f.stats.Atomics.Inc()
-	if ss != nil {
-		ss.Atomics.Inc()
-	}
-	return r.cas64(off, old, new)
+	return f.transportFor(node).CAS64(src, node, region, off, old, new, ss)
 }
 
 // FetchAdd64 atomically adds delta to the word at (node, region, off) and
@@ -384,20 +334,7 @@ func (f *Fabric) fetchAdd64(src, node common.NodeID, region string, off int, del
 	if _, _, err := f.inject(common.FaultAtomic, src, node, region, 8); err != nil {
 		return 0, err
 	}
-	ep, err := f.lookup(node)
-	if err != nil {
-		return 0, err
-	}
-	r, err := ep.region(region)
-	if err != nil {
-		return 0, err
-	}
-	f.latency.sleep(f.latency.OneSided)
-	f.stats.Atomics.Inc()
-	if ss != nil {
-		ss.Atomics.Inc()
-	}
-	return r.fetchAdd64(off, delta)
+	return f.transportFor(node).FetchAdd64(src, node, region, off, delta, ss)
 }
 
 // Call invokes an RPC service method on node. The response buffer is owned
@@ -411,37 +348,15 @@ func (f *Fabric) call(src, node common.NodeID, service string, req []byte, ss *S
 	if err != nil {
 		return nil, err
 	}
-	ep, err := f.lookup(node)
-	if err != nil {
-		return nil, err
-	}
-	ep.mu.RLock()
-	h := ep.services[service]
-	ep.mu.RUnlock()
-	if h == nil {
-		return nil, fmt.Errorf("rdma: node %d service %q: %w", node, service, common.ErrNoService)
-	}
-	f.latency.sleep(f.latency.RPC)
-	f.stats.RPCs.Inc()
-	if ss != nil {
-		ss.RPCs.Inc()
-	}
-	resp, err := h(req)
-	if err != nil {
-		return nil, err
-	}
-	// Re-check liveness: an RPC completed against a node that died
-	// mid-call is reported as a network failure, like a torn QP.
-	if ep.isDown() {
-		return nil, fmt.Errorf("rdma: node %d died during call: %w", node, common.ErrNodeDown)
-	}
-	if dropReply {
-		// The handler ran but the response was lost; the caller sees a
-		// transient failure and must retry idempotently.
-		return nil, fmt.Errorf("rdma: rpc %q @ node %d: response lost: %w",
-			service, node, common.ErrInjected)
-	}
-	return resp, nil
+	return f.transportFor(node).Call(src, node, service, req, dropReply, ss)
+}
+
+func errNodeDiedDuringCall(node common.NodeID) error {
+	return fmt.Errorf("rdma: node %d died during call: %w", node, common.ErrNodeDown)
+}
+
+func errReplyLost(service string, node common.NodeID) error {
+	return fmt.Errorf("rdma: rpc %q @ node %d: response lost: %w", service, node, common.ErrInjected)
 }
 
 // Endpoint is one node's attachment to the fabric: its registered memory
@@ -490,6 +405,16 @@ func (ep *Endpoint) isDown() bool {
 	ep.mu.RLock()
 	defer ep.mu.RUnlock()
 	return ep.down
+}
+
+func (ep *Endpoint) service(name string) (Handler, error) {
+	ep.mu.RLock()
+	h := ep.services[name]
+	ep.mu.RUnlock()
+	if h == nil {
+		return nil, fmt.Errorf("rdma: node %d service %q: %w", ep.node, name, common.ErrNoService)
+	}
+	return h, nil
 }
 
 func (ep *Endpoint) region(name string) (*Region, error) {

@@ -1,0 +1,545 @@
+package rdma
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"polardbmp/internal/common"
+	"polardbmp/internal/wire"
+)
+
+// Socket transport: fabric verbs between OS processes over TCP, speaking the
+// wire frame codec. The protocol is symmetric after the handshake — either
+// end may issue verb requests — so a satellite's dialed uplink doubles as the
+// seed's reverse route to the satellite's endpoints (TIT reads, revoke RPCs,
+// invalidation pushes) without a listener on the satellite.
+//
+// Handshake: the dialer opens N connections and sends a hello control frame
+// on each (protocol version, a process-unique peer id, its process name and
+// the node ids it hosts); the acceptor verifies the version, groups the
+// connections of one peer id into a single logical peer, answers with a
+// hello-ack and attaches a route for every announced node. Nodes registered
+// after dialing (a satellite learns its id from the seed) are announced late
+// via an announce control frame.
+//
+// Requests are pipelined: every frame carries a correlation id, each request
+// is served in its own goroutine, and responses are matched to waiters by
+// id, so one connection sustains many in-flight verbs like a QP with a deep
+// send queue.
+
+// FabricProtoVersion is the peer-link protocol version. The handshake
+// refuses mismatched peers so frame-format changes fail loudly at connect
+// time rather than corrupting verbs mid-stream.
+const FabricProtoVersion uint16 = 1
+
+// Fabric-peer opcodes (wire.KindRequest).
+const (
+	fopRead uint8 = iota + 1
+	fopWrite
+	fopReadV
+	fopWriteV
+	fopCAS
+	fopFAA
+	fopCall
+	fopCallBatch
+)
+
+// Control opcodes (wire.KindControl).
+const (
+	copHello uint8 = iota + 1
+	copHelloAck
+	copAnnounce
+)
+
+func errPeerUnreachable(detail string) error {
+	return fmt.Errorf("rdma: peer %s: %w", detail, common.ErrUnreachable)
+}
+
+// linkResp is one matched response: the status+result payload (owned by the
+// receiver) or the connection error that killed the wait.
+type linkResp struct {
+	payload []byte
+	err     error
+}
+
+// peerLink is one framed TCP connection. Both ends run the same read loop:
+// responses wake the matching waiter, requests execute against the local
+// fabric in their own goroutine.
+type peerLink struct {
+	f    *Fabric
+	c    net.Conn
+	nc   *wire.NetCounters
+	name string // remote's advertised name, for error detail
+
+	wmu  sync.Mutex
+	wbuf []byte
+
+	nextID  atomic.Uint64
+	pmu     sync.Mutex
+	pending map[uint64]chan linkResp
+	closed  bool
+
+	// rp is the acceptor-side connection group this link belongs to (nil on
+	// dialed links); onClose removes the link from its owner.
+	rp      *remotePeer
+	onClose func(*peerLink)
+}
+
+func newPeerLink(f *Fabric, c net.Conn, nc *wire.NetCounters) *peerLink {
+	if tc, ok := c.(*net.TCPConn); ok {
+		_ = tc.SetKeepAlive(true)
+		_ = tc.SetKeepAlivePeriod(15 * time.Second)
+	}
+	return &peerLink{f: f, c: c, nc: nc, pending: make(map[uint64]chan linkResp)}
+}
+
+// send writes one frame (serialized against concurrent senders).
+func (l *peerLink) send(fr wire.Frame) error {
+	l.wmu.Lock()
+	defer l.wmu.Unlock()
+	var err error
+	l.wbuf, err = wire.WriteFrame(l.c, l.wbuf, fr)
+	if err != nil {
+		return err
+	}
+	l.nc.FrameOut(fr.WireSize())
+	return nil
+}
+
+// call issues one request and blocks for its response payload.
+func (l *peerLink) call(op uint8, payload []byte) ([]byte, error) {
+	id := l.nextID.Add(1)
+	ch := make(chan linkResp, 1)
+	l.pmu.Lock()
+	if l.closed {
+		l.pmu.Unlock()
+		return nil, errPeerUnreachable(l.name + " (link closed)")
+	}
+	l.pending[id] = ch
+	l.pmu.Unlock()
+	if err := l.send(wire.Frame{Kind: wire.KindRequest, Op: op, ID: id, Payload: payload}); err != nil {
+		l.pmu.Lock()
+		delete(l.pending, id)
+		l.pmu.Unlock()
+		l.fail(err)
+		return nil, errPeerUnreachable(l.name + ": " + err.Error())
+	}
+	r := <-ch
+	if r.err != nil {
+		return nil, errPeerUnreachable(l.name + ": " + r.err.Error())
+	}
+	rd := wire.NewReader(r.payload)
+	if err := wire.DecodeStatus(rd); err != nil {
+		return nil, err
+	}
+	return rd.Rest(), nil
+}
+
+// fail tears the link down and wakes every waiter with err.
+func (l *peerLink) fail(err error) {
+	l.pmu.Lock()
+	if l.closed {
+		l.pmu.Unlock()
+		return
+	}
+	l.closed = true
+	waiters := l.pending
+	l.pending = nil
+	l.pmu.Unlock()
+	_ = l.c.Close()
+	for _, ch := range waiters {
+		ch <- linkResp{err: err}
+	}
+	l.nc.ConnClosed()
+	if l.onClose != nil {
+		l.onClose(l)
+	}
+}
+
+func (l *peerLink) alive() bool {
+	l.pmu.Lock()
+	defer l.pmu.Unlock()
+	return !l.closed
+}
+
+// readLoop demultiplexes incoming frames until the connection dies.
+func (l *peerLink) readLoop() {
+	var buf []byte
+	for {
+		fr, b, err := wire.ReadFrame(l.c, buf)
+		if err != nil {
+			if errors.Is(err, wire.ErrBadFrame) || errors.Is(err, wire.ErrFrameTooLarge) {
+				l.nc.CodecError()
+			}
+			l.fail(err)
+			return
+		}
+		buf = b
+		l.nc.FrameIn(fr.WireSize())
+		switch fr.Kind {
+		case wire.KindResponse:
+			l.pmu.Lock()
+			ch := l.pending[fr.ID]
+			delete(l.pending, fr.ID)
+			l.pmu.Unlock()
+			if ch != nil {
+				cp := make([]byte, len(fr.Payload))
+				copy(cp, fr.Payload)
+				ch <- linkResp{payload: cp}
+			}
+		case wire.KindRequest:
+			cp := make([]byte, len(fr.Payload))
+			copy(cp, fr.Payload)
+			go l.serveRequest(fr.Op, fr.ID, cp)
+		case wire.KindControl:
+			if fr.Op == copAnnounce {
+				l.handleAnnounce(fr.Payload)
+			}
+		default:
+			l.nc.CodecError()
+			l.fail(fmt.Errorf("wire: unknown frame kind %d", fr.Kind))
+			return
+		}
+	}
+}
+
+// handleAnnounce attaches routes for nodes the remote registered after the
+// handshake (a satellite announcing its freshly allocated node id).
+func (l *peerLink) handleAnnounce(payload []byte) {
+	if l.rp == nil {
+		return
+	}
+	rd := wire.NewReader(payload)
+	k := int(rd.U16())
+	for i := 0; i < k && rd.Err() == nil; i++ {
+		l.rp.addNode(common.NodeID(rd.U16()))
+	}
+}
+
+// serveRequest executes one incoming verb against the local fabric and sends
+// the response. Injection, latency and stats apply at this fabric exactly as
+// for a locally issued verb, with the op attributed to the original source.
+func (l *peerLink) serveRequest(op uint8, id uint64, payload []byte) {
+	l.nc.EnterOp()
+	result, err := l.execute(op, payload)
+	l.nc.LeaveOp()
+	resp := wire.AppendStatus(nil, err)
+	resp = append(resp, result...)
+	if serr := l.send(wire.Frame{Kind: wire.KindResponse, Op: op, ID: id, Payload: resp}); serr != nil {
+		l.fail(serr)
+	}
+}
+
+func (l *peerLink) srcStats(src common.NodeID) *Stats {
+	if src == common.AnyNode {
+		return nil
+	}
+	return l.f.SrcStats(src)
+}
+
+func (l *peerLink) execute(op uint8, payload []byte) ([]byte, error) {
+	rd := wire.NewReader(payload)
+	src := common.NodeID(rd.U16())
+	node := common.NodeID(rd.U16())
+	name := rd.Str()
+	ss := l.srcStats(src)
+	switch op {
+	case fopRead:
+		off := int(rd.U64())
+		n := int(rd.U32())
+		if err := rd.Err(); err != nil {
+			return nil, err
+		}
+		if n < 0 || n > wire.MaxFrame {
+			return nil, fmt.Errorf("wire: read of %d bytes: %w", n, common.ErrOutOfBounds)
+		}
+		dst := make([]byte, n)
+		if err := l.f.read(src, node, name, off, dst, ss); err != nil {
+			return nil, err
+		}
+		return dst, nil
+	case fopWrite:
+		off := int(rd.U64())
+		data := rd.Bytes()
+		if err := rd.Err(); err != nil {
+			return nil, err
+		}
+		return nil, l.f.write(src, node, name, off, data, ss)
+	case fopReadV:
+		k := int(rd.U32())
+		segs := make([]Seg, 0, k)
+		total := 0
+		for i := 0; i < k; i++ {
+			off := int(rd.U64())
+			n := int(rd.U32())
+			if n < 0 || total+n > wire.MaxFrame {
+				return nil, fmt.Errorf("wire: readv of %d bytes: %w", total+n, common.ErrOutOfBounds)
+			}
+			total += n
+			segs = append(segs, Seg{Off: off, Buf: make([]byte, n)})
+		}
+		if err := rd.Err(); err != nil {
+			return nil, err
+		}
+		if err := l.f.readV(src, node, name, segs, ss); err != nil {
+			return nil, err
+		}
+		out := make([]byte, 0, total)
+		for _, s := range segs {
+			out = append(out, s.Buf...)
+		}
+		return out, nil
+	case fopWriteV:
+		k := int(rd.U32())
+		segs := make([]Seg, 0, k)
+		for i := 0; i < k; i++ {
+			off := int(rd.U64())
+			segs = append(segs, Seg{Off: off, Buf: rd.Bytes()})
+		}
+		if err := rd.Err(); err != nil {
+			return nil, err
+		}
+		return nil, l.f.writeV(src, node, name, segs, ss)
+	case fopCAS, fopFAA:
+		off := int(rd.U64())
+		a := rd.U64()
+		b := rd.U64()
+		if err := rd.Err(); err != nil {
+			return nil, err
+		}
+		var prev uint64
+		var err error
+		if op == fopCAS {
+			prev, err = l.f.cas64(src, node, name, off, a, b, ss)
+		} else {
+			prev, err = l.f.fetchAdd64(src, node, name, off, a, ss)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return wire.AppendU64(nil, prev), nil
+	case fopCall:
+		req := rd.Bytes()
+		if err := rd.Err(); err != nil {
+			return nil, err
+		}
+		return l.f.call(src, node, name, req, ss)
+	case fopCallBatch:
+		k := int(rd.U32())
+		reqs := make([][]byte, 0, k)
+		for i := 0; i < k; i++ {
+			reqs = append(reqs, rd.Bytes())
+		}
+		if err := rd.Err(); err != nil {
+			return nil, err
+		}
+		resps, err := l.f.callBatch(src, node, name, reqs, ss)
+		if err != nil {
+			return nil, err
+		}
+		out := wire.AppendU32(nil, uint32(len(resps)))
+		for _, r := range resps {
+			out = wire.AppendBytes(out, r)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("wire: fabric op %d: %w", op, common.ErrNoService)
+	}
+}
+
+// --- verb encoding (issuer side) --------------------------------------------
+
+func verbHeader(src, node common.NodeID, name string) []byte {
+	b := wire.AppendU16(nil, uint16(src))
+	b = wire.AppendU16(b, uint16(node))
+	return wire.AppendString(b, name)
+}
+
+// linkPicker abstracts "give me a live link" over the dialer-side pool and
+// the acceptor-side connection group, so both share one verb implementation.
+type linkPicker interface {
+	pick() (*peerLink, error)
+	detail() string
+}
+
+// netTransport implements Transport over a linkPicker.
+type netTransport struct {
+	links linkPicker
+	// fstats points at the issuing fabric's global counters so remote verbs
+	// account exactly like local ones.
+	fstats *Stats
+}
+
+func (t *netTransport) Close() error { return nil }
+
+func (t *netTransport) do(op uint8, payload []byte) ([]byte, error) {
+	l, err := t.links.pick()
+	if err != nil {
+		return nil, err
+	}
+	return l.call(op, payload)
+}
+
+func (t *netTransport) Read(src, node common.NodeID, region string, off int, dst []byte, dup bool, ss *Stats) error {
+	p := verbHeader(src, node, region)
+	p = wire.AppendU64(p, uint64(off))
+	p = wire.AppendU32(p, uint32(len(dst)))
+	for pass := 0; ; pass++ {
+		out, err := t.do(fopRead, p)
+		if err != nil {
+			return err
+		}
+		if len(out) != len(dst) {
+			return fmt.Errorf("wire: read returned %d of %d bytes: %w", len(out), len(dst), common.ErrShortBuffer)
+		}
+		copy(dst, out)
+		t.account(ss, func(s *Stats) { s.Reads.Inc(); s.BytesRead.Add(int64(len(dst))) })
+		if !dup || pass == 1 {
+			return nil
+		}
+	}
+}
+
+func (t *netTransport) Write(src, node common.NodeID, region string, off int, data []byte, dup bool, ss *Stats) error {
+	p := verbHeader(src, node, region)
+	p = wire.AppendU64(p, uint64(off))
+	p = wire.AppendBytes(p, data)
+	for pass := 0; ; pass++ {
+		if _, err := t.do(fopWrite, p); err != nil {
+			return err
+		}
+		t.account(ss, func(s *Stats) { s.Writes.Inc(); s.BytesWrite.Add(int64(len(data))) })
+		if !dup || pass == 1 {
+			return nil
+		}
+	}
+}
+
+func (t *netTransport) ReadV(src, node common.NodeID, region string, segs []Seg, dup bool, ss *Stats) error {
+	p := verbHeader(src, node, region)
+	p = wire.AppendU32(p, uint32(len(segs)))
+	for _, s := range segs {
+		p = wire.AppendU64(p, uint64(s.Off))
+		p = wire.AppendU32(p, uint32(len(s.Buf)))
+	}
+	for pass := 0; ; pass++ {
+		out, err := t.do(fopReadV, p)
+		if err != nil {
+			return err
+		}
+		if len(out) != segTotal(segs) {
+			return fmt.Errorf("wire: readv returned %d of %d bytes: %w", len(out), segTotal(segs), common.ErrShortBuffer)
+		}
+		for _, s := range segs {
+			copy(s.Buf, out[:len(s.Buf)])
+			out = out[len(s.Buf):]
+		}
+		t.account(ss, func(s *Stats) { s.Reads.Inc(); s.BytesRead.Add(int64(segTotal(segs))) })
+		if !dup || pass == 1 {
+			return nil
+		}
+	}
+}
+
+func (t *netTransport) WriteV(src, node common.NodeID, region string, segs []Seg, dup bool, ss *Stats) error {
+	p := verbHeader(src, node, region)
+	p = wire.AppendU32(p, uint32(len(segs)))
+	for _, s := range segs {
+		p = wire.AppendU64(p, uint64(s.Off))
+		p = wire.AppendBytes(p, s.Buf)
+	}
+	for pass := 0; ; pass++ {
+		if _, err := t.do(fopWriteV, p); err != nil {
+			return err
+		}
+		t.account(ss, func(s *Stats) { s.Writes.Inc(); s.BytesWrite.Add(int64(segTotal(segs))) })
+		if !dup || pass == 1 {
+			return nil
+		}
+	}
+}
+
+func (t *netTransport) atomic64(op uint8, src, node common.NodeID, region string, off int, a, b uint64, ss *Stats) (uint64, error) {
+	p := verbHeader(src, node, region)
+	p = wire.AppendU64(p, uint64(off))
+	p = wire.AppendU64(p, a)
+	p = wire.AppendU64(p, b)
+	out, err := t.do(op, p)
+	if err != nil {
+		return 0, err
+	}
+	rd := wire.NewReader(out)
+	prev := rd.U64()
+	if err := rd.Err(); err != nil {
+		return 0, err
+	}
+	t.account(ss, func(s *Stats) { s.Atomics.Inc() })
+	return prev, nil
+}
+
+func (t *netTransport) CAS64(src, node common.NodeID, region string, off int, old, new uint64, ss *Stats) (uint64, error) {
+	return t.atomic64(fopCAS, src, node, region, off, old, new, ss)
+}
+
+func (t *netTransport) FetchAdd64(src, node common.NodeID, region string, off int, delta uint64, ss *Stats) (uint64, error) {
+	return t.atomic64(fopFAA, src, node, region, off, delta, 0, ss)
+}
+
+func (t *netTransport) Call(src, node common.NodeID, service string, req []byte, dropReply bool, ss *Stats) ([]byte, error) {
+	p := verbHeader(src, node, service)
+	p = wire.AppendBytes(p, req)
+	out, err := t.do(fopCall, p)
+	if err != nil {
+		return nil, err
+	}
+	t.account(ss, func(s *Stats) { s.RPCs.Inc() })
+	if dropReply {
+		return nil, errReplyLost(service, node)
+	}
+	return out, nil
+}
+
+func (t *netTransport) CallBatch(src, node common.NodeID, service string, reqs [][]byte, dropReply bool, ss *Stats) ([][]byte, error) {
+	p := verbHeader(src, node, service)
+	p = wire.AppendU32(p, uint32(len(reqs)))
+	for _, r := range reqs {
+		p = wire.AppendBytes(p, r)
+	}
+	out, err := t.do(fopCallBatch, p)
+	if err != nil {
+		return nil, err
+	}
+	rd := wire.NewReader(out)
+	k := int(rd.U32())
+	resps := make([][]byte, 0, k)
+	for i := 0; i < k; i++ {
+		r := rd.Bytes()
+		cp := make([]byte, len(r))
+		copy(cp, r)
+		resps = append(resps, cp)
+	}
+	if err := rd.Err(); err != nil {
+		return nil, err
+	}
+	t.account(ss, func(s *Stats) { s.RPCs.Inc() })
+	if dropReply {
+		return nil, errReplyLost(service, node)
+	}
+	return resps, nil
+}
+
+// account applies fn to the issuing fabric's global counters and, when the
+// op is source-bound, the per-source mirror — the same double bookkeeping
+// the in-process transport does, applied on verb success.
+func (t *netTransport) account(ss *Stats, fn func(*Stats)) {
+	if t.fstats != nil {
+		fn(t.fstats)
+	}
+	if ss != nil {
+		fn(ss)
+	}
+}

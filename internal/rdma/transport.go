@@ -1,0 +1,362 @@
+package rdma
+
+import (
+	"sync/atomic"
+
+	"polardbmp/internal/common"
+)
+
+// Transport executes fabric verbs against a set of endpoints. The issuing
+// Fabric consults its fault injector first and then hands the op (plus the
+// injector's duplicate/drop-reply directives) to the transport that owns the
+// destination node:
+//
+//   - procTransport reaches endpoints registered in this process directly —
+//     the original in-process fabric, unchanged semantics and cost.
+//   - Peer (socket.go) reaches endpoints hosted by another OS process over a
+//     length-prefixed binary frame protocol.
+//
+// Stats accounting lives inside the transport so the op/byte counters keep
+// their exact in-process semantics (an op is counted only once destination
+// checks pass; remote transports count on a successful response).
+type Transport interface {
+	Read(src, node common.NodeID, region string, off int, dst []byte, dup bool, ss *Stats) error
+	Write(src, node common.NodeID, region string, off int, data []byte, dup bool, ss *Stats) error
+	ReadV(src, node common.NodeID, region string, segs []Seg, dup bool, ss *Stats) error
+	WriteV(src, node common.NodeID, region string, segs []Seg, dup bool, ss *Stats) error
+	CAS64(src, node common.NodeID, region string, off int, old, new uint64, ss *Stats) (uint64, error)
+	FetchAdd64(src, node common.NodeID, region string, off int, delta uint64, ss *Stats) (uint64, error)
+	Call(src, node common.NodeID, service string, req []byte, dropReply bool, ss *Stats) ([]byte, error)
+	CallBatch(src, node common.NodeID, service string, reqs [][]byte, dropReply bool, ss *Stats) ([][]byte, error)
+	Close() error
+}
+
+// routeTable is the fabric's immutable routing snapshot, swapped atomically
+// on attach/detach so the hot path pays one atomic load and no locks. A nil
+// table (the common single-process case) short-circuits straight to the
+// in-process transport.
+type routeTable struct {
+	remotes map[common.NodeID]Transport
+	def     Transport // default route for nodes not known locally (uplink)
+}
+
+// transportFor picks the transport owning node: an explicit remote route
+// first, then the default route for nodes with no local endpoint, then the
+// in-process transport.
+func (f *Fabric) transportFor(node common.NodeID) Transport {
+	rt := f.routes.Load()
+	if rt == nil {
+		return f.local
+	}
+	if t, ok := rt.remotes[node]; ok {
+		return t
+	}
+	if rt.def != nil && !f.hasEndpoint(node) {
+		return rt.def
+	}
+	return f.local
+}
+
+// hasEndpoint reports whether node ever registered locally. A locally
+// registered-but-down endpoint stays local on purpose: the crash of a node
+// this process hosts must surface as ErrNodeDown, not be routed away.
+func (f *Fabric) hasEndpoint(node common.NodeID) bool {
+	f.mu.RLock()
+	_, ok := f.endpoints[node]
+	f.mu.RUnlock()
+	return ok
+}
+
+// updateRoutes copy-on-writes the route table under routesMu (reads stay
+// lock-free).
+func (f *Fabric) updateRoutes(fn func(rt *routeTable)) {
+	f.routesMu.Lock()
+	defer f.routesMu.Unlock()
+	cur := f.routes.Load()
+	next := &routeTable{remotes: make(map[common.NodeID]Transport)}
+	if cur != nil {
+		for k, v := range cur.remotes {
+			next.remotes[k] = v
+		}
+		next.def = cur.def
+	}
+	fn(next)
+	if len(next.remotes) == 0 && next.def == nil {
+		f.routes.Store(nil) // restore the zero-cost fast path
+		return
+	}
+	f.routes.Store(next)
+}
+
+// AttachRemote routes verbs destined for node through t. Attaching over an
+// existing route replaces it (peer reconnect).
+func (f *Fabric) AttachRemote(node common.NodeID, t Transport) {
+	f.updateRoutes(func(rt *routeTable) { rt.remotes[node] = t })
+}
+
+// DetachRemote removes node's remote route; verbs fall back to the local
+// lookup (and thus ErrNodeDown if no endpoint exists).
+func (f *Fabric) DetachRemote(node common.NodeID) {
+	f.updateRoutes(func(rt *routeTable) { delete(rt.remotes, node) })
+}
+
+// AttachDefault installs t as the route for every node without a local
+// endpoint — a satellite process points this at its uplink peer so PMFS and
+// all other primaries are reachable without enumerating them.
+func (f *Fabric) AttachDefault(t Transport) {
+	f.updateRoutes(func(rt *routeTable) { rt.def = t })
+}
+
+// procTransport is the in-process transport: verbs execute directly against
+// endpoints registered in this fabric. It is the transport every fabric
+// starts with and the only one single-process deployments ever touch.
+type procTransport struct{ f *Fabric }
+
+// Close is a no-op: the in-process transport owns no connections.
+func (t *procTransport) Close() error { return nil }
+
+func (t *procTransport) Read(src, node common.NodeID, region string, off int, dst []byte, dup bool, ss *Stats) error {
+	f := t.f
+	ep, err := f.lookup(node)
+	if err != nil {
+		return err
+	}
+	r, err := ep.region(region)
+	if err != nil {
+		return err
+	}
+	f.latency.sleep(f.latency.OneSided)
+	f.stats.Reads.Inc()
+	f.stats.BytesRead.Add(int64(len(dst)))
+	if ss != nil {
+		ss.Reads.Inc()
+		ss.BytesRead.Add(int64(len(dst)))
+	}
+	if dup {
+		// Duplicate delivery: the NIC re-executes the idempotent read.
+		f.stats.Reads.Inc()
+		if ss != nil {
+			ss.Reads.Inc()
+		}
+		_ = r.read(off, dst)
+	}
+	return r.read(off, dst)
+}
+
+func (t *procTransport) Write(src, node common.NodeID, region string, off int, data []byte, dup bool, ss *Stats) error {
+	f := t.f
+	ep, err := f.lookup(node)
+	if err != nil {
+		return err
+	}
+	r, err := ep.region(region)
+	if err != nil {
+		return err
+	}
+	f.latency.sleep(f.latency.OneSided)
+	f.stats.Writes.Inc()
+	f.stats.BytesWrite.Add(int64(len(data)))
+	if ss != nil {
+		ss.Writes.Inc()
+		ss.BytesWrite.Add(int64(len(data)))
+	}
+	if dup {
+		// Duplicate delivery: writing the same bytes twice is idempotent.
+		f.stats.Writes.Inc()
+		if ss != nil {
+			ss.Writes.Inc()
+		}
+		_ = r.write(off, data)
+	}
+	return r.write(off, data)
+}
+
+func (t *procTransport) ReadV(src, node common.NodeID, region string, segs []Seg, dup bool, ss *Stats) error {
+	f := t.f
+	ep, err := f.lookup(node)
+	if err != nil {
+		return err
+	}
+	r, err := ep.region(region)
+	if err != nil {
+		return err
+	}
+	// Validate the whole chain before executing any element: a bad segment
+	// fails the batch atomically.
+	for _, s := range segs {
+		if err := r.check(s.Off, len(s.Buf)); err != nil {
+			return err
+		}
+	}
+	f.latency.sleep(f.latency.OneSided)
+	f.stats.Reads.Inc()
+	f.stats.BytesRead.Add(int64(segTotal(segs)))
+	if ss != nil {
+		ss.Reads.Inc()
+		ss.BytesRead.Add(int64(segTotal(segs)))
+	}
+	for pass := 0; pass < 2; pass++ {
+		for _, s := range segs {
+			if err := r.read(s.Off, s.Buf); err != nil {
+				return err
+			}
+		}
+		if !dup {
+			break
+		}
+		// Duplicate delivery: the NIC re-executes the idempotent chain.
+		f.stats.Reads.Inc()
+		if ss != nil {
+			ss.Reads.Inc()
+		}
+		dup = false
+	}
+	return nil
+}
+
+func (t *procTransport) WriteV(src, node common.NodeID, region string, segs []Seg, dup bool, ss *Stats) error {
+	f := t.f
+	ep, err := f.lookup(node)
+	if err != nil {
+		return err
+	}
+	r, err := ep.region(region)
+	if err != nil {
+		return err
+	}
+	for _, s := range segs {
+		if err := r.check(s.Off, len(s.Buf)); err != nil {
+			return err
+		}
+	}
+	f.latency.sleep(f.latency.OneSided)
+	f.stats.Writes.Inc()
+	f.stats.BytesWrite.Add(int64(segTotal(segs)))
+	if ss != nil {
+		ss.Writes.Inc()
+		ss.BytesWrite.Add(int64(segTotal(segs)))
+	}
+	for pass := 0; pass < 2; pass++ {
+		for _, s := range segs {
+			if err := r.write(s.Off, s.Buf); err != nil {
+				return err
+			}
+		}
+		if !dup {
+			break
+		}
+		// Duplicate delivery: writing the same bytes twice is idempotent.
+		f.stats.Writes.Inc()
+		if ss != nil {
+			ss.Writes.Inc()
+		}
+		dup = false
+	}
+	return nil
+}
+
+func (t *procTransport) CAS64(src, node common.NodeID, region string, off int, old, new uint64, ss *Stats) (uint64, error) {
+	f := t.f
+	ep, err := f.lookup(node)
+	if err != nil {
+		return 0, err
+	}
+	r, err := ep.region(region)
+	if err != nil {
+		return 0, err
+	}
+	f.latency.sleep(f.latency.OneSided)
+	f.stats.Atomics.Inc()
+	if ss != nil {
+		ss.Atomics.Inc()
+	}
+	return r.cas64(off, old, new)
+}
+
+func (t *procTransport) FetchAdd64(src, node common.NodeID, region string, off int, delta uint64, ss *Stats) (uint64, error) {
+	f := t.f
+	ep, err := f.lookup(node)
+	if err != nil {
+		return 0, err
+	}
+	r, err := ep.region(region)
+	if err != nil {
+		return 0, err
+	}
+	f.latency.sleep(f.latency.OneSided)
+	f.stats.Atomics.Inc()
+	if ss != nil {
+		ss.Atomics.Inc()
+	}
+	return r.fetchAdd64(off, delta)
+}
+
+func (t *procTransport) Call(src, node common.NodeID, service string, req []byte, dropReply bool, ss *Stats) ([]byte, error) {
+	f := t.f
+	ep, err := f.lookup(node)
+	if err != nil {
+		return nil, err
+	}
+	h, err := ep.service(service)
+	if err != nil {
+		return nil, err
+	}
+	f.latency.sleep(f.latency.RPC)
+	f.stats.RPCs.Inc()
+	if ss != nil {
+		ss.RPCs.Inc()
+	}
+	resp, err := h(req)
+	if err != nil {
+		return nil, err
+	}
+	// Re-check liveness: an RPC completed against a node that died
+	// mid-call is reported as a network failure, like a torn QP.
+	if ep.isDown() {
+		return nil, errNodeDiedDuringCall(node)
+	}
+	if dropReply {
+		// The handler ran but the response was lost; the caller sees a
+		// transient failure and must retry idempotently.
+		return nil, errReplyLost(service, node)
+	}
+	return resp, nil
+}
+
+func (t *procTransport) CallBatch(src, node common.NodeID, service string, reqs [][]byte, dropReply bool, ss *Stats) ([][]byte, error) {
+	f := t.f
+	ep, err := f.lookup(node)
+	if err != nil {
+		return nil, err
+	}
+	h, err := ep.service(service)
+	if err != nil {
+		return nil, err
+	}
+	f.latency.sleep(f.latency.RPC)
+	f.stats.RPCs.Inc()
+	if ss != nil {
+		ss.RPCs.Inc()
+	}
+	resps := make([][]byte, len(reqs))
+	for i, req := range reqs {
+		resp, err := h(req)
+		if err != nil {
+			return nil, err
+		}
+		resps[i] = resp
+	}
+	if ep.isDown() {
+		return nil, errNodeDiedDuringCall(node)
+	}
+	if dropReply {
+		return nil, errReplyLost(service, node)
+	}
+	return resps, nil
+}
+
+var _ Transport = (*procTransport)(nil)
+
+// routes is stored on the Fabric as an atomic pointer; declared here so the
+// struct field type is next to its operations.
+type routesPtr = atomic.Pointer[routeTable]

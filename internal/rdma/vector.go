@@ -1,8 +1,6 @@
 package rdma
 
 import (
-	"fmt"
-
 	"polardbmp/internal/common"
 )
 
@@ -87,45 +85,7 @@ func (f *Fabric) readV(src, node common.NodeID, region string, segs []Seg, ss *S
 	if err != nil {
 		return err
 	}
-	ep, err := f.lookup(node)
-	if err != nil {
-		return err
-	}
-	r, err := ep.region(region)
-	if err != nil {
-		return err
-	}
-	// Validate the whole chain before executing any element: a bad segment
-	// fails the batch atomically.
-	for _, s := range segs {
-		if err := r.check(s.Off, len(s.Buf)); err != nil {
-			return err
-		}
-	}
-	f.latency.sleep(f.latency.OneSided)
-	f.stats.Reads.Inc()
-	f.stats.BytesRead.Add(int64(segTotal(segs)))
-	if ss != nil {
-		ss.Reads.Inc()
-		ss.BytesRead.Add(int64(segTotal(segs)))
-	}
-	for pass := 0; pass < 2; pass++ {
-		for _, s := range segs {
-			if err := r.read(s.Off, s.Buf); err != nil {
-				return err
-			}
-		}
-		if !dup {
-			break
-		}
-		// Duplicate delivery: the NIC re-executes the idempotent chain.
-		f.stats.Reads.Inc()
-		if ss != nil {
-			ss.Reads.Inc()
-		}
-		dup = false
-	}
-	return nil
+	return f.transportFor(node).ReadV(src, node, region, segs, dup, ss)
 }
 
 func (f *Fabric) writeV(src, node common.NodeID, region string, segs []Seg, ss *Stats) error {
@@ -136,43 +96,7 @@ func (f *Fabric) writeV(src, node common.NodeID, region string, segs []Seg, ss *
 	if err != nil {
 		return err
 	}
-	ep, err := f.lookup(node)
-	if err != nil {
-		return err
-	}
-	r, err := ep.region(region)
-	if err != nil {
-		return err
-	}
-	for _, s := range segs {
-		if err := r.check(s.Off, len(s.Buf)); err != nil {
-			return err
-		}
-	}
-	f.latency.sleep(f.latency.OneSided)
-	f.stats.Writes.Inc()
-	f.stats.BytesWrite.Add(int64(segTotal(segs)))
-	if ss != nil {
-		ss.Writes.Inc()
-		ss.BytesWrite.Add(int64(segTotal(segs)))
-	}
-	for pass := 0; pass < 2; pass++ {
-		for _, s := range segs {
-			if err := r.write(s.Off, s.Buf); err != nil {
-				return err
-			}
-		}
-		if !dup {
-			break
-		}
-		// Duplicate delivery: writing the same bytes twice is idempotent.
-		f.stats.Writes.Inc()
-		if ss != nil {
-			ss.Writes.Inc()
-		}
-		dup = false
-	}
-	return nil
+	return f.transportFor(node).WriteV(src, node, region, segs, dup, ss)
 }
 
 func (f *Fabric) callBatch(src, node common.NodeID, service string, reqs [][]byte, ss *Stats) ([][]byte, error) {
@@ -187,35 +111,5 @@ func (f *Fabric) callBatch(src, node common.NodeID, service string, reqs [][]byt
 	if err != nil {
 		return nil, err
 	}
-	ep, err := f.lookup(node)
-	if err != nil {
-		return nil, err
-	}
-	ep.mu.RLock()
-	h := ep.services[service]
-	ep.mu.RUnlock()
-	if h == nil {
-		return nil, fmt.Errorf("rdma: node %d service %q: %w", node, service, common.ErrNoService)
-	}
-	f.latency.sleep(f.latency.RPC)
-	f.stats.RPCs.Inc()
-	if ss != nil {
-		ss.RPCs.Inc()
-	}
-	resps := make([][]byte, len(reqs))
-	for i, req := range reqs {
-		resp, err := h(req)
-		if err != nil {
-			return nil, err
-		}
-		resps[i] = resp
-	}
-	if ep.isDown() {
-		return nil, fmt.Errorf("rdma: node %d died during call: %w", node, common.ErrNodeDown)
-	}
-	if dropReply {
-		return nil, fmt.Errorf("rdma: rpc batch %q @ node %d: response lost: %w",
-			service, node, common.ErrInjected)
-	}
-	return resps, nil
+	return f.transportFor(node).CallBatch(src, node, service, reqs, dropReply, ss)
 }

@@ -27,7 +27,7 @@ import (
 
 // Standby replicates a primary region's shared store into a local one.
 type Standby struct {
-	src   *storage.Store
+	src   storage.API
 	local *storage.Store
 
 	mu       sync.Mutex
@@ -42,7 +42,7 @@ type Standby struct {
 // New attaches a standby to the primary region's shared store. The standby
 // store carries no injected latency of its own here; cross-region transfer
 // cost is the Sync cadence.
-func New(src *storage.Store) *Standby {
+func New(src storage.API) *Standby {
 	return &Standby{
 		src:     src,
 		local:   storage.New(storage.Latency{}),

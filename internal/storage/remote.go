@@ -1,0 +1,583 @@
+// Remote storage access: a satellite process (core.JoinRemote) runs its
+// engine against the seed process's shared Store through a fabric RPC
+// service, the way a PolarDB-MP primary talks to PolarStore over the network
+// rather than hosting the store itself.
+//
+// The one protocol subtlety is the redo log. wal.Writer assumes LogAppend is
+// applied exactly once at the stream end it tracks (it panics on any other
+// offset unless the stream is fenced). A retried RPC could otherwise append
+// twice, so the wire op is append-AT: the client sends the end LSN it
+// expects, and the server applies only if the stream still ends there —
+// observing end == expect+len(data) instead means the lost reply's append
+// DID land and the retry is acknowledged without re-applying. Every
+// append/sync response piggybacks the stream's fenced flag so the writer's
+// LogFenced check sees fencing promptly without an extra RPC; if the uplink
+// dies for good, LogFenced fails safe to true, which makes wal.Writer close
+// itself instead of panicking or spinning.
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"polardbmp/internal/common"
+	"polardbmp/internal/rdma"
+	"polardbmp/internal/wire"
+)
+
+// ServiceStorage is the fabric RPC service name the storage proxy serves on
+// the PMFS endpoint.
+const ServiceStorage = "pmfs.storage"
+
+// Storage proxy opcodes (first payload byte).
+const (
+	sopAllocPage uint8 = iota + 1
+	sopReadPage
+	sopWritePage
+	sopHasPage
+	sopPageIDs
+	sopPageCount
+	sopPutMeta
+	sopGetMeta
+	sopMetaKeys
+	sopLogAppendAt
+	sopLogSync
+	sopLogEnd
+	sopLogDurable
+	sopLogStart
+	sopLogRead
+	sopLogCrash
+	sopLogFence
+	sopLogUnfence
+	sopLogFenced
+	sopLogTruncate
+	sopLogShip
+	sopLogNodes
+)
+
+// fencedTTL bounds how stale a cached fenced=false may get before LogFenced
+// re-asks the seed. Append/sync responses refresh the cache for free.
+const fencedTTL = 100 * time.Millisecond
+
+// Serve registers the storage RPC service for s on ep (the seed does this on
+// the PMFS endpoint). Responses are [status][result]; all integers LE.
+func Serve(ep *rdma.Endpoint, s API) {
+	ep.Serve(ServiceStorage, func(req []byte) ([]byte, error) {
+		result, err := serveOp(s, req)
+		out := wire.AppendStatus(nil, err)
+		return append(out, result...), nil
+	})
+}
+
+func serveOp(s API, req []byte) ([]byte, error) {
+	rd := wire.NewReader(req)
+	op := rd.U8()
+	switch op {
+	case sopAllocPage:
+		return wire.AppendU64(nil, uint64(s.AllocPage())), nil
+	case sopReadPage:
+		img, err := s.ReadPage(common.PageID(rd.U64()))
+		if err != nil {
+			return nil, err
+		}
+		return img, nil
+	case sopWritePage:
+		id := common.PageID(rd.U64())
+		img := rd.Bytes()
+		if err := rd.Err(); err != nil {
+			return nil, err
+		}
+		return nil, s.WritePage(id, img)
+	case sopHasPage:
+		if s.HasPage(common.PageID(rd.U64())) {
+			return []byte{1}, nil
+		}
+		return []byte{0}, nil
+	case sopPageIDs:
+		ids := s.PageIDs()
+		out := wire.AppendU32(nil, uint32(len(ids)))
+		for _, id := range ids {
+			out = wire.AppendU64(out, uint64(id))
+		}
+		return out, nil
+	case sopPageCount:
+		return wire.AppendU32(nil, uint32(s.PageCount())), nil
+	case sopPutMeta:
+		key := rd.Str()
+		val := rd.Bytes()
+		if err := rd.Err(); err != nil {
+			return nil, err
+		}
+		s.PutMeta(key, val)
+		return nil, nil
+	case sopGetMeta:
+		v := s.GetMeta(rd.Str())
+		if v == nil {
+			return []byte{0}, nil
+		}
+		return append([]byte{1}, v...), nil
+	case sopMetaKeys:
+		keys := s.MetaKeys()
+		out := wire.AppendU32(nil, uint32(len(keys)))
+		for _, k := range keys {
+			out = wire.AppendString(out, k)
+		}
+		return out, nil
+	case sopLogAppendAt:
+		node := common.NodeID(rd.U16())
+		expect := common.LSN(rd.U64())
+		data := rd.Bytes()
+		if err := rd.Err(); err != nil {
+			return nil, err
+		}
+		return serveLogAppendAt(s, node, expect, data), nil
+	case sopLogSync:
+		node := common.NodeID(rd.U16())
+		lsn := s.LogSync(node)
+		out := wire.AppendU64(nil, uint64(lsn))
+		return appendFenced(out, s, node), nil
+	case sopLogEnd:
+		return wire.AppendU64(nil, uint64(s.LogEndLSN(common.NodeID(rd.U16())))), nil
+	case sopLogDurable:
+		return wire.AppendU64(nil, uint64(s.LogDurableLSN(common.NodeID(rd.U16())))), nil
+	case sopLogStart:
+		return wire.AppendU64(nil, uint64(s.LogStartLSN(common.NodeID(rd.U16())))), nil
+	case sopLogRead:
+		node := common.NodeID(rd.U16())
+		lsn := common.LSN(rd.U64())
+		n := int(rd.U32())
+		if err := rd.Err(); err != nil {
+			return nil, err
+		}
+		if n < 0 || n > wire.MaxFrame/2 {
+			n = wire.MaxFrame / 2
+		}
+		buf := make([]byte, n)
+		got, err := s.LogRead(node, lsn, buf)
+		if err != nil {
+			return nil, err
+		}
+		return buf[:got], nil
+	case sopLogCrash:
+		s.LogCrashVolatile(common.NodeID(rd.U16()))
+		return nil, nil
+	case sopLogFence:
+		s.FenceLog(common.NodeID(rd.U16()))
+		return nil, nil
+	case sopLogUnfence:
+		s.UnfenceLog(common.NodeID(rd.U16()))
+		return nil, nil
+	case sopLogFenced:
+		if s.LogFenced(common.NodeID(rd.U16())) {
+			return []byte{1}, nil
+		}
+		return []byte{0}, nil
+	case sopLogTruncate:
+		node := common.NodeID(rd.U16())
+		s.LogTruncate(node, common.LSN(rd.U64()))
+		return nil, nil
+	case sopLogShip:
+		node := common.NodeID(rd.U16())
+		at := common.LSN(rd.U64())
+		data := rd.Bytes()
+		if err := rd.Err(); err != nil {
+			return nil, err
+		}
+		return nil, s.LogShip(node, at, data)
+	case sopLogNodes:
+		ids := s.LogNodes()
+		out := wire.AppendU32(nil, uint32(len(ids)))
+		for _, id := range ids {
+			out = wire.AppendU16(out, uint16(id))
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("storage: rpc op %d: %w", op, common.ErrNoService)
+	}
+}
+
+// serveLogAppendAt implements idempotent append-at-expected-LSN. Response:
+// [placed u64][end u64][fenced u8][applied u8].
+func serveLogAppendAt(s API, node common.NodeID, expect common.LSN, data []byte) []byte {
+	end := s.LogEndLSN(node)
+	placed := end
+	applied := byte(0)
+	switch {
+	case end == expect:
+		placed = s.LogAppend(node, data)
+		end = s.LogEndLSN(node)
+		if placed == expect && end == expect+common.LSN(len(data)) {
+			applied = 1
+		}
+	case end == expect+common.LSN(len(data)) && len(data) > 0:
+		// The previous attempt's reply was lost but its append landed:
+		// acknowledge without re-applying.
+		placed = expect
+		applied = 1
+	}
+	out := wire.AppendU64(nil, uint64(placed))
+	out = wire.AppendU64(out, uint64(end))
+	fencedByte := byte(0)
+	if s.LogFenced(node) {
+		fencedByte = 1
+	}
+	return append(out, fencedByte, applied)
+}
+
+func appendFenced(out []byte, s API, node common.NodeID) []byte {
+	if s.LogFenced(node) {
+		return append(out, 1)
+	}
+	return append(out, 0)
+}
+
+// remoteStream is the client-side shadow of one log stream: the expected end
+// LSN (for idempotent appends) and the fenced cache.
+type remoteStream struct {
+	mu       sync.Mutex
+	end      common.LSN
+	endKnown bool
+	fenced   bool
+	fencedAt time.Time
+}
+
+// Remote implements API over the fabric storage service. It is safe for
+// concurrent use; per-stream append ordering is the caller's job exactly as
+// with Store (wal.Writer already serializes its stream).
+type Remote struct {
+	conn  rdma.Conn
+	stats Stats
+	rp    common.RetryPolicy
+
+	mu      sync.Mutex
+	streams map[common.NodeID]*remoteStream
+}
+
+// NewRemote returns a remote store speaking through conn (a satellite's
+// source-bound fabric conn; the service lives on the PMFS endpoint reached
+// via the conn's default route).
+func NewRemote(conn rdma.Conn) *Remote {
+	return &Remote{
+		conn: conn,
+		// The uplink policy is heavier than the fabric default: storage has
+		// almost no error paths, so riding out a peer reconnect (~seconds)
+		// beats surfacing a failure the engine cannot express.
+		rp:      common.RetryPolicy{MaxAttempts: 12, BaseDelay: time.Millisecond, MaxDelay: 250 * time.Millisecond},
+		streams: make(map[common.NodeID]*remoteStream),
+	}
+}
+
+var _ API = (*Remote)(nil)
+
+// SetRetryPolicy replaces the uplink retry policy (tests and operators that
+// want faster failure detection than the ride-out default).
+func (r *Remote) SetRetryPolicy(p common.RetryPolicy) { r.rp = p }
+
+// Stats exposes client-side op counters (reads/writes/syncs this process
+// issued, not the seed's totals).
+func (r *Remote) Stats() *Stats { return &r.stats }
+
+// SetInjector is accepted for interface compatibility; fault injection for a
+// satellite's storage path happens at the fabric layer it rides on.
+func (r *Remote) SetInjector(inj common.FaultInjector) {}
+
+func (r *Remote) stream(node common.NodeID) *remoteStream {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.streams[node]
+	if st == nil {
+		st = &remoteStream{}
+		r.streams[node] = st
+	}
+	return st
+}
+
+// call performs one storage RPC with transient-fault retries and decodes the
+// status header.
+func (r *Remote) call(req []byte) ([]byte, error) {
+	var result []byte
+	err := common.Retry(r.rp, func() error {
+		resp, err := r.conn.Call(common.PMFSNode, ServiceStorage, req)
+		if err != nil {
+			return err
+		}
+		rd := wire.NewReader(resp)
+		if err := wire.DecodeStatus(rd); err != nil {
+			return err
+		}
+		result = append([]byte(nil), rd.Rest()...)
+		return nil
+	})
+	return result, err
+}
+
+// mustCall backs the API methods that have no error path (AllocPage,
+// PutMeta, LogTruncate, ...): the store they model cannot fail, only stall.
+// If the uplink stays dead past the retry budget the satellite has lost its
+// disk; that is fatal.
+func (r *Remote) mustCall(what string, req []byte) []byte {
+	out, err := r.call(req)
+	if err != nil {
+		panic(fmt.Sprintf("storage: remote %s: uplink lost: %v", what, err))
+	}
+	return out
+}
+
+func reqOp(op uint8) []byte { return []byte{op} }
+
+func reqNode(op uint8, node common.NodeID) []byte {
+	return wire.AppendU16([]byte{op}, uint16(node))
+}
+
+// AllocPage allocates a cluster-unique page id at the seed.
+func (r *Remote) AllocPage() common.PageID {
+	out := r.mustCall("alloc page", reqOp(sopAllocPage))
+	return common.PageID(wire.NewReader(out).U64())
+}
+
+// ReadPage fetches a page image from the seed's store.
+func (r *Remote) ReadPage(id common.PageID) ([]byte, error) {
+	r.stats.PageReads.Inc()
+	return r.call(wire.AppendU64(reqOp(sopReadPage), uint64(id)))
+}
+
+// WritePage stores a page image through the seed.
+func (r *Remote) WritePage(id common.PageID, img []byte) error {
+	r.stats.PageWrites.Inc()
+	req := wire.AppendU64(reqOp(sopWritePage), uint64(id))
+	req = wire.AppendBytes(req, img)
+	_, err := r.call(req)
+	return err
+}
+
+// HasPage reports page existence.
+func (r *Remote) HasPage(id common.PageID) bool {
+	out := r.mustCall("has page", wire.AppendU64(reqOp(sopHasPage), uint64(id)))
+	return len(out) == 1 && out[0] == 1
+}
+
+// PageIDs lists every stored page id.
+func (r *Remote) PageIDs() []common.PageID {
+	out := r.mustCall("page ids", reqOp(sopPageIDs))
+	rd := wire.NewReader(out)
+	k := int(rd.U32())
+	ids := make([]common.PageID, 0, k)
+	for i := 0; i < k; i++ {
+		ids = append(ids, common.PageID(rd.U64()))
+	}
+	return ids
+}
+
+// PageCount returns the stored page count.
+func (r *Remote) PageCount() int {
+	out := r.mustCall("page count", reqOp(sopPageCount))
+	return int(wire.NewReader(out).U32())
+}
+
+// PutMeta stores a metadata blob.
+func (r *Remote) PutMeta(key string, val []byte) {
+	req := wire.AppendString(reqOp(sopPutMeta), key)
+	req = wire.AppendBytes(req, val)
+	r.mustCall("put meta", req)
+}
+
+// GetMeta fetches a metadata blob (nil if absent).
+func (r *Remote) GetMeta(key string) []byte {
+	out := r.mustCall("get meta", wire.AppendString(reqOp(sopGetMeta), key))
+	if len(out) == 0 || out[0] == 0 {
+		return nil
+	}
+	return out[1:]
+}
+
+// MetaKeys lists metadata keys.
+func (r *Remote) MetaKeys() []string {
+	out := r.mustCall("meta keys", reqOp(sopMetaKeys))
+	rd := wire.NewReader(out)
+	k := int(rd.U32())
+	keys := make([]string, 0, k)
+	for i := 0; i < k; i++ {
+		keys = append(keys, rd.Str())
+	}
+	return keys
+}
+
+// LogAppend appends to node's stream via append-at: idempotent under RPC
+// retries, and fencing surfaces through the piggybacked flag rather than a
+// misplaced LSN.
+func (r *Remote) LogAppend(node common.NodeID, data []byte) common.LSN {
+	st := r.stream(node)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if !st.endKnown {
+		out, err := r.call(reqNode(sopLogEnd, node))
+		if err != nil {
+			st.markFencedLocked()
+			return st.end
+		}
+		st.end = common.LSN(wire.NewReader(out).U64())
+		st.endKnown = true
+	}
+	req := reqNode(sopLogAppendAt, node)
+	req = wire.AppendU64(req, uint64(st.end))
+	req = wire.AppendBytes(req, data)
+	out, err := r.call(req)
+	if err != nil {
+		// Uplink gone: report the stream fenced so wal.Writer closes
+		// cleanly; nothing was durably acknowledged.
+		st.markFencedLocked()
+		return st.end
+	}
+	rd := wire.NewReader(out)
+	placed := common.LSN(rd.U64())
+	end := common.LSN(rd.U64())
+	fenced := rd.U8() == 1
+	st.end = end
+	st.fenced = fenced
+	st.fencedAt = time.Now()
+	return placed
+}
+
+// LogSync makes the stream durable at the seed.
+func (r *Remote) LogSync(node common.NodeID) common.LSN {
+	r.stats.LogSyncs.Inc()
+	st := r.stream(node)
+	out, err := r.call(reqNode(sopLogSync, node))
+	if err != nil {
+		st.mu.Lock()
+		st.markFencedLocked()
+		lsn := st.end
+		st.mu.Unlock()
+		return lsn
+	}
+	rd := wire.NewReader(out)
+	lsn := common.LSN(rd.U64())
+	fenced := rd.U8() == 1
+	st.mu.Lock()
+	st.fenced = fenced
+	st.fencedAt = time.Now()
+	st.mu.Unlock()
+	return lsn
+}
+
+// markFencedLocked fails the stream safe after a dead uplink: the writer
+// sees fenced and closes instead of panicking on a misplaced LSN.
+func (st *remoteStream) markFencedLocked() {
+	st.fenced = true
+	st.fencedAt = time.Now().Add(time.Hour) // sticky: no TTL refresh
+}
+
+func (r *Remote) logLSN(op uint8, node common.NodeID) common.LSN {
+	out := r.mustCall("log lsn", reqNode(op, node))
+	return common.LSN(wire.NewReader(out).U64())
+}
+
+// LogEndLSN returns the stream's append frontier.
+func (r *Remote) LogEndLSN(node common.NodeID) common.LSN { return r.logLSN(sopLogEnd, node) }
+
+// LogDurableLSN returns the durable frontier.
+func (r *Remote) LogDurableLSN(node common.NodeID) common.LSN { return r.logLSN(sopLogDurable, node) }
+
+// LogStartLSN returns the first retained LSN.
+func (r *Remote) LogStartLSN(node common.NodeID) common.LSN { return r.logLSN(sopLogStart, node) }
+
+// LogRead reads durable bytes starting at lsn.
+func (r *Remote) LogRead(node common.NodeID, lsn common.LSN, buf []byte) (int, error) {
+	r.stats.LogReads.Inc()
+	req := reqNode(sopLogRead, node)
+	req = wire.AppendU64(req, uint64(lsn))
+	req = wire.AppendU32(req, uint32(len(buf)))
+	out, err := r.call(req)
+	if err != nil {
+		return 0, err
+	}
+	return copy(buf, out), nil
+}
+
+// LogCrashVolatile discards the un-synced tail.
+func (r *Remote) LogCrashVolatile(node common.NodeID) {
+	r.mustCall("log crash", reqNode(sopLogCrash, node))
+	r.invalidateEnd(node)
+}
+
+// FenceLog fences node's stream.
+func (r *Remote) FenceLog(node common.NodeID) {
+	r.mustCall("fence", reqNode(sopLogFence, node))
+	st := r.stream(node)
+	st.mu.Lock()
+	st.fenced = true
+	st.fencedAt = time.Now()
+	st.mu.Unlock()
+}
+
+// UnfenceLog re-opens node's stream.
+func (r *Remote) UnfenceLog(node common.NodeID) {
+	r.mustCall("unfence", reqNode(sopLogUnfence, node))
+	st := r.stream(node)
+	st.mu.Lock()
+	st.fenced = false
+	st.fencedAt = time.Now()
+	st.mu.Unlock()
+}
+
+// LogFenced reports the stream's fenced flag: from cache while fresh
+// (append/sync responses refresh it for free), by RPC otherwise, and
+// fail-safe true when the uplink is unreachable.
+func (r *Remote) LogFenced(node common.NodeID) bool {
+	st := r.stream(node)
+	st.mu.Lock()
+	if st.fenced || time.Since(st.fencedAt) < fencedTTL {
+		f := st.fenced
+		st.mu.Unlock()
+		return f
+	}
+	st.mu.Unlock()
+	out, err := r.call(reqNode(sopLogFenced, node))
+	if err != nil {
+		return true
+	}
+	fenced := len(out) == 1 && out[0] == 1
+	st.mu.Lock()
+	st.fenced = fenced
+	st.fencedAt = time.Now()
+	st.mu.Unlock()
+	return fenced
+}
+
+// LogTruncate discards the stream prefix below lsn.
+func (r *Remote) LogTruncate(node common.NodeID, lsn common.LSN) {
+	r.mustCall("truncate", wire.AppendU64(reqNode(sopLogTruncate, node), uint64(lsn)))
+	r.invalidateEnd(node)
+}
+
+// LogShip appends shipped bytes at an explicit LSN.
+func (r *Remote) LogShip(node common.NodeID, at common.LSN, data []byte) error {
+	req := reqNode(sopLogShip, node)
+	req = wire.AppendU64(req, uint64(at))
+	req = wire.AppendBytes(req, data)
+	_, err := r.call(req)
+	r.invalidateEnd(node)
+	return err
+}
+
+// LogNodes lists streams known at the seed.
+func (r *Remote) LogNodes() []common.NodeID {
+	out := r.mustCall("log nodes", reqOp(sopLogNodes))
+	rd := wire.NewReader(out)
+	k := int(rd.U32())
+	ids := make([]common.NodeID, 0, k)
+	for i := 0; i < k; i++ {
+		ids = append(ids, common.NodeID(rd.U16()))
+	}
+	return ids
+}
+
+// invalidateEnd drops the cached append frontier after ops that move it
+// outside the append path.
+func (r *Remote) invalidateEnd(node common.NodeID) {
+	st := r.stream(node)
+	st.mu.Lock()
+	st.endKnown = false
+	st.mu.Unlock()
+}

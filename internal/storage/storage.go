@@ -281,6 +281,15 @@ func (s *Store) LogSync(node common.NodeID) common.LSN {
 	return lsn
 }
 
+// LogEndLSN returns the append frontier of node's stream (the LSN the next
+// append will land at), ahead of the durable frontier by the un-synced tail.
+func (s *Store) LogEndLSN(node common.NodeID) common.LSN {
+	ls := s.stream(node)
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	return ls.base + common.LSN(len(ls.buf))
+}
+
 // LogDurableLSN returns the durable frontier of node's stream.
 func (s *Store) LogDurableLSN(node common.NodeID) common.LSN {
 	ls := s.stream(node)

@@ -242,7 +242,7 @@ func (c *LLSNCounter) Current() common.LLSN {
 // Writer appends a node's redo records to its shared-storage stream with
 // group commit: concurrent Sync callers ride a single storage sync.
 type Writer struct {
-	store *storage.Store
+	store storage.API
 	node  common.NodeID
 
 	mu      sync.Mutex
@@ -258,7 +258,7 @@ type Writer struct {
 }
 
 // NewWriter creates a writer resuming at the stream's current durable end.
-func NewWriter(store *storage.Store, node common.NodeID) *Writer {
+func NewWriter(store storage.API, node common.NodeID) *Writer {
 	w := &Writer{store: store, node: node}
 	w.nextLSN = store.LogDurableLSN(node)
 	w.synced = w.nextLSN
@@ -377,7 +377,7 @@ func (w *Writer) Durable() common.LSN {
 // StreamReader decodes one node's durable records in LSN order, reading the
 // stream in bounded chunks.
 type StreamReader struct {
-	store *storage.Store
+	store storage.API
 	node  common.NodeID
 	pos   common.LSN
 	buf   []byte
@@ -389,7 +389,7 @@ type StreamReader struct {
 const DefaultChunkSize = 256 * 1024
 
 // NewStreamReader starts reading node's stream at from.
-func NewStreamReader(store *storage.Store, node common.NodeID, from common.LSN, chunk int) *StreamReader {
+func NewStreamReader(store storage.API, node common.NodeID, from common.LSN, chunk int) *StreamReader {
 	if chunk <= 0 {
 		chunk = DefaultChunkSize
 	}

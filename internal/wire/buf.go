@@ -1,0 +1,119 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"polardbmp/internal/common"
+)
+
+// Little-endian payload builders, mirroring the fabric services' encoding
+// idiom.
+
+// AppendU16 appends v little-endian.
+func AppendU16(b []byte, v uint16) []byte { return binary.LittleEndian.AppendUint16(b, v) }
+
+// AppendU32 appends v little-endian.
+func AppendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+
+// AppendU64 appends v little-endian.
+func AppendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+
+// AppendBytes appends a u32 length prefix followed by p.
+func AppendBytes(b, p []byte) []byte {
+	b = AppendU32(b, uint32(len(p)))
+	return append(b, p...)
+}
+
+// AppendString appends s with a u32 length prefix.
+func AppendString(b []byte, s string) []byte {
+	b = AppendU32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+func u16(b []byte) uint16 { return binary.LittleEndian.Uint16(b) }
+func u32(b []byte) uint32 { return binary.LittleEndian.Uint32(b) }
+func u64(b []byte) uint64 { return binary.LittleEndian.Uint64(b) }
+
+// Reader is a sticky-error cursor over a payload: decode methods return zero
+// values once the payload is exhausted and Err reports the failure, so
+// handlers can decode a whole message and check once.
+type Reader struct {
+	b   []byte
+	err error
+}
+
+// NewReader returns a cursor over b.
+func NewReader(b []byte) *Reader { return &Reader{b: b} }
+
+func (r *Reader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("wire: truncated payload: %w", common.ErrShortBuffer)
+	}
+}
+
+// Err returns the first decode failure, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Rest returns the undecoded remainder of the payload.
+func (r *Reader) Rest() []byte { return r.b }
+
+// U8 decodes one byte.
+func (r *Reader) U8() uint8 {
+	if r.err != nil || len(r.b) < 1 {
+		r.fail()
+		return 0
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v
+}
+
+// U16 decodes a little-endian uint16.
+func (r *Reader) U16() uint16 {
+	if r.err != nil || len(r.b) < 2 {
+		r.fail()
+		return 0
+	}
+	v := u16(r.b)
+	r.b = r.b[2:]
+	return v
+}
+
+// U32 decodes a little-endian uint32.
+func (r *Reader) U32() uint32 {
+	if r.err != nil || len(r.b) < 4 {
+		r.fail()
+		return 0
+	}
+	v := u32(r.b)
+	r.b = r.b[4:]
+	return v
+}
+
+// U64 decodes a little-endian uint64.
+func (r *Reader) U64() uint64 {
+	if r.err != nil || len(r.b) < 8 {
+		r.fail()
+		return 0
+	}
+	v := u64(r.b)
+	r.b = r.b[8:]
+	return v
+}
+
+// Bytes decodes a u32-length-prefixed byte string. The result aliases the
+// payload buffer.
+func (r *Reader) Bytes() []byte {
+	n := int(r.U32())
+	if r.err != nil || len(r.b) < n {
+		r.fail()
+		return nil
+	}
+	v := r.b[:n]
+	r.b = r.b[n:]
+	return v
+}
+
+// Str decodes a u32-length-prefixed string.
+func (r *Reader) Str() string { return string(r.Bytes()) }

@@ -1,0 +1,421 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"polardbmp/internal/common"
+)
+
+// Client is a session-protocol client: a small pool of framed connections to
+// one server (or gateway), each pipelining requests from any number of
+// goroutines. Transactions are pinned to the connection they began on, so a
+// gateway can route per-connection without tracking transaction state.
+type Client struct {
+	addr string
+	cfg  SessionConfig
+
+	mu     sync.Mutex
+	conns  []*sessionConn
+	next   int
+	closed bool
+}
+
+// SessionConfig tunes DialSession.
+type SessionConfig struct {
+	// Name identifies this client in the server's hello handshake.
+	Name string
+	// Conns is the pool size (default 1).
+	Conns int
+	// Counters receives this client's frame accounting (may be nil).
+	Counters *NetCounters
+	// DialTimeout bounds each connection attempt (default 3s).
+	DialTimeout time.Duration
+}
+
+func (c *SessionConfig) fill() {
+	if c.Name == "" {
+		c.Name = "client"
+	}
+	if c.Conns <= 0 {
+		c.Conns = 1
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 3 * time.Second
+	}
+}
+
+// DialSession connects the pool and runs the hello handshake on every
+// connection. ServerName reports what the far end called itself.
+func DialSession(addr string, cfg SessionConfig) (*Client, error) {
+	cfg.fill()
+	c := &Client{addr: addr, cfg: cfg}
+	for i := 0; i < cfg.Conns; i++ {
+		sc, err := c.dialOne()
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.conns = append(c.conns, sc)
+	}
+	return c, nil
+}
+
+// ServerName returns the name the server presented in the handshake.
+func (c *Client) ServerName() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.conns) == 0 {
+		return ""
+	}
+	return c.conns[0].serverName
+}
+
+// Close tears down every pooled connection. In-flight calls fail with
+// ErrUnreachable.
+func (c *Client) Close() {
+	c.mu.Lock()
+	c.closed = true
+	conns := c.conns
+	c.conns = nil
+	c.mu.Unlock()
+	for _, sc := range conns {
+		sc.fail(errSessionClosed(c.addr))
+	}
+}
+
+func errSessionClosed(addr string) error {
+	return fmt.Errorf("wire: session to %s closed: %w", addr, common.ErrUnreachable)
+}
+
+// pick returns a live pooled connection (round-robin), redialing slots whose
+// connection died.
+func (c *Client) pick() (*sessionConn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, errSessionClosed(c.addr)
+	}
+	for range c.conns {
+		sc := c.conns[c.next%len(c.conns)]
+		c.next++
+		if sc.alive() {
+			return sc, nil
+		}
+	}
+	// Every pooled conn is dead: redial one slot inline.
+	sc, err := c.dialOne()
+	if err != nil {
+		return nil, err
+	}
+	if len(c.conns) == 0 {
+		c.conns = append(c.conns, sc)
+	} else {
+		c.conns[c.next%len(c.conns)] = sc
+		c.next++
+	}
+	return sc, nil
+}
+
+func (c *Client) dialOne() (*sessionConn, error) {
+	conn, err := net.DialTimeout("tcp", c.addr, c.cfg.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %v: %w", c.addr, err, common.ErrUnreachable)
+	}
+	sc := &sessionConn{conn: conn, nc: c.cfg.Counters, pending: make(map[uint64]chan callResult)}
+	if err := sc.handshake(c.cfg.Name, c.cfg.DialTimeout); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	c.cfg.Counters.ConnOpened(false)
+	go sc.readLoop()
+	return sc, nil
+}
+
+// call runs one request/response on any pooled connection.
+func (c *Client) call(op uint8, payload []byte) ([]byte, error) {
+	sc, err := c.pick()
+	if err != nil {
+		return nil, err
+	}
+	return sc.call(op, payload)
+}
+
+// Ping round-trips a no-op request (health probe).
+func (c *Client) Ping() error {
+	_, err := c.call(OpPing, nil)
+	return err
+}
+
+// StatsJSON fetches the server's stats snapshot.
+func (c *Client) StatsJSON() ([]byte, error) {
+	return c.call(OpStats, nil)
+}
+
+// CreateSpace creates (or finds) a named tablespace.
+func (c *Client) CreateSpace(name string) (uint32, error) {
+	out, err := c.call(OpCreateSpace, AppendString(nil, name))
+	if err != nil {
+		return 0, err
+	}
+	return NewReader(out).U32(), nil
+}
+
+// SpaceID resolves a tablespace name.
+func (c *Client) SpaceID(name string) (uint32, error) {
+	out, err := c.call(OpSpaceID, AppendString(nil, name))
+	if err != nil {
+		return 0, err
+	}
+	return NewReader(out).U32(), nil
+}
+
+// Begin opens a transaction pinned to one pooled connection. budget > 0
+// ships the end-to-end deadline to the server.
+func (c *Client) Begin(iso uint8, budget time.Duration) (*ClientTx, error) {
+	sc, err := c.pick()
+	if err != nil {
+		return nil, err
+	}
+	req := append([]byte{iso}, AppendU64(nil, uint64(budget/time.Microsecond))...)
+	out, err := sc.call(OpBegin, req)
+	if err != nil {
+		return nil, err
+	}
+	return &ClientTx{sc: sc, id: NewReader(out).U64()}, nil
+}
+
+// ClientTx is a transaction handle; safe for one goroutine (like sql.Tx).
+type ClientTx struct {
+	sc *sessionConn
+	id uint64
+}
+
+func (tx *ClientTx) keyReq(space uint32, key []byte) []byte {
+	b := AppendU64(nil, tx.id)
+	b = AppendU32(b, space)
+	return AppendBytes(b, key)
+}
+
+// Get reads a key under the transaction's read view.
+func (tx *ClientTx) Get(space uint32, key []byte) ([]byte, error) {
+	out, err := tx.sc.call(OpGet, tx.keyReq(space, key))
+	if err != nil {
+		return nil, err
+	}
+	return NewReader(out).Bytes(), nil
+}
+
+// GetForUpdate reads a key holding its row lock.
+func (tx *ClientTx) GetForUpdate(space uint32, key []byte) ([]byte, error) {
+	out, err := tx.sc.call(OpGetForUpdate, tx.keyReq(space, key))
+	if err != nil {
+		return nil, err
+	}
+	return NewReader(out).Bytes(), nil
+}
+
+func (tx *ClientTx) put(op uint8, space uint32, key, value []byte) error {
+	req := AppendBytes(tx.keyReq(space, key), value)
+	_, err := tx.sc.call(op, req)
+	return err
+}
+
+// Insert adds a new row (ErrKeyExists if present).
+func (tx *ClientTx) Insert(space uint32, key, value []byte) error {
+	return tx.put(OpInsert, space, key, value)
+}
+
+// Update overwrites an existing row (ErrNotFound if absent).
+func (tx *ClientTx) Update(space uint32, key, value []byte) error {
+	return tx.put(OpUpdate, space, key, value)
+}
+
+// Upsert inserts or overwrites.
+func (tx *ClientTx) Upsert(space uint32, key, value []byte) error {
+	return tx.put(OpUpsert, space, key, value)
+}
+
+// Delete removes a row.
+func (tx *ClientTx) Delete(space uint32, key []byte) error {
+	_, err := tx.sc.call(OpDelete, tx.keyReq(space, key))
+	return err
+}
+
+// Scan returns up to limit rows in [from, to) (nil bounds are open).
+func (tx *ClientTx) Scan(space uint32, from, to []byte, limit int) ([]KV, error) {
+	req := AppendU64(nil, tx.id)
+	req = AppendU32(req, space)
+	req = AppendBytes(req, from)
+	req = AppendBytes(req, to)
+	req = AppendU32(req, uint32(limit))
+	out, err := tx.sc.call(OpScan, req)
+	if err != nil {
+		return nil, err
+	}
+	rd := NewReader(out)
+	n := int(rd.U32())
+	kvs := make([]KV, 0, n)
+	for i := 0; i < n; i++ {
+		k := append([]byte(nil), rd.Bytes()...)
+		v := append([]byte(nil), rd.Bytes()...)
+		kvs = append(kvs, KV{Key: k, Value: v})
+	}
+	return kvs, rd.Err()
+}
+
+// Commit makes the transaction durable.
+func (tx *ClientTx) Commit() error {
+	_, err := tx.sc.call(OpCommit, AppendU64(nil, tx.id))
+	return err
+}
+
+// Rollback abandons the transaction.
+func (tx *ClientTx) Rollback() error {
+	_, err := tx.sc.call(OpRollback, AppendU64(nil, tx.id))
+	return err
+}
+
+// callResult carries one response out of the read loop.
+type callResult struct {
+	payload []byte
+	err     error
+}
+
+// sessionConn is one framed connection with pipelined request/response
+// correlation.
+type sessionConn struct {
+	conn       net.Conn
+	nc         *NetCounters
+	serverName string
+
+	wmu  sync.Mutex
+	wbuf []byte
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan callResult
+	dead    error
+}
+
+func (sc *sessionConn) alive() bool {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.dead == nil
+}
+
+// handshake runs the hello exchange synchronously before the read loop owns
+// the connection.
+func (sc *sessionConn) handshake(name string, timeout time.Duration) error {
+	hello := Frame{Kind: KindControl, Op: SessHello, Payload: AppendHello(nil, SessionProtoVersion, name)}
+	_ = sc.conn.SetDeadline(time.Now().Add(timeout))
+	defer sc.conn.SetDeadline(time.Time{})
+	wbuf, err := WriteFrame(sc.conn, nil, hello)
+	if err != nil {
+		return fmt.Errorf("wire: hello: %v: %w", err, common.ErrUnreachable)
+	}
+	sc.wbuf = wbuf[:0]
+	sc.nc.FrameOut(hello.WireSize())
+	f, _, err := ReadFrame(sc.conn, nil)
+	if err != nil {
+		return fmt.Errorf("wire: hello ack: %v: %w", err, common.ErrUnreachable)
+	}
+	sc.nc.FrameIn(f.WireSize())
+	if f.Kind != KindControl || f.Op != SessHelloAck {
+		return fmt.Errorf("wire: hello ack kind %d op %d: %w", f.Kind, f.Op, ErrBadFrame)
+	}
+	rd := NewReader(f.Payload)
+	if err := DecodeStatus(rd); err != nil {
+		return fmt.Errorf("wire: server refused session: %w", err)
+	}
+	if _, name, err := DecodeHello(rd.Rest()); err == nil {
+		sc.serverName = name
+	}
+	return nil
+}
+
+func (sc *sessionConn) call(op uint8, payload []byte) ([]byte, error) {
+	ch := make(chan callResult, 1)
+	sc.mu.Lock()
+	if sc.dead != nil {
+		err := sc.dead
+		sc.mu.Unlock()
+		return nil, err
+	}
+	sc.nextID++
+	id := sc.nextID
+	sc.pending[id] = ch
+	sc.mu.Unlock()
+
+	f := Frame{Kind: KindRequest, Op: op, ID: id, Payload: payload}
+	sc.nc.EnterOp()
+	defer sc.nc.LeaveOp()
+	sc.wmu.Lock()
+	wbuf, err := WriteFrame(sc.conn, sc.wbuf, f)
+	sc.wbuf = wbuf
+	sc.wmu.Unlock()
+	if err != nil {
+		// fail (or a racing readLoop delivery) resolves our channel exactly
+		// once; if the response actually made it, use it.
+		sc.fail(fmt.Errorf("wire: send: %v: %w", err, common.ErrUnreachable))
+	} else {
+		sc.nc.FrameOut(f.WireSize())
+	}
+	res := <-ch
+	if res.err != nil {
+		return nil, res.err
+	}
+	rd := NewReader(res.payload)
+	if err := DecodeStatus(rd); err != nil {
+		return nil, err
+	}
+	return rd.Rest(), nil
+}
+
+func (sc *sessionConn) readLoop() {
+	var rbuf []byte
+	for {
+		f, buf, err := ReadFrame(sc.conn, rbuf)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				sc.nc.CodecError()
+			}
+			sc.fail(fmt.Errorf("wire: connection lost: %v: %w", err, common.ErrUnreachable))
+			return
+		}
+		rbuf = buf
+		sc.nc.FrameIn(f.WireSize())
+		if f.Kind != KindResponse {
+			continue
+		}
+		sc.mu.Lock()
+		ch := sc.pending[f.ID]
+		delete(sc.pending, f.ID)
+		sc.mu.Unlock()
+		if ch != nil {
+			ch <- callResult{payload: append([]byte(nil), f.Payload...)}
+		}
+	}
+}
+
+// fail marks the connection dead and resolves every pending call with err.
+func (sc *sessionConn) fail(err error) {
+	sc.mu.Lock()
+	if sc.dead != nil {
+		sc.mu.Unlock()
+		return
+	}
+	sc.dead = err
+	pending := sc.pending
+	sc.pending = make(map[uint64]chan callResult)
+	sc.mu.Unlock()
+	_ = sc.conn.Close()
+	sc.nc.ConnClosed()
+	for _, ch := range pending {
+		ch <- callResult{err: err}
+	}
+}

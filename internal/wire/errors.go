@@ -1,0 +1,137 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+
+	"polardbmp/internal/common"
+)
+
+// Typed error mapping: every sentinel error the engine can return crosses
+// the wire as a small code plus the original message, so a client-side
+// errors.Is(err, common.ErrOverloaded) (or ErrDeadlineExceeded, ErrDeadlock,
+// ...) behaves exactly as it does in-process — retry loops, deadline
+// handling and chaos tests do not care which side of a socket the engine
+// runs on.
+//
+// Codes are part of the protocol: append only, never renumber.
+const (
+	codeOK uint16 = iota
+	codeGeneric
+	codeShortBuffer
+	codeCorrupt
+	codeNodeDown
+	codeNotFound
+	codeKeyExists
+	codeDeadlock
+	codeFenced
+	codeLockTimeout
+	codeWriteConflict
+	codeTxDone
+	codeClosed
+	codeReadOnly
+	codeDeadlineExceeded
+	codeOverloaded
+	codeNoRegion
+	codeNoService
+	codeOutOfBounds
+	codeInjected
+	codeUnreachable
+)
+
+// codeTable pairs each sentinel with its wire code, most-specific first
+// (ErrorCode matches with errors.Is, so order matters only among wrapped
+// sentinels, which do not overlap here).
+var codeTable = []struct {
+	code uint16
+	err  error
+}{
+	{codeShortBuffer, common.ErrShortBuffer},
+	{codeCorrupt, common.ErrCorrupt},
+	{codeNodeDown, common.ErrNodeDown},
+	{codeNotFound, common.ErrNotFound},
+	{codeKeyExists, common.ErrKeyExists},
+	{codeDeadlock, common.ErrDeadlock},
+	{codeFenced, common.ErrFenced},
+	{codeLockTimeout, common.ErrLockTimeout},
+	{codeWriteConflict, common.ErrWriteConflict},
+	{codeTxDone, common.ErrTxDone},
+	{codeClosed, common.ErrClosed},
+	{codeReadOnly, common.ErrReadOnly},
+	{codeDeadlineExceeded, common.ErrDeadlineExceeded},
+	{codeOverloaded, common.ErrOverloaded},
+	{codeNoRegion, common.ErrNoRegion},
+	{codeNoService, common.ErrNoService},
+	{codeOutOfBounds, common.ErrOutOfBounds},
+	{codeInjected, common.ErrInjected},
+	{codeUnreachable, common.ErrUnreachable},
+}
+
+var codeIndex = func() map[uint16]error {
+	m := make(map[uint16]error, len(codeTable))
+	for _, e := range codeTable {
+		m[e.code] = e.err
+	}
+	return m
+}()
+
+// ErrorCode classifies err for transmission.
+func ErrorCode(err error) uint16 {
+	if err == nil {
+		return codeOK
+	}
+	for _, e := range codeTable {
+		if errors.Is(err, e.err) {
+			return e.code
+		}
+	}
+	return codeGeneric
+}
+
+// RemoteError is a decoded peer error: it prints the peer's message and
+// unwraps to the sentinel the code named, preserving errors.Is.
+type RemoteError struct {
+	Msg  string
+	Base error
+}
+
+func (e *RemoteError) Error() string { return e.Msg }
+
+// Unwrap exposes the mapped sentinel (nil for codeGeneric).
+func (e *RemoteError) Unwrap() error { return e.Base }
+
+// DecodeError rebuilds the error named by (code, msg); nil for codeOK.
+func DecodeError(code uint16, msg string) error {
+	if code == codeOK {
+		return nil
+	}
+	base := codeIndex[code]
+	if base != nil && msg == base.Error() {
+		return base // unwrapped sentinel round-trips to identity
+	}
+	if msg == "" {
+		msg = fmt.Sprintf("wire: remote error code %d", code)
+	}
+	return &RemoteError{Msg: msg, Base: base}
+}
+
+// AppendStatus appends the response status header (code + message) for err.
+func AppendStatus(b []byte, err error) []byte {
+	code := ErrorCode(err)
+	b = AppendU16(b, code)
+	if err == nil {
+		return AppendU32(b, 0) // empty message
+	}
+	return AppendString(b, err.Error())
+}
+
+// DecodeStatus consumes a status header from r and returns the mapped error
+// (nil on success). Cursor errors surface through r.Err as usual.
+func DecodeStatus(r *Reader) error {
+	code := r.U16()
+	msg := r.Str()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	return DecodeError(code, msg)
+}

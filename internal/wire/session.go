@@ -1,0 +1,83 @@
+package wire
+
+import "time"
+
+// SessionProtoVersion is the client session protocol version carried in the
+// hello exchange. A server refuses a client whose version it does not speak,
+// so incompatible binaries fail at connect time instead of mid-workload.
+const SessionProtoVersion = 1
+
+// Session control ops (KindControl frames; the handshake).
+const (
+	SessHello    uint8 = 1 // client -> server: [version u16][client name str]
+	SessHelloAck uint8 = 2 // server -> client: [status]([version u16][server name str])
+)
+
+// Session request ops (KindRequest frames; the response echoes op and id
+// with payload [status][result]).
+const (
+	OpBegin        uint8 = 1  // [iso u8][budget micros u64] -> [tx u64]
+	OpGet          uint8 = 2  // [tx u64][space u32][key bytes] -> [val bytes]
+	OpGetForUpdate uint8 = 3  // as OpGet
+	OpInsert       uint8 = 4  // [tx u64][space u32][key bytes][val bytes] -> []
+	OpUpdate       uint8 = 5  // as OpInsert
+	OpUpsert       uint8 = 6  // as OpInsert
+	OpDelete       uint8 = 7  // [tx u64][space u32][key bytes] -> []
+	OpScan         uint8 = 8  // [tx u64][space u32][from bytes][to bytes][limit u32] -> [n u32]{[key bytes][val bytes]}*; zero-length bounds mean unbounded
+	OpCommit       uint8 = 9  // [tx u64] -> []
+	OpRollback     uint8 = 10 // [tx u64] -> []
+	OpCreateSpace  uint8 = 11 // [name str] -> [space u32]
+	OpSpaceID      uint8 = 12 // [name str] -> [space u32]
+	OpStats        uint8 = 13 // [] -> [stats JSON bytes]
+	OpPing         uint8 = 14 // [] -> []
+)
+
+// KV is one key/value pair of a scan result.
+type KV struct {
+	Key   []byte
+	Value []byte
+}
+
+// Backend is the database surface a session server exposes. The netsrv
+// package adapts *core.Cluster to it; keeping the interface here (in
+// primitive types) lets wire stay free of engine imports so rdma and core
+// can both build on it.
+type Backend interface {
+	// Begin opens a transaction. budget > 0 propagates the client's
+	// end-to-end deadline into the engine (ErrDeadlineExceeded on expiry).
+	Begin(iso uint8, budget time.Duration) (Tx, error)
+	// CreateSpace creates (or finds) a named tablespace.
+	CreateSpace(name string) (uint32, error)
+	// SpaceID resolves a tablespace name.
+	SpaceID(name string) (uint32, error)
+	// StatsJSON returns the process's stats snapshot as JSON.
+	StatsJSON() ([]byte, error)
+}
+
+// Tx is one open transaction on the backend. The server serializes calls on
+// a single Tx; distinct transactions proceed concurrently.
+type Tx interface {
+	Get(space uint32, key []byte) ([]byte, error)
+	GetForUpdate(space uint32, key []byte) ([]byte, error)
+	Insert(space uint32, key, value []byte) error
+	Update(space uint32, key, value []byte) error
+	Upsert(space uint32, key, value []byte) error
+	Delete(space uint32, key []byte) error
+	Scan(space uint32, from, to []byte, limit int) ([]KV, error)
+	Commit() error
+	Rollback() error
+}
+
+// AppendHello encodes a SessHello payload.
+func AppendHello(b []byte, version uint16, name string) []byte {
+	b = AppendU16(b, version)
+	return AppendString(b, name)
+}
+
+// DecodeHello decodes a SessHello payload.
+func DecodeHello(payload []byte) (version uint16, name string, err error) {
+	rd := NewReader(payload)
+	version = rd.U16()
+	name = rd.Str()
+	return version, name, rd.Err()
+}

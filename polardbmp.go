@@ -34,6 +34,10 @@ import (
 	"polardbmp/internal/trace"
 )
 
+// Version identifies this build of the engine; the daemons (mpserver,
+// mpgateway) report it via their -version flag.
+const Version = "0.6.0"
+
 // Re-exported error values; test with errors.Is.
 var (
 	ErrNotFound    = common.ErrNotFound

@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# proto_smoke.sh — end-to-end multi-process smoke: a seed mpserver, a
+# satellite mpserver joined over the socket fabric, an mpgateway balancing
+# across both, and an mpbench -connect bank workload whose money-conservation
+# invariant must hold (mpbench exits non-zero on any violation). Also checks
+# the daemons' /stats endpoints answer with the expected JSON sections.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+GO=${GO:-go}
+BIN=$(mktemp -d)
+DATA=$(mktemp -d)
+PIDS=()
+cleanup() {
+    for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+    wait 2>/dev/null || true
+    rm -rf "$BIN" "$DATA"
+}
+trap cleanup EXIT
+
+# Loopback ports; offset keeps parallel CI jobs from colliding.
+BASE=${PROTO_SMOKE_PORT:-17170}
+SEED_SESS=$BASE SEED_FAB=$((BASE+1)) SEED_HTTP=$((BASE+2))
+SAT_SESS=$((BASE+3))
+GW_SESS=$((BASE+4)) GW_HTTP=$((BASE+5))
+
+wait_port() { # host:port comes up within 10s
+    for _ in $(seq 1 100); do
+        if (exec 3<>"/dev/tcp/127.0.0.1/$1") 2>/dev/null; then exec 3>&- 3<&-; return 0; fi
+        sleep 0.1
+    done
+    echo "proto-smoke: port $1 never came up" >&2
+    return 1
+}
+
+http_get() { # plain-HTTP GET body via /dev/tcp (no curl dependency)
+    exec 3<>"/dev/tcp/127.0.0.1/$1"
+    printf 'GET %s HTTP/1.0\r\nHost: 127.0.0.1\r\n\r\n' "$2" >&3
+    local body="" in_body=0 line
+    while IFS= read -r line <&3 || [ -n "$line" ]; do
+        line=${line%$'\r'}
+        if [ "$in_body" = 1 ]; then body+="$line"; elif [ -z "$line" ]; then in_body=1; fi
+    done
+    exec 3>&- 3<&-
+    printf '%s' "$body"
+}
+
+echo "proto-smoke: building daemons"
+$GO build -o "$BIN/mpserver" ./cmd/mpserver
+$GO build -o "$BIN/mpgateway" ./cmd/mpgateway
+$GO build -o "$BIN/mpbench" ./cmd/mpbench
+
+"$BIN/mpserver" -version | grep -q mpserver
+"$BIN/mpgateway" -version | grep -q mpgateway
+
+echo "proto-smoke: starting seed (sessions :$SEED_SESS fabric :$SEED_FAB)"
+"$BIN/mpserver" -listen 127.0.0.1:$SEED_SESS -fabric 127.0.0.1:$SEED_FAB \
+    -http 127.0.0.1:$SEED_HTTP -data "$DATA" &
+PIDS+=($!)
+wait_port $SEED_SESS
+wait_port $SEED_FAB
+
+echo "proto-smoke: starting satellite (sessions :$SAT_SESS, joining :$SEED_FAB)"
+"$BIN/mpserver" -listen 127.0.0.1:$SAT_SESS -join 127.0.0.1:$SEED_FAB &
+PIDS+=($!)
+wait_port $SAT_SESS
+
+echo "proto-smoke: starting gateway (sessions :$GW_SESS)"
+"$BIN/mpgateway" -listen 127.0.0.1:$GW_SESS -http 127.0.0.1:$GW_HTTP \
+    -backends 127.0.0.1:$SEED_SESS,127.0.0.1:$SAT_SESS -probe 200ms &
+PIDS+=($!)
+wait_port $GW_SESS
+
+echo "proto-smoke: bank workload through the gateway"
+"$BIN/mpbench" -connect 127.0.0.1:$GW_SESS -dur 3s -threads 6
+
+stats=$(http_get $SEED_HTTP /stats)
+echo "$stats" | grep -q '"commits"' || { echo "proto-smoke: seed /stats missing commits" >&2; exit 1; }
+echo "$stats" | grep -q '"net"'     || { echo "proto-smoke: seed /stats missing net section" >&2; exit 1; }
+
+gwstats=$(http_get $GW_HTTP /stats)
+echo "$gwstats" | grep -q '"backends"' || { echo "proto-smoke: gateway /stats missing backends" >&2; exit 1; }
+echo "$gwstats" | grep -q '"healthy":true' || { echo "proto-smoke: gateway reports no healthy backend" >&2; exit 1; }
+# Both backends must have carried sessions — the balancer actually balanced.
+if echo "$gwstats" | grep -q '"total_sessions":0'; then
+    echo "proto-smoke: a backend served zero sessions" >&2
+    echo "$gwstats" >&2
+    exit 1
+fi
+
+echo "proto-smoke: PASS"
