@@ -3,10 +3,10 @@ GO ?= go
 RACE_PKGS = ./internal/core ./internal/lockfusion ./internal/bufferfusion \
             ./internal/txfusion ./internal/chaos ./internal/rdma \
             ./internal/membership ./internal/trace ./internal/wire \
-            ./internal/netsrv ./internal/storage
+            ./internal/netsrv ./internal/storage ./internal/pmfsrep
 
 .PHONY: all build test test-full race vet smoke brownout-smoke proto-smoke \
-        wire-fuzz check bench-snapshot alloc-budget trace-smoke
+        pmfs-smoke wire-fuzz check bench-snapshot alloc-budget trace-smoke
 
 all: check
 
@@ -44,6 +44,14 @@ smoke:
 brownout-smoke:
 	$(GO) run ./cmd/mpchaos -plan brownout -seed 7 -ops 60
 
+# Replicated shared-memory smoke: a 3-replica PMFS tier under load and light
+# fabric noise loses its leader replica mid-workload; the run must absorb the
+# kill (exactly one failover, pmfs epoch +1), keep every committed row, and
+# hand out no duplicate commit CSN (TSO monotonic across the failover;
+# non-zero exit on violation).
+pmfs-smoke:
+	$(GO) run ./cmd/mpchaos -plan pmfsfailover -seed 7 -ops 400
+
 # Multi-process smoke: a seed mpserver + a satellite mpserver joined over the
 # socket fabric + an mpgateway balancing across both; a bank workload through
 # the gateway must hold its money-conservation invariant and both daemons'
@@ -51,11 +59,14 @@ brownout-smoke:
 proto-smoke:
 	./scripts/proto_smoke.sh
 
-# Fuzz the wire frame codec (round-trip + truncated/oversized rejection).
+# Fuzz the wire frame codec (round-trip + truncated/oversized rejection) and
+# the pmfs replication record codec (same contract: errors consume nothing,
+# decoded records re-encode byte-identically).
 wire-fuzz:
 	$(GO) test ./internal/wire -run '^$$' -fuzz FuzzFrameDecode -fuzztime 10s
+	$(GO) test ./internal/pmfsrep -run '^$$' -fuzz FuzzRecordDecode -fuzztime 10s
 
-check: build vet test race smoke brownout-smoke proto-smoke
+check: build vet test race smoke brownout-smoke pmfs-smoke proto-smoke
 
 # Disabled-tracer alloc budget: the commit hot path's tracer hooks must stay
 # at 0 allocs/op when tracing is off (asserted by TestNilTracerZeroAllocs;

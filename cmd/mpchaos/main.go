@@ -31,7 +31,7 @@ import (
 )
 
 func main() {
-	planName := flag.String("plan", "smoke", "fault plan: smoke, drop, lossy, slownode, stalledstorage, partition, crashnode, brownout, none")
+	planName := flag.String("plan", "smoke", "fault plan: smoke, drop, lossy, slownode, stalledstorage, partition, crashnode, brownout, pmfsfailover, none")
 	seed := flag.Int64("seed", 1, "chaos seed (same seed + plan => same fault timeline)")
 	nodes := flag.Int("nodes", 3, "primary nodes")
 	ops := flag.Int("ops", 150, "transactions per node")
@@ -95,9 +95,20 @@ func main() {
 	fmt.Printf("mpchaos: plan=%s seed=%d nodes=%d ops=%d retries=%v\n",
 		plan.Name, *seed, *nodes, *ops, *retries)
 	// ActCrashNode rules fail-stop their victim via KillNode — a silent
-	// kill, with none of CrashNode's declared-failure cleanup.
-	eng.SetCrashHandler(func(id common.NodeID) { _ = c.KillNode(id) })
+	// kill, with none of CrashNode's declared-failure cleanup. A rule naming
+	// the PMFS pseudo-node instead fail-stops a shared-memory replica: the
+	// current leader, so the kill also exercises follower promotion.
+	eng.SetCrashHandler(func(id common.NodeID) {
+		if id == common.PMFSNode {
+			if rep := c.PmfsReplicator(); rep != nil {
+				_ = c.KillPMFSReplica(rep.Leader())
+			}
+			return
+		}
+		_ = c.KillNode(id)
+	})
 	epoch0 := c.Stats().Membership.Epoch
+	pmfsEpoch0 := c.Stats().Pmfs.Epoch
 	eng.Install(c.Fabric(), c.Store())
 	start := time.Now()
 	// Watchdog: without retries, a single lost lock-service message can
@@ -143,7 +154,7 @@ func main() {
 	fmt.Printf("workload: %v, %d committed, %d rolled back, %d aborted-retryable, %d severed\n",
 		elapsed.Round(time.Millisecond), len(res.committed), len(res.rolledBack), res.retryable, res.severed)
 
-	ok := verify(c, sp, *nodes, res, plan, epoch0)
+	ok := verify(c, sp, *nodes, res, plan, epoch0, pmfsEpoch0)
 	if bres != nil && !verifyBrownout(c, bres) {
 		ok = false
 	}
@@ -175,6 +186,10 @@ func resolvePlan(name string, nodes, ops int) (chaos.Plan, error) {
 			return chaos.Plan{}, fmt.Errorf("mpchaos: crashnode needs at least 2 nodes (use -nodes)")
 		}
 		return chaos.CrashNodePlan(common.NodeID(nodes), window/3), nil
+	case "pmfsfailover":
+		// Kill a shared-memory replica a third of the way in, while the
+		// workload keeps committing through the replicated tier.
+		return chaos.PmfsFailoverPlan(window / 3), nil
 	case "brownout":
 		if nodes < 2 {
 			return chaos.Plan{}, fmt.Errorf("mpchaos: brownout needs at least 2 nodes (use -nodes)")
@@ -187,11 +202,13 @@ func resolvePlan(name string, nodes, ops int) (chaos.Plan, error) {
 	return chaos.PresetPlan(name)
 }
 
-// crashVictims lists the nodes a plan fail-stops (nil for fault-only plans).
+// crashVictims lists the database nodes a plan fail-stops (nil for
+// fault-only plans). ActCrashNode rules on the PMFS pseudo-node kill a
+// shared-memory replica, not a database node — see pmfsKills.
 func crashVictims(plan chaos.Plan) map[common.NodeID]bool {
 	var victims map[common.NodeID]bool
 	for _, r := range plan.Rules {
-		if r.Action.Kind == chaos.ActCrashNode {
+		if r.Action.Kind == chaos.ActCrashNode && r.Action.Node != common.PMFSNode {
 			if victims == nil {
 				victims = make(map[common.NodeID]bool)
 			}
@@ -201,9 +218,21 @@ func crashVictims(plan chaos.Plan) map[common.NodeID]bool {
 	return victims
 }
 
+// pmfsKills counts the shared-memory replica fail-stops a plan fires.
+func pmfsKills(plan chaos.Plan) int64 {
+	var n int64
+	for _, r := range plan.Rules {
+		if r.Action.Kind == chaos.ActCrashNode && r.Action.Node == common.PMFSNode {
+			n++
+		}
+	}
+	return n
+}
+
 type result struct {
 	mu         sync.Mutex
 	committed  map[string]string
+	csns       []uint64 // commit timestamps of successful writes
 	rolledBack []string
 	leaked     []error
 	retryable  int
@@ -286,6 +315,7 @@ func runWorkload(c *core.Cluster, sp common.SpaceID, nodes, ops int) *result {
 				}
 				res.mu.Lock()
 				res.committed[key] = val
+				res.csns = append(res.csns, tx.Info().CTS)
 				res.mu.Unlock()
 
 				peer := c.Node(ni%nodes + 1)
@@ -334,7 +364,7 @@ func printFaultSummary(eng *chaos.Engine, verbose bool) {
 
 // verify checks the crash-consistency invariants from every surviving node,
 // on a quiet fabric.
-func verify(c *core.Cluster, sp common.SpaceID, nodes int, res *result, plan chaos.Plan, epoch0 uint64) bool {
+func verify(c *core.Cluster, sp common.SpaceID, nodes int, res *result, plan chaos.Plan, epoch0, pmfsEpoch0 uint64) bool {
 	ok := true
 	fail := func(format string, args ...any) {
 		ok = false
@@ -379,6 +409,43 @@ func verify(c *core.Cluster, sp common.SpaceID, nodes int, res *result, plan cha
 		}
 		fmt.Printf("self-healing: %d takeover(s) at epoch %d (mean %v), %d lease renewals, 0 harness CrashNode calls\n",
 			st.Membership.Takeovers, st.Membership.Epoch, st.Membership.TakeoverMean.Round(time.Microsecond), st.Membership.LeaseRenewals)
+	}
+
+	// Invariant 5: the TSO never hands out the same timestamp twice — a
+	// replayed or double-advanced grant (duplicate fabric delivery, replica
+	// failover promoting a stale copy) would reissue commit CSNs.
+	seenCSN := make(map[uint64]bool, len(res.csns))
+	dupCSNs := 0
+	for _, csn := range res.csns {
+		if csn == 0 {
+			continue
+		}
+		if seenCSN[csn] {
+			dupCSNs++
+		}
+		seenCSN[csn] = true
+	}
+	if dupCSNs > 0 {
+		fail("%d duplicate commit CSNs — the TSO double-advanced or regressed", dupCSNs)
+	}
+
+	// Invariant 6 (pmfs failover plans): the replica kill was absorbed by
+	// the replicated shared-memory tier — every kill became exactly one
+	// failover, and the pmfs epoch advanced exactly once per kill.
+	if kills := pmfsKills(plan); kills > 0 {
+		st := c.Stats()
+		if st.Pmfs.Failovers != kills {
+			fail("pmfs tier absorbed %d failovers, want %d (replica kill not handled)",
+				st.Pmfs.Failovers, kills)
+		}
+		if st.Pmfs.Epoch != pmfsEpoch0+uint64(kills) {
+			fail("pmfs epoch %d, want exactly %d (pre-kill %d + %d kill(s)) — epoch must advance exactly once per failover",
+				st.Pmfs.Epoch, pmfsEpoch0+uint64(kills), pmfsEpoch0, kills)
+		}
+		fmt.Printf("pmfs: %d/%d replicas live at epoch %d after %d failover(s), leader=%d, %d quorum ops (p99 %v), %d read repairs, %d dup-suppressed\n",
+			st.Pmfs.Live, st.Pmfs.Replicas, st.Pmfs.Epoch, st.Pmfs.Failovers, st.Pmfs.Leader,
+			st.Pmfs.QuorumOps, st.Pmfs.QuorumP99.Round(time.Microsecond),
+			st.Pmfs.ReadRepairs, st.Pmfs.DupSuppressed)
 	}
 
 	// Invariants 1-3: committed rows durable and identical from every

@@ -108,16 +108,37 @@ func run(listen string, addrs []string, httpAddr string, probe time.Duration) er
 	return nil
 }
 
+// Failure-EWMA tuning: every observed failure (probe or session dial) mixes
+// in at failEWMAGain; every successful probe decays the average — including
+// on a backend carrying zero sessions, so a recovered backend earns its way
+// back from probes alone instead of staying shunned forever. At one probe
+// per second a fully-failed backend (EWMA 1.0) drops under the shun
+// threshold in ~4 clean probes.
+const (
+	failEWMADecay = 0.7
+	failEWMAGain  = 0.3
+	failEWMAShun  = 0.5
+)
+
 // backend is one mpserver the gateway can route sessions to.
 type backend struct {
 	addr string
 
 	mu       sync.Mutex
 	healthy  bool
-	slow     bool // its own membership stats suspect a fail-slow peer
-	active   int  // live proxied sessions
+	slow     bool    // its own membership stats suspect a fail-slow peer
+	failEWMA float64 // recent failure rate, decayed by idle probes
+	active   int     // live proxied sessions
 	sessions uint64
 	lastErr  string
+}
+
+// fail records one observed failure (probe or session dial).
+// Caller holds b.mu.
+func (b *backend) failLocked(err error) {
+	b.healthy = false
+	b.lastErr = err.Error()
+	b.failEWMA = b.failEWMA*failEWMADecay + failEWMAGain
 }
 
 type gateway struct {
@@ -161,11 +182,14 @@ func (gw *gateway) probeLoop(b *backend, interval time.Duration) {
 			}
 		}
 		b.mu.Lock()
-		b.healthy = err == nil
 		if err != nil {
-			b.lastErr = err.Error()
+			b.failLocked(err)
 		} else {
+			b.healthy = true
 			b.lastErr = ""
+			// Idle-probe decay: a clean probe pays down the failure average
+			// even when the backend carries no sessions.
+			b.failEWMA *= failEWMADecay
 			if tick%5 == 0 {
 				b.slow = slow
 			}
@@ -184,17 +208,21 @@ func (gw *gateway) probeLoop(b *backend, interval time.Duration) {
 	}
 }
 
-// pick returns the best backend: healthy and unsuspected first, healthy
-// second, fewest live sessions within a tier.
+// pick returns the best backend: healthy and unsuspected first, then
+// healthy-but-flaky (recent failures or fail-slow suspicion), unhealthy
+// last, fewest live sessions within a tier.
 func (gw *gateway) pick() *backend {
 	var best *backend
 	bestScore := 1 << 30
 	for _, b := range gw.backends {
 		b.mu.Lock()
 		score := b.active
-		if !b.healthy {
+		switch {
+		case !b.healthy:
 			score += 1 << 20
-		} else if b.slow {
+		case b.failEWMA >= failEWMAShun:
+			score += 1 << 15
+		case b.slow:
 			score += 1 << 10
 		}
 		b.mu.Unlock()
@@ -229,7 +257,7 @@ func (gw *gateway) serve(client net.Conn) {
 	upstream, err := net.DialTimeout("tcp", b.addr, 3*time.Second)
 	if err != nil {
 		b.mu.Lock()
-		b.healthy, b.lastErr = false, err.Error()
+		b.failLocked(err)
 		b.mu.Unlock()
 		return
 	}
@@ -287,12 +315,13 @@ func (gw *gateway) relay(dst io.Writer, src io.Reader, in bool) {
 // backend's health as the prober sees it.
 func (gw *gateway) stats() any {
 	type backendStats struct {
-		Addr     string `json:"addr"`
-		Healthy  bool   `json:"healthy"`
-		Slow     bool   `json:"slow,omitempty"`
-		Active   int    `json:"active_sessions"`
-		Sessions uint64 `json:"total_sessions"`
-		LastErr  string `json:"last_err,omitempty"`
+		Addr     string  `json:"addr"`
+		Healthy  bool    `json:"healthy"`
+		Slow     bool    `json:"slow,omitempty"`
+		FailEWMA float64 `json:"fail_ewma,omitempty"`
+		Active   int     `json:"active_sessions"`
+		Sessions uint64  `json:"total_sessions"`
+		LastErr  string  `json:"last_err,omitempty"`
 	}
 	doc := struct {
 		Version  string         `json:"version"`
@@ -302,7 +331,7 @@ func (gw *gateway) stats() any {
 	for _, b := range gw.backends {
 		b.mu.Lock()
 		doc.Backends = append(doc.Backends, backendStats{
-			Addr: b.addr, Healthy: b.healthy, Slow: b.slow,
+			Addr: b.addr, Healthy: b.healthy, Slow: b.slow, FailEWMA: b.failEWMA,
 			Active: b.active, Sessions: b.sessions, LastErr: b.lastErr,
 		})
 		b.mu.Unlock()

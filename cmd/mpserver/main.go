@@ -38,6 +38,8 @@ func main() {
 	data := flag.String("data", "", "data directory (seed mode; empty = in-memory)")
 	httpAddr := flag.String("http", "", "HTTP listener serving GET /stats (ClusterStats JSON)")
 	name := flag.String("name", "", "server name echoed in handshakes (default mpserver-<pid>)")
+	pmfsReplicas := flag.Int("pmfs-replicas", 0, "shared-memory replication factor (seed mode; 0 = default 3, <2 disables)")
+	fenceTTL := flag.Duration("fence-ttl", 0, "fenced-piggyback cache TTL for the storage uplink (satellite mode; 0 = default 100ms)")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
@@ -48,13 +50,14 @@ func main() {
 	if *name == "" {
 		*name = fmt.Sprintf("mpserver-%d", os.Getpid())
 	}
-	if err := run(*listen, *fabricAddr, *join, *data, *httpAddr, *name); err != nil {
+	cfg := core.Config{PmfsReplicas: *pmfsReplicas, FenceTTL: *fenceTTL}
+	if err := run(*listen, *fabricAddr, *join, *data, *httpAddr, *name, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "mpserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, fabricAddr, join, data, httpAddr, name string) error {
+func run(listen, fabricAddr, join, data, httpAddr, name string, cfg core.Config) error {
 	nc := &wire.NetCounters{}
 	var (
 		c   *core.Cluster
@@ -67,7 +70,7 @@ func run(listen, fabricAddr, join, data, httpAddr, name string) error {
 		if fabricAddr != "" || data != "" {
 			return fmt.Errorf("-fabric and -data are seed-mode flags, incompatible with -join")
 		}
-		c, n, err = core.JoinRemote(core.Config{}, join, nc)
+		c, n, err = core.JoinRemote(cfg, join, nc)
 		if err != nil {
 			return err
 		}
@@ -80,7 +83,7 @@ func run(listen, fabricAddr, join, data, httpAddr, name string) error {
 			return err
 		}
 		existing := store.PageCount() > 0
-		c = core.NewClusterWithStore(core.Config{}, store)
+		c = core.NewClusterWithStore(cfg, store)
 		if existing {
 			if err := c.RecoverAll(); err != nil {
 				return fmt.Errorf("recovering %s: %w", data, err)
@@ -90,7 +93,7 @@ func run(listen, fabricAddr, join, data, httpAddr, name string) error {
 			return err
 		}
 	default:
-		c = core.NewCluster(core.Config{})
+		c = core.NewCluster(cfg)
 		if n, err = c.AddNode(); err != nil {
 			return err
 		}

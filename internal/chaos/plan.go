@@ -312,6 +312,29 @@ func CrashNodePlan(node common.NodeID, atOp uint64) Plan {
 	}
 }
 
+// PmfsFailoverPlan fail-stops one replica of the replicated shared-memory
+// tier once the global op index reaches atOp, under light fabric noise (the
+// drops and jitter exercise the duplicate-suppression and retry paths while
+// the failover is in flight). The harness's crash handler routes the
+// ActCrashNode on common.PMFSNode to Cluster.KillPMFSReplica instead of a
+// database-node kill. Invariants the harness must gate on: zero lost
+// committed transactions, a TSO that stays monotonic across the failover
+// (all commit CSNs distinct), and a pmfs epoch that advances exactly once.
+func PmfsFailoverPlan(atOp uint64) Plan {
+	return Plan{
+		Name: "pmfsfailover",
+		Rules: []Rule{
+			{Name: "kill-replica", FromOp: atOp, Prob: 1, Max: 1,
+				Action: Action{Kind: ActCrashNode, Node: common.PMFSNode}},
+			{Name: "drop-verbs", Layer: common.FaultLayerRDMA, Prob: 0.01,
+				Classes: []string{common.FaultRead, common.FaultWrite, common.FaultRPC},
+				Action:  Action{Kind: ActDrop}},
+			{Name: "jitter", Layer: common.FaultLayerRDMA, Prob: 0.05,
+				Action: Action{Kind: ActDelay, Delay: 200 * time.Microsecond}},
+		},
+	}
+}
+
 // PartitionPlan splits the fabric into two reachability groups for the op
 // window [fromOp, toOp], healing afterwards.
 func PartitionPlan(a, b []common.NodeID, fromOp, toOp uint64) Plan {

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"slices"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"polardbmp/internal/bufferfusion"
@@ -17,6 +18,8 @@ import (
 	"polardbmp/internal/lockfusion"
 	"polardbmp/internal/membership"
 	"polardbmp/internal/metrics"
+	"polardbmp/internal/page"
+	"polardbmp/internal/pmfsrep"
 	"polardbmp/internal/rdma"
 	"polardbmp/internal/storage"
 	"polardbmp/internal/trace"
@@ -87,6 +90,18 @@ type Config struct {
 	// suspect the node. Default 90ms (six renew intervals).
 	LeaseTimeout time.Duration
 
+	// PmfsReplicas is the replication factor of the shared-memory tier:
+	// every verb against a PMFS region is mirrored across K replicas with
+	// quorum (K/2+1) acknowledgement before it returns. Default 3; values
+	// below 2 (including negative) disable replication — the single-copy
+	// PMFS of the earlier PRs. Zero means "use the default".
+	PmfsReplicas int
+	// FenceTTL bounds how long a satellite's storage client keeps treating
+	// a node as fenced after the seed's fenced-piggyback notification, so
+	// log appends fail fast during takeover. Zero keeps the storage-layer
+	// default (100ms); slow-fabric tests raise it to stop racing takeover.
+	FenceTTL time.Duration
+
 	// Trace enables the commit-path span tracer on every node (nil = off;
 	// the disabled hooks cost one pointer check and zero allocations).
 	Trace *trace.Config
@@ -126,6 +141,9 @@ func (c *Config) fill() {
 	if c.LeaseTimeout <= 0 {
 		c.LeaseTimeout = 90 * time.Millisecond
 	}
+	if c.PmfsReplicas == 0 {
+		c.PmfsReplicas = 3
+	}
 }
 
 // DefaultConfig returns benchmark defaults: realistic storage latency and
@@ -149,6 +167,12 @@ type Cluster struct {
 	lockSrv *lockfusion.Server
 	bufSrv  *bufferfusion.Server
 	members *membership.Table
+
+	// pmfsRep replicates the shared-memory tier (nil when PmfsReplicas < 2
+	// or in a satellite). pmfsTracers is the replication observer's lock-free
+	// node→tracer snapshot, rebuilt whenever a node comes up.
+	pmfsRep     *pmfsrep.Replicator
+	pmfsTracers atomic.Value // map[common.NodeID]*trace.Tracer
 
 	// Satellite mode (JoinRemote): this process hosts no PMFS and no store;
 	// txSrv/lockSrv/bufSrv/members are nil, verbs route over peer to the
@@ -216,6 +240,30 @@ func (c *Cluster) startPMFS() {
 	// cluster administration through these endpoints.
 	storage.Serve(ep, c.store)
 	ep.Serve(ServiceCluster, c.handleAdmin)
+
+	if c.cfg.PmfsReplicas > 1 {
+		rep := pmfsrep.New(c.fabric, common.PMFSNode, c.cfg.PmfsReplicas)
+		rep.AddRegion(txfusion.RegionTSO, 8, false)
+		rep.AddRegion(txfusion.RegionGMV, 8, false)
+		// The membership table is the lease/fate oracle: quorum reads so a
+		// survivor's fate query never trusts a single stale copy.
+		rep.AddRegion(membership.Region, membership.RegionSize, true)
+		rep.AddRegion(bufferfusion.RegionDBP, c.cfg.DBPFrames*page.FrameSize, false)
+		rep.OnFailover(func(uint64) {
+			// Join/Evict serialize through the Table and mirror with local
+			// writes that bypass the replicated path; re-seed the promoted
+			// copy from what the Table actually holds.
+			c.members.Remirror()
+		})
+		if c.cfg.Trace != nil {
+			rep.SetObserver(func(src common.NodeID, d time.Duration) {
+				m, _ := c.pmfsTracers.Load().(map[common.NodeID]*trace.Tracer)
+				m[src].ObserveStage(trace.StagePmfsReplicate, d)
+			})
+		}
+		rep.Attach(c.fabric)
+		c.pmfsRep = rep
+	}
 }
 
 // Store exposes the shared storage (harness/inspection).
@@ -246,7 +294,24 @@ func (c *Cluster) AddNode() (*Node, error) {
 	c.mu.Lock()
 	c.nodes[id] = n
 	c.mu.Unlock()
+	c.refreshPmfsTracers()
 	return n, nil
+}
+
+// refreshPmfsTracers rebuilds the replication observer's node→tracer map (a
+// copy-on-write snapshot: the observer runs on the replicated hot path and
+// must not take c.mu).
+func (c *Cluster) refreshPmfsTracers() {
+	if c.pmfsRep == nil || c.cfg.Trace == nil {
+		return
+	}
+	m := make(map[common.NodeID]*trace.Tracer)
+	c.mu.Lock()
+	for id, n := range c.nodes {
+		m[id] = n.tracer
+	}
+	c.mu.Unlock()
+	c.pmfsTracers.Store(m)
 }
 
 // Node returns the i-th (1-based) node, or nil if it is down.
@@ -386,8 +451,29 @@ func (c *Cluster) RestartNode(id common.NodeID) (*Node, error) {
 	c.mu.Lock()
 	c.nodes[id] = n
 	c.mu.Unlock()
+	c.refreshPmfsTracers()
 	return n, nil
 }
+
+// KillPMFSReplica fail-stops one replica of the replicated shared-memory
+// tier: the replica is fenced, the pmfs epoch advances exactly once, and if
+// the leader died the most-advanced follower is promoted. In-flight verbs
+// caught in the failover window fail with a typed-transient error the
+// common.Retry paths absorb. Returns an error when replication is disabled,
+// the replica is already fenced, or it is the last live copy.
+func (c *Cluster) KillPMFSReplica(id int) error {
+	if c.remote {
+		return ErrNotHosted
+	}
+	if c.pmfsRep == nil {
+		return errors.New("core: pmfs replication disabled")
+	}
+	return c.pmfsRep.KillReplica(id)
+}
+
+// PmfsReplicator exposes the shared-memory replication tier
+// (harness/inspection; nil when replication is disabled).
+func (c *Cluster) PmfsReplicator() *pmfsrep.Replicator { return c.pmfsRep }
 
 // CrashAll simulates a full-cluster failure including PMFS: every node's
 // volatile state and the disaggregated memory (DBP, TSO, lock tables) are
@@ -417,6 +503,11 @@ func (c *Cluster) CrashAll() {
 		c.removeMinView(n.id)
 	}
 	c.txSrv.SetTSO(common.CSNMin)
+	if c.pmfsRep != nil {
+		// The resets above mutate regions through local writes; re-baseline
+		// the follower mirrors so they track the rebuilt leader copy.
+		c.pmfsRep.Resync()
+	}
 }
 
 // FabricStats is a snapshot of RDMA fabric verb and byte counters.
@@ -482,6 +573,37 @@ type MembershipStats struct {
 	SlowPeers          []int `json:"slow_peers,omitempty"`
 }
 
+// PmfsStats is a snapshot of the replicated shared-memory tier: replica
+// census, the pmfs epoch, quorum-ack latency, and the replication-protocol
+// counters. With replication disabled the section reports a single live copy
+// and zeros elsewhere.
+type PmfsStats struct {
+	Replicas int    `json:"replicas"`
+	Live     int    `json:"live"`
+	Leader   int    `json:"leader"`
+	Epoch    uint64 `json:"epoch"`
+	// Failovers counts replica fail-stops absorbed (each advances Epoch
+	// exactly once).
+	Failovers int64 `json:"failovers"`
+	// Grants counts replicated atomic post-images (TSO grants, CAS
+	// publishes); MirroredWrites/MirroredBytes count replicated one-sided
+	// writes.
+	Grants         int64 `json:"grants"`
+	MirroredWrites int64 `json:"mirrored_writes"`
+	MirroredBytes  int64 `json:"mirrored_bytes"`
+	// ReadRepairs counts divergent version words healed on quorum reads;
+	// DupSuppressed counts duplicate records the seq gate refused to
+	// re-apply; DegradedOps counts ops acknowledged below quorum.
+	ReadRepairs   int64 `json:"read_repairs"`
+	DupSuppressed int64 `json:"dup_suppressed"`
+	DegradedOps   int64 `json:"degraded_ops"`
+	// Quorum-ack latency (leader op + mirror applies, one doorbell batch).
+	QuorumOps  int64         `json:"quorum_ops"`
+	QuorumMean time.Duration `json:"quorum_mean_ns"`
+	QuorumP50  time.Duration `json:"quorum_p50_ns"`
+	QuorumP99  time.Duration `json:"quorum_p99_ns"`
+}
+
 // NodeStats is one node's slice of the cluster snapshot: engine counters,
 // transaction latency quantiles, the fabric ops this node issued, and (with
 // tracing on) its per-stage breakdown.
@@ -538,6 +660,7 @@ type ClusterStats struct {
 	Locks       LockStats       `json:"locks"`
 	Membership  MembershipStats `json:"membership"`
 	Overload    OverloadStats   `json:"overload"`
+	Pmfs        PmfsStats       `json:"pmfs"`
 	// Net is present only in processes that speak the socket transport or
 	// serve client sessions (mpserver, mpgateway).
 	Net *NetStats `json:"net,omitempty"`
@@ -616,6 +739,28 @@ func (c *Cluster) Stats() ClusterStats {
 		s.Membership.Epoch = uint64(c.members.CurrentEpoch())
 		s.Membership.EpochBumps = c.members.EpochBumps.Load()
 		s.Membership.FalseSuspicions = c.members.FalseSuspicions.Load()
+	}
+	if c.pmfsRep != nil {
+		ps := c.pmfsRep.Snapshot()
+		s.Pmfs = PmfsStats{
+			Replicas:       ps.Replicas,
+			Live:           ps.Live,
+			Leader:         ps.Leader,
+			Epoch:          ps.Epoch,
+			Failovers:      ps.Failovers,
+			Grants:         ps.Grants,
+			MirroredWrites: ps.MirroredWrites,
+			MirroredBytes:  ps.MirroredBytes,
+			ReadRepairs:    ps.ReadRepairs,
+			DupSuppressed:  ps.DupSuppressed,
+			DegradedOps:    ps.DegradedOps,
+			QuorumOps:      ps.QuorumOps,
+			QuorumMean:     ps.QuorumMean,
+			QuorumP50:      ps.QuorumP50,
+			QuorumP99:      ps.QuorumP99,
+		}
+	} else if !c.remote {
+		s.Pmfs = PmfsStats{Replicas: 1, Live: 1}
 	}
 	s.Membership.Takeovers = c.takeovers.Load()
 	s.Membership.TakeoverMean = c.takeoverDur.Mean()

@@ -293,7 +293,13 @@ func RecoverCluster(store storage.API, txSrv *txfusion.Server) error {
 
 // RecoverAll is the cluster-level convenience wrapper.
 func (c *Cluster) RecoverAll() error {
-	return RecoverCluster(c.store, c.txSrv)
+	err := RecoverCluster(c.store, c.txSrv)
+	if c.pmfsRep != nil {
+		// Recovery reseeds the TSO with a local write that bypasses the
+		// replicated path; re-baseline the follower mirrors on the result.
+		c.pmfsRep.Resync()
+	}
+	return err
 }
 
 type clusterRecovery struct {

@@ -127,7 +127,11 @@ func JoinRemote(cfg Config, addr string, nc *wire.NetCounters) (*Cluster, *Node,
 		return fail(fmt.Errorf("core: join %s: seed allocated node 0", addr))
 	}
 	c.nextNode = id + 1
-	c.store = storage.NewRemote(c.fabric.From(id))
+	rs := storage.NewRemote(c.fabric.From(id))
+	if cfg.FenceTTL > 0 {
+		rs.SetFenceTTL(cfg.FenceTTL)
+	}
+	c.store = rs
 	c.view = membership.NewRemoteView(c.fabric.From(id))
 
 	// Announce before the node serves transactions: once it can hold locks

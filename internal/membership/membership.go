@@ -281,6 +281,27 @@ func (t *Table) Gate() common.EpochGate {
 	}
 }
 
+// Remirror republishes the table's serialized state — cluster epoch,
+// per-slot incarnation epochs and lifecycle states — into the fabric region.
+// Heartbeat words are left alone: agents own them through replicated
+// one-sided writes. The pmfs replication tier calls this after a replica
+// failover, because Join/Evict mutate Go state and mirror it with local
+// writes, which bypass the replicated fabric path; a promoted replica's
+// region must be re-seeded from what the Table actually serialized.
+func (t *Table) Remirror() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_ = t.reg.LocalWrite64(0, uint64(t.epoch))
+	for n := common.NodeID(1); n <= MaxNodes; n++ {
+		if t.state[n] == StateFree && t.inc[n] == 0 {
+			continue
+		}
+		off := SlotOff(n)
+		_ = t.reg.LocalWrite64(off+offEpoch, uint64(t.inc[n]))
+		_ = t.reg.LocalWrite64(off+offState, t.state[n])
+	}
+}
+
 // writeLocked mirrors node's slot (and the cluster epoch) into the region.
 func (t *Table) writeLocked(node common.NodeID, hb uint64) {
 	_ = t.reg.LocalWrite64(0, uint64(t.epoch))

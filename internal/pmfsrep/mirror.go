@@ -1,0 +1,287 @@
+package pmfsrep
+
+import "sync"
+
+// chunkSize is the version-word granularity: each replicated region is
+// tracked as 256-byte chunks, each guarded by the sequence number of the
+// last record that touched it. 256 bytes keeps heartbeat slots (24 B) and
+// page frames (multi-KiB) both reasonable: a slot maps to one chunk, a frame
+// push advances a handful.
+const chunkSize = 256
+
+// word is a mirrored 8-byte atomic cell: the post-image of the newest grant
+// applied, guarded by that record's sequence. Values merge with a max rule —
+// every PMFS word under atomics (TSO counter, epochs) is monotonic, so max
+// is exactly the convergent merge and a replayed grant can never move a
+// mirror backwards or double-advance it.
+type word struct {
+	seq uint64
+	val uint64
+}
+
+// chunk is one mirrored 256-byte extent plus its version word.
+type chunk struct {
+	seq  uint64
+	data []byte
+}
+
+// mregion is one region's sparse mirror: only extents that replicated since
+// the last resync are materialized. An absent chunk means "unchanged since
+// the resync baseline", which by construction equals the leader copy.
+type mregion struct {
+	chunks map[int]*chunk
+	words  map[int]*word
+}
+
+// mirror is one follower replica's copy of the replicated tier. All applies
+// are seq-gated: a record whose Seq does not exceed the target chunk/word's
+// version is a duplicate (or arrived out of order behind a newer write) and
+// is not applied.
+type mirror struct {
+	mu      sync.Mutex
+	regions map[string]*mregion
+	lastSeq uint64 // highest record seq applied; promotion picks the max
+}
+
+func newMirror() *mirror {
+	return &mirror{regions: make(map[string]*mregion)}
+}
+
+func (m *mirror) region(name string) *mregion {
+	mr := m.regions[name]
+	if mr == nil {
+		mr = &mregion{chunks: make(map[int]*chunk), words: make(map[int]*word)}
+		m.regions[name] = mr
+	}
+	return mr
+}
+
+// apply merges one decoded record into the mirror. It returns false when the
+// record was entirely stale or duplicate (no chunk or word advanced) — the
+// no-double-advance guarantee for retried grants.
+func (m *mirror) apply(rec Record) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mr := m.region(rec.Region)
+	fresh := false
+	switch rec.Kind {
+	case RecWord:
+		w := mr.words[int(rec.Off)]
+		if w == nil {
+			w = &word{}
+			mr.words[int(rec.Off)] = w
+		}
+		if rec.Seq > w.seq {
+			w.seq = rec.Seq
+			if rec.Val > w.val {
+				w.val = rec.Val
+			}
+			fresh = true
+		}
+	case RecWrite:
+		off, n := int(rec.Off), len(rec.Data)
+		if n == 0 {
+			fresh = true // trivially applied
+			break
+		}
+		for ci := off / chunkSize; ci <= (off+n-1)/chunkSize; ci++ {
+			c := mr.chunks[ci]
+			if c == nil {
+				c = &chunk{data: make([]byte, chunkSize)}
+				mr.chunks[ci] = c
+			}
+			if rec.Seq <= c.seq {
+				continue
+			}
+			base := ci * chunkSize
+			lo, hi := max(off, base), min(off+n, base+chunkSize)
+			copy(c.data[lo-base:hi-base], rec.Data[lo-off:hi-off])
+			c.seq = rec.Seq
+			fresh = true
+		}
+	}
+	if fresh && rec.Seq > m.lastSeq {
+		m.lastSeq = rec.Seq
+	}
+	return fresh
+}
+
+// chunkSeq returns the version word of one chunk (0 = baseline / in sync).
+func (m *mirror) chunkSeq(region string, ci int) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if mr := m.regions[region]; mr != nil {
+		if c := mr.chunks[ci]; c != nil {
+			return c.seq
+		}
+	}
+	return 0
+}
+
+// wordSeq returns the version word of one mirrored atomic cell.
+func (m *mirror) wordSeq(region string, off int) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if mr := m.regions[region]; mr != nil {
+		if w := mr.words[off]; w != nil {
+			return w.seq
+		}
+	}
+	return 0
+}
+
+// wordVal returns a mirrored atomic cell's value (0, false if absent).
+func (m *mirror) wordVal(region string, off int) (uint64, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if mr := m.regions[region]; mr != nil {
+		if w := mr.words[off]; w != nil {
+			return w.val, true
+		}
+	}
+	return 0, false
+}
+
+// repairChunk force-installs chunk bytes read from the leader copy at the
+// leader's version word — the read-repair path for a lagging follower.
+func (m *mirror) repairChunk(region string, ci int, data []byte, seq uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mr := m.region(region)
+	c := mr.chunks[ci]
+	if c == nil {
+		c = &chunk{data: make([]byte, chunkSize)}
+		mr.chunks[ci] = c
+	}
+	if seq <= c.seq {
+		return // a concurrent apply already caught it up
+	}
+	copy(c.data, data)
+	c.seq = seq
+	if seq > m.lastSeq {
+		m.lastSeq = seq
+	}
+}
+
+// repairWord force-installs a word read from the leader copy (max-merged).
+func (m *mirror) repairWord(region string, off int, val, seq uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mr := m.region(region)
+	w := mr.words[off]
+	if w == nil {
+		w = &word{}
+		mr.words[off] = w
+	}
+	if seq <= w.seq {
+		return
+	}
+	w.seq = seq
+	if val > w.val {
+		w.val = val
+	}
+	if seq > m.lastSeq {
+		m.lastSeq = seq
+	}
+}
+
+// reset drops every mirrored extent, re-establishing "absent = in sync with
+// the leader copy" as the baseline (post-failover resync, CrashAll).
+func (m *mirror) reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.regions = make(map[string]*mregion)
+	m.lastSeq = 0
+}
+
+func (m *mirror) last() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lastSeq
+}
+
+// seqTrack is the leader-side version-word table: for every replicated
+// chunk/word it records the sequence of the newest record the leader
+// shipped. Quorum reads compare follower version words against it to find
+// divergence worth repairing.
+type seqTrack struct {
+	mu      sync.Mutex
+	regions map[string]*trackRegion
+}
+
+type trackRegion struct {
+	chunks map[int]uint64
+	words  map[int]uint64
+}
+
+func newSeqTrack() *seqTrack {
+	return &seqTrack{regions: make(map[string]*trackRegion)}
+}
+
+func (st *seqTrack) region(name string) *trackRegion {
+	tr := st.regions[name]
+	if tr == nil {
+		tr = &trackRegion{chunks: make(map[int]uint64), words: make(map[int]uint64)}
+		st.regions[name] = tr
+	}
+	return tr
+}
+
+func (st *seqTrack) noteWrite(region string, off, n int, seq uint64) {
+	if n == 0 {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	tr := st.region(region)
+	for ci := off / chunkSize; ci <= (off+n-1)/chunkSize; ci++ {
+		if seq > tr.chunks[ci] {
+			tr.chunks[ci] = seq
+		}
+	}
+}
+
+func (st *seqTrack) noteWord(region string, off int, seq uint64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	tr := st.region(region)
+	if seq > tr.words[off] {
+		tr.words[off] = seq
+	}
+}
+
+func (st *seqTrack) chunkSeq(region string, ci int) uint64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if tr := st.regions[region]; tr != nil {
+		return tr.chunks[ci]
+	}
+	return 0
+}
+
+// wordsIn returns the (offset, seq) pairs of tracked words inside
+// [off, off+n) — the cells a quorum read must verify.
+func (st *seqTrack) wordsIn(region string, off, n int) map[int]uint64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	tr := st.regions[region]
+	if tr == nil {
+		return nil
+	}
+	var out map[int]uint64
+	for wo, seq := range tr.words {
+		if wo >= off && wo+8 <= off+n {
+			if out == nil {
+				out = make(map[int]uint64)
+			}
+			out[wo] = seq
+		}
+	}
+	return out
+}
+
+func (st *seqTrack) reset() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.regions = make(map[string]*trackRegion)
+}

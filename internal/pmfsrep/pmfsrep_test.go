@@ -1,0 +1,295 @@
+package pmfsrep
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"polardbmp/internal/common"
+	"polardbmp/internal/rdma"
+)
+
+const (
+	testNode = common.PMFSNode
+	tsoReg   = "pmfs.tso"
+	memReg   = "pmfs.members"
+)
+
+// newTestTier builds a fabric with a PMFS endpoint hosting a TSO word and a
+// small quorum-read region, fronted by a K-way replicator.
+func newTestTier(t *testing.T, k int) (*rdma.Fabric, *Replicator) {
+	t.Helper()
+	f := rdma.NewFabric(rdma.Latency{})
+	ep := f.Register(testNode)
+	ep.RegisterRegion(tsoReg, 8)
+	ep.RegisterRegion(memReg, 1024)
+	r := New(f, testNode, k)
+	r.AddRegion(tsoReg, 8, false)
+	r.AddRegion(memReg, 1024, true)
+	r.Attach(f)
+	return f, r
+}
+
+// TestReplicatedFetchAddNeverDoubleAdvances is the TSO safety property under
+// fault injection: concurrent committers draw grants through the replicated
+// FetchAdd64 while ~1/5 of atomics are dropped before execution (the fabric
+// contract chaos relies on) and every one-sided write is delivered twice.
+// Retried grants must never double-advance the oracle: the successful grants
+// form a dense, duplicate-free range, and every follower mirror converges on
+// the final counter value.
+func TestReplicatedFetchAddNeverDoubleAdvances(t *testing.T) {
+	f, r := newTestTier(t, 3)
+
+	var opCount atomic.Uint64
+	f.SetInjector(func(op common.FaultOp) common.FaultDecision {
+		n := opCount.Add(1)
+		switch op.Class {
+		case common.FaultAtomic:
+			if n%5 == 0 {
+				return common.FaultDecision{Err: common.ErrInjected}
+			}
+		case common.FaultWrite:
+			return common.FaultDecision{Duplicate: true}
+		}
+		return common.FaultDecision{}
+	})
+	defer f.SetInjector(nil)
+
+	const workers, grantsPer = 8, 200
+	grants := make([][]uint64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < grantsPer; i++ {
+				var prev uint64
+				err := common.Retry(common.DefaultRetryPolicy(), func() (e error) {
+					prev, e = f.FetchAdd64(testNode, tsoReg, 0, 1)
+					return e
+				})
+				if err != nil {
+					t.Errorf("worker %d grant %d: %v", w, i, err)
+					return
+				}
+				grants[w] = append(grants[w], prev)
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Grants dense and duplicate-free: exactly {0..total-1}.
+	total := workers * grantsPer
+	seen := make(map[uint64]bool, total)
+	for _, g := range grants {
+		for _, prev := range g {
+			if seen[prev] {
+				t.Fatalf("grant %d issued twice — the TSO double-advanced", prev)
+			}
+			seen[prev] = true
+		}
+	}
+	for i := uint64(0); i < uint64(total); i++ {
+		if !seen[i] {
+			t.Fatalf("grant %d never issued — the range has a hole", i)
+		}
+	}
+	if v, err := f.Read64(testNode, tsoReg, 0); err != nil || v != uint64(total) {
+		t.Fatalf("leader TSO = %d, %v; want %d", v, err, total)
+	}
+	// Every follower mirror learned the final counter through in-band acks.
+	for _, rep := range r.replicas {
+		if rep.m == nil {
+			continue
+		}
+		if v, ok := rep.m.wordVal(tsoReg, 0); !ok || v != uint64(total) {
+			t.Fatalf("follower %d mirror TSO = %d (present=%v), want %d", rep.id, v, ok, total)
+		}
+	}
+	if st := r.Snapshot(); st.Grants < int64(total) {
+		t.Fatalf("grants counter %d < %d successful grants", st.Grants, total)
+	}
+}
+
+// TestDuplicateRecordSuppressed pins the version-word gate: re-applying the
+// same record (duplicate delivery of an in-band ack) is refused, and a stale
+// record cannot roll a newer word or chunk backwards.
+func TestDuplicateRecordSuppressed(t *testing.T) {
+	m := newMirror()
+	grant := Record{Kind: RecWord, Epoch: 1, Seq: 7, Region: tsoReg, Off: 0, Val: 42}
+	if !m.apply(grant) {
+		t.Fatal("first apply refused")
+	}
+	if m.apply(grant) {
+		t.Fatal("duplicate apply accepted — retried grant could double-advance")
+	}
+	if v, _ := m.wordVal(tsoReg, 0); v != 42 {
+		t.Fatalf("word = %d after duplicate, want 42", v)
+	}
+	// A stale grant (older seq, lower value) must not regress the word.
+	if m.apply(Record{Kind: RecWord, Epoch: 1, Seq: 3, Region: tsoReg, Off: 0, Val: 17}) {
+		t.Fatal("stale grant accepted")
+	}
+	if v, _ := m.wordVal(tsoReg, 0); v != 42 {
+		t.Fatalf("word regressed to %d", v)
+	}
+
+	w := Record{Kind: RecWrite, Epoch: 1, Seq: 9, Region: memReg, Off: 8, Data: []byte("new")}
+	if !m.apply(w) {
+		t.Fatal("write apply refused")
+	}
+	if m.apply(Record{Kind: RecWrite, Epoch: 1, Seq: 5, Region: memReg, Off: 8, Data: []byte("old")}) {
+		t.Fatal("stale write accepted over newer chunk")
+	}
+}
+
+// TestFailoverFollowerDeath kills a follower: the epoch advances exactly
+// once, the leader stays, and killing down to the last copy is refused.
+func TestFailoverFollowerDeath(t *testing.T) {
+	_, r := newTestTier(t, 3)
+	if got := r.Epoch(); got != 1 {
+		t.Fatalf("initial epoch = %d, want 1", got)
+	}
+	if err := r.KillReplica(1); err != nil {
+		t.Fatalf("kill follower: %v", err)
+	}
+	if got := r.Epoch(); got != 2 {
+		t.Fatalf("epoch after one kill = %d, want exactly 2", got)
+	}
+	if r.Leader() != 0 {
+		t.Fatalf("leader changed to %d on follower death", r.Leader())
+	}
+	if err := r.KillReplica(1); err == nil {
+		t.Fatal("double-kill of a fenced replica succeeded")
+	}
+	if got := r.Epoch(); got != 2 {
+		t.Fatalf("refused kill advanced the epoch to %d", got)
+	}
+	if err := r.KillReplica(2); err != nil {
+		t.Fatalf("kill second follower: %v", err)
+	}
+	if err := r.KillReplica(0); err == nil {
+		t.Fatal("killed the last live copy")
+	}
+	if got, want := r.Snapshot().Failovers, int64(2); got != want {
+		t.Fatalf("failovers = %d, want %d", got, want)
+	}
+}
+
+// TestFailoverLeaderPromotion kills the leader mid-traffic: a follower is
+// promoted, no acked write or grant is lost, and the TSO stays monotonic
+// (grants after the failover continue above the pre-kill ceiling).
+func TestFailoverLeaderPromotion(t *testing.T) {
+	f, r := newTestTier(t, 3)
+	for i := 0; i < 10; i++ {
+		if _, err := f.FetchAdd64(testNode, tsoReg, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	payload := []byte("slot-state")
+	if err := f.Write(testNode, memReg, 64, payload); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := r.KillReplica(0); err != nil {
+		t.Fatalf("kill leader: %v", err)
+	}
+	if r.Leader() == 0 {
+		t.Fatal("leader not replaced")
+	}
+	if got := r.Epoch(); got != 2 {
+		t.Fatalf("epoch = %d, want exactly 2", got)
+	}
+
+	// Acked state survives the promotion.
+	got := make([]byte, len(payload))
+	if err := f.Read(testNode, memReg, 64, got); err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("acked write lost across failover: %q, %v", got, err)
+	}
+	if v, err := f.Read64(testNode, tsoReg, 0); err != nil || v != 10 {
+		t.Fatalf("TSO = %d, %v after failover; want 10", v, err)
+	}
+	// Monotonic across the failover: the next grant starts at the ceiling.
+	if prev, err := f.FetchAdd64(testNode, tsoReg, 0, 1); err != nil || prev != 10 {
+		t.Fatalf("post-failover grant = %d, %v; want 10", prev, err)
+	}
+}
+
+// TestReadRepair lags one follower behind the leader's version words and
+// checks a quorum read heals it from the leader copy.
+func TestReadRepair(t *testing.T) {
+	f, r := newTestTier(t, 3)
+	payload := []byte("lease-slot")
+	if err := f.Write(testNode, memReg, 32, payload); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a lagging copy (e.g. freshly re-seeded after partial sync):
+	// drop follower 1's mirrored extents while the leader track still
+	// remembers the write's version word.
+	lag := r.replicas[1]
+	lag.m.reset()
+
+	buf := make([]byte, len(payload))
+	if err := f.Read(testNode, memReg, 32, buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Snapshot().ReadRepairs; got == 0 {
+		t.Fatal("divergent follower not repaired on quorum read")
+	}
+	// The healed chunk carries the leader bytes at the leader's version.
+	ci := 32 / chunkSize
+	lseq := r.track.chunkSeq(memReg, ci)
+	if lag.m.chunkSeq(memReg, ci) != lseq {
+		t.Fatalf("follower chunk seq %d, want leader's %d", lag.m.chunkSeq(memReg, ci), lseq)
+	}
+	lag.m.mu.Lock()
+	data := lag.m.regions[memReg].chunks[ci].data
+	repaired := bytes.Equal(data[32:32+len(payload)], payload)
+	lag.m.mu.Unlock()
+	if !repaired {
+		t.Fatal("repaired chunk does not match the leader copy")
+	}
+}
+
+// TestFailoverWindowIsTransient pins the error contract verbs see while a
+// failover drains the tier: typed-transient, absorbed by common.Retry.
+func TestFailoverWindowIsTransient(t *testing.T) {
+	f, r := newTestTier(t, 3)
+	r.gate.Store(true)
+	defer r.gate.Store(false)
+	_, err := f.FetchAdd64(testNode, tsoReg, 0, 1)
+	if err == nil {
+		t.Fatal("gated verb succeeded")
+	}
+	if !common.IsTransient(err) {
+		t.Fatalf("failover-window error %v is not typed-transient", err)
+	}
+	if !errors.Is(err, common.ErrUnreachable) {
+		t.Fatalf("failover-window error %v does not wrap ErrUnreachable", err)
+	}
+}
+
+// TestUnregisteredRegionPassthrough: verbs on regions outside the replicated
+// set must not pay any replication tax or gating.
+func TestUnregisteredRegionPassthrough(t *testing.T) {
+	f := rdma.NewFabric(rdma.Latency{})
+	ep := f.Register(testNode)
+	ep.RegisterRegion("scratch", 64)
+	ep.RegisterRegion(tsoReg, 8)
+	r := New(f, testNode, 3)
+	r.AddRegion(tsoReg, 8, false)
+	r.Attach(f)
+	r.gate.Store(true) // even mid-failover
+	if err := f.Write(testNode, "scratch", 0, []byte("x")); err != nil {
+		t.Fatalf("passthrough write: %v", err)
+	}
+	if got := r.Snapshot().MirroredWrites; got != 0 {
+		t.Fatalf("unregistered region was mirrored (%d records)", got)
+	}
+}

@@ -107,6 +107,12 @@ func (f *Fabric) AttachDefault(t Transport) {
 	f.updateRoutes(func(rt *routeTable) { rt.def = t })
 }
 
+// LocalTransport returns the fabric's in-process transport — the terminal
+// route a verb takes once routing resolves to this process. Interposing
+// layers (pmfsrep wraps the PMFS node's route) use it to reach the real
+// endpoint without re-entering routing and recursing into themselves.
+func (f *Fabric) LocalTransport() Transport { return f.local }
+
 // procTransport is the in-process transport: verbs execute directly against
 // endpoints registered in this fabric. It is the transport every fabric
 // starts with and the only one single-process deployments ever touch.

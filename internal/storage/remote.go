@@ -56,9 +56,10 @@ const (
 	sopLogNodes
 )
 
-// fencedTTL bounds how stale a cached fenced=false may get before LogFenced
-// re-asks the seed. Append/sync responses refresh the cache for free.
-const fencedTTL = 100 * time.Millisecond
+// defaultFenceTTL bounds how stale a cached fenced=false may get before
+// LogFenced re-asks the seed. Append/sync responses refresh the cache for
+// free. Overridable per client with SetFenceTTL.
+const defaultFenceTTL = 100 * time.Millisecond
 
 // Serve registers the storage RPC service for s on ep (the seed does this on
 // the PMFS endpoint). Responses are [status][result]; all integers LE.
@@ -249,6 +250,9 @@ type Remote struct {
 	conn  rdma.Conn
 	stats Stats
 	rp    common.RetryPolicy
+	// fenceTTL is the freshness bound of the cached fenced flag (set once at
+	// construction time via SetFenceTTL, before the client is shared).
+	fenceTTL time.Duration
 
 	mu      sync.Mutex
 	streams map[common.NodeID]*remoteStream
@@ -263,8 +267,9 @@ func NewRemote(conn rdma.Conn) *Remote {
 		// The uplink policy is heavier than the fabric default: storage has
 		// almost no error paths, so riding out a peer reconnect (~seconds)
 		// beats surfacing a failure the engine cannot express.
-		rp:      common.RetryPolicy{MaxAttempts: 12, BaseDelay: time.Millisecond, MaxDelay: 250 * time.Millisecond},
-		streams: make(map[common.NodeID]*remoteStream),
+		rp:       common.RetryPolicy{MaxAttempts: 12, BaseDelay: time.Millisecond, MaxDelay: 250 * time.Millisecond},
+		fenceTTL: defaultFenceTTL,
+		streams:  make(map[common.NodeID]*remoteStream),
 	}
 }
 
@@ -273,6 +278,16 @@ var _ API = (*Remote)(nil)
 // SetRetryPolicy replaces the uplink retry policy (tests and operators that
 // want faster failure detection than the ride-out default).
 func (r *Remote) SetRetryPolicy(p common.RetryPolicy) { r.rp = p }
+
+// SetFenceTTL replaces the fenced-piggyback cache TTL. A slow or lossy
+// fabric can stretch the takeover window past the default; raising the TTL
+// keeps LogFenced answering from cache instead of racing the takeover with
+// fresh RPCs. Non-positive values are ignored.
+func (r *Remote) SetFenceTTL(ttl time.Duration) {
+	if ttl > 0 {
+		r.fenceTTL = ttl
+	}
+}
 
 // Stats exposes client-side op counters (reads/writes/syncs this process
 // issued, not the seed's totals).
@@ -527,7 +542,7 @@ func (r *Remote) UnfenceLog(node common.NodeID) {
 func (r *Remote) LogFenced(node common.NodeID) bool {
 	st := r.stream(node)
 	st.mu.Lock()
-	if st.fenced || time.Since(st.fencedAt) < fencedTTL {
+	if st.fenced || time.Since(st.fencedAt) < r.fenceTTL {
 		f := st.fenced
 		st.mu.Unlock()
 		return f

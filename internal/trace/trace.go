@@ -87,6 +87,13 @@ const (
 	// budget expired; the duration is begin-to-abort, i.e. how much budget
 	// the transaction burned before the abort checkpoint caught it.
 	StageDeadlineAbort
+	// StagePmfsReplicate is the replication tax on one PMFS-bound verb: the
+	// time spent mirroring the op to the follower replicas and collecting
+	// the quorum, measured by the pmfsrep layer and attributed to the
+	// issuing node. The op counters stay zero on purpose — replication acks
+	// ride the same doorbell batch as the leader op, so the verb's fabric
+	// cost is already counted by the stage that issued it.
+	StagePmfsReplicate
 
 	numStages
 )
@@ -99,7 +106,7 @@ var stageNames = [numStages]string{
 	"frame_local", "frame_dbp", "frame_storage",
 	"log_append", "log_sync", "tso_solo", "tso_group",
 	"cts_stamp", "commit",
-	"shed", "hedge_fired", "deadline_abort",
+	"shed", "hedge_fired", "deadline_abort", "pmfs_replicate",
 }
 
 // String returns the stage's snake_case name (the JSON identity).
@@ -366,6 +373,17 @@ func (t *Tracer) Observe(stage Stage, tok Token) {
 		return
 	}
 	t.observe(stage, time.Since(tok.start), t.snapOps().sub(tok.ops))
+}
+
+// ObserveStage folds one externally measured duration into a stage's node
+// aggregate with no fabric-op attribution — the hook for layers (pmfsrep)
+// that measure latency themselves and whose verbs are already counted by the
+// issuing stage. Inert on a nil tracer.
+func (t *Tracer) ObserveStage(stage Stage, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.observe(stage, d, OpCounts{})
 }
 
 func (t *Tracer) observe(stage Stage, d time.Duration, ops OpCounts) {

@@ -36,7 +36,7 @@ import (
 
 // Version identifies this build of the engine; the daemons (mpserver,
 // mpgateway) report it via their -version flag.
-const Version = "0.6.0"
+const Version = "0.7.0"
 
 // Re-exported error values; test with errors.Is.
 var (
@@ -106,6 +106,8 @@ type openConfig struct {
 	lockWaitTimeout time.Duration
 	admitPerStripe  int
 	hedgeFloor      time.Duration
+	fenceTTL        time.Duration
+	pmfsReplicas    int
 }
 
 func (o *openConfig) tracing() *trace.Config {
@@ -159,6 +161,25 @@ func WithHedgeDelayFloor(d time.Duration) Option {
 	return func(o *openConfig) { o.hedgeFloor = d }
 }
 
+// WithFenceTTL sets how long a remote (satellite) storage client trusts its
+// cached "not fenced" answer before re-asking the seed (default 100ms).
+// Raise it on slow or lossy fabrics so log appends during a takeover keep
+// failing fast from cache instead of racing the takeover with fresh RPCs.
+// Non-positive values keep the default. In-process clusters have no remote
+// storage client; the option is then a no-op.
+func WithFenceTTL(d time.Duration) Option {
+	return func(o *openConfig) { o.fenceTTL = d }
+}
+
+// WithPmfsReplicas sets the replication factor of the shared-memory tier
+// (default 3): every PMFS mutation is mirrored across K replicas with
+// quorum acknowledgement, and a replica fail-stop is absorbed by epoch-
+// fenced failover instead of losing the tier. Values below 2 disable
+// replication; 0 keeps the default.
+func WithPmfsReplicas(k int) Option {
+	return func(o *openConfig) { o.pmfsReplicas = k }
+}
+
 // Cluster is a PolarDB-MP deployment: N primary nodes over shared memory
 // and shared storage.
 type Cluster struct {
@@ -182,6 +203,8 @@ func Open(opts Options, extra ...Option) (*Cluster, error) {
 		Trace:           oc.trace,
 		AdmitPerStripe:  oc.admitPerStripe,
 		HedgeDelayFloor: oc.hedgeFloor,
+		FenceTTL:        oc.fenceTTL,
+		PmfsReplicas:    oc.pmfsReplicas,
 	}
 	if oc.lockWaitTimeout != 0 {
 		cfg.LockWaitTimeout = oc.lockWaitTimeout
