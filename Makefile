@@ -6,7 +6,8 @@ RACE_PKGS = ./internal/core ./internal/lockfusion ./internal/bufferfusion \
             ./internal/netsrv ./internal/storage ./internal/pmfsrep
 
 .PHONY: all build test test-full race vet smoke brownout-smoke proto-smoke \
-        pmfs-smoke wire-fuzz check bench-snapshot alloc-budget trace-smoke
+        pmfs-smoke cc-smoke wire-fuzz check bench-snapshot ab-compare \
+        alloc-budget trace-smoke
 
 all: check
 
@@ -66,7 +67,16 @@ wire-fuzz:
 	$(GO) test ./internal/wire -run '^$$' -fuzz FuzzFrameDecode -fuzztime 10s
 	$(GO) test ./internal/pmfsrep -run '^$$' -fuzz FuzzRecordDecode -fuzztime 10s
 
-check: build vet test race smoke brownout-smoke pmfs-smoke proto-smoke
+# Second-engine chaos smokes: the OCC engine must survive the same fault
+# plans as the default 2PL path — undeclared node kill with takeover,
+# gray-failure brownout with goodput/deadline floors, and a PMFS replica
+# failover — with identical invariants (non-zero exit on violation).
+cc-smoke:
+	$(GO) run ./cmd/mpchaos -plan crashnode -seed 7 -ops 2000 -cc occ
+	$(GO) run ./cmd/mpchaos -plan brownout -seed 7 -ops 60 -cc occ
+	$(GO) run ./cmd/mpchaos -plan pmfsfailover -seed 7 -ops 400 -cc occ
+
+check: build vet test race smoke brownout-smoke pmfs-smoke cc-smoke proto-smoke
 
 # Disabled-tracer alloc budget: the commit hot path's tracer hooks must stay
 # at 0 allocs/op when tracing is off (asserted by TestNilTracerZeroAllocs;
@@ -85,5 +95,13 @@ trace-smoke:
 # Perf snapshot: the Figure-7 read-write sweep + verb micro benches at the
 # canonical settings (scale=25, 2s/config, 3 threads/node), written as JSON
 # with per-commit fabric op counts and the pre-batching baseline numbers.
+# Each cell runs 3 times; the JSON records the median with min/max spread.
 bench-snapshot:
-	$(GO) run ./cmd/mpbench -snapshot BENCH_pr5.json -dur 2s -threads 3
+	$(GO) run ./cmd/mpbench -snapshot BENCH_pr8.json -dur 2s -threads 3 -repeats 3
+
+# Interleaved A/B compare: the pre-PR commit path (pipeline/spec-CTS/adaptive
+# TSO off) and the new engine alternate slice by slice inside one process, so
+# per-cell gains are paired and clear the ±10% run-to-run noise band noted in
+# ROADMAP (median gain with min/max spread over 3 paired slices per cell).
+ab-compare:
+	$(GO) run ./cmd/mpbench -ab AB_pr8.json -dur 2s -threads 3 -repeats 3

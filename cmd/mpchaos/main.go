@@ -36,6 +36,7 @@ func main() {
 	nodes := flag.Int("nodes", 3, "primary nodes")
 	ops := flag.Int("ops", 150, "transactions per node")
 	retries := flag.Bool("retries", true, "transient-fault retries in the fusion client paths")
+	cc := flag.String("cc", "", "concurrency-control engine: 2pl (default) or occ")
 	verbose := flag.Bool("v", false, "print the full fault timeline")
 	timeout := flag.Duration("timeout", 60*time.Second, "workload watchdog (a wedged run is an invariant violation)")
 	flag.Parse()
@@ -51,7 +52,12 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *cc != "" && !core.ValidCC(*cc) {
+		fmt.Fprintln(os.Stderr, "mpchaos: unknown -cc engine", *cc)
+		os.Exit(2)
+	}
 	cfg := core.Config{
+		CC:              *cc,
 		LockWaitTimeout: 5 * time.Second,
 		DisableRetry:    !*retries,
 	}

@@ -39,6 +39,7 @@ func main() {
 	httpAddr := flag.String("http", "", "HTTP listener serving GET /stats (ClusterStats JSON)")
 	name := flag.String("name", "", "server name echoed in handshakes (default mpserver-<pid>)")
 	pmfsReplicas := flag.Int("pmfs-replicas", 0, "shared-memory replication factor (seed mode; 0 = default 3, <2 disables)")
+	cc := flag.String("cc", "", "concurrency-control engine: 2pl (default) or occ")
 	fenceTTL := flag.Duration("fence-ttl", 0, "fenced-piggyback cache TTL for the storage uplink (satellite mode; 0 = default 100ms)")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
@@ -50,7 +51,11 @@ func main() {
 	if *name == "" {
 		*name = fmt.Sprintf("mpserver-%d", os.Getpid())
 	}
-	cfg := core.Config{PmfsReplicas: *pmfsReplicas, FenceTTL: *fenceTTL}
+	if *cc != "" && !core.ValidCC(*cc) {
+		fmt.Fprintf(os.Stderr, "mpserver: unknown -cc engine %q (want 2pl or occ)\n", *cc)
+		os.Exit(2)
+	}
+	cfg := core.Config{PmfsReplicas: *pmfsReplicas, FenceTTL: *fenceTTL, CC: *cc}
 	if err := run(*listen, *fabricAddr, *join, *data, *httpAddr, *name, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "mpserver:", err)
 		os.Exit(1)

@@ -9,6 +9,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"polardbmp/internal/wire"
 )
@@ -103,6 +104,19 @@ func (s *remoteShell) exec(line string) error {
 				FramesIn  uint64 `json:"frames_in"`
 				FramesOut uint64 `json:"frames_out"`
 			} `json:"net"`
+			// Decoded by name, not by a fixed taxonomy: any stage the server
+			// reports with a nonzero count renders, so stages added after
+			// this shell was built still show up.
+			Stages []struct {
+				Stage string `json:"stage"`
+				Count int64  `json:"count"`
+				Mean  int64  `json:"mean_ns"`
+				P95   int64  `json:"p95_ns"`
+				P99   int64  `json:"p99_ns"`
+				Ops   struct {
+					RPCs int64 `json:"rpcs"`
+				} `json:"ops"`
+			} `json:"stages"`
 		}
 		if err := json.Unmarshal(raw, &st); err != nil {
 			return err
@@ -110,6 +124,23 @@ func (s *remoteShell) exec(line string) error {
 		fmt.Printf("commits=%d aborts=%d\n", st.Commits, st.Aborts)
 		if st.Net != nil {
 			fmt.Printf("net: conns=%d frames in=%d out=%d\n", st.Net.ConnsOpen, st.Net.FramesIn, st.Net.FramesOut)
+		}
+		header := false
+		for _, sg := range st.Stages {
+			if sg.Count == 0 {
+				continue
+			}
+			if !header {
+				fmt.Printf("%-14s %10s %12s %12s %12s %8s\n",
+					"stage", "count", "mean", "p95", "p99", "rpcs")
+				header = true
+			}
+			fmt.Printf("%-14s %10d %12v %12v %12v %8d\n",
+				sg.Stage, sg.Count,
+				time.Duration(sg.Mean).Round(time.Nanosecond),
+				time.Duration(sg.P95).Round(time.Nanosecond),
+				time.Duration(sg.P99).Round(time.Nanosecond),
+				sg.Ops.RPCs)
 		}
 		return nil
 	case "put", "get", "del", "scan":

@@ -1,0 +1,62 @@
+package core
+
+import "polardbmp/internal/common"
+
+// CC engine names accepted by Config.CC.
+const (
+	// CC2PL is the paper's pessimistic design: statement-time row claims
+	// under X PLocks with commit-time CTS stamping (§4.1/§4.3).
+	CC2PL = "2pl"
+	// CCOCC is the optimistic engine: statements stage writes locally and
+	// validation + apply happen under leaf PLocks only at commit.
+	CCOCC = "occ"
+)
+
+// ValidCC reports whether name is a known concurrency-control engine.
+func ValidCC(name string) bool { return name == CC2PL || name == CCOCC }
+
+// ccEngine is a concurrency-control strategy (DESIGN.md §14). Both engines
+// share the node substrate — B-tree over Buffer Fusion, PLocks through Lock
+// Fusion, TIT/TSO through Transaction Fusion — and the entire commit
+// pipeline (Tx.commitPipeline): TSO grant, commit-record force, TIT publish,
+// CTS stamping. They differ only in WHEN a write claims its row.
+type ccEngine interface {
+	// Name returns the Config.CC name the engine registers under.
+	Name() string
+	// Write performs one mutation (opInsert..opLockRow) under the engine's
+	// protocol: 2PL claims the row immediately (prepend under X leaf), OCC
+	// stages the write in the transaction until commit.
+	Write(tx *Tx, space common.SpaceID, key, value []byte, op writeOp) error
+	// StagedRead returns the transaction's own pending write of key when
+	// the engine stages writes client-side, so reads observe the
+	// transaction's earlier statements (read-your-writes). ok=false means
+	// no staged entry; under 2PL own writes live in the page itself.
+	StagedRead(tx *Tx, space common.SpaceID, key []byte) (val []byte, deleted, ok bool)
+	// StagedRange returns the transaction's staged writes with
+	// from <= key < to (to==nil unbounded) in key order, for Scan overlay.
+	StagedRange(tx *Tx, space common.SpaceID, from, to []byte) []stagedKV
+	// Prepare runs the engine's pre-pipeline commit work. 2PL has none
+	// (rows were claimed statement-time); OCC validates the staged set
+	// under sorted X leaf PLocks and applies it, returning the retryable
+	// common.ErrWriteConflict when a row moved under the transaction.
+	// After a nil return the transaction's versions are in the pages and
+	// the shared commit pipeline makes them durable and visible.
+	Prepare(tx *Tx) error
+}
+
+// stagedKV is one staged write surfaced to Scan's overlay merge.
+type stagedKV struct {
+	key     []byte
+	value   []byte
+	deleted bool
+}
+
+// newCCEngine maps a Config.CC name to its engine. Unknown names fall back
+// to 2PL — the constructors have no error path; commands validate the flag
+// with ValidCC before building a cluster.
+func newCCEngine(name string) ccEngine {
+	if name == CCOCC {
+		return occEngine{}
+	}
+	return twoPL{}
+}

@@ -51,10 +51,28 @@ type Config struct {
 	// vacuum). Zero disables it; purge still runs inline when pages fill.
 	PurgeInterval time.Duration
 
+	// CC selects the concurrency-control engine: "2pl" (default, the
+	// paper's 2PL + CTS design) or "occ" (optimistic validation at commit,
+	// one-sided-verb heavy; see DESIGN.md §14).
+	CC string
+
 	// Ablation switches (all default off = paper design).
 	DisableLazyPLock bool // §4.3.1 lazy release off
 	DisableLamport   bool // §4.1 Linear Lamport timestamp reuse off
 	DisableCTSStamp  bool // §4.1 commit-time row CTS stamping off
+	// DisableCommitPipeline turns off pipelined group commit (§14): the
+	// background sync launcher that keeps staggered log-sync rounds in
+	// flight so committers pay only the residual wait to the next round
+	// completion instead of a full storage round.
+	DisableCommitPipeline bool
+	// DisableSpecCTS turns off speculative CTS resolution (§14): readers
+	// then always take the one-sided TIT read for unstamped rows instead
+	// of first consulting the writer's recycle floor.
+	DisableSpecCTS bool
+	// DisableAdaptiveTSO pins TSO allocation to the flat-combining path
+	// (§14): solo fast-path fetch-add on an uncontended grant queue is
+	// then never taken.
+	DisableAdaptiveTSO bool
 	// StoragePageSync replaces Buffer Fusion's DBP transfer with the
 	// page-store + log-replay synchronization of Taurus-MM (§2.3): the
 	// log-ship baseline and the DBP ablation.
@@ -144,6 +162,9 @@ func (c *Config) fill() {
 	if c.PmfsReplicas == 0 {
 		c.PmfsReplicas = 3
 	}
+	if c.CC == "" {
+		c.CC = CC2PL
+	}
 }
 
 // DefaultConfig returns benchmark defaults: realistic storage latency and
@@ -195,6 +216,19 @@ type Cluster struct {
 	takeoverMu  sync.Mutex
 	takeovers   metrics.Counter
 	takeoverDur metrics.Histogram
+
+	// Pipelined group commit (pipeline.go): the cluster syncer's wake/stop
+	// channels and round counter. pipeWake is non-nil only when the syncer
+	// is running; writers attach to it in newNode.
+	pipeWake    chan struct{}
+	pipeStop    chan struct{}
+	pipeOnce    sync.Once
+	pipeRounds  atomic.Int64
+	pipeStagger time.Duration
+
+	// cc is the concurrency-control engine every node's transactions run
+	// under, resolved once from Config.CC (cc.go).
+	cc ccEngine
 }
 
 // NewCluster builds the shared substrate (storage + PMFS) with no nodes.
@@ -213,8 +247,10 @@ func NewClusterWithStore(cfg Config, store storage.API) *Cluster {
 		nodes:    make(map[common.NodeID]*Node),
 		nextNode: 1,
 	}
+	c.cc = newCCEngine(cfg.CC)
 	c.store = store
 	c.startPMFS()
+	c.startLogPipeline()
 	return c
 }
 
@@ -612,6 +648,8 @@ type NodeStats struct {
 	Commits   int64 `json:"commits"`
 	Aborts    int64 `json:"aborts"`
 	Deadlocks int64 `json:"deadlocks"`
+	// Conflicts counts OCC validation aborts (zero under 2PL).
+	Conflicts int64 `json:"conflicts,omitempty"`
 	// DeadlineAborts counts this node's latency-budget aborts; HedgesFired/
 	// HedgeWins its fail-slow DBP read hedges.
 	DeadlineAborts int64         `json:"deadline_aborts"`
@@ -649,10 +687,34 @@ func (c *Cluster) SetNetStats(fn func() NetStats) { c.netStats = fn }
 // ClusterStats is the unified observability surface: cluster totals, the
 // per-node decomposition, and — when tracing is enabled — merged
 // cluster-wide per-stage histograms and the slow-transaction log.
+// CommitPipeStats is the commit-path section of the stats JSON: which CC
+// engine ran, how much work the pipelined group commit absorbed, and how
+// often the speculative CTS / adaptive TSO fast paths fired (DESIGN.md §14).
+type CommitPipeStats struct {
+	Engine string `json:"engine"`
+	// PipelineRounds counts syncer log-sync rounds; PipelineRides counts
+	// commits whose durability wait was absorbed by an in-flight round
+	// instead of running a sync of their own.
+	PipelineRounds int64 `json:"pipeline_rounds"`
+	PipelineRides  int64 `json:"pipeline_rides"`
+	// SpecCTSHits of SpecCTSReads remote CTS lookups were answered from
+	// the owner's published recycle floor without touching the TIT slot.
+	SpecCTSReads int64 `json:"spec_cts_reads"`
+	SpecCTSHits  int64 `json:"spec_cts_hits"`
+	// TSOSolo/TSOGroup split CTS grants between the adaptive solo
+	// fetch-add path and flat-combined group rounds.
+	TSOSolo  int64 `json:"tso_solo"`
+	TSOGroup int64 `json:"tso_group"`
+	// OCCConflicts counts validation aborts (zero under 2PL).
+	OCCConflicts int64 `json:"occ_conflicts"`
+}
+
 type ClusterStats struct {
 	Commits   int64 `json:"commits"`
 	Aborts    int64 `json:"aborts"`
 	Deadlocks int64 `json:"deadlocks"`
+
+	Commit CommitPipeStats `json:"commit"`
 
 	Fabric      FabricStats     `json:"fabric"`
 	Storage     StorageStats    `json:"storage"`
@@ -687,6 +749,7 @@ func (c *Cluster) Stats() ClusterStats {
 			Commits:        n.Commits.Load(),
 			Aborts:         n.Aborts.Load(),
 			Deadlocks:      n.Deadlocks.Load(),
+			Conflicts:      n.Conflicts.Load(),
 			DeadlineAborts: n.DeadlineAborts.Load(),
 			HedgesFired:    n.lbp.HedgesFired.Load(),
 			HedgeWins:      n.lbp.HedgeWins.Load(),
@@ -704,6 +767,13 @@ func (c *Cluster) Stats() ClusterStats {
 		s.Commits += ns.Commits
 		s.Aborts += ns.Aborts
 		s.Deadlocks += ns.Deadlocks
+		s.Commit.OCCConflicts += ns.Conflicts
+		s.Commit.TSOSolo += n.TSOSolo.Load()
+		s.Commit.TSOGroup += n.TSOGroup.Load()
+		s.Commit.PipelineRides += n.wal.Rides()
+		specHits, specReads := n.tf.SpecCTSStats()
+		s.Commit.SpecCTSHits += specHits
+		s.Commit.SpecCTSReads += specReads
 		s.Overload.DeadlineAborts += ns.DeadlineAborts
 		s.Overload.HedgesFired += ns.HedgesFired
 		s.Overload.HedgeWins += ns.HedgeWins
@@ -717,6 +787,8 @@ func (c *Cluster) Stats() ClusterStats {
 		s.Nodes = append(s.Nodes, ns)
 	}
 	slices.Sort(s.Membership.SlowPeers)
+	s.Commit.Engine = c.cc.Name()
+	s.Commit.PipelineRounds = c.pipeRounds.Load()
 	if traced {
 		s.Stages = merged.Snapshots()
 	}
@@ -802,6 +874,7 @@ func (c *Cluster) Checkpoint() error {
 // A satellite flushes its LBPs through the uplink, then drops the peer
 // connections.
 func (c *Cluster) Close() {
+	c.stopLogPipeline()
 	for _, n := range c.Nodes() {
 		n.agent.Stop()
 		n.stopBackground()

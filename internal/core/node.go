@@ -70,6 +70,13 @@ type Node struct {
 	Commits   metrics.Counter
 	Aborts    metrics.Counter
 	Deadlocks metrics.Counter
+	// Conflicts counts OCC validation failures (retryable
+	// ErrWriteConflict aborts; always zero under 2PL).
+	Conflicts metrics.Counter
+	// TSOSolo/TSOGroup split commit-timestamp grants between the solo
+	// fetch-add path and flat-combined group rounds.
+	TSOSolo  metrics.Counter
+	TSOGroup metrics.Counter
 	// DeadlineAborts counts transactions that failed because their latency
 	// budget expired (ErrDeadlineExceeded — never retried).
 	DeadlineAborts metrics.Counter
@@ -89,9 +96,11 @@ func (c *Cluster) newNode(id common.NodeID, recovering bool) (*Node, error) {
 		stopBG: make(chan struct{}),
 	}
 	n.tf = txfusion.NewClient(ep, c.fabric, txfusion.Config{
-		TITSlots:     c.cfg.TITSlots,
-		LamportReuse: !c.cfg.DisableLamport,
-		CTSCacheSize: 1 << 14,
+		TITSlots:           c.cfg.TITSlots,
+		LamportReuse:       !c.cfg.DisableLamport,
+		CTSCacheSize:       1 << 14,
+		DisableSpecCTS:     c.cfg.DisableSpecCTS,
+		DisableAdaptiveTSO: c.cfg.DisableAdaptiveTSO,
 	})
 	if recovering {
 		n.tf.SetRecovering(true)
@@ -113,6 +122,9 @@ func (c *Cluster) newNode(id common.NodeID, recovering bool) (*Node, error) {
 	n.rl.SetRetryPolicy(rp)
 	n.lbp.SetRetryPolicy(rp)
 	n.wal = wal.NewWriter(c.store, id)
+	if c.pipeWake != nil {
+		n.wal.AttachPipeline(c.pipeWake)
+	}
 
 	// Tracing: one tracer per node, attached to every subsystem that
 	// classifies its own stages. The per-source fabric counters give span
@@ -176,10 +188,14 @@ func (c *Cluster) newNode(id common.NodeID, recovering bool) (*Node, error) {
 		return nil
 	})
 
-	// Resume transaction ids above the persisted watermark.
+	// Resume transaction ids above the persisted watermark, and seed the
+	// speculative-CTS recycle floor there: every id at or below it is
+	// finished (or never allocated), and ids are strictly monotone across
+	// incarnations, so peers' cached floors stay sound.
 	base := c.loadMetaTrxHW(id)
 	n.trxCtr.Store(uint64(base))
 	c.storeMetaTrxHW(id, base+trxHWSlack)
+	n.tf.InitTrxFloor(base)
 
 	n.live.Store(true)
 	if !recovering {

@@ -1,0 +1,276 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"polardbmp/internal/common"
+)
+
+func newOCCCluster(t *testing.T, nodes int) (*Cluster, common.SpaceID) {
+	t.Helper()
+	c := NewCluster(Config{CC: CCOCC})
+	for i := 0; i < nodes; i++ {
+		if _, err := c.AddNode(); err != nil {
+			t.Fatalf("AddNode: %v", err)
+		}
+	}
+	sp, err := c.CreateSpace("t")
+	if err != nil {
+		t.Fatalf("CreateSpace: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c, sp
+}
+
+// TestOCCReadYourWrites: staged writes must shadow the pages for the
+// transaction's own point reads and scans before commit, and land for
+// everyone after.
+func TestOCCReadYourWrites(t *testing.T) {
+	c, sp := newOCCCluster(t, 1)
+	n := c.Node(1)
+	tx, err := n.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Insert(sp, []byte("a"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tx.Get(sp, []byte("a"))
+	if err != nil || string(got) != "v1" {
+		t.Fatalf("own staged read = %q, %v", got, err)
+	}
+	if err := tx.Update(sp, []byte("a"), []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	kvs, err := tx.Scan(sp, []byte("a"), nil, 10)
+	if err != nil || len(kvs) != 1 || string(kvs[0].Value) != "v2" {
+		t.Fatalf("own staged scan = %v, %v", kvs, err)
+	}
+	if err := tx.Delete(sp, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Get(sp, []byte("a")); !errors.Is(err, common.ErrNotFound) {
+		t.Fatalf("staged delete read err = %v, want ErrNotFound", err)
+	}
+	// Re-insert and commit; the row must be visible cluster-wide.
+	if err := tx.Insert(sp, []byte("a"), []byte("v3")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx2, err := n.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = tx2.Get(sp, []byte("a"))
+	if err != nil || string(got) != "v3" {
+		t.Fatalf("post-commit read = %q, %v", got, err)
+	}
+	_ = tx2.Rollback()
+}
+
+// TestOCCFirstUpdaterWins: two transactions staging a write against the same
+// base version — the second committer must fail validation with the
+// retryable ErrWriteConflict and apply nothing.
+func TestOCCFirstUpdaterWins(t *testing.T) {
+	c, sp := newOCCCluster(t, 2)
+	n1, n2 := c.Node(1), c.Node(2)
+	seed, err := n1.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Insert(sp, []byte("k"), []byte("0")); err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	t1, err := n1.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := n2.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Update(sp, []byte("k"), []byte("t1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Update(sp, []byte("k"), []byte("t2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatalf("first committer: %v", err)
+	}
+	err = t2.Commit()
+	if !errors.Is(err, common.ErrWriteConflict) {
+		t.Fatalf("second committer err = %v, want ErrWriteConflict", err)
+	}
+	if !common.IsRetryable(err) {
+		t.Fatalf("conflict not retryable: %v", err)
+	}
+	if got := n2.Conflicts.Load(); got == 0 {
+		t.Fatal("Conflicts counter not incremented")
+	}
+	check, err := n2.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := check.Get(sp, []byte("k"))
+	if err != nil || string(got) != "t1" {
+		t.Fatalf("winner's value = %q, %v", got, err)
+	}
+	_ = check.Rollback()
+}
+
+// TestOCCGetForUpdateConflict: GetForUpdate stages an identity write, so a
+// read-modify-write race loses at commit instead of losing the update.
+func TestOCCGetForUpdateConflict(t *testing.T) {
+	c, sp := newOCCCluster(t, 2)
+	n1, n2 := c.Node(1), c.Node(2)
+	seed, err := n1.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Insert(sp, []byte("cnt"), []byte("0")); err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	t1, _ := n1.Begin()
+	t2, _ := n2.Begin()
+	if _, err := t1.GetForUpdate(sp, []byte("cnt")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t2.GetForUpdate(sp, []byte("cnt")); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Update(sp, []byte("cnt"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// t2's staged identity write was based on the old head: must conflict
+	// even though t2 never re-wrote the key.
+	if err := t2.Commit(); !errors.Is(err, common.ErrWriteConflict) {
+		t.Fatalf("racing GetForUpdate commit err = %v, want ErrWriteConflict", err)
+	}
+}
+
+// TestOCCConcurrentCounter: N workers increment one counter with app-level
+// conflict retries; the final value must equal the number of successful
+// commits (no lost updates).
+func TestOCCConcurrentCounter(t *testing.T) {
+	c, sp := newOCCCluster(t, 4)
+	seed, _ := c.Node(1).Begin()
+	if err := seed.Insert(sp, []byte("cnt"), []byte{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	const workers, increments = 4, 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			n := c.Node(w%4 + 1)
+			for i := 0; i < increments; i++ {
+				for {
+					tx, err := n.Begin()
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					v, err := tx.GetForUpdate(sp, []byte("cnt"))
+					if err == nil {
+						nv := []byte{v[0] + 1, v[1]}
+						if nv[0] == 0 {
+							nv[1] = v[1] + 1
+						}
+						err = tx.Update(sp, []byte("cnt"), nv)
+					}
+					if err == nil {
+						err = tx.Commit()
+					} else {
+						_ = tx.Rollback()
+					}
+					if err == nil {
+						break
+					}
+					if !common.IsRetryable(err) {
+						t.Errorf("worker %d: %v", w, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	tx, _ := c.Node(1).Begin()
+	v, err := tx.Get(sp, []byte("cnt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := int(v[0]) + 256*int(v[1])
+	if want := workers * increments; got != want {
+		t.Fatalf("counter = %d, want %d (lost updates)", got, want)
+	}
+	_ = tx.Rollback()
+}
+
+// TestOCCScanOverlayMerge exercises mergeStaged's three paths (replace,
+// delete-shadow, splice) against committed rows.
+func TestOCCScanOverlayMerge(t *testing.T) {
+	c, sp := newOCCCluster(t, 1)
+	n := c.Node(1)
+	seed, _ := n.Begin()
+	for i := 0; i < 5; i++ {
+		k := []byte(fmt.Sprintf("k%02d", i))
+		if err := seed.Insert(1, k, []byte("old")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := seed.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx, _ := n.Begin()
+	if err := tx.Update(sp, []byte("k01"), []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Delete(sp, []byte("k03")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Insert(sp, []byte("k02x"), []byte("ins")); err != nil {
+		t.Fatal(err)
+	}
+	kvs, err := tx.Scan(sp, []byte("k00"), []byte("k99"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{"k00": "old", "k01": "new", "k02": "old", "k02x": "ins", "k04": "old"}
+	if len(kvs) != len(want) {
+		t.Fatalf("scan returned %d rows, want %d: %v", len(kvs), len(want), kvs)
+	}
+	for i, kv := range kvs {
+		if i > 0 && string(kvs[i-1].Key) >= string(kv.Key) {
+			t.Fatalf("scan out of order at %d: %v", i, kvs)
+		}
+		if want[string(kv.Key)] != string(kv.Value) {
+			t.Fatalf("key %q = %q, want %q", kv.Key, kv.Value, want[string(kv.Key)])
+		}
+	}
+	_ = tx.Rollback()
+}

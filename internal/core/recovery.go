@@ -150,6 +150,10 @@ func (n *Node) recoverSelf() error {
 	n.pl.ReleaseAll()
 	n.c.lockSrv.DropNodePLock(uint16(n.id))
 	n.c.lockSrv.PLock.ClearDead(n.id)
+	// Re-seed the recycle floor in case the log scan bumped the id counter
+	// past the persisted watermark: pre-crash ids below the counter are all
+	// resolved by this recovery and would otherwise pin the floor forever.
+	n.tf.InitTrxFloor(common.TrxID(n.trxCtr.Load()))
 	if len(pending) == 0 {
 		n.tf.SetRecovering(false)
 	} else {

@@ -107,6 +107,7 @@ func JoinRemote(cfg Config, addr string, nc *wire.NetCounters) (*Cluster, *Node,
 		nodes:  make(map[common.NodeID]*Node),
 		remote: true,
 	}
+	c.cc = newCCEngine(cfg.CC)
 	peer, err := rdma.DialPeer(c.fabric, addr, rdma.PeerConfig{Name: "satellite", Counters: nc})
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: join %s: %w", addr, err)

@@ -2,7 +2,6 @@ package core
 
 import (
 	"bytes"
-	"errors"
 	"fmt"
 	"time"
 
@@ -51,6 +50,10 @@ type Tx struct {
 	deadline common.Deadline
 
 	cts common.CSN // set on a successful writing commit
+
+	// occ is the staged write set, used only under the OCC engine (nil
+	// under 2PL, where writes claim rows in the pages immediately).
+	occ *occState
 
 	// tr is the transaction's span trace (nil when tracing is off); trees
 	// holds the private traced B-tree handles a traced transaction walks
@@ -231,6 +234,14 @@ func (tx *Tx) Get(space common.SpaceID, key []byte) ([]byte, error) {
 	if err := tx.checkDeadline(); err != nil {
 		return nil, err
 	}
+	// Engine staging overlay: under OCC the transaction's own writes are
+	// not in the pages yet; read-your-writes comes from the staged set.
+	if val, deleted, ok := tx.n.c.cc.StagedRead(tx, space, key); ok {
+		if deleted {
+			return nil, fmt.Errorf("core: key %q: %w", key, common.ErrNotFound)
+		}
+		return val, nil
+	}
 	view, release, err := tx.statementView()
 	if err != nil {
 		return nil, err
@@ -293,6 +304,15 @@ func (tx *Tx) Scan(space common.SpaceID, from, to []byte, limit int) ([]KV, erro
 	if err != nil {
 		return nil, err
 	}
+	// Engine staging overlay: staged writes in range shadow (or extend)
+	// what the pages hold. When the overlay is empty — always, under 2PL —
+	// the walk honours limit directly; otherwise the walk covers the whole
+	// range and the merge truncates.
+	staged := tx.n.c.cc.StagedRange(tx, space, from, to)
+	pageLimit := limit
+	if len(staged) > 0 {
+		pageLimit = 0
+	}
 	ref, err := t.LeafSafe(from, lockfusion.ModeS)
 	if err != nil {
 		return nil, err
@@ -307,11 +327,11 @@ func (tx *Tx) Scan(space common.SpaceID, from, to []byte, limit int) ([]KV, erro
 			row := &ref.Page.Rows[i]
 			if to != nil && bytes.Compare(row.Key, to) >= 0 {
 				tx.n.releasePager(ref)
-				return out, nil
+				return mergeStaged(out, staged, limit), nil
 			}
 			if val, ok := tx.visibleValue(row, view, resolve); ok {
 				out = append(out, KV{Key: append([]byte(nil), row.Key...), Value: val})
-				if limit > 0 && len(out) >= limit {
+				if pageLimit > 0 && len(out) >= pageLimit {
 					tx.n.releasePager(ref)
 					return out, nil
 				}
@@ -319,10 +339,60 @@ func (tx *Tx) Scan(space common.SpaceID, from, to []byte, limit int) ([]KV, erro
 		}
 		ref, err = t.Next(ref, lockfusion.ModeS)
 		if err != nil {
-			return out, err
+			return mergeStaged(out, staged, limit), err
 		}
 	}
-	return out, nil
+	return mergeStaged(out, staged, limit), nil
+}
+
+// mergeStaged overlays a transaction's staged writes onto one scan's page
+// results (both key-sorted): a staged entry replaces the page row of the
+// same key (dropped when it is a staged delete) and staged-only keys are
+// spliced in, then the merge is truncated to limit. A nil overlay — the 2PL
+// engine, or an OCC transaction with no staged write in range — returns rows
+// unchanged.
+func mergeStaged(rows []KV, staged []stagedKV, limit int) []KV {
+	if len(staged) == 0 {
+		return rows
+	}
+	out := make([]KV, 0, len(rows)+len(staged))
+	i, j := 0, 0
+	for i < len(rows) || j < len(staged) {
+		var cmp int
+		switch {
+		case i >= len(rows):
+			cmp = 1
+		case j >= len(staged):
+			cmp = -1
+		default:
+			cmp = bytes.Compare(rows[i].Key, staged[j].key)
+		}
+		switch {
+		case cmp < 0:
+			out = append(out, rows[i])
+			i++
+		case cmp > 0:
+			s := staged[j]
+			j++
+			if !s.deleted {
+				out = append(out, KV{
+					Key:   append([]byte(nil), s.key...),
+					Value: append([]byte(nil), s.value...),
+				})
+			}
+		default:
+			s := staged[j]
+			i++
+			j++
+			if !s.deleted {
+				out = append(out, KV{Key: rows[i-1].Key, Value: append([]byte(nil), s.value...)})
+			}
+		}
+		if limit > 0 && len(out) >= limit {
+			return out[:limit]
+		}
+	}
+	return out
 }
 
 // releasePager releases a btree ref through the node's pager.
@@ -363,10 +433,9 @@ const (
 	opLockRow writeOp = 4
 )
 
-// write implements the locking write path of §4.3.2: descend to the leaf
-// under X PLock; if the row's newest version belongs to another active
-// transaction, wait through Lock Fusion and retry; otherwise prepend the
-// new version (writing our g_trx_id claims the row lock).
+// write runs the shared statement preconditions and dispatches the mutation
+// to the cluster's concurrency-control engine: 2PL claims the row now under
+// the X leaf (twopl.go), OCC stages it until commit (occ.go).
 func (tx *Tx) write(space common.SpaceID, key, value []byte, op writeOp) error {
 	if tx.done {
 		return common.ErrTxDone
@@ -380,109 +449,7 @@ func (tx *Tx) write(space common.SpaceID, key, value []byte, op writeOp) error {
 	if err := tx.checkDeadline(); err != nil {
 		return err
 	}
-	t, err := tx.tree(space)
-	if err != nil {
-		return err
-	}
-	need := len(key) + len(value) + 64
-	for attempt := 0; ; attempt++ {
-		if attempt > 0 && attempt%64 == 0 {
-			// Pathological contention (e.g. a holder mid-recovery):
-			// back off instead of spinning on the fabric.
-			time.Sleep(time.Millisecond)
-		}
-		ref, err := t.LeafSafe(key, lockfusion.ModeX)
-		if err != nil {
-			return err
-		}
-		frame := ref.Opaque.(*bufferfusion.Frame)
-
-		// Make room first: purge dead versions (refreshing the global
-		// minimum view synchronously if the stale one isn't enough),
-		// then split if needed. A single hot row whose version chain
-		// fills the page cannot be split; its old versions become
-		// purgeable as soon as concurrent views advance, so back off
-		// and retry.
-		if ref.Page.SizeEstimate()+need > page.SplitThreshold {
-			if ref.Page.Purge(tx.n.tf.LastGMV(), tx.n.batchResolver(ref.Page)) > 0 {
-				frame.Dirty = true
-			}
-			if ref.Page.SizeEstimate()+need > page.SplitThreshold {
-				if _, err := tx.n.tf.ReportMinView(); err == nil {
-					if ref.Page.Purge(tx.n.tf.LastGMV(), tx.n.batchResolver(ref.Page)) > 0 {
-						frame.Dirty = true
-					}
-				}
-			}
-			if ref.Page.SizeEstimate()+need > page.SplitThreshold {
-				canSplit := len(ref.Page.Rows) >= 2
-				tx.n.releasePager(ref)
-				if !canSplit {
-					time.Sleep(200 * time.Microsecond)
-					continue
-				}
-				if err := t.SplitFor(key, need); err != nil {
-					return err
-				}
-				continue
-			}
-		}
-
-		row := ref.Page.Find(key)
-		var head *page.Version
-		if row != nil {
-			head = row.Head()
-		}
-
-		// Row-lock check: the newest version's writer still active?
-		if head != nil && head.Trx != tx.g && !head.Trx.Zero() && head.CTS == common.CSNInit {
-			if cts := tx.n.resolveCTS(head); cts == common.CSNMax {
-				holder := head.Trx
-				tx.n.releasePager(ref)
-				wtok := tx.tr.Start()
-				err := tx.n.rl.WaitForDeadline(tx.g, holder, tx.deadline)
-				tx.tr.Observe(trace.StageRowLockWait, wtok)
-				if err != nil {
-					if errors.Is(err, common.ErrDeadlock) {
-						tx.n.Deadlocks.Inc()
-					} else if errors.Is(err, common.ErrDeadlineExceeded) {
-						tx.n.DeadlineAborts.Inc()
-						tx.tr.Mark(trace.StageDeadlineAbort, wtok)
-					}
-					return err
-				}
-				continue // re-examine the row
-			}
-		}
-
-		// Existence semantics against the latest (now unlocked or our
-		// own) version.
-		exists := head != nil && !head.Deleted
-		switch op {
-		case opInsert:
-			if exists {
-				tx.n.releasePager(ref)
-				return fmt.Errorf("core: key %q: %w", key, common.ErrKeyExists)
-			}
-		case opUpdate, opDelete, opLockRow:
-			if !exists {
-				tx.n.releasePager(ref)
-				return fmt.Errorf("core: key %q: %w", key, common.ErrNotFound)
-			}
-		}
-		if op == opLockRow {
-			if head.Trx == tx.g {
-				// Already locked by us; nothing to do.
-				tx.n.releasePager(ref)
-				return nil
-			}
-			value = append([]byte(nil), head.Value...)
-		}
-
-		tx.mutate(ref, frame, space, key, value, op == opDelete)
-		tx.n.releasePager(ref)
-		return nil
-	}
+	return tx.n.c.cc.Write(tx, space, key, value, op)
 }
 
 // mutate applies one logged version-prepend under the held X leaf.
@@ -516,10 +483,12 @@ func (tx *Tx) mutate(ref *btree.Ref, frame *bufferfusion.Frame, space common.Spa
 	tx.writes = true
 }
 
-// Commit makes the transaction durable and visible: fetch a CTS from the
-// TSO (one-sided fetch-add), force the redo log through the commit record,
-// publish the CTS in the TIT slot, best-effort stamp rows still cached, and
-// notify Lock Fusion if a waiter flagged us (§4.1, §4.3.2).
+// Commit makes the transaction durable and visible: run the engine's
+// commit-time work (OCC validation + apply; none under 2PL), then the shared
+// pipeline — fetch a CTS from the TSO (one-sided fetch-add), force the redo
+// log through the commit record, publish the CTS in the TIT slot, best-effort
+// stamp rows still cached, and notify Lock Fusion if a waiter flagged us
+// (§4.1, §4.3.2).
 func (tx *Tx) Commit() error {
 	if tx.done {
 		return common.ErrTxDone
@@ -546,6 +515,23 @@ func (tx *Tx) Commit() error {
 		tx.rollbackLocked()
 		return err
 	}
+	// Engine commit work: under OCC this validates the staged set and
+	// applies it to the pages (populating tx.undo); a conflict aborts with
+	// nothing applied, so the rollback is a pure TIT release.
+	if err := n.c.cc.Prepare(tx); err != nil {
+		tx.rollbackLocked()
+		return err
+	}
+	return tx.commitPipeline()
+}
+
+// commitPipeline is the engine-independent commit tail: TSO grant, commit
+// record force (the durability point), TIT publish, CTS stamping. Waiters
+// are notified right after the TIT publish — before stamping — so a parked
+// writer resumes while this committer is still walking its touched pages
+// (the waiter's own resolveCTS finds the published CTS through the TIT).
+func (tx *Tx) commitPipeline() error {
+	n := tx.n
 	ttok := tx.tr.Start()
 	cts, grouped, err := n.tf.NextCommitCSNEx()
 	if err != nil {
@@ -563,8 +549,10 @@ func (tx *Tx) Commit() error {
 		return err
 	}
 	if grouped {
+		n.TSOGroup.Inc()
 		tx.tr.Mark(trace.StageTSOGroup, ttok)
 	} else {
+		n.TSOSolo.Inc()
 		tx.tr.Mark(trace.StageTSOSolo, ttok)
 	}
 	atok := tx.tr.Start()
@@ -588,13 +576,13 @@ func (tx *Tx) Commit() error {
 		n.tracer.FinishTx(tx.tr, 0, false)
 		return err
 	}
+	if waiters {
+		n.rl.NotifyCommitted(tx.g)
+	}
 	if !n.c.cfg.DisableCTSStamp {
 		ctok := tx.tr.Start()
 		tx.stampCTS(cts)
 		tx.tr.Observe(trace.StageCTSStamp, ctok)
-	}
-	if waiters {
-		n.rl.NotifyCommitted(tx.g)
 	}
 	tx.cts = cts
 	n.Commits.Inc()

@@ -1,0 +1,188 @@
+package figures
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"polardbmp/internal/adapter"
+	"polardbmp/internal/workload"
+)
+
+// Interleaved A/B compare: measure the pipelined commit path against the
+// pre-PR path by alternating the two engines slice by slice in one process.
+// Back-to-back slices see the same machine load, scheduler state, and heap,
+// so drift that would bias two separate long runs cancels out; pairing each
+// new-path slice with the old-path slice that immediately preceded it turns
+// the run into Repeats paired samples per cell, reported as a median gain
+// with min/max spread.
+
+// ABArm is one engine's side of a cell: the per-slice simulated tps and
+// their median/min/max.
+type ABArm struct {
+	TPS    float64   `json:"tps_sim"` // median over slices
+	TPSMin float64   `json:"tps_sim_min"`
+	TPSMax float64   `json:"tps_sim_max"`
+	Slices []float64 `json:"slices"`
+	Aborts int64     `json:"aborts"`
+}
+
+// ABCell is one read-write configuration measured under both commit paths.
+type ABCell struct {
+	Cell   string `json:"cell"` // "rw/<shared%>/<nodes>"
+	Shared int    `json:"shared_pct"`
+	Nodes  int    `json:"nodes"`
+	Old    ABArm  `json:"old"` // pipeline, spec-CTS and adaptive TSO off
+	New    ABArm  `json:"new"` // this PR's commit path
+
+	// Gain is the median of the paired per-slice gains new_i/old_i;
+	// GainMin/GainMax are that pairing's spread.
+	Gain    float64 `json:"gain"`
+	GainMin float64 `json:"gain_min"`
+	GainMax float64 `json:"gain_max"`
+}
+
+// ABReport is the document mpbench -ab writes.
+type ABReport struct {
+	Config struct {
+		Scale    int    `json:"scale"`
+		Slice    string `json:"duration_per_slice"`
+		Warmup   string `json:"warmup_per_slice"`
+		Threads  int    `json:"threads_per_node"`
+		Nodes    []int  `json:"nodes"`
+		Repeats  int    `json:"slices_per_arm"`
+		CC       string `json:"cc_engine"`
+		OldKnobs string `json:"old_arm"`
+	} `json:"config"`
+	Cells []ABCell `json:"cells"`
+}
+
+// ABCompare runs the interleaved old-vs-new commit-path compare over the
+// read-write sweep and writes the per-cell gains as JSON to path.
+func ABCompare(o Options, path string) (*ABReport, error) {
+	o.fill()
+	if o.Repeats <= 0 {
+		o.Repeats = 3
+	}
+	o.header("Interleaved A/B: pre-PR commit path vs pipelined (paired slices)")
+
+	rep := &ABReport{}
+	rep.Config.Scale = o.Scale
+	rep.Config.Slice = o.Duration.String()
+	rep.Config.Warmup = o.Warmup.String()
+	rep.Config.Threads = o.Threads
+	rep.Config.Nodes = o.Nodes
+	rep.Config.Repeats = o.Repeats
+	rep.Config.CC = o.ccName()
+	rep.Config.OldKnobs = "DisableCommitPipeline+DisableSpecCTS+DisableAdaptiveTSO"
+
+	sharedSet := []int{0, 50, 100}
+	if o.Quick {
+		sharedSet = []int{50}
+	}
+	for _, shared := range sharedSet {
+		for _, n := range o.Nodes {
+			cell, err := o.runABCell(shared, n)
+			if err != nil {
+				return nil, err
+			}
+			rep.Cells = append(rep.Cells, cell)
+			o.printf("%-10s old=%8.0f new=%8.0f  gain=%+.1f%% [%+.1f%% .. %+.1f%%]\n",
+				cell.Cell, cell.Old.TPS, cell.New.TPS,
+				(cell.Gain-1)*100, (cell.GainMin-1)*100, (cell.GainMax-1)*100)
+		}
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return nil, err
+	}
+	o.printf("wrote %s\n", path)
+	return rep, nil
+}
+
+// runABCell measures one cell under both commit paths, alternating slices.
+func (o Options) runABCell(shared, n int) (ABCell, error) {
+	// The old arm is the pre-PR engine: 2PL with the serial commit path.
+	// The new arm is this PR's full configuration — pipelined commit plus
+	// whatever Options.CC selects (so `-ab -cc occ` compares the OCC engine
+	// against the pre-PR 2PL baseline).
+	oldOpts := o
+	oldOpts.CC = ""
+	oldCfg := oldOpts.clusterConfig()
+	oldCfg.DisableCommitPipeline = true
+	oldCfg.DisableSpecCTS = true
+	oldCfg.DisableAdaptiveTSO = true
+	dbOld, err := adapter.NewPolarDB(oldCfg, n)
+	if err != nil {
+		return ABCell{}, err
+	}
+	defer dbOld.Cluster.Close()
+	dbNew, err := o.newMP(n)
+	if err != nil {
+		return ABCell{}, err
+	}
+	defer dbNew.Cluster.Close()
+
+	arms := [2]*adapter.PolarDB{dbOld, dbNew}
+	var fns [2]func(node, thread int) workload.TxFunc
+	for i, db := range arms {
+		sb := workload.DefaultSysbench(workload.SysbenchReadWrite, n, shared)
+		sb.TablesPerGroup = 2
+		sb.RowsPerTable = 800
+		sb.StatementDelay = o.stmtDelay()
+		if err := sb.Load(db); err != nil {
+			return ABCell{}, fmt.Errorf("ab: sysbench load (%d nodes): %w", n, err)
+		}
+		fns[i] = sb.TxFunc
+	}
+
+	cell := ABCell{
+		Cell:   fmt.Sprintf("rw/%d/%d", shared, n),
+		Shared: shared, Nodes: n,
+	}
+	var gains []float64
+	for i := 0; i < o.Repeats; i++ {
+		resOld := o.runner().Run(arms[0], fns[0])
+		resNew := o.runner().Run(arms[1], fns[1])
+		a, b := o.simTPS(resOld), o.simTPS(resNew)
+		cell.Old.Slices = append(cell.Old.Slices, a)
+		cell.New.Slices = append(cell.New.Slices, b)
+		cell.Old.Aborts += resOld.Aborts
+		cell.New.Aborts += resNew.Aborts
+		if a > 0 {
+			gains = append(gains, b/a)
+		}
+	}
+	cell.Old.TPS, cell.Old.TPSMin, cell.Old.TPSMax = medianSpread(cell.Old.Slices)
+	cell.New.TPS, cell.New.TPSMin, cell.New.TPSMax = medianSpread(cell.New.Slices)
+	cell.Gain, cell.GainMin, cell.GainMax = medianSpread(gains)
+	return cell, nil
+}
+
+// ccName reports the effective concurrency-control engine for run metadata.
+func (o Options) ccName() string {
+	if o.CC == "" {
+		return "2pl"
+	}
+	return o.CC
+}
+
+// medianSpread returns the median, min and max of vs (zeros when empty).
+func medianSpread(vs []float64) (med, lo, hi float64) {
+	if len(vs) == 0 {
+		return 0, 0, 0
+	}
+	s := append([]float64(nil), vs...)
+	sort.Float64s(s)
+	lo, hi = s[0], s[len(s)-1]
+	med = s[len(s)/2]
+	if len(s)%2 == 0 {
+		med = (s[len(s)/2-1] + s[len(s)/2]) / 2
+	}
+	return med, lo, hi
+}

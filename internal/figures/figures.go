@@ -60,6 +60,12 @@ type Options struct {
 	// SlowTx, when > 0, logs transactions slower than this into the
 	// per-node slow-transaction log (implies Trace).
 	SlowTx time.Duration
+	// CC selects the concurrency-control engine for every cluster the run
+	// builds ("2pl" default, "occ" optimistic; see core.Config.CC).
+	CC string
+	// Repeats is how many times Snapshot measures each cell (default 3);
+	// the reported tps_sim is the median, with min/max recorded as spread.
+	Repeats int
 }
 
 func (o *Options) fill() {
@@ -116,6 +122,7 @@ func (o Options) simTPS(res workload.Result) float64 {
 // clusterConfig is the engine configuration for figure runs.
 func (o Options) clusterConfig() core.Config {
 	cfg := core.Config{
+		CC:              o.CC,
 		LBPFrames:       8192,
 		DBPFrames:       32768,
 		StorageLatency:  o.storageLatency(),

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 
 	"polardbmp/internal/workload"
 )
@@ -26,10 +27,15 @@ var fig7RWBaseline = map[string]float64{
 // SnapshotCell is one measured Figure-7 read-write configuration with its
 // per-commit fabric op profile and the pre-batching baseline.
 type SnapshotCell struct {
-	Cell        string  `json:"cell"` // "rw/<shared%>/<nodes>"
-	Shared      int     `json:"shared_pct"`
-	Nodes       int     `json:"nodes"`
+	Cell   string `json:"cell"` // "rw/<shared%>/<nodes>"
+	Shared int    `json:"shared_pct"`
+	Nodes  int    `json:"nodes"`
+	// TPS is the median over Repeats measurements; TPSMin/TPSMax record the
+	// spread so a single noisy run can't carry a perf claim.
 	TPS         float64 `json:"tps_sim"`
+	TPSMin      float64 `json:"tps_sim_min,omitempty"`
+	TPSMax      float64 `json:"tps_sim_max,omitempty"`
+	Repeats     int     `json:"repeats,omitempty"`
 	BaselineTPS float64 `json:"baseline_tps_sim,omitempty"`
 	Gain        float64 `json:"gain,omitempty"` // TPS / BaselineTPS
 	Aborts      int64   `json:"aborts"`
@@ -74,15 +80,18 @@ func Snapshot(o Options, path string) (*BenchSnapshot, error) {
 	snap.Config.Threads = o.Threads
 	snap.Config.Nodes = o.Nodes
 
+	if o.Repeats <= 0 {
+		o.Repeats = 3
+	}
 	for _, shared := range []int{0, 10, 50, 100} {
 		for _, n := range o.Nodes {
-			cell, err := o.runSnapshotCell(shared, n)
+			cell, err := o.runSnapshotCellRepeats(shared, n)
 			if err != nil {
 				return nil, err
 			}
 			snap.Fig7RW = append(snap.Fig7RW, cell)
-			o.printf("%-10s %12.0f tps  (baseline %6.0f, %5.2fx)  ops/commit: r=%.2f w=%.2f a=%.2f rpc=%.2f\n",
-				cell.Cell, cell.TPS, cell.BaselineTPS, cell.Gain,
+			o.printf("%-10s %12.0f tps [%.0f..%.0f ×%d]  (baseline %6.0f, %5.2fx)  ops/commit: r=%.2f w=%.2f a=%.2f rpc=%.2f\n",
+				cell.Cell, cell.TPS, cell.TPSMin, cell.TPSMax, cell.Repeats, cell.BaselineTPS, cell.Gain,
 				cell.ReadsPerCommit, cell.WritesPerCommit, cell.AtomicsPerCommit, cell.RPCsPerCommit)
 		}
 	}
@@ -102,6 +111,32 @@ func Snapshot(o Options, path string) (*BenchSnapshot, error) {
 	}
 	o.printf("wrote %s\n", path)
 	return snap, nil
+}
+
+// runSnapshotCellRepeats measures one cell Repeats times on fresh clusters
+// and reports the median with min/max spread. The fabric op profile and
+// abort count come from the median run's cell (they are deterministic per
+// configuration to within noise).
+func (o Options) runSnapshotCellRepeats(shared, n int) (SnapshotCell, error) {
+	runs := make([]SnapshotCell, 0, o.Repeats)
+	for i := 0; i < o.Repeats; i++ {
+		cell, err := o.runSnapshotCell(shared, n)
+		if err != nil {
+			return SnapshotCell{}, err
+		}
+		runs = append(runs, cell)
+	}
+	sort.Slice(runs, func(i, j int) bool { return runs[i].TPS < runs[j].TPS })
+	cell := runs[len(runs)/2]
+	if len(runs)%2 == 0 {
+		cell.TPS = (runs[len(runs)/2-1].TPS + runs[len(runs)/2].TPS) / 2
+	}
+	cell.TPSMin, cell.TPSMax = runs[0].TPS, runs[len(runs)-1].TPS
+	cell.Repeats = len(runs)
+	if cell.BaselineTPS > 0 {
+		cell.Gain = cell.TPS / cell.BaselineTPS
+	}
+	return cell, nil
 }
 
 // runSnapshotCell measures one read-write cell and its fabric op profile.

@@ -281,6 +281,41 @@ func (s *Store) LogSync(node common.NodeID) common.LSN {
 	return lsn
 }
 
+// LogSyncBatch makes all appended data durable on every listed stream with a
+// single injected latency charge, filling durables[i] with stream i's durable
+// frontier. The streams are independent (per-node log files): a real store
+// services their flushes concurrently, so one round of wall-clock latency
+// covers all of them. With a fault injector installed it returns false
+// without syncing anything — injected stalls must hit streams individually,
+// so the caller falls back to per-stream LogSync.
+func (s *Store) LogSyncBatch(nodes []common.NodeID, durables []common.LSN) bool {
+	if v := s.inj.Load(); v != nil {
+		if inj, _ := v.(common.FaultInjector); inj != nil {
+			return false
+		}
+	}
+	s.latency.sleep(s.latency.LogAppend)
+	for i, n := range nodes {
+		s.stats.LogSyncs.Inc()
+		ls := s.stream(n)
+		ls.mu.Lock()
+		if !ls.fenced {
+			ls.durable = len(ls.buf)
+		}
+		durables[i] = ls.base + common.LSN(ls.durable)
+		ls.mu.Unlock()
+		if s.persist != nil {
+			s.persist.persistLog(n, ls)
+		}
+	}
+	return true
+}
+
+// SyncLatency reports the configured per-round log flush latency. The commit
+// pipeline consults it: rounds cheaper than scheduling noise aren't worth
+// running speculatively.
+func (s *Store) SyncLatency() time.Duration { return s.latency.LogAppend }
+
 // LogEndLSN returns the append frontier of node's stream (the LSN the next
 // append will land at), ahead of the durable frontier by the un-synced tail.
 func (s *Store) LogEndLSN(node common.NodeID) common.LSN {

@@ -94,6 +94,16 @@ const (
 	// ride the same doorbell batch as the leader op, so the verb's fabric
 	// cost is already counted by the stage that issued it.
 	StagePmfsReplicate
+	// StageLogPipeline is a durability wait absorbed by the pipelined
+	// group-commit syncer: the committer's frontier was covered by a sync
+	// round already in flight (or started by the background syncer), so it
+	// paid only the residual wait instead of running a full round itself.
+	// StageLogSync keeps counting the syncs that had to run their own round.
+	StageLogPipeline
+	// StageCTSSpec is a speculative CTS resolution: the reader proved
+	// visibility from the peer's recycle floor (every trx id at or below the
+	// floor is finished and GMV-covered) without the one-sided TIT read.
+	StageCTSSpec
 
 	numStages
 )
@@ -107,6 +117,7 @@ var stageNames = [numStages]string{
 	"log_append", "log_sync", "tso_solo", "tso_group",
 	"cts_stamp", "commit",
 	"shed", "hedge_fired", "deadline_abort", "pmfs_replicate",
+	"log_pipeline", "cts_spec",
 }
 
 // String returns the stage's snake_case name (the JSON identity).

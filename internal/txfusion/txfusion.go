@@ -38,8 +38,9 @@ const (
 // their uncommitted changes are rolled back; with the fence down, a slot
 // mismatch safely means "finished and recycled ⇒ visible to all".
 const (
-	hdrFence   = 0 // 1 while the node is recovering pre-crash transactions
-	headerSize = 16
+	hdrFence     = 0 // 1 while the node is recovering pre-crash transactions
+	hdrSpecFloor = 8 // speculative-CTS recycle floor (see Begin/Recycle)
+	headerSize   = 16
 
 	slotTrx     = 0  // local transaction id ("pointer"; 0 = free slot)
 	slotCTS     = 8  // commit timestamp (CSNInit while active)
@@ -192,6 +193,12 @@ type Config struct {
 	LamportReuse bool
 	// CTSCacheSize bounds the committed-CTS lookaside cache (0 disables).
 	CTSCacheSize int
+	// DisableSpecCTS turns off speculative CTS resolution from peer recycle
+	// floors (ablation; see hdrSpecFloor).
+	DisableSpecCTS bool
+	// DisableAdaptiveTSO forces every commit-CSN allocation through the
+	// flat-combining path even when the grant queue is empty (ablation).
+	DisableAdaptiveTSO bool
 }
 
 func (c *Config) fill() {
@@ -232,10 +239,26 @@ type Client struct {
 	cacheMu  sync.Mutex
 	ctsCache map[common.GTrxID]common.CSN
 
-	// TSO group-allocation combiner state (see NextCommitCSN).
+	// TSO group-allocation combiner state (see NextCommitCSN). tsoSolos
+	// counts direct fetch-adds in flight for the adaptive solo fast path.
 	tsoMu      sync.Mutex
 	tsoWaiters []chan tsoGrant
 	tsoLeader  bool
+	tsoSolos   int
+
+	// Speculative-CTS state. Owner side: specNext is the lowest local trx
+	// id not yet finished-and-freed; ids finishing out of order park in
+	// specDone until the contiguous floor (specNext-1) advances, which is
+	// then published at hdrSpecFloor for one-sided pickup. Reader side:
+	// peerFloor caches each peer's last-seen floor; a g.Trx at or below it
+	// resolves to CSNMin with no fabric op.
+	specMu    sync.Mutex
+	specNext  common.TrxID
+	specDone  map[common.TrxID]struct{}
+	floorMu   sync.Mutex
+	peerFloor map[common.NodeID]common.TrxID
+	specHits  atomic.Int64
+	specReads atomic.Int64
 
 	tr *trace.Tracer
 
@@ -264,6 +287,8 @@ func NewClient(ep *rdma.Endpoint, fabric *rdma.Fabric, cfg Config) *Client {
 		lastGMV:  common.CSNMin,
 		ctsCache: make(map[common.GTrxID]common.CSN),
 	}
+	c.peerFloor = make(map[common.NodeID]common.TrxID)
+	c.specDone = make(map[common.TrxID]struct{})
 	c.free = make([]uint32, cfg.TITSlots)
 	for i := range c.free {
 		c.free[i] = uint32(cfg.TITSlots - 1 - i)
@@ -300,6 +325,90 @@ func (c *Client) SetRecovering(on bool) {
 	must(c.tit.LocalWrite64(hdrFence, v))
 }
 
+// InitTrxFloor seeds the speculative-CTS floor at the node's restored
+// transaction-id watermark: every id at or below hw either finished before
+// the restart or was never allocated (watermark slack), so — once the
+// recovery fence is down — a version stamped with it is visible to all views
+// or no longer exists, exactly the CSNMin contract. Readers never cache a
+// floor read together with a raised fence, so a mid-recovery publication is
+// harmless. Core calls this once per incarnation, before the node serves
+// transactions; local trx ids are strictly monotone across incarnations
+// (persisted watermark), which is what keeps stale cached floors sound.
+func (c *Client) InitTrxFloor(hw common.TrxID) {
+	c.specMu.Lock()
+	c.specNext = hw + 1
+	c.specMu.Unlock()
+	if !c.cfg.DisableSpecCTS {
+		must(c.tit.LocalWrite64(hdrSpecFloor, uint64(hw)))
+	}
+}
+
+// markFinished records that local transaction trx can never again resolve to
+// anything but CSNMin — it was recycled under the GMV gate, aborted with its
+// versions rolled back, or never admitted — and advances the published floor
+// when the finished prefix is contiguous.
+func (c *Client) markFinished(trx common.TrxID) {
+	c.specMu.Lock()
+	if c.specNext == 0 || trx < c.specNext {
+		c.specMu.Unlock()
+		return
+	}
+	if trx != c.specNext {
+		c.specDone[trx] = struct{}{}
+		c.specMu.Unlock()
+		return
+	}
+	c.specNext++
+	for {
+		if _, ok := c.specDone[c.specNext]; !ok {
+			break
+		}
+		delete(c.specDone, c.specNext)
+		c.specNext++
+	}
+	floor := c.specNext - 1
+	c.specMu.Unlock()
+	if !c.cfg.DisableSpecCTS {
+		must(c.tit.LocalWrite64(hdrSpecFloor, uint64(floor)))
+	}
+}
+
+// noteFloor folds a peer's floor observed on a one-sided header read into the
+// reader-side cache. Floors only grow (monotone trx ids across incarnations).
+func (c *Client) noteFloor(node common.NodeID, floor common.TrxID) {
+	if floor == 0 || c.cfg.DisableSpecCTS {
+		return
+	}
+	c.floorMu.Lock()
+	if floor > c.peerFloor[node] {
+		c.peerFloor[node] = floor
+	}
+	c.floorMu.Unlock()
+}
+
+// specCTS consults the cached recycle floor of g's owner: at or below it, g
+// is proven finished (committed below the GMV, or aborted) without touching
+// the fabric. Hit/read counters feed ClusterStats.
+func (c *Client) specCTS(g common.GTrxID) (common.CSN, bool) {
+	if c.cfg.DisableSpecCTS || g.Node == c.node {
+		return 0, false
+	}
+	c.specReads.Add(1)
+	c.floorMu.Lock()
+	floor := c.peerFloor[g.Node]
+	c.floorMu.Unlock()
+	if g.Trx == 0 || g.Trx > floor {
+		return 0, false
+	}
+	c.specHits.Add(1)
+	return common.CSNMin, true
+}
+
+// SpecCTSStats returns (hits, lookups) of the speculative CTS path.
+func (c *Client) SpecCTSStats() (hits, reads int64) {
+	return c.specHits.Load(), c.specReads.Load()
+}
+
 // Begin allocates a TIT slot for a new local transaction and returns its
 // global id. It fails with ErrTITFull when every slot is pinned by an
 // unrecycled transaction.
@@ -316,6 +425,9 @@ func (c *Client) Begin(trx common.TrxID) (common.GTrxID, error) {
 		c.mu.Lock()
 		if len(c.free) == 0 {
 			c.mu.Unlock()
+			// The id was never admitted, so no version will ever carry it:
+			// finish it immediately or it would pin the recycle floor.
+			c.markFinished(trx)
 			return common.GTrxID{}, ErrTITFull
 		}
 	}
@@ -387,11 +499,17 @@ func (c *Client) freeSlot(slot uint32) {
 	must(c.tit.LocalWrite64(off+slotActive, 0))
 	must(c.tit.LocalWrite64(off+slotTrx, 0))
 	c.mu.Lock()
-	if _, ok := c.inUse[slot]; ok {
+	trx, ok := c.inUse[slot]
+	if ok {
 		delete(c.inUse, slot)
 		c.free = append(c.free, slot)
 	}
 	c.mu.Unlock()
+	if ok {
+		// A slot is freed only for a recycled (GMV-covered) or aborted
+		// transaction — exactly the floor's CSNMin contract.
+		c.markFinished(trx)
+	}
 }
 
 // slotState is one decoded TIT slot.
@@ -429,14 +547,47 @@ func (c *Client) GetTrxCTS(g common.GTrxID) (common.CSN, error) {
 		if err := c.tit.LocalRead(slotOff(g.Slot), buf[:]); err != nil {
 			return 0, err
 		}
-	} else {
-		// One-sided RDMA read of the remote slot (Algorithm 1 line 11).
-		// Transient fabric faults are retried: the read is idempotent.
-		if err := common.Retry(c.retry, func() error {
-			return c.fabric.Read(g.Node, RegionTIT, slotOff(g.Slot), buf[:])
-		}); err != nil {
-			return 0, err
+		s := decodeSlot(buf[:])
+		if s.version != uint64(g.Version) || s.trx != g.Trx || !s.active {
+			fenced, err := c.readFence(g.Node)
+			if err != nil || fenced {
+				return common.CSNMax, nil
+			}
+			c.cacheCTS(g, common.CSNMin)
+			return common.CSNMin, nil
 		}
+		if s.cts == common.CSNInit {
+			return common.CSNMax, nil
+		}
+		c.cacheCTS(g, s.cts)
+		return s.cts, nil
+	}
+	// Speculative path: the owner's published recycle floor may already
+	// prove g finished — committed below the GMV bound (visible to every
+	// view) or aborted — with no round-trip at all.
+	tok := c.tr.Start()
+	if cts, ok := c.specCTS(g); ok {
+		c.tr.Observe(trace.StageCTSSpec, tok)
+		return cts, nil
+	}
+	// One-sided RDMA read of the remote slot (Algorithm 1 line 11), with the
+	// owner's header (recovery fence + recycle floor) riding the same
+	// doorbell batch: the mismatch rule needs the fence anyway, and the
+	// floor refreshes the speculative cache for free. Transient fabric
+	// faults are retried: the read chain is idempotent.
+	var hdr [headerSize]byte
+	segs := []rdma.Seg{
+		{Off: hdrFence, Buf: hdr[:]},
+		{Off: slotOff(g.Slot), Buf: buf[:]},
+	}
+	if err := common.Retry(c.retry, func() error {
+		return c.fabric.ReadV(g.Node, RegionTIT, segs)
+	}); err != nil {
+		return 0, err
+	}
+	fenced := binary.LittleEndian.Uint64(hdr[hdrFence:]) == 1
+	if !fenced {
+		c.noteFloor(g.Node, common.TrxID(binary.LittleEndian.Uint64(hdr[hdrSpecFloor:])))
 	}
 	s := decodeSlot(buf[:])
 	if s.version != uint64(g.Version) || s.trx != g.Trx || !s.active {
@@ -447,8 +598,7 @@ func (c *Client) GetTrxCTS(g common.GTrxID) (common.CSN, error) {
 		// version. With the fence up, the owning node crashed and the
 		// transaction's fate is unknown until its recovery completes:
 		// treat it as active.
-		fenced, err := c.readFence(g.Node)
-		if err != nil || fenced {
+		if fenced {
 			return common.CSNMax, nil
 		}
 		c.cacheCTS(g, common.CSNMin)
@@ -495,6 +645,10 @@ func (c *Client) GetTrxCTSBatch(gs []common.GTrxID) map[common.GTrxID]common.CSN
 			}
 			continue
 		}
+		if cts, ok := c.specCTS(g); ok {
+			out[g] = cts
+			continue
+		}
 		if remote == nil {
 			remote = make(map[common.NodeID][]common.GTrxID)
 		}
@@ -503,10 +657,10 @@ func (c *Client) GetTrxCTSBatch(gs []common.GTrxID) map[common.GTrxID]common.CSN
 		}
 	}
 	for node, ids := range remote {
-		var fence [8]byte
+		var hdr [headerSize]byte
 		bufs := make([]byte, len(ids)*SlotSize)
 		segs := make([]rdma.Seg, 0, len(ids)+1)
-		segs = append(segs, rdma.Seg{Off: hdrFence, Buf: fence[:]})
+		segs = append(segs, rdma.Seg{Off: hdrFence, Buf: hdr[:]})
 		for i, g := range ids {
 			segs = append(segs, rdma.Seg{Off: slotOff(g.Slot), Buf: bufs[i*SlotSize : (i+1)*SlotSize]})
 		}
@@ -516,7 +670,10 @@ func (c *Client) GetTrxCTSBatch(gs []common.GTrxID) map[common.GTrxID]common.CSN
 		}); err != nil {
 			continue
 		}
-		fenced := binary.LittleEndian.Uint64(fence[:]) == 1
+		fenced := binary.LittleEndian.Uint64(hdr[hdrFence:]) == 1
+		if !fenced {
+			c.noteFloor(node, common.TrxID(binary.LittleEndian.Uint64(hdr[hdrSpecFloor:])))
+		}
 		for i, g := range ids {
 			s := decodeSlot(bufs[i*SlotSize:])
 			switch {
@@ -642,11 +799,46 @@ func (c *Client) NextCommitCSN() (common.CSN, error) {
 	return cts, err
 }
 
+// tsoSoloLimit bounds concurrent direct fetch-adds: past it, arrivals fold
+// into the flat-combining queue so the oracle word sees bounded contention.
+const tsoSoloLimit = 2
+
 // NextCommitCSNEx is NextCommitCSN plus classification: grouped reports
 // whether the CSN came out of a flat-combined round (one fetch-add shared by
 // k committers) rather than a solo allocation.
+//
+// Adaptive switching: with the grant queue empty — no combiner leader, no
+// waiters, few solo fetch-adds outstanding — a committer skips the combiner
+// entirely and issues its own fetch-add, saving the grant channel and two
+// handoffs; under queue depth the existing flat-combining path takes over.
+// Both paths draw the CSN from a fetch-add that executes after the committer
+// arrived, so the CSN-ordering argument below is unchanged, and a solo
+// commit still costs exactly one PMFS atomic.
 func (c *Client) NextCommitCSNEx() (common.CSN, bool, error) {
 	tok := c.tr.Start()
+	if !c.cfg.DisableAdaptiveTSO {
+		c.tsoMu.Lock()
+		if !c.tsoLeader && len(c.tsoWaiters) == 0 && c.tsoSolos < tsoSoloLimit {
+			c.tsoSolos++
+			c.tsoMu.Unlock()
+			var prev uint64
+			err := common.Retry(c.retry, func() (e error) {
+				prev, e = c.fabric.FetchAdd64(common.PMFSNode, RegionTSO, 0, 1)
+				return e
+			})
+			c.tsoMu.Lock()
+			c.tsoSolos--
+			c.tsoMu.Unlock()
+			if err != nil {
+				return 0, false, err
+			}
+			cts := common.CSN(prev + 1)
+			c.noteTS(cts)
+			c.tr.Observe(trace.StageTSOSolo, tok)
+			return cts, false, nil
+		}
+		c.tsoMu.Unlock()
+	}
 	ch := make(chan tsoGrant, 1)
 	c.tsoMu.Lock()
 	c.tsoWaiters = append(c.tsoWaiters, ch)

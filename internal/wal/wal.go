@@ -24,6 +24,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"polardbmp/internal/common"
 	"polardbmp/internal/storage"
@@ -240,7 +242,14 @@ func (c *LLSNCounter) Current() common.LLSN {
 }
 
 // Writer appends a node's redo records to its shared-storage stream with
-// group commit: concurrent Sync callers ride a single storage sync.
+// group commit: concurrent Sync callers ride a single storage sync. With the
+// commit pipeline attached (AttachPipeline), an external syncer — one per
+// cluster, see core — keeps sync rounds in flight while appends are
+// arriving, bracketing each round with BeginRound/EndRound; committers then
+// ride the next round completion instead of running a full storage round
+// themselves. The pipeline moves only WHO runs the round — durability itself
+// is still established by storage.LogSync, and callers still gate on
+// Durable().
 type Writer struct {
 	store storage.API
 	node  common.NodeID
@@ -252,9 +261,14 @@ type Writer struct {
 	syncMu   sync.Mutex
 	synced   common.LSN
 	syncCond *sync.Cond
-	syncing  bool
+	inflight int // storage sync rounds currently running (self-run + pipeline)
 
-	tr *trace.Tracer
+	// Pipeline state.
+	pipeOn     atomic.Bool
+	pipeKick   chan<- struct{} // wakes the cluster syncer on append
+	pipeLastNS atomic.Int64    // wall nanos of the last append (hotness signal)
+	rides      atomic.Int64    // syncs absorbed by an in-flight round
+	tr         *trace.Tracer
 }
 
 // NewWriter creates a writer resuming at the stream's current durable end.
@@ -303,16 +317,25 @@ func (w *Writer) Append(rec *Record) common.LSN {
 	w.nextLSN += common.LSN(len(buf))
 	end := w.nextLSN
 	w.mu.Unlock()
+	if w.pipeOn.Load() {
+		w.pipeLastNS.Store(time.Now().UnixNano())
+		select {
+		case w.pipeKick <- struct{}{}:
+		default:
+		}
+	}
 	w.tr.Observe(trace.StageLogAppend, tok)
 	return end
 }
 
 // Close fences the writer after a node crash: appends and syncs become
-// no-ops so zombie threads cannot corrupt the stream.
+// no-ops so zombie threads cannot corrupt the stream. It also detaches the
+// writer from the cluster commit pipeline.
 func (w *Writer) Close() {
 	w.mu.Lock()
 	w.closed = true
 	w.mu.Unlock()
+	w.pipeOn.Store(false)
 }
 
 func (w *Writer) isClosed() bool {
@@ -322,25 +345,30 @@ func (w *Writer) isClosed() bool {
 }
 
 // Sync makes the stream durable at least up to lsn. Concurrent callers are
-// coalesced into one storage sync (group commit).
+// coalesced: any storage sync round in flight when Sync is called covers
+// every byte already appended (durability is marked at round completion), so
+// a caller rides the next completion and only self-runs a round when none is
+// in flight.
 func (w *Writer) Sync(lsn common.LSN) {
 	if w.isClosed() || w.store.LogFenced(w.node) {
 		return
 	}
 	tok := w.tr.Start()
+	selfRan := false
 	w.syncMu.Lock()
 	waited := w.synced < lsn
 	for w.synced < lsn {
-		if w.syncing {
+		if w.inflight > 0 {
 			w.syncCond.Wait()
 			continue
 		}
-		w.syncing = true
+		selfRan = true
+		w.inflight++
 		w.syncMu.Unlock()
 		durable := w.store.LogSync(w.node)
 		fenced := w.store.LogFenced(w.node)
 		w.syncMu.Lock()
-		w.syncing = false
+		w.inflight--
 		if durable > w.synced {
 			w.synced = durable
 		}
@@ -356,9 +384,61 @@ func (w *Writer) Sync(lsn common.LSN) {
 	if waited {
 		// Only syncs that found the durable frontier behind them are a
 		// group-commit stage; no-op syncs behind an earlier force are free.
-		w.tr.Observe(trace.StageLogSync, tok)
+		// A wait fully absorbed by rounds someone else ran is the pipelined
+		// flavor (residual wait); running our own round is the classic one.
+		if !selfRan && w.pipeOn.Load() {
+			w.rides.Add(1)
+			w.tr.Observe(trace.StageLogPipeline, tok)
+		} else {
+			w.tr.Observe(trace.StageLogSync, tok)
+		}
 	}
 }
+
+// AttachPipeline connects the writer to the cluster's pipelined group-commit
+// syncer: appends record a hotness timestamp and kick the syncer's wake
+// channel, and durability waits absorbed by syncer rounds are classified as
+// StageLogPipeline. The kick channel must be buffered; sends never block.
+func (w *Writer) AttachPipeline(kick chan<- struct{}) {
+	w.pipeKick = kick
+	w.pipeOn.Store(true)
+}
+
+// BeginRound marks a pipeline sync round in flight for this stream, so
+// concurrent Sync callers ride it instead of self-running a storage sync.
+// Every BeginRound must be paired with EndRound.
+func (w *Writer) BeginRound() {
+	w.syncMu.Lock()
+	w.inflight++
+	w.syncMu.Unlock()
+}
+
+// EndRound completes a pipeline round, publishing the durable frontier the
+// round established and waking riders.
+func (w *Writer) EndRound(durable common.LSN) {
+	w.syncMu.Lock()
+	w.inflight--
+	if durable > w.synced {
+		w.synced = durable
+	}
+	w.syncCond.Broadcast()
+	w.syncMu.Unlock()
+}
+
+// PipelineHot reports whether the stream saw an append within window (and is
+// still attached to the pipeline); the cluster syncer only spends rounds on
+// hot streams.
+func (w *Writer) PipelineHot(window time.Duration) bool {
+	if !w.pipeOn.Load() {
+		return false
+	}
+	last := w.pipeLastNS.Load()
+	return last != 0 && time.Since(time.Unix(0, last)) <= window
+}
+
+// Rides returns how many durability waits were fully absorbed by pipeline
+// rounds (the StageLogPipeline count).
+func (w *Writer) Rides() int64 { return w.rides.Load() }
 
 // End returns the LSN just past the last appended record.
 func (w *Writer) End() common.LSN {

@@ -84,6 +84,7 @@ func (g *GSI) TxFunc(node, thread int) TxFunc {
 	rng := rand.New(rand.NewSource(int64(node)*52361 + int64(thread)*797 + 23))
 	return func(db DB, nd int) error {
 		id := g.seq[nd%len(g.seq)].Add(1)
+		ps := g.Pacer.begin()
 		pk := []byte(fmt.Sprintf("row-%02d-%012d", nd, id))
 		tx, err := db.Begin(nd)
 		if err != nil {
@@ -93,23 +94,23 @@ func (g *GSI) TxFunc(node, thread int) TxFunc {
 		// commit processing. In production this dominates a single-row
 		// insert, which is why adding one GSI costs the paper's systems
 		// only ~20% — the marginal index write is small against it.
-		g.pace()
-		g.pace()
-		g.pace()
+		ps.pace()
+		ps.pace()
+		ps.pace()
 		abort := func(err error) error { tx.Rollback(); return err }
 		val := make([]byte, g.ValueSize)
 		rng.Read(val)
 		if err := tx.Insert(g.primary, pk, val); err != nil {
 			return abort(err)
 		}
-		g.pace()
+		ps.pace()
 		for i, idx := range g.indexes {
 			// Secondary key: random attribute value + pk for uniqueness.
 			sk := []byte(fmt.Sprintf("attr%d-%08d-%s", i, rng.Intn(1e8), pk))
 			if err := tx.Insert(idx, sk, pk); err != nil {
 				return abort(err)
 			}
-			g.pace()
+			ps.pace()
 		}
 		return tx.Commit()
 	}

@@ -76,8 +76,9 @@ func (p *ProdMix) TxFunc(node, thread int) TxFunc {
 			return err
 		}
 		abort := func(err error) error { tx.Rollback(); return err }
+		ps := p.Pacer.begin()
 		for s := 0; s < p.StatementsPerTx; s++ {
-			p.pace()
+			ps.pace()
 			switch r := rng.Intn(10); {
 			case r < 3: // insert (30%)
 				id := p.nextID[part].Add(1)

@@ -154,13 +154,14 @@ func (s *Sysbench) TxFunc(node, thread int) TxFunc {
 			tx.Rollback()
 			return err
 		}
+		ps := s.Pacer.begin()
 		if s.Kind != SysbenchWriteOnly {
 			for i := 0; i < s.PointSelects; i++ {
 				tab := s.pickTable(rng, nd)
 				if _, err := tx.Get(tab, sbKey(rng.Intn(s.RowsPerTable))); err != nil && !isNotFound(err) {
 					return abort(err)
 				}
-				s.pace()
+				ps.pace()
 			}
 		}
 		if s.Kind != SysbenchReadOnly {
@@ -170,7 +171,7 @@ func (s *Sysbench) TxFunc(node, thread int) TxFunc {
 				if err := tx.Update(tab, key, sbValue(rng, s.ValueSize)); err != nil && !isNotFound(err) {
 					return abort(err)
 				}
-				s.pace()
+				ps.pace()
 			}
 			for i := 0; i < s.DeleteInserts; i++ {
 				tab := s.pickTable(rng, nd)
@@ -178,11 +179,11 @@ func (s *Sysbench) TxFunc(node, thread int) TxFunc {
 				if err := tx.Delete(tab, key); err != nil && !isNotFound(err) {
 					return abort(err)
 				}
-				s.pace()
+				ps.pace()
 				if err := tx.Insert(tab, key, sbValue(rng, s.ValueSize)); err != nil && !isKeyExists(err) {
 					return abort(err)
 				}
-				s.pace()
+				ps.pace()
 			}
 		}
 		return tx.Commit()

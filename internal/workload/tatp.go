@@ -100,7 +100,8 @@ func (t *TATP) TxFunc(node, thread int) TxFunc {
 			return err
 		}
 		abort := func(err error) error { tx.Rollback(); return err }
-		t.pace()
+		ps := t.Pacer.begin()
+		ps.pace()
 		switch p := rng.Intn(100); {
 		case p < 35: // GetSubscriberData
 			if _, err := tx.Get(t.subscriber, key); err != nil {

@@ -264,6 +264,7 @@ func (t *TPCC) NewOrder(db DB, nd int, rng *rand.Rand) error {
 		return err
 	}
 	abort := func(err error) error { tx.Rollback(); return err }
+	ps := t.Pacer.begin()
 
 	w := t.homeWarehouse(rng, nd, db.NodeCount())
 	d := rng.Intn(t.Districts)
@@ -280,7 +281,7 @@ func (t *TPCC) NewOrder(db DB, nd int, rng *rand.Rand) error {
 	if err := json.Unmarshal(dRaw, &dist); err != nil {
 		return abort(err)
 	}
-	t.pace()
+	ps.pace()
 	oid := dist.NextOID
 	dist.NextOID++
 	if err := tx.Update(t.district, dKey, jsonVal(dist)); err != nil {
@@ -323,7 +324,7 @@ func (t *TPCC) NewOrder(db DB, nd int, rng *rand.Rand) error {
 		if err := json.Unmarshal(sRaw, &st); err != nil {
 			return abort(err)
 		}
-		t.pace()
+		ps.pace()
 		qty := 1 + rng.Intn(10)
 		if st.Quantity >= qty+10 {
 			st.Quantity -= qty
@@ -363,6 +364,7 @@ func (t *TPCC) Payment(db DB, nd int, rng *rand.Rand) error {
 		return err
 	}
 	abort := func(err error) error { tx.Rollback(); return err }
+	ps := t.Pacer.begin()
 	w := t.homeWarehouse(rng, nd, db.NodeCount())
 	d := rng.Intn(t.Districts)
 	cw, cd := w, d
@@ -410,7 +412,7 @@ func (t *TPCC) Payment(db DB, nd int, rng *rand.Rand) error {
 	if err := json.Unmarshal(cRaw, &cust); err != nil {
 		return abort(err)
 	}
-	t.pace()
+	ps.pace()
 	cust.Balance -= amount
 	cust.Payments++
 	if err := tx.Update(t.customer, cKey, jsonVal(cust)); err != nil {

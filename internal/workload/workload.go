@@ -71,14 +71,43 @@ type TxFunc func(db DB, node int) error
 
 // Pacer injects a per-statement service-time pause (scaled-time simulation
 // support; see the figure harness). The zero value is free.
+//
+// Pacing is deadline-based per transaction: each statement sleeps to an
+// absolute schedule (begin + n×StatementDelay) rather than for a relative
+// StatementDelay. A relative sleep under load oversleeps by the scheduler's
+// wake-up latency, and over a dozen statements that drift accumulates into
+// milliseconds of unmodeled service time; sleeping to the schedule credits
+// one statement's oversleep against the next, so a transaction's injected
+// service time stays at statements×StatementDelay as the model intends.
 type Pacer struct {
-	// StatementDelay is slept after each logical statement.
+	// StatementDelay is the per-statement service time.
 	StatementDelay time.Duration
 }
 
-func (p Pacer) pace() {
-	if p.StatementDelay > 0 {
-		time.Sleep(p.StatementDelay)
+// begin starts one transaction's statement schedule.
+func (p Pacer) begin() paceState {
+	if p.StatementDelay <= 0 {
+		return paceState{}
+	}
+	return paceState{deadline: time.Now(), delay: p.StatementDelay}
+}
+
+// paceState is a single transaction's pacing schedule (not concurrency-safe;
+// one per transaction attempt).
+type paceState struct {
+	deadline time.Time
+	delay    time.Duration
+}
+
+// pace charges one statement's service time, sleeping only up to the
+// schedule. Past-due deadlines (accumulated oversleep) cost nothing.
+func (ps *paceState) pace() {
+	if ps.delay <= 0 {
+		return
+	}
+	ps.deadline = ps.deadline.Add(ps.delay)
+	if d := time.Until(ps.deadline); d > 0 {
+		time.Sleep(d)
 	}
 }
 

@@ -108,6 +108,7 @@ type openConfig struct {
 	hedgeFloor      time.Duration
 	fenceTTL        time.Duration
 	pmfsReplicas    int
+	cc              string
 }
 
 func (o *openConfig) tracing() *trace.Config {
@@ -171,6 +172,17 @@ func WithFenceTTL(d time.Duration) Option {
 	return func(o *openConfig) { o.fenceTTL = d }
 }
 
+// WithCC selects the concurrency-control engine: "2pl" (default — the
+// paper's pessimistic design, statement-time row claims with commit-time
+// CTS stamping) or "occ" (optimistic — statements stage writes locally and
+// never block; validation and apply happen at commit under leaf page locks,
+// and a lost race surfaces as a retryable write-conflict error). Both run
+// the same commit pipeline (TSO grant, group-committed log force, TIT
+// publish). Unknown names fail Open.
+func WithCC(name string) Option {
+	return func(o *openConfig) { o.cc = name }
+}
+
 // WithPmfsReplicas sets the replication factor of the shared-memory tier
 // (default 3): every PMFS mutation is mirrored across K replicas with
 // quorum acknowledgement, and a replica fail-stop is absorbed by epoch-
@@ -195,7 +207,11 @@ func Open(opts Options, extra ...Option) (*Cluster, error) {
 	for _, fn := range extra {
 		fn(&oc)
 	}
+	if oc.cc != "" && !core.ValidCC(oc.cc) {
+		return nil, fmt.Errorf("polardbmp: unknown concurrency-control engine %q (want %q or %q)", oc.cc, core.CC2PL, core.CCOCC)
+	}
 	cfg := core.Config{
+		CC:              oc.cc,
 		LBPFrames:       opts.LocalBufferPages,
 		DBPFrames:       opts.SharedBufferPages,
 		LockWaitTimeout: opts.LockWaitTimeout,
