@@ -6,8 +6,8 @@ RACE_PKGS = ./internal/core ./internal/lockfusion ./internal/bufferfusion \
             ./internal/netsrv ./internal/storage ./internal/pmfsrep
 
 .PHONY: all build test test-full race vet smoke brownout-smoke proto-smoke \
-        pmfs-smoke cc-smoke wire-fuzz check bench-snapshot ab-compare \
-        alloc-budget trace-smoke
+        pmfs-smoke cc-smoke elastic-smoke wire-fuzz check bench-snapshot \
+        ab-compare alloc-budget trace-smoke
 
 all: check
 
@@ -60,6 +60,16 @@ pmfs-smoke:
 proto-smoke:
 	./scripts/proto_smoke.sh
 
+# Elasticity smoke. In-process first: graceful drain/rejoin cycles under load
+# and light fabric noise must abort zero transactions for membership reasons,
+# trigger zero takeovers, and keep topology epochs monotone. Then
+# multi-process: drain a satellite through the wire admin surface (mpshell
+# \drain) and assert every admin view agrees and the gateway migrates its
+# routing off the drained backend (non-zero exit on violation).
+elastic-smoke:
+	$(GO) run ./cmd/mpchaos -plan elastic -seed 7 -ops 600
+	./scripts/elastic_smoke.sh
+
 # Fuzz the wire frame codec (round-trip + truncated/oversized rejection) and
 # the pmfs replication record codec (same contract: errors consume nothing,
 # decoded records re-encode byte-identically).
@@ -76,7 +86,7 @@ cc-smoke:
 	$(GO) run ./cmd/mpchaos -plan brownout -seed 7 -ops 60 -cc occ
 	$(GO) run ./cmd/mpchaos -plan pmfsfailover -seed 7 -ops 400 -cc occ
 
-check: build vet test race smoke brownout-smoke pmfs-smoke cc-smoke proto-smoke
+check: build vet test race smoke brownout-smoke pmfs-smoke cc-smoke proto-smoke elastic-smoke
 
 # Disabled-tracer alloc budget: the commit hot path's tracer hooks must stay
 # at 0 allocs/op when tracing is off (asserted by TestNilTracerZeroAllocs;

@@ -1,0 +1,226 @@
+package main
+
+// The elastic sub-harness: topology churn under load. An orchestrator
+// gracefully drains one node and rejoins it, several times, while workers on
+// every node keep committing. The headline invariant is the drain contract —
+// zero transactions aborted for membership reasons: in-flight work admitted
+// before a drain commits normally, work arriving after sees ErrDraining at
+// Begin and reroutes to another primary. ErrStaleEpoch / ErrFenced /
+// ErrNodeDown anywhere in a transaction means the drain behaved like a crash,
+// and fails the run.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"polardbmp/internal/common"
+	"polardbmp/internal/core"
+)
+
+const (
+	elasticCycles    = 3
+	elasticMaxTries  = 10
+	elasticDrainGap  = 30 * time.Millisecond // load runs before each drain
+	elasticRejoinGap = 20 * time.Millisecond // slot sits drained before reuse
+)
+
+type elasticMetrics struct {
+	mu               sync.Mutex
+	rerouted         int // Begins refused with ErrDraining and retried elsewhere
+	membershipAborts []error
+	drains           int
+	rejoins          int
+	epochs           []uint64 // topology epochs sampled around each transition
+	orchErrs         []error
+}
+
+// membershipAbort reports an error that means a transaction was killed by a
+// topology transition — exactly what a graceful drain must never cause.
+func membershipAbort(err error) bool {
+	return errors.Is(err, common.ErrStaleEpoch) ||
+		errors.Is(err, common.ErrFenced) ||
+		errors.Is(err, common.ErrNodeDown) ||
+		errors.Is(err, common.ErrClosed)
+}
+
+// runElastic drives the workload while the orchestrator cycles the last node
+// out and back in. Workers prefer their own node and fall over round-robin
+// when a Begin is refused with ErrDraining.
+func runElastic(c *core.Cluster, sp common.SpaceID, nodes, ops int) (*result, *elasticMetrics) {
+	res := &result{committed: make(map[string]string)}
+	em := &elasticMetrics{}
+	victim := nodes
+
+	sampleEpoch := func() {
+		if t, err := c.Topology(); err == nil {
+			em.mu.Lock()
+			em.epochs = append(em.epochs, t.Epoch)
+			em.mu.Unlock()
+		}
+	}
+
+	orchDone := make(chan struct{})
+	go func() {
+		defer close(orchDone)
+		for cy := 0; cy < elasticCycles; cy++ {
+			time.Sleep(elasticDrainGap)
+			sampleEpoch()
+			if err := c.DrainNode(common.NodeID(victim)); err != nil {
+				em.mu.Lock()
+				em.orchErrs = append(em.orchErrs, fmt.Errorf("cycle %d drain: %w", cy, err))
+				em.mu.Unlock()
+				return
+			}
+			em.mu.Lock()
+			em.drains++
+			em.mu.Unlock()
+			sampleEpoch()
+			time.Sleep(elasticRejoinGap)
+			if _, err := c.AddNode(); err != nil {
+				em.mu.Lock()
+				em.orchErrs = append(em.orchErrs, fmt.Errorf("cycle %d rejoin: %w", cy, err))
+				em.mu.Unlock()
+				return
+			}
+			em.mu.Lock()
+			em.rejoins++
+			em.mu.Unlock()
+			sampleEpoch()
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for ni := 1; ni <= nodes; ni++ {
+		ni := ni
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			target := ni
+			for i := 0; i < ops; i++ {
+				key := fmt.Sprintf("n%d-k%05d", ni, i)
+				rollback := i%3 == 2
+				for try := 0; try < elasticMaxTries; try++ {
+					// Re-resolve every attempt: the drained node vanishes from
+					// the cluster map and its rejoined successor reuses the id.
+					n := c.Node(target)
+					if n == nil || !n.Live() {
+						em.mu.Lock()
+						em.rerouted++
+						em.mu.Unlock()
+						target = target%nodes + 1
+						continue
+					}
+					tx, err := n.Begin()
+					if err != nil {
+						if errors.Is(err, common.ErrDraining) {
+							// The admission refusal IS the protocol: route the
+							// transaction to another primary, abort nothing.
+							em.mu.Lock()
+							em.rerouted++
+							em.mu.Unlock()
+							target = target%nodes + 1
+							continue
+						}
+						classifyElastic(res, em, err)
+						continue
+					}
+					err = func() error {
+						if rollback {
+							if err := tx.Insert(sp, []byte("rb-"+key), []byte("junk")); err != nil {
+								_ = tx.Rollback()
+								return err
+							}
+							return tx.Rollback()
+						}
+						if err := tx.Upsert(sp, []byte(key), []byte(fmt.Sprintf("v%d-%d", ni, i))); err != nil {
+							_ = tx.Rollback()
+							return err
+						}
+						return tx.Commit()
+					}()
+					if err != nil {
+						classifyElastic(res, em, err)
+						if common.IsRetryable(err) {
+							continue
+						}
+						break
+					}
+					res.mu.Lock()
+					if rollback {
+						res.rolledBack = append(res.rolledBack, "rb-"+key)
+					} else {
+						res.committed[key] = fmt.Sprintf("v%d-%d", ni, i)
+						res.csns = append(res.csns, tx.Info().CTS)
+					}
+					res.mu.Unlock()
+					break
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	<-orchDone
+	return res, em
+}
+
+// classifyElastic sorts a transaction error into the elastic buckets:
+// membership aborts are the invariant violation under test, retryable
+// conflicts are workload noise, anything else leaks to verify's invariant 0.
+func classifyElastic(res *result, em *elasticMetrics, err error) {
+	if membershipAbort(err) {
+		em.mu.Lock()
+		em.membershipAborts = append(em.membershipAborts, err)
+		em.mu.Unlock()
+		return
+	}
+	res.mu.Lock()
+	defer res.mu.Unlock()
+	if common.IsRetryable(err) {
+		res.retryable++
+		return
+	}
+	res.leaked = append(res.leaked, err)
+}
+
+// verifyElastic gates on the elasticity invariants: every drain and rejoin
+// completed, zero membership aborts, zero takeovers (a graceful exit needs no
+// recovery), and monotone topology epochs.
+func verifyElastic(c *core.Cluster, em *elasticMetrics, epoch0 uint64) bool {
+	ok := true
+	fail := func(format string, args ...any) {
+		ok = false
+		fmt.Printf("  INVARIANT VIOLATED: "+format+"\n", args...)
+	}
+
+	st := c.Stats()
+	fmt.Printf("elastic: %d drain/rejoin cycles, %d rerouted begins, epoch %d -> %d\n",
+		em.drains, em.rerouted, epoch0, st.Membership.Epoch)
+
+	for _, err := range em.orchErrs {
+		fail("orchestration failed: %v", err)
+	}
+	if em.drains < elasticCycles || em.rejoins < elasticCycles {
+		fail("only %d/%d drains and %d/%d rejoins completed",
+			em.drains, elasticCycles, em.rejoins, elasticCycles)
+	}
+	if n := len(em.membershipAborts); n > 0 {
+		fail("%d transactions aborted for membership reasons during graceful drains; first: %v",
+			n, em.membershipAborts[0])
+	}
+	if st.Membership.Takeovers != 0 {
+		fail("graceful drains triggered %d takeovers, want 0 (nothing to recover)", st.Membership.Takeovers)
+	}
+	for i := 1; i < len(em.epochs); i++ {
+		if em.epochs[i] < em.epochs[i-1] {
+			fail("topology epoch regressed: %d after %d", em.epochs[i], em.epochs[i-1])
+			break
+		}
+	}
+	if st.Membership.Epoch <= epoch0 {
+		fail("cluster epoch %d never advanced past %d despite %d topology changes",
+			st.Membership.Epoch, epoch0, em.drains+em.rejoins)
+	}
+	return ok
+}

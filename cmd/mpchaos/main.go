@@ -31,7 +31,7 @@ import (
 )
 
 func main() {
-	planName := flag.String("plan", "smoke", "fault plan: smoke, drop, lossy, slownode, stalledstorage, partition, crashnode, brownout, pmfsfailover, none")
+	planName := flag.String("plan", "smoke", "fault plan: smoke, drop, lossy, slownode, stalledstorage, partition, crashnode, brownout, pmfsfailover, elastic, none")
 	seed := flag.Int64("seed", 1, "chaos seed (same seed + plan => same fault timeline)")
 	nodes := flag.Int("nodes", 3, "primary nodes")
 	ops := flag.Int("ops", 150, "transactions per node")
@@ -122,12 +122,18 @@ func main() {
 	// workload IS an invariant violation, so report it instead of hanging.
 	resCh := make(chan *result, 1)
 	var bres *brownoutMetrics
+	var eres *elasticMetrics
 	go func() {
-		if *planName == "brownout" {
+		switch *planName {
+		case "brownout":
 			r, b := runBrownout(c, sp, *nodes, *ops)
 			bres = b // written before the send, read after the receive
 			resCh <- r
-		} else {
+		case "elastic":
+			r, e := runElastic(c, sp, *nodes, *ops)
+			eres = e
+			resCh <- r
+		default:
 			resCh <- runWorkload(c, sp, *nodes, *ops)
 		}
 	}()
@@ -162,6 +168,9 @@ func main() {
 
 	ok := verify(c, sp, *nodes, res, plan, epoch0, pmfsEpoch0)
 	if bres != nil && !verifyBrownout(c, bres) {
+		ok = false
+	}
+	if eres != nil && !verifyElastic(c, eres, epoch0) {
 		ok = false
 	}
 	if !ok {
@@ -204,6 +213,11 @@ func resolvePlan(name string, nodes, ops int) (chaos.Plan, error) {
 		// 5% of one-sided DBP frame reads stall 10ms (the hedgeable tail).
 		return chaos.BrownoutPlan(common.NodeID(nodes),
 			10*time.Millisecond, 2*time.Millisecond, 10*time.Millisecond), nil
+	case "elastic":
+		if nodes < 2 {
+			return chaos.Plan{}, fmt.Errorf("mpchaos: elastic needs at least 2 nodes (use -nodes)")
+		}
+		return chaos.ElasticPlan(), nil
 	}
 	return chaos.PresetPlan(name)
 }

@@ -44,20 +44,56 @@ func TestPickRespectsFailureTiers(t *testing.T) {
 	dead := &backend{addr: "dead"}
 	gw := &gateway{backends: []*backend{dead, flaky, clean}}
 
-	if got := gw.pick(); got != clean {
+	if got := gw.pick(nil); got != clean {
 		t.Fatalf("pick = %s, want clean", got.addr)
 	}
 	// Load the clean backend far past the flaky tier penalty: tiers still
 	// dominate session counts.
 	clean.active = 1 << 18
-	if got := gw.pick(); got != flaky {
+	if got := gw.pick(nil); got != flaky {
 		t.Fatalf("pick with clean overloaded = %s, want flaky (tier beats load)", got.addr)
 	}
 	// Decay the flaky backend below the threshold: it is a normal candidate
 	// again and wins on sessions.
 	flaky.failEWMA = failEWMAShun / 2
 	clean.active = 1
-	if got := gw.pick(); got != flaky {
+	if got := gw.pick(nil); got != flaky {
 		t.Fatalf("pick after decay = %s, want flaky (fewest sessions)", got.addr)
+	}
+}
+
+// Topology-aware routing: a draining backend ranks below any active one but
+// above a dead one, and a drained backend is never picked at all — not even
+// when it is the only one left.
+func TestPickTopologyTiers(t *testing.T) {
+	active := &backend{addr: "active", healthy: true, node: 1, state: "active"}
+	draining := &backend{addr: "draining", healthy: true, node: 2, state: "draining"}
+	drained := &backend{addr: "drained", healthy: true, node: 3, state: "drained"}
+	gw := &gateway{backends: []*backend{drained, draining, active}}
+
+	if got := gw.pick(nil); got != active {
+		t.Fatalf("pick = %s, want active", got.addr)
+	}
+	// The draining tier dominates load: even a massively loaded active
+	// backend beats a draining one...
+	active.active = 1 << 18
+	if got := gw.pick(nil); got != active {
+		t.Fatalf("pick with active loaded = %s, want active (draining tier beats load)", got.addr)
+	}
+	// ...until the load exceeds the tier penalty itself.
+	active.active = 1 << 20
+	if got := gw.pick(nil); got != draining {
+		t.Fatalf("pick with active saturated = %s, want draining", got.addr)
+	}
+	// Excluding the current backend (migration target selection) skips it.
+	active.active = 0
+	if got := gw.pick(active); got != draining {
+		t.Fatalf("pick excluding active = %s, want draining", got.addr)
+	}
+	// A drained backend is gone for good: with nothing else routable there is
+	// no backend at all.
+	only := &gateway{backends: []*backend{drained}}
+	if got := only.pick(nil); got != nil {
+		t.Fatalf("pick among drained = %s, want nil", got.addr)
 	}
 }

@@ -1,15 +1,21 @@
 // Command mpgateway load-balances wire session-protocol clients across the
 // primaries of a multi-process PolarDB-MP cluster. Each accepted session is
 // pinned to one backend mpserver — transactions live on a single connection,
-// so the gateway needs no transaction state — picked by health and load:
-// backends that fail their ping probe are skipped, backends whose own
-// membership stats report fail-slow suspicions are deprioritized, and ties
-// break to the fewest live sessions.
+// so the gateway needs almost no transaction state — picked by health, load,
+// and topology: backends that fail their ping probe are skipped, backends
+// whose node is draining are deprioritized (and drained ones excluded), and
+// ties break to the fewest live sessions.
 //
 //	$ mpgateway -listen :7090 -backends host1:7070,host2:7080 -http :7091
 //
 // Frames are relayed (and validated) individually in both directions, so the
-// gateway's /stats endpoint reports real frame/byte/pipeline counters.
+// gateway's /stats endpoint reports real frame/byte/pipeline counters. The
+// relay tracks just enough protocol state — open transactions and in-flight
+// requests per session — to migrate a pinned session to another backend at a
+// transaction boundary when its backend starts draining: the next OpBegin
+// that arrives with nothing open and nothing in flight is preceded by a
+// silent re-handshake against a healthy backend, so long-lived client
+// connections follow the topology instead of dying with their primary.
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"os/signal"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -131,7 +138,22 @@ type backend struct {
 	active   int     // live proxied sessions
 	sessions uint64
 	lastErr  string
+	// node is the backend's node id (from OpJoinInfo; 0 until learned) and
+	// state its topology state ("active", "draining", "drained", ...; empty
+	// against a v1 backend, which predates the admin ops).
+	node  int
+	state string
 }
+
+// routable reports whether new sessions may be pinned to the backend: a
+// drained node is gone for good and never receives another session.
+// Caller holds b.mu.
+func (b *backend) routableLocked() bool { return b.state != "drained" }
+
+// drainingLocked reports a backend whose node is leaving: existing sessions
+// should migrate off it and new ones prefer anywhere else.
+// Caller holds b.mu.
+func (b *backend) drainingLocked() bool { return b.state == "draining" || b.state == "drained" }
 
 // fail records one observed failure (probe or session dial).
 // Caller holds b.mu.
@@ -169,6 +191,7 @@ func (gw *gateway) probeLoop(b *backend, interval time.Duration) {
 			err = cl.Ping()
 		}
 		slow := false
+		state := ""
 		if err == nil && tick%5 == 0 {
 			if raw, serr := cl.StatsJSON(); serr == nil {
 				var doc struct {
@@ -180,6 +203,46 @@ func (gw *gateway) probeLoop(b *backend, interval time.Duration) {
 					slow = len(doc.Membership.SlowPeers) > 0
 				}
 			}
+			// Topology probe (v2 admin ops): which node does this backend
+			// front, and is it draining? A v1 backend answers ErrNoService
+			// and simply never gets a topology state.
+			b.mu.Lock()
+			node := b.node
+			b.mu.Unlock()
+			if node == 0 {
+				if raw, jerr := cl.JoinInfoJSON(); jerr == nil {
+					var ji struct {
+						Node int `json:"node"`
+					}
+					if json.Unmarshal(raw, &ji) == nil {
+						node = ji.Node
+					}
+				}
+			}
+			if node != 0 {
+				if raw, terr := cl.TopologyJSON(); terr == nil {
+					var top struct {
+						Nodes []struct {
+							ID    int    `json:"id"`
+							State string `json:"state"`
+						} `json:"nodes"`
+					}
+					if json.Unmarshal(raw, &top) == nil {
+						state = "drained" // a node absent from the topology is gone
+						for _, n := range top.Nodes {
+							if n.ID == node {
+								state = n.State
+							}
+						}
+					}
+				}
+			}
+			b.mu.Lock()
+			b.node = node
+			if state != "" {
+				b.state = state
+			}
+			b.mu.Unlock()
 		}
 		b.mu.Lock()
 		if err != nil {
@@ -208,24 +271,35 @@ func (gw *gateway) probeLoop(b *backend, interval time.Duration) {
 	}
 }
 
-// pick returns the best backend: healthy and unsuspected first, then
-// healthy-but-flaky (recent failures or fail-slow suspicion), unhealthy
-// last, fewest live sessions within a tier.
-func (gw *gateway) pick() *backend {
+// pick returns the best backend other than exclude: healthy and unsuspected
+// first, then draining, then healthy-but-flaky (recent failures or fail-slow
+// suspicion), unhealthy last, fewest live sessions within a tier. Drained
+// backends are excluded outright — that node left the topology for good and
+// never receives another session.
+func (gw *gateway) pick(exclude *backend) *backend {
 	var best *backend
 	bestScore := 1 << 30
 	for _, b := range gw.backends {
+		if b == exclude {
+			continue
+		}
 		b.mu.Lock()
+		routable := b.routableLocked()
 		score := b.active
 		switch {
 		case !b.healthy:
 			score += 1 << 20
+		case b.drainingLocked():
+			score += 1 << 19
 		case b.failEWMA >= failEWMAShun:
 			score += 1 << 15
 		case b.slow:
 			score += 1 << 10
 		}
 		b.mu.Unlock()
+		if !routable {
+			continue
+		}
 		if score < bestScore {
 			best, bestScore = b, score
 		}
@@ -244,69 +318,234 @@ func (gw *gateway) acceptLoop(lis net.Listener) {
 	}
 }
 
-// serve pins one client session to one backend and relays frames both ways
-// until either side hangs up. The handshake passes through, so the client
-// sees the backend's name and version checks stay end to end.
-func (gw *gateway) serve(client net.Conn) {
-	defer gw.wg.Done()
-	defer client.Close()
-	b := gw.pick()
-	if b == nil {
-		return
+// session is one proxied client connection, pinned to a backend but
+// migratable: the request loop owns the client->upstream direction and the
+// migration decision, the pump goroutine owns upstream->client. The two
+// counters gate migration — a session only moves when nothing is open and
+// nothing is awaited, so the swap never strands a response.
+type session struct {
+	gw     *gateway
+	client net.Conn
+	hello  []byte // client hello payload, replayed at the new backend on migration
+
+	b        *backend
+	upstream net.Conn
+	pumpDone chan struct{}
+
+	openTx    atomic.Int64 // successful Begins minus Commit/Rollback responses
+	inflight  atomic.Int64 // requests forwarded minus responses delivered
+	migrating atomic.Bool  // pump: upstream close is a cutover, not a failure
+}
+
+// decClamped decrements a gate counter, refusing to go negative (a stray
+// response would otherwise wedge the counter below zero and block migration
+// forever; clamping just delays it until the counters realign).
+func decClamped(a *atomic.Int64) {
+	for {
+		v := a.Load()
+		if v <= 0 {
+			return
+		}
+		if a.CompareAndSwap(v, v-1) {
+			return
+		}
 	}
-	upstream, err := net.DialTimeout("tcp", b.addr, 3*time.Second)
+}
+
+// dialBackend dials b and runs the session handshake with the given client
+// hello payload, returning the open conn and the backend's hello-ack frame
+// payload (copied). The ack's status is the backend's verdict; a refused
+// handshake is returned as an error.
+func (gw *gateway) dialBackend(b *backend, hello []byte) (net.Conn, []byte, error) {
+	conn, err := net.DialTimeout("tcp", b.addr, 3*time.Second)
 	if err != nil {
 		b.mu.Lock()
 		b.failLocked(err)
 		b.mu.Unlock()
+		return nil, nil, err
+	}
+	_, err = wire.WriteFrame(conn, nil, wire.Frame{Kind: wire.KindControl, Op: wire.SessHello, Payload: hello})
+	var ack wire.Frame
+	if err == nil {
+		ack, _, err = wire.ReadFrame(conn, nil)
+	}
+	if err == nil && (ack.Kind != wire.KindControl || ack.Op != wire.SessHelloAck) {
+		err = errors.New("mpgateway: backend handshake: unexpected frame")
+	}
+	if err == nil {
+		err = wire.DecodeStatus(wire.NewReader(ack.Payload))
+	}
+	if err != nil {
+		_ = conn.Close()
+		return nil, nil, err
+	}
+	return conn, append([]byte(nil), ack.Payload...), nil
+}
+
+// serve pins one client session to one backend and proxies frames both ways
+// until either side hangs up. The gateway terminates the handshake read so it
+// can replay the client's hello on migration, but relays the backend's ack
+// verbatim — the client still sees the backend's name and the negotiated
+// protocol version end to end.
+func (gw *gateway) serve(client net.Conn) {
+	defer gw.wg.Done()
+	defer client.Close()
+
+	hf, _, err := wire.ReadFrame(client, nil)
+	if err != nil || hf.Kind != wire.KindControl || hf.Op != wire.SessHello {
 		return
 	}
-	defer upstream.Close()
+	gw.nc.FrameIn(hf.WireSize())
+	hello := append([]byte(nil), hf.Payload...)
+
+	b := gw.pick(nil)
+	if b == nil {
+		return
+	}
+	upstream, ack, err := gw.dialBackend(b, hello)
+	if err != nil {
+		return
+	}
 	gw.nc.ConnOpened(true)
 	defer gw.nc.ConnClosed()
+	af := wire.Frame{Kind: wire.KindControl, Op: wire.SessHelloAck, Payload: ack}
+	if _, err := wire.WriteFrame(client, nil, af); err != nil {
+		_ = upstream.Close()
+		return
+	}
+	gw.nc.FrameOut(af.WireSize())
+
 	b.mu.Lock()
 	b.active++
 	b.sessions++
 	b.mu.Unlock()
-	defer func() {
-		b.mu.Lock()
-		b.active--
-		b.mu.Unlock()
-	}()
 
-	done := make(chan struct{}, 2)
-	go func() { gw.relay(upstream, client, true); done <- struct{}{} }()
-	go func() { gw.relay(client, upstream, false); done <- struct{}{} }()
-	<-done
-	// Unblock the other direction, then wait it out.
-	_ = client.Close()
-	_ = upstream.Close()
-	<-done
+	s := &session{gw: gw, client: client, hello: hello, b: b, upstream: upstream, pumpDone: make(chan struct{})}
+	go s.pump(upstream, s.pumpDone)
+	s.requestLoop()
+
+	_ = s.upstream.Close()
+	<-s.pumpDone
+	s.b.mu.Lock()
+	s.b.active--
+	s.b.mu.Unlock()
 }
 
-// relay copies frames from src to dst, validating each and keeping the
-// gateway's frame/byte counters honest. in marks the client->backend
-// direction (requests enter, responses leave).
-func (gw *gateway) relay(dst io.Writer, src io.Reader, in bool) {
+// requestLoop reads client frames and forwards them upstream, counting the
+// in-flight window and, when the pinned backend starts draining, migrating
+// the session at the next transaction boundary: an OpBegin arriving with no
+// transaction open and no response outstanding is preceded by a silent
+// re-handshake against a healthier backend.
+func (s *session) requestLoop() {
 	var rbuf, wbuf []byte
 	for {
-		f, buf, err := wire.ReadFrame(src, rbuf)
+		f, buf, err := wire.ReadFrame(s.client, rbuf)
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !errors.Is(err, io.ErrUnexpectedEOF) {
-				gw.nc.CodecError()
+				s.gw.nc.CodecError()
 			}
 			return
 		}
 		rbuf = buf
-		if in {
-			gw.nc.FrameIn(f.WireSize())
+		s.gw.nc.FrameIn(f.WireSize())
+		if f.Kind == wire.KindRequest {
+			if f.Op == wire.OpBegin && s.openTx.Load() == 0 && s.inflight.Load() == 0 {
+				s.b.mu.Lock()
+				leaving := s.b.drainingLocked()
+				s.b.mu.Unlock()
+				if leaving {
+					s.migrate()
+				}
+			}
+			s.inflight.Add(1)
 		}
-		wbuf, err = wire.WriteFrame(dst, wbuf, f)
+		wbuf, err = wire.WriteFrame(s.upstream, wbuf, f)
 		if err != nil {
 			return
 		}
-		if !in {
-			gw.nc.FrameOut(f.WireSize())
+	}
+}
+
+// migrate moves the session to a better backend: dial and handshake first,
+// and only on success stop the old pump, swap the upstream, and restart. Any
+// failure leaves the session where it was — the draining backend keeps
+// serving in-flight work, so staying put is always safe.
+func (s *session) migrate() {
+	nb := s.gw.pick(s.b)
+	if nb == nil {
+		return
+	}
+	nb.mu.Lock()
+	better := nb.healthy && !nb.drainingLocked()
+	nb.mu.Unlock()
+	if !better {
+		return
+	}
+	conn, _, err := s.gw.dialBackend(nb, s.hello)
+	if err != nil {
+		return
+	}
+	// Cut over. inflight == 0 means the old upstream owes nothing; closing it
+	// stops the pump, whose exit confirms nobody is writing to the client.
+	s.migrating.Store(true)
+	_ = s.upstream.Close()
+	<-s.pumpDone
+	s.migrating.Store(false)
+	s.gw.nc.ConnClosed()
+	s.gw.nc.ConnOpened(true)
+
+	s.b.mu.Lock()
+	s.b.active--
+	s.b.mu.Unlock()
+	nb.mu.Lock()
+	nb.active++
+	nb.sessions++
+	nb.mu.Unlock()
+
+	s.b, s.upstream = nb, conn
+	s.pumpDone = make(chan struct{})
+	go s.pump(conn, s.pumpDone)
+}
+
+// pump relays upstream responses to the client, maintaining the migration
+// gate: a delivered response closes one inflight slot, a successful OpBegin
+// opens a transaction, and a Commit/Rollback response closes one whatever its
+// status (the server forgets the transaction either way). Responses echo the
+// request's op, so no request/response correlation state is needed.
+func (s *session) pump(upstream net.Conn, done chan struct{}) {
+	defer close(done)
+	var rbuf, wbuf []byte
+	for {
+		f, buf, err := wire.ReadFrame(upstream, rbuf)
+		if err != nil {
+			if s.migrating.Load() {
+				return // cutover: requestLoop owns the client now
+			}
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				s.gw.nc.CodecError()
+			}
+			_ = s.client.Close() // upstream died for real: end the session
+			return
+		}
+		rbuf = buf
+		if f.Kind == wire.KindResponse {
+			switch f.Op {
+			case wire.OpBegin:
+				if wire.DecodeStatus(wire.NewReader(f.Payload)) == nil {
+					s.openTx.Add(1)
+				}
+			case wire.OpCommit, wire.OpRollback:
+				decClamped(&s.openTx)
+			}
+		}
+		wbuf, err = wire.WriteFrame(s.client, wbuf, f)
+		if err != nil {
+			_ = upstream.Close()
+			return
+		}
+		s.gw.nc.FrameOut(f.WireSize())
+		if f.Kind == wire.KindResponse {
+			decClamped(&s.inflight)
 		}
 	}
 }
@@ -317,6 +556,8 @@ func (gw *gateway) stats() any {
 	type backendStats struct {
 		Addr     string  `json:"addr"`
 		Healthy  bool    `json:"healthy"`
+		Node     int     `json:"node,omitempty"`
+		State    string  `json:"state,omitempty"`
 		Slow     bool    `json:"slow,omitempty"`
 		FailEWMA float64 `json:"fail_ewma,omitempty"`
 		Active   int     `json:"active_sessions"`
@@ -331,7 +572,8 @@ func (gw *gateway) stats() any {
 	for _, b := range gw.backends {
 		b.mu.Lock()
 		doc.Backends = append(doc.Backends, backendStats{
-			Addr: b.addr, Healthy: b.healthy, Slow: b.slow, FailEWMA: b.failEWMA,
+			Addr: b.addr, Healthy: b.healthy, Node: b.node, State: b.state,
+			Slow: b.slow, FailEWMA: b.failEWMA,
 			Active: b.active, Sessions: b.sessions, LastErr: b.lastErr,
 		})
 		b.mu.Unlock()

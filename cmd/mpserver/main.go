@@ -24,6 +24,7 @@ import (
 	"syscall"
 
 	"polardbmp"
+	"polardbmp/internal/common"
 	"polardbmp/internal/core"
 	"polardbmp/internal/netsrv"
 	"polardbmp/internal/rdma"
@@ -120,7 +121,15 @@ func run(listen, fabricAddr, join, data, httpAddr, name string, cfg core.Config)
 	if err != nil {
 		return err
 	}
-	srv := wire.ServeSessions(lis, name, netsrv.New(c, n), nc)
+	be := netsrv.New(c, n)
+	// Join info: what a new `mpserver -join` needs. A seed advertises its
+	// own fabric listener; a satellite relays the address it joined through.
+	ji := netsrv.JoinInfo{Cluster: name, FabricAddr: fabricAddr}
+	if join != "" {
+		ji.FabricAddr = join
+	}
+	be.SetJoinInfo(ji)
+	srv := wire.ServeSessions(lis, name, be, nc)
 	defer srv.Close()
 	fmt.Printf("mpserver %s: node %d serving sessions on %s\n", polardbmp.Version, n.ID(), srv.Addr())
 
@@ -129,6 +138,35 @@ func run(listen, fabricAddr, join, data, httpAddr, name string, cfg core.Config)
 		mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "application/json")
 			_ = json.NewEncoder(w).Encode(c.Stats())
+		})
+		mux.HandleFunc("/topology", func(w http.ResponseWriter, r *http.Request) {
+			b, err := c.TopologyJSON()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadGateway)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write(b)
+		})
+		// POST /drain?node=N gracefully drains a node hosted here; with no
+		// node parameter it drains this daemon's own node.
+		mux.HandleFunc("/drain", func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodPost {
+				http.Error(w, "POST only", http.StatusMethodNotAllowed)
+				return
+			}
+			id := int(n.ID())
+			if q := r.URL.Query().Get("node"); q != "" {
+				if _, err := fmt.Sscanf(q, "%d", &id); err != nil {
+					http.Error(w, "bad node parameter", http.StatusBadRequest)
+					return
+				}
+			}
+			if err := c.DrainNode(common.NodeID(id)); err != nil {
+				http.Error(w, err.Error(), http.StatusConflict)
+				return
+			}
+			fmt.Fprintf(w, "node %d drained\n", id)
 		})
 		mux.HandleFunc("/version", func(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintf(w, "mpserver %s\n", polardbmp.Version)

@@ -16,9 +16,11 @@ import (
 
 // runRemote is the -connect shell: the same data commands as the in-process
 // shell, executed over the wire session protocol against a live mpserver or
-// mpgateway. Cluster orchestration (crash/restart/addnode/checkpoint) is a
-// deliberate non-feature here — those are the server operator's controls,
-// not a network client's.
+// mpgateway, plus the v2 admin surface — topology to see the cluster and
+// drain to take a node out gracefully. Crash orchestration
+// (crash/restart/checkpoint) stays a deliberate non-feature here: injecting
+// failures is the server operator's control, not a network client's; elastic
+// topology changes are exactly what the admin ops exist for.
 func runRemote(addr string) int {
 	cl, err := wire.DialSession(addr, wire.SessionConfig{Name: "mpshell"})
 	if err != nil {
@@ -56,9 +58,12 @@ type remoteShell struct {
 func (s *remoteShell) exec(line string) error {
 	fields := strings.Fields(line)
 	cmd, args := fields[0], fields[1:]
+	// Accept the \command spelling for the admin ops (`\topology`, `\drain 2`)
+	// alongside the bare words the rest of the shell uses.
+	cmd = strings.TrimPrefix(cmd, `\`)
 	switch cmd {
 	case "help":
-		fmt.Print(`commands (remote session):
+		fmt.Printf(`commands (remote session):
   use <table>              create/open a table (required before data ops)
   put <key> <value>        upsert a row
   get <key>                read a row
@@ -67,8 +72,12 @@ func (s *remoteShell) exec(line string) error {
   ping                     round-trip a no-op request
   stats                    server ClusterStats snapshot (summary)
   stats json               full snapshot as JSON
+  topology                 cluster membership snapshot (also: \topology)
+  topology json            raw topology JSON
+  drain <node>             gracefully drain a node (also: \drain <node>)
   exit
-`)
+admin commands need a v2 server (this session: v%d)
+`, s.cl.ProtoVersion())
 		return nil
 	case "use":
 		if len(args) != 1 {
@@ -142,6 +151,55 @@ func (s *remoteShell) exec(line string) error {
 				time.Duration(sg.P99).Round(time.Nanosecond),
 				sg.Ops.RPCs)
 		}
+		return nil
+	case "topology":
+		raw, err := s.cl.TopologyJSON()
+		if err != nil {
+			return err
+		}
+		if len(args) == 1 && args[0] == "json" {
+			var pretty bytes.Buffer
+			if err := json.Indent(&pretty, raw, "", "  "); err != nil {
+				return err
+			}
+			fmt.Println(pretty.String())
+			return nil
+		}
+		var top struct {
+			Epoch uint64 `json:"epoch"`
+			Nodes []struct {
+				ID          int    `json:"id"`
+				State       string `json:"state"`
+				Incarnation uint64 `json:"incarnation"`
+				Sessions    int64  `json:"sessions"`
+				Hosted      bool   `json:"hosted"`
+			} `json:"nodes"`
+		}
+		if err := json.Unmarshal(raw, &top); err != nil {
+			return err
+		}
+		fmt.Printf("epoch %d, %d nodes\n", top.Epoch, len(top.Nodes))
+		fmt.Printf("%-6s %-10s %12s %10s %s\n", "node", "state", "incarnation", "sessions", "")
+		for _, n := range top.Nodes {
+			hosted := ""
+			if n.Hosted {
+				hosted = "hosted here"
+			}
+			fmt.Printf("%-6d %-10s %12d %10d %s\n", n.ID, n.State, n.Incarnation, n.Sessions, hosted)
+		}
+		return nil
+	case "drain":
+		if len(args) != 1 {
+			return errors.New("usage: drain <node>")
+		}
+		n, err := strconv.Atoi(args[0])
+		if err != nil || n <= 0 || n > 1<<16-1 {
+			return fmt.Errorf("bad node id %q", args[0])
+		}
+		if err := s.cl.Drain(uint16(n)); err != nil {
+			return err
+		}
+		fmt.Printf("node %d drained\n", n)
 		return nil
 	case "put", "get", "del", "scan":
 		return s.dataOp(cmd, args)

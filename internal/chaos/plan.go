@@ -335,6 +335,25 @@ func PmfsFailoverPlan(atOp uint64) Plan {
 	}
 }
 
+// ElasticPlan is light fabric noise for topology-churn runs: while an
+// orchestrator joins and drains nodes under load, a trickle of dropped verbs
+// and latency jitter keeps the retry paths honest. The faults are deliberately
+// mild — the thing under test is the elasticity invariant (zero transactions
+// aborted for membership reasons during a graceful drain), and heavy loss
+// would drown it in ordinary retry noise.
+func ElasticPlan() Plan {
+	return Plan{
+		Name: "elastic",
+		Rules: []Rule{
+			{Name: "drop-verbs", Layer: common.FaultLayerRDMA, Prob: 0.01,
+				Classes: []string{common.FaultRead, common.FaultWrite, common.FaultRPC},
+				Action:  Action{Kind: ActDrop}},
+			{Name: "jitter", Layer: common.FaultLayerRDMA, Prob: 0.05,
+				Action: Action{Kind: ActDelay, Delay: 200 * time.Microsecond}},
+		},
+	}
+}
+
 // PartitionPlan splits the fabric into two reachability groups for the op
 // window [fromOp, toOp], healing afterwards.
 func PartitionPlan(a, b []common.NodeID, fromOp, toOp uint64) Plan {
@@ -361,6 +380,8 @@ func PresetPlan(name string) (Plan, error) {
 		return StalledStoragePlan(300*time.Microsecond, 0.02), nil
 	case "brownout":
 		return BrownoutPlan(1, 10*time.Millisecond, 2*time.Millisecond, 10*time.Millisecond), nil
+	case "elastic":
+		return ElasticPlan(), nil
 	case "none":
 		return Plan{Name: "none"}, nil
 	default:

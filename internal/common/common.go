@@ -143,6 +143,19 @@ var (
 	// backoff, unlike crash fences and deadlocks which must fail fast.
 	ErrInjected    = errors.New("polardbmp: injected transient fault")
 	ErrUnreachable = errors.New("polardbmp: destination unreachable")
+
+	// ErrUnknownNode reports a node id outside the membership table or never
+	// allocated — and, from slot allocation, a table with no free slot left.
+	// Every bounds path across membership/core returns this one sentinel so
+	// callers on either side of a socket can classify it with errors.Is.
+	ErrUnknownNode = errors.New("polardbmp: unknown node id")
+
+	// ErrDraining means the target node is gracefully draining and refuses
+	// new transactions. It is deliberately NOT retryable against the same
+	// node (the drain only moves forward); callers — the gateway, a load
+	// balancer, an application retry loop — should route the transaction to
+	// another primary instead.
+	ErrDraining = errors.New("polardbmp: node is draining")
 )
 
 // IsRetryable reports whether err represents a transient transaction failure

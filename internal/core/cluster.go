@@ -120,6 +120,12 @@ type Config struct {
 	// default (100ms); slow-fabric tests raise it to stop racing takeover.
 	FenceTTL time.Duration
 
+	// DrainTimeout bounds how long DrainNode waits for the victim's
+	// in-flight transactions to finish before giving up with
+	// ErrDeadlineExceeded (the node stays draining; the drain may be
+	// retried). Default 30s.
+	DrainTimeout time.Duration
+
 	// Trace enables the commit-path span tracer on every node (nil = off;
 	// the disabled hooks cost one pointer check and zero allocations).
 	Trace *trace.Config
@@ -161,6 +167,9 @@ func (c *Config) fill() {
 	}
 	if c.PmfsReplicas == 0 {
 		c.PmfsReplicas = 3
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
 	}
 	if c.CC == "" {
 		c.CC = CC2PL
@@ -317,14 +326,29 @@ func (c *Cluster) LockServer() *lockfusion.Server { return c.lockSrv }
 // Members exposes the membership table (harness/inspection).
 func (c *Cluster) Members() *membership.Table { return c.members }
 
-// AddNode brings up a fresh primary node and returns it.
+// AddNode joins a fresh primary node to the live cluster and returns it.
+// This is the online join protocol, identical for the seed and for a
+// satellite growing a second node: a slot is allocated dynamically from the
+// membership table (reusing cleanly-drained slots; ErrUnknownNode when all
+// MaxNodes slots are taken), the node is announced on the fabric before it
+// serves, and it registers with the fusion services under a fresh
+// incarnation epoch. Options.Nodes-style static counts are initial-topology
+// sugar over this same path.
 func (c *Cluster) AddNode() (*Node, error) {
-	c.mu.Lock()
-	id := c.nextNode
-	c.nextNode++
-	c.mu.Unlock()
+	id, err := c.allocNodeID()
+	if err != nil {
+		return nil, err
+	}
+	if c.remote {
+		// Announce before the node serves (see JoinRemote): the seed must be
+		// able to call back into this process once the node can hold locks.
+		if err := c.peer.Announce(id); err != nil {
+			return nil, fmt.Errorf("core: announce node %d: %w", id, err)
+		}
+	}
 	n, err := c.newNode(id, false)
 	if err != nil {
+		c.freeNodeID(id)
 		return nil, err
 	}
 	c.mu.Lock()
@@ -332,6 +356,34 @@ func (c *Cluster) AddNode() (*Node, error) {
 	c.mu.Unlock()
 	c.refreshPmfsTracers()
 	return n, nil
+}
+
+// allocNodeID reserves a cluster-unique node id: from the membership table
+// on the seed (lowest free or cleanly-drained slot), via the seed's admin
+// service from a satellite. nextNode tracks the local high watermark so
+// id-order iteration keeps working when low slots are reused.
+func (c *Cluster) allocNodeID() (common.NodeID, error) {
+	if c.members == nil {
+		return c.allocNodeRemote()
+	}
+	id, err := c.members.Alloc()
+	if err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	if id >= c.nextNode {
+		c.nextNode = id + 1
+	}
+	c.mu.Unlock()
+	return id, nil
+}
+
+// freeNodeID returns a reserved-but-never-joined slot to the table (best
+// effort; a satellite's failed reservation ages out as Joining).
+func (c *Cluster) freeNodeID(id common.NodeID) {
+	if c.members != nil {
+		_ = c.members.Free(id)
+	}
 }
 
 // refreshPmfsTracers rebuilds the replication observer's node→tracer map (a
@@ -370,8 +422,15 @@ func (c *Cluster) Nodes() []*Node {
 	return out
 }
 
-// ErrUnknownNode reports a node id that was never added to the cluster.
-var ErrUnknownNode = errors.New("core: unknown node id")
+// ErrUnknownNode reports a node id that was never added to the cluster (or,
+// from slot allocation, a full membership table). It aliases the shared
+// sentinel so errors.Is matches across membership, core, and the wire.
+var ErrUnknownNode = common.ErrUnknownNode
+
+// ErrDraining reports a node that is gracefully draining and refuses new
+// transactions; route the work to another primary (alias of the shared
+// sentinel, preserved across the wire).
+var ErrDraining = common.ErrDraining
 
 // ErrNotHosted reports an operation that needs the hosting (seed) process —
 // crash orchestration, checkpointing, recovery — attempted from a satellite.
@@ -387,14 +446,33 @@ func (c *Cluster) recoveredPeer(node common.NodeID) bool {
 	return c.view.Recovered(node)
 }
 
+// knownNode reports whether id was ever allocated in this cluster: its
+// membership slot is occupied, or it falls under the local allocation
+// watermark (the only signal a satellite has). Callers must not hold c.mu.
+func (c *Cluster) knownNode(id common.NodeID) bool {
+	if id < 1 || id > membership.MaxNodes {
+		return false
+	}
+	c.mu.Lock()
+	underHW := id < c.nextNode
+	c.mu.Unlock()
+	if underHW {
+		return true
+	}
+	if c.members != nil {
+		return c.members.State(id) != membership.StateFree
+	}
+	return false
+}
+
 // takeNode validates id and removes its live node from the map, returning
 // the node (nil with a nil error means "known but already down").
 func (c *Cluster) takeNode(id common.NodeID) (*Node, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if id < 1 || id >= c.nextNode {
+	if !c.knownNode(id) {
 		return nil, fmt.Errorf("core: node %d: %w", id, ErrUnknownNode)
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	n := c.nodes[id]
 	delete(c.nodes, id)
 	return n, nil
@@ -467,11 +545,10 @@ func (c *Cluster) RestartNode(id common.NodeID) (*Node, error) {
 	if c.remote {
 		return nil, ErrNotHosted
 	}
-	c.mu.Lock()
-	if id < 1 || id >= c.nextNode {
-		c.mu.Unlock()
+	if !c.knownNode(id) {
 		return nil, fmt.Errorf("core: restart node %d: %w", id, ErrUnknownNode)
 	}
+	c.mu.Lock()
 	if c.nodes[id] != nil {
 		c.mu.Unlock()
 		return nil, fmt.Errorf("core: node %d is still live", id)

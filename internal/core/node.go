@@ -54,6 +54,9 @@ type Node struct {
 	trxCtr   atomic.Uint64
 	activeTx atomic.Int64
 	live     atomic.Bool
+	// draining refuses new transactions (Begin returns ErrDraining) while a
+	// graceful drain waits out the in-flight ones; commits keep working.
+	draining atomic.Bool
 	// deferredRollbacks is set while post-crash rollbacks wait on another
 	// crashed node's fence; TIT recycling pauses so the fence semantics
 	// stay sound for new transactions.
@@ -206,7 +209,9 @@ func (c *Cluster) newNode(id common.NodeID, recovering bool) (*Node, error) {
 
 // joinCluster registers the node with the membership table, waiting out a
 // takeover of this id's previous incarnation (Join is refused while the slot
-// is fenced, so a restart cannot overlap the survivor replaying its log).
+// is fenced, so a restart cannot overlap the survivor replaying its log) or
+// a still-completing drain of it (Join is refused mid-drain for the same
+// no-overlap reason).
 func (n *Node) joinCluster() error {
 	deadline := time.Now().Add(10 * time.Second)
 	for {
@@ -214,7 +219,8 @@ func (n *Node) joinCluster() error {
 		if err == nil {
 			return nil
 		}
-		if !errors.Is(err, common.ErrFenced) || time.Now().After(deadline) {
+		if (!errors.Is(err, common.ErrFenced) && !errors.Is(err, common.ErrDraining)) ||
+			time.Now().After(deadline) {
 			return fmt.Errorf("core: node %d join: %w", n.id, err)
 		}
 		time.Sleep(n.c.cfg.LeaseRenewInterval)

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"polardbmp/internal/common"
@@ -17,15 +18,20 @@ import (
 )
 
 // ServiceCluster is the cluster-administration RPC service the seed serves
-// on the PMFS endpoint. It covers the two operations a satellite cannot do
-// locally: allocating a cluster-unique node id and serializing tablespace
-// creation against the seed's space directory lock.
+// on the PMFS endpoint. It covers the operations a satellite cannot do
+// locally: allocating and freeing cluster-unique node slots, serializing
+// tablespace creation against the seed's space directory lock, the
+// server-side half of a graceful drain, and the cluster topology snapshot.
 const ServiceCluster = "pmfs.cluster"
 
-// Cluster admin opcodes (first payload byte).
+// Cluster admin opcodes (first payload byte). Append-only: satellites of
+// mixed builds share the wire.
 const (
-	aopAllocNode   uint8 = 1 // [] -> [id u16]
-	aopCreateSpace uint8 = 2 // [name str] -> [space u32]
+	aopAllocNode    uint8 = 1 // [] -> [id u16]
+	aopCreateSpace  uint8 = 2 // [name str] -> [space u32]
+	aopDrainCleanup uint8 = 3 // [node u16] -> []
+	aopTopology     uint8 = 4 // [] -> [topology json]
+	aopFreeNode     uint8 = 5 // [node u16] -> []
 )
 
 // handleAdmin serves ServiceCluster on the seed. Responses are
@@ -39,10 +45,10 @@ func (c *Cluster) adminOp(req []byte) ([]byte, error) {
 	rd := wire.NewReader(req)
 	switch op := rd.U8(); op {
 	case aopAllocNode:
-		c.mu.Lock()
-		id := c.nextNode
-		c.nextNode++
-		c.mu.Unlock()
+		id, err := c.allocNodeID()
+		if err != nil {
+			return nil, err
+		}
 		return wire.AppendU16(nil, uint16(id)), nil
 	case aopCreateSpace:
 		name := rd.Str()
@@ -54,6 +60,28 @@ func (c *Cluster) adminOp(req []byte) ([]byte, error) {
 			return nil, err
 		}
 		return wire.AppendU32(nil, uint32(space)), nil
+	case aopDrainCleanup:
+		node := rd.U16()
+		if err := rd.Err(); err != nil {
+			return nil, err
+		}
+		if err := membership.CheckNode(common.NodeID(node)); err != nil {
+			return nil, err
+		}
+		c.lockSrv.DropNode(node)
+		c.bufSrv.DropNode(node)
+		return nil, nil
+	case aopTopology:
+		return c.TopologyJSON()
+	case aopFreeNode:
+		node := rd.U16()
+		if err := rd.Err(); err != nil {
+			return nil, err
+		}
+		if err := c.members.Free(common.NodeID(node)); err != nil {
+			return nil, err
+		}
+		return nil, nil
 	default:
 		return nil, fmt.Errorf("core: admin op %d: %w", op, common.ErrNoService)
 	}
@@ -88,6 +116,65 @@ func (c *Cluster) createSpaceRemote(name string) (common.SpaceID, error) {
 	return common.SpaceID(wire.NewReader(out).U32()), nil
 }
 
+// allocNodeRemote reserves a node slot through the seed's admin service and
+// advances the local allocation watermark past it.
+func (c *Cluster) allocNodeRemote() (common.NodeID, error) {
+	out, err := c.adminCall([]byte{aopAllocNode})
+	if err != nil {
+		return 0, fmt.Errorf("core: alloc node at seed: %w", err)
+	}
+	id := common.NodeID(wire.NewReader(out).U16())
+	if id == 0 {
+		return 0, fmt.Errorf("core: alloc node at seed: seed allocated node 0")
+	}
+	c.mu.Lock()
+	if id >= c.nextNode {
+		c.nextNode = id + 1
+	}
+	c.mu.Unlock()
+	return id, nil
+}
+
+// drainCleanupRemote asks the seed to drop a cleanly-drained node from the
+// fusion servers' tracking structures.
+func (c *Cluster) drainCleanupRemote(id common.NodeID) error {
+	req := wire.AppendU16([]byte{aopDrainCleanup}, uint16(id))
+	if _, err := c.adminCall(req); err != nil {
+		return fmt.Errorf("core: drain cleanup at seed: %w", err)
+	}
+	return nil
+}
+
+// freeNodeRemote asks the seed to free a drained/down node's membership slot.
+func (c *Cluster) freeNodeRemote(id common.NodeID) error {
+	req := wire.AppendU16([]byte{aopFreeNode}, uint16(id))
+	if _, err := c.adminCall(req); err != nil {
+		return fmt.Errorf("core: free node %d at seed: %w", id, err)
+	}
+	return nil
+}
+
+// topologyRemote fetches the seed's topology snapshot and overlays the nodes
+// this satellite hosts (the seed cannot see a satellite's session counts).
+func (c *Cluster) topologyRemote() (Topology, error) {
+	out, err := c.adminCall([]byte{aopTopology})
+	if err != nil {
+		return Topology{}, fmt.Errorf("core: topology at seed: %w", err)
+	}
+	var t Topology
+	if err := json.Unmarshal(out, &t); err != nil {
+		return Topology{}, fmt.Errorf("core: topology at seed: %w", err)
+	}
+	// Hosted/Sessions in the seed's answer describe the seed's process;
+	// rewrite them for this one.
+	for i := range t.Nodes {
+		t.Nodes[i].Hosted = false
+		t.Nodes[i].Sessions = 0
+	}
+	c.overlayHosted(&t)
+	return t, nil
+}
+
 // JoinRemote joins an existing cluster's fabric at addr (a seed process's
 // mpserver -fabric listener) and brings up one primary node in this process.
 // The returned Cluster is the satellite's handle: it hosts no PMFS and no
@@ -119,15 +206,10 @@ func JoinRemote(cfg Config, addr string, nc *wire.NetCounters) (*Cluster, *Node,
 		_ = peer.Close()
 		return nil, nil, err
 	}
-	out, err := c.adminCall([]byte{aopAllocNode})
+	id, err := c.allocNodeRemote()
 	if err != nil {
-		return fail(fmt.Errorf("core: join %s: alloc node: %w", addr, err))
+		return fail(fmt.Errorf("core: join %s: %w", addr, err))
 	}
-	id := common.NodeID(wire.NewReader(out).U16())
-	if id == 0 {
-		return fail(fmt.Errorf("core: join %s: seed allocated node 0", addr))
-	}
-	c.nextNode = id + 1
 	rs := storage.NewRemote(c.fabric.From(id))
 	if cfg.FenceTTL > 0 {
 		rs.SetFenceTTL(cfg.FenceTTL)

@@ -227,3 +227,85 @@ func TestJoinRemoteSurvivesSeedSideCommitLoad(t *testing.T) {
 		_ = tx.Commit()
 	}
 }
+
+// TestRemoteElasticity drains a satellite-hosted node through the seed's
+// admin service, checks both processes' topology views agree, and rejoins —
+// reusing the drained slot across the process boundary.
+func TestRemoteElasticity(t *testing.T) {
+	seed, sats := multiProcess(t, Config{RecycleInterval: -1}, 1)
+	sat := sats[0]
+	satID := sat.Nodes()[0].ID()
+
+	space, err := sat.CreateSpace("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	satPut := func(n *Node, key string) {
+		t.Helper()
+		tx, err := n.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Upsert(space, []byte(key), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	satPut(sat.Nodes()[0], "from-sat")
+
+	// Both processes see the same membership rows; Hosted is per-process.
+	satTop, err := sat.Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedTop, err := seed.Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if satTop.Epoch != seedTop.Epoch || len(satTop.Nodes) != len(seedTop.Nodes) {
+		t.Fatalf("topology mismatch: sat %+v vs seed %+v", satTop, seedTop)
+	}
+	for _, ni := range satTop.Nodes {
+		wantHosted := common.NodeID(ni.ID) == satID
+		if ni.Hosted != wantHosted {
+			t.Fatalf("sat view of node %d: hosted=%v, want %v", ni.ID, ni.Hosted, wantHosted)
+		}
+	}
+
+	// A satellite can only drain its own nodes.
+	if err := sat.DrainNode(seed.Nodes()[0].ID()); !errors.Is(err, ErrNotHosted) {
+		t.Fatalf("satellite draining seed node: %v, want ErrNotHosted", err)
+	}
+	// Drain the satellite's node from inside the satellite: membership
+	// transitions, min-view removal, and server-side cleanup all ride RPCs.
+	if err := sat.DrainNode(satID); err != nil {
+		t.Fatalf("satellite drain: %v", err)
+	}
+	seedTop2, err := seed.Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ni := range seedTop2.Nodes {
+		if common.NodeID(ni.ID) == satID && ni.State != NodeDrained {
+			t.Fatalf("seed sees drained node as %s", ni.State)
+		}
+	}
+	if v, err := get(t, seed.Nodes()[0], space, "from-sat"); err != nil || v != "v" {
+		t.Fatalf("seed read after satellite drain: %q, %v", v, err)
+	}
+
+	// Rejoin from the satellite process reuses the drained slot.
+	n2, err := sat.AddNode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2.ID() != satID {
+		t.Fatalf("rejoin allocated node %d, want reused slot %d", n2.ID(), satID)
+	}
+	satPut(n2, "after-rejoin")
+	if v, err := get(t, seed.Nodes()[0], space, "after-rejoin"); err != nil || v != "v" {
+		t.Fatalf("seed read after rejoin: %q, %v", v, err)
+	}
+}

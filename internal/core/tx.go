@@ -88,9 +88,26 @@ func (n *Node) BeginDeadline(iso Isolation, dl common.Deadline) (*Tx, error) {
 	}
 	btok := n.tracer.Start()
 	if !n.live.Load() {
+		// A node that left via graceful drain keeps answering ErrDraining
+		// (route elsewhere), not ErrNodeDown (crashed, recovery pending).
+		if n.draining.Load() {
+			return nil, fmt.Errorf("core: node %d: %w", n.id, common.ErrDraining)
+		}
 		return nil, fmt.Errorf("core: node %d: %w", n.id, common.ErrNodeDown)
 	}
+	// Admission handshake with DrainNode (a Dekker pair over seq-cst
+	// atomics): register in activeTx BEFORE checking the drain flag, while
+	// the drain sets the flag before reading activeTx. Either this Begin
+	// sees the flag and refuses, or the drain's wait loop sees this
+	// transaction and waits it out — a transaction can never slip past a
+	// drain and then abort mid-flight for membership reasons.
+	n.activeTx.Add(1)
+	if n.draining.Load() {
+		n.activeTx.Add(-1)
+		return nil, fmt.Errorf("core: node %d: %w", n.id, common.ErrDraining)
+	}
 	if n.agent.Evicted() {
+		n.activeTx.Add(-1)
 		return nil, fmt.Errorf("core: node %d: %w", n.id, common.ErrStaleEpoch)
 	}
 	g, err := n.tf.Begin(n.nextTrx())
@@ -101,6 +118,7 @@ func (n *Node) BeginDeadline(iso Isolation, dl common.Deadline) (*Tx, error) {
 			g, err = n.tf.Begin(n.nextTrx())
 		}
 		if err != nil {
+			n.activeTx.Add(-1)
 			return nil, err
 		}
 	}
@@ -109,13 +127,13 @@ func (n *Node) BeginDeadline(iso Isolation, dl common.Deadline) (*Tx, error) {
 		csn, err := n.tf.CurrentReadCSN()
 		if err != nil {
 			n.tf.Finish(g)
+			n.activeTx.Add(-1)
 			return nil, err
 		}
 		tx.view = n.tf.OpenView(csn)
 	}
 	tx.tr = n.tracer.StartTx(g, start)
 	tx.tr.Observe(trace.StageBegin, btok)
-	n.activeTx.Add(1)
 	return tx, nil
 }
 

@@ -1032,6 +1032,15 @@ func (c *PLockClient) ReleaseAll() {
 	c.releaseToServerN(idle)
 }
 
+// Retained returns how many locks the client currently holds (the
+// lazy-release cache plus any referenced locks) — the quantity a graceful
+// drain must bring to zero before it fences the incarnation.
+func (c *PLockClient) Retained() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.locks)
+}
+
 // Close fences the client after a node crash: no further acquisitions or
 // server releases are issued.
 func (c *PLockClient) Close() { c.closed.Store(true) }

@@ -233,7 +233,10 @@ func (a *Agent) CheckValid() error {
 }
 
 // verifySlot reads the node's own slot and reports whether it still names
-// this incarnation as live. A mismatch latches the evicted flag.
+// this incarnation as live or draining. A draining incarnation still holds
+// its lease — in-flight transactions must keep committing while the drain
+// runs — so only a fence (eviction or drain completion) latches the evicted
+// flag.
 func (a *Agent) verifySlot() (bool, error) {
 	var slot [slotSize]byte
 	if err := a.conn.Read(a.pmfs, Region, SlotOff(a.node), slot[:]); err != nil {
@@ -241,12 +244,41 @@ func (a *Agent) verifySlot() (bool, error) {
 	}
 	inc := binary.LittleEndian.Uint64(slot[offEpoch:])
 	state := binary.LittleEndian.Uint64(slot[offState:])
-	if state != StateLive || inc != a.epoch.Load() {
+	if (state != StateLive && state != StateDraining) || inc != a.epoch.Load() {
 		a.evicted.Store(true)
 		return false, nil
 	}
 	a.lastOK.Store(time.Now().UnixNano())
 	return true, nil
+}
+
+// StartDrain moves this node's slot to Draining through the membership
+// service (serialized with joins and evictions; bumps the cluster epoch).
+// Peers observe the transition on their next detector scan and stop
+// tracking the node for eviction; the lease itself stays valid.
+func (a *Agent) StartDrain() error {
+	return a.drainOp(opDrain)
+}
+
+// FinishDrain fences this incarnation cleanly: slot to Drained, reusable by
+// a future Alloc. Call only after the node's last transaction finished and
+// its state is flushed; the Gate refuses the incarnation from here on.
+func (a *Agent) FinishDrain() error {
+	return a.drainOp(opDrained)
+}
+
+func (a *Agent) drainOp(op byte) error {
+	req := make([]byte, 3)
+	req[0] = op
+	binary.LittleEndian.PutUint16(req[1:3], uint16(a.node))
+	err := common.Retry(a.retry, func() error {
+		_, err := a.conn.Call(a.pmfs, Service, req)
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("membership: node %d drain op %d: %w", a.node, op, err)
+	}
+	return nil
 }
 
 // renewLoop keeps the lease alive: verify the slot still names this

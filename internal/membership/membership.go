@@ -61,12 +61,16 @@ func SlotOff(node common.NodeID) int { return hdrSize + (int(node)-1)*slotSize }
 // Agent renews with one-sided writes).
 func HBOff(node common.NodeID) int { return SlotOff(node) + offHB }
 
-// Node lifecycle states stored in a slot's state word.
+// Node lifecycle states stored in a slot's state word. Values are part of
+// the region layout: append only, never renumber.
 const (
-	StateFree   uint64 = iota // slot never used (or cluster reset)
-	StateLive                 // holding a lease
-	StateFenced               // evicted; takeover in progress
-	StateDown                 // takeover complete; may rejoin
+	StateFree     uint64 = iota // slot never used (or released)
+	StateLive                   // holding a lease
+	StateFenced                 // evicted; takeover in progress
+	StateDown                   // takeover complete; may rejoin
+	StateDraining               // graceful drain in progress; lease still valid
+	StateDrained                // drain complete; slot reusable
+	StateJoining                // slot reserved by Alloc; Join pending
 )
 
 // StateName returns a state word's human-readable name.
@@ -80,14 +84,40 @@ func StateName(s uint64) string {
 		return "fenced"
 	case StateDown:
 		return "down"
+	case StateDraining:
+		return "draining"
+	case StateDrained:
+		return "drained"
+	case StateJoining:
+		return "joining"
 	}
 	return "?"
 }
 
+// ErrUnknownNode is the typed bounds error: the node id is outside 1..MaxNodes,
+// or (from Alloc) the table has no reusable slot left. It aliases the shared
+// sentinel so errors.Is matches across packages and across the wire.
+var ErrUnknownNode = common.ErrUnknownNode
+
+// CheckNode is the one bounds rule for the table: node ids run 1..MaxNodes.
+// Every Table and RemoteView path funnels through it so out-of-range ids are
+// answered uniformly with the typed ErrUnknownNode (historically one path
+// built an ad-hoc error and the boolean paths failed silently).
+func CheckNode(node common.NodeID) error {
+	if node < 1 || node > MaxNodes {
+		return fmt.Errorf("membership: node %d: %w", node, ErrUnknownNode)
+	}
+	return nil
+}
+
 // Membership service ops.
 const (
-	opJoin  = 1 // [op u8][node u16] -> [epoch u64][hb u64]
-	opEvict = 2 // [op u8][reporter u16][suspect u16][observedHB u64][fromEpoch u64] -> [won u8][epoch u64]
+	opJoin    = 1 // [op u8][node u16] -> [epoch u64][hb u64]
+	opEvict   = 2 // [op u8][reporter u16][suspect u16][observedHB u64][fromEpoch u64] -> [won u8][epoch u64]
+	opDrain   = 3 // [op u8][node u16] -> [epoch u64]
+	opDrained = 4 // [op u8][node u16] -> [epoch u64]
+	opAlloc   = 5 // [op u8] -> [node u16]
+	opFree    = 6 // [op u8][node u16] -> []
 )
 
 // Table is the PMFS-side membership state. The fabric region is the
@@ -149,6 +179,37 @@ func (t *Table) handle(req []byte) ([]byte, error) {
 		}
 		binary.LittleEndian.PutUint64(resp[1:9], uint64(epoch))
 		return resp, nil
+	case opDrain, opDrained:
+		if len(req) < 3 {
+			return nil, common.ErrShortBuffer
+		}
+		node := common.NodeID(binary.LittleEndian.Uint16(req[1:3]))
+		var epoch common.Epoch
+		var err error
+		if req[0] == opDrain {
+			epoch, err = t.Drain(node)
+		} else {
+			epoch, err = t.Drained(node)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return binary.LittleEndian.AppendUint64(nil, uint64(epoch)), nil
+	case opAlloc:
+		node, err := t.Alloc()
+		if err != nil {
+			return nil, err
+		}
+		return binary.LittleEndian.AppendUint16(nil, uint16(node)), nil
+	case opFree:
+		if len(req) < 3 {
+			return nil, common.ErrShortBuffer
+		}
+		node := common.NodeID(binary.LittleEndian.Uint16(req[1:3]))
+		if err := t.Free(node); err != nil {
+			return nil, err
+		}
+		return nil, nil
 	}
 	return nil, fmt.Errorf("membership: op %d: %w", req[0], common.ErrNoService)
 }
@@ -156,15 +217,19 @@ func (t *Table) handle(req []byte) ([]byte, error) {
 // Join admits node (fresh or restarting) under a new incarnation epoch and
 // returns the epoch plus the node's current heartbeat sequence. Joining is
 // refused while the slot is fenced: a survivor is still replaying the
-// previous incarnation's state, and two incarnations must never overlap.
+// previous incarnation's state, and two incarnations must never overlap. It
+// is likewise refused mid-drain — a drain only moves forward.
 func (t *Table) Join(node common.NodeID) (common.Epoch, uint64, error) {
-	if node < 1 || node > MaxNodes {
-		return 0, 0, fmt.Errorf("membership: join node %d: out of range", node)
+	if err := CheckNode(node); err != nil {
+		return 0, 0, err
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.state[node] == StateFenced {
 		return 0, 0, fmt.Errorf("membership: node %d: takeover in progress: %w", node, common.ErrFenced)
+	}
+	if t.state[node] == StateDraining {
+		return 0, 0, fmt.Errorf("membership: node %d: %w", node, common.ErrDraining)
 	}
 	t.epoch++
 	hb, _ := t.reg.LocalRead64(HBOff(node))
@@ -175,13 +240,105 @@ func (t *Table) Join(node common.NodeID) (common.Epoch, uint64, error) {
 	return t.epoch, hb, nil
 }
 
+// Alloc reserves the lowest reusable slot — one that is free or whose
+// previous tenant drained cleanly — and moves it to Joining so concurrent
+// allocations cannot hand out the same id. It returns ErrUnknownNode when
+// every slot is taken. Slots of crashed nodes (Fenced/Down) are NOT reused:
+// a restart of the same identity may still claim them, and their unstamped
+// versions resolve through the recovered-peer fate rule keyed by that id;
+// an operator frees them explicitly with Free.
+func (t *Table) Alloc() (common.NodeID, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for n := common.NodeID(1); n <= MaxNodes; n++ {
+		if t.state[n] == StateFree || t.state[n] == StateDrained {
+			t.state[n] = StateJoining
+			t.inc[n] = 0
+			hb, _ := t.reg.LocalRead64(HBOff(n))
+			t.writeLocked(n, hb)
+			return n, nil
+		}
+	}
+	return 0, fmt.Errorf("membership: alloc: table full: %w", ErrUnknownNode)
+}
+
+// Free releases a slot whose tenant is gone for good — drained, recovered
+// after a crash (Down), or a reservation that never joined — back to Free so
+// Alloc can reuse it. Freeing a live, draining, or fenced slot is refused.
+func (t *Table) Free(node common.NodeID) error {
+	if err := CheckNode(node); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	switch t.state[node] {
+	case StateDrained, StateDown, StateJoining:
+		t.state[node] = StateFree
+		t.inc[node] = 0
+		hb, _ := t.reg.LocalRead64(HBOff(node))
+		t.writeLocked(node, hb)
+		return nil
+	case StateFree:
+		return nil // idempotent
+	}
+	return fmt.Errorf("membership: free node %d: state %s", node, StateName(t.state[node]))
+}
+
+// Drain moves a live node to Draining and bumps the cluster epoch (a drain
+// is a topology change peers must observe). The incarnation stays valid:
+// the Gate keeps admitting the draining node's stamped requests so in-flight
+// transactions finish, and agents keep renewing the lease — a draining node
+// is alive, just refusing new work.
+func (t *Table) Drain(node common.NodeID) (common.Epoch, error) {
+	if err := CheckNode(node); err != nil {
+		return 0, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state[node] == StateDraining {
+		return t.epoch, nil // idempotent: a retried drain must not error
+	}
+	if t.state[node] != StateLive {
+		return 0, fmt.Errorf("membership: drain node %d: state %s", node, StateName(t.state[node]))
+	}
+	t.epoch++
+	t.state[node] = StateDraining
+	hb, _ := t.reg.LocalRead64(HBOff(node))
+	t.writeLocked(node, hb)
+	return t.epoch, nil
+}
+
+// Drained completes a graceful drain: the node finished its in-flight
+// transactions, flushed its dirty frames, and released its locks, so the
+// incarnation is fenced cleanly (the Gate stops admitting it) and the slot
+// becomes reusable by Alloc — with zero takeover and zero redo replay, in
+// contrast to Evict.
+func (t *Table) Drained(node common.NodeID) (common.Epoch, error) {
+	if err := CheckNode(node); err != nil {
+		return 0, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state[node] == StateDrained {
+		return t.epoch, nil // idempotent
+	}
+	if t.state[node] != StateDraining {
+		return 0, fmt.Errorf("membership: drained node %d: state %s", node, StateName(t.state[node]))
+	}
+	t.epoch++
+	t.state[node] = StateDrained
+	hb, _ := t.reg.LocalRead64(HBOff(node))
+	t.writeLocked(node, hb)
+	return t.epoch, nil
+}
+
 // Evict fences suspect on reporter's behalf. It wins only if the cluster
 // epoch still matches the reporter's view and the suspect's heartbeat has
 // not advanced past the reporter's observation; exactly one concurrent
 // reporter can win. The winner receives the new cluster epoch and owns the
 // takeover.
 func (t *Table) Evict(reporter, suspect common.NodeID, observedHB uint64, from common.Epoch) (bool, common.Epoch) {
-	if suspect < 1 || suspect > MaxNodes || reporter == suspect {
+	if CheckNode(suspect) != nil || reporter == suspect {
 		return false, 0
 	}
 	t.mu.Lock()
@@ -206,7 +363,7 @@ func (t *Table) Evict(reporter, suspect common.NodeID, observedHB uint64, from c
 // MarkRecovered moves a fenced node to Down: takeover finished, the node's
 // durable effects are resolved, and a restart may rejoin.
 func (t *Table) MarkRecovered(node common.NodeID) {
-	if node < 1 || node > MaxNodes {
+	if CheckNode(node) != nil {
 		return
 	}
 	t.mu.Lock()
@@ -219,21 +376,25 @@ func (t *Table) MarkRecovered(node common.NodeID) {
 	t.writeLocked(node, hb)
 }
 
-// Recovered reports whether node crashed and its takeover completed — the
-// signal that lets readers resolve the node's unstamped-but-committed
-// versions as visible (CSNMin) instead of treating them as active.
+// Recovered reports whether node is gone and its effects are fully
+// resolved — takeover completed after a crash (Down) or a graceful drain
+// finished (Drained) — the signal that lets readers resolve the node's
+// unstamped-but-committed versions as visible (CSNMin) instead of treating
+// them as active. (For a reused slot the new tenant's published spec-CTS
+// floor covers the old incarnation's ids, so the fate rule hands over
+// seamlessly.)
 func (t *Table) Recovered(node common.NodeID) bool {
-	if node < 1 || node > MaxNodes {
+	if CheckNode(node) != nil {
 		return false
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.state[node] == StateDown
+	return t.state[node] == StateDown || t.state[node] == StateDrained
 }
 
 // State returns node's current lifecycle state word.
 func (t *Table) State(node common.NodeID) uint64 {
-	if node < 1 || node > MaxNodes {
+	if CheckNode(node) != nil {
 		return StateFree
 	}
 	t.mu.Lock()
@@ -246,6 +407,28 @@ func (t *Table) CurrentEpoch() common.Epoch {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.epoch
+}
+
+// SlotInfo is one occupied slot in a Snapshot.
+type SlotInfo struct {
+	Node  common.NodeID
+	State uint64
+	Inc   common.Epoch
+}
+
+// Snapshot returns the cluster epoch and every non-free slot, in id order —
+// the raw material for a topology view.
+func (t *Table) Snapshot() (common.Epoch, []SlotInfo) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []SlotInfo
+	for n := common.NodeID(1); n <= MaxNodes; n++ {
+		if t.state[n] == StateFree {
+			continue
+		}
+		out = append(out, SlotInfo{Node: n, State: t.state[n], Inc: t.inc[n]})
+	}
+	return t.epoch, out
 }
 
 // Reset clears every slot (full-cluster crash). The cluster epoch is
@@ -265,8 +448,10 @@ func (t *Table) Reset() {
 
 // Gate returns the epoch gate fusion servers consult: a stamped request is
 // admitted only while its (node, incarnation epoch) names the live
-// incarnation. Epoch 0 marks system-internal or pre-membership requests
-// and always passes.
+// incarnation. A draining incarnation still passes — the whole point of a
+// graceful drain is that in-flight transactions commit normally; the gate
+// closes only at Drained. Epoch 0 marks system-internal or pre-membership
+// requests and always passes.
 func (t *Table) Gate() common.EpochGate {
 	return func(node common.NodeID, e common.Epoch) error {
 		if e == 0 {
@@ -274,7 +459,8 @@ func (t *Table) Gate() common.EpochGate {
 		}
 		t.mu.Lock()
 		defer t.mu.Unlock()
-		if node >= 1 && node <= MaxNodes && t.state[node] == StateLive && t.inc[node] == e {
+		if node >= 1 && node <= MaxNodes && t.inc[node] == e &&
+			(t.state[node] == StateLive || t.state[node] == StateDraining) {
 			return nil
 		}
 		return fmt.Errorf("membership: node %d epoch %d fenced: %w", node, e, common.ErrStaleEpoch)

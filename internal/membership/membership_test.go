@@ -239,3 +239,147 @@ func TestAgentFailSlowSuspicion(t *testing.T) {
 		t.Fatalf("SlowPeers = %v after recovery, want empty", got)
 	}
 }
+
+// TestDrainLifecycle walks a slot through the graceful-drain state machine
+// and checks the epoch, gate, and reuse semantics at each step.
+func TestDrainLifecycle(t *testing.T) {
+	_, tbl := newTestTable(t)
+
+	id, err := tbl.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 1 {
+		t.Fatalf("first alloc = %d, want 1", id)
+	}
+	if tbl.State(id) != StateJoining {
+		t.Fatalf("state after alloc = %s, want joining", StateName(tbl.State(id)))
+	}
+	inc, _, err := tbl.Join(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := tbl.Gate()
+
+	// Live -> Draining bumps the epoch; the gate still admits the
+	// incarnation (in-flight commits must finish during a drain).
+	e0 := tbl.CurrentEpoch()
+	e1, err := tbl.Drain(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1 <= e0 {
+		t.Fatalf("drain epoch %d did not pass %d", e1, e0)
+	}
+	if tbl.State(id) != StateDraining {
+		t.Fatalf("state = %s, want draining", StateName(tbl.State(id)))
+	}
+	if err := gate(id, inc); err != nil {
+		t.Fatalf("gate refused a draining incarnation: %v", err)
+	}
+	// Idempotent: a retried drain neither fails nor bumps again.
+	if e1b, err := tbl.Drain(id); err != nil || e1b != e1 {
+		t.Fatalf("retried drain = (%d, %v), want (%d, nil)", e1b, err, e1)
+	}
+	// A drained slot refuses rejoin mid-drain.
+	if _, _, err := tbl.Join(id); !errors.Is(err, common.ErrDraining) {
+		t.Fatalf("join mid-drain: %v, want ErrDraining", err)
+	}
+
+	// Draining -> Drained closes the gate and frees the slot for reuse.
+	e2, err := tbl.Drained(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2 <= e1 {
+		t.Fatalf("drained epoch %d did not pass %d", e2, e1)
+	}
+	if err := gate(id, inc); err == nil {
+		t.Fatal("gate admitted a drained incarnation")
+	}
+	if !tbl.Recovered(id) {
+		t.Fatal("a drained node must resolve as recovered (fate rule)")
+	}
+	// Alloc reuses the lowest drained slot.
+	id2, err := tbl.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 != id {
+		t.Fatalf("alloc after drain = %d, want reuse of %d", id2, id)
+	}
+}
+
+// TestAllocSkipsCrashedSlots: a fenced or down slot belongs to recovery (a
+// restart of the same identity may claim it); Alloc must never hand it out.
+func TestAllocSkipsCrashedSlots(t *testing.T) {
+	_, tbl := newTestTable(t)
+	_, hb, err := tbl.Join(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := tbl.Join(2); err != nil {
+		t.Fatal(err)
+	}
+	if won, _ := tbl.Evict(2, 1, hb, tbl.CurrentEpoch()); !won {
+		t.Fatal("eviction refused")
+	}
+	if tbl.State(1) != StateFenced {
+		t.Fatalf("state = %s, want fenced", StateName(tbl.State(1)))
+	}
+	id, err := tbl.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id == 1 {
+		t.Fatal("alloc handed out a fenced slot")
+	}
+	// Post-recovery the slot is Down: still not allocatable, but freeable.
+	tbl.MarkRecovered(1)
+	if id, _ := tbl.Alloc(); id == 1 {
+		t.Fatal("alloc handed out a down slot")
+	}
+	if err := tbl.Free(1); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.State(1) != StateFree {
+		t.Fatalf("state after free = %s, want free", StateName(tbl.State(1)))
+	}
+}
+
+// TestBoundsUnifyOnErrUnknownNode: every Table entry point classifies an
+// out-of-range node id with the one shared sentinel.
+func TestBoundsUnifyOnErrUnknownNode(t *testing.T) {
+	_, tbl := newTestTable(t)
+	for _, bad := range []common.NodeID{0, MaxNodes + 1} {
+		if _, _, err := tbl.Join(bad); !errors.Is(err, common.ErrUnknownNode) {
+			t.Fatalf("Join(%d): %v, want ErrUnknownNode", bad, err)
+		}
+		if _, err := tbl.Drain(bad); !errors.Is(err, common.ErrUnknownNode) {
+			t.Fatalf("Drain(%d): %v, want ErrUnknownNode", bad, err)
+		}
+		if _, err := tbl.Drained(bad); !errors.Is(err, common.ErrUnknownNode) {
+			t.Fatalf("Drained(%d): %v, want ErrUnknownNode", bad, err)
+		}
+		if err := tbl.Free(bad); !errors.Is(err, common.ErrUnknownNode) {
+			t.Fatalf("Free(%d): %v, want ErrUnknownNode", bad, err)
+		}
+		if tbl.State(bad) != StateFree || tbl.Recovered(bad) {
+			t.Fatalf("State/Recovered(%d) leaked past the bounds check", bad)
+		}
+	}
+}
+
+// TestAllocFullTable: slot exhaustion is the same "no such node" class the
+// callers already handle, not a new failure mode.
+func TestAllocFullTable(t *testing.T) {
+	_, tbl := newTestTable(t)
+	for i := 0; i < MaxNodes; i++ {
+		if _, err := tbl.Alloc(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tbl.Alloc(); !errors.Is(err, common.ErrUnknownNode) {
+		t.Fatalf("alloc on full table: %v, want ErrUnknownNode", err)
+	}
+}

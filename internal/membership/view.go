@@ -24,12 +24,28 @@ func NewRemoteView(conn rdma.Conn) *RemoteView {
 }
 
 // Recovered mirrors Table.Recovered across the fabric: true once node's
-// takeover completed (state Down). Unreachable tables read as not recovered,
-// which resolves in-doubt versions conservatively (still active).
+// takeover completed (state Down) or its graceful drain finished (Drained).
+// Unreachable tables read as not recovered, which resolves in-doubt versions
+// conservatively (still active). Out-of-range ids answer false through the
+// same CheckNode bounds rule the Table uses (a boolean question has no error
+// channel; callers that need the typed error use CheckNode directly).
 func (v *RemoteView) Recovered(node common.NodeID) bool {
-	if node < 1 || node > MaxNodes {
+	if CheckNode(node) != nil {
 		return false
 	}
 	s, err := v.conn.Read64(common.PMFSNode, Region, StateOff(node))
-	return err == nil && s == StateDown
+	return err == nil && (s == StateDown || s == StateDrained)
+}
+
+// State reads node's mirrored lifecycle state word; out-of-range ids and
+// unreachable tables read as StateFree.
+func (v *RemoteView) State(node common.NodeID) uint64 {
+	if CheckNode(node) != nil {
+		return StateFree
+	}
+	s, err := v.conn.Read64(common.PMFSNode, Region, StateOff(node))
+	if err != nil {
+		return StateFree
+	}
+	return s
 }

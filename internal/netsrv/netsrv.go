@@ -38,12 +38,57 @@ func NetStats(nc *wire.NetCounters) core.NetStats {
 type Backend struct {
 	c *core.Cluster
 	n *core.Node
+
+	join JoinInfo
 }
 
 // New returns the wire backend for node n of cluster c.
 func New(c *core.Cluster, n *core.Node) *Backend { return &Backend{c: c, n: n} }
 
-var _ wire.Backend = (*Backend)(nil)
+var (
+	_ wire.Backend      = (*Backend)(nil)
+	_ wire.AdminBackend = (*Backend)(nil)
+)
+
+// JoinInfo is the OpJoinInfo document: the coordinates a new daemon needs to
+// join this cluster, plus which node answered. The daemon fills what it
+// knows (a satellite learns the fabric address from its own -join flag).
+type JoinInfo struct {
+	// Cluster is the daemon's display name.
+	Cluster string `json:"cluster,omitempty"`
+	// FabricAddr is the seed's fabric listener — what a new `mpserver -join`
+	// should dial. Empty when this daemon does not serve a fabric.
+	FabricAddr string `json:"fabric_addr,omitempty"`
+	// Node is the node this backend serves transactions through.
+	Node int `json:"node"`
+	// Seed reports whether this process hosts the PMFS substrate.
+	Seed bool `json:"seed"`
+}
+
+// SetJoinInfo installs the daemon-level join coordinates served by
+// OpJoinInfo (the Node field is overwritten with this backend's node).
+func (b *Backend) SetJoinInfo(ji JoinInfo) {
+	ji.Node = int(b.n.ID())
+	b.join = ji
+}
+
+// TopologyJSON serves the cluster topology snapshot (wire.AdminBackend).
+func (b *Backend) TopologyJSON() ([]byte, error) {
+	return b.c.TopologyJSON()
+}
+
+// Drain gracefully drains a node hosted by this process (wire.AdminBackend).
+func (b *Backend) Drain(node uint16) error {
+	return b.c.DrainNode(common.NodeID(node))
+}
+
+// JoinInfoJSON serves the join coordinates (wire.AdminBackend).
+func (b *Backend) JoinInfoJSON() ([]byte, error) {
+	ji := b.join
+	ji.Node = int(b.n.ID())
+	ji.Seed = !b.c.Remote()
+	return json.Marshal(ji)
+}
 
 // Begin opens an engine transaction; budget > 0 becomes the transaction's
 // end-to-end deadline, which the engine propagates down to fabric verbs.

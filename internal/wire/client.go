@@ -35,6 +35,10 @@ type SessionConfig struct {
 	Counters *NetCounters
 	// DialTimeout bounds each connection attempt (default 3s).
 	DialTimeout time.Duration
+	// ProtoCeiling caps the protocol version offered in the hello (0 = the
+	// newest this build speaks). Tests use it to act as an old client; the
+	// server then negotiates the session down to it.
+	ProtoCeiling uint16
 }
 
 func (c *SessionConfig) fill() {
@@ -46,6 +50,9 @@ func (c *SessionConfig) fill() {
 	}
 	if c.DialTimeout <= 0 {
 		c.DialTimeout = 3 * time.Second
+	}
+	if c.ProtoCeiling == 0 || c.ProtoCeiling > SessionProtoVersion {
+		c.ProtoCeiling = SessionProtoVersion
 	}
 }
 
@@ -73,6 +80,17 @@ func (c *Client) ServerName() string {
 		return ""
 	}
 	return c.conns[0].serverName
+}
+
+// ProtoVersion returns the negotiated session protocol version (zero before
+// any connection handshook).
+func (c *Client) ProtoVersion() uint16 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.conns) == 0 {
+		return 0
+	}
+	return c.conns[0].proto
 }
 
 // Close tears down every pooled connection. In-flight calls fail with
@@ -127,7 +145,7 @@ func (c *Client) dialOne() (*sessionConn, error) {
 		return nil, fmt.Errorf("wire: dial %s: %v: %w", c.addr, err, common.ErrUnreachable)
 	}
 	sc := &sessionConn{conn: conn, nc: c.cfg.Counters, pending: make(map[uint64]chan callResult)}
-	if err := sc.handshake(c.cfg.Name, c.cfg.DialTimeout); err != nil {
+	if err := sc.handshake(c.cfg.Name, c.cfg.ProtoCeiling, c.cfg.DialTimeout); err != nil {
 		_ = conn.Close()
 		return nil, err
 	}
@@ -154,6 +172,24 @@ func (c *Client) Ping() error {
 // StatsJSON fetches the server's stats snapshot.
 func (c *Client) StatsJSON() ([]byte, error) {
 	return c.call(OpStats, nil)
+}
+
+// TopologyJSON fetches the cluster topology snapshot (protocol v2; a v1
+// session or a server without an admin backend answers ErrNoService).
+func (c *Client) TopologyJSON() ([]byte, error) {
+	return c.call(OpTopology, nil)
+}
+
+// Drain gracefully drains a node through the server (protocol v2). The call
+// blocks until the drain finished or the server's drain timeout expired.
+func (c *Client) Drain(node uint16) error {
+	_, err := c.call(OpDrain, AppendU16(nil, node))
+	return err
+}
+
+// JoinInfoJSON fetches the server's cluster-join coordinates (protocol v2).
+func (c *Client) JoinInfoJSON() ([]byte, error) {
+	return c.call(OpJoinInfo, nil)
 }
 
 // CreateSpace creates (or finds) a named tablespace.
@@ -292,6 +328,7 @@ type sessionConn struct {
 	conn       net.Conn
 	nc         *NetCounters
 	serverName string
+	proto      uint16 // negotiated protocol version
 
 	wmu  sync.Mutex
 	wbuf []byte
@@ -310,8 +347,8 @@ func (sc *sessionConn) alive() bool {
 
 // handshake runs the hello exchange synchronously before the read loop owns
 // the connection.
-func (sc *sessionConn) handshake(name string, timeout time.Duration) error {
-	hello := Frame{Kind: KindControl, Op: SessHello, Payload: AppendHello(nil, SessionProtoVersion, name)}
+func (sc *sessionConn) handshake(name string, version uint16, timeout time.Duration) error {
+	hello := Frame{Kind: KindControl, Op: SessHello, Payload: AppendHello(nil, version, name)}
 	_ = sc.conn.SetDeadline(time.Now().Add(timeout))
 	defer sc.conn.SetDeadline(time.Time{})
 	wbuf, err := WriteFrame(sc.conn, nil, hello)
@@ -332,8 +369,9 @@ func (sc *sessionConn) handshake(name string, timeout time.Duration) error {
 	if err := DecodeStatus(rd); err != nil {
 		return fmt.Errorf("wire: server refused session: %w", err)
 	}
-	if _, name, err := DecodeHello(rd.Rest()); err == nil {
+	if ver, name, err := DecodeHello(rd.Rest()); err == nil {
 		sc.serverName = name
+		sc.proto = ver
 	}
 	return nil
 }

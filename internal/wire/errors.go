@@ -37,6 +37,8 @@ const (
 	codeOutOfBounds
 	codeInjected
 	codeUnreachable
+	codeUnknownNode
+	codeDraining
 )
 
 // codeTable pairs each sentinel with its wire code, most-specific first
@@ -65,6 +67,8 @@ var codeTable = []struct {
 	{codeOutOfBounds, common.ErrOutOfBounds},
 	{codeInjected, common.ErrInjected},
 	{codeUnreachable, common.ErrUnreachable},
+	{codeUnknownNode, common.ErrUnknownNode},
+	{codeDraining, common.ErrDraining},
 }
 
 var codeIndex = func() map[uint16]error {

@@ -96,6 +96,9 @@ func (s *Server) dropSession(sess *session) {
 type session struct {
 	srv  *Server
 	conn net.Conn
+	// proto is the negotiated protocol version: min(client, server), fixed
+	// at handshake. Ops newer than it are refused for this session.
+	proto uint16
 
 	wmu  sync.Mutex
 	wbuf []byte
@@ -187,13 +190,20 @@ func (ss *session) handshake() error {
 	}
 	version, _, err := DecodeHello(f.Payload)
 	var status error
-	if err != nil {
+	switch {
+	case err != nil:
 		status = err
-	} else if version != SessionProtoVersion {
-		status = fmt.Errorf("wire: session version %d, server speaks %d: %w", version, SessionProtoVersion, common.ErrCorrupt)
+	case version == 0 || version > SessionProtoVersion:
+		// A client from the future (or garbage): this server cannot promise
+		// the semantics the client expects, so refuse at connect time.
+		status = fmt.Errorf("wire: session version %d, server speaks <= %d: %w", version, SessionProtoVersion, common.ErrCorrupt)
+	default:
+		// Negotiate down: the session runs at the client's version, which
+		// this server fully speaks. The ack carries the negotiated version.
+		ss.proto = version
 	}
 	ack := AppendStatus(nil, status)
-	ack = AppendHello(ack, SessionProtoVersion, ss.srv.name)
+	ack = AppendHello(ack, ss.proto, ss.srv.name)
 	ss.send(Frame{Kind: KindControl, Op: SessHelloAck, ID: f.ID, Payload: ack})
 	return status
 }
@@ -372,6 +382,26 @@ func (ss *session) serve(op uint8, payload []byte) ([]byte, error) {
 		return ss.srv.be.StatsJSON()
 	case OpPing:
 		return nil, nil
+	case OpTopology, OpDrain, OpJoinInfo:
+		if ss.proto < SessionProtoV2 {
+			return nil, fmt.Errorf("wire: session op %d needs protocol v2 (negotiated v%d): %w", op, ss.proto, common.ErrNoService)
+		}
+		ab, ok := ss.srv.be.(AdminBackend)
+		if !ok {
+			return nil, fmt.Errorf("wire: session op %d: no admin backend: %w", op, common.ErrNoService)
+		}
+		switch op {
+		case OpTopology:
+			return ab.TopologyJSON()
+		case OpJoinInfo:
+			return ab.JoinInfoJSON()
+		default: // OpDrain
+			node := rd.U16()
+			if err := rd.Err(); err != nil {
+				return nil, err
+			}
+			return nil, ab.Drain(node)
+		}
 	default:
 		return nil, fmt.Errorf("wire: session op %d: %w", op, common.ErrNoService)
 	}

@@ -2,10 +2,19 @@ package wire
 
 import "time"
 
-// SessionProtoVersion is the client session protocol version carried in the
-// hello exchange. A server refuses a client whose version it does not speak,
-// so incompatible binaries fail at connect time instead of mid-workload.
-const SessionProtoVersion = 1
+// Session protocol versions, carried in the hello exchange. The server
+// negotiates down: a session runs at min(client, server), so an old client
+// keeps working against a new server and only loses the ops its version
+// never had. A client version the server predates (or zero) is refused, so
+// incompatible binaries fail at connect time instead of mid-workload.
+//
+//   - v1: the transactional surface (OpBegin..OpPing).
+//   - v2: adds the admin ops — OpTopology, OpDrain, OpJoinInfo.
+const (
+	SessionProtoV1      = 1
+	SessionProtoV2      = 2
+	SessionProtoVersion = SessionProtoV2
+)
 
 // Session control ops (KindControl frames; the handshake).
 const (
@@ -30,6 +39,12 @@ const (
 	OpSpaceID      uint8 = 12 // [name str] -> [space u32]
 	OpStats        uint8 = 13 // [] -> [stats JSON bytes]
 	OpPing         uint8 = 14 // [] -> []
+
+	// v2 admin ops. Refused (ErrNoService) on sessions negotiated at v1 and
+	// on backends without the admin surface.
+	OpTopology uint8 = 15 // [] -> [topology JSON bytes]
+	OpDrain    uint8 = 16 // [node u16] -> []
+	OpJoinInfo uint8 = 17 // [] -> [join-info JSON bytes]
 )
 
 // KV is one key/value pair of a scan result.
@@ -52,6 +67,22 @@ type Backend interface {
 	SpaceID(name string) (uint32, error)
 	// StatsJSON returns the process's stats snapshot as JSON.
 	StatsJSON() ([]byte, error)
+}
+
+// AdminBackend is the optional cluster-administration surface behind the v2
+// session ops. A Backend that also implements it serves topology snapshots,
+// graceful drains, and join info; one that does not answers the admin ops
+// with ErrNoService. Kept separate from Backend so existing adapters stay
+// source-compatible.
+type AdminBackend interface {
+	// TopologyJSON returns the cluster topology snapshot as JSON.
+	TopologyJSON() ([]byte, error)
+	// Drain gracefully drains node (blocking until it finished or the drain
+	// timeout expired).
+	Drain(node uint16) error
+	// JoinInfoJSON describes how a new process joins this cluster (fabric
+	// address, cluster name, this daemon's node ids) as JSON.
+	JoinInfoJSON() ([]byte, error)
 }
 
 // Tx is one open transaction on the backend. The server serializes calls on

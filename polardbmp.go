@@ -36,7 +36,7 @@ import (
 
 // Version identifies this build of the engine; the daemons (mpserver,
 // mpgateway) report it via their -version flag.
-const Version = "0.7.0"
+const Version = "0.8.0"
 
 // Re-exported error values; test with errors.Is.
 var (
@@ -61,6 +61,15 @@ var (
 	// response, and the built-in retry policies already absorb brief
 	// overloads transparently.
 	ErrOverloaded = common.ErrOverloaded
+	// ErrDraining refuses a Begin on a node that is gracefully leaving the
+	// cluster (Cluster.Drain). Deliberately NOT retryable: the node will
+	// never admit again, so the right response is to route the transaction
+	// to another primary, not to retry here.
+	ErrDraining = common.ErrDraining
+	// ErrNotHosted reports an admin operation (e.g. draining a node) issued
+	// to a process that does not host the node; drive it through the hosting
+	// daemon's admin API instead.
+	ErrNotHosted = core.ErrNotHosted
 )
 
 // IsRetryable reports whether err is a transient transaction failure
@@ -71,7 +80,10 @@ func IsRetryable(err error) bool { return common.IsRetryable(err) }
 
 // Options configures a cluster.
 type Options struct {
-	// Nodes is the initial number of primary nodes (default 1).
+	// Nodes is the number of primary nodes in the INITIAL topology (default
+	// 1) — it only shapes the cluster at Open. Scale online afterwards:
+	// AddNode joins a new primary to the live cluster, Drain gracefully
+	// removes one, and Topology reports the current membership.
 	Nodes int
 	// LocalBufferPages is each node's local buffer pool size in pages
 	// (default 2048).
@@ -274,6 +286,10 @@ func (c *Cluster) CreateTable(name string) (Table, error) {
 }
 
 // NodeCount returns the number of live primaries.
+//
+// Deprecated: use Topology, which distinguishes active, joining, draining,
+// drained, and crashed nodes instead of flattening membership to one count.
+// Kept as a thin alias for one release.
 func (c *Cluster) NodeCount() int { return len(c.c.Nodes()) }
 
 // Node returns a handle on the i-th (1-based) primary.
@@ -281,7 +297,38 @@ func (c *Cluster) Node(i int) *Node {
 	return &Node{c: c.c, id: common.NodeID(i)}
 }
 
-// AddNode scales the cluster out by one primary and returns its handle.
+// NodeState is a node's topology state: NodeActive, NodeJoining,
+// NodeDraining, NodeDrained, or NodeCrashed.
+type NodeState = core.NodeState
+
+// Topology node states.
+const (
+	NodeActive   = core.NodeActive
+	NodeJoining  = core.NodeJoining
+	NodeDraining = core.NodeDraining
+	NodeDrained  = core.NodeDrained
+	NodeCrashed  = core.NodeCrashed
+)
+
+// NodeInfo is one node's row in a Topology snapshot: id, state, incarnation
+// epoch, and (for nodes hosted by this process) its in-flight session count.
+type NodeInfo = core.NodeInfo
+
+// Topology is a point-in-time membership snapshot. Its Epoch bumps on every
+// join, drain, and eviction, so epochs observed over time are monotone and
+// two equal-epoch snapshots describe the same topology.
+type Topology = core.Topology
+
+// Topology snapshots the cluster membership: every slot ever allocated, its
+// state, incarnation, and — for nodes hosted in this process — the in-flight
+// session count.
+func (c *Cluster) Topology() (Topology, error) { return c.c.Topology() }
+
+// AddNode scales the cluster out by one primary and returns its handle. The
+// join is online: the new node allocates a membership slot (reusing slots of
+// gracefully drained nodes), registers with the fusion services, and
+// announces itself before serving — ongoing transactions on other primaries
+// are never disturbed.
 func (c *Cluster) AddNode() (*Node, error) {
 	n, err := c.c.AddNode()
 	if err != nil {
@@ -289,6 +336,19 @@ func (c *Cluster) AddNode() (*Node, error) {
 	}
 	return &Node{c: c.c, id: n.ID()}, nil
 }
+
+// Drain gracefully removes node i from the cluster: the node stops admitting
+// new transactions (Begin returns ErrDraining), waits out its in-flight ones,
+// flushes every dirty page it owns, releases its locks, and fences its
+// incarnation cleanly. No takeover runs and no redo is replayed — in contrast
+// to a crash, a graceful drain aborts zero transactions for membership
+// reasons. The freed slot is reused by a future AddNode.
+func (c *Cluster) Drain(i int) error { return c.c.DrainNode(common.NodeID(i)) }
+
+// Remove takes node i out of the topology for good and frees its membership
+// slot. A live node is drained first; a node already drained (or down after
+// recovery) has only its slot freed.
+func (c *Cluster) Remove(i int) error { return c.c.RemoveNode(common.NodeID(i)) }
 
 // CrashNode fail-stops a node: volatile state is lost; its uncommitted
 // transactions are rolled back when it restarts; other nodes keep serving.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"polardbmp"
 )
@@ -206,6 +207,97 @@ func TestPublicAPIAddNode(t *testing.T) {
 		t.Fatalf("new node read %q, %v", v, err)
 	}
 	tx2.Commit()
+}
+
+// The façade's elastic surface: Topology reports states, Drain refuses new
+// work with the typed ErrDraining while in-flight transactions commit, a
+// rejoin reuses the drained slot, and Remove frees it for good.
+func TestPublicAPIElasticity(t *testing.T) {
+	db := open(t, 3)
+	tab, _ := db.CreateTable("t")
+	tx, _ := db.Node(3).Begin()
+	tx.Insert(tab, []byte("k3"), []byte("v3"))
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	top, err := db.Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top.Nodes) != 3 {
+		t.Fatalf("topology rows = %d, want 3", len(top.Nodes))
+	}
+	for _, ni := range top.Nodes {
+		if ni.State != polardbmp.NodeActive {
+			t.Fatalf("node %d state %q, want active", ni.ID, ni.State)
+		}
+	}
+
+	// Hold a transaction open on the victim so the drain has in-flight work
+	// to wait for; it must commit normally — never abort — while new Begins
+	// are refused with the typed ErrDraining.
+	held, err := db.Node(3).Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := held.Upsert(tab, []byte("held"), []byte("survives")); err != nil {
+		t.Fatal(err)
+	}
+	drained := make(chan error, 1)
+	go func() { drained <- db.Drain(3) }()
+	deadline := 2000
+	for {
+		probe, err := db.Node(3).Begin()
+		if errors.Is(err, polardbmp.ErrDraining) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("begin on draining node: %v, want ErrDraining", err)
+		}
+		_ = probe.Rollback() // an admitted probe must not hold the drain open
+		if deadline--; deadline == 0 {
+			t.Fatal("drain never closed admission")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := held.Commit(); err != nil {
+		t.Fatalf("in-flight commit during drain: %v", err)
+	}
+	if err := <-drained; err != nil {
+		t.Fatal(err)
+	}
+
+	top, _ = db.Topology()
+	var st polardbmp.NodeState
+	for _, ni := range top.Nodes {
+		if ni.ID == 3 {
+			st = ni.State
+		}
+	}
+	if st != polardbmp.NodeDrained {
+		t.Fatalf("node 3 state %q after drain, want drained", st)
+	}
+
+	// The drained node's rows stay visible, and a rejoin reuses its slot.
+	r, _ := db.Node(1).Begin()
+	if v, err := r.Get(tab, []byte("held")); err != nil || string(v) != "survives" {
+		t.Fatalf("post-drain read %q, %v", v, err)
+	}
+	r.Commit()
+	n, err := db.AddNode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.ID() != 3 {
+		t.Fatalf("rejoin got node %d, want the drained slot 3", n.ID())
+	}
+	if err := db.Remove(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Drain(99); !errors.Is(err, polardbmp.ErrUnknownNode) {
+		t.Fatalf("drain unknown node err = %v", err)
+	}
 }
 
 func TestPublicAPISnapshot(t *testing.T) {

@@ -1,0 +1,134 @@
+#!/usr/bin/env bash
+# elastic_smoke.sh — end-to-end elasticity smoke: a seed mpserver plus two
+# satellites behind an mpgateway. One satellite is gracefully drained through
+# the wire admin surface (mpshell \drain); the smoke then asserts the drain is
+# visible in every admin view (mpshell topology, the seed's /topology, the
+# gateway's /stats), that a bank workload still holds its money-conservation
+# invariant on the shrunken cluster, and that the gateway routes zero new
+# sessions to the drained backend.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+GO=${GO:-go}
+BIN=$(mktemp -d)
+DATA=$(mktemp -d)
+PIDS=()
+cleanup() {
+    for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+    wait 2>/dev/null || true
+    rm -rf "$BIN" "$DATA"
+}
+trap cleanup EXIT
+
+# Loopback ports; offset keeps parallel CI jobs from colliding.
+BASE=${ELASTIC_SMOKE_PORT:-17270}
+SEED_SESS=$BASE SEED_FAB=$((BASE+1)) SEED_HTTP=$((BASE+2))
+SAT1_SESS=$((BASE+3))
+SAT2_SESS=$((BASE+4))
+GW_SESS=$((BASE+5)) GW_HTTP=$((BASE+6))
+
+wait_port() { # host:port comes up within 10s
+    for _ in $(seq 1 100); do
+        if (exec 3<>"/dev/tcp/127.0.0.1/$1") 2>/dev/null; then exec 3>&- 3<&-; return 0; fi
+        sleep 0.1
+    done
+    echo "elastic-smoke: port $1 never came up" >&2
+    return 1
+}
+
+http_get() { # plain-HTTP GET body via /dev/tcp (no curl dependency)
+    exec 3<>"/dev/tcp/127.0.0.1/$1"
+    printf 'GET %s HTTP/1.0\r\nHost: 127.0.0.1\r\n\r\n' "$2" >&3
+    local body="" in_body=0 line
+    while IFS= read -r line <&3 || [ -n "$line" ]; do
+        line=${line%$'\r'}
+        if [ "$in_body" = 1 ]; then body+="$line"; elif [ -z "$line" ]; then in_body=1; fi
+    done
+    exec 3>&- 3<&-
+    printf '%s' "$body"
+}
+
+mpsh() { # run mpshell commands against a session address, print the transcript
+    printf '%s\n' "$2" exit | "$BIN/mpshell" -connect "127.0.0.1:$1"
+}
+
+echo "elastic-smoke: building daemons"
+$GO build -o "$BIN/mpserver" ./cmd/mpserver
+$GO build -o "$BIN/mpgateway" ./cmd/mpgateway
+$GO build -o "$BIN/mpbench" ./cmd/mpbench
+$GO build -o "$BIN/mpshell" ./cmd/mpshell
+
+echo "elastic-smoke: starting seed (sessions :$SEED_SESS fabric :$SEED_FAB)"
+"$BIN/mpserver" -listen 127.0.0.1:$SEED_SESS -fabric 127.0.0.1:$SEED_FAB \
+    -http 127.0.0.1:$SEED_HTTP -data "$DATA" &
+PIDS+=($!)
+wait_port $SEED_SESS
+wait_port $SEED_FAB
+
+echo "elastic-smoke: starting satellites (sessions :$SAT1_SESS :$SAT2_SESS)"
+"$BIN/mpserver" -listen 127.0.0.1:$SAT1_SESS -join 127.0.0.1:$SEED_FAB &
+PIDS+=($!)
+wait_port $SAT1_SESS
+"$BIN/mpserver" -listen 127.0.0.1:$SAT2_SESS -join 127.0.0.1:$SEED_FAB &
+PIDS+=($!)
+wait_port $SAT2_SESS
+
+echo "elastic-smoke: starting gateway (sessions :$GW_SESS)"
+"$BIN/mpgateway" -listen 127.0.0.1:$GW_SESS -http 127.0.0.1:$GW_HTTP \
+    -backends 127.0.0.1:$SEED_SESS,127.0.0.1:$SAT1_SESS,127.0.0.1:$SAT2_SESS \
+    -probe 200ms &
+PIDS+=($!)
+wait_port $GW_SESS
+
+echo "elastic-smoke: bank workload through the gateway (3 nodes)"
+"$BIN/mpbench" -connect 127.0.0.1:$GW_SESS -dur 2s -threads 6
+
+# The satellites joined sequentially, so sat1 is node 2. Its topology row must
+# be active before the drain.
+top=$(mpsh $SEED_SESS "topology")
+echo "$top" | grep -q 'epoch' || { echo "elastic-smoke: mpshell topology gave no epoch" >&2; exit 1; }
+echo "$top" | grep -Eq '^2 +active' || {
+    echo "elastic-smoke: node 2 not active before drain" >&2; echo "$top" >&2; exit 1; }
+
+echo "elastic-smoke: draining node 2 via mpshell against its hosting daemon"
+out=$(mpsh $SAT1_SESS '\drain 2')
+echo "$out" | grep -q 'node 2 drained' || {
+    echo "elastic-smoke: drain did not complete" >&2; echo "$out" >&2; exit 1; }
+
+# The drain must be visible from every admin view: mpshell topology at the
+# seed, and the seed's HTTP /topology.
+top=$(mpsh $SEED_SESS "topology")
+echo "$top" | grep -Eq '^2 +drained' || {
+    echo "elastic-smoke: node 2 not drained in mpshell topology" >&2; echo "$top" >&2; exit 1; }
+httptop=$(http_get $SEED_HTTP /topology)
+echo "$httptop" | grep -q '"state":"drained"' || {
+    echo "elastic-smoke: /topology missing drained node" >&2; echo "$httptop" >&2; exit 1; }
+
+# The gateway's topology probe (every 5th 200ms tick) must notice and stop
+# routing to the drained backend.
+for i in $(seq 1 50); do
+    gwstats=$(http_get $GW_HTTP /stats)
+    sat1=$(echo "$gwstats" | grep -o "{[^{}]*:$SAT1_SESS\"[^{}]*}")
+    if echo "$sat1" | grep -q '"state":"drained"'; then break; fi
+    if [ "$i" = 50 ]; then
+        echo "elastic-smoke: gateway never saw the drain" >&2; echo "$gwstats" >&2; exit 1
+    fi
+    sleep 0.2
+done
+before=$(echo "$sat1" | grep -o '"total_sessions":[0-9]*')
+
+echo "elastic-smoke: bank workload through the gateway (2 surviving nodes)"
+"$BIN/mpbench" -connect 127.0.0.1:$GW_SESS -dur 2s -threads 6
+
+gwstats=$(http_get $GW_HTTP /stats)
+sat1=$(echo "$gwstats" | grep -o "{[^{}]*:$SAT1_SESS\"[^{}]*}")
+after=$(echo "$sat1" | grep -o '"total_sessions":[0-9]*')
+if [ "$before" != "$after" ]; then
+    echo "elastic-smoke: gateway routed new sessions to a drained backend ($before -> $after)" >&2
+    echo "$gwstats" >&2
+    exit 1
+fi
+echo "$sat1" | grep -q '"active_sessions":0' || {
+    echo "elastic-smoke: drained backend still carries sessions" >&2; echo "$sat1" >&2; exit 1; }
+
+echo "elastic-smoke: PASS"
