@@ -6,8 +6,8 @@ RACE_PKGS = ./internal/core ./internal/lockfusion ./internal/bufferfusion \
             ./internal/netsrv ./internal/storage ./internal/pmfsrep
 
 .PHONY: all build test test-full race vet smoke brownout-smoke proto-smoke \
-        pmfs-smoke cc-smoke elastic-smoke wire-fuzz check bench-snapshot \
-        ab-compare alloc-budget trace-smoke
+        pmfs-smoke cc-smoke elastic-smoke crash-smoke wire-fuzz check \
+        bench-snapshot ab-compare alloc-budget trace-smoke
 
 all: check
 
@@ -70,6 +70,15 @@ elastic-smoke:
 	$(GO) run ./cmd/mpchaos -plan elastic -seed 7 -ops 600
 	./scripts/elastic_smoke.sh
 
+# Process-level chaos smoke: seed + two satellites + gateway as real OS
+# processes; SIGKILL a satellite mid-commit, partition a live fabric link via
+# /netfault, heal, rejoin a replacement. Non-zero exit unless exactly one
+# takeover ran under a monotone epoch, every acked commit survived (verified
+# per-account by marker replay), every ambiguous commit was resolved through
+# OpTxStatus, and survivors pass the goroutine/session leak gate.
+crash-smoke:
+	./scripts/crash_smoke.sh
+
 # Fuzz the wire frame codec (round-trip + truncated/oversized rejection) and
 # the pmfs replication record codec (same contract: errors consume nothing,
 # decoded records re-encode byte-identically).
@@ -86,7 +95,7 @@ cc-smoke:
 	$(GO) run ./cmd/mpchaos -plan brownout -seed 7 -ops 60 -cc occ
 	$(GO) run ./cmd/mpchaos -plan pmfsfailover -seed 7 -ops 400 -cc occ
 
-check: build vet test race smoke brownout-smoke pmfs-smoke cc-smoke proto-smoke elastic-smoke
+check: build vet test race smoke brownout-smoke pmfs-smoke cc-smoke proto-smoke elastic-smoke crash-smoke
 
 # Disabled-tracer alloc budget: the commit hot path's tracer hooks must stay
 # at 0 allocs/op when tracing is off (asserted by TestNilTracerZeroAllocs;
@@ -107,7 +116,7 @@ trace-smoke:
 # with per-commit fabric op counts and the pre-batching baseline numbers.
 # Each cell runs 3 times; the JSON records the median with min/max spread.
 bench-snapshot:
-	$(GO) run ./cmd/mpbench -snapshot BENCH_pr8.json -dur 2s -threads 3 -repeats 3
+	$(GO) run ./cmd/mpbench -snapshot BENCH_pr10.json -dur 2s -threads 3 -repeats 3
 
 # Interleaved A/B compare: the pre-PR commit path (pipeline/spec-CTS/adaptive
 # TSO off) and the new engine alternate slice by slice inside one process, so

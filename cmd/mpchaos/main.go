@@ -39,7 +39,13 @@ func main() {
 	cc := flag.String("cc", "", "concurrency-control engine: 2pl (default) or occ")
 	verbose := flag.Bool("v", false, "print the full fault timeline")
 	timeout := flag.Duration("timeout", 60*time.Second, "workload watchdog (a wedged run is an invariant violation)")
+	proc := flag.Bool("proc", false, "process-level chaos: spawn real mpserver/mpgateway processes and kill/partition them (ignores -plan)")
+	binDir := flag.String("bin", "", "with -proc: directory holding prebuilt mpserver/mpgateway (empty = go build them)")
 	flag.Parse()
+
+	if *proc {
+		os.Exit(runProc(*binDir, *seed, *timeout, *verbose))
+	}
 
 	plan, err := resolvePlan(*planName, *nodes, *ops)
 	if err != nil {

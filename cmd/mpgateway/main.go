@@ -28,6 +28,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -35,6 +36,7 @@ import (
 	"time"
 
 	"polardbmp"
+	"polardbmp/internal/common"
 	"polardbmp/internal/core"
 	"polardbmp/internal/netsrv"
 	"polardbmp/internal/wire"
@@ -91,6 +93,11 @@ func run(listen string, addrs []string, httpAddr string, probe time.Duration) er
 		mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "application/json")
 			_ = json.NewEncoder(w).Encode(gw.stats())
+		})
+		// GET /goroutines: the chaos harness's leak gate polls this while
+		// killing backends under the gateway.
+		mux.HandleFunc("/goroutines", func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprintf(w, "%d\n", runtime.NumGoroutine())
 		})
 		mux.HandleFunc("/version", func(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintf(w, "mpgateway %s\n", polardbmp.Version)
@@ -323,19 +330,59 @@ func (gw *gateway) acceptLoop(lis net.Listener) {
 // migration decision, the pump goroutine owns upstream->client. The two
 // counters gate migration — a session only moves when nothing is open and
 // nothing is awaited, so the swap never strands a response.
+//
+// When the pinned backend dies mid-session (SIGKILL, partition), the session
+// does not die with it: failover() answers every in-flight request with a
+// typed status — ErrCommitAmbiguous for an OpCommit whose outcome the dead
+// backend took with it (the client resolves it via OpTxStatus/ResolveTx
+// against a survivor), ErrUnreachable for everything else — then re-pins the
+// session to a healthy backend. Transaction handles opened on the dead
+// backend are remembered as stale so later requests against them fail typed
+// at the gateway instead of confusing the new backend.
 type session struct {
 	gw     *gateway
 	client net.Conn
 	hello  []byte // client hello payload, replayed at the new backend on migration
 
+	// umu guards the pinned-upstream state (b, upstream, pumpDone, gen,
+	// alive) across migration and failover; gen stamps each pinning so
+	// concurrent death reports for the same upstream collapse into one
+	// failover.
+	umu      sync.Mutex
 	b        *backend
 	upstream net.Conn
 	pumpDone chan struct{}
+	gen      int
+	dead     bool
+
+	// cmu serializes writes to the client between the pump and the
+	// stale-transaction synthesizer in the request loop.
+	cmu sync.Mutex
+
+	// pmu guards the in-flight request table and the transaction-handle
+	// sets. pending remembers enough of each forwarded request to synthesize
+	// its response if the upstream dies first; liveTx holds handles opened on
+	// the current upstream, staleTx those stranded on dead ones.
+	pmu     sync.Mutex
+	pending map[uint64]pendingReq
+	liveTx  map[uint64]bool
+	staleTx map[uint64]bool
 
 	openTx    atomic.Int64 // successful Begins minus Commit/Rollback responses
 	inflight  atomic.Int64 // requests forwarded minus responses delivered
 	migrating atomic.Bool  // pump: upstream close is a cutover, not a failure
 }
+
+// pendingReq is what failover needs to answer one in-flight request: the op
+// (an OpCommit becomes ErrCommitAmbiguous, anything else ErrUnreachable) and
+// the transaction handle it referenced, if any.
+type pendingReq struct {
+	op uint8
+	tx uint64
+}
+
+// txHandleOps: requests whose payload leads with a transaction handle.
+func txHandleOp(op uint8) bool { return op >= wire.OpGet && op <= wire.OpRollback }
 
 // decClamped decrements a gate counter, refusing to go negative (a stray
 // response would otherwise wedge the counter below zero and block migration
@@ -420,15 +467,25 @@ func (gw *gateway) serve(client net.Conn) {
 	b.sessions++
 	b.mu.Unlock()
 
-	s := &session{gw: gw, client: client, hello: hello, b: b, upstream: upstream, pumpDone: make(chan struct{})}
-	go s.pump(upstream, s.pumpDone)
+	s := &session{
+		gw: gw, client: client, hello: hello, b: b, upstream: upstream,
+		pumpDone: make(chan struct{}),
+		pending:  make(map[uint64]pendingReq),
+		liveTx:   make(map[uint64]bool),
+		staleTx:  make(map[uint64]bool),
+	}
+	go s.pump(upstream, s.pumpDone, 0)
 	s.requestLoop()
 
-	_ = s.upstream.Close()
-	<-s.pumpDone
-	s.b.mu.Lock()
-	s.b.active--
-	s.b.mu.Unlock()
+	s.umu.Lock()
+	s.dead = true // end of session: a late death report must not re-pin
+	up, done, last := s.upstream, s.pumpDone, s.b
+	s.umu.Unlock()
+	_ = up.Close()
+	<-done
+	last.mu.Lock()
+	last.active--
+	last.mu.Unlock()
 }
 
 // requestLoop reads client frames and forwards them upstream, counting the
@@ -449,6 +506,28 @@ func (s *session) requestLoop() {
 		rbuf = buf
 		s.gw.nc.FrameIn(f.WireSize())
 		if f.Kind == wire.KindRequest {
+			var tx uint64
+			if txHandleOp(f.Op) {
+				tx = wire.NewReader(f.Payload).U64()
+				s.pmu.Lock()
+				stale := s.staleTx[tx]
+				s.pmu.Unlock()
+				if stale {
+					// The handle belongs to a backend that died: answer here
+					// instead of confusing the new backend with a foreign id.
+					// The dead backend rolled the transaction back when the
+					// gateway's connection to it dropped, so a rollback is
+					// trivially satisfied and anything else failed transient —
+					// a commit for a stale handle was never sent anywhere, so
+					// it is a plain failure, not an ambiguous one.
+					if f.Op == wire.OpRollback {
+						s.synthesize(f.ID, f.Op, nil)
+					} else {
+						s.synthesize(f.ID, f.Op, common.ErrUnreachable)
+					}
+					continue
+				}
+			}
 			if f.Op == wire.OpBegin && s.openTx.Load() == 0 && s.inflight.Load() == 0 {
 				s.b.mu.Lock()
 				leaving := s.b.drainingLocked()
@@ -457,13 +536,125 @@ func (s *session) requestLoop() {
 					s.migrate()
 				}
 			}
+			s.pmu.Lock()
+			s.pending[f.ID] = pendingReq{op: f.Op, tx: tx}
+			s.pmu.Unlock()
 			s.inflight.Add(1)
 		}
-		wbuf, err = wire.WriteFrame(s.upstream, wbuf, f)
-		if err != nil {
-			return
+		for {
+			up, gen := s.up()
+			if up == nil {
+				return
+			}
+			wbuf, err = wire.WriteFrame(up, wbuf, f)
+			if err == nil {
+				break
+			}
+			if !s.failover(gen) {
+				return
+			}
+			if f.Kind == wire.KindRequest {
+				// failover answered every pending request — including this
+				// one — so there is nothing left to forward.
+				break
+			}
 		}
 	}
+}
+
+// up snapshots the pinned upstream and its generation (nil once the session
+// is dead).
+func (s *session) up() (net.Conn, int) {
+	s.umu.Lock()
+	defer s.umu.Unlock()
+	if s.dead {
+		return nil, s.gen
+	}
+	return s.upstream, s.gen
+}
+
+// synthesize answers one client request at the gateway with a typed status.
+func (s *session) synthesize(id uint64, op uint8, err error) {
+	f := wire.Frame{Kind: wire.KindResponse, Op: op, ID: id, Payload: wire.AppendStatus(nil, err)}
+	s.cmu.Lock()
+	_, werr := wire.WriteFrame(s.client, nil, f)
+	s.cmu.Unlock()
+	if werr == nil {
+		s.gw.nc.FrameOut(f.WireSize())
+	}
+}
+
+// failover handles the death of the upstream pinned at generation gen:
+// answer everything in flight with a typed status (an OpCommit's outcome
+// died with the backend — ErrCommitAmbiguous tells the client to resolve it
+// via OpTxStatus on a survivor; anything else failed transient), mark the
+// open transaction handles stale, and re-pin the session to a healthy
+// backend with a replayed hello. Idempotent per generation: late death
+// reports for an already-replaced upstream are no-ops. Returns false when
+// the session is over (no backend left; the client connection is closed).
+func (s *session) failover(gen int) bool {
+	s.umu.Lock()
+	defer s.umu.Unlock()
+	if s.dead {
+		return false
+	}
+	if s.gen != gen {
+		return true // a concurrent report already replaced this upstream
+	}
+	_ = s.upstream.Close()
+	<-s.pumpDone // pump exited: client writes are ours until a new pump runs
+
+	s.pmu.Lock()
+	pend := s.pending
+	s.pending = make(map[uint64]pendingReq)
+	for tx := range s.liveTx {
+		s.staleTx[tx] = true
+	}
+	s.liveTx = make(map[uint64]bool)
+	s.pmu.Unlock()
+	for id, pr := range pend {
+		if pr.op == wire.OpCommit {
+			s.synthesize(id, pr.op, common.ErrCommitAmbiguous)
+		} else {
+			s.synthesize(id, pr.op, common.ErrUnreachable)
+		}
+	}
+	s.inflight.Store(0)
+	s.openTx.Store(0)
+
+	old := s.b
+	old.mu.Lock()
+	old.failLocked(errors.New("session upstream died"))
+	old.mu.Unlock()
+
+	nb := s.gw.pick(old)
+	var conn net.Conn
+	var err error
+	if nb != nil {
+		conn, _, err = s.gw.dialBackend(nb, s.hello)
+	}
+	if nb == nil || err != nil {
+		// Nowhere to go: end the session; the client's next connect lands on
+		// whatever the gateway has then.
+		s.dead = true
+		_ = s.client.Close()
+		return false
+	}
+	s.gw.nc.ConnClosed()
+	s.gw.nc.ConnOpened(true)
+	old.mu.Lock()
+	old.active--
+	old.mu.Unlock()
+	nb.mu.Lock()
+	nb.active++
+	nb.sessions++
+	nb.mu.Unlock()
+
+	s.b, s.upstream = nb, conn
+	s.gen++
+	s.pumpDone = make(chan struct{})
+	go s.pump(conn, s.pumpDone, s.gen)
+	return true
 }
 
 // migrate moves the session to a better backend: dial and handshake first,
@@ -471,6 +662,11 @@ func (s *session) requestLoop() {
 // failure leaves the session where it was — the draining backend keeps
 // serving in-flight work, so staying put is always safe.
 func (s *session) migrate() {
+	s.umu.Lock()
+	defer s.umu.Unlock()
+	if s.dead {
+		return
+	}
 	nb := s.gw.pick(s.b)
 	if nb == nil {
 		return
@@ -503,8 +699,9 @@ func (s *session) migrate() {
 	nb.mu.Unlock()
 
 	s.b, s.upstream = nb, conn
+	s.gen++
 	s.pumpDone = make(chan struct{})
-	go s.pump(conn, s.pumpDone)
+	go s.pump(conn, s.pumpDone, s.gen)
 }
 
 // pump relays upstream responses to the client, maintaining the migration
@@ -512,7 +709,7 @@ func (s *session) migrate() {
 // opens a transaction, and a Commit/Rollback response closes one whatever its
 // status (the server forgets the transaction either way). Responses echo the
 // request's op, so no request/response correlation state is needed.
-func (s *session) pump(upstream net.Conn, done chan struct{}) {
+func (s *session) pump(upstream net.Conn, done chan struct{}, gen int) {
 	defer close(done)
 	var rbuf, wbuf []byte
 	for {
@@ -524,21 +721,45 @@ func (s *session) pump(upstream net.Conn, done chan struct{}) {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !errors.Is(err, io.ErrUnexpectedEOF) {
 				s.gw.nc.CodecError()
 			}
-			_ = s.client.Close() // upstream died for real: end the session
+			// The backend died for real. Hand the death to failover from a
+			// fresh goroutine (it waits for this one's exit) — it answers the
+			// in-flight window and re-pins the session instead of killing it.
+			go s.failover(gen)
 			return
 		}
 		rbuf = buf
 		if f.Kind == wire.KindResponse {
+			s.pmu.Lock()
+			pr, tracked := s.pending[f.ID]
+			delete(s.pending, f.ID)
+			s.pmu.Unlock()
 			switch f.Op {
 			case wire.OpBegin:
-				if wire.DecodeStatus(wire.NewReader(f.Payload)) == nil {
+				rd := wire.NewReader(f.Payload)
+				if wire.DecodeStatus(rd) == nil {
 					s.openTx.Add(1)
+					if tx := rd.U64(); rd.Err() == nil {
+						s.pmu.Lock()
+						s.liveTx[tx] = true
+						// Handles are per-upstream counters: a new backend
+						// reissues numbers its dead predecessor used, and a
+						// reborn handle belongs to the live transaction.
+						delete(s.staleTx, tx)
+						s.pmu.Unlock()
+					}
 				}
 			case wire.OpCommit, wire.OpRollback:
 				decClamped(&s.openTx)
+				if tracked && pr.tx != 0 {
+					s.pmu.Lock()
+					delete(s.liveTx, pr.tx)
+					s.pmu.Unlock()
+				}
 			}
 		}
+		s.cmu.Lock()
 		wbuf, err = wire.WriteFrame(s.client, wbuf, f)
+		s.cmu.Unlock()
 		if err != nil {
 			_ = upstream.Close()
 			return

@@ -21,7 +21,9 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
+	"time"
 
 	"polardbmp"
 	"polardbmp/internal/common"
@@ -42,6 +44,9 @@ func main() {
 	pmfsReplicas := flag.Int("pmfs-replicas", 0, "shared-memory replication factor (seed mode; 0 = default 3, <2 disables)")
 	cc := flag.String("cc", "", "concurrency-control engine: 2pl (default) or occ")
 	fenceTTL := flag.Duration("fence-ttl", 0, "fenced-piggyback cache TTL for the storage uplink (satellite mode; 0 = default 100ms)")
+	selfHeal := flag.Bool("selfheal", false, "lease-based failure detection: survivors fence and take over a silent node")
+	leaseRenew := flag.Duration("lease-renew", 0, "membership heartbeat cadence under -selfheal (0 = default 15ms)")
+	leaseTimeout := flag.Duration("lease-timeout", 0, "silence before peers declare a node dead under -selfheal (0 = default 90ms)")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
@@ -56,7 +61,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mpserver: unknown -cc engine %q (want 2pl or occ)\n", *cc)
 		os.Exit(2)
 	}
-	cfg := core.Config{PmfsReplicas: *pmfsReplicas, FenceTTL: *fenceTTL, CC: *cc}
+	cfg := core.Config{
+		PmfsReplicas:       *pmfsReplicas,
+		FenceTTL:           *fenceTTL,
+		CC:                 *cc,
+		SelfHeal:           *selfHeal,
+		LeaseRenewInterval: *leaseRenew,
+		LeaseTimeout:       *leaseTimeout,
+	}
 	if err := run(*listen, *fabricAddr, *join, *data, *httpAddr, *name, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "mpserver:", err)
 		os.Exit(1)
@@ -167,6 +179,40 @@ func run(listen, fabricAddr, join, data, httpAddr, name string, cfg core.Config)
 				return
 			}
 			fmt.Fprintf(w, "node %d drained\n", id)
+		})
+		// POST /netfault injects connection-level faults on this process's
+		// fabric links (JSON {"peer":"","mode":"partition|blackhole|flap|heal",
+		// "ms":5000}); GET lists the active rules. The chaos harness cuts and
+		// heals specific peer pairs here while the cluster is under load.
+		mux.HandleFunc("/netfault", func(w http.ResponseWriter, r *http.Request) {
+			switch r.Method {
+			case http.MethodGet:
+				w.Header().Set("Content-Type", "application/json")
+				_ = json.NewEncoder(w).Encode(c.Fabric().Faults().Snapshot())
+			case http.MethodPost:
+				var req struct {
+					Peer string `json:"peer"`
+					Mode string `json:"mode"`
+					Ms   int    `json:"ms"`
+				}
+				if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+					http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
+					return
+				}
+				d := time.Duration(req.Ms) * time.Millisecond
+				if err := c.Fabric().SetLinkFault(req.Peer, req.Mode, d); err != nil {
+					http.Error(w, err.Error(), http.StatusBadRequest)
+					return
+				}
+				fmt.Fprintf(w, "%s %q for %v\n", req.Mode, req.Peer, d)
+			default:
+				http.Error(w, "GET or POST", http.StatusMethodNotAllowed)
+			}
+		})
+		// GET /goroutines reports the process's goroutine count — the chaos
+		// harness's leak gate polls it on survivors after kills and heals.
+		mux.HandleFunc("/goroutines", func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprintf(w, "%d\n", runtime.NumGoroutine())
 		})
 		mux.HandleFunc("/version", func(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintf(w, "mpserver %s\n", polardbmp.Version)

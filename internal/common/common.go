@@ -150,6 +150,14 @@ var (
 	// callers on either side of a socket can classify it with errors.Is.
 	ErrUnknownNode = errors.New("polardbmp: unknown node id")
 
+	// ErrCommitAmbiguous means a commit request was sent but the connection
+	// died before the outcome came back: the server may or may not have
+	// committed. It is deliberately NOT retryable and NOT transient — blindly
+	// re-running the transaction could double-apply it. The caller must
+	// resolve the real outcome (wire.Client.ResolveTx / core.TxStatus) before
+	// deciding anything.
+	ErrCommitAmbiguous = errors.New("polardbmp: commit outcome unknown")
+
 	// ErrDraining means the target node is gracefully draining and refuses
 	// new transactions. It is deliberately NOT retryable against the same
 	// node (the drain only moves forward); callers — the gateway, a load

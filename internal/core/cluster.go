@@ -222,9 +222,17 @@ type Cluster struct {
 
 	// takeoverMu serializes surviving-node takeovers (one dead peer is
 	// recovered at a time; concurrent failures queue).
-	takeoverMu  sync.Mutex
-	takeovers   metrics.Counter
-	takeoverDur metrics.Histogram
+	takeoverMu    sync.Mutex
+	takeovers     metrics.Counter
+	takeoverFails metrics.Counter
+	takeoverDur   metrics.Histogram
+	takeoverErrMu sync.Mutex
+	takeoverErr   string // last failed-takeover diagnostic, "" when none
+
+	// txlog is this process's bounded transaction-outcome journal
+	// (txstatus.go): every commit, rollback, and takeover-resolved fate is
+	// recorded so an ambiguous client commit can be resolved, not guessed.
+	txlog txJournal
 
 	// Pipelined group commit (pipeline.go): the cluster syncer's wake/stop
 	// channels and round counter. pipeWake is non-nil only when the syncer
@@ -677,6 +685,8 @@ type MembershipStats struct {
 	FalseSuspicions int64         `json:"false_suspicions"` // evictions refused by a racing renewal
 	LeaseRenewals   int64         `json:"lease_renewals"`   // heartbeat writes by live nodes
 	Takeovers       int64         `json:"takeovers"`        // completed surviving-node takeovers
+	TakeoverFails   int64         `json:"takeover_fails"`   // takeover attempts abandoned by a recovery error
+	TakeoverErr     string        `json:"takeover_err,omitempty"` // last failed-takeover diagnostic
 	TakeoverMean    time.Duration `json:"takeover_mean_ns"` // mean takeover duration
 	// FailSlowSuspicions counts fail-slow marks raised across all agents: a
 	// peer whose heartbeat-gap EWMA grew well past the renewal cadence while
@@ -727,6 +737,9 @@ type NodeStats struct {
 	Deadlocks int64 `json:"deadlocks"`
 	// Conflicts counts OCC validation aborts (zero under 2PL).
 	Conflicts int64 `json:"conflicts,omitempty"`
+	// DeferredAborts counts rollbacks finished in the background because a
+	// page was unreachable (partition, peer crash fence) at abort time.
+	DeferredAborts int64 `json:"deferred_aborts,omitempty"`
 	// DeadlineAborts counts this node's latency-budget aborts; HedgesFired/
 	// HedgeWins its fail-slow DBP read hedges.
 	DeadlineAborts int64         `json:"deadline_aborts"`
@@ -827,6 +840,7 @@ func (c *Cluster) Stats() ClusterStats {
 			Aborts:         n.Aborts.Load(),
 			Deadlocks:      n.Deadlocks.Load(),
 			Conflicts:      n.Conflicts.Load(),
+			DeferredAborts: n.DeferredAborts.Load(),
 			DeadlineAborts: n.DeadlineAborts.Load(),
 			HedgesFired:    n.lbp.HedgesFired.Load(),
 			HedgeWins:      n.lbp.HedgeWins.Load(),
@@ -912,6 +926,10 @@ func (c *Cluster) Stats() ClusterStats {
 		s.Pmfs = PmfsStats{Replicas: 1, Live: 1}
 	}
 	s.Membership.Takeovers = c.takeovers.Load()
+	s.Membership.TakeoverFails = c.takeoverFails.Load()
+	c.takeoverErrMu.Lock()
+	s.Membership.TakeoverErr = c.takeoverErr
+	c.takeoverErrMu.Unlock()
 	s.Membership.TakeoverMean = c.takeoverDur.Mean()
 	if c.netStats != nil {
 		ns := c.netStats()

@@ -73,6 +73,10 @@ type Node struct {
 	Commits   metrics.Counter
 	Aborts    metrics.Counter
 	Deadlocks metrics.Counter
+	// DeferredAborts counts live rollbacks that could not reach every page
+	// (peer crash fence, partition) and finished in the background; the TIT
+	// slot stays active until the compensation lands.
+	DeferredAborts metrics.Counter
 	// Conflicts counts OCC validation failures (retryable
 	// ErrWriteConflict aborts; always zero under 2PL).
 	Conflicts metrics.Counter
@@ -162,6 +166,9 @@ func (c *Cluster) newNode(id common.NodeID, recovering bool) (*Node, error) {
 			c.takeover(dead, epoch, n)
 		})
 	}
+	// Commit-ambiguity resolution: any process may ask this node for the
+	// fate of one of its transactions (journal + TIT; see txstatus.go).
+	ep.Serve(ServiceTxStatus, n.handleTxStatus)
 	if err := n.joinCluster(); err != nil {
 		ep.Deregister()
 		return nil, err

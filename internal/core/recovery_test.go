@@ -427,3 +427,71 @@ func TestCrashStorm(t *testing.T) {
 		})
 	}
 }
+
+// TestRollbackDeferredWhenPageUnreachable: a live rollback that cannot reach
+// one of its pages (here: the page migrated to a peer and the storage fetch
+// fails, as in a network partition) must NOT free the transaction's TIT
+// slot. A freed slot resolves CSNMin — "committed, visible to all" — which
+// would publish the rolled-back version the moment the fault heals. The
+// rollback has to park the leftover undo entries, keep the slot active (the
+// version stays invisible), and finish the compensation in the background
+// once the page is reachable again.
+func TestRollbackDeferredWhenPageUnreachable(t *testing.T) {
+	c, sp := testCluster(t, 2)
+	n1, n2 := c.Node(1), c.Node(2)
+	put(t, n1, sp, "k", "orig")
+
+	tx, err := n1.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Update(sp, []byte("k"), []byte("bad")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Steal the page mid-transaction: node 2 writes a sibling row, which
+	// revokes node 1's X PLock and moves the page (with the uncommitted
+	// "bad" version on it) to node 2. Node 1's rollback must now re-fetch
+	// the page image to compensate.
+	put(t, n2, sp, "k2", "x")
+
+	// Partition node 1: every fabric op it issues and every storage page
+	// read fail, so the rollback can neither re-acquire the PLock nor
+	// re-fetch the page image — exactly a network partition's view.
+	var blocked atomic.Bool
+	blocked.Store(true)
+	c.fabric.SetInjector(func(op common.FaultOp) common.FaultDecision {
+		if op.Src == 1 && blocked.Load() {
+			return common.FaultDecision{Err: common.ErrInjected}
+		}
+		return common.FaultDecision{}
+	})
+	c.store.SetInjector(func(op common.FaultOp) common.FaultDecision {
+		if op.Class == common.FaultPageRead && blocked.Load() {
+			return common.FaultDecision{Err: common.ErrInjected}
+		}
+		return common.FaultDecision{}
+	})
+
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if got := n1.DeferredAborts.Load(); got != 1 {
+		t.Fatalf("DeferredAborts = %d, want 1 (rollback with an unreachable page must defer)", got)
+	}
+	// The slot is still active, so the leaked "bad" version stays invisible.
+	if v, err := get(t, n2, sp, "k"); err != nil || v != "orig" {
+		t.Fatalf("read during deferred rollback = %q, %v; want orig (aborted version leaked)", v, err)
+	}
+
+	// Heal. The background compensation must remove the version and free
+	// the slot; a writer parked on the row's active version then proceeds.
+	blocked.Store(false)
+	put(t, n2, sp, "k", "after")
+	if v, err := get(t, n2, sp, "k"); err != nil || v != "after" {
+		t.Fatalf("read after heal = %q, %v; want after", v, err)
+	}
+	if v, err := get(t, n1, sp, "k"); err != nil || v != "after" {
+		t.Fatalf("read after heal via node 1 = %q, %v; want after", v, err)
+	}
+}

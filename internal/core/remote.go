@@ -32,6 +32,7 @@ const (
 	aopDrainCleanup uint8 = 3 // [node u16] -> []
 	aopTopology     uint8 = 4 // [] -> [topology json]
 	aopFreeNode     uint8 = 5 // [node u16] -> []
+	aopTxStatus     uint8 = 6 // [gtrx] -> [outcome u8, cts u64]
 )
 
 // handleAdmin serves ServiceCluster on the seed. Responses are
@@ -73,6 +74,16 @@ func (c *Cluster) adminOp(req []byte) ([]byte, error) {
 		return nil, nil
 	case aopTopology:
 		return c.TopologyJSON()
+	case aopTxStatus:
+		g, _, err := common.UnmarshalGTrxID(rd.Rest())
+		if err != nil {
+			return nil, err
+		}
+		out, cts, err := c.TxStatus(g)
+		if err != nil {
+			return nil, err
+		}
+		return wire.AppendU64(append([]byte(nil), uint8(out)), uint64(cts)), nil
 	case aopFreeNode:
 		node := rd.U16()
 		if err := rd.Err(); err != nil {

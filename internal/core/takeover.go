@@ -12,6 +12,18 @@ import (
 	"polardbmp/internal/wal"
 )
 
+// noteTakeoverErr records the latest failed-takeover diagnostic for stats
+// (a completed takeover clears it).
+func (c *Cluster) noteTakeoverErr(dead common.NodeID, err error) {
+	c.takeoverErrMu.Lock()
+	defer c.takeoverErrMu.Unlock()
+	if err == nil {
+		c.takeoverErr = ""
+		return
+	}
+	c.takeoverErr = fmt.Sprintf("node %d: %v", dead, err)
+}
+
 // peerTrx is one of a dead node's transactions as reconstructed from its
 // durable redo stream by the takeover scan.
 type peerTrx struct {
@@ -77,8 +89,12 @@ func (c *Cluster) takeover(dead common.NodeID, epoch common.Epoch, survivor *Nod
 		// Fail safe: the PLock fence stays up (the dead node's X pages
 		// remain unreachable) and the slot stays Fenced. Re-open the log
 		// so a later RestartNode can still run self-recovery over the
-		// intact stream.
+		// intact stream — or the detector's fenced-slot sweep retries the
+		// takeover after its cooldown. Record the failure so a stuck slot
+		// is diagnosable from /stats instead of silent.
 		c.store.UnfenceLog(dead)
+		c.takeoverFails.Inc()
+		c.noteTakeoverErr(dead, err)
 		return
 	}
 
@@ -89,6 +105,20 @@ func (c *Cluster) takeover(dead common.NodeID, epoch common.Epoch, survivor *Nod
 
 	survivor.finishPeerRecovery(trxs)
 
+	// Journal every reconstructed fate BEFORE marking the node recovered:
+	// the commit-ambiguity protocol polls "active" until recovery completes,
+	// then expects the seed's journal to hold the answer (txstatus.go). An
+	// unfinished transaction was rolled back above — for its client the
+	// commit record never became durable, so "aborted" is the truth, not a
+	// guess.
+	for _, st := range trxs {
+		if st.finished && st.cts != 0 {
+			c.txlog.record(st.g, st.cts)
+		} else {
+			c.txlog.record(st.g, 0)
+		}
+	}
+
 	// Only now may readers resolve the dead node's remaining unstamped
 	// versions as checkpoint-old (CSNMin): everything younger was stamped
 	// or removed above.
@@ -96,6 +126,7 @@ func (c *Cluster) takeover(dead common.NodeID, epoch common.Epoch, survivor *Nod
 	c.store.LogTruncate(dead, c.store.LogDurableLSN(dead))
 	c.store.UnfenceLog(dead)
 	c.takeovers.Inc()
+	c.noteTakeoverErr(dead, nil)
 	c.takeoverDur.Observe(time.Since(start))
 }
 
@@ -195,9 +226,15 @@ func (n *Node) recoverPeer(dead common.NodeID) ([]*peerTrx, error) {
 	}
 
 	// Resolve the dead node's versions in-image and publish the repaired
-	// pages; peers fault them in from storage once the fence lifts.
+	// pages; peers fault them in from storage once the fence lifts. The
+	// replay accumulated one version per logged insert — under a hot-key
+	// workload that is far more history than any snapshot can reach — so
+	// apply the engine's Purge rule at the cluster's min view, exactly as
+	// the live write path would have, before marshaling into a frame.
+	gmv := n.tf.LastGMV()
 	for _, pg := range images {
 		resolvePeerVersions(pg, dead, trxs)
+		pg.Purge(gmv, n.batchResolver(pg))
 	}
 	for id, pg := range images {
 		img, err := pg.Marshal()

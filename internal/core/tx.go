@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"time"
 
@@ -514,6 +515,10 @@ func (tx *Tx) Commit() error {
 	tx.finish()
 	n := tx.n
 	if !tx.writes {
+		// Journal the trivial commit too: a client resolving an ambiguous
+		// read-only commit gets "committed" (CSNMin: visible to all), not
+		// an unresolvable recycled slot.
+		n.c.txlog.record(tx.g, common.CSNMin)
 		n.tf.Finish(tx.g)
 		n.Commits.Inc()
 		n.TxLatency.Observe(time.Since(tx.started))
@@ -594,6 +599,10 @@ func (tx *Tx) commitPipeline() error {
 		n.tracer.FinishTx(tx.tr, 0, false)
 		return err
 	}
+	// The commit record is durable and the CTS published: journal the
+	// outcome so a client that lost its connection mid-commit can resolve
+	// the ambiguity (txstatus.go) even after the TIT slot recycles.
+	n.c.txlog.record(tx.g, cts)
 	if waiters {
 		n.rl.NotifyCommitted(tx.g)
 	}
@@ -688,7 +697,24 @@ func (tx *Tx) finish() {
 
 func (tx *Tx) rollbackLocked() {
 	n := tx.n
-	n.rollbackEntries(tx.g, tx.undo)
+	// Journal before the TIT slot is freed: once Finish recycles it, the
+	// journal is the only witness that this was an abort, not a commit.
+	n.c.txlog.record(tx.g, 0)
+	left := n.rollbackEntries(tx.g, tx.undo)
+	if len(left) > 0 {
+		// Some pages were unreachable (a peer's crash fence or a network
+		// partition): their versions are still on the pages, uncompensated.
+		// The TIT slot must stay active until every one is removed — a
+		// recycled slot resolves CSNMin ("committed, visible to all"), so
+		// freeing it now would publish the rolled-back writes as committed
+		// the moment the fault heals. RecAbort is likewise withheld: after
+		// a crash the log must show this transaction as unfinished so
+		// restart recovery redoes the compensation itself.
+		n.deferLiveRollback(tx.g, left)
+		n.Aborts.Inc()
+		n.tracer.FinishTx(tx.tr, 0, false)
+		return
+	}
 	n.wal.Append(&wal.Record{Type: wal.RecAbort, Node: n.id, LLSN: n.llsn.Next(), Trx: tx.g})
 	waiters := n.tf.Finish(tx.g)
 	if waiters {
@@ -696,6 +722,35 @@ func (tx *Tx) rollbackLocked() {
 	}
 	n.Aborts.Inc()
 	n.tracer.FinishTx(tx.tr, 0, false)
+}
+
+// deferLiveRollback keeps retrying the compensation of undo entries whose
+// pages were unreachable when a live transaction rolled back. Writers that
+// hit the leaked versions wait on the still-active TIT slot, and readers
+// resolve them CSNMax (invisible), so the deferral is safe — just slow for
+// the affected rows until the fault heals. Only once every entry is undone
+// are the abort record logged and the slot freed.
+func (n *Node) deferLiveRollback(g common.GTrxID, undo []undoEntry) {
+	n.DeferredAborts.Inc()
+	n.bgDone.Add(1)
+	go func() {
+		defer n.bgDone.Done()
+		for n.live.Load() {
+			undo = n.rollbackEntries(g, undo)
+			if len(undo) == 0 {
+				n.wal.Append(&wal.Record{Type: wal.RecAbort, Node: n.id, LLSN: n.llsn.Next(), Trx: g})
+				if waiters := n.tf.Finish(g); waiters {
+					n.rl.NotifyCommitted(g)
+				}
+				return
+			}
+			select {
+			case <-n.stopBG:
+				return
+			case <-time.After(20 * time.Millisecond):
+			}
+		}
+	}()
 }
 
 // rollbackEntries removes g's newest versions for the given undo entries in
@@ -712,7 +767,15 @@ func (n *Node) rollbackEntries(g common.GTrxID, undo []undoEntry) []undoEntry {
 		}
 		ref, err := t.LeafSafe(e.key, lockfusion.ModeX)
 		if err != nil {
-			if common.IsRetryable(err) {
+			// Any failure to reach the page leaves its version
+			// uncompensated; the entry MUST come back for retry, because
+			// the caller frees the TIT slot only once the list drains and
+			// a freed slot flips the leaked version to "committed".
+			// ErrUnreachable/ErrNodeDown (partition, dead peer) are not in
+			// IsRetryable — they still heal: partitions mend and dead
+			// peers are taken over.
+			if common.IsRetryable(err) || errors.Is(err, common.ErrUnreachable) ||
+				errors.Is(err, common.ErrNodeDown) || errors.Is(err, common.ErrInjected) {
 				unreachable = append(unreachable, e)
 			}
 			continue

@@ -83,6 +83,65 @@ func TestPLockSharedAcrossNodes(t *testing.T) {
 	tc.pl[1].Release(5)
 }
 
+// A negotiation message lost to a link partition must be re-sent once the
+// link heals: the blocked waiter re-collects stale revokes on its resend
+// tick, so a lazy holder that never heard the first revoke still releases.
+// Before the resend existed, the one-shot revoked mark wedged the page until
+// the wait backstop.
+func TestPLockRevokeResendAfterPartition(t *testing.T) {
+	tc := newTestCluster(t, 2, Config{})
+	var revoked atomic.Int32
+	tc.pl[0].SetRevokeHandler(func(pg common.PageID, held Mode) error {
+		revoked.Add(1)
+		return nil
+	})
+	if err := tc.pl[0].Acquire(9, ModeX); err != nil {
+		t.Fatal(err)
+	}
+	tc.pl[0].Release(9) // lazily retained
+
+	// Partition the server→node-1 revoke path: delivery retries exhaust in
+	// milliseconds, so the first negotiation is lost outright.
+	var partitioned atomic.Bool
+	partitioned.Store(true)
+	tc.fabric.SetInjector(func(op common.FaultOp) common.FaultDecision {
+		if partitioned.Load() && op.Name == ServiceRevoke && op.Dst == 1 {
+			return common.FaultDecision{Err: common.ErrUnreachable}
+		}
+		return common.FaultDecision{}
+	})
+
+	done := make(chan error, 1)
+	go func() { done <- tc.pl[1].Acquire(9, ModeX) }()
+
+	// The revoke is lost while the partition holds; the waiter must not be
+	// granted (node 1 still holds X and was never asked to release).
+	select {
+	case err := <-done:
+		t.Fatalf("acquire finished during the partition: %v", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	if revoked.Load() != 0 {
+		t.Fatalf("revoke delivered through the partition (%d)", revoked.Load())
+	}
+
+	partitioned.Store(false)
+	// Heal: the waiter's next resend tick re-collects the stale revoke and
+	// this time it reaches node 1, which releases its lazy hold.
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * plockRevokeResend):
+		t.Fatal("waiter still blocked after heal: lost revoke never re-sent")
+	}
+	if revoked.Load() == 0 {
+		t.Fatal("revoke handler never ran after heal")
+	}
+	tc.pl[1].Release(9)
+}
+
 func TestPLockConflictAndNegotiation(t *testing.T) {
 	tc := newTestCluster(t, 2, Config{})
 	var revoked atomic.Int32

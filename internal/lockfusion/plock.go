@@ -154,10 +154,21 @@ type plockStripe struct {
 type plockEntry struct {
 	holders map[common.NodeID]Mode
 	queue   []*plockWaiter
-	// revoked tracks holders already sent a negotiation message, to
-	// avoid repeats while a release is in flight.
-	revoked map[common.NodeID]bool
+	// revoked records when each conflicting holder was last sent a
+	// negotiation message: fresh entries suppress repeats while a release
+	// is in flight, but an entry older than plockRevokeResend is re-sent.
+	// Without the expiry a revoke lost to a network partition (delivery
+	// retries span only milliseconds) would wedge the page forever — the
+	// lazy holder never learns anyone wants it, and every later waiter is
+	// suppressed by the stale mark.
+	revoked map[common.NodeID]time.Time
 }
+
+// plockRevokeResend is how long a sent negotiation message suppresses
+// re-sending. Normal release round-trips finish in microseconds, so the
+// resend only fires when the revoke (or the answering release) was lost to
+// a link fault; re-delivery is idempotent on the holder.
+const plockRevokeResend = 250 * time.Millisecond
 
 type plockWaiter struct {
 	node    common.NodeID
@@ -272,7 +283,7 @@ func (st *plockStripe) entry(pg common.PageID) *plockEntry {
 	if e == nil {
 		e = &plockEntry{
 			holders: make(map[common.NodeID]Mode),
-			revoked: make(map[common.NodeID]bool),
+			revoked: make(map[common.NodeID]time.Time),
 		}
 		st.entries[pg] = e
 	}
@@ -333,12 +344,34 @@ func (s *PLockServer) acquire(node common.NodeID, pg common.PageID, mode Mode, b
 			deadlineBound = true
 		}
 	}
-	select {
-	case <-w.granted:
-		return w.err
-	case <-time.After(wait):
-		// Remove the waiter if still queued; if the grant raced the
-		// timeout, accept it.
+	deadline := time.Now().Add(wait)
+	for {
+		tick := plockRevokeResend
+		if rem := time.Until(deadline); rem < tick {
+			tick = rem
+		}
+		select {
+		case <-w.granted:
+			return w.err
+		case <-time.After(tick):
+		}
+		if time.Now().Before(deadline) {
+			// Still waiting: the negotiation sent when we queued (or the
+			// release answering it) may have been lost to a link fault.
+			// Re-collect for the current head — the time-based suppression
+			// in collectRevokeesLocked makes this at most one redelivery
+			// per holder per resend interval, and redelivery is idempotent.
+			st.mu.Lock()
+			var revokees []revokeTarget
+			if len(e.queue) > 0 {
+				revokees = s.collectRevokeesLocked(e, e.queue[0])
+			}
+			st.mu.Unlock()
+			s.sendRevokes([]pendingRevokes{{pg, revokees}})
+			continue
+		}
+		// Expired: remove the waiter if still queued; if the grant raced
+		// the timeout, accept it.
 		st.mu.Lock()
 		for i, q := range e.queue {
 			if q == w {
@@ -461,9 +494,11 @@ func (s *PLockServer) collectRevokeesLocked(e *plockEntry, head *plockWaiter) []
 		if holder == head.node || s.isDead(holder) {
 			continue // dead holders cannot respond; the fence handles them
 		}
-		if !compatible(held, head.mode) && !e.revoked[holder] {
-			e.revoked[holder] = true
-			out = append(out, revokeTarget{holder: holder, wantNode: head.node, wantMode: head.mode})
+		if !compatible(held, head.mode) {
+			if last, sent := e.revoked[holder]; !sent || time.Since(last) > plockRevokeResend {
+				e.revoked[holder] = time.Now()
+				out = append(out, revokeTarget{holder: holder, wantNode: head.node, wantMode: head.mode})
+			}
 		}
 	}
 	return out

@@ -325,6 +325,7 @@ func (a *Agent) detectLoop() {
 		gapEWMA time.Duration
 	}
 	peers := make(map[common.NodeID]track)
+	fenced := make(map[common.NodeID]time.Time)
 	t := time.NewTicker(a.cfg.RenewInterval)
 	defer t.Stop()
 	buf := make([]byte, RegionSize)
@@ -346,6 +347,21 @@ func (a *Agent) detectLoop() {
 				if _, known := peers[n]; known {
 					delete(peers, n)
 					a.clearSlow(n)
+				}
+				// A slot stuck Fenced means the eviction winner never ran
+				// the recovery: it was an agent with no takeover pipeline
+				// (a satellite process detecting a peer it cannot repair),
+				// or a survivor that died mid-takeover. Any detector with
+				// a callback finishes the job — the core pipeline is
+				// idempotent under its takeover lock, and a per-node
+				// cooldown keeps a persistently failing recovery from
+				// being retried every tick.
+				if state == StateFenced && a.onTakeover != nil &&
+					now.Sub(fenced[n]) > a.cfg.LeaseTimeout {
+					fenced[n] = now
+					a.onTakeover(n, epoch)
+				} else if state != StateFenced {
+					delete(fenced, n)
 				}
 				continue
 			}

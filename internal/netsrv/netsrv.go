@@ -46,9 +46,19 @@ type Backend struct {
 func New(c *core.Cluster, n *core.Node) *Backend { return &Backend{c: c, n: n} }
 
 var (
-	_ wire.Backend      = (*Backend)(nil)
-	_ wire.AdminBackend = (*Backend)(nil)
+	_ wire.Backend       = (*Backend)(nil)
+	_ wire.AdminBackend  = (*Backend)(nil)
+	_ wire.StatusBackend = (*Backend)(nil)
+	_ wire.GlobalTx      = (*netTx)(nil)
 )
+
+// TxStatus resolves a transaction's outcome from its global id
+// (wire.StatusBackend; protocol v3's OpTxStatus). The resolution chain —
+// journal, TIT, owner fabric call, membership fate rule — lives in core.
+func (b *Backend) TxStatus(g common.GTrxID) (uint8, uint64, error) {
+	out, cts, err := b.c.TxStatus(g)
+	return uint8(out), uint64(cts), err
+}
 
 // JoinInfo is the OpJoinInfo document: the coordinates a new daemon needs to
 // join this cluster, plus which node answered. The daemon fills what it
@@ -161,3 +171,7 @@ func (t *netTx) Scan(space uint32, from, to []byte, limit int) ([]wire.KV, error
 
 func (t *netTx) Commit() error   { return t.tx().Commit() }
 func (t *netTx) Rollback() error { return t.tx().Rollback() }
+
+// GTrxID exposes the engine's global transaction id (wire.GlobalTx): a v3
+// OpBegin response carries it so the client can resolve ambiguous commits.
+func (t *netTx) GTrxID() common.GTrxID { return t.tx().GTrxID() }

@@ -289,14 +289,15 @@ func TestSessionProtoNegotiation(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// v2 (current) client: topology, join info, and drain all work.
+	// Current client: negotiates the newest version; topology, join info,
+	// and drain all work.
 	v2, err := wire.DialSession(addr, wire.SessionConfig{Name: "v2"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer v2.Close()
-	if got := v2.ProtoVersion(); got != wire.SessionProtoV2 {
-		t.Fatalf("negotiated v%d, want v%d", got, wire.SessionProtoV2)
+	if got := v2.ProtoVersion(); got != wire.SessionProtoVersion {
+		t.Fatalf("negotiated v%d, want v%d", got, wire.SessionProtoVersion)
 	}
 	raw, err := v2.TopologyJSON()
 	if err != nil {

@@ -1,0 +1,315 @@
+package rdma
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"polardbmp/internal/common"
+)
+
+// Connection-level fault injection for the socket transport. Where the
+// fabric's verb injector (Fabric.SetInjection) models media faults on
+// individual operations, LinkFaults models the network between processes:
+// partitions that refuse connections, black holes that swallow frames on a
+// live TCP connection (the classic half-open failure a crashed switch
+// leaves behind), and flapping links that die and redial in a loop. Rules
+// are installed at runtime — mpserver exposes them over POST /netfault — so
+// a chaos harness can cut, degrade, and heal specific peer pairs while the
+// cluster is under load.
+//
+// Rules match peers by substring against the link's advertised identity
+// (the dialer sees "addr/serverName", the acceptor sees the dialer's
+// configured name) and, for dial refusal, the dial address. An empty
+// pattern matches every peer. Every rule expires on its own; healing early
+// is ClearLinkFaults.
+
+// Link-fault modes.
+const (
+	// FaultPartition refuses new dials to matching peers and kills matching
+	// live links. Verbs fail fast with ErrUnreachable until healed.
+	FaultPartition = "partition"
+	// FaultBlackhole silently discards frames on matching live links, in
+	// both directions, without closing the connection — a half-open link.
+	// Keepalive idle detection is what eventually tears it down.
+	FaultBlackhole = "blackhole"
+	// FaultFlap kills matching live links every flapInterval while the rule
+	// is active; redials succeed, so the link oscillates.
+	FaultFlap = "flap"
+)
+
+// flapIntervalNs is the kill cadence of FaultFlap rules (atomic so tests
+// can shorten it without racing live flap loops).
+var flapIntervalNs atomic.Int64
+
+func init() { flapIntervalNs.Store(int64(500 * time.Millisecond)) }
+
+type linkFaultRule struct {
+	peer  string // substring pattern; "" matches all
+	mode  string
+	until time.Time
+}
+
+func (r *linkFaultRule) expired(now time.Time) bool { return now.After(r.until) }
+
+func (r *linkFaultRule) matches(detail string) bool {
+	return r.peer == "" || strings.Contains(detail, r.peer)
+}
+
+// LinkFaults is the per-fabric registry of connection-level fault rules,
+// plus the set of live socket links they apply to. The zero value is ready;
+// the hot-path checks are one atomic load while no rule is installed.
+type LinkFaults struct {
+	// active counts installed (possibly expired) rules so send/readLoop pay
+	// one atomic load when chaos is off.
+	active atomic.Int64
+
+	mu    sync.Mutex
+	rules []linkFaultRule
+	links map[*peerLink]struct{}
+}
+
+// LinkFaultState is one active rule, as reported by Snapshot.
+type LinkFaultState struct {
+	Peer      string  `json:"peer"`
+	Mode      string  `json:"mode"`
+	RemainSec float64 `json:"remain_sec"`
+}
+
+// register tracks a live link so partition/flap rules can kill it.
+// Immediately applies any standing partition to it.
+func (lf *LinkFaults) register(l *peerLink) {
+	if lf == nil {
+		return
+	}
+	lf.mu.Lock()
+	if lf.links == nil {
+		lf.links = make(map[*peerLink]struct{})
+	}
+	lf.links[l] = struct{}{}
+	kill := lf.active.Load() > 0 && lf.matchLocked(l.name, FaultPartition, time.Now())
+	lf.mu.Unlock()
+	if kill {
+		go l.fail(errPeerUnreachable(l.name + " (injected partition)"))
+	}
+}
+
+func (lf *LinkFaults) deregister(l *peerLink) {
+	if lf == nil {
+		return
+	}
+	lf.mu.Lock()
+	delete(lf.links, l)
+	lf.mu.Unlock()
+}
+
+// Set installs (or refreshes) one rule for d. Partition rules kill matching
+// live links immediately; flap rules start their kill loop.
+func (lf *LinkFaults) Set(peer, mode string, d time.Duration) error {
+	switch mode {
+	case FaultPartition, FaultBlackhole, FaultFlap:
+	default:
+		return fmt.Errorf("rdma: link-fault mode %q (want partition|blackhole|flap): %w", mode, common.ErrCorrupt)
+	}
+	if d <= 0 {
+		return fmt.Errorf("rdma: link-fault duration %v: %w", d, common.ErrCorrupt)
+	}
+	now := time.Now()
+	lf.mu.Lock()
+	lf.pruneLocked(now)
+	replaced := false
+	for i := range lf.rules {
+		if lf.rules[i].peer == peer && lf.rules[i].mode == mode {
+			lf.rules[i].until = now.Add(d)
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		lf.rules = append(lf.rules, linkFaultRule{peer: peer, mode: mode, until: now.Add(d)})
+	}
+	lf.active.Store(int64(len(lf.rules)))
+	victims := lf.victimsLocked(peer, mode)
+	lf.mu.Unlock()
+	for _, l := range victims {
+		l.fail(errPeerUnreachable(l.name + " (injected " + mode + ")"))
+	}
+	if mode == FaultFlap && !replaced {
+		go lf.flapLoop(peer, now.Add(d))
+	}
+	return nil
+}
+
+// Clear removes every rule matching peer ("" clears all) and returns how
+// many it removed.
+func (lf *LinkFaults) Clear(peer string) int {
+	lf.mu.Lock()
+	kept := lf.rules[:0]
+	removed := 0
+	for _, r := range lf.rules {
+		if peer == "" || r.peer == peer {
+			removed++
+			continue
+		}
+		kept = append(kept, r)
+	}
+	lf.rules = kept
+	lf.active.Store(int64(len(lf.rules)))
+	lf.mu.Unlock()
+	return removed
+}
+
+// Snapshot reports the active rules (for /netfault GET and stats).
+func (lf *LinkFaults) Snapshot() []LinkFaultState {
+	now := time.Now()
+	lf.mu.Lock()
+	defer lf.mu.Unlock()
+	lf.pruneLocked(now)
+	out := make([]LinkFaultState, 0, len(lf.rules))
+	for _, r := range lf.rules {
+		out = append(out, LinkFaultState{
+			Peer: r.peer, Mode: r.mode, RemainSec: r.until.Sub(now).Seconds(),
+		})
+	}
+	return out
+}
+
+// denyDial reports whether a dial to detail is partitioned away.
+func (lf *LinkFaults) denyDial(detail string) bool {
+	if lf == nil || lf.active.Load() == 0 {
+		return false
+	}
+	lf.mu.Lock()
+	defer lf.mu.Unlock()
+	return lf.matchLocked(detail, FaultPartition, time.Now())
+}
+
+// drop reports whether a frame to/from the link named detail should be
+// silently discarded (black hole).
+func (lf *LinkFaults) drop(detail string) bool {
+	if lf == nil || lf.active.Load() == 0 {
+		return false
+	}
+	lf.mu.Lock()
+	defer lf.mu.Unlock()
+	return lf.matchLocked(detail, FaultBlackhole, time.Now())
+}
+
+func (lf *LinkFaults) matchLocked(detail, mode string, now time.Time) bool {
+	for i := range lf.rules {
+		r := &lf.rules[i]
+		if r.mode == mode && !r.expired(now) && r.matches(detail) {
+			return true
+		}
+	}
+	return false
+}
+
+// victimsLocked collects live links a freshly installed partition/flap rule
+// should kill now (blackhole keeps links alive — that is its point).
+func (lf *LinkFaults) victimsLocked(peer, mode string) []*peerLink {
+	if mode == FaultBlackhole {
+		return nil
+	}
+	var out []*peerLink
+	for l := range lf.links {
+		r := linkFaultRule{peer: peer, mode: mode}
+		if r.matches(l.name) {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// flapLoop kills matching links every flap interval until the rule expires
+// or is cleared. The cadence is captured once at start.
+func (lf *LinkFaults) flapLoop(peer string, until time.Time) {
+	cadence := time.Duration(flapIntervalNs.Load())
+	for {
+		time.Sleep(cadence)
+		now := time.Now()
+		lf.mu.Lock()
+		live := lf.matchRuleLocked(peer, FaultFlap, now)
+		victims := lf.victimsLocked(peer, FaultFlap)
+		lf.mu.Unlock()
+		if !live || now.After(until) {
+			return
+		}
+		for _, l := range victims {
+			l.fail(errPeerUnreachable(l.name + " (injected flap)"))
+		}
+	}
+}
+
+func (lf *LinkFaults) matchRuleLocked(peer, mode string, now time.Time) bool {
+	for i := range lf.rules {
+		r := &lf.rules[i]
+		if r.peer == peer && r.mode == mode && !r.expired(now) {
+			return true
+		}
+	}
+	return false
+}
+
+func (lf *LinkFaults) pruneLocked(now time.Time) {
+	kept := lf.rules[:0]
+	for _, r := range lf.rules {
+		if !r.expired(now) {
+			kept = append(kept, r)
+		}
+	}
+	lf.rules = kept
+	lf.active.Store(int64(len(lf.rules)))
+}
+
+// Faults returns the fabric's connection-fault registry.
+func (f *Fabric) Faults() *LinkFaults { return &f.faults }
+
+// SetLinkFault installs a connection-level fault rule on this fabric's
+// socket links: mode is partition|blackhole|flap (see the Fault* constants)
+// or "heal" to clear rules matching peer. This is the programmatic surface
+// behind mpserver's POST /netfault.
+func (f *Fabric) SetLinkFault(peer, mode string, d time.Duration) error {
+	if mode == "heal" || mode == "clear" {
+		f.faults.Clear(peer)
+		return nil
+	}
+	return f.faults.Set(peer, mode, d)
+}
+
+// --- reconnect backoff -------------------------------------------------------
+
+// Redial backoff bounds: a dead slot's first redial waits redialBackoffMin,
+// doubling per consecutive failure to redialBackoffMax, with ±25% jitter so
+// a cluster of clients does not thundering-herd a restarted peer. Success
+// resets the slot to zero (the next failure starts over at the minimum).
+var (
+	redialBackoffMin = 50 * time.Millisecond
+	redialBackoffMax = 2 * time.Second
+)
+
+// nextBackoff returns the undithered backoff that follows cur: min on the
+// first failure, doubling up to max. Jitter is applied separately (jittered)
+// when the wait deadline is computed, so repeated doubling never compounds
+// the dither.
+func nextBackoff(cur time.Duration) time.Duration {
+	if cur < redialBackoffMin {
+		return redialBackoffMin
+	}
+	next := cur * 2
+	if next > redialBackoffMax {
+		return redialBackoffMax
+	}
+	return next
+}
+
+// jittered spreads d by ±25%.
+func jittered(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return d + time.Duration(rand.Int63n(int64(d)/2+1)) - d/4
+}

@@ -1,0 +1,224 @@
+package rdma
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"polardbmp/internal/common"
+	"polardbmp/internal/wire"
+)
+
+// shortKeepalive makes half-open detection fast enough for tests. Must run
+// before any link is created (tickers capture the interval at start).
+func shortKeepalive(t *testing.T, interval time.Duration, misses int) {
+	t.Helper()
+	oi, om := keepaliveIntervalNs.Load(), keepaliveMisses.Load()
+	keepaliveIntervalNs.Store(int64(interval))
+	keepaliveMisses.Store(int32(misses))
+	t.Cleanup(func() { keepaliveIntervalNs.Store(oi); keepaliveMisses.Store(om) })
+}
+
+func shortBackoff(t *testing.T, min, max time.Duration) {
+	t.Helper()
+	omin, omax := redialBackoffMin, redialBackoffMax
+	redialBackoffMin, redialBackoffMax = min, max
+	t.Cleanup(func() { redialBackoffMin, redialBackoffMax = omin, omax })
+}
+
+func TestLinkFaultPartitionAndHeal(t *testing.T) {
+	shortBackoff(t, 5*time.Millisecond, 50*time.Millisecond)
+	fa, fb, _, _ := twoProcessFabric(t)
+	fa.Register(1).RegisterRegion("mem", 64)
+	conn := fb.From(2)
+	if err := conn.Read(1, "mem", 0, make([]byte, 8)); err != nil {
+		t.Fatalf("pre-fault read: %v", err)
+	}
+
+	// Partition the satellite away from the seed: live links die, dials are
+	// refused, and every verb degrades to the transient ErrUnreachable.
+	if err := fb.SetLinkFault("", FaultPartition, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "partition to cut verbs", func() bool {
+		return errors.Is(conn.Read(1, "mem", 0, make([]byte, 8)), common.ErrUnreachable)
+	})
+	if err := conn.Read(1, "mem", 0, make([]byte, 8)); !common.IsTransient(err) {
+		t.Fatalf("partitioned verb must stay transient: %v", err)
+	}
+
+	// Healing restores service: redials go through once the backoff window
+	// of the slot round-robin picks expires.
+	if err := fb.SetLinkFault("", "heal", 0); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "heal to restore verbs", func() bool {
+		return conn.Read(1, "mem", 0, make([]byte, 8)) == nil
+	})
+}
+
+func TestLinkFaultPartitionKillsAcceptorSide(t *testing.T) {
+	shortBackoff(t, 5*time.Millisecond, 50*time.Millisecond)
+	fa, fb, peer, _ := twoProcessFabric(t)
+	fa.Register(1).RegisterRegion("mem", 64)
+	fb.Register(2).RegisterRegion("tit", 64)
+	if err := peer.Announce(2); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "reverse route", func() bool { return fa.transportFor(2) != fa.local })
+
+	// A rule installed on the ACCEPTOR (the seed) matching the dialer's
+	// advertised name kills the accepted links, cutting reverse verbs; the
+	// dialer's reconnects are killed on arrival while the rule stands.
+	if err := fa.SetLinkFault("sat", FaultPartition, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "reverse verbs cut", func() bool {
+		return errors.Is(fa.From(1).Write64(2, "tit", 0, 7), common.ErrUnreachable)
+	})
+	if err := fa.SetLinkFault("sat", "heal", 0); err != nil {
+		t.Fatal(err)
+	}
+	// The acceptor never dials: reverse routes come back when the dialer's
+	// own traffic re-establishes the uplink, so keep the satellite talking.
+	waitFor(t, "reverse verbs healed", func() bool {
+		_ = fb.From(2).Read(1, "mem", 0, make([]byte, 8))
+		return fa.From(1).Write64(2, "tit", 0, 7) == nil
+	})
+}
+
+func TestLinkFaultBlackholeDetectedByKeepalive(t *testing.T) {
+	shortKeepalive(t, 20*time.Millisecond, 2)
+	shortBackoff(t, 5*time.Millisecond, 50*time.Millisecond)
+	fa, fb, _, _ := twoProcessFabric(t)
+	fa.Register(1).RegisterRegion("mem", 64)
+	conn := fb.From(2)
+	if err := conn.Read(1, "mem", 0, make([]byte, 8)); err != nil {
+		t.Fatalf("pre-fault read: %v", err)
+	}
+
+	// A black hole swallows frames without closing the TCP connection: the
+	// in-flight verb must NOT hang forever — idle detection tears the link
+	// down and wakes the waiter with a transient error.
+	if err := fb.SetLinkFault("", FaultBlackhole, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- conn.Read(1, "mem", 0, make([]byte, 8)) }()
+	select {
+	case err := <-done:
+		if !common.IsTransient(err) {
+			t.Fatalf("black-holed verb must fail transient, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("black-holed verb hung: keepalive never fired")
+	}
+
+	fb.Faults().Clear("")
+	waitFor(t, "heal after blackhole", func() bool {
+		return conn.Read(1, "mem", 0, make([]byte, 8)) == nil
+	})
+}
+
+func TestLinkFaultFlap(t *testing.T) {
+	of := flapIntervalNs.Load()
+	flapIntervalNs.Store(int64(20 * time.Millisecond))
+	t.Cleanup(func() { flapIntervalNs.Store(of) })
+	shortBackoff(t, time.Millisecond, 10*time.Millisecond)
+
+	fa := NewFabric(Latency{})
+	fb := NewFabric(Latency{})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := ServeFabric(fa, lis, "seed", &wire.NetCounters{})
+	nc := &wire.NetCounters{}
+	peer, err := DialPeer(fb, lis.Addr().String(), PeerConfig{Name: "sat", Conns: 1, Counters: nc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb.AttachDefault(peer)
+	t.Cleanup(func() { _ = peer.Close(); srv.Close() })
+	fa.Register(1).RegisterRegion("mem", 64)
+	conn := fb.From(2)
+
+	if err := conn.Read(1, "mem", 0, make([]byte, 8)); err != nil {
+		t.Fatalf("pre-fault read: %v", err)
+	}
+
+	if err := fb.SetLinkFault("", FaultFlap, 150*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// Under flap the link oscillates: kills force redials, so the dialed-
+	// connection counter keeps growing while the rule stands. Loopback
+	// redials are near-instant, so observe churn, not verb failures.
+	dialed := func() int64 { return nc.Snapshot().ConnsDialed }
+	start := dialed()
+	deadline := time.Now().Add(2 * time.Second)
+	for dialed() < start+2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("flap rule never churned the link: dialed %d -> %d", start, dialed())
+		}
+		_ = conn.Read(1, "mem", 0, make([]byte, 8)) // keep traffic flowing
+		time.Sleep(2 * time.Millisecond)
+	}
+	waitFor(t, "flap to expire and heal", func() bool {
+		return conn.Read(1, "mem", 0, make([]byte, 8)) == nil
+	})
+}
+
+func TestLinkFaultValidation(t *testing.T) {
+	f := NewFabric(Latency{})
+	if err := f.SetLinkFault("x", "melt", time.Second); err == nil {
+		t.Fatal("bogus mode accepted")
+	}
+	if err := f.SetLinkFault("x", FaultPartition, 0); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+	if err := f.SetLinkFault("x", FaultPartition, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	snap := f.Faults().Snapshot()
+	if len(snap) != 1 || snap[0].Mode != FaultPartition || snap[0].Peer != "x" {
+		t.Fatalf("snapshot %+v", snap)
+	}
+	if n := f.Faults().Clear("x"); n != 1 {
+		t.Fatalf("cleared %d rules", n)
+	}
+	if len(f.Faults().Snapshot()) != 0 {
+		t.Fatal("rules survived clear")
+	}
+}
+
+func TestRedialBackoffBounds(t *testing.T) {
+	// Doubling from the floor, clamped at the ceiling.
+	cur := time.Duration(0)
+	var seq []time.Duration
+	for i := 0; i < 10; i++ {
+		cur = nextBackoff(cur)
+		seq = append(seq, cur)
+	}
+	if seq[0] != redialBackoffMin {
+		t.Fatalf("first backoff %v, want %v", seq[0], redialBackoffMin)
+	}
+	for i := 1; i < len(seq); i++ {
+		if seq[i] < seq[i-1] {
+			t.Fatalf("backoff not monotone: %v", seq)
+		}
+		if seq[i] > redialBackoffMax {
+			t.Fatalf("backoff exceeded max: %v", seq)
+		}
+	}
+	if seq[len(seq)-1] != redialBackoffMax {
+		t.Fatalf("backoff never reached max: %v", seq)
+	}
+	// Jitter stays within ±25%.
+	for i := 0; i < 1000; i++ {
+		d := jittered(time.Second)
+		if d < 750*time.Millisecond || d > 1250*time.Millisecond {
+			t.Fatalf("jitter out of bounds: %v", d)
+		}
+	}
+}

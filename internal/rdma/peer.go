@@ -16,10 +16,12 @@ import (
 // dialTimeout bounds connection establishment and the handshake round trip.
 const dialTimeout = 3 * time.Second
 
-// redialBackoff is the minimum gap between reconnect attempts per link slot,
-// so a dead uplink costs one failed dial per backoff window instead of one
-// per verb.
-const redialBackoff = 250 * time.Millisecond
+// Reconnect pacing is per link slot and exponential: the first redial after
+// a failure waits redialBackoffMin, doubling per consecutive failure up to
+// redialBackoffMax with ±25% jitter (see faults.go), so a dead uplink costs
+// one failed dial per backoff window instead of one per verb, and a fleet
+// of clients does not stampede a freshly restarted peer. A successful dial
+// resets the slot.
 
 func newPeerID() uint64 {
 	var b [8]byte
@@ -67,7 +69,8 @@ type Peer struct {
 
 	mu       sync.Mutex
 	links    []*peerLink // slot-indexed; nil or dead slots redial on demand
-	lastDial []time.Time
+	notUntil []time.Time // per-slot redial gate (now+jittered backoff)
+	backoff  []time.Duration
 	hosted   []common.NodeID
 	closed   bool
 
@@ -85,7 +88,8 @@ func DialPeer(f *Fabric, addr string, cfg PeerConfig) (*Peer, error) {
 		id:       newPeerID(),
 		cfg:      cfg,
 		links:    make([]*peerLink, cfg.Conns),
-		lastDial: make([]time.Time, cfg.Conns),
+		notUntil: make([]time.Time, cfg.Conns),
+		backoff:  make([]time.Duration, cfg.Conns),
 		hosted:   append([]common.NodeID(nil), cfg.Hosted...),
 	}
 	p.netTransport = netTransport{links: p, fstats: &f.stats}
@@ -105,14 +109,19 @@ func (p *Peer) Addr() string { return p.addr }
 func (p *Peer) detail() string { return p.addr }
 
 // dialSlotLocked (re)connects pool slot i and runs the dialer handshake.
+// Failures arm the slot's exponential backoff; success resets it.
 func (p *Peer) dialSlotLocked(i int) (*peerLink, error) {
 	if p.closed {
 		return nil, errPeerUnreachable(p.addr + " (peer closed)")
 	}
-	if since := time.Since(p.lastDial[i]); since < redialBackoff {
+	if time.Now().Before(p.notUntil[i]) {
 		return nil, errPeerUnreachable(p.addr + " (redial backoff)")
 	}
-	p.lastDial[i] = time.Now()
+	if p.f.faults.denyDial(p.addr) {
+		p.armBackoffLocked(i)
+		return nil, errPeerUnreachable(p.addr + " (injected partition)")
+	}
+	p.armBackoffLocked(i)
 	c, err := net.DialTimeout("tcp", p.addr, dialTimeout)
 	if err != nil {
 		return nil, errPeerUnreachable(p.addr + ": " + err.Error())
@@ -123,10 +132,18 @@ func (p *Peer) dialSlotLocked(i int) (*peerLink, error) {
 		_ = c.Close()
 		return nil, err
 	}
+	p.backoff[i] = 0
+	p.notUntil[i] = time.Time{}
 	p.cfg.Counters.ConnOpened(false)
 	p.links[i] = l
-	go l.readLoop()
+	l.start()
 	return l, nil
+}
+
+// armBackoffLocked advances slot i's backoff and gates the next attempt.
+func (p *Peer) armBackoffLocked(i int) {
+	p.backoff[i] = nextBackoff(p.backoff[i])
+	p.notUntil[i] = time.Now().Add(jittered(p.backoff[i]))
 }
 
 // handshake sends hello and validates the ack, all before the read loop
@@ -386,7 +403,7 @@ func (s *FabricServer) handshake(c net.Conn) {
 		rp.addNode(n)
 	}
 	s.nc.ConnOpened(true)
-	go l.readLoop()
+	l.start()
 }
 
 // Close stops accepting and tears down every peer connection. Routes the

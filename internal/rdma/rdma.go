@@ -90,6 +90,10 @@ type Fabric struct {
 	local    Transport
 	routes   routesPtr
 	routesMu sync.Mutex
+
+	// faults is the connection-level fault registry for this fabric's socket
+	// links (faults.go); zero value means chaos off.
+	faults LinkFaults
 }
 
 // NewFabric creates an empty fabric with the given latency model.

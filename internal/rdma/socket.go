@@ -53,7 +53,26 @@ const (
 	copHello uint8 = iota + 1
 	copHelloAck
 	copAnnounce
+	copPing
 )
+
+// Keepalive: both ends of a link send copPing every keepalive interval and
+// track the arrival time of the last frame of any kind. A link that has
+// received nothing for keepaliveMisses intervals is declared half-open and
+// failed with ErrUnreachable — TCP alone can take many minutes to notice a
+// peer that vanished without a FIN (SIGKILL of the process leaves a FIN, but
+// a dropped switch, a black-holed route, or injected FaultBlackhole do not).
+// Atomics because tests shorten them while links from earlier tests are
+// still winding down.
+var (
+	keepaliveIntervalNs atomic.Int64
+	keepaliveMisses     atomic.Int32
+)
+
+func init() {
+	keepaliveIntervalNs.Store(int64(time.Second))
+	keepaliveMisses.Store(3)
+}
 
 func errPeerUnreachable(detail string) error {
 	return fmt.Errorf("rdma: peer %s: %w", detail, common.ErrUnreachable)
@@ -83,6 +102,10 @@ type peerLink struct {
 	pending map[uint64]chan linkResp
 	closed  bool
 
+	// lastRecv is the unix-nano arrival time of the last frame (any kind);
+	// the keepalive loop fails the link when it goes stale.
+	lastRecv atomic.Int64
+
 	// rp is the acceptor-side connection group this link belongs to (nil on
 	// dialed links); onClose removes the link from its owner.
 	rp      *remotePeer
@@ -94,11 +117,49 @@ func newPeerLink(f *Fabric, c net.Conn, nc *wire.NetCounters) *peerLink {
 		_ = tc.SetKeepAlive(true)
 		_ = tc.SetKeepAlivePeriod(15 * time.Second)
 	}
-	return &peerLink{f: f, c: c, nc: nc, pending: make(map[uint64]chan linkResp)}
+	l := &peerLink{f: f, c: c, nc: nc, pending: make(map[uint64]chan linkResp)}
+	l.lastRecv.Store(time.Now().UnixNano())
+	return l
 }
 
-// send writes one frame (serialized against concurrent senders).
+// start registers the link with the fabric's fault registry and runs its
+// read and keepalive loops. Called once per link, after the handshake.
+func (l *peerLink) start() {
+	l.f.faults.register(l)
+	go l.readLoop()
+	go l.keepaliveLoop()
+}
+
+// keepaliveLoop pings the remote and enforces the idle bound until the link
+// dies. The interval and miss budget are captured once at start.
+func (l *peerLink) keepaliveLoop() {
+	interval := time.Duration(keepaliveIntervalNs.Load())
+	misses := int(keepaliveMisses.Load())
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for range t.C {
+		if !l.alive() {
+			return
+		}
+		idle := time.Since(time.Unix(0, l.lastRecv.Load()))
+		if idle > time.Duration(misses)*interval {
+			l.fail(fmt.Errorf("rdma: link %s: no frames for %v (half-open)", l.name, idle.Round(time.Millisecond)))
+			return
+		}
+		if err := l.send(wire.Frame{Kind: wire.KindControl, Op: copPing}); err != nil {
+			l.fail(err)
+			return
+		}
+	}
+}
+
+// send writes one frame (serialized against concurrent senders). A
+// black-holed link reports success without writing — exactly what a
+// half-open TCP connection does until its send buffer fills.
 func (l *peerLink) send(fr wire.Frame) error {
+	if l.f.faults.drop(l.name) {
+		return nil
+	}
 	l.wmu.Lock()
 	defer l.wmu.Unlock()
 	var err error
@@ -151,6 +212,7 @@ func (l *peerLink) fail(err error) {
 	l.pending = nil
 	l.pmu.Unlock()
 	_ = l.c.Close()
+	l.f.faults.deregister(l)
 	for _, ch := range waiters {
 		ch <- linkResp{err: err}
 	}
@@ -179,6 +241,13 @@ func (l *peerLink) readLoop() {
 			return
 		}
 		buf = b
+		if l.f.faults.drop(l.name) {
+			// Black hole: the frame arrived but the chaos rule says this link
+			// is dead to the world — discard it without refreshing lastRecv,
+			// so idle detection fires here too.
+			continue
+		}
+		l.lastRecv.Store(time.Now().UnixNano())
 		l.nc.FrameIn(fr.WireSize())
 		switch fr.Kind {
 		case wire.KindResponse:
@@ -196,8 +265,12 @@ func (l *peerLink) readLoop() {
 			copy(cp, fr.Payload)
 			go l.serveRequest(fr.Op, fr.ID, cp)
 		case wire.KindControl:
-			if fr.Op == copAnnounce {
+			switch fr.Op {
+			case copAnnounce:
 				l.handleAnnounce(fr.Payload)
+			case copPing:
+				// Receiving it already refreshed lastRecv; nothing to answer —
+				// the remote runs its own ping loop.
 			}
 		default:
 			l.nc.CodecError()

@@ -264,10 +264,19 @@ type Remote struct {
 func NewRemote(conn rdma.Conn) *Remote {
 	return &Remote{
 		conn: conn,
-		// The uplink policy is heavier than the fabric default: storage has
-		// almost no error paths, so riding out a peer reconnect (~seconds)
-		// beats surfacing a failure the engine cannot express.
-		rp:       common.RetryPolicy{MaxAttempts: 12, BaseDelay: time.Millisecond, MaxDelay: 250 * time.Millisecond},
+		// The uplink policy is much heavier than the fabric default: storage
+		// has almost no error paths, so riding out an outage beats surfacing
+		// a failure the engine cannot express. The budget (~12s of backoff)
+		// must exceed the worst transient outage the membership layer
+		// forgives without evicting this node — a brief partition plus
+		// keepalive detection plus the full redial backoff (2s cap, +25%
+		// jitter) — because giving up early fail-safes the log stream to
+		// fenced, which permanently closes the node's wal.Writer: a node
+		// that still holds its lease would be bricked, committing nothing
+		// ever again. If retries DO exhaust, the uplink has been dead far
+		// longer than any lease, the seed has evicted us, and the sticky
+		// fence below converges with the server-side truth.
+		rp:       common.RetryPolicy{MaxAttempts: 40, BaseDelay: time.Millisecond, MaxDelay: 400 * time.Millisecond},
 		fenceTTL: defaultFenceTTL,
 		streams:  make(map[common.NodeID]*remoteStream),
 	}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -250,6 +251,87 @@ func TestRemoteWalWriter(t *testing.T) {
 	w.Sync(end + 1)
 	if d := h.seed.LogDurableLSN(node); d != end {
 		t.Fatalf("fenced stream advanced to %d", d)
+	}
+}
+
+// A transient uplink outage shorter than the retry budget must be invisible
+// to the log path: no fail-safe fence, no misplaced LSN — the call blocks,
+// rides the blip out, and lands exactly once. This is the regression guard
+// for the bricked-satellite bug: a 500ms partition whose redial backoff
+// outlasted the old ~1s retry budget stuck the fenced fail-safe, which
+// permanently closed the node's wal.Writer even though the node still held
+// its membership lease — every commit failed ErrNodeDown forever after.
+func TestRemoteRidesOutUplinkBlip(t *testing.T) {
+	h := newRemoteHarness(t)
+	r := h.rem
+	const node = common.NodeID(9)
+
+	if got := r.LogAppend(node, []byte("pre!")); got != 0 {
+		t.Fatalf("seed append placed at %d", got)
+	}
+
+	// Fail every RPC until healed: the fabric conn looks dead for ~150ms,
+	// comfortably inside the default retry budget.
+	var blip atomic.Bool
+	blip.Store(true)
+	h.fb.SetInjector(func(op common.FaultOp) common.FaultDecision {
+		if blip.Load() && op.Class == common.FaultRPC {
+			return common.FaultDecision{Err: common.ErrInjected}
+		}
+		return common.FaultDecision{}
+	})
+	time.AfterFunc(150*time.Millisecond, func() { blip.Store(false) })
+
+	start := time.Now()
+	if got := r.LogAppend(node, []byte("blip")); got != 4 {
+		t.Fatalf("append through blip placed at %d", got)
+	}
+	if time.Since(start) < 100*time.Millisecond {
+		t.Fatal("append returned before the blip healed")
+	}
+	if r.LogFenced(node) {
+		t.Fatal("transient outage must not fence the stream")
+	}
+	if d := r.LogSync(node); d != 8 {
+		t.Fatalf("sync after blip: durable %d", d)
+	}
+	if end := h.seed.LogEndLSN(node); end != 8 {
+		t.Fatalf("stream end %d after blip", end)
+	}
+}
+
+// Same property one layer up: a wal.Writer whose store rides an uplink blip
+// must stay open and keep committing afterwards, not close itself on a
+// fail-safe fence while the node is still a lease-holding member.
+func TestRemoteWalWriterSurvivesUplinkBlip(t *testing.T) {
+	h := newRemoteHarness(t)
+	const node = common.NodeID(10)
+
+	w := wal.NewWriter(h.rem, node)
+	end := w.Append(&wal.Record{Type: wal.RecCommit, Node: node, LLSN: 1})
+	w.Sync(end)
+
+	var blip atomic.Bool
+	blip.Store(true)
+	h.fb.SetInjector(func(op common.FaultOp) common.FaultDecision {
+		if blip.Load() && op.Class == common.FaultRPC {
+			return common.FaultDecision{Err: common.ErrInjected}
+		}
+		return common.FaultDecision{}
+	})
+	time.AfterFunc(150*time.Millisecond, func() { blip.Store(false) })
+
+	end = w.Append(&wal.Record{Type: wal.RecCommit, Node: node, LLSN: 2})
+	w.Sync(end)
+	if d := h.seed.LogDurableLSN(node); d != end {
+		t.Fatalf("durable %d want %d: commit lost in the blip", d, end)
+	}
+
+	// The writer must still be open: the next commit lands too.
+	end = w.Append(&wal.Record{Type: wal.RecCommit, Node: node, LLSN: 3})
+	w.Sync(end)
+	if d := h.seed.LogDurableLSN(node); d != end {
+		t.Fatalf("durable %d want %d: writer closed after the blip", d, end)
 	}
 }
 

@@ -192,6 +192,60 @@ func (c *Client) JoinInfoJSON() ([]byte, error) {
 	return c.call(OpJoinInfo, nil)
 }
 
+// TxStatus resolves the outcome of a transaction from its global id
+// (protocol v3). Returns one of the TxStatus* outcomes and, for committed
+// transactions, the commit timestamp.
+func (c *Client) TxStatus(g common.GTrxID) (outcome uint8, cts uint64, err error) {
+	out, err := c.call(OpTxStatus, g.Marshal(nil))
+	if err != nil {
+		return TxStatusUnknown, 0, err
+	}
+	rd := NewReader(out)
+	outcome = rd.U8()
+	cts = rd.U64()
+	return outcome, cts, rd.Err()
+}
+
+// ResolveTx resolves an ambiguous commit: it polls TxStatus until the
+// outcome is definitive (committed or aborted), absorbing transient
+// transport faults and TxStatusActive answers with jittered backoff, for at
+// most timeout. This is the only correct reaction to ErrCommitAmbiguous —
+// never retry the transaction before knowing its fate. A TxStatusUnknown or
+// expiry returns the outcome so far with a non-nil error; the caller must
+// treat the transaction as unresolved, not as aborted.
+func (c *Client) ResolveTx(g common.GTrxID, timeout time.Duration) (outcome uint8, cts uint64, err error) {
+	if g.Zero() {
+		return TxStatusUnknown, 0, fmt.Errorf("wire: resolve tx: zero global id (protocol < v3?)")
+	}
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	deadline := time.Now().Add(timeout)
+	backoff := 5 * time.Millisecond
+	for {
+		outcome, cts, err = c.TxStatus(g)
+		switch {
+		case err == nil && (outcome == TxStatusCommitted || outcome == TxStatusAborted):
+			return outcome, cts, nil
+		case err == nil && outcome == TxStatusUnknown:
+			return TxStatusUnknown, 0, fmt.Errorf("wire: resolve tx %v: outcome unresolvable", g)
+		case err != nil && !errors.Is(err, common.ErrUnreachable) && !errors.Is(err, common.ErrInjected):
+			// A definitive server-side refusal (bad op, no status backend).
+			return TxStatusUnknown, 0, err
+		}
+		if time.Now().After(deadline) {
+			if err == nil {
+				err = fmt.Errorf("wire: resolve tx %v: still %d after %v", g, outcome, timeout)
+			}
+			return TxStatusUnknown, 0, err
+		}
+		time.Sleep(backoff)
+		if backoff < 200*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
 // CreateSpace creates (or finds) a named tablespace.
 func (c *Client) CreateSpace(name string) (uint32, error) {
 	out, err := c.call(OpCreateSpace, AppendString(nil, name))
@@ -222,14 +276,28 @@ func (c *Client) Begin(iso uint8, budget time.Duration) (*ClientTx, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &ClientTx{sc: sc, id: NewReader(out).U64()}, nil
+	rd := NewReader(out)
+	tx := &ClientTx{sc: sc, id: rd.U64()}
+	if sc.proto >= SessionProtoV3 {
+		// v3: the response carries the engine's global transaction id — the
+		// token an ambiguous commit is later resolved with.
+		if g, _, err := common.UnmarshalGTrxID(rd.Rest()); err == nil {
+			tx.gtrx = g
+		}
+	}
+	return tx, nil
 }
 
 // ClientTx is a transaction handle; safe for one goroutine (like sql.Tx).
 type ClientTx struct {
-	sc *sessionConn
-	id uint64
+	sc   *sessionConn
+	id   uint64
+	gtrx common.GTrxID // global id (zero below protocol v3)
 }
+
+// GTrx returns the transaction's global id (zero when the session protocol
+// predates v3 or the backend has no global ids).
+func (tx *ClientTx) GTrx() common.GTrxID { return tx.gtrx }
 
 func (tx *ClientTx) keyReq(space uint32, key []byte) []byte {
 	b := AppendU64(nil, tx.id)
@@ -304,9 +372,43 @@ func (tx *ClientTx) Scan(space uint32, from, to []byte, limit int) ([]KV, error)
 	return kvs, rd.Err()
 }
 
-// Commit makes the transaction durable.
+// AmbiguousCommitError reports a commit whose outcome is unknown: the
+// request was sent (or may have been) but the connection died before the
+// answer came back, or a gateway lost its backend with the commit in flight.
+// It matches errors.Is(err, common.ErrCommitAmbiguous); GTrx is the token to
+// resolve the real outcome with (Client.ResolveTx / TxStatus). The
+// transaction MUST NOT be blindly retried.
+type AmbiguousCommitError struct {
+	GTrx  common.GTrxID
+	cause error
+}
+
+func (e *AmbiguousCommitError) Error() string {
+	return fmt.Sprintf("wire: commit of %v: %v", e.GTrx, e.cause)
+}
+
+// Unwrap exposes the transport/status error that made the commit ambiguous.
+func (e *AmbiguousCommitError) Unwrap() error { return e.cause }
+
+// Is matches the shared sentinel.
+func (e *AmbiguousCommitError) Is(target error) bool {
+	return target == common.ErrCommitAmbiguous
+}
+
+// Commit makes the transaction durable. If the connection dies with the
+// commit in flight the outcome is genuinely unknown — the server completes
+// an in-flight commit even when its client vanishes — so Commit returns an
+// *AmbiguousCommitError (errors.Is ErrCommitAmbiguous) instead of guessing;
+// resolve it with Client.ResolveTx. Errors the server itself reported are
+// definitive and returned as-is.
 func (tx *ClientTx) Commit() error {
-	_, err := tx.sc.call(OpCommit, AppendU64(nil, tx.id))
+	_, err, responded := tx.sc.callEx(OpCommit, AppendU64(nil, tx.id))
+	if err == nil {
+		return nil
+	}
+	if !tx.gtrx.Zero() && (!responded || errors.Is(err, common.ErrCommitAmbiguous)) {
+		return &AmbiguousCommitError{GTrx: tx.gtrx, cause: err}
+	}
 	return err
 }
 
@@ -377,12 +479,21 @@ func (sc *sessionConn) handshake(name string, version uint16, timeout time.Durat
 }
 
 func (sc *sessionConn) call(op uint8, payload []byte) ([]byte, error) {
+	out, err, _ := sc.callEx(op, payload)
+	return out, err
+}
+
+// callEx is call plus the ambiguity bit: responded reports whether a
+// response frame actually came back. A false responded with a non-nil error
+// means the connection died with the request in flight — for mutating ops
+// (commit) the outcome on the server is unknown.
+func (sc *sessionConn) callEx(op uint8, payload []byte) (out []byte, err error, responded bool) {
 	ch := make(chan callResult, 1)
 	sc.mu.Lock()
 	if sc.dead != nil {
-		err := sc.dead
+		deadErr := sc.dead
 		sc.mu.Unlock()
-		return nil, err
+		return nil, deadErr, false
 	}
 	sc.nextID++
 	id := sc.nextID
@@ -393,25 +504,25 @@ func (sc *sessionConn) call(op uint8, payload []byte) ([]byte, error) {
 	sc.nc.EnterOp()
 	defer sc.nc.LeaveOp()
 	sc.wmu.Lock()
-	wbuf, err := WriteFrame(sc.conn, sc.wbuf, f)
+	wbuf, werr := WriteFrame(sc.conn, sc.wbuf, f)
 	sc.wbuf = wbuf
 	sc.wmu.Unlock()
-	if err != nil {
+	if werr != nil {
 		// fail (or a racing readLoop delivery) resolves our channel exactly
 		// once; if the response actually made it, use it.
-		sc.fail(fmt.Errorf("wire: send: %v: %w", err, common.ErrUnreachable))
+		sc.fail(fmt.Errorf("wire: send: %v: %w", werr, common.ErrUnreachable))
 	} else {
 		sc.nc.FrameOut(f.WireSize())
 	}
 	res := <-ch
 	if res.err != nil {
-		return nil, res.err
+		return nil, res.err, false
 	}
 	rd := NewReader(res.payload)
 	if err := DecodeStatus(rd); err != nil {
-		return nil, err
+		return nil, err, true
 	}
-	return rd.Rest(), nil
+	return rd.Rest(), nil, true
 }
 
 func (sc *sessionConn) readLoop() {

@@ -39,6 +39,7 @@ const (
 	codeUnreachable
 	codeUnknownNode
 	codeDraining
+	codeCommitAmbiguous
 )
 
 // codeTable pairs each sentinel with its wire code, most-specific first
@@ -69,6 +70,7 @@ var codeTable = []struct {
 	{codeUnreachable, common.ErrUnreachable},
 	{codeUnknownNode, common.ErrUnknownNode},
 	{codeDraining, common.ErrDraining},
+	{codeCommitAmbiguous, common.ErrCommitAmbiguous},
 }
 
 var codeIndex = func() map[uint16]error {

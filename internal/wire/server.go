@@ -276,7 +276,19 @@ func (ss *session) serve(op uint8, payload []byte) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		return AppendU64(nil, ss.registerTx(tx)), nil
+		resp := AppendU64(nil, ss.registerTx(tx))
+		if ss.proto >= SessionProtoV3 {
+			// v3 responses carry the engine's global transaction id so the
+			// client can resolve an ambiguous commit. A backend without
+			// global ids sends the zero id (the client then cannot resolve,
+			// only report ambiguity).
+			var g common.GTrxID
+			if gt, ok := tx.(GlobalTx); ok {
+				g = gt.GTrxID()
+			}
+			resp = g.Marshal(resp)
+		}
+		return resp, nil
 	case OpGet, OpGetForUpdate:
 		id, space, key := rd.U64(), rd.U32(), rd.Bytes()
 		if err := rd.Err(); err != nil {
@@ -402,6 +414,23 @@ func (ss *session) serve(op uint8, payload []byte) ([]byte, error) {
 			}
 			return nil, ab.Drain(node)
 		}
+	case OpTxStatus:
+		if ss.proto < SessionProtoV3 {
+			return nil, fmt.Errorf("wire: session op %d needs protocol v3 (negotiated v%d): %w", op, ss.proto, common.ErrNoService)
+		}
+		sb, ok := ss.srv.be.(StatusBackend)
+		if !ok {
+			return nil, fmt.Errorf("wire: session op %d: no status backend: %w", op, common.ErrNoService)
+		}
+		g, _, err := common.UnmarshalGTrxID(rd.Rest())
+		if err != nil {
+			return nil, err
+		}
+		outcome, cts, err := sb.TxStatus(g)
+		if err != nil {
+			return nil, err
+		}
+		return AppendU64([]byte{outcome}, cts), nil
 	default:
 		return nil, fmt.Errorf("wire: session op %d: %w", op, common.ErrNoService)
 	}

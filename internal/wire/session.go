@@ -1,6 +1,10 @@
 package wire
 
-import "time"
+import (
+	"time"
+
+	"polardbmp/internal/common"
+)
 
 // Session protocol versions, carried in the hello exchange. The server
 // negotiates down: a session runs at min(client, server), so an old client
@@ -10,10 +14,14 @@ import "time"
 //
 //   - v1: the transactional surface (OpBegin..OpPing).
 //   - v2: adds the admin ops — OpTopology, OpDrain, OpJoinInfo.
+//   - v3: adds commit-ambiguity resolution — OpBegin's response carries the
+//     engine's global transaction id, and OpTxStatus resolves a transaction's
+//     outcome after a lost connection (ErrCommitAmbiguous, ResolveTx).
 const (
 	SessionProtoV1      = 1
 	SessionProtoV2      = 2
-	SessionProtoVersion = SessionProtoV2
+	SessionProtoV3      = 3
+	SessionProtoVersion = SessionProtoV3
 )
 
 // Session control ops (KindControl frames; the handshake).
@@ -45,6 +53,28 @@ const (
 	OpTopology uint8 = 15 // [] -> [topology JSON bytes]
 	OpDrain    uint8 = 16 // [node u16] -> []
 	OpJoinInfo uint8 = 17 // [] -> [join-info JSON bytes]
+
+	// v3: resolve a transaction's outcome from its global id (the token a v3
+	// OpBegin response carries). Refused (ErrNoService) below v3 and on
+	// backends without the status surface. Note the v3 OpBegin response is
+	// [tx u64][gtrx], not [tx u64].
+	OpTxStatus uint8 = 18 // [gtrx] -> [outcome u8][cts u64]
+)
+
+// Transaction outcomes as reported by OpTxStatus (mirrors core.TxOutcome;
+// part of the protocol — append only).
+const (
+	// TxStatusUnknown: no server-side layer could decide (outcome aged out of
+	// every journal window). A resolution failure, never a guess.
+	TxStatusUnknown uint8 = 0
+	// TxStatusActive: the transaction (or its owner's takeover) is still in
+	// flight; poll again.
+	TxStatusActive uint8 = 1
+	// TxStatusCommitted: durably committed; cts carries the commit timestamp.
+	TxStatusCommitted uint8 = 2
+	// TxStatusAborted: rolled back (including server-side rollback of a
+	// transaction whose client connection died before commit).
+	TxStatusAborted uint8 = 3
 )
 
 // KV is one key/value pair of a scan result.
@@ -83,6 +113,23 @@ type AdminBackend interface {
 	// JoinInfoJSON describes how a new process joins this cluster (fabric
 	// address, cluster name, this daemon's node ids) as JSON.
 	JoinInfoJSON() ([]byte, error)
+}
+
+// StatusBackend is the optional transaction-status surface behind the v3
+// OpTxStatus op: resolve the outcome of a (possibly foreign) transaction
+// from its global id. Backends without it answer OpTxStatus with
+// ErrNoService.
+type StatusBackend interface {
+	// TxStatus reports one of the TxStatus* outcomes and, for committed
+	// transactions, the commit timestamp.
+	TxStatus(g common.GTrxID) (outcome uint8, cts uint64, err error)
+}
+
+// GlobalTx is the optional Tx extension exposing the engine's global
+// transaction id. When the backend's transactions implement it, a v3 OpBegin
+// response carries the id so the client can resolve an ambiguous commit.
+type GlobalTx interface {
+	GTrxID() common.GTrxID
 }
 
 // Tx is one open transaction on the backend. The server serializes calls on

@@ -9,44 +9,16 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-GO=${GO:-go}
-BIN=$(mktemp -d)
-DATA=$(mktemp -d)
-PIDS=()
-cleanup() {
-    for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
-    wait 2>/dev/null || true
-    rm -rf "$BIN" "$DATA"
-}
-trap cleanup EXIT
+SMOKE=elastic-smoke
+. scripts/lib.sh
 
-# Loopback ports; offset keeps parallel CI jobs from colliding.
-BASE=${ELASTIC_SMOKE_PORT:-17270}
+# Loopback ports; the env override keeps parallel CI jobs apart, and the
+# picker falls back to a fresh range if the preferred one is taken.
+smoke_pick_base "${ELASTIC_SMOKE_PORT:-17270}" 7
 SEED_SESS=$BASE SEED_FAB=$((BASE+1)) SEED_HTTP=$((BASE+2))
 SAT1_SESS=$((BASE+3))
 SAT2_SESS=$((BASE+4))
 GW_SESS=$((BASE+5)) GW_HTTP=$((BASE+6))
-
-wait_port() { # host:port comes up within 10s
-    for _ in $(seq 1 100); do
-        if (exec 3<>"/dev/tcp/127.0.0.1/$1") 2>/dev/null; then exec 3>&- 3<&-; return 0; fi
-        sleep 0.1
-    done
-    echo "elastic-smoke: port $1 never came up" >&2
-    return 1
-}
-
-http_get() { # plain-HTTP GET body via /dev/tcp (no curl dependency)
-    exec 3<>"/dev/tcp/127.0.0.1/$1"
-    printf 'GET %s HTTP/1.0\r\nHost: 127.0.0.1\r\n\r\n' "$2" >&3
-    local body="" in_body=0 line
-    while IFS= read -r line <&3 || [ -n "$line" ]; do
-        line=${line%$'\r'}
-        if [ "$in_body" = 1 ]; then body+="$line"; elif [ -z "$line" ]; then in_body=1; fi
-    done
-    exec 3>&- 3<&-
-    printf '%s' "$body"
-}
 
 mpsh() { # run mpshell commands against a session address, print the transcript
     printf '%s\n' "$2" exit | "$BIN/mpshell" -connect "127.0.0.1:$1"

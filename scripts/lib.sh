@@ -1,0 +1,76 @@
+# lib.sh — shared plumbing for the multi-process smoke scripts. Sourced, not
+# executed: callers set SMOKE (their log prefix) first, then get scratch dirs
+# ($BIN for binaries, $DATA for server state), PID tracking with a kill+wait
+# cleanup trap, port helpers, and a curl-free HTTP GET.
+#
+#   SMOKE=proto-smoke
+#   . "$(dirname "$0")/lib.sh"
+#   smoke_pick_base 17170 6   # sets $BASE to the start of 6 free ports
+
+SMOKE=${SMOKE:-smoke}
+GO=${GO:-go}
+BIN=$(mktemp -d)
+DATA=$(mktemp -d)
+PIDS=()
+
+smoke_cleanup() {
+    for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+    wait 2>/dev/null || true
+    rm -rf "$BIN" "$DATA"
+}
+trap smoke_cleanup EXIT
+
+# port_free: true when nothing is listening on 127.0.0.1:$1 (a successful
+# /dev/tcp connect means the port is taken).
+port_free() {
+    ! (exec 3<>"/dev/tcp/127.0.0.1/$1") 2>/dev/null
+}
+
+# smoke_pick_base <preferred> <count>: set $BASE to the start of a run of
+# <count> free loopback ports. The preferred base (usually overridable via an
+# env knob) is tried first so runs are normally stable; on a collision —
+# parallel CI jobs, a leaked daemon — fresh pseudo-random bases from the
+# ephemeral range are tried instead of flaking the smoke.
+smoke_pick_base() {
+    local preferred=$1 count=$2 try cand p ok
+    for try in $(seq 0 19); do
+        if [ "$try" = 0 ]; then
+            cand=$preferred
+        else
+            cand=$(( 20000 + (RANDOM * 7 + try * 131) % 40000 ))
+        fi
+        ok=1
+        for ((p = cand; p < cand + count; p++)); do
+            port_free "$p" || { ok=0; break; }
+        done
+        if [ "$ok" = 1 ]; then
+            [ "$cand" != "$preferred" ] && \
+                echo "$SMOKE: base port $preferred busy, using $cand"
+            BASE=$cand
+            return 0
+        fi
+    done
+    echo "$SMOKE: no free port range of $count found" >&2
+    return 1
+}
+
+wait_port() { # host:port comes up within 10s
+    for _ in $(seq 1 100); do
+        if (exec 3<>"/dev/tcp/127.0.0.1/$1") 2>/dev/null; then exec 3>&- 3<&-; return 0; fi
+        sleep 0.1
+    done
+    echo "$SMOKE: port $1 never came up" >&2
+    return 1
+}
+
+http_get() { # plain-HTTP GET body via /dev/tcp (no curl dependency)
+    exec 3<>"/dev/tcp/127.0.0.1/$1"
+    printf 'GET %s HTTP/1.0\r\nHost: 127.0.0.1\r\n\r\n' "$2" >&3
+    local body="" in_body=0 line
+    while IFS= read -r line <&3 || [ -n "$line" ]; do
+        line=${line%$'\r'}
+        if [ "$in_body" = 1 ]; then body+="$line"; elif [ -z "$line" ]; then in_body=1; fi
+    done
+    exec 3>&- 3<&-
+    printf '%s' "$body"
+}
